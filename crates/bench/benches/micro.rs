@@ -1,0 +1,106 @@
+//! Criterion microbenches over the simulator's real data-structure work:
+//! the attach fast path, the two guest-memory-map structures, PFN-list
+//! construction, and page-table mapping. These measure *host* CPU time
+//! of the structural work (not virtual time), guarding against
+//! performance regressions in the simulator itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xemem::{SystemBuilder};
+use xemem_collections::{GuestMemoryMap, RadixMemoryMap, RbMemoryMap};
+use xemem_mem::{PageTable, Pfn, PfnList, PteFlags, VirtAddr};
+
+fn bench_attach_path(c: &mut Criterion) {
+    let size: u64 = 16 << 20; // 4096 pages per attachment
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 64 << 20)
+        .kitten_cokernel("kitten", 1, size + (64 << 20))
+        .build()
+        .unwrap();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, size + (16 << 20)).unwrap();
+    let attacher = sys.spawn_process(linux, 8 << 20).unwrap();
+    let buf = sys.alloc_buffer(exporter, size).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, size, None).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+
+    let mut group = c.benchmark_group("attach_path");
+    group.throughput(Throughput::Bytes(size));
+    group.bench_function("native_16MiB_attach_detach", |b| {
+        b.iter(|| {
+            let va = sys.xpmem_attach(attacher, apid, 0, size).unwrap();
+            sys.xpmem_detach(attacher, va).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_memory_maps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guest_memory_map");
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("rb_insert_remove", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = RbMemoryMap::new();
+                for i in 0..n {
+                    m.insert(i, 1, i).unwrap();
+                }
+                for i in 0..n {
+                    m.remove(i).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("radix_insert_remove", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = RadixMemoryMap::new();
+                for i in 0..n {
+                    m.insert(i, 1, i).unwrap();
+                }
+                for i in 0..n {
+                    m.remove(i).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pfn_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pfn_list");
+    group.bench_function("build_contiguous_64k", |b| {
+        b.iter(|| {
+            let mut l = PfnList::new();
+            l.push_run(Pfn(0), 65_536);
+            l.wire_bytes()
+        })
+    });
+    group.bench_function("build_scattered_64k", |b| {
+        b.iter(|| {
+            let l: PfnList = (0..65_536u64).map(|i| Pfn(i * 2)).collect();
+            l.compressed_bytes()
+        })
+    });
+    group.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_table");
+    group.bench_function("map_walk_unmap_4k_pages", |b| {
+        b.iter(|| {
+            let mut pt = PageTable::new();
+            pt.map_pages(VirtAddr(0), (0..4096).map(Pfn), PteFlags::rw_user()).unwrap();
+            let (list, _) = pt.walk_range(VirtAddr(0), 4096 * 4096).unwrap();
+            pt.unmap_pages(VirtAddr(0), 4096).unwrap();
+            list.pages()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_attach_path,
+    bench_memory_maps,
+    bench_pfn_list,
+    bench_page_table
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: NUMA placement — the paper pins every enclave to a single
+//! socket (§5.1); this shows the cross-socket penalty that pinning
+//! avoids.
+
+use xemem_bench::{ablations::numa, render_table, Args};
+
+fn main() {
+    let args = Args::parse();
+    let size = if args.smoke { 8 << 20 } else { 512 << 20 };
+    let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 50 });
+    let rows = numa::run(size, iters).expect("numa ablation");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.placement.to_string(),
+                format!("{:.2}", r.attach_gbps),
+                format!("{:.2}", r.attach_read_gbps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Ablation: NUMA placement of the exporting enclave",
+            &["Placement", "Attach (GB/s)", "Attach+Read (GB/s)"],
+            &table,
+        )
+    );
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates paper Fig. 8: single-node in situ benchmark across the
+//! Table 3 enclave configurations.
+
+use xemem_bench::{fig8, pm, render_table, Args};
+
+fn main() {
+    let args = Args::parse();
+    let runs = args.runs.unwrap_or(if args.smoke { 2 } else { 10 });
+    let bars = fig8::run(runs, args.smoke).expect("fig8 experiment");
+    for attach in ["one-time", "recurring"] {
+        let rows: Vec<Vec<String>> = bars
+            .iter()
+            .filter(|b| b.attach == attach)
+            .map(|b| {
+                vec![
+                    b.execution.to_string(),
+                    b.config.to_string(),
+                    pm(b.mean_secs, b.stddev_secs),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!(
+                    "Figure 8({}): in situ completion time, {attach} attachments (paper range ~140-160s)",
+                    if attach == "one-time" { "a" } else { "b" }
+                ),
+                &["Execution", "Configuration", "Time (s)"],
+                &rows,
+            )
+        );
+    }
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&bars).unwrap());
+    }
+}

@@ -1,0 +1,119 @@
+//! # xemem-bench
+//!
+//! The experiment harness: one module (and one binary) per figure/table
+//! of the paper's evaluation, plus the ablation studies DESIGN.md calls
+//! out. Each module exposes a `run(...)` function returning structured
+//! rows so the binaries stay thin and integration tests can execute the
+//! experiments in smoke mode.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`fig5`] | Fig. 5 — attach / attach+read throughput vs RDMA verbs |
+//! | [`fig6`] | Fig. 6 — throughput vs number of concurrent enclaves |
+//! | [`table2`] | Table 2 — VM attach throughput, with/without RB-tree inserts |
+//! | [`fig7`] | Fig. 7 — Kitten noise profile under attachment service |
+//! | [`fig8`] | Fig. 8 — single-node in situ benchmark (Table 3 configs) |
+//! | [`fig9`] | Fig. 9 — multi-node weak scaling |
+//! | [`ablations`] | memory-map structure, IPI handler placement, name-server placement |
+
+pub mod ablations;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+
+use std::fmt::Write as _;
+
+/// Minimal CLI options shared by the figure binaries.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Drastically reduce sizes/iterations (used by tests).
+    pub smoke: bool,
+    /// Override the number of repetitions.
+    pub runs: Option<u32>,
+    /// Emit machine-readable JSON after the table.
+    pub json: bool,
+}
+
+impl Args {
+    /// Parse from `std::env::args`. Recognized: `--smoke`, `--runs N`,
+    /// `--json`.
+    pub fn parse() -> Args {
+        let mut out = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--smoke" => out.smoke = true,
+                "--json" => out.json = true,
+                "--runs" => {
+                    out.runs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .or_else(|| panic!("--runs requires an integer"));
+                }
+                other => panic!("unknown argument: {other} (expected --smoke, --runs N, --json)"),
+            }
+        }
+        out
+    }
+}
+
+/// Render an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let line = |out: &mut String, cells: &[String]| {
+        let rendered: Vec<String> =
+            cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+        let _ = writeln!(out, "  {}", rendered.join("  "));
+    };
+    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Format a mean ± stddev pair.
+pub fn pm(mean: f64, stddev: f64) -> String {
+    format!("{mean:.2} ± {stddev:.2}")
+}
+
+/// Sizes swept by Figs. 5–6 (bytes), paper axis: 128 MB … 1 GB.
+pub const SWEEP_SIZES: [u64; 4] = [128 << 20, 256 << 20, 512 << 20, 1 << 30];
+
+/// Smoke-mode sizes.
+pub const SMOKE_SIZES: [u64; 2] = [4 << 20, 8 << 20];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "t",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(s.contains("== t =="));
+        assert!(s.contains("333"));
+    }
+
+    #[test]
+    fn pm_formats() {
+        assert_eq!(pm(12.3456, 0.789), "12.35 ± 0.79");
+    }
+}

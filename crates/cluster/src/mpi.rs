@@ -1,0 +1,202 @@
+//! A rank-level message-passing model (the paper compiles HPCCG against
+//! OpenMPI over InfiniBand, §7.1).
+//!
+//! Collectives are modelled at the granularity real MPI implementations
+//! use: recursive doubling, one pairwise exchange per round, each round
+//! costing a network latency plus the wire time of its payload. The
+//! important emergent property for Fig. 9 is *straggler propagation*: a
+//! rank delayed by OS noise delays its round-1 partner, which delays
+//! their round-2 partners, and after ⌈log₂ n⌉ rounds every rank has
+//! inherited the slowest rank's schedule.
+
+use xemem_sim::{CostModel, SimDuration, SimTime};
+
+/// Point-to-point network parameters (QDR InfiniBand-class).
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// One-way small-message latency.
+    pub latency: SimDuration,
+    /// Per-link bandwidth, bytes/s.
+    pub bandwidth_bps: u64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network { latency: SimDuration::from_nanos(1_600), bandwidth_bps: 3_400_000_000 }
+    }
+}
+
+impl Network {
+    /// Wire time of one message of `bytes`.
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        self.latency + CostModel::transfer_time(bytes, self.bandwidth_bps)
+    }
+}
+
+/// A communicator over `n` ranks.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    ranks: usize,
+    net: Network,
+}
+
+impl Comm {
+    /// A communicator of `ranks` ranks over the given network.
+    pub fn new(ranks: usize, net: Network) -> Self {
+        assert!(ranks >= 1);
+        Comm { ranks, net }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.ranks
+    }
+
+    /// Recursive-doubling allreduce of `bytes` per rank: given each
+    /// rank's ready time, returns each rank's completion time.
+    ///
+    /// Non-power-of-two communicators use the standard remainder scheme:
+    /// the ranks beyond the largest power of two fold their data into
+    /// their low partner first, the low `2^⌊log2 n⌋` ranks run recursive
+    /// doubling (rank `i` exchanges with `i XOR 2^k` each round, both
+    /// proceeding from the later schedule plus one transfer), and the
+    /// high ranks receive the result back at the end.
+    pub fn allreduce(&self, ready: &[SimTime], bytes: u64) -> Vec<SimTime> {
+        assert_eq!(ready.len(), self.ranks);
+        if self.ranks == 1 {
+            return ready.to_vec();
+        }
+        let xfer = self.net.transfer(bytes);
+        let pof2 = 1usize << (usize::BITS - 1 - self.ranks.leading_zeros());
+        let mut t = ready.to_vec();
+        // Pre-phase: fold the remainder ranks into their low partners.
+        for i in pof2..self.ranks {
+            t[i - pof2] = t[i - pof2].max(t[i]) + xfer;
+        }
+        // Recursive doubling over the power-of-two group.
+        let rounds = pof2.ilog2();
+        for k in 0..rounds {
+            let stride = 1usize << k;
+            let prev = t.clone();
+            for i in 0..pof2 {
+                let j = i ^ stride;
+                t[i] = prev[i].max(prev[j]) + xfer;
+            }
+        }
+        // Post-phase: deliver the result to the remainder ranks.
+        for i in pof2..self.ranks {
+            t[i] = t[i - pof2] + xfer;
+        }
+        t
+    }
+
+    /// Barrier: an allreduce of a cache line.
+    pub fn barrier(&self, ready: &[SimTime]) -> Vec<SimTime> {
+        self.allreduce(ready, 64)
+    }
+
+    /// 1-D halo exchange: every rank swaps `bytes` with its slab
+    /// neighbors (ranks `i−1` and `i+1`); the two directions overlap on
+    /// the wire, so a rank completes at the later neighbor handshake.
+    pub fn halo_exchange(&self, ready: &[SimTime], bytes: u64) -> Vec<SimTime> {
+        assert_eq!(ready.len(), self.ranks);
+        if self.ranks == 1 {
+            return ready.to_vec();
+        }
+        let xfer = self.net.transfer(bytes);
+        ready
+            .iter()
+            .enumerate()
+            .map(|(i, &ti)| {
+                let mut done = ti;
+                if i > 0 {
+                    done = done.max(ready[i - 1]);
+                }
+                if i + 1 < self.ranks {
+                    done = done.max(ready[i + 1]);
+                }
+                done + xfer
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(ns: &[u64]) -> Vec<SimTime> {
+        ns.iter().map(|&n| SimTime::from_nanos(n)).collect()
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let comm = Comm::new(1, Network::default());
+        let ready = times(&[42]);
+        assert_eq!(comm.allreduce(&ready, 8), ready);
+        assert_eq!(comm.halo_exchange(&ready, 1024), ready);
+    }
+
+    #[test]
+    fn allreduce_round_count_is_logarithmic() {
+        let net = Network { latency: SimDuration::from_nanos(100), bandwidth_bps: u64::MAX };
+        for (n, rounds) in [(2usize, 1u64), (4, 2), (8, 3), (16, 4)] {
+            let comm = Comm::new(n, net.clone());
+            let done = comm.allreduce(&vec![SimTime::ZERO; n], 8);
+            for d in &done {
+                assert_eq!(d.as_nanos(), rounds * 100, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_delays_every_rank() {
+        let comm = Comm::new(8, Network::default());
+        let mut ready = vec![SimTime::ZERO; 8];
+        ready[5] = SimTime::from_nanos(1_000_000); // one slow rank
+        let done = comm.allreduce(&ready, 8);
+        for (i, d) in done.iter().enumerate() {
+            assert!(
+                d.as_nanos() > 1_000_000,
+                "rank {i} finished at {} before the straggler's data could reach it",
+                d.as_nanos()
+            );
+        }
+    }
+
+    #[test]
+    fn allreduce_handles_non_power_of_two() {
+        for n in [3usize, 5, 6, 7] {
+            let comm = Comm::new(n, Network::default());
+            let mut ready = vec![SimTime::ZERO; n];
+            ready[n - 1] = SimTime::from_nanos(500_000);
+            let done = comm.allreduce(&ready, 8);
+            assert_eq!(done.len(), n);
+            // Everyone still inherits the straggler (connectivity holds).
+            for d in &done {
+                assert!(d.as_nanos() >= 500_000);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_exchange_couples_only_neighbors() {
+        let comm = Comm::new(4, Network::default());
+        let mut ready = vec![SimTime::ZERO; 4];
+        ready[0] = SimTime::from_nanos(1_000_000);
+        let done = comm.halo_exchange(&ready, 4096);
+        // Rank 1 waits for rank 0; ranks 2 and 3 do not.
+        assert!(done[1].as_nanos() > 1_000_000);
+        assert!(done[2].as_nanos() < 1_000_000);
+        assert!(done[3].as_nanos() < 1_000_000);
+    }
+
+    #[test]
+    fn bigger_payloads_cost_more() {
+        let comm = Comm::new(4, Network::default());
+        let ready = vec![SimTime::ZERO; 4];
+        let small = comm.allreduce(&ready, 8)[0];
+        let big = comm.allreduce(&ready, 1 << 20)[0];
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,94 @@
+//! # xemem-collections
+//!
+//! Instrumented search structures for the Palacios guest memory map.
+//!
+//! The paper (§4.4, §5.4) attributes the ~3× throughput loss of VM
+//! attachments to the VMM's memory map: a red-black tree in which each
+//! entry maps a physically contiguous guest region to a physically
+//! contiguous host region. XEMEM attachments install host frames that are
+//! *not* guaranteed contiguous, so the map may grow one entry per 4 KiB
+//! page, and insertion/rebalancing cost grows with tree depth. The paper's
+//! stated future work is to replace the tree with "more intelligent radix
+//! tree based data structures that can more appropriately mimic a page
+//! table's organization".
+//!
+//! This crate provides both structures behind the [`GuestMemoryMap`]
+//! trait, each reporting the *real structural work* (nodes visited,
+//! rotations performed, levels touched) of every operation so the VMM can
+//! charge virtual time for work actually done:
+//!
+//! * [`RbMemoryMap`] — a from-scratch CLRS red-black interval tree.
+//! * [`RadixMemoryMap`] — a four-level, 512-way radix tree shaped like a
+//!   page table (the future-work ablation).
+
+pub mod radix;
+pub mod rbtree;
+
+pub use radix::RadixMemoryMap;
+pub use rbtree::RbMemoryMap;
+
+/// Structural work performed by one map operation. The VMM converts these
+/// counts into virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpReport {
+    /// Nodes (or radix levels) visited.
+    pub visits: u32,
+    /// Rotations performed (red-black only; zero for radix).
+    pub rotations: u32,
+}
+
+impl OpReport {
+    /// Merge two reports (for compound operations).
+    pub fn merged(self, other: OpReport) -> OpReport {
+        OpReport {
+            visits: self.visits + other.visits,
+            rotations: self.rotations + other.rotations,
+        }
+    }
+}
+
+/// Errors from guest memory-map operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The inserted range overlaps an existing entry.
+    Overlap { gfn: u64 },
+    /// No entry covers the given guest frame.
+    NotFound { gfn: u64 },
+    /// Zero-length insert.
+    EmptyRange,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::Overlap { gfn } => write!(f, "guest frame {gfn:#x} overlaps existing entry"),
+            MapError::NotFound { gfn } => write!(f, "guest frame {gfn:#x} not mapped"),
+            MapError::EmptyRange => write!(f, "empty range"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A GPA→HPA region map: maps runs of guest frames to runs of host frames.
+pub trait GuestMemoryMap {
+    /// Insert a mapping of `len` guest frames starting at `gfn` to host
+    /// frames starting at `hpfn`. Ranges must not overlap existing
+    /// entries.
+    fn insert(&mut self, gfn: u64, len: u64, hpfn: u64) -> Result<OpReport, MapError>;
+
+    /// Translate one guest frame to its host frame.
+    fn lookup(&self, gfn: u64) -> Result<(u64, OpReport), MapError>;
+
+    /// Remove the entry whose range contains `gfn`. Returns the removed
+    /// (gfn_start, len, hpfn_start).
+    fn remove(&mut self, gfn: u64) -> Result<((u64, u64, u64), OpReport), MapError>;
+
+    /// Number of entries (regions, not frames).
+    fn len(&self) -> usize;
+
+    /// True when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

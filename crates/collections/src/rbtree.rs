@@ -1,0 +1,597 @@
+//! A from-scratch red-black interval tree — the Palacios guest memory map.
+//!
+//! Each node maps a contiguous run of guest frames `[key, key + len)` to a
+//! contiguous run of host frames starting at `hpfn`. The implementation is
+//! textbook CLRS (arena-allocated nodes, index links, NIL sentinel at
+//! index 0) and instrumented: every operation reports nodes visited and
+//! rotations performed, which the VMM converts into virtual time. That
+//! instrumentation is what lets the Table 2 result (~3× VM attach penalty,
+//! recovered by removing tree-update time) *emerge* from real structural
+//! work instead of being hard-coded.
+
+use crate::{GuestMemoryMap, MapError, OpReport};
+
+const NIL: usize = 0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    len: u64,
+    hpfn: u64,
+    color: Color,
+    parent: usize,
+    left: usize,
+    right: usize,
+}
+
+/// The red-black guest memory map.
+#[derive(Debug, Clone)]
+pub struct RbMemoryMap {
+    nodes: Vec<Node>,
+    root: usize,
+    free: Vec<usize>,
+    count: usize,
+    total_visits: u64,
+    total_rotations: u64,
+}
+
+impl Default for RbMemoryMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RbMemoryMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        // Index 0 is the NIL sentinel: black, self-linked.
+        let nil = Node {
+            key: 0,
+            len: 0,
+            hpfn: 0,
+            color: Color::Black,
+            parent: NIL,
+            left: NIL,
+            right: NIL,
+        };
+        RbMemoryMap {
+            nodes: vec![nil],
+            root: NIL,
+            free: Vec::new(),
+            count: 0,
+            total_visits: 0,
+            total_rotations: 0,
+        }
+    }
+
+    /// Cumulative nodes visited across all operations.
+    pub fn total_visits(&self) -> u64 {
+        self.total_visits
+    }
+
+    /// Cumulative rotations across all operations.
+    pub fn total_rotations(&self) -> u64 {
+        self.total_rotations
+    }
+
+    fn alloc_node(&mut self, key: u64, len: u64, hpfn: u64) -> usize {
+        let node = Node {
+            key,
+            len,
+            hpfn,
+            color: Color::Red,
+            parent: NIL,
+            left: NIL,
+            right: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    #[inline]
+    fn n(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    fn left_rotate(&mut self, x: usize, rotations: &mut u32) {
+        *rotations += 1;
+        let y = self.nodes[x].right;
+        let y_left = self.nodes[y].left;
+        self.nodes[x].right = y_left;
+        if y_left != NIL {
+            self.nodes[y_left].parent = x;
+        }
+        let x_parent = self.nodes[x].parent;
+        self.nodes[y].parent = x_parent;
+        if x_parent == NIL {
+            self.root = y;
+        } else if self.nodes[x_parent].left == x {
+            self.nodes[x_parent].left = y;
+        } else {
+            self.nodes[x_parent].right = y;
+        }
+        self.nodes[y].left = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn right_rotate(&mut self, x: usize, rotations: &mut u32) {
+        *rotations += 1;
+        let y = self.nodes[x].left;
+        let y_right = self.nodes[y].right;
+        self.nodes[x].left = y_right;
+        if y_right != NIL {
+            self.nodes[y_right].parent = x;
+        }
+        let x_parent = self.nodes[x].parent;
+        self.nodes[y].parent = x_parent;
+        if x_parent == NIL {
+            self.root = y;
+        } else if self.nodes[x_parent].right == x {
+            self.nodes[x_parent].right = y;
+        } else {
+            self.nodes[x_parent].left = y;
+        }
+        self.nodes[y].right = x;
+        self.nodes[x].parent = y;
+    }
+
+    fn insert_fixup(&mut self, mut z: usize, rotations: &mut u32) {
+        while self.n(self.n(z).parent).color == Color::Red {
+            let parent = self.n(z).parent;
+            let grand = self.n(parent).parent;
+            if parent == self.n(grand).left {
+                let uncle = self.n(grand).right;
+                if self.n(uncle).color == Color::Red {
+                    self.nodes[parent].color = Color::Black;
+                    self.nodes[uncle].color = Color::Black;
+                    self.nodes[grand].color = Color::Red;
+                    z = grand;
+                } else {
+                    if z == self.n(parent).right {
+                        z = parent;
+                        self.left_rotate(z, rotations);
+                    }
+                    let parent = self.n(z).parent;
+                    let grand = self.n(parent).parent;
+                    self.nodes[parent].color = Color::Black;
+                    self.nodes[grand].color = Color::Red;
+                    self.right_rotate(grand, rotations);
+                }
+            } else {
+                let uncle = self.n(grand).left;
+                if self.n(uncle).color == Color::Red {
+                    self.nodes[parent].color = Color::Black;
+                    self.nodes[uncle].color = Color::Black;
+                    self.nodes[grand].color = Color::Red;
+                    z = grand;
+                } else {
+                    if z == self.n(parent).left {
+                        z = parent;
+                        self.right_rotate(z, rotations);
+                    }
+                    let parent = self.n(z).parent;
+                    let grand = self.n(parent).parent;
+                    self.nodes[parent].color = Color::Black;
+                    self.nodes[grand].color = Color::Red;
+                    self.left_rotate(grand, rotations);
+                }
+            }
+        }
+        let root = self.root;
+        self.nodes[root].color = Color::Black;
+    }
+
+    fn transplant(&mut self, u: usize, v: usize) {
+        let u_parent = self.nodes[u].parent;
+        if u_parent == NIL {
+            self.root = v;
+        } else if self.nodes[u_parent].left == u {
+            self.nodes[u_parent].left = v;
+        } else {
+            self.nodes[u_parent].right = v;
+        }
+        // NIL's parent is written too — CLRS relies on this in delete.
+        self.nodes[v].parent = u_parent;
+    }
+
+    fn minimum(&self, mut x: usize) -> usize {
+        while self.nodes[x].left != NIL {
+            x = self.nodes[x].left;
+        }
+        x
+    }
+
+    fn delete_fixup(&mut self, mut x: usize, rotations: &mut u32) {
+        while x != self.root && self.n(x).color == Color::Black {
+            let parent = self.n(x).parent;
+            if x == self.n(parent).left {
+                let mut w = self.n(parent).right;
+                if self.n(w).color == Color::Red {
+                    self.nodes[w].color = Color::Black;
+                    self.nodes[parent].color = Color::Red;
+                    self.left_rotate(parent, rotations);
+                    w = self.n(self.n(x).parent).right;
+                }
+                if self.n(self.n(w).left).color == Color::Black
+                    && self.n(self.n(w).right).color == Color::Black
+                {
+                    self.nodes[w].color = Color::Red;
+                    x = self.n(x).parent;
+                } else {
+                    if self.n(self.n(w).right).color == Color::Black {
+                        let w_left = self.n(w).left;
+                        self.nodes[w_left].color = Color::Black;
+                        self.nodes[w].color = Color::Red;
+                        self.right_rotate(w, rotations);
+                        w = self.n(self.n(x).parent).right;
+                    }
+                    let parent = self.n(x).parent;
+                    self.nodes[w].color = self.n(parent).color;
+                    self.nodes[parent].color = Color::Black;
+                    let w_right = self.n(w).right;
+                    self.nodes[w_right].color = Color::Black;
+                    self.left_rotate(parent, rotations);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.n(parent).left;
+                if self.n(w).color == Color::Red {
+                    self.nodes[w].color = Color::Black;
+                    self.nodes[parent].color = Color::Red;
+                    self.right_rotate(parent, rotations);
+                    w = self.n(self.n(x).parent).left;
+                }
+                if self.n(self.n(w).right).color == Color::Black
+                    && self.n(self.n(w).left).color == Color::Black
+                {
+                    self.nodes[w].color = Color::Red;
+                    x = self.n(x).parent;
+                } else {
+                    if self.n(self.n(w).left).color == Color::Black {
+                        let w_right = self.n(w).right;
+                        self.nodes[w_right].color = Color::Black;
+                        self.nodes[w].color = Color::Red;
+                        self.left_rotate(w, rotations);
+                        w = self.n(self.n(x).parent).left;
+                    }
+                    let parent = self.n(x).parent;
+                    self.nodes[w].color = self.n(parent).color;
+                    self.nodes[parent].color = Color::Black;
+                    let w_left = self.n(w).left;
+                    self.nodes[w_left].color = Color::Black;
+                    self.right_rotate(parent, rotations);
+                    x = self.root;
+                }
+            }
+        }
+        self.nodes[x].color = Color::Black;
+    }
+
+    /// Find the node whose interval contains `gfn`, counting visits.
+    fn find_containing(&self, gfn: u64) -> (usize, u32) {
+        let mut visits = 0u32;
+        let mut cur = self.root;
+        while cur != NIL {
+            visits += 1;
+            let node = self.n(cur);
+            if gfn < node.key {
+                cur = node.left;
+            } else if gfn >= node.key + node.len {
+                cur = node.right;
+            } else {
+                return (cur, visits);
+            }
+        }
+        (NIL, visits)
+    }
+
+    /// In-order iteration over (gfn_start, len, hpfn_start) — test and
+    /// debugging aid.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        std::iter::from_fn(move || {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur].left;
+            }
+            let idx = stack.pop()?;
+            let node = &self.nodes[idx];
+            cur = node.right;
+            Some((node.key, node.len, node.hpfn))
+        })
+    }
+
+    /// Verify every red-black and interval invariant; returns the black
+    /// height. Panics (with a description) on violation — used by unit and
+    /// property tests.
+    pub fn validate(&self) -> usize {
+        fn walk(
+            map: &RbMemoryMap,
+            idx: usize,
+            lo: u64,
+            hi: u64,
+        ) -> usize {
+            if idx == NIL {
+                return 1; // NIL counts as black.
+            }
+            let node = &map.nodes[idx];
+            assert!(node.len > 0, "zero-length node");
+            assert!(node.key >= lo && node.key + node.len <= hi, "BST/interval order violated");
+            if node.color == Color::Red {
+                assert_eq!(map.nodes[node.left].color, Color::Black, "red-red violation (left)");
+                assert_eq!(map.nodes[node.right].color, Color::Black, "red-red violation (right)");
+            }
+            if node.left != NIL {
+                assert_eq!(map.nodes[node.left].parent, idx, "broken parent link (left)");
+            }
+            if node.right != NIL {
+                assert_eq!(map.nodes[node.right].parent, idx, "broken parent link (right)");
+            }
+            let lh = walk(map, node.left, lo, node.key);
+            let rh = walk(map, node.right, node.key + node.len, hi);
+            assert_eq!(lh, rh, "black-height mismatch");
+            lh + usize::from(node.color == Color::Black)
+        }
+        if self.root != NIL {
+            assert_eq!(self.nodes[self.root].color, Color::Black, "red root");
+            assert_eq!(self.nodes[self.root].parent, NIL, "root has a parent");
+        }
+        walk(self, self.root, 0, u64::MAX)
+    }
+}
+
+impl GuestMemoryMap for RbMemoryMap {
+    fn insert(&mut self, gfn: u64, len: u64, hpfn: u64) -> Result<OpReport, MapError> {
+        if len == 0 {
+            return Err(MapError::EmptyRange);
+        }
+        let mut visits = 0u32;
+        let mut parent = NIL;
+        let mut cur = self.root;
+        let mut went_left = false;
+        while cur != NIL {
+            visits += 1;
+            let node = self.n(cur);
+            parent = cur;
+            if gfn + len <= node.key {
+                cur = node.left;
+                went_left = true;
+            } else if gfn >= node.key + node.len {
+                cur = node.right;
+                went_left = false;
+            } else {
+                self.total_visits += visits as u64;
+                return Err(MapError::Overlap { gfn });
+            }
+        }
+        let z = self.alloc_node(gfn, len, hpfn);
+        self.nodes[z].parent = parent;
+        if parent == NIL {
+            self.root = z;
+        } else if went_left {
+            self.nodes[parent].left = z;
+        } else {
+            self.nodes[parent].right = z;
+        }
+        let mut rotations = 0u32;
+        self.insert_fixup(z, &mut rotations);
+        self.count += 1;
+        self.total_visits += visits as u64;
+        self.total_rotations += rotations as u64;
+        Ok(OpReport { visits, rotations })
+    }
+
+    fn lookup(&self, gfn: u64) -> Result<(u64, OpReport), MapError> {
+        let (idx, visits) = self.find_containing(gfn);
+        if idx == NIL {
+            return Err(MapError::NotFound { gfn });
+        }
+        let node = self.n(idx);
+        let hpfn = node.hpfn + (gfn - node.key);
+        Ok((hpfn, OpReport { visits, rotations: 0 }))
+    }
+
+    fn remove(&mut self, gfn: u64) -> Result<((u64, u64, u64), OpReport), MapError> {
+        let (z, visits) = self.find_containing(gfn);
+        if z == NIL {
+            self.total_visits += visits as u64;
+            return Err(MapError::NotFound { gfn });
+        }
+        let removed = {
+            let node = self.n(z);
+            (node.key, node.len, node.hpfn)
+        };
+        let mut rotations = 0u32;
+        let mut y = z;
+        let mut y_color = self.n(y).color;
+        let x;
+        if self.n(z).left == NIL {
+            x = self.n(z).right;
+            self.transplant(z, x);
+        } else if self.n(z).right == NIL {
+            x = self.n(z).left;
+            self.transplant(z, x);
+        } else {
+            y = self.minimum(self.n(z).right);
+            y_color = self.n(y).color;
+            x = self.n(y).right;
+            if self.n(y).parent == z {
+                self.nodes[x].parent = y;
+            } else {
+                self.transplant(y, x);
+                let z_right = self.n(z).right;
+                self.nodes[y].right = z_right;
+                self.nodes[z_right].parent = y;
+            }
+            self.transplant(z, y);
+            let z_left = self.n(z).left;
+            self.nodes[y].left = z_left;
+            self.nodes[z_left].parent = y;
+            self.nodes[y].color = self.n(z).color;
+        }
+        if y_color == Color::Black {
+            self.delete_fixup(x, &mut rotations);
+        }
+        // Reset NIL's parent scribble so validation stays clean.
+        self.nodes[NIL].parent = NIL;
+        self.free.push(z);
+        self.count -= 1;
+        self.total_visits += visits as u64;
+        self.total_rotations += rotations as u64;
+        Ok((removed, OpReport { visits, rotations }))
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove_basics() {
+        let mut map = RbMemoryMap::new();
+        map.insert(0x100, 4, 0x9000).unwrap();
+        map.insert(0x200, 2, 0xA000).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.lookup(0x101).unwrap().0, 0x9001);
+        assert_eq!(map.lookup(0x201).unwrap().0, 0xA001);
+        assert_eq!(map.lookup(0x300).unwrap_err(), MapError::NotFound { gfn: 0x300 });
+        let (removed, _) = map.remove(0x102).unwrap();
+        assert_eq!(removed, (0x100, 4, 0x9000));
+        assert_eq!(map.len(), 1);
+        assert!(map.lookup(0x100).is_err());
+        map.validate();
+    }
+
+    #[test]
+    fn overlap_rejected_in_all_positions() {
+        let mut map = RbMemoryMap::new();
+        map.insert(100, 10, 0).unwrap();
+        // Head, tail, containing, contained.
+        assert!(matches!(map.insert(95, 10, 0), Err(MapError::Overlap { .. })));
+        assert!(matches!(map.insert(105, 10, 0), Err(MapError::Overlap { .. })));
+        assert!(matches!(map.insert(90, 40, 0), Err(MapError::Overlap { .. })));
+        assert!(matches!(map.insert(102, 3, 0), Err(MapError::Overlap { .. })));
+        // Exactly adjacent is fine.
+        map.insert(110, 5, 0).unwrap();
+        map.insert(90, 10, 0).unwrap();
+        assert_eq!(map.len(), 3);
+        map.validate();
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let mut map = RbMemoryMap::new();
+        assert_eq!(map.insert(5, 0, 0), Err(MapError::EmptyRange));
+    }
+
+    #[test]
+    fn sequential_inserts_keep_invariants_and_log_depth() {
+        let mut map = RbMemoryMap::new();
+        let n = 4096u64;
+        for i in 0..n {
+            map.insert(i * 2, 1, i).unwrap();
+        }
+        map.validate();
+        assert_eq!(map.len(), n as usize);
+        // Depth must be O(log n): lookups visit ≤ 2·log2(n+1) nodes.
+        let (_, report) = map.lookup(2 * (n - 1)).unwrap();
+        assert!(report.visits <= 26, "lookup visited {} nodes", report.visits);
+        // Insert visits grow with tree size — the mechanism behind the
+        // paper's Table 2 overhead.
+        let report = map.insert(u64::MAX / 2, 1, 0).unwrap();
+        assert!(report.visits >= 10, "deep insert visited {}", report.visits);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_keeps_invariants() {
+        let mut map = RbMemoryMap::new();
+        for i in 0..512u64 {
+            map.insert(i * 10, 5, i * 100).unwrap();
+        }
+        // Remove every third entry.
+        for i in (0..512u64).step_by(3) {
+            map.remove(i * 10 + 2).unwrap();
+        }
+        map.validate();
+        // Reinsert into the holes.
+        for i in (0..512u64).step_by(3) {
+            map.insert(i * 10, 5, 7).unwrap();
+        }
+        map.validate();
+        assert_eq!(map.len(), 512);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut map = RbMemoryMap::new();
+        let keys = [50u64, 10, 90, 30, 70, 20, 80];
+        for &k in &keys {
+            map.insert(k, 1, k + 1000).unwrap();
+        }
+        let entries: Vec<_> = map.iter().collect();
+        assert_eq!(entries.len(), keys.len());
+        for w in entries.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(entries[0], (10, 1, 1010));
+    }
+
+    #[test]
+    fn node_reuse_after_remove() {
+        let mut map = RbMemoryMap::new();
+        for i in 0..100u64 {
+            map.insert(i, 1, i).unwrap();
+        }
+        let arena_size = map.nodes.len();
+        for i in 0..100u64 {
+            map.remove(i).unwrap();
+        }
+        assert!(map.is_empty());
+        for i in 0..100u64 {
+            map.insert(i + 1000, 1, i).unwrap();
+        }
+        assert_eq!(map.nodes.len(), arena_size, "freed nodes were not reused");
+        map.validate();
+    }
+
+    #[test]
+    fn rotations_are_counted() {
+        let mut map = RbMemoryMap::new();
+        // Ascending inserts force regular rebalancing.
+        for i in 0..1000u64 {
+            map.insert(i, 1, i).unwrap();
+        }
+        assert!(map.total_rotations() > 100, "rotations = {}", map.total_rotations());
+        assert!(map.total_visits() > 1000);
+    }
+
+    #[test]
+    fn remove_root_repeatedly() {
+        let mut map = RbMemoryMap::new();
+        for i in 0..64u64 {
+            map.insert(i, 1, i).unwrap();
+        }
+        // Peel off entries via whatever is at the root each time.
+        while map.len() > 0 {
+            let root_key = map.nodes[map.root].key;
+            map.remove(root_key).unwrap();
+            map.validate();
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The XPMEM-compatible user-level API (paper Table 1).
+//!
+//! These are the clock-based wrappers over the timeline engine in
+//! [`crate::system`]: each call starts at the system clock's current time
+//! and advances it to the operation's completion, which is how the
+//! sequential experiments and the examples consume the system. Programs
+//! written against XPMEM map one-to-one onto these calls — the paper's
+//! backwards-compatibility claim (§4.1).
+
+use crate::ids::{Apid, ProcessRef, Segid};
+use crate::system::{AttachOutcome, System};
+use crate::XememError;
+use xemem_mem::VirtAddr;
+
+impl System {
+    /// `xpmem_make`: export `[va, va + len)` of the calling process as
+    /// shared memory. Returns the globally unique segid. The optional
+    /// `name` provides discoverability via [`System::xpmem_search`].
+    pub fn xpmem_make(
+        &mut self,
+        p: ProcessRef,
+        va: VirtAddr,
+        len: u64,
+        name: Option<&str>,
+    ) -> Result<Segid, XememError> {
+        let at = self.clock().now();
+        let (segid, end) = self.make_at(p, va, len, name, at)?;
+        self.clock().advance_to(end);
+        Ok(segid)
+    }
+
+    /// `xpmem_remove`: withdraw an exported region.
+    pub fn xpmem_remove(&mut self, p: ProcessRef, segid: Segid) -> Result<(), XememError> {
+        let at = self.clock().now();
+        let end = self.remove_at(p, segid, at)?;
+        self.clock().advance_to(end);
+        Ok(())
+    }
+
+    /// `xpmem_get`: request read-write access to a segid. Returns a
+    /// permission grant (apid).
+    pub fn xpmem_get(&mut self, p: ProcessRef, segid: Segid) -> Result<Apid, XememError> {
+        self.xpmem_get_mode(p, segid, crate::ids::AccessMode::ReadWrite)
+    }
+
+    /// `xpmem_get` with an explicit access mode (XPMEM's `XPMEM_RDONLY`
+    /// permit): read-only grants yield attachments whose writes fault.
+    pub fn xpmem_get_mode(
+        &mut self,
+        p: ProcessRef,
+        segid: Segid,
+        mode: crate::ids::AccessMode,
+    ) -> Result<Apid, XememError> {
+        let at = self.clock().now();
+        let (apid, end) = self.get_mode_at(p, segid, mode, at)?;
+        self.clock().advance_to(end);
+        Ok(apid)
+    }
+
+    /// `xpmem_release`: release a permission grant.
+    pub fn xpmem_release(&mut self, p: ProcessRef, apid: Apid) -> Result<(), XememError> {
+        let at = self.clock().now();
+        let end = self.release_at(p, apid, at)?;
+        self.clock().advance_to(end);
+        Ok(())
+    }
+
+    /// `xpmem_attach`: map `len` bytes at `offset` within the granted
+    /// segment into the calling process. Returns the new base address.
+    pub fn xpmem_attach(
+        &mut self,
+        p: ProcessRef,
+        apid: Apid,
+        offset: u64,
+        len: u64,
+    ) -> Result<VirtAddr, XememError> {
+        Ok(self.xpmem_attach_outcome(p, apid, offset, len)?.va)
+    }
+
+    /// `xpmem_attach` with the full timing breakdown (experiment
+    /// drivers).
+    pub fn xpmem_attach_outcome(
+        &mut self,
+        p: ProcessRef,
+        apid: Apid,
+        offset: u64,
+        len: u64,
+    ) -> Result<AttachOutcome, XememError> {
+        let at = self.clock().now();
+        let outcome = self.attach_at(p, apid, offset, len, at)?;
+        self.clock().advance_to(outcome.end);
+        Ok(outcome)
+    }
+
+    /// `xpmem_detach`: unmap a previously attached region.
+    pub fn xpmem_detach(&mut self, p: ProcessRef, va: VirtAddr) -> Result<(), XememError> {
+        let at = self.clock().now();
+        let end = self.detach_at(p, va, at)?;
+        self.clock().advance_to(end);
+        Ok(())
+    }
+
+    /// Discoverability extension: resolve a well-known segment name to
+    /// its segid by querying the name server (paper §3.1).
+    pub fn xpmem_search(&mut self, p: ProcessRef, name: &str) -> Result<Segid, XememError> {
+        let at = self.clock().now();
+        let (segid, end) = self.search_at(p, name, at)?;
+        self.clock().advance_to(end);
+        Ok(segid)
+    }
+}

@@ -1,0 +1,94 @@
+//! Cross-enclave communication links (paper §4.5).
+//!
+//! Two mechanisms exist, matching the paper:
+//!
+//! * **Pisces IPI channel** between native enclaves — all its interrupt
+//!   handling serializes on core 0 of the management enclave (see
+//!   [`xemem_pisces::IpiChannel`]).
+//! * **Palacios virtual PCI channel** between a VM and its host — a
+//!   hypercall going up (guest→host) and a virtual IRQ going down
+//!   (host→guest), plus per-entry PFN-list copies through the device.
+
+use xemem_pisces::IpiChannel;
+use xemem_sim::{CostModel, SimDuration, SimTime};
+
+/// Transfer direction over a link, relative to the topology tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Child → parent (for PCI: guest → host, a hypercall).
+    Up,
+    /// Parent → child (for PCI: host → guest, a virtual IRQ).
+    Down,
+}
+
+/// A concrete cross-enclave link.
+#[derive(Clone)]
+pub enum Link {
+    /// A Pisces IPI channel (native enclave ↔ management enclave).
+    Ipi(IpiChannel),
+    /// The Palacios virtual PCI device (VM ↔ host enclave).
+    Pci {
+        /// Cost constants for hypercall / IRQ / copy charges.
+        cost: CostModel,
+    },
+}
+
+impl Link {
+    /// Deliver `bytes` across the link starting at `at`; returns the
+    /// completion time. IPI links contend on the node's core-0 handler;
+    /// the PCI link is private to one VM.
+    pub fn send(&self, at: SimTime, bytes: u64, dir: Direction) -> SimTime {
+        match self {
+            Link::Ipi(ch) => ch.send(at, bytes),
+            Link::Pci { cost } => {
+                let notify = match dir {
+                    Direction::Up => SimDuration::from_nanos(cost.hypercall_ns),
+                    Direction::Down => SimDuration::from_nanos(cost.guest_irq_ns),
+                };
+                // PFN entries stream through the device list buffer.
+                let entries = bytes / 8;
+                at + notify + SimDuration::from_nanos(cost.pci_pfn_copy_ns).times(entries)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Link::Ipi(_) => write!(f, "Link::Ipi"),
+            Link::Pci { .. } => write!(f, "Link::Pci"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xemem_pisces::Core0Handler;
+
+    #[test]
+    fn pci_directions_have_asymmetric_cost() {
+        let cost = CostModel::default();
+        let link = Link::Pci { cost: cost.clone() };
+        let up = link.send(SimTime::ZERO, 64, Direction::Up);
+        let down = link.send(SimTime::ZERO, 64, Direction::Down);
+        // IRQ delivery (into the guest) costs more than a hypercall.
+        assert!(down > up);
+        assert_eq!(up.as_nanos(), cost.hypercall_ns + 8 * cost.pci_pfn_copy_ns);
+    }
+
+    #[test]
+    fn ipi_link_contends_but_pci_does_not() {
+        let cost = CostModel::default();
+        let core0 = Core0Handler::new();
+        let ipi = Link::Ipi(IpiChannel::new(cost.clone(), core0.clone()));
+        let pci = Link::Pci { cost };
+        let a = ipi.send(SimTime::ZERO, 0, Direction::Up);
+        let b = ipi.send(SimTime::ZERO, 0, Direction::Up);
+        assert!(b > a, "second IPI message must queue");
+        let c = pci.send(SimTime::ZERO, 0, Direction::Up);
+        let d = pci.send(SimTime::ZERO, 0, Direction::Up);
+        assert_eq!(c, d, "PCI links are private, no queueing");
+    }
+}

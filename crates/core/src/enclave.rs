@@ -1,0 +1,143 @@
+//! Per-enclave state: the OS/R personality, routing tables and local
+//! XEMEM bookkeeping.
+
+use crate::channel::Link;
+use crate::ids::{Apid, EnclaveId, Segid};
+use std::collections::HashMap;
+use xemem_mem::{MappingKernel, Pid, VirtAddr};
+use xemem_palacios::Vmm;
+
+/// Which OS personality a VM guest runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestOs {
+    /// A Linux-like full-weight guest (the paper's CentOS 7 guests).
+    Fwk,
+    /// A Kitten-like lightweight guest.
+    Lwk,
+}
+
+/// The system-software stack of one enclave.
+pub enum EnclaveKind {
+    /// A native kernel over a hardware partition (Kitten co-kernel or the
+    /// Linux management enclave).
+    Native(Box<dyn MappingKernel>),
+    /// A Palacios VM (the guest kernel lives inside the VMM).
+    Vm(Box<Vmm>),
+}
+
+impl EnclaveKind {
+    /// The kernel that manages processes in this enclave (the guest
+    /// kernel, for VMs).
+    pub fn kernel_mut(&mut self) -> &mut dyn MappingKernel {
+        match self {
+            EnclaveKind::Native(k) => &mut **k,
+            EnclaveKind::Vm(vmm) => vmm.guest_mut(),
+        }
+    }
+
+    /// True when this enclave is virtualized.
+    pub fn is_vm(&self) -> bool {
+        matches!(self, EnclaveKind::Vm(_))
+    }
+}
+
+impl std::fmt::Debug for EnclaveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnclaveKind::Native(k) => write!(f, "Native({:?})", k.kind()),
+            EnclaveKind::Vm(v) => write!(f, "Vm({:?})", v.map_kind()),
+        }
+    }
+}
+
+/// An exported segment owned by this enclave.
+#[derive(Debug, Clone)]
+pub struct SegRecord {
+    /// Exporting process.
+    pub pid: Pid,
+    /// Base of the exported region in that process.
+    pub va: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A granted access permit.
+#[derive(Debug, Clone, Copy)]
+pub struct ApidRecord {
+    /// The segment the permit grants access to.
+    pub segid: Segid,
+    /// The process holding the permit.
+    pub pid: Pid,
+    /// The enclave owning the segment (cached from the name server at
+    /// `xpmem_get` time so attach can route directly).
+    pub owner: EnclaveId,
+    /// The access mode the grant allows.
+    pub mode: crate::ids::AccessMode,
+}
+
+/// A live attachment in some process of this enclave.
+#[derive(Debug, Clone, Copy)]
+pub struct AttachRecord {
+    /// The permit it was attached through.
+    pub apid: Apid,
+    /// Attached length in bytes.
+    pub len: u64,
+}
+
+/// One enclave slot in a [`crate::System`].
+pub struct Slot {
+    /// Human-readable name.
+    pub name: String,
+    /// The OS/R stack.
+    pub kind: EnclaveKind,
+    /// Protocol-level enclave ID (allocated during registration).
+    pub id: Option<EnclaveId>,
+    /// Parent slot in the topology tree (None for the root).
+    pub parent: Option<usize>,
+    /// The link to the parent.
+    pub parent_link: Option<Link>,
+    /// Child slots.
+    pub children: Vec<usize>,
+    /// Neighbor slot on the path toward the name server (None when this
+    /// slot hosts the name server).
+    pub ns_via: Option<usize>,
+    /// Enclave-ID → neighbor-slot forwarding map (paper §3.2).
+    pub routes: HashMap<EnclaveId, usize>,
+    /// Segments exported from this enclave.
+    pub segs: HashMap<Segid, SegRecord>,
+    /// Permits granted to processes of this enclave.
+    pub apids: HashMap<Apid, ApidRecord>,
+    /// Live attachments, keyed by (pid, attached base address).
+    pub attachments: HashMap<(Pid, u64), AttachRecord>,
+}
+
+impl Slot {
+    /// A fresh, unregistered slot.
+    pub fn new(name: String, kind: EnclaveKind) -> Self {
+        Slot {
+            name,
+            kind,
+            id: None,
+            parent: None,
+            parent_link: None,
+            children: Vec::new(),
+            ns_via: None,
+            routes: HashMap::new(),
+            segs: HashMap::new(),
+            apids: HashMap::new(),
+            attachments: HashMap::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slot")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("id", &self.id)
+            .field("parent", &self.parent)
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for XEMEM operations.
+
+use crate::ids::{Apid, EnclaveRef, Segid};
+use std::fmt;
+use xemem_mem::KernelError;
+
+/// Errors surfaced by the XEMEM system.
+#[derive(Debug)]
+pub enum XememError {
+    /// A kernel / memory-management failure in some enclave.
+    Kernel(KernelError),
+    /// The segid is not registered with the name server.
+    UnknownSegid(Segid),
+    /// The apid was never granted (or was released).
+    UnknownApid(Apid),
+    /// No segment with that well-known name exists.
+    UnknownName(String),
+    /// A well-known name is already taken.
+    NameTaken(String),
+    /// The enclave reference is invalid or the enclave is not registered.
+    BadEnclave(EnclaveRef),
+    /// Topology construction error.
+    Topology(String),
+    /// The requested window exceeds the exported segment.
+    BadWindow { offset: u64, len: u64, seg_len: u64 },
+    /// The caller does not own the object it tried to modify.
+    PermissionDenied,
+}
+
+impl From<KernelError> for XememError {
+    fn from(e: KernelError) -> Self {
+        XememError::Kernel(e)
+    }
+}
+
+impl From<xemem_mem::MemError> for XememError {
+    fn from(e: xemem_mem::MemError) -> Self {
+        XememError::Kernel(KernelError::Mem(e))
+    }
+}
+
+impl fmt::Display for XememError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XememError::Kernel(e) => write!(f, "kernel error: {e}"),
+            XememError::UnknownSegid(s) => write!(f, "unknown {s}"),
+            XememError::UnknownApid(a) => write!(f, "unknown {a}"),
+            XememError::UnknownName(n) => write!(f, "no segment named {n:?}"),
+            XememError::NameTaken(n) => write!(f, "segment name {n:?} already registered"),
+            XememError::BadEnclave(e) => write!(f, "invalid enclave slot {}", e.0),
+            XememError::Topology(msg) => write!(f, "topology error: {msg}"),
+            XememError::BadWindow { offset, len, seg_len } => {
+                write!(f, "window [{offset}, {offset}+{len}) exceeds segment of {seg_len} bytes")
+            }
+            XememError::PermissionDenied => write!(f, "permission denied"),
+        }
+    }
+}
+
+impl std::error::Error for XememError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XememError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}

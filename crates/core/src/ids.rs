@@ -1,0 +1,69 @@
+//! Identifier newtypes for the XEMEM protocol.
+
+use std::fmt;
+use xemem_mem::Pid;
+
+/// A globally unique enclave identifier, allocated by the name server
+/// during enclave registration (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnclaveId(pub u32);
+
+impl fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "enclave:{}", self.0)
+    }
+}
+
+/// A globally unique shared-memory segment identifier, allocated by the
+/// name server (paper §3.1). Backwards-compatible with XPMEM's
+/// `xpmem_segid_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Segid(pub u64);
+
+impl fmt::Display for Segid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "segid:{:#x}", self.0)
+    }
+}
+
+/// The access mode a permission grant allows (XPMEM's `xpmem_get`
+/// permit flags: `XPMEM_RDWR` / `XPMEM_RDONLY`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessMode {
+    /// Read and write access.
+    #[default]
+    ReadWrite,
+    /// Read-only access: writes through the attachment fault.
+    ReadOnly,
+}
+
+/// An access permit (XPMEM `xpmem_apid_t`) returned by `xpmem_get`,
+/// scoped to the process that requested it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Apid(pub u64);
+
+impl fmt::Display for Apid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "apid:{:#x}", self.0)
+    }
+}
+
+/// A handle to one enclave within a [`crate::System`] (a stable slot
+/// index; the protocol-level [`EnclaveId`] is allocated at registration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnclaveRef(pub usize);
+
+/// A handle to one process: which enclave it runs in, and its pid there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessRef {
+    /// The enclave the process runs in.
+    pub enclave: EnclaveRef,
+    /// Its pid within that enclave.
+    pub pid: Pid,
+}
+
+impl fmt::Display for ProcessRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@slot{}", self.pid, self.enclave.0)
+    }
+}

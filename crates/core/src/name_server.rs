@@ -1,0 +1,141 @@
+//! The centralized name server (paper §3.1).
+//!
+//! XEMEM administers a common global name space by running one name
+//! server (in any enclave — usually the management enclave) that
+//! allocates globally unique segids and enclave IDs, maps segids to the
+//! enclaves that own them, and answers discovery queries. The state
+//! machine here is pure (no timing); the protocol engine charges
+//! [`xemem_sim::CostModel::name_server_ns`] per request.
+
+use crate::error::XememError;
+use crate::ids::{EnclaveId, Segid};
+use std::collections::HashMap;
+
+/// Name-server state.
+#[derive(Debug, Default)]
+pub struct NameServer {
+    next_enclave: u32,
+    next_segid: u64,
+    /// segid → owning enclave.
+    owners: HashMap<Segid, EnclaveId>,
+    /// Optional well-known names for discoverability.
+    names: HashMap<String, Segid>,
+    /// Reverse map for cleanup.
+    segid_names: HashMap<Segid, String>,
+}
+
+impl NameServer {
+    /// A fresh name server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a new enclave ID (registration, §3.2).
+    pub fn alloc_enclave_id(&mut self) -> EnclaveId {
+        let id = EnclaveId(self.next_enclave);
+        self.next_enclave += 1;
+        id
+    }
+
+    /// Allocate a globally unique segid owned by `owner`, optionally
+    /// binding a well-known name.
+    pub fn alloc_segid(
+        &mut self,
+        owner: EnclaveId,
+        name: Option<&str>,
+    ) -> Result<Segid, XememError> {
+        if let Some(n) = name {
+            if self.names.contains_key(n) {
+                return Err(XememError::NameTaken(n.to_string()));
+            }
+        }
+        // Segids start above zero and carry a generation-style counter;
+        // uniqueness is global because only the name server allocates.
+        self.next_segid += 1;
+        let segid = Segid(self.next_segid);
+        self.owners.insert(segid, owner);
+        if let Some(n) = name {
+            self.names.insert(n.to_string(), segid);
+            self.segid_names.insert(segid, n.to_string());
+        }
+        Ok(segid)
+    }
+
+    /// The enclave owning a segid.
+    pub fn owner_of(&self, segid: Segid) -> Result<EnclaveId, XememError> {
+        self.owners.get(&segid).copied().ok_or(XememError::UnknownSegid(segid))
+    }
+
+    /// Discovery: resolve a well-known name to a segid.
+    pub fn search(&self, name: &str) -> Result<Segid, XememError> {
+        self.names.get(name).copied().ok_or_else(|| XememError::UnknownName(name.to_string()))
+    }
+
+    /// Remove a segid registration. Only the owner may remove it.
+    pub fn remove_segid(&mut self, segid: Segid, requester: EnclaveId) -> Result<(), XememError> {
+        match self.owners.get(&segid) {
+            None => Err(XememError::UnknownSegid(segid)),
+            Some(&owner) if owner != requester => Err(XememError::PermissionDenied),
+            Some(_) => {
+                self.owners.remove(&segid);
+                if let Some(name) = self.segid_names.remove(&segid) {
+                    self.names.remove(&name);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of live segid registrations.
+    pub fn live_segids(&self) -> usize {
+        self.owners.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclave_ids_are_sequential_and_unique() {
+        let mut ns = NameServer::new();
+        let a = ns.alloc_enclave_id();
+        let b = ns.alloc_enclave_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn segid_lifecycle() {
+        let mut ns = NameServer::new();
+        let owner = ns.alloc_enclave_id();
+        let other = ns.alloc_enclave_id();
+        let seg = ns.alloc_segid(owner, Some("results")).unwrap();
+        assert_eq!(ns.owner_of(seg).unwrap(), owner);
+        assert_eq!(ns.search("results").unwrap(), seg);
+        // Name collision rejected.
+        assert!(matches!(ns.alloc_segid(owner, Some("results")), Err(XememError::NameTaken(_))));
+        // Only the owner can remove.
+        assert!(matches!(ns.remove_segid(seg, other), Err(XememError::PermissionDenied)));
+        ns.remove_segid(seg, owner).unwrap();
+        assert!(ns.owner_of(seg).is_err());
+        assert!(ns.search("results").is_err());
+        // The name is reusable after removal.
+        let seg2 = ns.alloc_segid(other, Some("results")).unwrap();
+        assert_ne!(seg, seg2);
+    }
+
+    #[test]
+    fn segids_never_repeat() {
+        let mut ns = NameServer::new();
+        let owner = ns.alloc_enclave_id();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let seg = ns.alloc_segid(owner, None).unwrap();
+            assert!(seen.insert(seg), "duplicate segid at iteration {i}");
+            if i % 3 == 0 {
+                ns.remove_segid(seg, owner).unwrap();
+            }
+        }
+        assert_eq!(ns.live_segids(), 1000 - 334);
+    }
+}

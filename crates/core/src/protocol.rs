@@ -1,0 +1,92 @@
+//! Protocol message kinds and the message trace.
+//!
+//! Cross-enclave commands (paper Table 1 plus the routing-support
+//! messages of §3.2) are executed synchronously by the protocol engine in
+//! [`crate::system`]; this module defines their kinds and wire sizes for
+//! cost accounting, and a [`MessageRecord`] trace that tests use to assert
+//! the hierarchical routing behaviour (e.g. that a VM's request really
+//! transits its host enclave on the way to the name server).
+
+use crate::ids::{EnclaveId, Segid};
+use xemem_sim::SimTime;
+
+/// Fixed wire size of a command header (segid, enclave ids, opcode,
+/// status), mirroring a small C struct.
+pub const CMD_HEADER_BYTES: u64 = 64;
+
+/// The kinds of kernel-level cross-enclave messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Broadcast: "who has a path to the name server?" (§3.2 step 1).
+    NameServerQuery,
+    /// Response to a broadcast.
+    NameServerQueryReply,
+    /// Request an enclave ID from the name server (§3.2 step 2).
+    AllocEnclaveId,
+    /// Enclave ID allocation reply, routed back hop by hop (each hop
+    /// learns the new enclave's direction).
+    EnclaveIdReply,
+    /// Allocate a segid (xpmem_make reaching the name server).
+    AllocSegid,
+    /// Segid allocation reply.
+    SegidReply,
+    /// Remove a segid registration (xpmem_remove).
+    RemoveSegid,
+    /// Query a segid's existence/owner (xpmem_get, name lookup).
+    SearchSegid,
+    /// Search reply.
+    SearchReply,
+    /// Attachment request: "send me the PFN list for this segid"
+    /// (xpmem_attach; Fig. 3 step 4/5).
+    GetPfnList,
+    /// The PFN list response (bulk payload; Fig. 3 step 6/7).
+    PfnListReply {
+        /// Number of 4 KiB frames carried (8 bytes each on the wire).
+        pages: u64,
+    },
+    /// Release a grant / notify detach.
+    Release,
+}
+
+impl MessageKind {
+    /// Bytes this message occupies on a channel.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            MessageKind::PfnListReply { pages } => CMD_HEADER_BYTES + pages * 8,
+            _ => CMD_HEADER_BYTES,
+        }
+    }
+}
+
+/// One hop of one message, recorded for tests and tracing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageRecord {
+    /// Sending enclave slot index.
+    pub from_slot: usize,
+    /// Receiving enclave slot index.
+    pub to_slot: usize,
+    /// What was sent.
+    pub kind: MessageKind,
+    /// When the hop began.
+    pub at: SimTime,
+    /// Segment involved, if any.
+    pub segid: Option<Segid>,
+    /// Destination enclave ID the routing decision used, if any.
+    pub routed_to: Option<EnclaveId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(MessageKind::AllocSegid.wire_bytes(), 64);
+        assert_eq!(MessageKind::PfnListReply { pages: 0 }.wire_bytes(), 64);
+        // A 1 GiB region's PFN list: 262,144 × 8 B = 2 MiB + header.
+        assert_eq!(
+            MessageKind::PfnListReply { pages: 262_144 }.wire_bytes(),
+            64 + (2 << 20)
+        );
+    }
+}

@@ -1,0 +1,1127 @@
+//! The multi-enclave system: topology construction, enclave registration,
+//! and the command-routing engine (paper §3.2, §4.2, Fig. 3).
+//!
+//! A [`System`] owns one node's physical memory, its enclaves (native
+//! kernels and Palacios VMs arranged in a tree), the name server, and a
+//! virtual clock. Cross-enclave commands are executed synchronously: each
+//! hop charges channel costs (contending on the core-0 IPI handler where
+//! applicable), the name server charges its processing cost, and the
+//! serving/attaching kernels charge their real per-page mapping work.
+//!
+//! Two API layers exist:
+//!
+//! * The `*_at` methods take an explicit start time and return completion
+//!   times without touching the clock — used by concurrency experiments
+//!   (paper Fig. 6) that interleave many enclaves on one timeline.
+//! * The clock-based XPMEM API in [`crate::api`] wraps them for
+//!   sequential use.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::channel::{Direction, Link};
+use crate::enclave::{EnclaveKind, GuestOs, SegRecord, Slot};
+use crate::error::XememError;
+use crate::ids::{AccessMode, Apid, EnclaveId, EnclaveRef, ProcessRef, Segid};
+use crate::name_server::NameServer;
+use crate::protocol::{MessageKind, MessageRecord};
+use xemem_fwk::Fwk;
+use xemem_kitten::Kitten;
+use xemem_mem::{
+    AttachSemantics, KernelKind, PfnList, PhysicalMemory, Pid, VirtAddr, PAGE_SIZE,
+};
+use xemem_palacios::{MemoryMapKind, Vmm};
+use xemem_pisces::{Core0Handler, IpiChannel, NodeResources};
+use xemem_sim::{Clock, CostModel, SimDuration, SimTime};
+
+/// Timing breakdown of one attachment, for experiment drivers.
+#[derive(Debug, Clone, Copy)]
+pub struct AttachOutcome {
+    /// Base address of the new mapping in the attaching process.
+    pub va: VirtAddr,
+    /// Completion time on the caller's timeline.
+    pub end: SimTime,
+    /// Time routing the request to the owner (channels + forwarding +
+    /// name-server processing).
+    pub route_request: SimDuration,
+    /// Time the owning enclave spent generating the PFN list.
+    pub serve: SimDuration,
+    /// Time routing the PFN-list reply back (bulk payload).
+    pub route_reply: SimDuration,
+    /// Time the attaching enclave spent installing the mapping.
+    pub map: SimDuration,
+}
+
+/// The multi-enclave node.
+pub struct System {
+    pub(crate) cost: CostModel,
+    clock: Clock,
+    phys: Arc<PhysicalMemory>,
+    pub(crate) slots: Vec<Slot>,
+    ns_slot: usize,
+    name_server: NameServer,
+    id_to_slot: HashMap<EnclaveId, usize>,
+    next_apid: u64,
+    trace: Vec<MessageRecord>,
+    trace_enabled: bool,
+    core0: Core0Handler,
+    last_vm_breakdown: Option<xemem_palacios::AttachBreakdown>,
+    /// NUMA zone of each slot's memory partition.
+    zones: Vec<u32>,
+}
+
+impl System {
+    /// The virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The calibrated cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The node's physical memory (for white-box assertions in tests).
+    pub fn phys(&self) -> &Arc<PhysicalMemory> {
+        &self.phys
+    }
+
+    /// The shared core-0 IPI handler (diagnostics).
+    pub fn core0(&self) -> &Core0Handler {
+        &self.core0
+    }
+
+    /// Find an enclave by name.
+    pub fn enclave_by_name(&self, name: &str) -> Option<EnclaveRef> {
+        self.slots.iter().position(|s| s.name == name).map(EnclaveRef)
+    }
+
+    /// The enclave's protocol-level ID.
+    pub fn enclave_id(&self, e: EnclaveRef) -> Option<EnclaveId> {
+        self.slots.get(e.0).and_then(|s| s.id)
+    }
+
+    /// The NUMA zone an enclave's memory lives in.
+    pub fn enclave_zone(&self, e: EnclaveRef) -> Option<u32> {
+        self.zones.get(e.0).copied()
+    }
+
+    /// Number of enclaves.
+    pub fn enclave_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The Palacios-side timing breakdown of the most recent attachment
+    /// that was installed by a VM enclave (Table 2's "(w/o rb-tree
+    /// inserts)" column; `None` until a VM attaches).
+    pub fn last_vm_breakdown(&self) -> Option<xemem_palacios::AttachBreakdown> {
+        self.last_vm_breakdown
+    }
+
+    /// The recorded message trace (enable with
+    /// [`SystemBuilder::with_trace`]).
+    pub fn trace(&self) -> &[MessageRecord] {
+        &self.trace
+    }
+
+    /// Clear the message trace.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Direct access to an enclave's VMM, when it is a VM (ablations and
+    /// white-box tests).
+    pub fn vmm_mut(&mut self, e: EnclaveRef) -> Option<&mut Vmm> {
+        match &mut self.slots.get_mut(e.0)?.kind {
+            EnclaveKind::Vm(vmm) => Some(vmm),
+            EnclaveKind::Native(_) => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Process management and data access (clock-based)
+    // ------------------------------------------------------------------
+
+    /// Spawn a process with `mem_bytes` of private memory in an enclave.
+    pub fn spawn_process(
+        &mut self,
+        e: EnclaveRef,
+        mem_bytes: u64,
+    ) -> Result<ProcessRef, XememError> {
+        let slot = self.slots.get_mut(e.0).ok_or(XememError::BadEnclave(e))?;
+        let spawned = slot.kind.kernel_mut().spawn(mem_bytes)?;
+        self.clock.advance(spawned.cost);
+        Ok(ProcessRef { enclave: e, pid: spawned.value })
+    }
+
+    /// Destroy a process: detach its live attachments, drop its permits,
+    /// withdraw its exported segments from the name server, and free its
+    /// memory.
+    ///
+    /// Remote attachments to this process's exported segments are *not*
+    /// revoked — as in the real implementation, coordinating
+    /// detach-before-exit is the composed application's responsibility
+    /// (the segid becomes unattachable, but already-installed mappings
+    /// keep pointing at the freed frames).
+    pub fn exit_process(&mut self, p: ProcessRef) -> Result<(), XememError> {
+        let slot_idx = p.enclave.0;
+        if slot_idx >= self.slots.len() {
+            return Err(XememError::BadEnclave(p.enclave));
+        }
+        // Tear down attachments (local unmap).
+        let attached: Vec<u64> = self.slots[slot_idx]
+            .attachments
+            .iter()
+            .filter(|((pid, _), _)| *pid == p.pid)
+            .map(|((_, va), _)| *va)
+            .collect();
+        for va in attached {
+            let at = self.clock.now();
+            let end = self.detach_at(p, VirtAddr(va), at)?;
+            self.clock.advance_to(end);
+        }
+        // Drop permits.
+        self.slots[slot_idx].apids.retain(|_, rec| rec.pid != p.pid);
+        // Withdraw exported segments (notifying the name server).
+        let segids: Vec<Segid> = self.slots[slot_idx]
+            .segs
+            .iter()
+            .filter(|(_, rec)| rec.pid == p.pid)
+            .map(|(segid, _)| *segid)
+            .collect();
+        for segid in segids {
+            let at = self.clock.now();
+            let end = self.remove_at(p, segid, at)?;
+            self.clock.advance_to(end);
+        }
+        // Finally, the kernel reclaims the process.
+        let exited = self.slots[slot_idx].kind.kernel_mut().exit(p.pid)?;
+        self.clock.advance(exited.cost);
+        Ok(())
+    }
+
+    /// Allocate a page-aligned buffer in a process (the region an
+    /// application will export).
+    pub fn alloc_buffer(&mut self, p: ProcessRef, len: u64) -> Result<VirtAddr, XememError> {
+        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        let out = slot.kind.kernel_mut().alloc_buffer(p.pid, len)?;
+        self.clock.advance(out.cost);
+        Ok(out.value)
+    }
+
+    /// Bring a buffer fully resident without charging virtual time —
+    /// the state it would be in after the application filled it during a
+    /// compute phase the workload models already account for. Call
+    /// before exporting regions whose contents are notionally written by
+    /// the application (see `MappingKernel::populate`).
+    pub fn prepare_buffer(
+        &mut self,
+        p: ProcessRef,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<(), XememError> {
+        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        slot.kind.kernel_mut().populate(p.pid, va, len)?;
+        Ok(())
+    }
+
+    /// Write process memory.
+    pub fn write(&mut self, p: ProcessRef, va: VirtAddr, data: &[u8]) -> Result<(), XememError> {
+        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        let out = slot.kind.kernel_mut().write(p.pid, va, data)?;
+        self.clock.advance(out.cost);
+        Ok(())
+    }
+
+    /// Read process memory.
+    pub fn read(&mut self, p: ProcessRef, va: VirtAddr, out: &mut [u8]) -> Result<(), XememError> {
+        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        let r = slot.kind.kernel_mut().read(p.pid, va, out)?;
+        self.clock.advance(r.cost);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Routing internals
+    // ------------------------------------------------------------------
+
+    fn link_between(&self, a: usize, b: usize) -> Option<(Link, Direction)> {
+        if self.slots[a].parent == Some(b) {
+            Some((self.slots[a].parent_link.clone()?, Direction::Up))
+        } else if self.slots[b].parent == Some(a) {
+            Some((self.slots[b].parent_link.clone()?, Direction::Down))
+        } else {
+            None
+        }
+    }
+
+    /// The §3.2 forwarding algorithm: from `from`, follow per-enclave
+    /// route maps toward `dest_id`, falling back toward the name server.
+    fn route_path(&self, from: usize, dest_id: EnclaveId) -> Result<Vec<usize>, XememError> {
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut hops = 0;
+        while self.slots[cur].id != Some(dest_id) {
+            let next = match self.slots[cur].routes.get(&dest_id) {
+                Some(&n) => n,
+                None => self.slots[cur].ns_via.ok_or_else(|| {
+                    XememError::Topology(format!(
+                        "enclave {:?} has no route to {dest_id} and hosts the name server",
+                        self.slots[cur].name
+                    ))
+                })?,
+            };
+            path.push(next);
+            cur = next;
+            hops += 1;
+            if hops > 2 * self.slots.len() {
+                return Err(XememError::Topology("routing loop".into()));
+            }
+        }
+        Ok(path)
+    }
+
+    /// Charge the channel and forwarding costs of sending `kind` along
+    /// `path`, starting at `at`. Records the trace.
+    fn charge_hops(
+        &mut self,
+        path: &[usize],
+        kind: MessageKind,
+        segid: Option<Segid>,
+        routed_to: Option<EnclaveId>,
+        mut at: SimTime,
+    ) -> SimTime {
+        let bytes = kind.wire_bytes();
+        for w in 0..path.len().saturating_sub(1) {
+            let (a, b) = (path[w], path[w + 1]);
+            if self.trace_enabled {
+                self.trace.push(MessageRecord { from_slot: a, to_slot: b, kind, at, segid, routed_to });
+            }
+            let (link, dir) = self.link_between(a, b).expect("path hops are tree edges");
+            at = link.send(at, bytes, dir);
+            // Forwarding decision at each intermediate receiver.
+            if w + 2 < path.len() {
+                at += SimDuration::from_nanos(self.cost.route_hop_ns);
+            }
+            // Name-server processing when the request transits it.
+            if b == self.ns_slot && w + 2 <= path.len() && requires_ns_processing(kind) {
+                at += SimDuration::from_nanos(self.cost.name_server_ns);
+            }
+        }
+        at
+    }
+
+    /// Path from a slot to the name server, following `ns_via`.
+    fn path_to_ns(&self, from: usize) -> Vec<usize> {
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != self.ns_slot {
+            let via = self.slots[cur].ns_via.expect("registered enclaves know the NS direction");
+            path.push(via);
+            cur = via;
+        }
+        path
+    }
+
+    // ------------------------------------------------------------------
+    // Timeline (`*_at`) protocol operations
+    // ------------------------------------------------------------------
+
+    /// Export a region (`xpmem_make`): allocate a globally unique segid
+    /// from the name server and register the region locally. Fig. 3
+    /// steps 2–3.
+    pub fn make_at(
+        &mut self,
+        p: ProcessRef,
+        va: VirtAddr,
+        len: u64,
+        name: Option<&str>,
+        at: SimTime,
+    ) -> Result<(Segid, SimTime), XememError> {
+        let slot_idx = p.enclave.0;
+        let my_id =
+            self.slots.get(slot_idx).and_then(|s| s.id).ok_or(XememError::BadEnclave(p.enclave))?;
+        let (segid, mut t) = if slot_idx == self.ns_slot {
+            // Local syscall into the co-resident name server.
+            let segid = self.name_server.alloc_segid(my_id, name)?;
+            (segid, at + SimDuration::from_nanos(self.cost.name_server_ns))
+        } else {
+            let path = self.path_to_ns(slot_idx);
+            let t_req = self.charge_hops(&path, MessageKind::AllocSegid, None, None, at);
+            let segid = self.name_server.alloc_segid(my_id, name)?;
+            let back: Vec<usize> = path.iter().rev().copied().collect();
+            let t_rep = self.charge_hops(&back, MessageKind::SegidReply, Some(segid), None, t_req);
+            (segid, t_rep)
+        };
+        // Local registration bookkeeping.
+        t += SimDuration::from_nanos(300);
+        self.slots[slot_idx].segs.insert(segid, SegRecord { pid: p.pid, va, len });
+        Ok((segid, t))
+    }
+
+    /// Remove an exported region (`xpmem_remove`).
+    pub fn remove_at(
+        &mut self,
+        p: ProcessRef,
+        segid: Segid,
+        at: SimTime,
+    ) -> Result<SimTime, XememError> {
+        let slot_idx = p.enclave.0;
+        let my_id =
+            self.slots.get(slot_idx).and_then(|s| s.id).ok_or(XememError::BadEnclave(p.enclave))?;
+        let rec = self.slots[slot_idx]
+            .segs
+            .get(&segid)
+            .ok_or(XememError::UnknownSegid(segid))?;
+        if rec.pid != p.pid {
+            return Err(XememError::PermissionDenied);
+        }
+        let t = if slot_idx == self.ns_slot {
+            self.name_server.remove_segid(segid, my_id)?;
+            at + SimDuration::from_nanos(self.cost.name_server_ns)
+        } else {
+            let path = self.path_to_ns(slot_idx);
+            let t = self.charge_hops(&path, MessageKind::RemoveSegid, Some(segid), None, at);
+            self.name_server.remove_segid(segid, my_id)?;
+            t
+        };
+        self.slots[slot_idx].segs.remove(&segid);
+        Ok(t)
+    }
+
+    /// Discover a segid by well-known name (`xpmem_search` extension;
+    /// paper §3.1 discoverability).
+    pub fn search_at(
+        &mut self,
+        p: ProcessRef,
+        name: &str,
+        at: SimTime,
+    ) -> Result<(Segid, SimTime), XememError> {
+        let slot_idx = p.enclave.0;
+        if slot_idx >= self.slots.len() {
+            return Err(XememError::BadEnclave(p.enclave));
+        }
+        if slot_idx == self.ns_slot {
+            let segid = self.name_server.search(name)?;
+            return Ok((segid, at + SimDuration::from_nanos(self.cost.name_server_ns)));
+        }
+        let path = self.path_to_ns(slot_idx);
+        let t = self.charge_hops(&path, MessageKind::SearchSegid, None, None, at);
+        let segid = self.name_server.search(name)?;
+        let back: Vec<usize> = path.iter().rev().copied().collect();
+        let t = self.charge_hops(&back, MessageKind::SearchReply, Some(segid), None, t);
+        Ok((segid, t))
+    }
+
+    /// Request access to a segment (`xpmem_get`): validates the segid
+    /// with the name server and returns a permission grant.
+    pub fn get_at(
+        &mut self,
+        p: ProcessRef,
+        segid: Segid,
+        at: SimTime,
+    ) -> Result<(Apid, SimTime), XememError> {
+        self.get_mode_at(p, segid, AccessMode::ReadWrite, at)
+    }
+
+    /// [`Self::get_at`] with an explicit access mode (XPMEM permits may
+    /// be read-only).
+    pub fn get_mode_at(
+        &mut self,
+        p: ProcessRef,
+        segid: Segid,
+        mode: AccessMode,
+        at: SimTime,
+    ) -> Result<(Apid, SimTime), XememError> {
+        let slot_idx = p.enclave.0;
+        if slot_idx >= self.slots.len() {
+            return Err(XememError::BadEnclave(p.enclave));
+        }
+        let (owner, t) = if self.slots[slot_idx].segs.contains_key(&segid) {
+            // Locally owned: no messages needed.
+            let my_id = self.slots[slot_idx].id.expect("registered");
+            (my_id, at + SimDuration::from_nanos(300))
+        } else if slot_idx == self.ns_slot {
+            let owner = self.name_server.owner_of(segid)?;
+            (owner, at + SimDuration::from_nanos(self.cost.name_server_ns))
+        } else {
+            let path = self.path_to_ns(slot_idx);
+            let t = self.charge_hops(&path, MessageKind::SearchSegid, Some(segid), None, at);
+            let owner = self.name_server.owner_of(segid)?;
+            let back: Vec<usize> = path.iter().rev().copied().collect();
+            let t = self.charge_hops(&back, MessageKind::SearchReply, Some(segid), None, t);
+            (owner, t)
+        };
+        self.next_apid += 1;
+        let apid = Apid(self.next_apid);
+        self.slots[slot_idx]
+            .apids
+            .insert(apid, crate::enclave::ApidRecord { segid, pid: p.pid, owner, mode });
+        Ok((apid, t))
+    }
+
+    /// Release a permission grant (`xpmem_release`).
+    pub fn release_at(
+        &mut self,
+        p: ProcessRef,
+        apid: Apid,
+        at: SimTime,
+    ) -> Result<SimTime, XememError> {
+        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        let rec = slot.apids.get(&apid).ok_or(XememError::UnknownApid(apid))?;
+        if rec.pid != p.pid {
+            return Err(XememError::PermissionDenied);
+        }
+        slot.apids.remove(&apid);
+        Ok(at + SimDuration::from_nanos(200))
+    }
+
+    /// Attach to (a window of) a segment (`xpmem_attach`) — the heavy
+    /// path of Fig. 3: route the request to the owner, generate the PFN
+    /// list there, route it back, map it locally.
+    pub fn attach_at(
+        &mut self,
+        p: ProcessRef,
+        apid: Apid,
+        offset: u64,
+        len: u64,
+        at: SimTime,
+    ) -> Result<AttachOutcome, XememError> {
+        let slot_idx = p.enclave.0;
+        let rec = *self
+            .slots
+            .get(slot_idx)
+            .ok_or(XememError::BadEnclave(p.enclave))?
+            .apids
+            .get(&apid)
+            .ok_or(XememError::UnknownApid(apid))?;
+        if rec.pid != p.pid {
+            return Err(XememError::PermissionDenied);
+        }
+        let owner_slot =
+            *self.id_to_slot.get(&rec.owner).ok_or(XememError::UnknownSegid(rec.segid))?;
+
+        // Resolve the window against the owner's registration.
+        let seg = self.slots[owner_slot]
+            .segs
+            .get(&rec.segid)
+            .ok_or(XememError::UnknownSegid(rec.segid))?
+            .clone();
+        if !offset.is_multiple_of(PAGE_SIZE) || len == 0 || offset + len > seg.len {
+            return Err(XememError::BadWindow { offset, len, seg_len: seg.len });
+        }
+        let src_va = VirtAddr(seg.va.0 + offset);
+
+        let prot = match rec.mode {
+            AccessMode::ReadWrite => xemem_mem::PteFlags::rw_user(),
+            AccessMode::ReadOnly => xemem_mem::PteFlags::ro_user(),
+        };
+
+        if owner_slot == slot_idx {
+            return self.attach_local(p, apid, owner_slot, seg.pid, src_va, len, prot, at);
+        }
+
+        // 1. Route the attachment request to the owner (via the name
+        //    server's segid→enclave map — `requires_ns_processing`).
+        let path = self.route_path(slot_idx, rec.owner)?;
+        let t1 = self.charge_hops(
+            &path,
+            MessageKind::GetPfnList,
+            Some(rec.segid),
+            Some(rec.owner),
+            at,
+        );
+        let route_request = t1.duration_since(at);
+
+        // 2. The owner generates the PFN list with its local OS routines.
+        let (list, mut serve) = self.serve_export(owner_slot, seg.pid, src_va, len)?;
+        // Cross-socket attachments touch remote page tables and frames
+        // (the overhead the paper's single-socket pinning avoids, §5.1).
+        let cross_numa = self.zones[owner_slot] != self.zones[slot_idx];
+        if cross_numa {
+            serve = serve.scaled(self.cost.numa_remote_op_factor);
+        }
+
+        // 3. Route the (bulk) reply back.
+        let reply_kind = MessageKind::PfnListReply { pages: list.pages() };
+        let back = reply_trimmed(&self.slots, &path, owner_slot, slot_idx);
+        let t2 = t1 + serve;
+        let t3 = self.charge_hops(&back, reply_kind, Some(rec.segid), None, t2);
+        let route_reply = t3.duration_since(t2);
+
+        // 4. Map locally with the attaching enclave's OS routines.
+        let (va, mut map) = self.install_attachment(slot_idx, p.pid, &list, prot)?;
+        if cross_numa {
+            map = map.scaled(self.cost.numa_remote_op_factor);
+        }
+        let end = t3 + map;
+
+        self.slots[slot_idx]
+            .attachments
+            .insert((p.pid, va.0), crate::enclave::AttachRecord { apid, len });
+        Ok(AttachOutcome { va, end, route_request, serve, route_reply, map })
+    }
+
+    /// Local (single-enclave) attachment: the conventions of the local OS
+    /// apply (paper §4.2) — Linux uses page-faulting semantics, the LWK
+    /// maps eagerly.
+    #[allow(clippy::too_many_arguments)]
+    fn attach_local(
+        &mut self,
+        p: ProcessRef,
+        apid: Apid,
+        slot_idx: usize,
+        src_pid: Pid,
+        src_va: VirtAddr,
+        len: u64,
+        prot: xemem_mem::PteFlags,
+        at: SimTime,
+    ) -> Result<AttachOutcome, XememError> {
+        let kind = &mut self.slots[slot_idx].kind;
+        let kernel = kind.kernel_mut();
+        let (va, serve, map) = match kernel.kind() {
+            KernelKind::Fwk => {
+                // Page-faulting semantics: the PFN lookup happens per
+                // fault, so the walk is not charged up front (its cost is
+                // folded into the per-page fault service). Fig. 8(b).
+                let walked = kernel.export_walk(src_pid, src_va, len)?;
+                let mapped =
+                    kernel.attach_map(p.pid, &walked.value, AttachSemantics::Lazy, prot)?;
+                (mapped.value, SimDuration::ZERO, mapped.cost)
+            }
+            KernelKind::Lwk => {
+                let walked = kernel.export_walk(src_pid, src_va, len)?;
+                let mapped =
+                    kernel.attach_map(p.pid, &walked.value, AttachSemantics::Eager, prot)?;
+                (mapped.value, walked.cost, mapped.cost)
+            }
+        };
+        let end = at + serve + map;
+        self.slots[slot_idx]
+            .attachments
+            .insert((p.pid, va.0), crate::enclave::AttachRecord { apid, len });
+        Ok(AttachOutcome {
+            va,
+            end,
+            route_request: SimDuration::ZERO,
+            serve,
+            route_reply: SimDuration::ZERO,
+            map,
+        })
+    }
+
+    /// Owner-side PFN-list generation.
+    fn serve_export(
+        &mut self,
+        owner_slot: usize,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<(PfnList, SimDuration), XememError> {
+        match &mut self.slots[owner_slot].kind {
+            EnclaveKind::Native(k) => {
+                let walked = k.export_walk(pid, va, len)?;
+                Ok((walked.value, walked.cost))
+            }
+            EnclaveKind::Vm(vmm) => {
+                // Fig. 4(b): guest walks, hypercall, VMM translates
+                // GPA→HPA per page.
+                let walked = vmm.host_walk_guest_region(pid, va, len)?;
+                Ok((walked.value, walked.cost))
+            }
+        }
+    }
+
+    /// Attacher-side mapping installation.
+    fn install_attachment(
+        &mut self,
+        slot_idx: usize,
+        pid: Pid,
+        list: &PfnList,
+        prot: xemem_mem::PteFlags,
+    ) -> Result<(VirtAddr, SimDuration), XememError> {
+        match &mut self.slots[slot_idx].kind {
+            EnclaveKind::Native(k) => {
+                let mapped = k.attach_map(pid, list, AttachSemantics::Eager, prot)?;
+                Ok((mapped.value, mapped.cost))
+            }
+            EnclaveKind::Vm(vmm) => {
+                // Fig. 4(a): hot-plug GPAs, update the memory map, notify
+                // the guest, guest maps.
+                let breakdown = vmm.guest_attach_prot(pid, list, prot)?;
+                self.last_vm_breakdown = Some(breakdown);
+                Ok((breakdown.va, breakdown.total))
+            }
+        }
+    }
+
+    /// Unmap an attachment (`xpmem_detach`). Purely local (paper §4.2).
+    pub fn detach_at(
+        &mut self,
+        p: ProcessRef,
+        va: VirtAddr,
+        at: SimTime,
+    ) -> Result<SimTime, XememError> {
+        let slot_idx = p.enclave.0;
+        let slot = self.slots.get_mut(slot_idx).ok_or(XememError::BadEnclave(p.enclave))?;
+        slot.attachments
+            .remove(&(p.pid, va.0))
+            .ok_or(XememError::Kernel(xemem_mem::KernelError::Mem(
+                xemem_mem::MemError::NoSuchRegion(va),
+            )))?;
+        let cost = match &mut slot.kind {
+            EnclaveKind::Native(k) => k.detach(p.pid, va)?.cost,
+            EnclaveKind::Vm(vmm) => vmm.guest_detach(p.pid, va)?.cost,
+        };
+        Ok(at + cost)
+    }
+
+    // ------------------------------------------------------------------
+    // Registration (paper §3.2)
+    // ------------------------------------------------------------------
+
+    fn register_all(&mut self) -> Result<(), XememError> {
+        // The name-server enclave registers itself first (Fig. 3
+        // "Register Domain" happens for every enclave).
+        let ns_id = self.name_server.alloc_enclave_id();
+        self.slots[self.ns_slot].id = Some(ns_id);
+        self.slots[self.ns_slot].ns_via = None;
+        self.id_to_slot.insert(ns_id, self.ns_slot);
+
+        // Register remaining enclaves in an order where a path to the NS
+        // always exists through already-registered neighbors: BFS out
+        // from the NS slot over the topology tree.
+        let order = self.bfs_from_ns();
+        for idx in order {
+            if idx == self.ns_slot {
+                continue;
+            }
+            self.register_slot(idx)?;
+        }
+        Ok(())
+    }
+
+    fn bfs_from_ns(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.slots.len());
+        let mut queue = std::collections::VecDeque::from([self.ns_slot]);
+        let mut seen = vec![false; self.slots.len()];
+        seen[self.ns_slot] = true;
+        while let Some(cur) = queue.pop_front() {
+            order.push(cur);
+            let mut neighbors = self.slots[cur].children.clone();
+            if let Some(parent) = self.slots[cur].parent {
+                neighbors.push(parent);
+            }
+            for n in neighbors {
+                if !seen[n] {
+                    seen[n] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        order
+    }
+
+    fn register_slot(&mut self, idx: usize) -> Result<(), XememError> {
+        // (1) Discovery: broadcast on each channel; neighbors that know a
+        // path to the name server respond (paper §3.2).
+        let mut neighbors = self.slots[idx].children.clone();
+        if let Some(parent) = self.slots[idx].parent {
+            neighbors.insert(0, parent);
+        }
+        let mut t = self.clock.now();
+        let mut via = None;
+        for n in neighbors {
+            let bytes = MessageKind::NameServerQuery.wire_bytes();
+            let (link, dir) = self
+                .link_between(idx, n)
+                .ok_or_else(|| XememError::Topology("missing link".into()))?;
+            if self.trace_enabled {
+                self.trace.push(MessageRecord {
+                    from_slot: idx,
+                    to_slot: n,
+                    kind: MessageKind::NameServerQuery,
+                    at: t,
+                    segid: None,
+                    routed_to: None,
+                });
+            }
+            t = link.send(t, bytes, dir);
+            let knows = n == self.ns_slot || self.slots[n].ns_via.is_some();
+            if knows && via.is_none() {
+                // The reply travels back over the same link.
+                let (rlink, rdir) = self.link_between(n, idx).expect("symmetric link");
+                t = rlink.send(t, MessageKind::NameServerQueryReply.wire_bytes(), rdir);
+                via = Some(n);
+            }
+        }
+        let via = via.ok_or_else(|| {
+            XememError::Topology(format!("enclave {:?} cannot reach the name server", self.slots[idx].name))
+        })?;
+        self.slots[idx].ns_via = Some(via);
+
+        // (2) Request an enclave ID through the discovered channel; the
+        // request is forwarded hop by hop to the name server.
+        let path = self.path_to_ns(idx);
+        let t = self.charge_hops(&path, MessageKind::AllocEnclaveId, None, None, t);
+        let new_id = self.name_server.alloc_enclave_id();
+
+        // (3) The reply routes back; every hop on the way records which
+        // neighbor leads to the new enclave.
+        let back: Vec<usize> = path.iter().rev().copied().collect();
+        let t = self.charge_hops(&back, MessageKind::EnclaveIdReply, None, Some(new_id), t);
+        for w in back.windows(2) {
+            let (closer_to_ns, toward_new) = (w[0], w[1]);
+            self.slots[closer_to_ns].routes.insert(new_id, toward_new);
+        }
+        self.slots[idx].id = Some(new_id);
+        self.id_to_slot.insert(new_id, idx);
+        self.clock.advance_to(t);
+        Ok(())
+    }
+}
+
+fn requires_ns_processing(kind: MessageKind) -> bool {
+    matches!(
+        kind,
+        MessageKind::AllocEnclaveId
+            | MessageKind::AllocSegid
+            | MessageKind::RemoveSegid
+            | MessageKind::SearchSegid
+            | MessageKind::GetPfnList
+    )
+}
+
+/// Reply path for an attachment: reverse of the request path, but
+/// starting/ending at host anchors for VM endpoints (the VMM-side costs
+/// are charged by `host_walk_guest_region` / `guest_attach`).
+fn reply_trimmed(slots: &[Slot], path: &[usize], owner_slot: usize, attacher_slot: usize) -> Vec<usize> {
+    let mut back: Vec<usize> = path.iter().rev().copied().collect();
+    if slots[owner_slot].kind.is_vm() && back.len() > 1 {
+        back.remove(0);
+    }
+    if slots[attacher_slot].kind.is_vm() && back.len() > 1 {
+        back.pop();
+    }
+    back
+}
+
+// ----------------------------------------------------------------------
+// Builder
+// ----------------------------------------------------------------------
+
+enum NativeKind {
+    LinuxMgmt,
+    Kitten,
+}
+
+enum Spec {
+    Native { name: String, kind: NativeKind, cores: u32, mem: u64, zone: u32 },
+    Vm {
+        name: String,
+        host: String,
+        guest_ram: u64,
+        map_kind: MemoryMapKind,
+        guest: GuestOs,
+        zone: u32,
+    },
+}
+
+/// Builds a [`System`]: declare enclaves, then [`SystemBuilder::build`]
+/// carves hardware partitions, boots kernels and VMs, wires channels and
+/// runs the §3.2 registration protocol.
+pub struct SystemBuilder {
+    cost: CostModel,
+    specs: Vec<Spec>,
+    ns_name: Option<String>,
+    trace: bool,
+    explicit_node: Option<(u32, u64)>,
+    per_channel_ipi: bool,
+    numa_zones: u32,
+    next_zone: u32,
+    hugepage_attach: bool,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemBuilder {
+    /// A builder with the paper-calibrated cost model.
+    pub fn new() -> Self {
+        SystemBuilder {
+            cost: CostModel::default(),
+            specs: Vec::new(),
+            ns_name: None,
+            trace: false,
+            explicit_node: None,
+            per_channel_ipi: false,
+            numa_zones: 1,
+            next_zone: 0,
+            hugepage_attach: false,
+        }
+    }
+
+    /// Ablation beyond the paper: FWK enclaves install eager attachments
+    /// with 2 MiB leaves over contiguous, co-aligned PFN runs instead of
+    /// one PTE per 4 KiB page (see `ablation_hugepages`).
+    pub fn hugepage_attach(mut self) -> Self {
+        self.hugepage_attach = true;
+        self
+    }
+
+    /// Split the node's memory evenly across `zones` NUMA sockets.
+    /// Subsequent enclave declarations choose their zone with
+    /// [`Self::on_zone`]; the default is zone 0 (the paper pins every
+    /// enclave to one socket — §5.1).
+    pub fn numa_zones(mut self, zones: u32) -> Self {
+        assert!(zones >= 1);
+        self.numa_zones = zones;
+        self
+    }
+
+    /// Place the *next* declared enclave's memory on the given zone.
+    pub fn on_zone(mut self, zone: u32) -> Self {
+        self.next_zone = zone;
+        self
+    }
+
+    /// Ablation: give every IPI channel its own interrupt handler instead
+    /// of serializing all channels on core 0 of the management enclave —
+    /// the "more intelligent interrupt handling" the paper leaves as
+    /// future work (§5.3).
+    pub fn per_channel_ipi(mut self) -> Self {
+        self.per_channel_ipi = true;
+        self
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Record every protocol message (for tests / debugging).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Explicit node size (cores, total memory bytes). By default the
+    /// node is sized to fit the declared enclaves plus 25% slack.
+    pub fn with_node(mut self, cores: u32, mem_bytes: u64) -> Self {
+        self.explicit_node = Some((cores, mem_bytes));
+        self
+    }
+
+    /// Place the name server in the named enclave (default: the first
+    /// declared enclave; the paper notes any enclave can host it).
+    pub fn name_server_at(mut self, name: &str) -> Self {
+        self.ns_name = Some(name.to_string());
+        self
+    }
+
+    /// Declare the Linux management enclave (the topology root).
+    pub fn linux_management(mut self, name: &str, cores: u32, mem: u64) -> Self {
+        let zone = std::mem::take(&mut self.next_zone);
+        self.specs.push(Spec::Native {
+            name: name.to_string(),
+            kind: NativeKind::LinuxMgmt,
+            cores,
+            mem,
+            zone,
+        });
+        self
+    }
+
+    /// Declare a Kitten co-kernel enclave (child of the management
+    /// enclave over a Pisces IPI channel).
+    pub fn kitten_cokernel(mut self, name: &str, cores: u32, mem: u64) -> Self {
+        let zone = std::mem::take(&mut self.next_zone);
+        self.specs.push(Spec::Native {
+            name: name.to_string(),
+            kind: NativeKind::Kitten,
+            cores,
+            mem,
+            zone,
+        });
+        self
+    }
+
+    /// Declare a Palacios VM enclave on the named host enclave.
+    pub fn palacios_vm(
+        mut self,
+        name: &str,
+        host: &str,
+        guest_ram: u64,
+        map_kind: MemoryMapKind,
+        guest: GuestOs,
+    ) -> Self {
+        self.specs.push(Spec::Vm {
+            name: name.to_string(),
+            host: host.to_string(),
+            guest_ram,
+            map_kind,
+            guest,
+            zone: std::mem::take(&mut self.next_zone),
+        });
+        self
+    }
+
+    /// Assemble and boot the system.
+    pub fn build(self) -> Result<System, XememError> {
+        if self.specs.is_empty() {
+            return Err(XememError::Topology("no enclaves declared".into()));
+        }
+        if !matches!(self.specs[0], Spec::Native { kind: NativeKind::LinuxMgmt, .. }) {
+            return Err(XememError::Topology(
+                "the first enclave must be the Linux management enclave (topology root)".into(),
+            ));
+        }
+
+        // Size the node.
+        let mut total_mem = 0u64;
+        let mut total_cores = 0u32;
+        for spec in &self.specs {
+            match spec {
+                Spec::Native { cores, mem, .. } => {
+                    total_cores += cores;
+                    total_mem += mem;
+                }
+                Spec::Vm { guest_ram, .. } => {
+                    total_cores += 1;
+                    total_mem += guest_ram;
+                }
+            }
+        }
+        let (node_cores, node_mem) = self
+            .explicit_node
+            .unwrap_or((total_cores.max(1), total_mem + total_mem / 4 + (64 << 20)));
+        if node_cores < total_cores || node_mem < total_mem {
+            return Err(XememError::Topology("node too small for declared enclaves".into()));
+        }
+        let frames = node_mem / PAGE_SIZE;
+        // Split memory evenly across the configured NUMA zones.
+        let per_zone = frames / self.numa_zones as u64;
+        let mut resources = if self.numa_zones == 1 {
+            NodeResources::new(node_cores, frames)
+        } else {
+            NodeResources::with_zones(
+                node_cores,
+                (0..self.numa_zones).map(|z| (z, per_zone)).collect(),
+            )
+        };
+        let phys = PhysicalMemory::new(frames);
+        let core0 = Core0Handler::new();
+
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut zones: Vec<u32> = Vec::new();
+        let mut names: HashMap<String, usize> = HashMap::new();
+        for spec in &self.specs {
+            match spec {
+                Spec::Native { name, kind, cores, mem, zone } => {
+                    if names.contains_key(name) {
+                        return Err(XememError::Topology(format!("duplicate enclave name {name:?}")));
+                    }
+                    let part = resources.carve(*cores, mem / PAGE_SIZE, *zone)?;
+                    let phys_dyn: Arc<dyn xemem_mem::PhysAccess> = phys.clone();
+                    let kernel: Box<dyn xemem_mem::MappingKernel> = match kind {
+                        NativeKind::LinuxMgmt => {
+                            let mut fwk = Fwk::new(self.cost.clone(), phys_dyn, part.alloc);
+                            fwk.set_hugepage_attach(self.hugepage_attach);
+                            Box::new(fwk)
+                        }
+                        NativeKind::Kitten => {
+                            Box::new(Kitten::new(self.cost.clone(), phys_dyn, part.alloc))
+                        }
+                    };
+                    let mut slot = Slot::new(name.clone(), EnclaveKind::Native(kernel));
+                    if !slots.is_empty() {
+                        // Native enclaves hang off the management root via
+                        // Pisces IPI channels.
+                        slot.parent = Some(0);
+                        let handler = if self.per_channel_ipi {
+                            Core0Handler::new()
+                        } else {
+                            core0.clone()
+                        };
+                        slot.parent_link =
+                            Some(Link::Ipi(IpiChannel::new(self.cost.clone(), handler)));
+                    }
+                    let idx = slots.len();
+                    if idx > 0 {
+                        slots[0].children.push(idx);
+                    }
+                    names.insert(name.clone(), idx);
+                    zones.push(*zone);
+                    slots.push(slot);
+                }
+                Spec::Vm { name, host, guest_ram, map_kind, guest, zone } => {
+                    if names.contains_key(name) {
+                        return Err(XememError::Topology(format!("duplicate enclave name {name:?}")));
+                    }
+                    let host_idx = *names.get(host).ok_or_else(|| {
+                        XememError::Topology(format!("VM {name:?} references unknown host {host:?}"))
+                    })?;
+                    if slots[host_idx].kind.is_vm() {
+                        return Err(XememError::Topology("nested VMs are not supported".into()));
+                    }
+                    // The VM's RAM is carved as its own partition (in the
+                    // real system the host enclave donates the block; the
+                    // frames are identical either way).
+                    let mut part = resources.carve(1, guest_ram / PAGE_SIZE, *zone)?;
+                    let phys_dyn: Arc<dyn xemem_mem::PhysAccess> = phys.clone();
+                    let cost = self.cost.clone();
+                    let guest_cost = self.cost.clone();
+                    let guest_os = *guest;
+                    let vmm = Vmm::launch(
+                        cost,
+                        phys_dyn,
+                        &mut part.alloc,
+                        *guest_ram,
+                        *map_kind,
+                        move |gp, ga| match guest_os {
+                            GuestOs::Fwk => Box::new(Fwk::new(guest_cost.clone(), gp, ga)),
+                            GuestOs::Lwk => Box::new(Kitten::new(guest_cost.clone(), gp, ga)),
+                        },
+                    )?;
+                    let mut slot = Slot::new(name.clone(), EnclaveKind::Vm(Box::new(vmm)));
+                    slot.parent = Some(host_idx);
+                    slot.parent_link = Some(Link::Pci { cost: self.cost.clone() });
+                    let idx = slots.len();
+                    slots[host_idx].children.push(idx);
+                    names.insert(name.clone(), idx);
+                    zones.push(*zone);
+                    slots.push(slot);
+                }
+            }
+        }
+
+        let ns_slot = match &self.ns_name {
+            Some(n) => *names
+                .get(n)
+                .ok_or_else(|| XememError::Topology(format!("unknown name-server enclave {n:?}")))?,
+            None => 0,
+        };
+
+        let mut system = System {
+            cost: self.cost,
+            clock: Clock::new(),
+            phys,
+            slots,
+            ns_slot,
+            name_server: NameServer::new(),
+            id_to_slot: HashMap::new(),
+            next_apid: 0,
+            trace: Vec::new(),
+            trace_enabled: self.trace,
+            core0,
+            last_vm_breakdown: None,
+            zones,
+        };
+        system.register_all()?;
+        Ok(system)
+    }
+}

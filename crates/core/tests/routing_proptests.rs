@@ -1,0 +1,106 @@
+//! Property tests of the routing layer: over randomly generated enclave
+//! topologies (random tree shapes, random name-server placement, random
+//! enclave kinds), every pair of enclaves can share memory and the data
+//! round-trips — the paper's "arbitrary enclave topologies" claim (§3.2).
+
+use proptest::prelude::*;
+use xemem::{GuestOs, MemoryMapKind, SystemBuilder, System};
+
+const MIB: u64 = 1 << 20;
+
+/// A compact topology description: for each non-root native enclave, a
+/// kind; plus VMs attached to some host index.
+#[derive(Debug, Clone)]
+struct Topology {
+    /// Number of Kitten co-kernels (children of the root).
+    cokernels: usize,
+    /// VM hosts: index into [root, cokernel...] for each VM.
+    vm_hosts: Vec<usize>,
+    /// Name-server placement: index into the native enclaves.
+    ns_at: usize,
+}
+
+fn topology() -> impl Strategy<Value = Topology> {
+    (1usize..5, prop::collection::vec(0usize..5, 0..3), 0usize..5).prop_map(
+        |(cokernels, vm_hosts_raw, ns_raw)| {
+            let vm_hosts = vm_hosts_raw.iter().map(|&h| h % (cokernels + 1)).collect();
+            Topology { cokernels, vm_hosts, ns_at: ns_raw % (cokernels + 1) }
+        },
+    )
+}
+
+fn build(topo: &Topology) -> System {
+    let mut names = vec!["mgmt".to_string()];
+    let mut b = SystemBuilder::new().linux_management("mgmt", 4, 256 * MIB);
+    for i in 0..topo.cokernels {
+        let name = format!("k{i}");
+        b = b.kitten_cokernel(&name, 1, 96 * MIB);
+        names.push(name);
+    }
+    for (v, &host) in topo.vm_hosts.iter().enumerate() {
+        b = b.palacios_vm(&format!("vm{v}"), &names[host], 64 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk);
+    }
+    b = b.name_server_at(&names[topo.ns_at]);
+    b.build().expect("random topology must boot")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_enclave_pair_shares_memory(topo in topology(), pair_seed in 0usize..64) {
+        let mut sys = build(&topo);
+        let n = sys.enclave_count();
+        // Pick a pair (possibly the same enclave — local sharing).
+        let a = xemem::EnclaveRef(pair_seed % n);
+        let b = xemem::EnclaveRef((pair_seed / n) % n);
+
+        let exporter = sys.spawn_process(a, 16 * MIB).unwrap();
+        let attacher = if a == b {
+            sys.spawn_process(a, 16 * MIB).unwrap()
+        } else {
+            sys.spawn_process(b, 16 * MIB).unwrap()
+        };
+        let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+        let payload: Vec<u8> = (0..256u32).map(|i| (i.wrapping_mul(7) % 251) as u8).collect();
+        sys.write(exporter, buf, &payload).unwrap();
+
+        let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+        let apid = sys.xpmem_get(attacher, segid).unwrap();
+        let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+        let mut got = vec![0u8; payload.len()];
+        sys.read(attacher, va, &mut got).unwrap();
+        prop_assert_eq!(got, payload);
+
+        // Clean teardown in every topology.
+        sys.xpmem_detach(attacher, va).unwrap();
+        sys.xpmem_release(attacher, apid).unwrap();
+        sys.xpmem_remove(exporter, segid).unwrap();
+    }
+
+    #[test]
+    fn registration_ids_unique_over_random_topologies(topo in topology()) {
+        let sys = build(&topo);
+        let mut ids: Vec<_> = (0..sys.enclave_count())
+            .map(|i| sys.enclave_id(xemem::EnclaveRef(i)).expect("registered"))
+            .collect();
+        let total = ids.len();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), total);
+    }
+
+    #[test]
+    fn name_server_discoverability_everywhere(topo in topology(), from in 0usize..8) {
+        // A segment registered with a name is findable from any enclave.
+        let mut sys = build(&topo);
+        let n = sys.enclave_count();
+        let owner = xemem::EnclaveRef(from % n);
+        let searcher = xemem::EnclaveRef((from + 1) % n);
+        let p = sys.spawn_process(owner, 8 * MIB).unwrap();
+        let q = sys.spawn_process(searcher, 8 * MIB).unwrap();
+        let buf = sys.alloc_buffer(p, MIB).unwrap();
+        let segid = sys.xpmem_make(p, buf, MIB, Some("well-known")).unwrap();
+        prop_assert_eq!(sys.xpmem_search(q, "well-known").unwrap(), segid);
+    }
+}

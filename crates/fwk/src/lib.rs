@@ -1,0 +1,579 @@
+//! # xemem-fwk
+//!
+//! A simulator of a Linux-like full-weight kernel (FWK), the "feature-rich
+//! operating environment" side of the paper's enclave taxonomy. The
+//! behaviours that matter to the paper are modelled structurally:
+//!
+//! * **Demand paging** — regions are created unmapped; first touch faults
+//!   a frame in at `fwk_fault_ns`. This is the "page faulting semantics"
+//!   that make recurring single-OS XEMEM attachments expensive in
+//!   Fig. 8(b).
+//! * **`get_user_pages` pinning** — exports fault in and pin the region
+//!   before the page-table walk (paper §4.3, including the footnote that
+//!   pages are usually already present).
+//! * **`vm_mmap` + `remap_pfn_range`** — remote attachments reserve a
+//!   virtual range and eagerly install one PTE per remote frame; this
+//!   per-page cost is half of the Fig. 5 native-attach pipeline.
+//! * **Background noise** — timer ticks and heavy-tailed daemon activity
+//!   (via [`xemem_sim::noise`]), the cause of the Linux-only variance in
+//!   Figs. 8–9.
+//!
+//! Like the Kitten simulator, all operations do real page-table work and
+//! return virtual-time costs per [`xemem_mem::MappingKernel`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use xemem_mem::addr_space::{AddressSpace, RegionKind};
+use xemem_mem::kernel::{AttachSemantics, KernelError, KernelKind, MappingKernel, Pid};
+use xemem_mem::{
+    FrameAllocator, MemError, PfnList, PhysAccess, PteFlags, VirtAddr, PAGE_SIZE,
+};
+use xemem_sim::noise::CompositeNoise;
+use xemem_sim::{CostModel, Costed, SimDuration, SimRng};
+
+/// What backs a VMA's pages when they fault in.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Anonymous memory: fault allocates a fresh frame.
+    Anon,
+    /// A lazily attached remote PFN list: fault maps the corresponding
+    /// remote frame (single-OS XEMEM attachment semantics).
+    Remote(PfnList),
+}
+
+#[derive(Debug, Clone)]
+struct Vma {
+    start: VirtAddr,
+    len: u64,
+    backing: Backing,
+    /// Protection for pages faulted into this VMA.
+    prot: PteFlags,
+}
+
+struct Proc {
+    asp: AddressSpace,
+    vmas: HashMap<u64, Vma>,
+    /// Anonymous frames owned (freed on exit).
+    owned: Vec<xemem_mem::Pfn>,
+}
+
+/// The Linux-like full-weight kernel for one enclave.
+pub struct Fwk {
+    cost: CostModel,
+    phys: Arc<dyn PhysAccess>,
+    alloc: FrameAllocator,
+    procs: HashMap<Pid, Proc>,
+    next_pid: u32,
+    /// Counters for tests and reporting.
+    faults_served: u64,
+    /// Future-work optimization (not in the paper's implementation): map
+    /// eager attachments with 2 MiB leaves wherever the PFN list is
+    /// contiguous and co-aligned, collapsing the dominant per-page
+    /// `remap_pfn_range` cost. Exercised by `ablation_hugepages`.
+    hugepage_attach: bool,
+}
+
+impl Fwk {
+    /// Boot an FWK instance over the given physical view and frame range.
+    pub fn new(cost: CostModel, phys: Arc<dyn PhysAccess>, alloc: FrameAllocator) -> Self {
+        Fwk {
+            cost,
+            phys,
+            alloc,
+            procs: HashMap::new(),
+            next_pid: 1,
+            faults_served: 0,
+            hugepage_attach: false,
+        }
+    }
+
+    /// Enable/disable huge-page attachment mapping (see the field docs).
+    pub fn set_hugepage_attach(&mut self, on: bool) {
+        self.hugepage_attach = on;
+    }
+
+    /// The FWK noise profile (timer ticks + daemons + hardware + SMIs).
+    pub fn noise(rng: &mut SimRng) -> CompositeNoise {
+        CompositeNoise::fwk(rng)
+    }
+
+    /// Total demand-paging faults served (diagnostic).
+    pub fn faults_served(&self) -> u64 {
+        self.faults_served
+    }
+
+    /// Frames still free in this enclave's partition.
+    pub fn free_frames(&self) -> u64 {
+        self.alloc.free_frames()
+    }
+
+    /// Number of live processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    fn proc_mut(&mut self, pid: Pid) -> Result<&mut Proc, KernelError> {
+        self.procs.get_mut(&pid).ok_or(KernelError::NoSuchProcess(pid))
+    }
+
+    /// Fault in every non-resident page of `[va, va+len)` in `pid`.
+    /// Returns the number of pages newly faulted and the virtual cost.
+    fn populate(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<Costed<u64>, KernelError> {
+        let fault_ns = self.cost.fwk_fault_ns;
+        let alloc_ns = self.cost.frame_alloc_ns;
+        // Two-phase to satisfy the borrow checker: find the holes, then
+        // fill them.
+        let mut holes: Vec<VirtAddr> = Vec::new();
+        {
+            let proc = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            let first = va.page_base();
+            let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
+            for i in 0..pages {
+                let page = first + i * PAGE_SIZE;
+                if proc.asp.page_table().translate(page).is_none() {
+                    holes.push(page);
+                }
+            }
+        }
+        let mut faulted = 0u64;
+        for page in holes {
+            // Find the VMA backing this page.
+            let (backing, vma_start, prot) = {
+                let proc = self.procs.get(&pid).unwrap();
+                let vma = proc
+                    .vmas
+                    .values()
+                    .find(|v| page >= v.start && page < v.start + v.len)
+                    .ok_or(MemError::Fault(page))?;
+                (vma.backing.clone(), vma.start, vma.prot)
+            };
+            let pfn = match backing {
+                Backing::Anon => {
+                    let pfn = self.alloc.alloc()?;
+                    self.procs.get_mut(&pid).unwrap().owned.push(pfn);
+                    pfn
+                }
+                Backing::Remote(list) => {
+                    let idx = (page.0 - vma_start.0) / PAGE_SIZE;
+                    list.page(idx).ok_or(MemError::Fault(page))?
+                }
+            };
+            let proc = self.procs.get_mut(&pid).unwrap();
+            proc.asp
+                .page_table_mut()
+                .map(page, pfn, xemem_mem::PageSize::Size4K, prot)?;
+            faulted += 1;
+        }
+        self.faults_served += faulted;
+        let cost = SimDuration::from_nanos(fault_ns + alloc_ns).times(faulted);
+        Ok(Costed::new(faulted, cost))
+    }
+
+    fn create_vma(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        kind: RegionKind,
+        backing: Backing,
+        name: &str,
+        prot: PteFlags,
+    ) -> Result<VirtAddr, KernelError> {
+        let proc = self.proc_mut(pid)?;
+        let va = proc.asp.reserve_free(len, kind, name)?;
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        proc.vmas.insert(va.0, Vma { start: va, len, backing, prot });
+        Ok(va)
+    }
+}
+
+impl MappingKernel for Fwk {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Fwk
+    }
+
+    fn spawn(&mut self, mem_bytes: u64) -> Result<Costed<Pid>, KernelError> {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            Proc { asp: AddressSpace::new(), vmas: HashMap::new(), owned: Vec::new() },
+        );
+        // Regions exist immediately; pages fault in on demand.
+        self.create_vma(pid, mem_bytes.max(PAGE_SIZE), RegionKind::Heap, Backing::Anon, "heap", PteFlags::rw_user())?;
+        self.create_vma(pid, 8 << 20, RegionKind::Stack, Backing::Anon, "stack", PteFlags::rw_user())?;
+        Ok(Costed::new(pid, SimDuration::from_micros(60)))
+    }
+
+    fn exit(&mut self, pid: Pid) -> Result<Costed<()>, KernelError> {
+        let proc = self.procs.remove(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        for pfn in proc.owned {
+            self.alloc.free(pfn)?;
+        }
+        Ok(Costed::new((), SimDuration::from_micros(40)))
+    }
+
+    fn alloc_buffer(&mut self, pid: Pid, len: u64) -> Result<Costed<VirtAddr>, KernelError> {
+        let va = self.create_vma(pid, len, RegionKind::AnonMmap, Backing::Anon, "buffer", PteFlags::rw_user())?;
+        Ok(Costed::new(va, SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)))
+    }
+
+    fn populate(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<Costed<u64>, KernelError> {
+        Fwk::populate(self, pid, va, len)
+    }
+
+    fn export_walk(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<Costed<PfnList>, KernelError> {
+        // get_user_pages: fault in whatever is missing (usually nothing —
+        // see the paper's footnote) and pin, then walk.
+        let populate = self.populate(pid, va, len)?;
+        let proc = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        let (list, stats) = proc.asp.page_table().walk_range(va, len)?;
+        let cost = populate.cost
+            + SimDuration::from_nanos(self.cost.fwk_pin_page_ns + self.cost.walk_pte_ns)
+                .times(stats.pages);
+        Ok(Costed::new(list, cost))
+    }
+
+    fn attach_map(
+        &mut self,
+        pid: Pid,
+        pfns: &PfnList,
+        semantics: AttachSemantics,
+        prot: PteFlags,
+    ) -> Result<Costed<VirtAddr>, KernelError> {
+        let len = pfns.pages() * PAGE_SIZE;
+        match semantics {
+            AttachSemantics::Eager if self.hugepage_attach => {
+                // Future-work path: 2 MiB-aligned reservation, huge-page
+                // leaves over co-aligned contiguous runs, 4 KiB fill-in
+                // elsewhere. One `remap` charge per *leaf* written.
+                let two_m = xemem_mem::PageSize::Size2M;
+                let proc = self.proc_mut(pid)?;
+                let va = proc.asp.reserve_free_aligned(
+                    len,
+                    two_m.bytes(),
+                    RegionKind::XememAttach,
+                    "xemem-huge",
+                )?;
+                proc.vmas.insert(
+                    va.0,
+                    Vma { start: va, len, backing: Backing::Remote(pfns.clone()), prot },
+                );
+                let mut written = 0u64;
+                let mut page_idx = 0u64;
+                for run in pfns.runs() {
+                    let mut off = 0u64;
+                    while off < run.len {
+                        let cur_va = va + (page_idx + off) * PAGE_SIZE;
+                        let frame = run.start.offset(off);
+                        let frames_left = run.len - off;
+                        if cur_va.is_aligned(two_m)
+                            && frame.0 % two_m.frames() == 0
+                            && frames_left >= two_m.frames()
+                        {
+                            proc.asp.page_table_mut().map(cur_va, frame, two_m, prot)?;
+                            off += two_m.frames();
+                        } else {
+                            proc.asp
+                                .page_table_mut()
+                                .map(cur_va, frame, xemem_mem::PageSize::Size4K, prot)?;
+                            off += 1;
+                        }
+                        written += 1;
+                    }
+                    page_idx += run.len;
+                }
+                let cost = SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)
+                    + SimDuration::from_nanos(self.cost.fwk_remap_page_ns).times(written);
+                Ok(Costed::new(va, cost))
+            }
+            AttachSemantics::Eager => {
+                // vm_mmap + remap_pfn_range: every PTE installed now.
+                let va = self.create_vma(
+                    pid,
+                    len,
+                    RegionKind::XememAttach,
+                    Backing::Remote(pfns.clone()),
+                    "xemem",
+                    prot,
+                )?;
+                let proc = self.proc_mut(pid)?;
+                let written =
+                    proc.asp.page_table_mut().map_pages(va, pfns.iter_pages(), prot)?;
+                let cost = SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)
+                    + SimDuration::from_nanos(self.cost.fwk_remap_page_ns).times(written);
+                Ok(Costed::new(va, cost))
+            }
+            AttachSemantics::Lazy => {
+                // Single-OS XEMEM attachment: reserve only; pages fault in
+                // on first touch (the Fig. 8(b) overhead).
+                let va = self.create_vma(
+                    pid,
+                    len,
+                    RegionKind::XememAttach,
+                    Backing::Remote(pfns.clone()),
+                    "xemem-lazy",
+                    prot,
+                )?;
+                Ok(Costed::new(va, SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)))
+            }
+        }
+    }
+
+    fn detach(&mut self, pid: Pid, va: VirtAddr) -> Result<Costed<PfnList>, KernelError> {
+        let unmap_ns = self.cost.fwk_remap_page_ns / 2;
+        let proc = self.proc_mut(pid)?;
+        let region = proc
+            .asp
+            .region_containing(va)
+            .filter(|r| r.kind == RegionKind::XememAttach)
+            .ok_or(MemError::NoSuchRegion(va))?;
+        let (start, len) = (region.start, region.len);
+        let vma = proc.vmas.remove(&start.0).ok_or(MemError::NoSuchRegion(start))?;
+        // Unmap whatever is resident (everything for eager, the touched
+        // subset for lazy).
+        let mut cleared = 0u64;
+        for i in 0..len / PAGE_SIZE {
+            let page = start + i * PAGE_SIZE;
+            if proc.asp.page_table().translate(page).is_some() {
+                proc.asp.page_table_mut().unmap(page)?;
+                cleared += 1;
+            }
+        }
+        proc.asp.remove_region(start)?;
+        let list = match vma.backing {
+            Backing::Remote(list) => list,
+            Backing::Anon => PfnList::new(),
+        };
+        Ok(Costed::new(list, SimDuration::from_nanos(unmap_ns).times(cleared)))
+    }
+
+    fn write(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Costed<()>, KernelError> {
+        let populate = self.populate(pid, va, data.len() as u64)?;
+        let proc = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        proc.asp.write_bytes(&*self.phys, va, data)?;
+        Ok(Costed::new((), populate.cost + self.cost.dram_stream(data.len() as u64)))
+    }
+
+    fn read(&mut self, pid: Pid, va: VirtAddr, out: &mut [u8]) -> Result<Costed<()>, KernelError> {
+        let populate = self.populate(pid, va, out.len() as u64)?;
+        let proc = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        proc.asp.read_bytes(&*self.phys, va, out)?;
+        Ok(Costed::new((), populate.cost + self.cost.dram_stream(out.len() as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xemem_mem::{Pfn, PhysicalMemory};
+
+    fn boot(frames: u64) -> (Fwk, Arc<PhysicalMemory>) {
+        let phys = PhysicalMemory::new(frames);
+        let alloc = FrameAllocator::new(Pfn(0), frames);
+        let f = Fwk::new(CostModel::default(), phys.clone(), alloc);
+        (f, phys)
+    }
+
+    #[test]
+    fn spawn_creates_unmapped_regions() {
+        let (mut f, _) = boot(1 << 12);
+        let before = f.free_frames();
+        let _pid = f.spawn(4 << 20).unwrap().value;
+        // Demand paging: nothing allocated yet.
+        assert_eq!(f.free_frames(), before);
+    }
+
+    #[test]
+    fn first_touch_faults_pages_in() {
+        let (mut f, _) = boot(1 << 12);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        let va = f.alloc_buffer(pid, 8192).unwrap().value;
+        assert_eq!(f.faults_served(), 0);
+        let w = f.write(pid, va, &[7u8; 8192]).unwrap();
+        assert_eq!(f.faults_served(), 2);
+        // Second touch does not fault again and is cheaper.
+        let w2 = f.write(pid, va, &[8u8; 8192]).unwrap();
+        assert_eq!(f.faults_served(), 2);
+        assert!(w2.cost < w.cost);
+    }
+
+    #[test]
+    fn export_walk_pins_and_walks() {
+        let (mut f, _) = boot(1 << 12);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        let va = f.alloc_buffer(pid, 16 * 4096).unwrap().value;
+        // Untouched region: get_user_pages faults everything in.
+        let walked = f.export_walk(pid, va, 16 * 4096).unwrap();
+        assert_eq!(walked.value.pages(), 16);
+        assert_eq!(f.faults_served(), 16);
+        // A second export of the same range is fault-free and cheaper.
+        let walked2 = f.export_walk(pid, va, 16 * 4096).unwrap();
+        assert!(walked2.cost < walked.cost);
+    }
+
+    #[test]
+    fn eager_attach_installs_all_ptes() {
+        let (mut f, phys) = boot(1 << 12);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        let remote = PfnList::from_pages((3000..3008).map(Pfn));
+        phys.write(Pfn(3007).base(), b"tail").unwrap();
+        let attached = f.attach_map(pid, &remote, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        // Reading must not fault: PTEs are present.
+        let before = f.faults_served();
+        let mut buf = [0u8; 4];
+        f.read(pid, attached.value + 7 * 4096, &mut buf).unwrap();
+        assert_eq!(&buf, b"tail");
+        assert_eq!(f.faults_served(), before);
+        // Per-page cost near fwk_remap_page_ns.
+        let per_page = (attached.cost.as_nanos() - 2500) / 8;
+        assert!((150..350).contains(&per_page), "per-page {per_page} ns");
+    }
+
+    #[test]
+    fn lazy_attach_faults_on_touch() {
+        let (mut f, phys) = boot(1 << 12);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        let remote = PfnList::from_pages((2000..2004).map(Pfn));
+        phys.write(Pfn(2002).base(), b"lazy").unwrap();
+        let attached = f.attach_map(pid, &remote, AttachSemantics::Lazy, PteFlags::rw_user()).unwrap();
+        // Setup is O(1).
+        assert!(attached.cost < SimDuration::from_micros(10));
+        let before = f.faults_served();
+        let mut buf = [0u8; 4];
+        f.read(pid, attached.value + 2 * 4096, &mut buf).unwrap();
+        assert_eq!(&buf, b"lazy");
+        assert_eq!(f.faults_served(), before + 1, "exactly the touched page faults");
+    }
+
+    #[test]
+    fn detach_clears_only_resident_pages() {
+        let (mut f, _) = boot(1 << 12);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        let remote = PfnList::from_pages((2000..2008).map(Pfn));
+        let va = f.attach_map(pid, &remote, AttachSemantics::Lazy, PteFlags::rw_user()).unwrap().value;
+        // Touch two pages only.
+        f.write(pid, va, &[1u8; 4096]).unwrap();
+        f.write(pid, va + 4 * 4096, &[1u8; 1]).unwrap();
+        let detached = f.detach(pid, va).unwrap();
+        assert_eq!(detached.value, remote);
+        let mut buf = [0u8; 1];
+        assert!(f.read(pid, va, &mut buf).is_err(), "detached range must fault");
+    }
+
+    #[test]
+    fn frame_exhaustion_surfaces_through_faults() {
+        let (mut f, _) = boot(4);
+        let pid = f.spawn(64 * 4096).unwrap().value;
+        let va = f.alloc_buffer(pid, 32 * 4096).unwrap().value;
+        let err = f.write(pid, va, &vec![1u8; 32 * 4096]).unwrap_err();
+        assert!(matches!(err, KernelError::Mem(MemError::OutOfFrames { .. })));
+    }
+
+    #[test]
+    fn exit_frees_anonymous_frames() {
+        let (mut f, _) = boot(1 << 10);
+        let before = f.free_frames();
+        let pid = f.spawn(1 << 20).unwrap().value;
+        let va = f.alloc_buffer(pid, 16 * 4096).unwrap().value;
+        f.write(pid, va, &[1u8; 16 * 4096]).unwrap();
+        assert!(f.free_frames() < before);
+        f.exit(pid).unwrap();
+        assert_eq!(f.free_frames(), before);
+    }
+
+    #[test]
+    fn data_round_trips_between_processes_via_shared_frames() {
+        // Two FWK processes sharing frames through an eager attachment —
+        // the local XEMEM path.
+        let (mut f, _) = boot(1 << 12);
+        let exporter = f.spawn(1 << 20).unwrap().value;
+        let attacher = f.spawn(1 << 20).unwrap().value;
+        let buf = f.alloc_buffer(exporter, 8192).unwrap().value;
+        f.write(exporter, buf, b"cross-process payload").unwrap();
+        let list = f.export_walk(exporter, buf, 8192).unwrap().value;
+        let va = f.attach_map(attacher, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap().value;
+        let mut got = [0u8; 21];
+        f.read(attacher, va, &mut got).unwrap();
+        assert_eq!(&got, b"cross-process payload");
+        // Writes flow back.
+        f.write(attacher, va, b"REPLY").unwrap();
+        let mut back = [0u8; 5];
+        f.read(exporter, buf, &mut back).unwrap();
+        assert_eq!(&back, b"REPLY");
+    }
+}
+
+#[cfg(test)]
+mod hugepage_tests {
+    use super::*;
+    use xemem_mem::{Pfn, PhysicalMemory};
+
+    fn boot(frames: u64) -> (Fwk, Arc<PhysicalMemory>) {
+        let phys = PhysicalMemory::new(frames);
+        let alloc = FrameAllocator::new(Pfn(0), frames);
+        let f = Fwk::new(CostModel::default(), phys.clone(), alloc);
+        (f, phys)
+    }
+
+    #[test]
+    fn hugepage_attach_collapses_leaf_count_and_cost() {
+        let (mut f, phys) = boot(4096);
+        f.set_hugepage_attach(true);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        // A 2 MiB-aligned contiguous run of 1024 frames (4 MiB).
+        let mut list = PfnList::new();
+        list.push_run(Pfn(1024), 1024);
+        phys.write(Pfn(1024).base(), b"huge").unwrap();
+        let huge = f.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        // Two 2 MiB leaves instead of 1024 PTEs ⇒ ~500x cheaper map phase.
+        let per_4k_equiv = huge.cost.as_nanos() / 1024;
+        assert!(per_4k_equiv < 10, "amortized {per_4k_equiv} ns/page");
+        // Data still reads correctly through the huge mapping.
+        let mut got = [0u8; 4];
+        f.read(pid, huge.value, &mut got).unwrap();
+        assert_eq!(&got, b"huge");
+        // Detach clears huge leaves too.
+        f.detach(pid, huge.value).unwrap();
+        let mut b = [0u8; 1];
+        assert!(f.read(pid, huge.value, &mut b).is_err());
+    }
+
+    #[test]
+    fn hugepage_attach_falls_back_on_scattered_lists() {
+        let (mut f, _) = boot(4096);
+        f.set_hugepage_attach(true);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        // Scattered frames: no co-alignment, so every leaf is 4 KiB.
+        let list = PfnList::from_pages((0..64).map(|i| Pfn(100 + i * 2)));
+        let out = f.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        let per_page = (out.cost.as_nanos() - 2500) / 64;
+        assert!((150..350).contains(&per_page), "per-page {per_page} ns");
+        // All frames map in order.
+        let (walked, _) = {
+            let proc = f.procs.get(&pid).unwrap();
+            proc.asp.page_table().walk_range(out.value, 64 * 4096).unwrap()
+        };
+        assert_eq!(walked, list);
+    }
+
+    #[test]
+    fn hugepage_attach_handles_partial_runs() {
+        let (mut f, phys) = boot(8192);
+        f.set_hugepage_attach(true);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        // 512-aligned run of 700 frames: one 2 MiB leaf + 188 small pages.
+        let mut list = PfnList::new();
+        list.push_run(Pfn(512), 700);
+        phys.write(Pfn(512 + 699).base() + 4090, b"END").unwrap();
+        let out = f.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        let mut got = [0u8; 3];
+        f.read(pid, out.value + (700 * 4096 - 6), &mut got).unwrap();
+        assert_eq!(&got, b"END");
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-enclave physical frame allocation.
+//!
+//! Pisces hands each enclave a disjoint frame range; the enclave's kernel
+//! allocates from its range with a [`FrameAllocator`]. The allocator is a
+//! first-fit bitmap allocator with an optional *scatter* policy that
+//! deliberately fragments allocations — the paper notes that host frames
+//! mapped through XEMEM "are not guaranteed to be contiguous", which is
+//! what makes the Palacios memory map grow one red-black-tree entry per
+//! page; the scatter policy lets tests and benches reproduce that regime on
+//! demand.
+
+use crate::error::MemError;
+use crate::types::Pfn;
+
+/// Allocation placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// First-fit: allocations tend to be contiguous runs.
+    #[default]
+    FirstFit,
+    /// Stride-scatter: successive frames are deliberately non-adjacent,
+    /// modelling a long-running kernel's fragmented free pool.
+    Scatter,
+}
+
+/// A bitmap frame allocator over a contiguous frame range.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    base: Pfn,
+    frames: u64,
+    /// One bit per frame; `true` = allocated.
+    bitmap: Vec<u64>,
+    free: u64,
+    policy: Placement,
+    /// Rotating cursor: next-fit start position (also drives scatter
+    /// placement). Keeps single-frame allocation O(1) amortized instead
+    /// of rescanning the bitmap from zero (first-fit) once the front of
+    /// the range fills up.
+    cursor: u64,
+}
+
+impl FrameAllocator {
+    /// An allocator managing `frames` frames starting at `base`.
+    pub fn new(base: Pfn, frames: u64) -> Self {
+        let words = frames.div_ceil(64) as usize;
+        FrameAllocator {
+            base,
+            frames,
+            bitmap: vec![0; words],
+            free: frames,
+            policy: Placement::FirstFit,
+            cursor: 0,
+        }
+    }
+
+    /// Same, with an explicit placement policy.
+    pub fn with_policy(base: Pfn, frames: u64, policy: Placement) -> Self {
+        let mut a = Self::new(base, frames);
+        a.policy = policy;
+        a
+    }
+
+    /// First frame managed.
+    pub fn base(&self) -> Pfn {
+        self.base
+    }
+
+    /// Total frames managed.
+    pub fn total(&self) -> u64 {
+        self.frames
+    }
+
+    /// Frames currently free.
+    pub fn free_frames(&self) -> u64 {
+        self.free
+    }
+
+    #[inline]
+    fn is_set(&self, idx: u64) -> bool {
+        self.bitmap[(idx / 64) as usize] & (1 << (idx % 64)) != 0
+    }
+
+    #[inline]
+    fn set(&mut self, idx: u64) {
+        self.bitmap[(idx / 64) as usize] |= 1 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, idx: u64) {
+        self.bitmap[(idx / 64) as usize] &= !(1 << (idx % 64));
+    }
+
+    /// Allocate a single frame.
+    pub fn alloc(&mut self) -> Result<Pfn, MemError> {
+        if self.free == 0 {
+            return Err(MemError::OutOfFrames { requested: 1, available: 0 });
+        }
+        let start = match self.policy {
+            Placement::FirstFit => self.cursor,
+            Placement::Scatter => {
+                // Jump the cursor by a large odd stride co-prime with most
+                // range sizes so consecutive allocations land far apart.
+                self.cursor = (self.cursor + 2_654_435_761) % self.frames;
+                self.cursor
+            }
+        };
+        for probe in 0..self.frames {
+            let idx = (start + probe) % self.frames;
+            if !self.is_set(idx) {
+                self.set(idx);
+                self.free -= 1;
+                if self.policy == Placement::FirstFit {
+                    self.cursor = (idx + 1) % self.frames;
+                }
+                return Ok(self.base.offset(idx));
+            }
+        }
+        Err(MemError::OutOfFrames { requested: 1, available: 0 })
+    }
+
+    /// Allocate `n` frames, not necessarily contiguous, in allocation
+    /// order.
+    pub fn alloc_pages(&mut self, n: u64) -> Result<Vec<Pfn>, MemError> {
+        if self.free < n {
+            return Err(MemError::OutOfFrames { requested: n, available: self.free });
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(self.alloc().expect("free count said frames were available"));
+        }
+        Ok(out)
+    }
+
+    /// Allocate `n` *contiguous* frames (first-fit over runs). Used for
+    /// Palacios guest memory blocks, which the paper notes are large
+    /// contiguous regions.
+    pub fn alloc_contiguous(&mut self, n: u64) -> Result<Pfn, MemError> {
+        if n == 0 {
+            return Err(MemError::OutOfFrames { requested: 0, available: self.free });
+        }
+        if self.free < n {
+            return Err(MemError::OutOfFrames { requested: n, available: self.free });
+        }
+        let mut run_start = 0u64;
+        let mut run_len = 0u64;
+        for idx in 0..self.frames {
+            if self.is_set(idx) {
+                run_len = 0;
+                continue;
+            }
+            if run_len == 0 {
+                run_start = idx;
+            }
+            run_len += 1;
+            if run_len == n {
+                for i in run_start..run_start + n {
+                    self.set(i);
+                }
+                self.free -= n;
+                return Ok(self.base.offset(run_start));
+            }
+        }
+        Err(MemError::OutOfFrames { requested: n, available: self.free })
+    }
+
+    /// Free a previously allocated frame.
+    pub fn free(&mut self, pfn: Pfn) -> Result<(), MemError> {
+        let idx = pfn.0.checked_sub(self.base.0).ok_or(MemError::BadFree(pfn))?;
+        if idx >= self.frames || !self.is_set(idx) {
+            return Err(MemError::BadFree(pfn));
+        }
+        self.clear(idx);
+        self.free += 1;
+        if self.policy == Placement::FirstFit && idx < self.cursor {
+            self.cursor = idx;
+        }
+        Ok(())
+    }
+
+    /// Free a set of frames.
+    pub fn free_pages(&mut self, pfns: &[Pfn]) -> Result<(), MemError> {
+        for &p in pfns {
+            self.free(p)?;
+        }
+        Ok(())
+    }
+
+    /// True when the frame is currently allocated by this allocator.
+    pub fn is_allocated(&self, pfn: Pfn) -> bool {
+        pfn.0
+            .checked_sub(self.base.0)
+            .map(|idx| idx < self.frames && self.is_set(idx))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_allocates_contiguously() {
+        let mut a = FrameAllocator::new(Pfn(100), 32);
+        let pages = a.alloc_pages(4).unwrap();
+        assert_eq!(pages, vec![Pfn(100), Pfn(101), Pfn(102), Pfn(103)]);
+        assert_eq!(a.free_frames(), 28);
+    }
+
+    #[test]
+    fn scatter_allocates_non_adjacent() {
+        let mut a = FrameAllocator::with_policy(Pfn(0), 1024, Placement::Scatter);
+        let pages = a.alloc_pages(8).unwrap();
+        let adjacent = pages.windows(2).filter(|w| w[1].0 == w[0].0 + 1).count();
+        assert!(adjacent < 2, "scatter produced contiguous run: {pages:?}");
+    }
+
+    #[test]
+    fn contiguous_skips_holes() {
+        let mut a = FrameAllocator::new(Pfn(0), 16);
+        let first = a.alloc_pages(3).unwrap(); // frames 0,1,2
+        a.free(first[1]).unwrap(); // hole at 1
+        let run = a.alloc_contiguous(4).unwrap();
+        assert_eq!(run, Pfn(3), "run must start after the fragmented prefix");
+        assert!(a.is_allocated(Pfn(6)));
+        assert!(!a.is_allocated(Pfn(1)));
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut a = FrameAllocator::new(Pfn(0), 4);
+        a.alloc_pages(4).unwrap();
+        assert!(matches!(a.alloc(), Err(MemError::OutOfFrames { .. })));
+        assert!(matches!(a.alloc_pages(1), Err(MemError::OutOfFrames { .. })));
+        assert!(matches!(
+            a.alloc_contiguous(1),
+            Err(MemError::OutOfFrames { .. })
+        ));
+    }
+
+    #[test]
+    fn double_free_and_foreign_free_rejected() {
+        let mut a = FrameAllocator::new(Pfn(10), 4);
+        let p = a.alloc().unwrap();
+        a.free(p).unwrap();
+        assert_eq!(a.free(p), Err(MemError::BadFree(p)));
+        assert_eq!(a.free(Pfn(9)), Err(MemError::BadFree(Pfn(9))));
+        assert_eq!(a.free(Pfn(14)), Err(MemError::BadFree(Pfn(14))));
+    }
+
+    #[test]
+    fn free_then_realloc_reuses_frames() {
+        let mut a = FrameAllocator::new(Pfn(0), 4);
+        let pages = a.alloc_pages(4).unwrap();
+        a.free_pages(&pages).unwrap();
+        assert_eq!(a.free_frames(), 4);
+        let again = a.alloc_pages(4).unwrap();
+        assert_eq!(again.len(), 4);
+    }
+
+    #[test]
+    fn contiguous_run_crossing_bitmap_words() {
+        let mut a = FrameAllocator::new(Pfn(0), 200);
+        // Occupy frames 0..60, leaving a run crossing the 64-bit word edge.
+        a.alloc_pages(60).unwrap();
+        let run = a.alloc_contiguous(10).unwrap();
+        assert_eq!(run, Pfn(60));
+        for i in 60..70 {
+            assert!(a.is_allocated(Pfn(i)));
+        }
+    }
+}

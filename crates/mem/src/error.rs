@@ -1,0 +1,55 @@
+//! Error type for memory-management operations.
+
+use crate::types::{PageSize, Pfn, VirtAddr};
+use std::fmt;
+
+/// Errors from the memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Not enough free frames to satisfy an allocation.
+    OutOfFrames { requested: u64, available: u64 },
+    /// The frame is outside the allocator's range or already free.
+    BadFree(Pfn),
+    /// The virtual address is already mapped.
+    AlreadyMapped(VirtAddr),
+    /// The virtual address is not mapped.
+    NotMapped(VirtAddr),
+    /// Address not aligned for the requested page size.
+    Misaligned(VirtAddr, PageSize),
+    /// A larger-page leaf sits where a table was expected (or vice versa).
+    MappingConflict(VirtAddr),
+    /// The requested region overlaps an existing region.
+    RegionOverlap(VirtAddr),
+    /// No free virtual-address range of the requested length.
+    NoVirtualSpace { len: u64 },
+    /// The region was not found.
+    NoSuchRegion(VirtAddr),
+    /// Access touched an unmapped or non-present page.
+    Fault(VirtAddr),
+    /// Physical access out of the memory's range.
+    BadPhysAccess(Pfn),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfFrames { requested, available } => {
+                write!(f, "out of frames: requested {requested}, available {available}")
+            }
+            MemError::BadFree(pfn) => write!(f, "bad free of {pfn}"),
+            MemError::AlreadyMapped(va) => write!(f, "{va} already mapped"),
+            MemError::NotMapped(va) => write!(f, "{va} not mapped"),
+            MemError::Misaligned(va, sz) => {
+                write!(f, "{va} misaligned for {:?}", sz)
+            }
+            MemError::MappingConflict(va) => write!(f, "mapping conflict at {va}"),
+            MemError::RegionOverlap(va) => write!(f, "region overlap at {va}"),
+            MemError::NoVirtualSpace { len } => write!(f, "no virtual space for {len} bytes"),
+            MemError::NoSuchRegion(va) => write!(f, "no region containing {va}"),
+            MemError::Fault(va) => write!(f, "page fault at {va}"),
+            MemError::BadPhysAccess(pfn) => write!(f, "physical access out of range: {pfn}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

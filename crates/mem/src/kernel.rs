@@ -1,0 +1,147 @@
+//! The kernel-facing memory-mapping interface (paper §4.3, "OS Memory
+//! Mapping Routines").
+//!
+//! XEMEM requires each enclave OS to perform two operations locally, using
+//! whatever mechanisms its design dictates (paper §3.4): *generate* PFN
+//! lists for exported regions by walking page tables, and *map* remote PFN
+//! lists into local process address spaces. [`MappingKernel`] captures that
+//! contract plus the minimal process-lifecycle surface the experiments
+//! need. The Kitten LWK, the Linux-like FWK, and (transitively, through
+//! its guest kernel) the Palacios VMM all implement it, which is what lets
+//! the XEMEM protocol engine in the core crate treat enclaves uniformly.
+//!
+//! All operations return [`Costed`] values: real structural work is done
+//! immediately, and the virtual-time cost is returned for the caller to
+//! account on the enclave's timeline.
+
+use crate::error::MemError;
+use crate::pfn_list::PfnList;
+use crate::types::VirtAddr;
+use std::fmt;
+use xemem_sim::Costed;
+
+/// A process identifier, unique within one enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// How an attachment's pages are installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttachSemantics {
+    /// Install every PTE at attach time (`remap_pfn_range` — the
+    /// cross-enclave path).
+    #[default]
+    Eager,
+    /// Reserve the range and install PTEs on first touch (Linux
+    /// single-OS XEMEM semantics; the source of the Fig. 8(b) overhead).
+    Lazy,
+}
+
+/// Which kernel personality an enclave runs — used by the protocol layer
+/// for reporting and by topology builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Kitten-like lightweight kernel.
+    Lwk,
+    /// Linux-like full-weight kernel.
+    Fwk,
+}
+
+/// Errors from kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Underlying memory-management failure.
+    Mem(MemError),
+    /// Unknown process.
+    NoSuchProcess(Pid),
+    /// The kernel cannot perform the operation (e.g. growing a statically
+    /// mapped Kitten region before dynamic-heap support).
+    Unsupported(&'static str),
+}
+
+impl From<MemError> for KernelError {
+    fn from(e: MemError) -> Self {
+        KernelError::Mem(e)
+    }
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Mem(e) => write!(f, "memory error: {e}"),
+            KernelError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            KernelError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The per-enclave OS memory-mapping routines required by XEMEM.
+pub trait MappingKernel: Send {
+    /// Which personality this kernel is.
+    fn kind(&self) -> KernelKind;
+
+    /// Create a process with `mem_bytes` of private memory. Kitten maps
+    /// everything statically here; the FWK merely creates regions.
+    fn spawn(&mut self, mem_bytes: u64) -> Result<Costed<Pid>, KernelError>;
+
+    /// Destroy a process, freeing its frames.
+    fn exit(&mut self, pid: Pid) -> Result<Costed<()>, KernelError>;
+
+    /// Allocate a page-aligned user buffer of `len` bytes in the process
+    /// (the region an application will export). Returns its base address.
+    fn alloc_buffer(&mut self, pid: Pid, len: u64) -> Result<Costed<VirtAddr>, KernelError>;
+
+    /// Ensure every page of `[va, va + len)` is resident (the state a
+    /// buffer is in after the application has filled it — the paper's
+    /// §4.3 footnote notes exported pages are generally already
+    /// allocated). Returns the number of pages newly faulted in. A no-op
+    /// on kernels without demand paging.
+    fn populate(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<Costed<u64>, KernelError> {
+        let _ = (pid, va, len);
+        Ok(Costed::new(0, xemem_sim::SimDuration::ZERO))
+    }
+
+    /// Export-side: pin (if required) and walk the page tables for
+    /// `[va, va + len)`, producing the PFN list shipped to the attaching
+    /// enclave.
+    fn export_walk(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<Costed<PfnList>, KernelError>;
+
+    /// Attach-side: map a PFN list into the process with the given
+    /// protection and return the base of the new mapping. `prot` carries
+    /// the access mode the permission grant allows (XPMEM supports
+    /// read-only grants).
+    fn attach_map(
+        &mut self,
+        pid: Pid,
+        pfns: &PfnList,
+        semantics: AttachSemantics,
+        prot: crate::page_table::PteFlags,
+    ) -> Result<Costed<VirtAddr>, KernelError>;
+
+    /// Unmap a previously attached region, returning the frames it covered.
+    fn detach(&mut self, pid: Pid, va: VirtAddr) -> Result<Costed<PfnList>, KernelError>;
+
+    /// Write process memory (through its page table, faulting lazily where
+    /// the kernel's semantics say so).
+    fn write(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Costed<()>, KernelError>;
+
+    /// Read process memory.
+    fn read(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        out: &mut [u8],
+    ) -> Result<Costed<()>, KernelError>;
+}

@@ -1,0 +1,456 @@
+//! A real four-level page table (x86-64 shaped).
+//!
+//! Levels are numbered 3 (top, PML4-like) down to 0 (leaf page table).
+//! Leaves may sit at level 0 (4 KiB), level 1 (2 MiB) or level 2 (1 GiB).
+//! Kitten maps process memory with large pages where possible; XEMEM
+//! attachments install 4 KiB mappings one frame at a time, which is exactly
+//! the per-page work the paper's throughput numbers measure.
+//!
+//! The table tracks how many leaf entries and intermediate tables exist so
+//! kernels can charge virtual time for real structural work performed.
+
+use crate::error::MemError;
+use crate::pfn_list::PfnList;
+use crate::types::{PageSize, PhysAddr, Pfn, VirtAddr, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Page protection / attribute flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PteFlags(u8);
+
+impl PteFlags {
+    /// Readable.
+    pub const READ: PteFlags = PteFlags(1);
+    /// Writable.
+    pub const WRITE: PteFlags = PteFlags(2);
+    /// User-accessible.
+    pub const USER: PteFlags = PteFlags(4);
+
+    /// Read+write+user — the common data mapping.
+    pub fn rw_user() -> PteFlags {
+        PteFlags(1 | 2 | 4)
+    }
+
+    /// Read-only user mapping.
+    pub fn ro_user() -> PteFlags {
+        PteFlags(1 | 4)
+    }
+
+    /// Set union.
+    pub fn union(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// True when all bits of `other` are present.
+    pub fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when the mapping permits writes.
+    pub fn writable(self) -> bool {
+        self.contains(PteFlags::WRITE)
+    }
+}
+
+/// A leaf mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Leaf {
+    pfn: Pfn,
+    flags: PteFlags,
+    size: PageSize,
+}
+
+#[derive(Debug)]
+enum Entry {
+    Table(Box<Level>),
+    Leaf(Leaf),
+}
+
+#[derive(Debug)]
+struct Level {
+    entries: Vec<Option<Entry>>,
+}
+
+impl Level {
+    fn new() -> Box<Level> {
+        Box::new(Level { entries: (0..512).map(|_| None).collect() })
+    }
+}
+
+/// Statistics from a range walk: real structural work performed, used by
+/// kernels to charge virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalkStats {
+    /// 4 KiB page translations produced.
+    pub pages: u64,
+    /// Leaf PTEs actually visited (a 2 MiB leaf covers 512 pages but is
+    /// one visit).
+    pub leaves_visited: u64,
+}
+
+/// A four-level page table.
+#[derive(Debug)]
+pub struct PageTable {
+    root: Box<Level>,
+    leaf_count: u64,
+    table_count: u64,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PageTable { root: Level::new(), leaf_count: 0, table_count: 1 }
+    }
+
+    /// Number of leaf mappings installed.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaf_count
+    }
+
+    /// Number of intermediate tables (including the root).
+    pub fn table_count(&self) -> u64 {
+        self.table_count
+    }
+
+    /// Install a mapping of the given size.
+    pub fn map(
+        &mut self,
+        va: VirtAddr,
+        pfn: Pfn,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> Result<(), MemError> {
+        if !va.is_aligned(size) {
+            return Err(MemError::Misaligned(va, size));
+        }
+        let leaf_level = size.leaf_level();
+        let mut level = &mut self.root;
+        let mut lvl = 3u8;
+        loop {
+            let idx = va.pt_index(lvl);
+            if lvl == leaf_level {
+                match &level.entries[idx] {
+                    None => {
+                        level.entries[idx] = Some(Entry::Leaf(Leaf { pfn, flags, size }));
+                        self.leaf_count += 1;
+                        return Ok(());
+                    }
+                    Some(Entry::Leaf(_)) => return Err(MemError::AlreadyMapped(va)),
+                    Some(Entry::Table(_)) => return Err(MemError::MappingConflict(va)),
+                }
+            }
+            // Descend, creating intermediate tables as needed.
+            let slot = &mut level.entries[idx];
+            match slot {
+                None => {
+                    *slot = Some(Entry::Table(Level::new()));
+                    self.table_count += 1;
+                }
+                Some(Entry::Leaf(_)) => return Err(MemError::MappingConflict(va)),
+                Some(Entry::Table(_)) => {}
+            }
+            level = match slot {
+                Some(Entry::Table(t)) => t,
+                _ => unreachable!("slot was just ensured to be a table"),
+            };
+            lvl -= 1;
+        }
+    }
+
+    /// Map `pfns.len()` 4 KiB pages starting at `va`, one frame per page,
+    /// in order — the XEMEM attachment fast path. Returns the number of
+    /// PTEs written.
+    pub fn map_pages(
+        &mut self,
+        va: VirtAddr,
+        pfns: impl IntoIterator<Item = Pfn>,
+        flags: PteFlags,
+    ) -> Result<u64, MemError> {
+        let mut n = 0u64;
+        for pfn in pfns {
+            self.map(va + n * PAGE_SIZE, pfn, PageSize::Size4K, flags)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Remove the mapping containing `va`. Returns the leaf's frame and
+    /// size.
+    pub fn unmap(&mut self, va: VirtAddr) -> Result<(Pfn, PageSize), MemError> {
+        fn descend(
+            level: &mut Level,
+            lvl: u8,
+            va: VirtAddr,
+        ) -> Result<(Pfn, PageSize), MemError> {
+            let idx = va.pt_index(lvl);
+            match &mut level.entries[idx] {
+                None => Err(MemError::NotMapped(va)),
+                Some(Entry::Leaf(leaf)) => {
+                    let out = (leaf.pfn, leaf.size);
+                    level.entries[idx] = None;
+                    Ok(out)
+                }
+                Some(Entry::Table(t)) => {
+                    if lvl == 0 {
+                        // Tables never sit at level 0.
+                        Err(MemError::MappingConflict(va))
+                    } else {
+                        descend(t, lvl - 1, va)
+                    }
+                }
+            }
+        }
+        let out = descend(&mut self.root, 3, va)?;
+        self.leaf_count -= 1;
+        Ok(out)
+    }
+
+    /// Unmap `pages` consecutive 4 KiB pages starting at `va`.
+    pub fn unmap_pages(&mut self, va: VirtAddr, pages: u64) -> Result<Vec<Pfn>, MemError> {
+        let mut out = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let (pfn, size) = self.unmap(va + i * PAGE_SIZE)?;
+            if size != PageSize::Size4K {
+                return Err(MemError::MappingConflict(va + i * PAGE_SIZE));
+            }
+            out.push(pfn);
+        }
+        Ok(out)
+    }
+
+    /// Translate a virtual address to (physical address, flags, leaf size).
+    pub fn translate(&self, va: VirtAddr) -> Option<(PhysAddr, PteFlags, PageSize)> {
+        let mut level = &self.root;
+        let mut lvl = 3u8;
+        loop {
+            let idx = va.pt_index(lvl);
+            match level.entries[idx].as_ref()? {
+                Entry::Leaf(leaf) => {
+                    let within = va.0 & (leaf.size.bytes() - 1);
+                    return Some((leaf.pfn.base() + within, leaf.flags, leaf.size));
+                }
+                Entry::Table(t) => {
+                    if lvl == 0 {
+                        return None;
+                    }
+                    level = t;
+                    lvl -= 1;
+                }
+            }
+        }
+    }
+
+    /// Produce the PFN list for `[va, va + len)` — the export-side
+    /// operation of the XEMEM protocol. Every 4 KiB page in the range must
+    /// be mapped. Returns the list and the real structural work performed.
+    pub fn walk_range(&self, va: VirtAddr, len: u64) -> Result<(PfnList, WalkStats), MemError> {
+        let mut list = PfnList::new();
+        let mut stats = WalkStats::default();
+        let mut off = 0u64;
+        while off < len {
+            let cur = va + off;
+            let (pa, _flags, size) = self.translate(cur).ok_or(MemError::NotMapped(cur))?;
+            stats.leaves_visited += 1;
+            // Emit 4 KiB frames from this leaf until it ends or the range
+            // ends.
+            let leaf_remaining = size.bytes() - (cur.0 & (size.bytes() - 1));
+            let take = leaf_remaining.min(len - off);
+            let frames = take.div_ceil(PAGE_SIZE);
+            list.push_run(pa.pfn(), frames);
+            stats.pages += frames;
+            off += frames * PAGE_SIZE;
+        }
+        Ok((list, stats))
+    }
+
+    /// Change the flags on the leaf containing `va`.
+    pub fn protect(&mut self, va: VirtAddr, flags: PteFlags) -> Result<(), MemError> {
+        fn descend(level: &mut Level, lvl: u8, va: VirtAddr, flags: PteFlags) -> Result<(), MemError> {
+            let idx = va.pt_index(lvl);
+            match &mut level.entries[idx] {
+                None => Err(MemError::NotMapped(va)),
+                Some(Entry::Leaf(leaf)) => {
+                    leaf.flags = flags;
+                    Ok(())
+                }
+                Some(Entry::Table(t)) => {
+                    if lvl == 0 {
+                        Err(MemError::MappingConflict(va))
+                    } else {
+                        descend(t, lvl - 1, va, flags)
+                    }
+                }
+            }
+        }
+        descend(&mut self.root, 3, va, flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K4: u64 = 4096;
+    const M2: u64 = 2 << 20;
+    const G1: u64 = 1 << 30;
+
+    #[test]
+    fn map_translate_4k() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0x4000), Pfn(7), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        let (pa, flags, size) = pt.translate(VirtAddr(0x4123)).unwrap();
+        assert_eq!(pa.0, 7 * K4 + 0x123);
+        assert!(flags.writable());
+        assert_eq!(size, PageSize::Size4K);
+        assert!(pt.translate(VirtAddr(0x5000)).is_none());
+        assert_eq!(pt.leaf_count(), 1);
+    }
+
+    #[test]
+    fn map_translate_large_pages() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(M2), Pfn(512), PageSize::Size2M, PteFlags::rw_user()).unwrap();
+        pt.map(VirtAddr(G1), Pfn(1 << 18), PageSize::Size1G, PteFlags::ro_user()).unwrap();
+        // Offset inside the 2 MiB page.
+        let (pa, _, sz) = pt.translate(VirtAddr(M2 + 0x12345)).unwrap();
+        assert_eq!(pa.0, 512 * K4 + 0x12345);
+        assert_eq!(sz, PageSize::Size2M);
+        // Offset inside the 1 GiB page.
+        let (pa, flags, sz) = pt.translate(VirtAddr(G1 + 0xABCDE)).unwrap();
+        assert_eq!(pa.0, (1u64 << 30) + 0xABCDE);
+        assert_eq!(sz, PageSize::Size1G);
+        assert!(!flags.writable());
+    }
+
+    #[test]
+    fn misalignment_rejected() {
+        let mut pt = PageTable::new();
+        assert_eq!(
+            pt.map(VirtAddr(0x1000), Pfn(0), PageSize::Size2M, PteFlags::rw_user()),
+            Err(MemError::Misaligned(VirtAddr(0x1000), PageSize::Size2M))
+        );
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        assert_eq!(
+            pt.map(VirtAddr(0), Pfn(2), PageSize::Size4K, PteFlags::rw_user()),
+            Err(MemError::AlreadyMapped(VirtAddr(0)))
+        );
+    }
+
+    #[test]
+    fn conflict_between_leaf_sizes_rejected() {
+        let mut pt = PageTable::new();
+        // 2 MiB leaf at level 1, then a 4 KiB map inside it must conflict.
+        pt.map(VirtAddr(0), Pfn(0), PageSize::Size2M, PteFlags::rw_user()).unwrap();
+        assert_eq!(
+            pt.map(VirtAddr(0x3000), Pfn(9), PageSize::Size4K, PteFlags::rw_user()),
+            Err(MemError::MappingConflict(VirtAddr(0x3000)))
+        );
+        // And the reverse: 4 KiB mapping first, then 2 MiB over it.
+        let mut pt2 = PageTable::new();
+        pt2.map(VirtAddr(0x1000), Pfn(3), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        assert_eq!(
+            pt2.map(VirtAddr(0), Pfn(0), PageSize::Size2M, PteFlags::rw_user()),
+            Err(MemError::MappingConflict(VirtAddr(0)))
+        );
+    }
+
+    #[test]
+    fn unmap_restores_unmapped_state() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0x8000), Pfn(42), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        let (pfn, size) = pt.unmap(VirtAddr(0x8000)).unwrap();
+        assert_eq!((pfn, size), (Pfn(42), PageSize::Size4K));
+        assert!(pt.translate(VirtAddr(0x8000)).is_none());
+        assert_eq!(pt.unmap(VirtAddr(0x8000)), Err(MemError::NotMapped(VirtAddr(0x8000))));
+        assert_eq!(pt.leaf_count(), 0);
+    }
+
+    #[test]
+    fn map_pages_installs_in_order() {
+        let mut pt = PageTable::new();
+        let pfns = vec![Pfn(10), Pfn(99), Pfn(5)];
+        let n = pt.map_pages(VirtAddr(0x10000), pfns.clone(), PteFlags::rw_user()).unwrap();
+        assert_eq!(n, 3);
+        for (i, pfn) in pfns.iter().enumerate() {
+            let (pa, _, _) = pt.translate(VirtAddr(0x10000 + i as u64 * K4)).unwrap();
+            assert_eq!(pa.pfn(), *pfn);
+        }
+        let freed = pt.unmap_pages(VirtAddr(0x10000), 3).unwrap();
+        assert_eq!(freed, pfns);
+    }
+
+    #[test]
+    fn walk_range_produces_pfn_list_and_stats() {
+        let mut pt = PageTable::new();
+        // Contiguous then discontiguous 4 KiB pages.
+        pt.map_pages(VirtAddr(0), vec![Pfn(100), Pfn(101), Pfn(500)], PteFlags::rw_user())
+            .unwrap();
+        let (list, stats) = pt.walk_range(VirtAddr(0), 3 * K4).unwrap();
+        assert_eq!(list.pages(), 3);
+        assert_eq!(stats.pages, 3);
+        assert_eq!(stats.leaves_visited, 3);
+        let pfns: Vec<Pfn> = list.iter_pages().collect();
+        assert_eq!(pfns, vec![Pfn(100), Pfn(101), Pfn(500)]);
+    }
+
+    #[test]
+    fn walk_range_across_a_large_page_visits_one_leaf() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0), Pfn(0x1000), PageSize::Size2M, PteFlags::rw_user()).unwrap();
+        let (list, stats) = pt.walk_range(VirtAddr(0), M2).unwrap();
+        assert_eq!(list.pages(), 512);
+        assert_eq!(stats.leaves_visited, 1);
+        assert_eq!(list.iter_pages().next(), Some(Pfn(0x1000)));
+    }
+
+    #[test]
+    fn walk_range_partial_large_page_from_offset() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0), Pfn(0x1000), PageSize::Size2M, PteFlags::rw_user()).unwrap();
+        // Start 16 KiB into the large page, take 8 KiB.
+        let (list, _) = pt.walk_range(VirtAddr(0x4000), 2 * K4).unwrap();
+        let pfns: Vec<Pfn> = list.iter_pages().collect();
+        assert_eq!(pfns, vec![Pfn(0x1004), Pfn(0x1005)]);
+    }
+
+    #[test]
+    fn walk_of_hole_errors() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        let err = pt.walk_range(VirtAddr(0), 2 * K4).unwrap_err();
+        assert_eq!(err, MemError::NotMapped(VirtAddr(K4)));
+    }
+
+    #[test]
+    fn protect_changes_flags() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt.protect(VirtAddr(0), PteFlags::ro_user()).unwrap();
+        let (_, flags, _) = pt.translate(VirtAddr(0)).unwrap();
+        assert!(!flags.writable());
+        assert_eq!(pt.protect(VirtAddr(K4), PteFlags::ro_user()), Err(MemError::NotMapped(VirtAddr(K4))));
+    }
+
+    #[test]
+    fn table_count_grows_with_sparse_mappings() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.table_count(), 1);
+        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        // Root + L2 + L1 + L0.
+        assert_eq!(pt.table_count(), 4);
+        // Far-away mapping adds three more tables.
+        pt.map(VirtAddr(1 << 40), Pfn(2), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        assert_eq!(pt.table_count(), 7);
+    }
+}

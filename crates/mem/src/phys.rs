@@ -1,0 +1,259 @@
+//! Simulated physical memory with sparse byte-level contents.
+//!
+//! A node's physical memory is a range of 4 KiB frames, optionally split
+//! into NUMA zones. Frame *contents* are materialized lazily: a frame that
+//! has never been written reads as zeroes and occupies no host memory, so
+//! experiments can map multi-GiB regions without multi-GiB allocations
+//! while data-flow tests still verify real byte movement end to end.
+//!
+//! `PhysicalMemory` is shared by every enclave on a node (the whole point
+//! of XEMEM is that enclaves map *the same frames*), so it is internally
+//! synchronized and handed around as `Arc<PhysicalMemory>`.
+
+use crate::error::MemError;
+use crate::types::{PhysAddr, Pfn, PAGE_SIZE};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One NUMA zone: a contiguous frame range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumaZone {
+    /// Zone index.
+    pub id: u32,
+    /// First frame of the zone.
+    pub base: Pfn,
+    /// Number of frames in the zone.
+    pub frames: u64,
+}
+
+impl NumaZone {
+    /// True when the frame lies in this zone.
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        pfn >= self.base && pfn.0 < self.base.0 + self.frames
+    }
+}
+
+/// Byte-level access to a physical address space.
+///
+/// Implemented by [`PhysicalMemory`] (host physical memory) and by the
+/// Palacios guest-physical view, which translates GPA→HPA through the VMM
+/// memory map before touching host memory. Kernels are written against
+/// this trait so the *same* kernel code runs natively and inside a VM —
+/// mirroring how the paper runs stock Linux as both host and guest.
+pub trait PhysAccess: Send + Sync {
+    /// Write bytes at a physical address, crossing frame boundaries.
+    fn write(&self, at: PhysAddr, data: &[u8]) -> Result<(), MemError>;
+    /// Read bytes at a physical address.
+    fn read(&self, at: PhysAddr, out: &mut [u8]) -> Result<(), MemError>;
+}
+
+/// The physical memory of one simulated node.
+#[derive(Debug)]
+pub struct PhysicalMemory {
+    zones: Vec<NumaZone>,
+    total_frames: u64,
+    /// Lazily materialized frame contents.
+    contents: RwLock<HashMap<u64, Box<[u8]>>>,
+}
+
+impl PhysicalMemory {
+    /// A node with a single zone of `frames` 4 KiB frames starting at
+    /// frame 0.
+    pub fn new(frames: u64) -> Arc<Self> {
+        Self::with_zones(vec![NumaZone { id: 0, base: Pfn(0), frames }])
+    }
+
+    /// A node with the given NUMA zones. Zones must be disjoint; the paper
+    /// systems use two 16 GiB sockets.
+    pub fn with_zones(zones: Vec<NumaZone>) -> Arc<Self> {
+        let total_frames = zones.iter().map(|z| z.frames).sum();
+        Arc::new(PhysicalMemory { zones, total_frames, contents: RwLock::new(HashMap::new()) })
+    }
+
+    /// A two-socket layout mirroring the paper's evaluation node: two
+    /// zones of `per_zone_gib` GiB each.
+    pub fn dual_socket(per_zone_gib: u64) -> Arc<Self> {
+        let frames = per_zone_gib << (30 - 12);
+        Self::with_zones(vec![
+            NumaZone { id: 0, base: Pfn(0), frames },
+            NumaZone { id: 1, base: Pfn(frames), frames },
+        ])
+    }
+
+    /// All zones.
+    pub fn zones(&self) -> &[NumaZone] {
+        &self.zones
+    }
+
+    /// Total frame count.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// True when the frame exists on this node.
+    pub fn frame_exists(&self, pfn: Pfn) -> bool {
+        self.zones.iter().any(|z| z.contains(pfn))
+    }
+
+    /// Write bytes at a physical address, crossing frame boundaries as
+    /// needed. Frames are materialized on first write.
+    fn write_impl(&self, at: PhysAddr, data: &[u8]) -> Result<(), MemError> {
+        let mut remaining = data;
+        let mut addr = at;
+        let mut contents = self.contents.write();
+        while !remaining.is_empty() {
+            let pfn = addr.pfn();
+            if !self.frame_exists(pfn) {
+                return Err(MemError::BadPhysAccess(pfn));
+            }
+            let off = addr.page_offset() as usize;
+            let take = remaining.len().min(PAGE_SIZE as usize - off);
+            let frame = contents
+                .entry(pfn.0)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            frame[off..off + take].copy_from_slice(&remaining[..take]);
+            remaining = &remaining[take..];
+            addr = addr + take as u64;
+        }
+        Ok(())
+    }
+
+    /// Read bytes at a physical address. Unmaterialized frames read as
+    /// zeroes.
+    fn read_impl(&self, at: PhysAddr, out: &mut [u8]) -> Result<(), MemError> {
+        let mut filled = 0usize;
+        let mut addr = at;
+        let contents = self.contents.read();
+        while filled < out.len() {
+            let pfn = addr.pfn();
+            if !self.frame_exists(pfn) {
+                return Err(MemError::BadPhysAccess(pfn));
+            }
+            let off = addr.page_offset() as usize;
+            let take = (out.len() - filled).min(PAGE_SIZE as usize - off);
+            match contents.get(&pfn.0) {
+                Some(frame) => out[filled..filled + take].copy_from_slice(&frame[off..off + take]),
+                None => out[filled..filled + take].fill(0),
+            }
+            filled += take;
+            addr = addr + take as u64;
+        }
+        Ok(())
+    }
+
+    /// Write bytes at a physical address (inherent convenience mirroring
+    /// the [`PhysAccess`] impl).
+    pub fn write(&self, at: PhysAddr, data: &[u8]) -> Result<(), MemError> {
+        self.write_impl(at, data)
+    }
+
+    /// Read bytes at a physical address.
+    pub fn read(&self, at: PhysAddr, out: &mut [u8]) -> Result<(), MemError> {
+        self.read_impl(at, out)
+    }
+
+    /// Drop the contents of a frame (returning it to the all-zero state).
+    /// Used when an allocator hands a frame back out after free.
+    pub fn clear_frame(&self, pfn: Pfn) {
+        self.contents.write().remove(&pfn.0);
+    }
+
+    /// Number of frames whose contents are currently materialized (a
+    /// host-memory footprint diagnostic).
+    pub fn materialized_frames(&self) -> usize {
+        self.contents.read().len()
+    }
+}
+
+impl PhysAccess for PhysicalMemory {
+    fn write(&self, at: PhysAddr, data: &[u8]) -> Result<(), MemError> {
+        self.write_impl(at, data)
+    }
+
+    fn read(&self, at: PhysAddr, out: &mut [u8]) -> Result<(), MemError> {
+        self.read_impl(at, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_of_untouched_frames_are_zero() {
+        let pm = PhysicalMemory::new(16);
+        let mut buf = [0xFFu8; 8];
+        pm.read(PhysAddr(100), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+        assert_eq!(pm.materialized_frames(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip_within_a_frame() {
+        let pm = PhysicalMemory::new(16);
+        pm.write(PhysAddr(4096 + 10), b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        pm.read(PhysAddr(4096 + 10), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(pm.materialized_frames(), 1);
+    }
+
+    #[test]
+    fn writes_cross_frame_boundaries() {
+        let pm = PhysicalMemory::new(16);
+        let data: Vec<u8> = (0..8192 + 100).map(|i| (i % 251) as u8).collect();
+        pm.write(PhysAddr(4000), &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        pm.read(PhysAddr(4000), &mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(pm.materialized_frames(), 4); // frames 0..=3 touched
+    }
+
+    #[test]
+    fn out_of_range_access_errors() {
+        let pm = PhysicalMemory::new(2);
+        let err = pm.write(PhysAddr(2 * 4096), b"x").unwrap_err();
+        assert_eq!(err, MemError::BadPhysAccess(Pfn(2)));
+        let mut b = [0u8; 1];
+        assert!(pm.read(PhysAddr(3 * 4096), &mut b).is_err());
+    }
+
+    #[test]
+    fn dual_socket_layout_matches_paper_node() {
+        let pm = PhysicalMemory::dual_socket(16);
+        assert_eq!(pm.zones().len(), 2);
+        assert_eq!(pm.total_frames(), 2 * 16 * 262_144);
+        assert!(pm.frame_exists(Pfn(16 * 262_144)));
+        assert!(!pm.frame_exists(Pfn(32 * 262_144)));
+    }
+
+    #[test]
+    fn clear_frame_zeroes_contents() {
+        let pm = PhysicalMemory::new(4);
+        pm.write(PhysAddr(0), b"data").unwrap();
+        pm.clear_frame(Pfn(0));
+        let mut buf = [9u8; 4];
+        pm.read(PhysAddr(0), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn concurrent_writers_to_distinct_frames() {
+        let pm = PhysicalMemory::new(64);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let pm = &pm;
+                s.spawn(move || {
+                    let data = [t as u8; 512];
+                    for i in 0..8 {
+                        pm.write(PhysAddr((t * 8 + i) * 4096), &data).unwrap();
+                    }
+                });
+            }
+        });
+        let mut buf = [0u8; 1];
+        pm.read(PhysAddr(63 * 4096), &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the memory substrate: the page table against a
+//! flat model, the frame allocator's accounting invariants, and PFN-list
+//! round-trips.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use xemem_mem::{
+    FrameAllocator, MemError, PageSize, PageTable, Pfn, PfnList, PteFlags, VirtAddr,
+};
+
+// ----------------------------------------------------------------------
+// Page table vs a flat HashMap model
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PtOp {
+    Map { page: u64, pfn: u64 },
+    Unmap { page: u64 },
+    Translate { page: u64 },
+}
+
+fn pt_op() -> impl Strategy<Value = PtOp> {
+    // A small page-number space keeps collisions common.
+    prop_oneof![
+        (0u64..128, 0u64..1_000_000).prop_map(|(page, pfn)| PtOp::Map { page, pfn }),
+        (0u64..128).prop_map(|page| PtOp::Unmap { page }),
+        (0u64..128).prop_map(|page| PtOp::Translate { page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn page_table_matches_flat_model(ops in prop::collection::vec(pt_op(), 1..300)) {
+        let mut pt = PageTable::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                PtOp::Map { page, pfn } => {
+                    let va = VirtAddr(page << 12);
+                    let r = pt.map(va, Pfn(pfn), PageSize::Size4K, PteFlags::rw_user());
+                    match model.entry(page) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert_eq!(r, Err(MemError::AlreadyMapped(va)));
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            prop_assert!(r.is_ok());
+                            v.insert(pfn);
+                        }
+                    }
+                }
+                PtOp::Unmap { page } => {
+                    let va = VirtAddr(page << 12);
+                    let r = pt.unmap(va);
+                    match model.remove(&page) {
+                        Some(pfn) => prop_assert_eq!(r, Ok((Pfn(pfn), PageSize::Size4K))),
+                        None => prop_assert_eq!(r, Err(MemError::NotMapped(va))),
+                    }
+                }
+                PtOp::Translate { page } => {
+                    let off = (page * 97) % 4096;
+                    let va = VirtAddr((page << 12) | off);
+                    let got = pt.translate(va).map(|(pa, _, _)| pa.0);
+                    let expect = model.get(&page).map(|pfn| (pfn << 12) | off);
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(pt.leaf_count(), model.len() as u64);
+        }
+    }
+
+    #[test]
+    fn walk_range_agrees_with_translate(pages in prop::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut pt = PageTable::new();
+        let mut unique = pages.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        pt.map_pages(VirtAddr(0), unique.iter().map(|&p| Pfn(p)), PteFlags::rw_user()).unwrap();
+        let (list, stats) = pt.walk_range(VirtAddr(0), unique.len() as u64 * 4096).unwrap();
+        prop_assert_eq!(stats.pages, unique.len() as u64);
+        let walked: Vec<Pfn> = list.iter_pages().collect();
+        let direct: Vec<Pfn> = (0..unique.len() as u64)
+            .map(|i| pt.translate(VirtAddr(i * 4096)).unwrap().0.pfn())
+            .collect();
+        prop_assert_eq!(walked, direct);
+    }
+
+    // ------------------------------------------------------------------
+    // Frame allocator accounting
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn allocator_never_double_allocates(
+        sizes in prop::collection::vec(1u64..32, 1..40),
+        free_mask in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let total = 512u64;
+        let mut alloc = FrameAllocator::new(Pfn(1000), total);
+        let mut live: Vec<Vec<Pfn>> = Vec::new();
+        let mut outstanding = 0u64;
+        for (i, &n) in sizes.iter().enumerate() {
+            match alloc.alloc_pages(n) {
+                Ok(pages) => {
+                    outstanding += n;
+                    // All frames in range, all distinct from every live frame.
+                    for &p in &pages {
+                        prop_assert!(p.0 >= 1000 && p.0 < 1000 + total);
+                        for batch in &live {
+                            prop_assert!(!batch.contains(&p), "frame {p} double-allocated");
+                        }
+                    }
+                    live.push(pages);
+                }
+                Err(MemError::OutOfFrames { .. }) => {
+                    prop_assert!(outstanding + n > total, "spurious exhaustion");
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+            // Occasionally free a batch.
+            if free_mask[i % free_mask.len()] && !live.is_empty() {
+                let batch = live.swap_remove(i % live.len());
+                outstanding -= batch.len() as u64;
+                alloc.free_pages(&batch).unwrap();
+            }
+            prop_assert_eq!(alloc.free_frames(), total - outstanding);
+        }
+    }
+
+    #[test]
+    fn contiguous_allocations_are_contiguous(runs in prop::collection::vec(1u64..64, 1..10)) {
+        let mut alloc = FrameAllocator::new(Pfn(0), 1024);
+        for n in runs {
+            if let Ok(base) = alloc.alloc_contiguous(n) {
+                for i in 0..n {
+                    prop_assert!(alloc.is_allocated(base.offset(i)));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // PFN list round-trips
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pfn_list_round_trips(pfns in prop::collection::vec(0u64..10_000, 0..200)) {
+        let list: PfnList = pfns.iter().map(|&p| Pfn(p)).collect();
+        prop_assert_eq!(list.pages(), pfns.len() as u64);
+        let back: Vec<u64> = list.iter_pages().map(|p| p.0).collect();
+        prop_assert_eq!(&back, &pfns);
+        // Indexing agrees with iteration.
+        for (i, &p) in pfns.iter().enumerate() {
+            prop_assert_eq!(list.page(i as u64), Some(Pfn(p)));
+        }
+        // Wire size is exactly 8 bytes/page; compression never exceeds
+        // 2x flat and wins on contiguity.
+        prop_assert_eq!(list.wire_bytes(), pfns.len() as u64 * 8);
+        prop_assert!(list.compressed_bytes() <= list.wire_bytes() * 2);
+    }
+
+    #[test]
+    fn pfn_list_slices_compose(pfns in prop::collection::vec(0u64..10_000, 1..100), cut in 0usize..100) {
+        let list: PfnList = pfns.iter().map(|&p| Pfn(p)).collect();
+        let cut = (cut % pfns.len()) as u64;
+        let head = list.slice(0, cut).unwrap();
+        let tail = list.slice(cut, list.pages() - cut).unwrap();
+        let mut rejoined = head.clone();
+        rejoined.extend(&tail);
+        let back: Vec<u64> = rejoined.iter_pages().map(|p| p.0).collect();
+        prop_assert_eq!(back, pfns);
+    }
+}

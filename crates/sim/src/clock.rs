@@ -1,0 +1,159 @@
+//! A shared virtual clock.
+//!
+//! Simulator components (kernels, channels, the VMM, workloads) all charge
+//! time against a single [`Clock`]. The clock is a cheap clonable handle
+//! around an atomic counter so it can be threaded through deeply nested
+//! structures without lifetimes, and so stress tests can drive the
+//! simulators from multiple OS threads.
+
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Cloning a `Clock` produces another handle to the *same* timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl Clock {
+    /// A new clock starting at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns.load(Ordering::Relaxed))
+    }
+
+    /// Advance the clock by `d`, returning the new time.
+    ///
+    /// This is the normal way for a component to "spend" simulated time.
+    #[inline]
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let ns = self.now_ns.fetch_add(d.as_nanos(), Ordering::Relaxed) + d.as_nanos();
+        SimTime::from_nanos(ns)
+    }
+
+    /// Advance the clock *to* `t` if `t` is in the future; otherwise leave
+    /// it unchanged. Returns the (possibly unchanged) current time.
+    ///
+    /// Used when an actor waits for an external event whose completion time
+    /// was computed on another timeline slice.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let target = t.as_nanos();
+        let mut cur = self.now_ns.load(Ordering::Relaxed);
+        while cur < target {
+            match self.now_ns.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return t,
+                Err(actual) => cur = actual,
+            }
+        }
+        SimTime::from_nanos(cur)
+    }
+
+    /// Reset to zero. Only meant for reusing a clock between experiment
+    /// repetitions; never called mid-simulation.
+    pub fn reset(&self) {
+        self.now_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// True when both handles refer to the same timeline.
+    pub fn same_timeline(&self, other: &Clock) -> bool {
+        Arc::ptr_eq(&self.now_ns, &other.now_ns)
+    }
+}
+
+/// A scoped stopwatch measuring elapsed *virtual* time on a [`Clock`].
+#[derive(Debug)]
+pub struct Stopwatch {
+    clock: Clock,
+    start: SimTime,
+}
+
+impl Stopwatch {
+    /// Start measuring from the clock's current time.
+    pub fn start(clock: &Clock) -> Self {
+        Stopwatch {
+            clock: clock.clone(),
+            start: clock.now(),
+        }
+    }
+
+    /// Virtual time elapsed since the stopwatch started.
+    pub fn elapsed(&self) -> SimDuration {
+        self.clock.now().duration_since(self.start)
+    }
+
+    /// The start timestamp.
+    pub fn started_at(&self) -> SimTime {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_a_timeline() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_nanos(100));
+        assert_eq!(b.now().as_nanos(), 100);
+        assert!(a.same_timeline(&b));
+        assert!(!a.same_timeline(&Clock::new()));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_nanos(500));
+        c.advance_to(SimTime::from_nanos(100));
+        assert_eq!(c.now().as_nanos(), 500);
+        c.advance_to(SimTime::from_nanos(900));
+        assert_eq!(c.now().as_nanos(), 900);
+    }
+
+    #[test]
+    fn stopwatch_measures_virtual_time() {
+        let c = Clock::new();
+        let sw = Stopwatch::start(&c);
+        c.advance(SimDuration::from_micros(7));
+        assert_eq!(sw.elapsed(), SimDuration::from_micros(7));
+        assert_eq!(sw.started_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_secs(1));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = Clock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(SimDuration::from_nanos(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now().as_nanos(), 4000);
+    }
+}

@@ -1,0 +1,41 @@
+//! # xemem-sim
+//!
+//! Virtual-time simulation substrate underpinning the XEMEM reproduction.
+//!
+//! Every other crate in the workspace performs *real* data-structure work
+//! (page tables are walked, red-black trees are rebalanced, conjugate
+//! gradients converge) but charges *virtual* time through the facilities in
+//! this crate:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual
+//!   timestamps and intervals.
+//! * [`Clock`] — a shared, cheaply clonable virtual clock.
+//! * [`CostModel`] — every calibrated constant used by the simulators, with
+//!   the calibration source documented on each field.
+//! * [`des`] — a FIFO [`des::Resource`] and a worklist actor runner used to
+//!   simulate concurrent enclaves contending for shared hardware (e.g. the
+//!   core-0 IPI handler of the Pisces channel).
+//! * [`noise`] — composable OS-noise generators (Kitten hardware detours,
+//!   SMIs, Linux timer/daemon noise, attachment-service detours) used both
+//!   by the Selfish Detour reproduction (paper Fig. 7) and the in situ
+//!   benchmarks (Figs. 8–9).
+//! * [`stats`] — summary statistics and throughput helpers used by the
+//!   figure-regeneration harnesses.
+//! * [`rng`] — deterministic seeded RNG with the distribution samplers the
+//!   noise models need (uniform, exponential, normal, lognormal).
+//! * [`trace`] — timestamped event recording for detour profiles.
+
+pub mod clock;
+pub mod cost;
+pub mod des;
+pub mod noise;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use clock::Clock;
+pub use cost::CostModel;
+pub use rng::SimRng;
+pub use stats::Summary;
+pub use time::{Costed, SimDuration, SimTime};

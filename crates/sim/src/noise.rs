@@ -1,0 +1,506 @@
+//! Composable OS-noise models.
+//!
+//! Operating-system noise — interrupts, daemons, SMIs — is central to the
+//! paper's argument: Kitten enclaves are nearly noise-free, Linux enclaves
+//! are not, and the difference drives both the Selfish Detour profile
+//! (Fig. 7) and the variance/scaling results (Figs. 8–9). The same
+//! generators defined here feed all of those experiments, so isolation
+//! benefits in the benchmark results are emergent rather than hard-coded
+//! per-figure.
+//!
+//! A noise source is a stateful generator of [`NoiseEvent`]s — intervals
+//! during which the CPU is stolen from the application. Generators are
+//! consumed front-to-back: callers request events over successive,
+//! non-overlapping windows.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A single interval of stolen CPU time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseEvent {
+    /// When the detour began.
+    pub start: SimTime,
+    /// How long the CPU was away from the application.
+    pub duration: SimDuration,
+    /// What caused it (for trace labelling).
+    pub kind: NoiseKind,
+}
+
+/// Classification of noise events, used to label detour profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseKind {
+    /// Baseline hardware detours present even on Kitten (~12 µs band).
+    Hardware,
+    /// System management interrupts (~100 µs band, periodic).
+    Smi,
+    /// Full-weight-kernel timer tick.
+    TimerTick,
+    /// Full-weight-kernel background daemon activity (heavy-tailed).
+    Daemon,
+    /// The enclave core served a remote XEMEM attachment (page-table walk).
+    AttachService,
+}
+
+/// A stateful generator of noise events.
+pub trait NoiseGen {
+    /// All events with `start` in `[from, to)`, in time order. Successive
+    /// calls must use non-overlapping, increasing windows.
+    fn events_in(&mut self, from: SimTime, to: SimTime) -> Vec<NoiseEvent>;
+}
+
+/// Poisson-arrival noise with normally distributed durations.
+///
+/// Used for the Kitten hardware baseline (mean interval ≈ 10 ms, duration
+/// ≈ 12 µs — the dense band of paper Fig. 7) and for FWK timer ticks.
+#[derive(Debug, Clone)]
+pub struct PoissonNoise {
+    kind: NoiseKind,
+    mean_interval: SimDuration,
+    dur_mean: SimDuration,
+    dur_stddev: SimDuration,
+    next_arrival: SimTime,
+    rng: SimRng,
+    primed: bool,
+}
+
+impl PoissonNoise {
+    /// Kitten's baseline hardware detours: ~12 µs events, mean interval
+    /// 10 ms (paper Fig. 7 dense band).
+    pub fn kitten_hardware(rng: SimRng) -> Self {
+        Self::new(
+            NoiseKind::Hardware,
+            SimDuration::from_millis(10),
+            SimDuration::from_micros(12),
+            SimDuration::from_nanos(600),
+            rng,
+        )
+    }
+
+    /// FWK timer tick: 1 kHz, ~3 µs handler.
+    pub fn fwk_timer(rng: SimRng) -> Self {
+        Self::new(
+            NoiseKind::TimerTick,
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(3),
+            SimDuration::from_nanos(400),
+            rng,
+        )
+    }
+
+    /// A fully parameterized Poisson source.
+    pub fn new(
+        kind: NoiseKind,
+        mean_interval: SimDuration,
+        dur_mean: SimDuration,
+        dur_stddev: SimDuration,
+        rng: SimRng,
+    ) -> Self {
+        PoissonNoise {
+            kind,
+            mean_interval,
+            dur_mean,
+            dur_stddev,
+            next_arrival: SimTime::ZERO,
+            rng,
+            primed: false,
+        }
+    }
+}
+
+impl NoiseGen for PoissonNoise {
+    fn events_in(&mut self, from: SimTime, to: SimTime) -> Vec<NoiseEvent> {
+        if !self.primed {
+            self.next_arrival = from + self.rng.exp_duration(self.mean_interval);
+            self.primed = true;
+        }
+        let mut out = Vec::new();
+        // Skip forward if the caller jumped ahead of the cursor.
+        while self.next_arrival < from {
+            self.next_arrival += self.rng.exp_duration(self.mean_interval);
+        }
+        while self.next_arrival < to {
+            let duration = self.rng.normal_duration(self.dur_mean, self.dur_stddev);
+            out.push(NoiseEvent { start: self.next_arrival, duration, kind: self.kind });
+            self.next_arrival += self.rng.exp_duration(self.mean_interval);
+        }
+        out
+    }
+}
+
+/// Periodic noise with jitter — system management interrupts.
+#[derive(Debug, Clone)]
+pub struct PeriodicNoise {
+    kind: NoiseKind,
+    period: SimDuration,
+    jitter: SimDuration,
+    dur_mean: SimDuration,
+    dur_stddev: SimDuration,
+    next_arrival: SimTime,
+    rng: SimRng,
+    primed: bool,
+}
+
+impl PeriodicNoise {
+    /// SMIs: every ~700 ms, ~100 µs long (paper Fig. 7 sparse band).
+    pub fn smi(rng: SimRng) -> Self {
+        PeriodicNoise {
+            kind: NoiseKind::Smi,
+            period: SimDuration::from_millis(700),
+            jitter: SimDuration::from_millis(60),
+            dur_mean: SimDuration::from_micros(100),
+            dur_stddev: SimDuration::from_micros(7),
+            next_arrival: SimTime::ZERO,
+            rng,
+            primed: false,
+        }
+    }
+}
+
+impl NoiseGen for PeriodicNoise {
+    fn events_in(&mut self, from: SimTime, to: SimTime) -> Vec<NoiseEvent> {
+        if !self.primed {
+            // First SMI lands somewhere within the first period.
+            self.next_arrival =
+                from + SimDuration::from_nanos(self.rng.uniform_u64(0, self.period.as_nanos().max(1)));
+            self.primed = true;
+        }
+        let mut out = Vec::new();
+        while self.next_arrival < from {
+            self.advance();
+        }
+        while self.next_arrival < to {
+            let duration = self.rng.normal_duration(self.dur_mean, self.dur_stddev);
+            out.push(NoiseEvent { start: self.next_arrival, duration, kind: self.kind });
+            self.advance();
+        }
+        out
+    }
+}
+
+impl PeriodicNoise {
+    fn advance(&mut self) {
+        let jit = self.rng.normal_duration(SimDuration::ZERO, self.jitter);
+        self.next_arrival += self.period + jit;
+    }
+}
+
+/// Heavy-tailed daemon noise for full-weight kernels.
+///
+/// Arrivals are Poisson; durations are lognormal, so occasional events are
+/// one to two orders of magnitude longer than the median — the mechanism
+/// behind the Linux-only configurations' runtime variance in Figs. 8–9.
+#[derive(Debug, Clone)]
+pub struct DaemonNoise {
+    mean_interval: SimDuration,
+    /// Median detour duration (lognormal `exp(mu)`), seconds.
+    median_secs: f64,
+    /// Lognormal sigma.
+    sigma: f64,
+    next_arrival: SimTime,
+    rng: SimRng,
+    primed: bool,
+}
+
+impl DaemonNoise {
+    /// Default full-weight-kernel daemon activity: mean interval 40 ms,
+    /// median detour 120 µs, σ = 1.3 (tail reaching several ms).
+    pub fn fwk_default(rng: SimRng) -> Self {
+        Self::new(SimDuration::from_millis(40), 120e-6, 1.3, rng)
+    }
+
+    /// Heavy bursts on a full-weight kernel (cron/kswapd/page-cache
+    /// writeback storms): mean interval 8 s, median 0.18 s, σ = 0.8.
+    /// These drive the Linux-only variance of Fig. 8 and the
+    /// max-over-nodes weak-scaling degradation of Fig. 9 (bursts on
+    /// different nodes rarely coincide, so each one stalls the whole
+    /// coupled job).
+    pub fn fwk_bursts(rng: SimRng) -> Self {
+        Self::new(SimDuration::from_secs(8), 0.18, 0.8, rng)
+    }
+
+    /// Light daemon activity inside a dedicated Linux *guest* whose host
+    /// is an isolated co-kernel: few services, small detours.
+    pub fn vm_guest_daemons(rng: SimRng) -> Self {
+        Self::new(SimDuration::from_millis(100), 30e-6, 1.0, rng)
+    }
+
+    /// Fully parameterized daemon noise.
+    pub fn new(mean_interval: SimDuration, median_secs: f64, sigma: f64, rng: SimRng) -> Self {
+        DaemonNoise {
+            mean_interval,
+            median_secs,
+            sigma,
+            next_arrival: SimTime::ZERO,
+            rng,
+            primed: false,
+        }
+    }
+}
+
+impl NoiseGen for DaemonNoise {
+    fn events_in(&mut self, from: SimTime, to: SimTime) -> Vec<NoiseEvent> {
+        if !self.primed {
+            self.next_arrival = from + self.rng.exp_duration(self.mean_interval);
+            self.primed = true;
+        }
+        let mut out = Vec::new();
+        while self.next_arrival < from {
+            self.next_arrival += self.rng.exp_duration(self.mean_interval);
+        }
+        while self.next_arrival < to {
+            let secs = self.rng.lognormal(self.median_secs.ln(), self.sigma);
+            out.push(NoiseEvent {
+                start: self.next_arrival,
+                duration: SimDuration::from_secs_f64(secs),
+                kind: NoiseKind::Daemon,
+            });
+            self.next_arrival += self.rng.exp_duration(self.mean_interval);
+        }
+        out
+    }
+}
+
+/// A source that replays an explicit schedule of events — used to inject
+/// attachment-service detours whose timing is decided by the experiment
+/// driver.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledNoise {
+    events: Vec<NoiseEvent>,
+    cursor: usize,
+}
+
+impl ScheduledNoise {
+    /// Build from a pre-sorted schedule (sorted by `start`).
+    pub fn new(mut events: Vec<NoiseEvent>) -> Self {
+        events.sort_by_key(|e| e.start);
+        ScheduledNoise { events, cursor: 0 }
+    }
+
+    /// Append an event; the schedule is kept sorted lazily at next query.
+    pub fn push(&mut self, event: NoiseEvent) {
+        self.events.push(event);
+        // Keep sorted from the cursor onward.
+        self.events[self.cursor..].sort_by_key(|e| e.start);
+    }
+}
+
+impl NoiseGen for ScheduledNoise {
+    fn events_in(&mut self, from: SimTime, to: SimTime) -> Vec<NoiseEvent> {
+        let mut out = Vec::new();
+        while self.cursor < self.events.len() && self.events[self.cursor].start < to {
+            let e = self.events[self.cursor];
+            if e.start >= from {
+                out.push(e);
+            }
+            self.cursor += 1;
+        }
+        out
+    }
+}
+
+/// Merges several sources into one time-ordered stream.
+pub struct CompositeNoise {
+    sources: Vec<Box<dyn NoiseGen + Send>>,
+}
+
+impl CompositeNoise {
+    /// Compose the given sources.
+    pub fn new(sources: Vec<Box<dyn NoiseGen + Send>>) -> Self {
+        CompositeNoise { sources }
+    }
+
+    /// The Kitten enclave noise profile: hardware baseline + SMIs.
+    pub fn kitten(rng: &mut SimRng) -> Self {
+        CompositeNoise::new(vec![
+            Box::new(PoissonNoise::kitten_hardware(rng.fork(0xA))),
+            Box::new(PeriodicNoise::smi(rng.fork(0xB))),
+        ])
+    }
+
+    /// The FWK (Linux-like) noise profile: hardware + SMIs + timer + daemons.
+    pub fn fwk(rng: &mut SimRng) -> Self {
+        CompositeNoise::new(vec![
+            Box::new(PoissonNoise::kitten_hardware(rng.fork(0xA))),
+            Box::new(PeriodicNoise::smi(rng.fork(0xB))),
+            Box::new(PoissonNoise::fwk_timer(rng.fork(0xC))),
+            Box::new(DaemonNoise::fwk_default(rng.fork(0xD))),
+            Box::new(DaemonNoise::fwk_bursts(rng.fork(0xE))),
+        ])
+    }
+
+    /// The profile of a Linux guest in a VM on an isolated co-kernel
+    /// host: near-Kitten hardware baseline plus the guest's own light
+    /// daemon activity (the Fig. 9 multi-enclave simulation enclave).
+    pub fn vm_on_lwk_guest(rng: &mut SimRng) -> Self {
+        CompositeNoise::new(vec![
+            Box::new(PoissonNoise::kitten_hardware(rng.fork(0xA))),
+            Box::new(PeriodicNoise::smi(rng.fork(0xB))),
+            Box::new(DaemonNoise::vm_guest_daemons(rng.fork(0xF))),
+        ])
+    }
+
+    /// An effectively silent profile (for idealized ablations).
+    pub fn silent() -> Self {
+        CompositeNoise::new(Vec::new())
+    }
+}
+
+impl NoiseGen for CompositeNoise {
+    fn events_in(&mut self, from: SimTime, to: SimTime) -> Vec<NoiseEvent> {
+        let mut out: Vec<NoiseEvent> = self
+            .sources
+            .iter_mut()
+            .flat_map(|s| s.events_in(from, to))
+            .collect();
+        out.sort_by_key(|e| e.start);
+        out
+    }
+}
+
+/// Compute when `cpu_work` of application CPU time, started at `start`,
+/// completes under the given noise source.
+///
+/// Every noise event that begins before the (continuously extended)
+/// completion point steals its duration from the application. This is the
+/// standard fixed-point construction: extend the window, collect newly
+/// revealed events, repeat until stable.
+pub fn finish_time_with_noise(
+    gen: &mut dyn NoiseGen,
+    start: SimTime,
+    cpu_work: SimDuration,
+) -> SimTime {
+    let mut end = start + cpu_work;
+    let mut covered = start;
+    loop {
+        if covered >= end {
+            break;
+        }
+        let events = gen.events_in(covered, end);
+        covered = end;
+        let stolen: SimDuration = events.iter().map(|e| e.duration).sum();
+        if stolen.is_zero() {
+            break;
+        }
+        end += stolen;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_right() {
+        let mut src = PoissonNoise::kitten_hardware(rng());
+        let events = src.events_in(SimTime::ZERO, SimTime::from_nanos(10_000_000_000));
+        // 10 s at mean interval 10 ms ⇒ ~1000 events.
+        assert!((800..1200).contains(&events.len()), "{} events", events.len());
+        for e in &events {
+            let us = e.duration.as_micros_f64();
+            assert!((8.0..16.0).contains(&us), "duration {us} µs");
+        }
+    }
+
+    #[test]
+    fn smi_period_is_roughly_right() {
+        let mut src = PeriodicNoise::smi(rng());
+        let events = src.events_in(SimTime::ZERO, SimTime::from_nanos(10_000_000_000));
+        // 10 s at ~700 ms period ⇒ ~14 events.
+        assert!((10..20).contains(&events.len()), "{} events", events.len());
+    }
+
+    #[test]
+    fn daemon_noise_has_a_heavy_tail() {
+        let mut src = DaemonNoise::fwk_default(rng());
+        let events = src.events_in(SimTime::ZERO, SimTime::from_nanos(60_000_000_000));
+        assert!(events.len() > 1000);
+        let max = events.iter().map(|e| e.duration).max().unwrap();
+        let mut sorted: Vec<_> = events.iter().map(|e| e.duration).collect();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            max.as_nanos() > 10 * median.as_nanos(),
+            "tail max {max} vs median {median}"
+        );
+    }
+
+    #[test]
+    fn scheduled_noise_replays_in_windows() {
+        let e1 = NoiseEvent {
+            start: SimTime::from_nanos(100),
+            duration: SimDuration::from_nanos(5),
+            kind: NoiseKind::AttachService,
+        };
+        let e2 = NoiseEvent {
+            start: SimTime::from_nanos(300),
+            duration: SimDuration::from_nanos(5),
+            kind: NoiseKind::AttachService,
+        };
+        let mut src = ScheduledNoise::new(vec![e2, e1]);
+        assert_eq!(src.events_in(SimTime::ZERO, SimTime::from_nanos(200)), vec![e1]);
+        assert_eq!(src.events_in(SimTime::from_nanos(200), SimTime::from_nanos(400)), vec![e2]);
+        assert!(src.events_in(SimTime::from_nanos(400), SimTime::from_nanos(999)).is_empty());
+    }
+
+    #[test]
+    fn finish_time_without_noise_is_exact() {
+        let mut silent = CompositeNoise::silent();
+        let end = finish_time_with_noise(
+            &mut silent,
+            SimTime::from_nanos(50),
+            SimDuration::from_nanos(100),
+        );
+        assert_eq!(end.as_nanos(), 150);
+    }
+
+    #[test]
+    fn finish_time_extends_by_stolen_time() {
+        // One 10 ns event at t=5 within a 100 ns job starting at 0.
+        let mut src = ScheduledNoise::new(vec![NoiseEvent {
+            start: SimTime::from_nanos(5),
+            duration: SimDuration::from_nanos(10),
+            kind: NoiseKind::Daemon,
+        }]);
+        let end = finish_time_with_noise(&mut src, SimTime::ZERO, SimDuration::from_nanos(100));
+        assert_eq!(end.as_nanos(), 110);
+    }
+
+    #[test]
+    fn finish_time_fixed_point_catches_cascading_events() {
+        // Second event only falls inside the window once the first extends it.
+        let mut src = ScheduledNoise::new(vec![
+            NoiseEvent {
+                start: SimTime::from_nanos(90),
+                duration: SimDuration::from_nanos(50),
+                kind: NoiseKind::Daemon,
+            },
+            NoiseEvent {
+                start: SimTime::from_nanos(120),
+                duration: SimDuration::from_nanos(7),
+                kind: NoiseKind::Daemon,
+            },
+        ]);
+        let end = finish_time_with_noise(&mut src, SimTime::ZERO, SimDuration::from_nanos(100));
+        assert_eq!(end.as_nanos(), 157);
+    }
+
+    #[test]
+    fn composite_merges_in_time_order() {
+        let mut rng = rng();
+        let mut src = CompositeNoise::fwk(&mut rng);
+        let events = src.events_in(SimTime::ZERO, SimTime::from_nanos(2_000_000_000));
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        // Both timer ticks and daemons present.
+        assert!(events.iter().any(|e| e.kind == NoiseKind::TimerTick));
+        assert!(events.iter().any(|e| e.kind == NoiseKind::Daemon));
+    }
+}

@@ -1,0 +1,129 @@
+//! Summary statistics and throughput helpers for the experiment harnesses.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a slice of observations. Returns a zeroed summary for an
+    /// empty slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary { n: 0, mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Summary { n, mean, stddev: var.sqrt(), min, max }
+    }
+
+    /// Summarize virtual durations, in seconds.
+    pub fn of_durations(ds: &[SimDuration]) -> Summary {
+        let secs: Vec<f64> = ds.iter().map(|d| d.as_secs_f64()).collect();
+        Summary::of(&secs)
+    }
+}
+
+/// Throughput in GB/s (decimal gigabytes, matching the paper's axes) for
+/// moving `bytes` in `elapsed` virtual time. Returns 0 for zero elapsed.
+pub fn throughput_gbps(bytes: u64, elapsed: SimDuration) -> f64 {
+    let s = elapsed.as_secs_f64();
+    if s <= 0.0 {
+        0.0
+    } else {
+        bytes as f64 / s / 1e9
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a set of observations, by linear
+/// interpolation on the sorted data. Returns `None` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic dataset is ~2.138.
+        assert!((s.stddev - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_handles_degenerate_inputs() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+        let one = Summary::of(&[3.5]);
+        assert_eq!(one.mean, 3.5);
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.min, 3.5);
+        assert_eq!(one.max, 3.5);
+    }
+
+    #[test]
+    fn throughput_matches_hand_computation() {
+        // 1 GiB in 100 ms = 10.73 GB/s decimal.
+        let t = throughput_gbps(1 << 30, SimDuration::from_millis(100));
+        assert!((t - 10.73741824).abs() < 1e-6);
+        assert_eq!(throughput_gbps(100, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(quantile(&xs, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn duration_summary_converts_to_seconds() {
+        let s = Summary::of_durations(&[SimDuration::from_secs(1), SimDuration::from_secs(3)]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+}

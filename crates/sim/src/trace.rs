@@ -1,0 +1,83 @@
+//! Timestamped event recording.
+//!
+//! The Selfish Detour reproduction (paper Fig. 7) emits a time series of
+//! (timestamp, detour-duration, label) samples; [`Trace`] is the small
+//! append-only recorder the workloads use for that, and for debugging
+//! protocol flows in tests.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One recorded trace sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub at: SimTime,
+    /// Duration associated with the event (zero for instantaneous marks).
+    pub duration: SimDuration,
+    /// Free-form label (e.g. `"detour:1GB"`).
+    pub label: String,
+}
+
+/// An append-only event recorder.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A fresh empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, at: SimTime, duration: SimDuration, label: impl Into<String>) {
+        self.events.push(TraceEvent { at, duration, label: label.into() });
+    }
+
+    /// All events, in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose label matches the given prefix.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.label.starts_with(prefix))
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_nanos(1), SimDuration::from_nanos(10), "detour:hw");
+        t.record(SimTime::from_nanos(2), SimDuration::from_nanos(20), "attach:1GB");
+        t.record(SimTime::from_nanos(3), SimDuration::from_nanos(30), "detour:smi");
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let detours: Vec<_> = t.with_prefix("detour:").collect();
+        assert_eq!(detours.len(), 2);
+        assert_eq!(detours[1].duration.as_nanos(), 30);
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.events().len(), 0);
+    }
+}

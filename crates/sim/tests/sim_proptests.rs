@@ -1,0 +1,74 @@
+//! Property tests for the simulation substrate: noise-stream ordering,
+//! the noise fixed-point's monotonicity, and the calendar resource's
+//! no-overlap/conservation invariants.
+
+use proptest::prelude::*;
+use xemem_sim::des::Resource;
+use xemem_sim::noise::{finish_time_with_noise, CompositeNoise, NoiseGen};
+use xemem_sim::{SimDuration, SimRng, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn noise_streams_are_ordered_across_windows(seed in any::<u64>(), windows in 1u64..20) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut gen = CompositeNoise::fwk(&mut rng);
+        let mut last = SimTime::ZERO;
+        let step = SimDuration::from_millis(50);
+        let mut cursor = SimTime::ZERO;
+        for _ in 0..windows {
+            let next = cursor + step;
+            for e in gen.events_in(cursor, next) {
+                prop_assert!(e.start >= cursor && e.start < next, "event outside its window");
+                prop_assert!(e.start >= last, "events regressed in time");
+                last = e.start;
+            }
+            cursor = next;
+        }
+    }
+
+    #[test]
+    fn finish_time_is_at_least_start_plus_work(seed in any::<u64>(), work_us in 1u64..100_000) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut gen = CompositeNoise::fwk(&mut rng);
+        let start = SimTime::from_nanos(17);
+        let work = SimDuration::from_micros(work_us);
+        let end = finish_time_with_noise(&mut gen, start, work);
+        prop_assert!(end >= start + work, "noise can only delay completion");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed(seed in any::<u64>()) {
+        let run = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut gen = CompositeNoise::fwk(&mut rng);
+            gen.events_in(SimTime::ZERO, SimTime::from_nanos(1_000_000_000))
+                .iter()
+                .map(|e| (e.start.as_nanos(), e.duration.as_nanos()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn resource_grants_never_overlap(
+        requests in prop::collection::vec((0u64..10_000, 1u64..500), 1..120)
+    ) {
+        let mut r = Resource::new();
+        let mut grants = Vec::new();
+        let mut total_service = 0u64;
+        for (at, service) in requests {
+            let g = r.acquire(SimTime::from_nanos(at), SimDuration::from_nanos(service));
+            prop_assert!(g.start >= SimTime::from_nanos(at), "grant before arrival");
+            prop_assert_eq!(g.end.as_nanos() - g.start.as_nanos(), service);
+            grants.push(g);
+            total_service += service;
+        }
+        grants.sort_by_key(|g| g.start);
+        for w in grants.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "grants overlap: {:?} / {:?}", w[0], w[1]);
+        }
+        prop_assert_eq!(r.total_busy().as_nanos(), total_service);
+    }
+}

@@ -1,0 +1,266 @@
+//! Domain-decomposed HPCCG (the multi-node §7 workload).
+//!
+//! The paper runs HPCCG across nodes with OpenMPI in weak-scaling mode.
+//! This module implements the standard 1-D slab decomposition of the
+//! 27-point stencil: each rank owns a contiguous block of z-planes, SpMV
+//! needs one ghost plane from each slab neighbor, and the two CG dot
+//! products are global reductions.
+//!
+//! As with the single-rank solver, the decomposition runs *numerically*
+//! (all ranks simulated in-process, with explicit ghost-plane exchanges
+//! and reduction sums) so tests can assert it produces exactly the same
+//! iterates as the sequential solver — proving the communication pattern
+//! the cluster simulator charges for is the real one.
+
+use crate::hpccg::HpccgProblem;
+
+/// Ghost planes a rank receives: (from the slab below, from above).
+type GhostPlanes = (Option<Vec<f64>>, Option<Vec<f64>>);
+
+/// A 1-D slab decomposition of an HPCCG problem across `ranks` ranks.
+#[derive(Debug, Clone, Copy)]
+pub struct SlabDecomposition {
+    /// The *global* problem.
+    pub problem: HpccgProblem,
+    /// Number of ranks (slabs along z).
+    pub ranks: usize,
+}
+
+/// One rank's slab extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slab {
+    /// First global z-plane owned.
+    pub z0: usize,
+    /// Number of planes owned.
+    pub nz: usize,
+}
+
+impl SlabDecomposition {
+    /// Create a decomposition; `ranks` must not exceed `nz`.
+    pub fn new(problem: HpccgProblem, ranks: usize) -> Self {
+        assert!(ranks >= 1 && ranks <= problem.nz, "more ranks than z-planes");
+        SlabDecomposition { problem, ranks }
+    }
+
+    /// The slab owned by `rank` (remainder planes go to the low ranks).
+    pub fn slab(&self, rank: usize) -> Slab {
+        let base = self.problem.nz / self.ranks;
+        let extra = self.problem.nz % self.ranks;
+        let nz = base + usize::from(rank < extra);
+        let z0 = rank * base + rank.min(extra);
+        Slab { z0, nz }
+    }
+
+    /// Bytes exchanged with each slab neighbor per SpMV (one ghost
+    /// plane).
+    pub fn halo_bytes(&self) -> u64 {
+        (self.problem.nx * self.problem.ny * 8) as u64
+    }
+
+    /// Number of global reductions per CG iteration (the two dot
+    /// products).
+    pub const REDUCTIONS_PER_ITER: u32 = 2;
+
+    /// Numerically solve the global system with the decomposed algorithm:
+    /// per-rank slabs, ghost-plane exchanges before every SpMV, and
+    /// summed partial dot products. Returns the assembled global solution
+    /// (bitwise comparable to the sequential solver up to floating-point
+    /// summation order, which we keep identical by reducing in rank
+    /// order).
+    pub fn solve(&self, max_iters: u32, tol: f64) -> crate::hpccg::CgResult {
+        let p = self.problem;
+        let plane = p.nx * p.ny;
+        let n = p.rows() as usize;
+
+        // Global right-hand side, then scatter to slabs.
+        let b = p.rhs();
+        let slabs: Vec<Slab> = (0..self.ranks).map(|r| self.slab(r)).collect();
+
+        // Per-rank state (local planes only).
+        let mut x: Vec<Vec<f64>> = slabs.iter().map(|s| vec![0.0; s.nz * plane]).collect();
+        let mut r: Vec<Vec<f64>> =
+            slabs.iter().map(|s| b[s.z0 * plane..(s.z0 + s.nz) * plane].to_vec()).collect();
+        let mut pv: Vec<Vec<f64>> = r.clone();
+        let mut ap: Vec<Vec<f64>> = slabs.iter().map(|s| vec![0.0; s.nz * plane]).collect();
+
+        // Global dot via in-order partial sums (matches sequential order
+        // because slabs partition the index space contiguously).
+        let dot = |a: &[Vec<f64>], c: &[Vec<f64>]| -> f64 {
+            a.iter()
+                .zip(c)
+                .map(|(la, lc)| la.iter().zip(lc).map(|(x, y)| x * y).sum::<f64>())
+                .sum()
+        };
+
+        let mut rr: f64 = dot(&r, &r);
+        let mut iterations = 0;
+        for _ in 0..max_iters {
+            if rr.sqrt() < tol {
+                break;
+            }
+            iterations += 1;
+
+            // Ghost-plane exchange: each rank needs its neighbors' edge
+            // planes of pv.
+            let ghosts: Vec<GhostPlanes> = (0..self.ranks)
+                .map(|rank| {
+                    let below = rank
+                        .checked_sub(1)
+                        .map(|nb| pv[nb][(slabs[nb].nz - 1) * plane..].to_vec());
+                    let above =
+                        (rank + 1 < self.ranks).then(|| pv[rank + 1][..plane].to_vec());
+                    (below, above)
+                })
+                .collect();
+
+            // Local SpMV over each slab, using ghosts at the seams.
+            for rank in 0..self.ranks {
+                let slab = slabs[rank];
+                let (ghost_below, ghost_above) = &ghosts[rank];
+                apply_slab(&p, slab, &pv[rank], ghost_below.as_deref(), ghost_above.as_deref(), &mut ap[rank]);
+            }
+
+            let alpha = rr / dot(&pv, &ap);
+            for rank in 0..self.ranks {
+                for i in 0..x[rank].len() {
+                    x[rank][i] += alpha * pv[rank][i];
+                    r[rank][i] -= alpha * ap[rank][i];
+                }
+            }
+            let rr_new = dot(&r, &r);
+            let beta = rr_new / rr;
+            rr = rr_new;
+            for rank in 0..self.ranks {
+                for i in 0..pv[rank].len() {
+                    pv[rank][i] = r[rank][i] + beta * pv[rank][i];
+                }
+            }
+        }
+
+        // Gather the global solution.
+        let mut global = vec![0.0; n];
+        for (rank, slab) in slabs.iter().enumerate() {
+            global[slab.z0 * plane..(slab.z0 + slab.nz) * plane].copy_from_slice(&x[rank]);
+        }
+        crate::hpccg::CgResult { iterations, residual: rr.sqrt(), x: global }
+    }
+}
+
+/// `y = A·x` restricted to one slab, reading seam neighbors from ghost
+/// planes.
+fn apply_slab(
+    p: &HpccgProblem,
+    slab: Slab,
+    x: &[f64],
+    ghost_below: Option<&[f64]>,
+    ghost_above: Option<&[f64]>,
+    y: &mut [f64],
+) {
+    let (nx, ny) = (p.nx, p.ny);
+    let plane = nx * ny;
+    // Value of global plane `gz` at local coordinates, or None outside
+    // the grid.
+    let read = |gz: i64, yy: i64, xx: i64| -> Option<f64> {
+        if xx < 0 || xx >= nx as i64 || yy < 0 || yy >= ny as i64 || gz < 0 || gz >= p.nz as i64 {
+            return None;
+        }
+        let idx_in_plane = (yy as usize) * nx + xx as usize;
+        let lz = gz - slab.z0 as i64;
+        if lz >= 0 && (lz as usize) < slab.nz {
+            Some(x[lz as usize * plane + idx_in_plane])
+        } else if lz == -1 {
+            ghost_below.map(|g| g[idx_in_plane])
+        } else if lz == slab.nz as i64 {
+            ghost_above.map(|g| g[idx_in_plane])
+        } else {
+            unreachable!("stencil only reaches one plane past the slab")
+        }
+    };
+    for lz in 0..slab.nz {
+        let gz = (slab.z0 + lz) as i64;
+        for yy in 0..ny as i64 {
+            for xx in 0..nx as i64 {
+                let mut acc = 27.0 * x[lz * plane + yy as usize * nx + xx as usize];
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            if dx == 0 && dy == 0 && dz == 0 {
+                                continue;
+                            }
+                            if let Some(v) = read(gz + dz, yy + dy, xx + dx) {
+                                acc -= v;
+                            }
+                        }
+                    }
+                }
+                y[lz * plane + yy as usize * nx + xx as usize] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slabs_partition_the_grid() {
+        let p = HpccgProblem { nx: 6, ny: 5, nz: 11 };
+        for ranks in [1usize, 2, 3, 4, 11] {
+            let d = SlabDecomposition::new(p, ranks);
+            let mut covered = 0;
+            let mut next_z0 = 0;
+            for rank in 0..ranks {
+                let s = d.slab(rank);
+                assert_eq!(s.z0, next_z0, "slabs must be contiguous");
+                assert!(s.nz >= 1);
+                next_z0 += s.nz;
+                covered += s.nz;
+            }
+            assert_eq!(covered, p.nz);
+        }
+    }
+
+    #[test]
+    fn distributed_solve_matches_sequential_exactly() {
+        let p = HpccgProblem { nx: 8, ny: 7, nz: 12 };
+        let sequential = p.solve(40, 1e-10);
+        for ranks in [2usize, 3, 4] {
+            let d = SlabDecomposition::new(p, ranks);
+            let dist = d.solve(40, 1e-10);
+            assert_eq!(dist.iterations, sequential.iterations, "{ranks} ranks");
+            assert!(
+                (dist.residual - sequential.residual).abs() < 1e-12,
+                "{ranks} ranks: residual {} vs {}",
+                dist.residual,
+                sequential.residual
+            );
+            for (i, (a, b)) in dist.x.iter().zip(&sequential.x).enumerate() {
+                assert!((a - b).abs() < 1e-9, "{ranks} ranks: x[{i}] {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_solve_converges_to_ones() {
+        let p = HpccgProblem { nx: 10, ny: 10, nz: 10 };
+        let d = SlabDecomposition::new(p, 4);
+        let result = d.solve(200, 1e-9);
+        assert!(result.residual < 1e-9);
+        for &xi in &result.x {
+            assert!((xi - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn halo_bytes_is_one_plane() {
+        let d = SlabDecomposition::new(HpccgProblem { nx: 128, ny: 128, nz: 288 }, 8);
+        assert_eq!(d.halo_bytes(), 128 * 128 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "more ranks than z-planes")]
+    fn too_many_ranks_rejected() {
+        SlabDecomposition::new(HpccgProblem { nx: 4, ny: 4, nz: 4 }, 5);
+    }
+}

@@ -1,0 +1,309 @@
+//! HPCCG — the Mantevo conjugate-gradient mini-app (paper §6.1).
+//!
+//! The paper's "HPC simulation" is HPCCG: CG iterations on a sparse
+//! matrix from a 27-point stencil over an `nx × ny × nz` grid, with the
+//! classic Mantevo construction (diagonal 27, off-diagonals −1, exact
+//! solution of all ones). Two execution modes:
+//!
+//! * **Numeric** — [`HpccgProblem::solve`] actually runs matrix-free CG
+//!   and converges to the ones vector (asserted by tests). Used for
+//!   small grids in tests/examples to prove the workload is real.
+//! * **Modelled** — [`HpccgModel::iter_time`] charges a roofline
+//!   (max of memory and FLOP time) per iteration for paper-scale grids
+//!   where running 600 numeric iterations would be wasteful.
+
+use xemem_sim::{CostModel, SimDuration};
+
+/// A 27-point stencil problem on an `nx × ny × nz` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HpccgProblem {
+    /// Grid points in x.
+    pub nx: usize,
+    /// Grid points in y.
+    pub ny: usize,
+    /// Grid points in z.
+    pub nz: usize,
+}
+
+/// Result of a numeric CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Iterations actually performed.
+    pub iterations: u32,
+    /// Final residual norm.
+    pub residual: f64,
+    /// The solution vector.
+    pub x: Vec<f64>,
+}
+
+impl HpccgProblem {
+    /// A problem sized for quick numeric runs in tests.
+    pub fn tiny() -> Self {
+        HpccgProblem { nx: 12, ny: 12, nz: 12 }
+    }
+
+    /// The single-node Fig. 8 scale: calibrated so 600 iterations take
+    /// ≈ 142 s of virtual time on the paper's 4-core node.
+    pub fn fig8() -> Self {
+        HpccgProblem { nx: 200, ny: 200, nz: 200 }
+    }
+
+    /// The per-node Fig. 9 scale (weak scaling: this is each node's
+    /// share): calibrated so 300 iterations take ≈ 43 s.
+    pub fn fig9_per_node() -> Self {
+        HpccgProblem { nx: 128, ny: 128, nz: 288 }
+    }
+
+    /// Number of rows (grid points).
+    pub fn rows(&self) -> u64 {
+        (self.nx * self.ny * self.nz) as u64
+    }
+
+    /// Number of nonzeros: each row couples to its ≤ 27 in-grid stencil
+    /// neighbours (counted exactly). The count is separable per axis:
+    /// `Σ_cells xspan·yspan·zspan = (Σ xspan)(Σ yspan)(Σ zspan)`, where a
+    /// coordinate's span is 3 in the interior, 2 at a face, 1 when the
+    /// axis is a single point.
+    pub fn nonzeros(&self) -> u64 {
+        fn axis_sum(n: usize) -> u64 {
+            if n == 1 {
+                1
+            } else {
+                3 * n as u64 - 2
+            }
+        }
+        axis_sum(self.nx) * axis_sum(self.ny) * axis_sum(self.nz)
+    }
+
+    /// Bytes moved per CG iteration: the sparse matrix (8 B value + 4 B
+    /// column index per nonzero) plus ~5 vector sweeps.
+    pub fn bytes_per_iter(&self) -> u64 {
+        self.nonzeros() * 12 + self.rows() * 8 * 5
+    }
+
+    /// FLOPs per iteration: 2 per nonzero (SpMV) plus ~10 per row
+    /// (dot products and AXPYs).
+    pub fn flops_per_iter(&self) -> u64 {
+        2 * self.nonzeros() + 10 * self.rows()
+    }
+
+    /// The Mantevo right-hand side: `b = A·1`, so the exact solution is
+    /// the ones vector.
+    pub fn rhs(&self) -> Vec<f64> {
+        let n = self.rows() as usize;
+        let mut b = vec![0.0; n];
+        let ones = vec![1.0; n];
+        self.apply(&ones, &mut b);
+        b
+    }
+
+    /// Matrix-free `y = A·x` for the HPCCG matrix (diagonal 27,
+    /// off-diagonal −1 toward every in-grid stencil neighbour).
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        assert_eq!(x.len(), nx * ny * nz);
+        assert_eq!(y.len(), x.len());
+        for z in 0..nz {
+            for yy in 0..ny {
+                for xx in 0..nx {
+                    let idx = (z * ny + yy) * nx + xx;
+                    let mut acc = 27.0 * x[idx];
+                    for dz in -1i64..=1 {
+                        let zz = z as i64 + dz;
+                        if zz < 0 || zz >= nz as i64 {
+                            continue;
+                        }
+                        for dy in -1i64..=1 {
+                            let yyy = yy as i64 + dy;
+                            if yyy < 0 || yyy >= ny as i64 {
+                                continue;
+                            }
+                            for dx in -1i64..=1 {
+                                let xxx = xx as i64 + dx;
+                                if xxx < 0 || xxx >= nx as i64 || (dx == 0 && dy == 0 && dz == 0) {
+                                    continue;
+                                }
+                                let nidx = ((zz as usize * ny) + yyy as usize) * nx + xxx as usize;
+                                acc -= x[nidx];
+                            }
+                        }
+                    }
+                    y[idx] = acc;
+                }
+            }
+        }
+    }
+
+    /// Numeric CG solve of `A·x = b` with `b = A·1`; stops at `max_iters`
+    /// or when the residual norm falls below `tol`.
+    pub fn solve(&self, max_iters: u32, tol: f64) -> CgResult {
+        let n = self.rows() as usize;
+        let b = self.rhs();
+        let mut x = vec![0.0; n];
+        let mut r = b.clone();
+        let mut p = r.clone();
+        let mut ap = vec![0.0; n];
+        let mut rr = dot(&r, &r);
+        let mut iterations = 0;
+        for _ in 0..max_iters {
+            if rr.sqrt() < tol {
+                break;
+            }
+            iterations += 1;
+            self.apply(&p, &mut ap);
+            let alpha = rr / dot(&p, &ap);
+            axpy(&mut x, alpha, &p);
+            axpy(&mut r, -alpha, &ap);
+            let rr_new = dot(&r, &r);
+            let beta = rr_new / rr;
+            rr = rr_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        CgResult { iterations, residual: rr.sqrt(), x }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn axpy(y: &mut [f64], alpha: f64, x: &[f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// The roofline virtual-time model for paper-scale runs.
+#[derive(Debug, Clone)]
+pub struct HpccgModel {
+    /// The problem being timed.
+    pub problem: HpccgProblem,
+    /// Cores devoted to the solver.
+    pub cores: u32,
+    /// Multiplicative slowdown (e.g. VM overhead); 1.0 for native.
+    pub slowdown: f64,
+    cost: CostModel,
+}
+
+impl HpccgModel {
+    /// Build a model.
+    pub fn new(problem: HpccgProblem, cores: u32, cost: CostModel) -> Self {
+        HpccgModel { problem, cores, slowdown: 1.0, cost }
+    }
+
+    /// Apply a multiplicative slowdown (VM overhead, busy host, ...).
+    pub fn with_slowdown(mut self, f: f64) -> Self {
+        self.slowdown = f;
+        self
+    }
+
+    /// Virtual CPU time of one CG iteration: the roofline maximum of
+    /// memory-bandwidth time (socket-wide) and FLOP time (per-core rate ×
+    /// cores), scaled by the slowdown.
+    pub fn iter_time(&self) -> SimDuration {
+        let mem = CostModel::transfer_time(self.problem.bytes_per_iter(), self.cost.dram_stream_bps);
+        let flops = self.problem.flops_per_iter();
+        let flop_rate = self.cost.flops_per_core * self.cores.max(1) as u64;
+        let compute = CostModel::transfer_time(flops, flop_rate);
+        mem.max(compute).scaled(self.slowdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonzero_count_matches_brute_force() {
+        let p = HpccgProblem { nx: 5, ny: 4, nz: 3 };
+        // Brute force: count in-grid neighbours per cell (+ diagonal).
+        let mut expect = 0u64;
+        for z in 0..p.nz as i64 {
+            for y in 0..p.ny as i64 {
+                for x in 0..p.nx as i64 {
+                    for dz in -1..=1i64 {
+                        for dy in -1..=1i64 {
+                            for dx in -1..=1i64 {
+                                let (xx, yy, zz) = (x + dx, y + dy, z + dz);
+                                if xx >= 0
+                                    && xx < p.nx as i64
+                                    && yy >= 0
+                                    && yy < p.ny as i64
+                                    && zz >= 0
+                                    && zz < p.nz as i64
+                                {
+                                    expect += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(p.nonzeros(), expect);
+    }
+
+    #[test]
+    fn cg_converges_to_ones() {
+        let p = HpccgProblem::tiny();
+        let result = p.solve(200, 1e-8);
+        assert!(result.residual < 1e-8, "residual {}", result.residual);
+        assert!(result.iterations < 100, "took {} iterations", result.iterations);
+        for (i, &xi) in result.x.iter().enumerate() {
+            assert!((xi - 1.0).abs() < 1e-6, "x[{i}] = {xi}");
+        }
+    }
+
+    #[test]
+    fn cg_respects_iteration_cap() {
+        let p = HpccgProblem::tiny();
+        let result = p.solve(3, 0.0);
+        assert_eq!(result.iterations, 3);
+        assert!(result.residual > 0.0);
+    }
+
+    #[test]
+    fn apply_is_symmetric() {
+        // CG requires symmetric A: check x'Ay == y'Ax on random-ish data.
+        let p = HpccgProblem { nx: 6, ny: 5, nz: 4 };
+        let n = p.rows() as usize;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 53 + 29) % 13) as f64 - 6.0).collect();
+        let mut ax = vec![0.0; n];
+        let mut ay = vec![0.0; n];
+        p.apply(&x, &mut ax);
+        p.apply(&y, &mut ay);
+        let xtay = dot(&x, &ay);
+        let ytax = dot(&y, &ax);
+        assert!((xtay - ytax).abs() < 1e-9 * xtay.abs().max(1.0));
+    }
+
+    #[test]
+    fn fig8_iteration_time_calibration() {
+        // 600 iterations on the Fig. 8 problem ≈ 140–150 s of virtual
+        // time on a 4-core socket.
+        let model = HpccgModel::new(HpccgProblem::fig8(), 4, CostModel::default());
+        let total = model.iter_time().times(600);
+        let s = total.as_secs_f64();
+        assert!((135.0..155.0).contains(&s), "600 iters = {s} s");
+    }
+
+    #[test]
+    fn fig9_iteration_time_calibration() {
+        // 300 iterations of the per-node Fig. 9 problem ≈ 42–45 s.
+        let model = HpccgModel::new(HpccgProblem::fig9_per_node(), 8, CostModel::default());
+        let total = model.iter_time().times(300);
+        let s = total.as_secs_f64();
+        assert!((40.0..47.0).contains(&s), "300 iters = {s} s");
+    }
+
+    #[test]
+    fn slowdown_scales_iter_time() {
+        let base = HpccgModel::new(HpccgProblem::fig8(), 4, CostModel::default());
+        let slowed = base.clone().with_slowdown(1.10);
+        let ratio = slowed.iter_time().as_secs_f64() / base.iter_time().as_secs_f64();
+        assert!((1.09..1.11).contains(&ratio));
+    }
+}

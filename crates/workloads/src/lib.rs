@@ -1,0 +1,37 @@
+//! # xemem-workloads
+//!
+//! The workloads of the paper's evaluation (§5.5–§7):
+//!
+//! * [`hpccg`] — the Mantevo HPCCG mini-app: a conjugate-gradient solver
+//!   on a 27-point stencil. Runs *numerically* (real CG, converges to the
+//!   known solution — used by tests and small examples) and *modelled*
+//!   (roofline virtual-time per iteration — used by the large benchmark
+//!   configurations).
+//! * [`decomp`] — the multi-node §7 variant: 1-D slab decomposition with
+//!   ghost-plane exchanges and global reductions, numerically verified to
+//!   produce the sequential solver's exact iterates.
+//! * [`stream`] — the HPC Challenge STREAM kernels (copy/scale/add/triad)
+//!   with the standard validation, plus their roofline time model.
+//! * [`detour`] — the ANL Selfish Detour benchmark: detects intervals
+//!   where the CPU was stolen from a spin loop; reproduces paper Fig. 7
+//!   when run against an enclave's noise profile plus XEMEM attachment
+//!   service events.
+//! * [`insitu`] — the composed in situ application of §6: an HPC
+//!   simulation signalling a co-located analytics program through shared
+//!   memory, configurable across the paper's execution models
+//!   (synchronous/asynchronous), attachment models (one-time/recurring)
+//!   and enclave configurations (Table 3).
+
+pub mod decomp;
+pub mod detour;
+pub mod hpccg;
+pub mod insitu;
+pub mod stream;
+
+pub use decomp::SlabDecomposition;
+pub use detour::{DetourSample, SelfishDetour};
+pub use hpccg::{CgResult, HpccgModel, HpccgProblem};
+pub use insitu::{
+    AnalyticsEnclave, AttachModel, ExecutionModel, InsituConfig, InsituResult, SimEnclave,
+};
+pub use stream::{stream_time, StreamArrays};

@@ -1,0 +1,165 @@
+//! STREAM — the HPC Challenge memory-bandwidth kernels (paper §6.1).
+//!
+//! The paper's analytics program copies the shared region into a private
+//! array and runs STREAM over it. [`StreamArrays`] is a real
+//! implementation of the four kernels with the standard validation;
+//! [`stream_time`] is the roofline virtual-time model the in situ driver
+//! charges for an analytics interval.
+
+use xemem_sim::{CostModel, SimDuration};
+
+/// The three STREAM arrays and kernel implementations.
+#[derive(Debug, Clone)]
+pub struct StreamArrays {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    scalar: f64,
+}
+
+impl StreamArrays {
+    /// STREAM's canonical initialization: a = 1, b = 2, c = 0.
+    pub fn new(elements: usize) -> Self {
+        StreamArrays {
+            a: vec![1.0; elements],
+            b: vec![2.0; elements],
+            c: vec![0.0; elements],
+            scalar: 3.0,
+        }
+    }
+
+    /// Arrays sized to fit three equal arrays in `region_bytes` (the
+    /// paper runs STREAM "over a 512 MB region").
+    pub fn for_region(region_bytes: u64) -> Self {
+        Self::new((region_bytes / 3 / 8) as usize)
+    }
+
+    /// Elements per array.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// True when the arrays are empty.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Copy: `c = a`.
+    pub fn copy(&mut self) {
+        self.c.copy_from_slice(&self.a);
+    }
+
+    /// Scale: `b = scalar · c`.
+    pub fn scale(&mut self) {
+        for (b, c) in self.b.iter_mut().zip(&self.c) {
+            *b = self.scalar * c;
+        }
+    }
+
+    /// Add: `c = a + b`.
+    pub fn add(&mut self) {
+        for ((c, a), b) in self.c.iter_mut().zip(&self.a).zip(&self.b) {
+            *c = a + b;
+        }
+    }
+
+    /// Triad: `a = b + scalar · c`.
+    pub fn triad(&mut self) {
+        for ((a, b), c) in self.a.iter_mut().zip(&self.b).zip(&self.c) {
+            *a = b + self.scalar * c;
+        }
+    }
+
+    /// One full STREAM pass (copy, scale, add, triad).
+    pub fn run_once(&mut self) {
+        self.copy();
+        self.scale();
+        self.add();
+        self.triad();
+    }
+
+    /// The standard STREAM validation: after `iters` passes from the
+    /// canonical start, `a`, `b`, `c` must equal the analytically
+    /// propagated scalar values.
+    pub fn validate(&self, iters: u32) -> Result<(), String> {
+        let (mut aj, mut bj, mut cj) = (1.0f64, 2.0f64, 0.0f64);
+        for _ in 0..iters {
+            cj = aj;
+            bj = self.scalar * cj;
+            cj = aj + bj;
+            aj = bj + self.scalar * cj;
+        }
+        for (name, arr, expect) in
+            [("a", &self.a, aj), ("b", &self.b, bj), ("c", &self.c, cj)]
+        {
+            for (i, &v) in arr.iter().enumerate() {
+                if (v - expect).abs() > 1e-8 * expect.abs().max(1.0) {
+                    return Err(format!("{name}[{i}] = {v}, expected {expect}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes moved by one full pass (copy 2, scale 2, add 3,
+    /// triad 3 array-lengths).
+    pub fn bytes_per_pass(&self) -> u64 {
+        (self.len() as u64) * 8 * 10
+    }
+}
+
+/// Virtual time of one analytics interval: copy the shared region into a
+/// private array (`2 × region` of traffic) and run one STREAM pass over
+/// arrays filling the region (`10/3 × region`), at socket bandwidth.
+pub fn stream_time(cost: &CostModel, region_bytes: u64) -> SimDuration {
+    let copy_in = CostModel::transfer_time(2 * region_bytes, cost.dram_stream_bps);
+    let pass = CostModel::transfer_time(region_bytes * 10 / 3, cost.dram_stream_bps);
+    copy_in + pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_validate_after_many_passes() {
+        let mut s = StreamArrays::new(1000);
+        for _ in 0..10 {
+            s.run_once();
+        }
+        s.validate(10).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_corruption() {
+        let mut s = StreamArrays::new(100);
+        s.run_once();
+        s.a[42] += 0.5;
+        assert!(s.validate(1).is_err());
+    }
+
+    #[test]
+    fn region_sizing() {
+        let s = StreamArrays::for_region(512 << 20);
+        // Three arrays of ~170 MiB each.
+        let bytes = s.len() as u64 * 8 * 3;
+        assert!(bytes <= 512 << 20);
+        assert!(bytes > 511 << 20);
+    }
+
+    #[test]
+    fn interval_time_calibration() {
+        // The Fig. 8 analytics interval over 512 MB lands near 0.22 s:
+        // this is what makes the paper's sync-vs-async gap ≈ 3.4 s over
+        // 15 communication points.
+        let t = stream_time(&CostModel::default(), 512 << 20);
+        let s = t.as_secs_f64();
+        assert!((0.18..0.30).contains(&s), "interval = {s} s");
+    }
+
+    #[test]
+    fn bytes_per_pass_counts_all_kernels() {
+        let s = StreamArrays::new(1 << 20);
+        assert_eq!(s.bytes_per_pass(), (1 << 20) * 80);
+    }
+}

@@ -1,0 +1,80 @@
+//! OS-noise profiles and the Selfish Detour benchmark (paper §5.5).
+//!
+//! Compares the detour profile of a Kitten enclave against a Linux-like
+//! full-weight kernel, then shows how serving XEMEM attachments of
+//! increasing size perturbs the Kitten profile — the mechanism behind
+//! paper Fig. 7.
+//!
+//! Run with: `cargo run --release --example noise_profile`
+
+use xemem::SystemBuilder;
+use xemem_sim::noise::{CompositeNoise, NoiseEvent, NoiseKind, ScheduledNoise};
+use xemem_sim::{SimDuration, SimRng, SimTime};
+use xemem_workloads::detour::SelfishDetour;
+
+fn summarize(label: &str, detours: &[xemem_workloads::detour::DetourSample]) {
+    let total: f64 = detours.iter().map(|d| d.duration.as_secs_f64()).sum();
+    let max = detours.iter().map(|d| d.duration).max().unwrap_or(SimDuration::ZERO);
+    println!(
+        "  {label:<18} {:>6} detours, {:>9.4}% CPU stolen, longest {}",
+        detours.len(),
+        total / 10.0 * 100.0,
+        max
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let window = SimDuration::from_secs(10);
+    let bench = SelfishDetour::default();
+
+    println!("Baseline noise profiles over a 10 s window:");
+    let mut rng = SimRng::seed_from_u64(42);
+    let mut kitten = CompositeNoise::kitten(&mut rng);
+    summarize("Kitten LWK", &bench.run(&mut kitten, SimTime::ZERO, window));
+    let mut fwk = CompositeNoise::fwk(&mut rng);
+    summarize("Linux-like FWK", &bench.run(&mut fwk, SimTime::ZERO, window));
+
+    println!("\nKitten while serving one XEMEM attachment per second (paper Fig. 7):");
+    for region in [4u64 << 10, 2 << 20, 256 << 20] {
+        // Build a real system and measure the actual page-table-walk
+        // service time for this region size.
+        let mut sys = SystemBuilder::new()
+            .linux_management("linux", 4, 64 << 20)
+            .kitten_cokernel("kitten", 1, region + (64 << 20))
+            .build()?;
+        let kitten_ref = sys.enclave_by_name("kitten").unwrap();
+        let linux_ref = sys.enclave_by_name("linux").unwrap();
+        let exporter = sys.spawn_process(kitten_ref, region + (16 << 20))?;
+        let attacher = sys.spawn_process(linux_ref, 8 << 20)?;
+        let buf = sys.alloc_buffer(exporter, region)?;
+        sys.prepare_buffer(exporter, buf, region)?;
+        let segid = sys.xpmem_make(exporter, buf, region, None)?;
+        let apid = sys.xpmem_get(attacher, segid)?;
+
+        let mut injected = Vec::new();
+        for sec in 0..10u64 {
+            let at = SimTime::from_nanos(sec * 1_000_000_000 + 250_000_000);
+            let outcome = sys.attach_at(attacher, apid, 0, region, at)?;
+            injected.push(NoiseEvent {
+                start: at + outcome.route_request,
+                duration: outcome.serve,
+                kind: NoiseKind::AttachService,
+            });
+            sys.detach_at(attacher, outcome.va, outcome.end)?;
+        }
+        let mut noise = CompositeNoise::new(vec![
+            Box::new(CompositeNoise::kitten(&mut rng)),
+            Box::new(ScheduledNoise::new(injected)),
+        ]);
+        let detours = bench.run(&mut noise, SimTime::ZERO, window);
+        let label = if region >= 1 << 20 {
+            format!("+ {} MB attaches", region >> 20)
+        } else {
+            format!("+ {} KB attaches", region >> 10)
+        };
+        summarize(&label, &detours);
+    }
+    println!("\n(4 KB attachments disappear into the hardware-noise floor;");
+    println!(" large ones dominate everything else, as in the paper.)");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: share memory between two strictly isolated enclaves.
+//!
+//! Builds the simplest multi-OS/R node — a Linux management enclave
+//! (hosting the XEMEM name server) plus a Kitten lightweight-kernel
+//! co-kernel enclave — and walks the full XPMEM-compatible lifecycle:
+//! export, discover, attach, communicate, detach.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xemem::{SystemBuilder, VirtAddr};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One node, two enclaves. The builder carves hardware partitions,
+    // boots both kernels, wires the Pisces IPI channel and runs the
+    // enclave-registration protocol.
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux0", 4, 512 << 20)
+        .kitten_cokernel("kitten0", 1, 256 << 20)
+        .build()?;
+
+    let kitten = sys.enclave_by_name("kitten0").unwrap();
+    let linux = sys.enclave_by_name("linux0").unwrap();
+    println!("booted {} enclaves; virtual time {}", sys.enclave_count(), sys.clock().now());
+
+    // An HPC simulation process in the lightweight kernel, and an
+    // analytics process in Linux.
+    let sim = sys.spawn_process(kitten, 64 << 20)?;
+    let analytics = sys.spawn_process(linux, 64 << 20)?;
+
+    // The simulation produces a timestep and exports it with a
+    // well-known name.
+    let region = 8 << 20;
+    let buf = sys.alloc_buffer(sim, region)?;
+    sys.write(sim, buf, b"timestep 0: temperature field ...")?;
+    let segid = sys.xpmem_make(sim, buf, region, Some("timestep-0"))?;
+    println!("exported {region} bytes as {segid}");
+
+    // The analytics process discovers the segment by name, requests
+    // access, and maps it — all across enclave boundaries, through the
+    // name server and the kernel-to-kernel channel.
+    let found = sys.xpmem_search(analytics, "timestep-0")?;
+    assert_eq!(found, segid);
+    let apid = sys.xpmem_get(analytics, found)?;
+    let outcome = sys.xpmem_attach_outcome(analytics, apid, 0, region)?;
+    println!(
+        "attached at {} (route {} + serve {} + reply {} + map {})",
+        outcome.va, outcome.route_request, outcome.serve, outcome.route_reply, outcome.map
+    );
+
+    // Same physical frames: the analytics process reads the simulation's
+    // bytes, and its writes flow back.
+    let mut seen = vec![0u8; 33];
+    sys.read(analytics, outcome.va, &mut seen)?;
+    assert_eq!(&seen, b"timestep 0: temperature field ...");
+    sys.write(analytics, VirtAddr(outcome.va.0 + region - 8), b"ANALYZED")?;
+    let mut reply = vec![0u8; 8];
+    sys.read(sim, VirtAddr(buf.0 + region - 8), &mut reply)?;
+    assert_eq!(&reply, b"ANALYZED");
+    println!("cross-enclave round trip verified");
+
+    // Tear down.
+    sys.xpmem_detach(analytics, outcome.va)?;
+    sys.xpmem_release(analytics, apid)?;
+    sys.xpmem_remove(sim, segid)?;
+    println!("lifecycle complete at virtual time {}", sys.clock().now());
+    Ok(())
+}

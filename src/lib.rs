@@ -1,0 +1,19 @@
+//! # xemem-suite
+//!
+//! Umbrella crate for the XEMEM reproduction workspace: re-exports every
+//! member crate and hosts the cross-crate integration tests (`tests/`)
+//! and the runnable examples (`examples/`).
+//!
+//! Start with [`xemem`] (the paper's contribution) and the README.
+
+pub use xemem;
+pub use xemem_cluster;
+pub use xemem_collections;
+pub use xemem_fwk;
+pub use xemem_kitten;
+pub use xemem_mem;
+pub use xemem_palacios;
+pub use xemem_pisces;
+pub use xemem_rdma;
+pub use xemem_sim;
+pub use xemem_workloads;

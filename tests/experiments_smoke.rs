@@ -1,0 +1,174 @@
+//! Integration tests: every figure/table experiment runs end to end in
+//! smoke mode, and the qualitative claims the paper makes about each one
+//! hold on the smoke-scale output.
+
+use xemem_bench::{ablations, fig5, fig6, fig7, fig8, fig9, table2};
+use xemem_cluster::NodeConfig;
+use xemem_workloads::insitu::AttachModel;
+
+#[test]
+fn fig5_xemem_beats_rdma_at_every_size() {
+    let rows = fig5::run(&[4 << 20, 16 << 20], 5).unwrap();
+    for r in &rows {
+        assert!(r.attach_gbps > 3.0 * r.rdma_gbps, "attach {} vs rdma {}", r.attach_gbps, r.rdma_gbps);
+        assert!(r.attach_read_gbps < r.attach_gbps);
+    }
+    // Scalability with size: throughput within 5% across sizes.
+    let spread = (rows[0].attach_gbps - rows[1].attach_gbps).abs() / rows[0].attach_gbps;
+    assert!(spread < 0.05, "attach throughput not flat across sizes: {spread}");
+}
+
+#[test]
+fn fig6_centralized_name_server_scales() {
+    let cells = fig6::run(&[1, 2, 4], &[16 << 20], false).unwrap();
+    let at = |n: u32| cells.iter().find(|c| c.enclaves == n).unwrap().gbps;
+    assert!(at(2) < at(1), "expected the 1→2 dip");
+    assert!((at(4) - at(2)).abs() / at(2) < 0.06, "2→4 must stay flat");
+}
+
+#[test]
+fn table2_vm_penalty_emerges_from_the_rb_tree() {
+    let rows = table2::run(32 << 20, 3).unwrap();
+    let native = rows[0].gbps;
+    let vm = rows[1].gbps;
+    let recovered = rows[1].gbps_without_rb.unwrap();
+    assert!(vm < native / 2.2, "VM attach must be ≥2.2x slower");
+    assert!(recovered > 1.7 * vm, "removing rb time must roughly double throughput");
+    assert!(rows[2].gbps > 0.75 * native, "guest exports stay near native");
+}
+
+#[test]
+fn fig7_detour_magnitude_tracks_region_size() {
+    let series = fig7::run(&[4 << 10, 2 << 20, 32 << 20], 4, 3).unwrap();
+    let max_attach = |i: usize| {
+        series[i]
+            .samples
+            .iter()
+            .filter(|s| s.kind == "AttachService")
+            .map(|s| s.detour_us)
+            .fold(0.0f64, f64::max)
+    };
+    assert_eq!(max_attach(0), 0.0);
+    assert!(max_attach(1) > 20.0);
+    // 32 MB has 16x the pages of 2 MB; the detour must scale with it.
+    assert!(max_attach(2) > 12.0 * max_attach(1), "detours must scale ~linearly with pages");
+}
+
+#[test]
+fn fig8_isolation_beats_colocation() {
+    let bars = fig8::run(3, true).unwrap();
+    let f = |c, e, a| fig8::find(&bars, c, e, a).mean_secs;
+    // Kitten-simulation beats Linux/Linux under both execution models.
+    assert!(f("Kitten/Linux", "Asynchronous", "one-time") < f("Linux/Linux", "Asynchronous", "one-time"));
+    assert!(f("Kitten/Linux", "Synchronous", "one-time") < f("Linux/Linux", "Synchronous", "one-time"));
+    // Linux/Linux variance exceeds the multi-enclave configurations'.
+    let linux_sd = fig8::find(&bars, "Linux/Linux", "Synchronous", "one-time").stddev_secs;
+    let kitten_sd = fig8::find(&bars, "Kitten/Linux", "Synchronous", "one-time").stddev_secs;
+    assert!(linux_sd > kitten_sd);
+}
+
+#[test]
+fn fig9_weak_scaling_divergence() {
+    let points = fig9::run(&[1, 8], 3, true).unwrap();
+    let f = |n, c| fig9::find(&points, n, c, "one-time").mean_secs;
+    let linux_growth = f(8, "Linux Only") / f(1, "Linux Only");
+    let multi_growth = f(8, "Multi Enclave") / f(1, "Multi Enclave");
+    assert!(
+        linux_growth > multi_growth,
+        "linux grew {linux_growth}, multi grew {multi_growth}"
+    );
+    assert!(multi_growth < 1.05, "multi-enclave must stay nearly flat");
+}
+
+#[test]
+fn fig9_recurring_crossover() {
+    // Paper: with recurring attachments the Linux-only configuration
+    // wins at one node (no VM attach overhead) but loses at scale. The
+    // smoke workload is too short for noise statistics, so run a longer
+    // scaled-down configuration.
+    let run = |nodes: u32, config: NodeConfig| {
+        let mut cfg = xemem_cluster::ClusterConfig::smoke(nodes, config, AttachModel::Recurring);
+        cfg.iterations = 400;
+        cfg.comm_every = 50;
+        xemem_cluster::run_cluster(&cfg).unwrap().completion.as_secs_f64()
+    };
+    assert!(run(1, NodeConfig::LinuxOnly) < run(1, NodeConfig::MultiEnclave));
+    assert!(run(8, NodeConfig::LinuxOnly) > run(8, NodeConfig::MultiEnclave));
+}
+
+#[test]
+fn ablation_results_ordered_as_designed() {
+    let rows = ablations::memmap::run(4 << 20, 2).unwrap();
+    let g = |prefix: &str| rows.iter().find(|r| r.variant.starts_with(prefix)).unwrap().gbps;
+    assert!(g("radix / per-page") > g("rb-tree / per-page"));
+    assert!(g("rb-tree / coalesced") > g("rb-tree / per-page"));
+
+    let ipi = ablations::ipi::run(2 << 20, 3).unwrap();
+    assert!(ipi[1].core0_wait_us == 0.0 && ipi[0].core0_wait_us > 0.0);
+
+    let ns = ablations::name_server::run(4).unwrap();
+    assert!(ns[1].make_us < ns[0].make_us, "local name server makes are cheaper");
+}
+
+#[test]
+fn cluster_coupling_wait_grows_with_nodes() {
+    let mut small = xemem_cluster::ClusterConfig::smoke(1, NodeConfig::LinuxOnly, AttachModel::OneTime);
+    small.iterations = 60;
+    let mut big = small.clone();
+    big.nodes = 6;
+    let r1 = xemem_cluster::run_cluster(&small).unwrap();
+    let r6 = xemem_cluster::run_cluster(&big).unwrap();
+    assert!(r6.coupling_wait > r1.coupling_wait);
+}
+
+#[test]
+fn stream_runs_over_a_real_attached_region() {
+    // End-to-end data-path check of the analytics pattern: copy the
+    // shared region out through a real attachment, run STREAM on the
+    // private copy, and validate the kernels.
+    use xemem::SystemBuilder;
+    use xemem_workloads::stream::StreamArrays;
+
+    const MIB: u64 = 1 << 20;
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 64 * MIB)
+        .kitten_cokernel("kitten", 1, 32 * MIB)
+        .build()
+        .unwrap();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let sim = sys.spawn_process(kitten, 8 * MIB).unwrap();
+    let ana = sys.spawn_process(linux, 8 * MIB).unwrap();
+
+    // The simulation writes a float pattern into the shared region.
+    let region = MIB;
+    let buf = sys.alloc_buffer(sim, region).unwrap();
+    let floats: Vec<f64> = (0..region / 8).map(|i| i as f64 * 0.5).collect();
+    let bytes: Vec<u8> = floats.iter().flat_map(|f| f.to_le_bytes()).collect();
+    sys.write(sim, buf, &bytes).unwrap();
+
+    // The analytics process attaches and copies it out.
+    let segid = sys.xpmem_make(sim, buf, region, None).unwrap();
+    let apid = sys.xpmem_get(ana, segid).unwrap();
+    let va = sys.xpmem_attach(ana, apid, 0, region).unwrap();
+    let mut copied = vec![0u8; region as usize];
+    sys.read(ana, va, &mut copied).unwrap();
+    let back: Vec<f64> = copied
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(back, floats, "shared floats must round-trip bit-exactly");
+
+    // And STREAM runs (and validates) over a same-sized private array.
+    let mut s = StreamArrays::for_region(region);
+    for _ in 0..5 {
+        s.run_once();
+    }
+    s.validate(5).unwrap();
+}
+
+#[test]
+fn hugepage_ablation_shape() {
+    let rows = xemem_bench::ablations::hugepages::run(16 << 20, 2).unwrap();
+    assert!(rows[1].gbps > rows[0].gbps * 2.0);
+}

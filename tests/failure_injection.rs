@@ -1,0 +1,167 @@
+//! Integration tests: failure injection across the full stack — resource
+//! exhaustion, stale identifiers, invalid windows, permission violations
+//! and teardown ordering.
+
+use xemem::{GuestOs, MemoryMapKind, SystemBuilder, VirtAddr, XememError};
+use xemem_mem::KernelError;
+
+const MIB: u64 = 1 << 20;
+
+fn sys2() -> xemem::System {
+    SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten", 1, 128 * MIB)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn stale_segid_after_remove_fails_everywhere() {
+    let mut sys = sys2();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+
+    // A grant issued before removal…
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    sys.xpmem_remove(exporter, segid).unwrap();
+
+    // …no longer attaches: the owner's registration is gone.
+    assert!(matches!(
+        sys.xpmem_attach(attacher, apid, 0, MIB),
+        Err(XememError::UnknownSegid(_))
+    ));
+    // And new gets fail at the name server.
+    assert!(matches!(sys.xpmem_get(attacher, segid), Err(XememError::UnknownSegid(_))));
+    // Double remove fails.
+    assert!(sys.xpmem_remove(exporter, segid).is_err());
+}
+
+#[test]
+fn apid_is_process_scoped() {
+    let mut sys = sys2();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let p1 = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let p2 = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(p1, segid).unwrap();
+    // Another process cannot use p1's grant.
+    assert!(matches!(
+        sys.xpmem_attach(p2, apid, 0, MIB),
+        Err(XememError::PermissionDenied)
+    ));
+    assert!(matches!(sys.xpmem_release(p2, apid), Err(XememError::PermissionDenied)));
+}
+
+#[test]
+fn window_validation() {
+    let mut sys = sys2();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    for (offset, len) in [(0u64, 0u64), (0, MIB + 1), (MIB, 4096), (4097, 4096)] {
+        assert!(
+            matches!(
+                sys.xpmem_attach(attacher, apid, offset, len),
+                Err(XememError::BadWindow { .. })
+            ),
+            "window ({offset}, {len}) must be rejected"
+        );
+    }
+}
+
+#[test]
+fn enclave_memory_exhaustion_is_contained() {
+    // A kitten enclave with a small partition: the second big process
+    // fails to spawn, but the system and its other enclaves keep
+    // working.
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("tiny", 1, 32 * MIB)
+        .build()
+        .unwrap();
+    let tiny = sys.enclave_by_name("tiny").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let p = sys.spawn_process(tiny, 8 * MIB).unwrap();
+    assert!(matches!(
+        sys.spawn_process(tiny, 64 * MIB),
+        Err(XememError::Kernel(KernelError::Mem(_)))
+    ));
+    // The first process still exports and a Linux process still attaches.
+    let buf = sys.alloc_buffer(p, MIB).unwrap();
+    sys.write(p, buf, b"still alive").unwrap();
+    let segid = sys.xpmem_make(p, buf, MIB, None).unwrap();
+    let attacher = sys.spawn_process(linux, 8 * MIB).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+    let mut got = [0u8; 11];
+    sys.read(attacher, va, &mut got).unwrap();
+    assert_eq!(&got, b"still alive");
+}
+
+#[test]
+fn vm_ram_overcommit_rejected_at_build() {
+    let err = SystemBuilder::new()
+        .with_node(8, 256 * MIB)
+        .linux_management("linux", 4, 128 * MIB)
+        .palacios_vm("vm", "linux", 512 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .build();
+    assert!(matches!(err, Err(XememError::Topology(_))));
+}
+
+#[test]
+fn detach_of_foreign_or_unattached_address_fails() {
+    let mut sys = sys2();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let p = sys.spawn_process(linux, 16 * MIB).unwrap();
+    assert!(sys.xpmem_detach(p, VirtAddr(0xDEAD_B000)).is_err());
+    // A process's own buffer is not an attachment.
+    let buf = sys.alloc_buffer(p, MIB).unwrap();
+    assert!(sys.xpmem_detach(p, buf).is_err());
+}
+
+#[test]
+fn reads_through_detached_mapping_fault() {
+    let mut sys = sys2();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+    sys.xpmem_detach(attacher, va).unwrap();
+    let mut b = [0u8; 1];
+    assert!(sys.read(attacher, va, &mut b).is_err());
+    // Reattach works and yields a valid mapping again.
+    let va2 = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+    sys.read(attacher, va2, &mut b).unwrap();
+}
+
+#[test]
+fn guest_ram_boundary_enforced_through_vm_data_path() {
+    // A guest process cannot be given more memory than the VM has RAM:
+    // the guest kernel's allocator is bounded by the memory map.
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 64 * MIB)
+        .palacios_vm("vm", "linux", 48 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .build()
+        .unwrap();
+    let vm = sys.enclave_by_name("vm").unwrap();
+    let p = sys.spawn_process(vm, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(p, 64 * MIB).unwrap(); // VMA reserve succeeds…
+    // …but faulting in more frames than guest RAM fails cleanly.
+    let res = sys.write(p, buf, &vec![1u8; 64 * MIB as usize]);
+    assert!(matches!(res, Err(XememError::Kernel(KernelError::Mem(_)))));
+}
