@@ -5,7 +5,7 @@
 //! performance regressions in the simulator itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use xemem::{SystemBuilder};
+use xemem::SystemBuilder;
 use xemem_collections::{GuestMemoryMap, RadixMemoryMap, RbMemoryMap};
 use xemem_mem::{PageTable, Pfn, PfnList, PteFlags, VirtAddr};
 
@@ -87,7 +87,8 @@ fn bench_page_table(c: &mut Criterion) {
     group.bench_function("map_walk_unmap_4k_pages", |b| {
         b.iter(|| {
             let mut pt = PageTable::new();
-            pt.map_pages(VirtAddr(0), (0..4096).map(Pfn), PteFlags::rw_user()).unwrap();
+            pt.map_pages(VirtAddr(0), (0..4096).map(Pfn), PteFlags::rw_user())
+                .unwrap();
             let (list, _) = pt.walk_range(VirtAddr(0), 4096 * 4096).unwrap();
             pt.unmap_pages(VirtAddr(0), 4096).unwrap();
             list.pages()

@@ -34,10 +34,26 @@ pub mod memmap {
     /// Run with the given region size and attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<MemmapRow>, XememError> {
         let variants: [(&'static str, MemoryMapKind, Coalescing); 4] = [
-            ("rb-tree / per-page (paper)", MemoryMapKind::RbTree, Coalescing::PerPage),
-            ("rb-tree / coalesced runs", MemoryMapKind::RbTree, Coalescing::Runs),
-            ("radix / per-page (future work)", MemoryMapKind::Radix, Coalescing::PerPage),
-            ("radix / coalesced runs", MemoryMapKind::Radix, Coalescing::Runs),
+            (
+                "rb-tree / per-page (paper)",
+                MemoryMapKind::RbTree,
+                Coalescing::PerPage,
+            ),
+            (
+                "rb-tree / coalesced runs",
+                MemoryMapKind::RbTree,
+                Coalescing::Runs,
+            ),
+            (
+                "radix / per-page (future work)",
+                MemoryMapKind::Radix,
+                Coalescing::PerPage,
+            ),
+            (
+                "radix / coalesced runs",
+                MemoryMapKind::Radix,
+                Coalescing::Runs,
+            ),
         ];
         let mut out = Vec::new();
         for (label, kind, coalescing) in variants {
@@ -95,11 +111,11 @@ pub mod ipi {
     /// Run with the given region size and per-pair attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<IpiRow>, XememError> {
         let mut out = Vec::new();
-        for (label, per_channel) in
-            [("core-0 restricted (paper)", false), ("per-channel handlers", true)]
-        {
-            let mut b = SystemBuilder::new()
-                .linux_management("linux", 8, 512 << 20);
+        for (label, per_channel) in [
+            ("core-0 restricted (paper)", false),
+            ("per-channel handlers", true),
+        ] {
+            let mut b = SystemBuilder::new().linux_management("linux", 8, 512 << 20);
             if per_channel {
                 b = b.per_channel_ipi();
             }
@@ -166,9 +182,10 @@ pub mod name_server {
     /// Run with `iters` control operations per placement.
     pub fn run(iters: u32) -> Result<Vec<NsRow>, XememError> {
         let mut out = Vec::new();
-        for (label, ns_at) in
-            [("management enclave (paper default)", "linux"), ("co-kernel enclave", "kitten0")]
-        {
+        for (label, ns_at) in [
+            ("management enclave (paper default)", "linux"),
+            ("co-kernel enclave", "kitten0"),
+        ] {
             let mut sys = SystemBuilder::new()
                 .linux_management("linux", 4, 128 << 20)
                 .kitten_cokernel("kitten0", 1, 64 << 20)
@@ -256,7 +273,8 @@ pub mod numa {
             let read_each = if kitten_zone == 0 {
                 cost.attached_read(size)
             } else {
-                cost.attached_read(size).scaled(1.0 / cost.numa_remote_bw_factor)
+                cost.attached_read(size)
+                    .scaled(1.0 / cost.numa_remote_bw_factor)
             };
             let read_total = attach_total + read_each.times(iters as u64);
             out.push(NumaRow {
@@ -288,7 +306,10 @@ pub mod hugepages {
     /// Run with the given region size and attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<HugepageRow>, XememError> {
         let mut out = Vec::new();
-        for (label, huge) in [("4 KiB PTEs (paper)", false), ("2 MiB leaves (extension)", true)] {
+        for (label, huge) in [
+            ("4 KiB PTEs (paper)", false),
+            ("2 MiB leaves (extension)", true),
+        ] {
             let mut b = SystemBuilder::new()
                 .linux_management("linux", 4, 128 << 20)
                 .kitten_cokernel("kitten", 1, size + (64 << 20));
@@ -331,7 +352,12 @@ mod tests {
         let rb = find("rb-tree / per-page");
         let radix = find("radix / per-page");
         let rb_runs = find("rb-tree / coalesced");
-        assert!(radix.gbps > rb.gbps, "radix {} !> rb {}", radix.gbps, rb.gbps);
+        assert!(
+            radix.gbps > rb.gbps,
+            "radix {} !> rb {}",
+            radix.gbps,
+            rb.gbps
+        );
         assert!(rb_runs.gbps > rb.gbps);
         // Contiguous LWK exports collapse to a single coalesced entry
         // (plus the RAM entry).

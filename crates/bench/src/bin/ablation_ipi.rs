@@ -11,7 +11,11 @@ fn main() {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![r.variant.to_string(), format!("{:.2}", r.gbps), format!("{:.1}", r.core0_wait_us)]
+            vec![
+                r.variant.to_string(),
+                format!("{:.2}", r.gbps),
+                format!("{:.1}", r.core0_wait_us),
+            ]
         })
         .collect();
     println!(

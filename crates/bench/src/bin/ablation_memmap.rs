@@ -10,7 +10,13 @@ fn main() {
     let rows = memmap::run(size, iters).expect("memmap ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.variant.to_string(), format!("{:.2}", r.gbps), r.entries.to_string()])
+        .map(|r| {
+            vec![
+                r.variant.to_string(),
+                format!("{:.2}", r.gbps),
+                r.entries.to_string(),
+            ]
+        })
         .collect();
     println!(
         "{}",

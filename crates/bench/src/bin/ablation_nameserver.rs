@@ -9,14 +9,22 @@ fn main() {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            vec![r.placement.to_string(), format!("{:.2}", r.make_us), format!("{:.2}", r.get_us)]
+            vec![
+                r.placement.to_string(),
+                format!("{:.2}", r.make_us),
+                format!("{:.2}", r.get_us),
+            ]
         })
         .collect();
     println!(
         "{}",
         render_table(
             "Ablation: name-server placement (control-operation latency)",
-            &["Placement", "xpmem_make from kitten0 (us)", "xpmem_get from kitten1 (us)"],
+            &[
+                "Placement",
+                "xpmem_make from kitten0 (us)",
+                "xpmem_get from kitten1 (us)"
+            ],
             &table,
         )
     );

@@ -5,8 +5,11 @@ use xemem_bench::{fig5, render_table, Args, SMOKE_SIZES, SWEEP_SIZES};
 
 fn main() {
     let args = Args::parse();
-    let sizes: Vec<u64> =
-        if args.smoke { SMOKE_SIZES.to_vec() } else { SWEEP_SIZES.to_vec() };
+    let sizes: Vec<u64> = if args.smoke {
+        SMOKE_SIZES.to_vec()
+    } else {
+        SWEEP_SIZES.to_vec()
+    };
     let iters = args.runs.unwrap_or(if args.smoke { 5 } else { 500 });
     let rows = fig5::run(&sizes, iters).expect("fig5 experiment");
     let table: Vec<Vec<String>> = rows

@@ -5,8 +5,11 @@ use xemem_bench::{fig6, render_table, Args, SMOKE_SIZES, SWEEP_SIZES};
 
 fn main() {
     let args = Args::parse();
-    let sizes: Vec<u64> =
-        if args.smoke { SMOKE_SIZES.to_vec() } else { SWEEP_SIZES.to_vec() };
+    let sizes: Vec<u64> = if args.smoke {
+        SMOKE_SIZES.to_vec()
+    } else {
+        SWEEP_SIZES.to_vec()
+    };
     let counts = [1u32, 2, 4, 8];
     let cells = fig6::run(&counts, &sizes, args.smoke).expect("fig6 experiment");
     // One row per enclave count, one column per size.
@@ -14,7 +17,10 @@ fn main() {
     for &n in &counts {
         let mut row = vec![n.to_string()];
         for &s in &sizes {
-            let cell = cells.iter().find(|c| c.enclaves == n && c.size == s).unwrap();
+            let cell = cells
+                .iter()
+                .find(|c| c.enclaves == n && c.size == s)
+                .unwrap();
             row.push(format!("{:.2}", cell.gbps));
         }
         rows.push(row);

@@ -14,7 +14,10 @@ fn main() {
     for s in &series {
         let mut by_kind: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
         for sample in &s.samples {
-            by_kind.entry(kind_key(&sample.kind)).or_default().push(sample.detour_us);
+            by_kind
+                .entry(kind_key(&sample.kind))
+                .or_default()
+                .push(sample.detour_us);
         }
         let rows: Vec<Vec<String>> = by_kind
             .iter()

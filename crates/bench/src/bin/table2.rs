@@ -15,7 +15,9 @@ fn main() {
                 r.exporting.to_string(),
                 r.attaching.to_string(),
                 format!("{:.3}", r.gbps),
-                r.gbps_without_rb.map(|g| format!("{g:.2}")).unwrap_or_else(|| "(N/A)".into()),
+                r.gbps_without_rb
+                    .map(|g| format!("{g:.2}"))
+                    .unwrap_or_else(|| "(N/A)".into()),
                 r.map_update_fraction
                     .map(|f| format!("{:.0}%", f * 100.0))
                     .unwrap_or_else(|| "-".into()),

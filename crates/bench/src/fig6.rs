@@ -68,7 +68,13 @@ pub fn run_cell(n: u32, size: u64, iters: u32) -> Result<Fig6Cell, XememError> {
         sys.prepare_buffer(exporter, buf, size)?;
         let segid = sys.xpmem_make(exporter, buf, size, None)?;
         let apid = sys.xpmem_get(attacher, segid)?;
-        pairs.push(Pair { exporter, attacher, apid, busy_time: SimDuration::ZERO, remaining: iters });
+        pairs.push(Pair {
+            exporter,
+            attacher,
+            apid,
+            busy_time: SimDuration::ZERO,
+            remaining: iters,
+        });
     }
 
     // Worklist over pair timelines, starting after setup (the clock has
@@ -79,7 +85,11 @@ pub fn run_cell(n: u32, size: u64, iters: u32) -> Result<Fig6Cell, XememError> {
         (0..pairs.len()).map(|i| Reverse((t0, i))).collect();
     // "Contention for Linux data structures that are accessed when
     // multiple processes concurrently update memory maps" (§5.3).
-    let map_contention = if n >= 2 { cost.fwk_mmap_contention } else { 0.0 };
+    let map_contention = if n >= 2 {
+        cost.fwk_mmap_contention
+    } else {
+        0.0
+    };
     while let Some(Reverse((at, idx))) = heap.pop() {
         let pair = &mut pairs[idx];
         if pair.remaining == 0 {
@@ -121,11 +131,7 @@ pub fn default_iters(n: u32, size: u64, smoke: bool) -> u32 {
 }
 
 /// Run the full sweep.
-pub fn run(
-    counts: &[u32],
-    sizes: &[u64],
-    smoke: bool,
-) -> Result<Vec<Fig6Cell>, XememError> {
+pub fn run(counts: &[u32], sizes: &[u64], smoke: bool) -> Result<Vec<Fig6Cell>, XememError> {
     let mut out = Vec::new();
     for &n in counts {
         for &size in sizes {

@@ -104,7 +104,11 @@ mod tests {
                 .fold(0.0f64, f64::max)
         };
         // 4 KB attachments vanish below the noise floor (sub-µs walk).
-        assert_eq!(max_attach(&series[0]), 0.0, "4 KB detours should be invisible");
+        assert_eq!(
+            max_attach(&series[0]),
+            0.0,
+            "4 KB detours should be invisible"
+        );
         // 2 MB ⇒ ~45 µs band.
         let two_mb = max_attach(&series[1]);
         assert!((20.0..90.0).contains(&two_mb), "2 MB detour {two_mb} µs");

@@ -84,16 +84,12 @@ pub fn run(runs: u32, smoke: bool) -> Result<Vec<Fig8Bar>, XememError> {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+    name.bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
 }
 
 /// The configurations usable for quick assertions in tests.
-pub fn find<'a>(
-    bars: &'a [Fig8Bar],
-    config: &str,
-    execution: &str,
-    attach: &str,
-) -> &'a Fig8Bar {
+pub fn find<'a>(bars: &'a [Fig8Bar], config: &str, execution: &str, attach: &str) -> &'a Fig8Bar {
     bars.iter()
         .find(|b| b.config == config && b.execution == execution && b.attach == attach)
         .expect("bar exists")
@@ -112,8 +108,18 @@ mod tests {
         let asynch = find(&bars, "Kitten/Linux", "Asynchronous", "one-time");
         assert!(asynch.mean_secs < sync.mean_secs);
         // Recurring costs at least as much as one-time for the VM config.
-        let rec = find(&bars, "Kitten/Linux VM (Linux Host)", "Synchronous", "recurring");
-        let one = find(&bars, "Kitten/Linux VM (Linux Host)", "Synchronous", "one-time");
+        let rec = find(
+            &bars,
+            "Kitten/Linux VM (Linux Host)",
+            "Synchronous",
+            "recurring",
+        );
+        let one = find(
+            &bars,
+            "Kitten/Linux VM (Linux Host)",
+            "Synchronous",
+            "one-time",
+        );
         assert!(rec.mean_secs >= one.mean_secs);
     }
 }

@@ -71,11 +71,17 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
     let line = |out: &mut String, cells: &[String]| {
-        let rendered: Vec<String> =
-            cells.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
+        let rendered: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
         let _ = writeln!(out, "  {}", rendered.join("  "));
     };
-    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
     line(
         &mut out,
         &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),

@@ -72,7 +72,13 @@ pub fn run(size: u64, iters: u32) -> Result<Vec<Table2Row>, XememError> {
         let mut sys = SystemBuilder::new()
             .linux_management("linux", 4, 64 << 20)
             .kitten_cokernel("kitten", 1, size + (64 << 20))
-            .palacios_vm("vm", "linux", size / 4 + (96 << 20), MemoryMapKind::RbTree, GuestOs::Fwk)
+            .palacios_vm(
+                "vm",
+                "linux",
+                size / 4 + (96 << 20),
+                MemoryMapKind::RbTree,
+                GuestOs::Fwk,
+            )
             .build()?;
         let kitten = sys.enclave_by_name("kitten").unwrap();
         let vm = sys.enclave_by_name("vm").unwrap();
@@ -109,7 +115,13 @@ pub fn run(size: u64, iters: u32) -> Result<Vec<Table2Row>, XememError> {
         let mut sys = SystemBuilder::new()
             .linux_management("linux", 4, 64 << 20)
             .kitten_cokernel("kitten", 1, size + (64 << 20))
-            .palacios_vm("vm", "linux", size + (96 << 20), MemoryMapKind::RbTree, GuestOs::Fwk)
+            .palacios_vm(
+                "vm",
+                "linux",
+                size + (96 << 20),
+                MemoryMapKind::RbTree,
+                GuestOs::Fwk,
+            )
             .build()?;
         let kitten = sys.enclave_by_name("kitten").unwrap();
         let vm = sys.enclave_by_name("vm").unwrap();

@@ -23,9 +23,9 @@ pub mod mpi;
 
 use mpi::{Comm, Network};
 use xemem::{GuestOs, MemoryMapKind, ProcessRef, SystemBuilder, XememError};
-use xemem_workloads::decomp::SlabDecomposition;
 use xemem_sim::noise::{finish_time_with_noise, CompositeNoise, NoiseGen};
 use xemem_sim::{CostModel, SimDuration, SimRng, SimTime};
+use xemem_workloads::decomp::SlabDecomposition;
 use xemem_workloads::hpccg::{HpccgModel, HpccgProblem};
 use xemem_workloads::insitu::AttachModel;
 use xemem_workloads::stream::stream_time;
@@ -89,7 +89,11 @@ impl ClusterConfig {
             iterations: 12,
             comm_every: 4,
             region_bytes: 2 << 20,
-            problem: HpccgProblem { nx: 48, ny: 48, nz: 48 },
+            problem: HpccgProblem {
+                nx: 48,
+                ny: 48,
+                nz: 48,
+            },
             sim_cores: 8,
             seed: 7,
         }
@@ -131,13 +135,19 @@ fn build_node(cfg: &ClusterConfig, cost: &CostModel, rng: &mut SimRng) -> Result
     let ana_mem = region + slack;
     let builder = SystemBuilder::new().with_cost(cost.clone());
     let sys = match cfg.node_config {
-        NodeConfig::LinuxOnly => {
-            builder.linux_management("linux", 16, sim_mem + ana_mem).build()?
-        }
+        NodeConfig::LinuxOnly => builder
+            .linux_management("linux", 16, sim_mem + ana_mem)
+            .build()?,
         NodeConfig::MultiEnclave => builder
             .linux_management("linux", 8, ana_mem)
             .kitten_cokernel("kitten-host", cfg.sim_cores, slack)
-            .palacios_vm("sim-vm", "kitten-host", sim_mem, MemoryMapKind::RbTree, GuestOs::Fwk)
+            .palacios_vm(
+                "sim-vm",
+                "kitten-host",
+                sim_mem,
+                MemoryMapKind::RbTree,
+                GuestOs::Fwk,
+            )
             .build()?,
     };
     let mut sys = sys;
@@ -215,7 +225,11 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterResult, XememError> {
             if same_os && node.ana_free > rank_t[i] {
                 iter_cpu = iter_cpu.scaled(cost.colocation_contention);
             }
-            ends.push(finish_time_with_noise(&mut *node.sim_noise, rank_t[i], iter_cpu));
+            ends.push(finish_time_with_noise(
+                &mut *node.sim_noise,
+                rank_t[i],
+                iter_cpu,
+            ));
         }
         // SpMV ghost-plane exchange, then the iteration's two dot-product
         // allreduces (standard CG) — stragglers propagate through the
@@ -244,17 +258,21 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterResult, XememError> {
                 let mut t = rank_t[i];
                 if need_attach {
                     if let Some((old_segid, va)) = node.live_attach.take() {
-                        let done = node.sys.detach_at(node.ana_proc, va, node.ana_free.max(t))?;
+                        let done = node
+                            .sys
+                            .detach_at(node.ana_proc, va, node.ana_free.max(t))?;
                         node.ana_free = done;
                         t = node.sys.remove_at(node.sim_proc, old_segid, t)?;
                     }
                     let (segid, t_made) =
-                        node.sys.make_at(node.sim_proc, node.buf, cfg.region_bytes, None, t)?;
+                        node.sys
+                            .make_at(node.sim_proc, node.buf, cfg.region_bytes, None, t)?;
                     node.sys.write(node.sim_proc, node.buf, &header(point))?;
                     let ana_start = t_made.max(node.ana_free);
                     let (apid, t_got) = node.sys.get_at(node.ana_proc, segid, ana_start)?;
                     let outcome =
-                        node.sys.attach_at(node.ana_proc, apid, 0, cfg.region_bytes, t_got)?;
+                        node.sys
+                            .attach_at(node.ana_proc, apid, 0, cfg.region_bytes, t_got)?;
                     node.live_attach = Some((segid, outcome.va));
                     node.attach_overhead += outcome.end.duration_since(t);
                     t = outcome.end;
@@ -352,11 +370,18 @@ mod tests {
 
     #[test]
     fn recurring_attach_overhead_visible() {
-        let one = run_cluster(&ClusterConfig::smoke(2, NodeConfig::MultiEnclave, AttachModel::OneTime))
-            .unwrap();
-        let rec =
-            run_cluster(&ClusterConfig::smoke(2, NodeConfig::MultiEnclave, AttachModel::Recurring))
-                .unwrap();
+        let one = run_cluster(&ClusterConfig::smoke(
+            2,
+            NodeConfig::MultiEnclave,
+            AttachModel::OneTime,
+        ))
+        .unwrap();
+        let rec = run_cluster(&ClusterConfig::smoke(
+            2,
+            NodeConfig::MultiEnclave,
+            AttachModel::Recurring,
+        ))
+        .unwrap();
         assert!(rec.attach_overhead > one.attach_overhead);
     }
 }

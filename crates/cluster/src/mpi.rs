@@ -22,7 +22,10 @@ pub struct Network {
 
 impl Default for Network {
     fn default() -> Self {
-        Network { latency: SimDuration::from_nanos(1_600), bandwidth_bps: 3_400_000_000 }
+        Network {
+            latency: SimDuration::from_nanos(1_600),
+            bandwidth_bps: 3_400_000_000,
+        }
     }
 }
 
@@ -139,7 +142,10 @@ mod tests {
 
     #[test]
     fn allreduce_round_count_is_logarithmic() {
-        let net = Network { latency: SimDuration::from_nanos(100), bandwidth_bps: u64::MAX };
+        let net = Network {
+            latency: SimDuration::from_nanos(100),
+            bandwidth_bps: u64::MAX,
+        };
         for (n, rounds) in [(2usize, 1u64), (4, 2), (8, 3), (16, 4)] {
             let comm = Comm::new(n, net.clone());
             let done = comm.allreduce(&vec![SimTime::ZERO; n], 8);

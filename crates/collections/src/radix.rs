@@ -61,7 +61,11 @@ fn index_at(gfn: u64, level: u32) -> usize {
 impl RadixMemoryMap {
     /// An empty map (covers guest frames up to 2^36, i.e. 48-bit GPAs).
     pub fn new() -> Self {
-        RadixMemoryMap { root: RNode::interior(), regions: HashMap::new(), total_visits: 0 }
+        RadixMemoryMap {
+            root: RNode::interior(),
+            regions: HashMap::new(),
+            total_visits: 0,
+        }
     }
 
     /// Cumulative level visits across all operations.
@@ -84,7 +88,11 @@ impl RadixMemoryMap {
                 if !create {
                     return (None, visits);
                 }
-                *slot = Some(if level == 1 { RNode::leaf() } else { RNode::interior() });
+                *slot = Some(if level == 1 {
+                    RNode::leaf()
+                } else {
+                    RNode::interior()
+                });
             }
             node = slot.as_mut().expect("just ensured");
             visits += 1;
@@ -141,17 +149,29 @@ impl GuestMemoryMap for RadixMemoryMap {
                 self.total_visits += visits as u64;
                 return Err(MapError::Overlap { gfn: gfn + i });
             }
-            *slot = Some(LeafEntry { hpfn: hpfn + i, region_start: gfn });
+            *slot = Some(LeafEntry {
+                hpfn: hpfn + i,
+                region_start: gfn,
+            });
         }
         self.regions.insert(gfn, (len, hpfn));
         self.total_visits += visits as u64;
-        Ok(OpReport { visits, rotations: 0 })
+        Ok(OpReport {
+            visits,
+            rotations: 0,
+        })
     }
 
     fn lookup(&self, gfn: u64) -> Result<(u64, OpReport), MapError> {
         let (entry, visits) = self.walk(gfn);
         match entry {
-            Some(e) => Ok((e.hpfn, OpReport { visits, rotations: 0 })),
+            Some(e) => Ok((
+                e.hpfn,
+                OpReport {
+                    visits,
+                    rotations: 0,
+                },
+            )),
             None => Err(MapError::NotFound { gfn }),
         }
     }
@@ -169,7 +189,13 @@ impl GuestMemoryMap for RadixMemoryMap {
             *slot.expect("region frames must be present") = None;
         }
         self.total_visits += visits as u64;
-        Ok(((entry.region_start, len, hpfn), OpReport { visits, rotations: 0 }))
+        Ok((
+            (entry.region_start, len, hpfn),
+            OpReport {
+                visits,
+                rotations: 0,
+            },
+        ))
     }
 
     fn len(&self) -> usize {
@@ -188,7 +214,10 @@ mod tests {
         map.insert(0x200, 2, 0xA000).unwrap();
         assert_eq!(map.len(), 2);
         assert_eq!(map.lookup(0x101).unwrap().0, 0x9001);
-        assert_eq!(map.lookup(0x300).unwrap_err(), MapError::NotFound { gfn: 0x300 });
+        assert_eq!(
+            map.lookup(0x300).unwrap_err(),
+            MapError::NotFound { gfn: 0x300 }
+        );
         let (removed, _) = map.remove(0x102).unwrap();
         assert_eq!(removed, (0x100, 4, 0x9000));
         assert!(map.lookup(0x100).is_err());
@@ -201,10 +230,16 @@ mod tests {
         let mut map = RadixMemoryMap::new();
         map.insert(105, 2, 0).unwrap();
         // Overlaps at frame 105 after writing 100..105.
-        assert_eq!(map.insert(100, 8, 50).unwrap_err(), MapError::Overlap { gfn: 105 });
+        assert_eq!(
+            map.insert(100, 8, 50).unwrap_err(),
+            MapError::Overlap { gfn: 105 }
+        );
         // The partial frames must have been unwound.
         for g in 100..105 {
-            assert!(map.lookup(g).is_err(), "frame {g} leaked from failed insert");
+            assert!(
+                map.lookup(g).is_err(),
+                "frame {g} leaked from failed insert"
+            );
         }
         assert_eq!(map.len(), 1);
     }

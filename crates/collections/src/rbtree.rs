@@ -317,27 +317,39 @@ impl RbMemoryMap {
     /// height. Panics (with a description) on violation — used by unit and
     /// property tests.
     pub fn validate(&self) -> usize {
-        fn walk(
-            map: &RbMemoryMap,
-            idx: usize,
-            lo: u64,
-            hi: u64,
-        ) -> usize {
+        fn walk(map: &RbMemoryMap, idx: usize, lo: u64, hi: u64) -> usize {
             if idx == NIL {
                 return 1; // NIL counts as black.
             }
             let node = &map.nodes[idx];
             assert!(node.len > 0, "zero-length node");
-            assert!(node.key >= lo && node.key + node.len <= hi, "BST/interval order violated");
+            assert!(
+                node.key >= lo && node.key + node.len <= hi,
+                "BST/interval order violated"
+            );
             if node.color == Color::Red {
-                assert_eq!(map.nodes[node.left].color, Color::Black, "red-red violation (left)");
-                assert_eq!(map.nodes[node.right].color, Color::Black, "red-red violation (right)");
+                assert_eq!(
+                    map.nodes[node.left].color,
+                    Color::Black,
+                    "red-red violation (left)"
+                );
+                assert_eq!(
+                    map.nodes[node.right].color,
+                    Color::Black,
+                    "red-red violation (right)"
+                );
             }
             if node.left != NIL {
-                assert_eq!(map.nodes[node.left].parent, idx, "broken parent link (left)");
+                assert_eq!(
+                    map.nodes[node.left].parent, idx,
+                    "broken parent link (left)"
+                );
             }
             if node.right != NIL {
-                assert_eq!(map.nodes[node.right].parent, idx, "broken parent link (right)");
+                assert_eq!(
+                    map.nodes[node.right].parent, idx,
+                    "broken parent link (right)"
+                );
             }
             let lh = walk(map, node.left, lo, node.key);
             let rh = walk(map, node.right, node.key + node.len, hi);
@@ -400,7 +412,13 @@ impl GuestMemoryMap for RbMemoryMap {
         }
         let node = self.n(idx);
         let hpfn = node.hpfn + (gfn - node.key);
-        Ok((hpfn, OpReport { visits, rotations: 0 }))
+        Ok((
+            hpfn,
+            OpReport {
+                visits,
+                rotations: 0,
+            },
+        ))
     }
 
     fn remove(&mut self, gfn: u64) -> Result<((u64, u64, u64), OpReport), MapError> {
@@ -470,7 +488,10 @@ mod tests {
         assert_eq!(map.len(), 2);
         assert_eq!(map.lookup(0x101).unwrap().0, 0x9001);
         assert_eq!(map.lookup(0x201).unwrap().0, 0xA001);
-        assert_eq!(map.lookup(0x300).unwrap_err(), MapError::NotFound { gfn: 0x300 });
+        assert_eq!(
+            map.lookup(0x300).unwrap_err(),
+            MapError::NotFound { gfn: 0x300 }
+        );
         let (removed, _) = map.remove(0x102).unwrap();
         assert_eq!(removed, (0x100, 4, 0x9000));
         assert_eq!(map.len(), 1);
@@ -483,10 +504,22 @@ mod tests {
         let mut map = RbMemoryMap::new();
         map.insert(100, 10, 0).unwrap();
         // Head, tail, containing, contained.
-        assert!(matches!(map.insert(95, 10, 0), Err(MapError::Overlap { .. })));
-        assert!(matches!(map.insert(105, 10, 0), Err(MapError::Overlap { .. })));
-        assert!(matches!(map.insert(90, 40, 0), Err(MapError::Overlap { .. })));
-        assert!(matches!(map.insert(102, 3, 0), Err(MapError::Overlap { .. })));
+        assert!(matches!(
+            map.insert(95, 10, 0),
+            Err(MapError::Overlap { .. })
+        ));
+        assert!(matches!(
+            map.insert(105, 10, 0),
+            Err(MapError::Overlap { .. })
+        ));
+        assert!(matches!(
+            map.insert(90, 40, 0),
+            Err(MapError::Overlap { .. })
+        ));
+        assert!(matches!(
+            map.insert(102, 3, 0),
+            Err(MapError::Overlap { .. })
+        ));
         // Exactly adjacent is fine.
         map.insert(110, 5, 0).unwrap();
         map.insert(90, 10, 0).unwrap();
@@ -511,7 +544,11 @@ mod tests {
         assert_eq!(map.len(), n as usize);
         // Depth must be O(log n): lookups visit ≤ 2·log2(n+1) nodes.
         let (_, report) = map.lookup(2 * (n - 1)).unwrap();
-        assert!(report.visits <= 26, "lookup visited {} nodes", report.visits);
+        assert!(
+            report.visits <= 26,
+            "lookup visited {} nodes",
+            report.visits
+        );
         // Insert visits grow with tree size — the mechanism behind the
         // paper's Table 2 overhead.
         let report = map.insert(u64::MAX / 2, 1, 0).unwrap();
@@ -577,7 +614,11 @@ mod tests {
         for i in 0..1000u64 {
             map.insert(i, 1, i).unwrap();
         }
-        assert!(map.total_rotations() > 100, "rotations = {}", map.total_rotations());
+        assert!(
+            map.total_rotations() > 100,
+            "rotations = {}",
+            map.total_rotations()
+        );
         assert!(map.total_visits() > 1000);
     }
 

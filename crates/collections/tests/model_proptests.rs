@@ -16,8 +16,11 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     // Keep the key space small so operations actually collide.
     prop_oneof![
-        (0u64..2_000, 1u64..64, 0u64..1_000_000)
-            .prop_map(|(gfn, len, hpfn)| Op::Insert { gfn, len, hpfn }),
+        (0u64..2_000, 1u64..64, 0u64..1_000_000).prop_map(|(gfn, len, hpfn)| Op::Insert {
+            gfn,
+            len,
+            hpfn
+        }),
         (0u64..2_100).prop_map(|gfn| Op::Lookup { gfn }),
         (0u64..2_100).prop_map(|gfn| Op::Remove { gfn }),
     ]

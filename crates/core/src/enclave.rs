@@ -3,7 +3,7 @@
 
 use crate::channel::Link;
 use crate::ids::{Apid, EnclaveId, Segid};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use xemem_mem::{MappingKernel, Pid, VirtAddr};
 use xemem_palacios::Vmm;
 
@@ -75,13 +75,38 @@ pub struct ApidRecord {
     pub mode: crate::ids::AccessMode,
 }
 
+/// Lifecycle of an attachment (teardown protocol).
+///
+/// ```text
+///   Live ──(Revoke received)──▶ Revoking ──(reaper unmapped)──▶ Reaped
+/// ```
+///
+/// `Revoking` is transient within one synchronous revocation round; it is
+/// observable in the event trace. Data access through a `Reaped`
+/// attachment fails with [`crate::XememError::SourceGone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttachState {
+    /// Mapped and backed by the exporter's frames.
+    Live,
+    /// A revocation notice arrived; the reaper has not yet unmapped.
+    Revoking,
+    /// Unmapped by the reaper; the source is gone.
+    Reaped,
+}
+
 /// A live attachment in some process of this enclave.
 #[derive(Debug, Clone, Copy)]
 pub struct AttachRecord {
     /// The permit it was attached through.
     pub apid: Apid,
+    /// The segment the attachment maps (for revocation bookkeeping).
+    pub segid: Segid,
+    /// The enclave owning the segment.
+    pub owner: EnclaveId,
     /// Attached length in bytes.
     pub len: u64,
+    /// Where in the live → revoking → reaped lifecycle this attachment is.
+    pub state: AttachState,
 }
 
 /// One enclave slot in a [`crate::System`].
@@ -109,6 +134,20 @@ pub struct Slot {
     pub apids: HashMap<Apid, ApidRecord>,
     /// Live attachments, keyed by (pid, attached base address).
     pub attachments: HashMap<(Pid, u64), AttachRecord>,
+    /// False once the enclave crashed or was destroyed; every operation
+    /// touching a dead slot fails with `EnclaveDead`.
+    pub alive: bool,
+    /// Stale name → segid cache, fed by successful lookups and served
+    /// (marked as such in the event trace) while the name server is down.
+    pub ns_cache: HashMap<String, Segid>,
+    /// Stale segid → owning-enclave cache (same degradation policy).
+    pub owner_cache: HashMap<Segid, EnclaveId>,
+    /// Tombstones of released permits, so a double `xpmem_release` is a
+    /// clean `AlreadyReleased` instead of `UnknownApid`.
+    pub released: HashSet<Apid>,
+    /// Tombstones of detached attachment bases, so a double
+    /// `xpmem_detach` is a clean `AlreadyDetached`.
+    pub detached: HashSet<(Pid, u64)>,
 }
 
 impl Slot {
@@ -126,6 +165,11 @@ impl Slot {
             segs: HashMap::new(),
             apids: HashMap::new(),
             attachments: HashMap::new(),
+            alive: true,
+            ns_cache: HashMap::new(),
+            owner_cache: HashMap::new(),
+            released: HashSet::new(),
+            detached: HashSet::new(),
         }
     }
 }

@@ -25,6 +25,20 @@ pub enum XememError {
     BadWindow { offset: u64, len: u64, seg_len: u64 },
     /// The caller does not own the object it tried to modify.
     PermissionDenied,
+    /// The attachment's source segment was revoked (exporter exited,
+    /// crashed, or removed the segment) and the reaper unmapped it;
+    /// the data is gone, not stale.
+    SourceGone,
+    /// The permit was already released (double `xpmem_release`).
+    AlreadyReleased(Apid),
+    /// The attachment was already detached (double `xpmem_detach`).
+    AlreadyDetached(u64),
+    /// The enclave crashed or was destroyed; no operation can be routed
+    /// to, from, or through it.
+    EnclaveDead(EnclaveRef),
+    /// The name server could not be reached within the retry budget
+    /// (bounded outage outlasted the exponential backoff).
+    NameServerUnavailable,
 }
 
 impl From<KernelError> for XememError {
@@ -49,10 +63,31 @@ impl fmt::Display for XememError {
             XememError::NameTaken(n) => write!(f, "segment name {n:?} already registered"),
             XememError::BadEnclave(e) => write!(f, "invalid enclave slot {}", e.0),
             XememError::Topology(msg) => write!(f, "topology error: {msg}"),
-            XememError::BadWindow { offset, len, seg_len } => {
-                write!(f, "window [{offset}, {offset}+{len}) exceeds segment of {seg_len} bytes")
+            XememError::BadWindow {
+                offset,
+                len,
+                seg_len,
+            } => {
+                write!(
+                    f,
+                    "window [{offset}, {offset}+{len}) exceeds segment of {seg_len} bytes"
+                )
             }
             XememError::PermissionDenied => write!(f, "permission denied"),
+            XememError::SourceGone => {
+                write!(
+                    f,
+                    "attachment source revoked (exporter gone); region unmapped"
+                )
+            }
+            XememError::AlreadyReleased(a) => write!(f, "{a} was already released"),
+            XememError::AlreadyDetached(va) => {
+                write!(f, "attachment at {va:#x} was already detached")
+            }
+            XememError::EnclaveDead(e) => write!(f, "enclave slot {} is dead", e.0),
+            XememError::NameServerUnavailable => {
+                write!(f, "name server unreachable: retry budget exhausted")
+            }
         }
     }
 }

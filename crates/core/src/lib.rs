@@ -69,7 +69,7 @@ pub mod protocol;
 pub mod system;
 
 pub use channel::Link;
-pub use enclave::{EnclaveKind, GuestOs};
+pub use enclave::{AttachState, EnclaveKind, GuestOs};
 pub use error::XememError;
 pub use ids::{AccessMode, Apid, EnclaveId, EnclaveRef, ProcessRef, Segid};
 pub use protocol::{MessageKind, MessageRecord};
@@ -77,4 +77,4 @@ pub use system::{System, SystemBuilder};
 
 pub use xemem_mem::{Pid, VirtAddr};
 pub use xemem_palacios::MemoryMapKind;
-pub use xemem_sim::{CostModel, SimDuration, SimTime};
+pub use xemem_sim::{CostModel, FaultKind, FaultPlan, SimDuration, SimTime};

@@ -63,12 +63,18 @@ impl NameServer {
 
     /// The enclave owning a segid.
     pub fn owner_of(&self, segid: Segid) -> Result<EnclaveId, XememError> {
-        self.owners.get(&segid).copied().ok_or(XememError::UnknownSegid(segid))
+        self.owners
+            .get(&segid)
+            .copied()
+            .ok_or(XememError::UnknownSegid(segid))
     }
 
     /// Discovery: resolve a well-known name to a segid.
     pub fn search(&self, name: &str) -> Result<Segid, XememError> {
-        self.names.get(name).copied().ok_or_else(|| XememError::UnknownName(name.to_string()))
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| XememError::UnknownName(name.to_string()))
     }
 
     /// Remove a segid registration. Only the owner may remove it.
@@ -113,9 +119,15 @@ mod tests {
         assert_eq!(ns.owner_of(seg).unwrap(), owner);
         assert_eq!(ns.search("results").unwrap(), seg);
         // Name collision rejected.
-        assert!(matches!(ns.alloc_segid(owner, Some("results")), Err(XememError::NameTaken(_))));
+        assert!(matches!(
+            ns.alloc_segid(owner, Some("results")),
+            Err(XememError::NameTaken(_))
+        ));
         // Only the owner can remove.
-        assert!(matches!(ns.remove_segid(seg, other), Err(XememError::PermissionDenied)));
+        assert!(matches!(
+            ns.remove_segid(seg, other),
+            Err(XememError::PermissionDenied)
+        ));
         ns.remove_segid(seg, owner).unwrap();
         assert!(ns.owner_of(seg).is_err());
         assert!(ns.search("results").is_err());

@@ -46,6 +46,13 @@ pub enum MessageKind {
     },
     /// Release a grant / notify detach.
     Release,
+    /// Revocation notice: the owner (or the name server, when the owner
+    /// enclave died) tells an attaching enclave that a segment it maps is
+    /// gone and its reaper must unmap (teardown protocol).
+    Revoke,
+    /// Acknowledgement that the attacher's reaper finished unmapping —
+    /// the owner may only recycle the frames after the last ack.
+    RevokeAck,
 }
 
 impl MessageKind {

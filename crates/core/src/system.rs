@@ -20,19 +20,44 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::channel::{Direction, Link};
-use crate::enclave::{EnclaveKind, GuestOs, SegRecord, Slot};
+use crate::enclave::{AttachState, EnclaveKind, GuestOs, SegRecord, Slot};
 use crate::error::XememError;
 use crate::ids::{AccessMode, Apid, EnclaveId, EnclaveRef, ProcessRef, Segid};
 use crate::name_server::NameServer;
 use crate::protocol::{MessageKind, MessageRecord};
 use xemem_fwk::Fwk;
 use xemem_kitten::Kitten;
-use xemem_mem::{
-    AttachSemantics, KernelKind, PfnList, PhysicalMemory, Pid, VirtAddr, PAGE_SIZE,
-};
+use xemem_mem::{AttachSemantics, KernelKind, PfnList, PhysicalMemory, Pid, VirtAddr, PAGE_SIZE};
 use xemem_palacios::{MemoryMapKind, Vmm};
 use xemem_pisces::{Core0Handler, IpiChannel, NodeResources};
-use xemem_sim::{Clock, CostModel, SimDuration, SimTime};
+use xemem_sim::trace::Trace;
+use xemem_sim::{Clock, CostModel, FaultInjector, FaultKind, FaultPlan, SimDuration, SimTime};
+
+/// Bound on per-hop retransmissions under injected message loss: after
+/// this many consecutive drops the channel is assumed to have recovered
+/// (keeps pathological probability-1.0 loss windows from livelocking).
+const MAX_RETRANSMITS: u32 = 64;
+
+/// One remote mapping of an exported segment, indexed exporter-side so
+/// the revocation protocol knows whom to notify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AttachSite {
+    slot: usize,
+    pid: Pid,
+    va: u64,
+}
+
+/// Frames quarantined out of a dead exporter's ownership, held until the
+/// last remote attachment reap drops the refcount — only then do they
+/// return to the owner enclave's allocator (or retire with its
+/// partition, when the whole enclave is gone).
+#[derive(Debug)]
+struct Loan {
+    owner_slot: usize,
+    segid: Segid,
+    frames: PfnList,
+    refs: usize,
+}
 
 /// Timing breakdown of one attachment, for experiment drivers.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +93,19 @@ pub struct System {
     last_vm_breakdown: Option<xemem_palacios::AttachBreakdown>,
     /// NUMA zone of each slot's memory partition.
     zones: Vec<u32>,
+    /// Deterministic fault injector (None when no plan is armed).
+    injector: Option<FaultInjector>,
+    /// Failure/teardown event log (labels: `crash:…`, `revoke:…`,
+    /// `reap:…`, `ns:…`, `fault:…`).
+    events: Trace,
+    /// (owner slot, segid) → remote attachment sites; fed by every
+    /// successful attach, consumed by the revocation protocol.
+    attachers: HashMap<(usize, Segid), Vec<AttachSite>>,
+    /// Exporter-side permit refcounts: (owner slot, segid) → outstanding
+    /// `xpmem_get` grants.
+    grants: HashMap<(usize, Segid), u64>,
+    /// Frames on loan from dead exporters (see [`Loan`]).
+    loans: Vec<Loan>,
 }
 
 impl System {
@@ -93,7 +131,10 @@ impl System {
 
     /// Find an enclave by name.
     pub fn enclave_by_name(&self, name: &str) -> Option<EnclaveRef> {
-        self.slots.iter().position(|s| s.name == name).map(EnclaveRef)
+        self.slots
+            .iter()
+            .position(|s| s.name == name)
+            .map(EnclaveRef)
     }
 
     /// The enclave's protocol-level ID.
@@ -138,6 +179,527 @@ impl System {
         }
     }
 
+    /// The failure/teardown event log: crashes, revocations, reaps,
+    /// name-server outages/retries/stale-cache hits, message faults.
+    pub fn events(&self) -> &Trace {
+        &self.events
+    }
+
+    /// Whether an enclave is still alive (crashed/destroyed enclaves stay
+    /// in the slot table but reject every operation).
+    pub fn enclave_alive(&self, e: EnclaveRef) -> bool {
+        self.slots.get(e.0).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// Free frames in an enclave's allocator (leak detection in tests;
+    /// for VM enclaves this is the guest allocator).
+    pub fn free_frames_of(&self, e: EnclaveRef) -> Option<u64> {
+        self.slots.get(e.0).map(|s| match &s.kind {
+            EnclaveKind::Native(k) => k.free_frame_count(),
+            EnclaveKind::Vm(vmm) => vmm.guest().free_frame_count(),
+        })
+    }
+
+    /// Number of unresolved frame loans (teardown still draining
+    /// refcounts). Zero once every revocation has settled.
+    pub fn outstanding_loans(&self) -> usize {
+        self.loans.len()
+    }
+
+    /// Outstanding `xpmem_get` grants against a segment — the
+    /// exporter-side refcount dropped by release and by attacher exit.
+    pub fn outstanding_grants(&self, e: EnclaveRef, segid: Segid) -> u64 {
+        self.grants.get(&(e.0, segid)).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and crash-consistent teardown
+    // ------------------------------------------------------------------
+
+    /// Deliver injected faults due at or before `now`. Polled at the head
+    /// of every operation and at attach's intermediate timestamps, so
+    /// crashes land between protocol steps deterministically.
+    fn process_faults(&mut self, now: SimTime) {
+        let Some(injector) = self.injector.as_mut() else {
+            return;
+        };
+        let due = injector.due_events(now);
+        for ev in due {
+            match ev.kind {
+                FaultKind::NameServerOutage { duration } => {
+                    self.events.record(ev.at, duration, "ns:outage");
+                }
+                FaultKind::EnclaveCrash { slot } => {
+                    let slot = slot % self.slots.len();
+                    if slot == self.ns_slot {
+                        // The name server's failure mode is the bounded
+                        // outage (scheduled separately), not a crash —
+                        // losing it would orphan the whole name space.
+                        self.events
+                            .record(ev.at, SimDuration::ZERO, "crash:skipped-ns-slot");
+                    } else if self.slots[slot].alive {
+                        self.crash_enclave_internal(slot, ev.at);
+                    }
+                }
+                FaultKind::ProcessKill { slot, pid } => {
+                    let slot = slot % self.slots.len();
+                    if self.slots[slot].alive {
+                        let p = ProcessRef {
+                            enclave: EnclaveRef(slot),
+                            pid: Pid(pid),
+                        };
+                        if self.crash_process_internal(p, ev.at).is_err() {
+                            self.events
+                                .record(ev.at, SimDuration::ZERO, "crash:no-such-process");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when the name server is reachable at `at`.
+    fn ns_available(&self, at: SimTime) -> bool {
+        self.injector
+            .as_ref()
+            .map(|i| i.ns_available(at))
+            .unwrap_or(true)
+    }
+
+    /// Wait out a name-server outage with exponential backoff in virtual
+    /// time: attempt `k` sleeps `ns_retry_base_ns << k`. Returns the time
+    /// the name server answered, or `NameServerUnavailable` once the
+    /// retry budget is exhausted. Every retry lands in the event trace.
+    fn ns_backoff(&mut self, mut at: SimTime) -> Result<SimTime, XememError> {
+        if self.ns_available(at) {
+            return Ok(at);
+        }
+        for k in 0..self.cost.ns_retry_max_attempts {
+            let wait = SimDuration::from_nanos(self.cost.ns_retry_base_ns << k.min(20));
+            at += wait;
+            self.events.record(at, wait, format!("ns:retry:{k}"));
+            if self.ns_available(at) {
+                return Ok(at);
+            }
+        }
+        self.events.record(at, SimDuration::ZERO, "ns:unavailable");
+        Err(XememError::NameServerUnavailable)
+    }
+
+    /// Abruptly kill a process (clock-based): exported frames still
+    /// mapped remotely are quarantined, attaching enclaves are revoked
+    /// and reaped, permits dropped, and the kernel reclaims the rest.
+    /// Unlike [`Self::exit_process`] nothing is torn down gracefully —
+    /// this is the path fault injection drives.
+    pub fn crash_process(&mut self, p: ProcessRef) -> Result<(), XememError> {
+        let at = self.clock.now();
+        self.process_faults(at);
+        let end = self.crash_process_at(p, at)?;
+        self.clock.advance_to(end);
+        Ok(())
+    }
+
+    /// Timeline variant of [`Self::crash_process`].
+    pub fn crash_process_at(&mut self, p: ProcessRef, at: SimTime) -> Result<SimTime, XememError> {
+        self.process_faults(at);
+        self.crash_process_internal(p, at)
+    }
+
+    fn crash_process_internal(
+        &mut self,
+        p: ProcessRef,
+        at: SimTime,
+    ) -> Result<SimTime, XememError> {
+        let slot_idx = p.enclave.0;
+        let slot = self
+            .slots
+            .get(slot_idx)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        let mut t = at;
+        // 1. Exported segments: withdraw from the name server; where
+        //    remote enclaves still map them, quarantine the frames out of
+        //    the dying process *before* the kernel frees its memory, then
+        //    run the revocation protocol.
+        let my_id = self.slots[slot_idx].id;
+        // Sorted so teardown order (and thus the event trace and any
+        // RNG-dependent hop decisions) never depends on map iteration.
+        let mut segids: Vec<Segid> = self.slots[slot_idx]
+            .segs
+            .iter()
+            .filter(|(_, r)| r.pid == p.pid)
+            .map(|(s, _)| *s)
+            .collect();
+        segids.sort();
+        self.events.record(
+            at,
+            SimDuration::ZERO,
+            format!("crash:process:slot{slot_idx}:pid{}", p.pid.0),
+        );
+        for segid in segids {
+            let seg = self.slots[slot_idx]
+                .segs
+                .remove(&segid)
+                .expect("listed above");
+            if let Some(id) = my_id {
+                let _ = self.name_server.remove_segid(segid, id);
+            }
+            self.grants.remove(&(slot_idx, segid));
+            let has_sites = self
+                .attachers
+                .get(&(slot_idx, segid))
+                .is_some_and(|v| !v.is_empty());
+            let loan = if has_sites {
+                match self.slots[slot_idx]
+                    .kind
+                    .kernel_mut()
+                    .retain_frames(p.pid, seg.va, seg.len)
+                {
+                    Ok(c) => {
+                        t += c.cost;
+                        Some(c.value)
+                    }
+                    Err(_) => None,
+                }
+            } else {
+                None
+            };
+            t = self.revoke_segment(slot_idx, segid, loan, t);
+        }
+        // 2. Attachments the process held against other exporters: drop
+        //    the sites and their loan refcounts.
+        let mut held: Vec<(u64, crate::enclave::AttachRecord)> = self.slots[slot_idx]
+            .attachments
+            .iter()
+            .filter(|((pid, _), _)| *pid == p.pid)
+            .map(|((_, va), rec)| (*va, *rec))
+            .collect();
+        held.sort_by_key(|(va, _)| *va);
+        for (va, rec) in held {
+            self.drop_site(slot_idx, p.pid, va, rec, t);
+        }
+        // 3. Permits: drop the exporter-side grant refcounts they pinned.
+        let mut permits: Vec<(Apid, Segid, EnclaveId)> = self.slots[slot_idx]
+            .apids
+            .iter()
+            .filter(|(_, r)| r.pid == p.pid)
+            .map(|(a, r)| (*a, r.segid, r.owner))
+            .collect();
+        permits.sort();
+        for (apid, segid, owner) in permits {
+            self.slots[slot_idx].apids.remove(&apid);
+            self.slots[slot_idx].released.insert(apid);
+            self.drop_grant(owner, segid);
+        }
+        // 4. The kernel reclaims whatever the process still owns
+        //    (quarantined frames excluded — they are on loan).
+        let exited = self.slots[slot_idx].kind.kernel_mut().exit(p.pid)?;
+        Ok(t + exited.cost)
+    }
+
+    /// Administratively destroy an enclave (clock-based): its hosted VMs
+    /// die with it, its exports are revoked everywhere, its remote
+    /// attachments are dropped, and its partition is retired. The
+    /// name-server enclave cannot be destroyed.
+    pub fn destroy_enclave(&mut self, e: EnclaveRef) -> Result<(), XememError> {
+        let at = self.clock.now();
+        self.process_faults(at);
+        let end = self.destroy_enclave_at(e, at)?;
+        self.clock.advance_to(end);
+        Ok(())
+    }
+
+    /// Timeline variant of [`Self::destroy_enclave`].
+    pub fn destroy_enclave_at(
+        &mut self,
+        e: EnclaveRef,
+        at: SimTime,
+    ) -> Result<SimTime, XememError> {
+        let slot = self.slots.get(e.0).ok_or(XememError::BadEnclave(e))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(e));
+        }
+        if e.0 == self.ns_slot {
+            return Err(XememError::Topology(
+                "the name-server enclave cannot be destroyed".into(),
+            ));
+        }
+        Ok(self.crash_enclave_internal(e.0, at))
+    }
+
+    /// Shared crash/destroy machinery. The slot is marked dead first, so
+    /// the revocation notices originate from the name server (the owner
+    /// kernel can no longer send).
+    fn crash_enclave_internal(&mut self, slot_idx: usize, at: SimTime) -> SimTime {
+        // Hosted VMs die with their host.
+        let children: Vec<usize> = self.slots[slot_idx].children.clone();
+        let mut t = at;
+        for c in children {
+            if self.slots[c].alive {
+                t = self.crash_enclave_internal(c, t);
+            }
+        }
+        self.events.record(
+            t,
+            SimDuration::ZERO,
+            format!("crash:enclave:{}", self.slots[slot_idx].name),
+        );
+        self.slots[slot_idx].alive = false;
+        // Revoke every segment this enclave exported. Its partition is
+        // retired wholesale, so there is nothing to quarantine — remote
+        // reapers unmap and the refcounts drain to nothing.
+        if let Some(id) = self.slots[slot_idx].id {
+            let mut segids: Vec<Segid> = self.slots[slot_idx].segs.keys().copied().collect();
+            segids.sort();
+            for segid in segids {
+                let _ = self.name_server.remove_segid(segid, id);
+                self.slots[slot_idx].segs.remove(&segid);
+                self.grants.remove(&(slot_idx, segid));
+                t = self.revoke_segment(slot_idx, segid, None, t);
+            }
+        }
+        // Attachments its processes held against other enclaves: drop the
+        // sites and their loan refcounts.
+        let mut held: Vec<(Pid, u64, crate::enclave::AttachRecord)> = self.slots[slot_idx]
+            .attachments
+            .iter()
+            .map(|((pid, va), rec)| (*pid, *va, *rec))
+            .collect();
+        held.sort_by_key(|(pid, va, _)| (*pid, *va));
+        for (pid, va, rec) in held {
+            self.drop_site(slot_idx, pid, va, rec, t);
+        }
+        // Permits: drop the exporter-side grant refcounts.
+        let mut permits: Vec<(Segid, EnclaveId)> = self.slots[slot_idx]
+            .apids
+            .values()
+            .map(|r| (r.segid, r.owner))
+            .collect();
+        permits.sort();
+        self.slots[slot_idx].apids.clear();
+        for (segid, owner) in permits {
+            self.drop_grant(owner, segid);
+        }
+        t
+    }
+
+    /// Owner-side revocation of one segment: notify every attaching
+    /// enclave (charged Revoke/RevokeAck hops through the routing
+    /// fabric), run their reapers, and drain the loan refcounts.
+    /// `loan_frames` carries quarantined frames when the exporter died;
+    /// `None` when the exporter lives on (`xpmem_remove`) and keeps its
+    /// own frames.
+    fn revoke_segment(
+        &mut self,
+        owner_slot: usize,
+        segid: Segid,
+        loan_frames: Option<PfnList>,
+        mut at: SimTime,
+    ) -> SimTime {
+        let sites = self
+            .attachers
+            .remove(&(owner_slot, segid))
+            .unwrap_or_default();
+        if let Some(frames) = loan_frames {
+            self.events.record(
+                at,
+                SimDuration::ZERO,
+                format!("revoke:quarantine:{segid}:{}pages", frames.pages()),
+            );
+            self.loans.push(Loan {
+                owner_slot,
+                segid,
+                frames,
+                refs: sites.len(),
+            });
+        }
+        if sites.is_empty() {
+            self.settle_loan(owner_slot, segid, at);
+            return at;
+        }
+        self.events.record(
+            at,
+            SimDuration::ZERO,
+            format!("revoke:{segid}:{}sites", sites.len()),
+        );
+        // A dead owner cannot send; the name server (which observed the
+        // death when the registration was withdrawn) notifies instead.
+        let notifier = if self.slots[owner_slot].alive {
+            owner_slot
+        } else {
+            self.ns_slot
+        };
+        for site in sites {
+            at += SimDuration::from_nanos(self.cost.revoke_bookkeeping_ns);
+            let mut t = at;
+            if site.slot != notifier {
+                if let Some(path) = self.notify_path(notifier, site.slot) {
+                    t = self.charge_hops(&path, MessageKind::Revoke, Some(segid), None, t);
+                }
+            }
+            t = self.reap_site(site, t);
+            if site.slot != notifier {
+                if let Some(path) = self.notify_path(site.slot, notifier) {
+                    t = self.charge_hops(&path, MessageKind::RevokeAck, Some(segid), None, t);
+                }
+            }
+            at = t;
+            if let Some(loan) = self
+                .loans
+                .iter_mut()
+                .find(|l| l.owner_slot == owner_slot && l.segid == segid)
+            {
+                loan.refs = loan.refs.saturating_sub(1);
+            }
+        }
+        self.settle_loan(owner_slot, segid, at);
+        at
+    }
+
+    /// The attacher-side reaper: unmap one dead attachment and mark it
+    /// `Reaped` so data access fails with `SourceGone` instead of
+    /// reading stale bytes. Returns the completion time.
+    fn reap_site(&mut self, site: AttachSite, at: SimTime) -> SimTime {
+        let reap_ns = self.cost.reap_unmap_ns;
+        let slot = &mut self.slots[site.slot];
+        if let Some(rec) = slot.attachments.get_mut(&(site.pid, site.va)) {
+            rec.state = AttachState::Revoking;
+        }
+        if !slot.alive {
+            // The attacher died first; its partition is already retired,
+            // so there is nothing left to unmap.
+            if let Some(rec) = slot.attachments.get_mut(&(site.pid, site.va)) {
+                rec.state = AttachState::Reaped;
+            }
+            return at;
+        }
+        let unmap = match &mut slot.kind {
+            EnclaveKind::Native(k) => k.detach(site.pid, VirtAddr(site.va)).map(|c| c.cost),
+            EnclaveKind::Vm(vmm) => vmm
+                .revoke_guest_attachment(site.pid, VirtAddr(site.va))
+                .map(|c| c.cost),
+        }
+        .unwrap_or(SimDuration::ZERO); // process already gone: nothing mapped
+        if let Some(rec) = slot.attachments.get_mut(&(site.pid, site.va)) {
+            rec.state = AttachState::Reaped;
+        }
+        let end = at + unmap + SimDuration::from_nanos(reap_ns);
+        self.events.record(
+            end,
+            unmap,
+            format!("reap:slot{}:pid{}", site.slot, site.pid.0),
+        );
+        end
+    }
+
+    /// Resolve a loan whose refcount drained: hand the quarantined frames
+    /// back to the owner's allocator, or retire them with the owner's
+    /// partition when the owner enclave itself is gone.
+    fn settle_loan(&mut self, owner_slot: usize, segid: Segid, at: SimTime) {
+        let Some(pos) = self
+            .loans
+            .iter()
+            .position(|l| l.owner_slot == owner_slot && l.segid == segid && l.refs == 0)
+        else {
+            return;
+        };
+        let loan = self.loans.swap_remove(pos);
+        if self.slots[owner_slot].alive {
+            let returned = self.slots[owner_slot]
+                .kind
+                .kernel_mut()
+                .return_frames(&loan.frames)
+                .is_ok();
+            if returned {
+                self.events.record(
+                    at,
+                    SimDuration::ZERO,
+                    format!("reap:frames-returned:{segid}:{}pages", loan.frames.pages()),
+                );
+            }
+        } else {
+            self.events.record(
+                at,
+                SimDuration::ZERO,
+                format!("reap:frames-retired:{segid}"),
+            );
+        }
+    }
+
+    /// Remove one attachment site from the exporter-side index and drop
+    /// its loan refcount (attacher-side teardown: detach, exit, crash).
+    fn drop_site(
+        &mut self,
+        slot_idx: usize,
+        pid: Pid,
+        va: u64,
+        rec: crate::enclave::AttachRecord,
+        at: SimTime,
+    ) {
+        if let Some(&owner_slot) = self.id_to_slot.get(&rec.owner) {
+            if let Some(sites) = self.attachers.get_mut(&(owner_slot, rec.segid)) {
+                sites.retain(|s| !(s.slot == slot_idx && s.pid == pid && s.va == va));
+                if sites.is_empty() {
+                    self.attachers.remove(&(owner_slot, rec.segid));
+                }
+            }
+            if let Some(loan) = self
+                .loans
+                .iter_mut()
+                .find(|l| l.owner_slot == owner_slot && l.segid == rec.segid)
+            {
+                loan.refs = loan.refs.saturating_sub(1);
+            }
+            self.settle_loan(owner_slot, rec.segid, at);
+        }
+        self.slots[slot_idx].attachments.remove(&(pid, va));
+        self.slots[slot_idx].detached.insert((pid, va));
+    }
+
+    /// Decrement the exporter-side grant refcount for one released (or
+    /// abandoned) permit.
+    fn drop_grant(&mut self, owner: EnclaveId, segid: Segid) {
+        if let Some(&owner_slot) = self.id_to_slot.get(&owner) {
+            if let Some(g) = self.grants.get_mut(&(owner_slot, segid)) {
+                *g = g.saturating_sub(1);
+                if *g == 0 {
+                    self.grants.remove(&(owner_slot, segid));
+                }
+            }
+        }
+    }
+
+    /// Path for a revocation notice; `None` when routing is impossible
+    /// (dead intermediate enclave) — the reap still happens, the message
+    /// costs just cannot be charged across a vanished fabric.
+    fn notify_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let dest = self.slots[to].id?;
+        self.route_path(from, dest).ok()
+    }
+
+    /// Guard a data access: any overlap with a revoked (non-live)
+    /// attachment fails with `SourceGone` — never stale bytes.
+    fn check_data_access(
+        &self,
+        slot_idx: usize,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<(), XememError> {
+        for ((rpid, base), rec) in &self.slots[slot_idx].attachments {
+            if *rpid == pid
+                && rec.state != AttachState::Live
+                && va.0 < base + rec.len
+                && va.0 + len > *base
+            {
+                return Err(XememError::SourceGone);
+            }
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Process management and data access (clock-based)
     // ------------------------------------------------------------------
@@ -148,47 +710,72 @@ impl System {
         e: EnclaveRef,
         mem_bytes: u64,
     ) -> Result<ProcessRef, XememError> {
+        self.process_faults(self.clock.now());
         let slot = self.slots.get_mut(e.0).ok_or(XememError::BadEnclave(e))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(e));
+        }
         let spawned = slot.kind.kernel_mut().spawn(mem_bytes)?;
         self.clock.advance(spawned.cost);
-        Ok(ProcessRef { enclave: e, pid: spawned.value })
+        Ok(ProcessRef {
+            enclave: e,
+            pid: spawned.value,
+        })
     }
 
-    /// Destroy a process: detach its live attachments, drop its permits,
-    /// withdraw its exported segments from the name server, and free its
-    /// memory.
-    ///
-    /// Remote attachments to this process's exported segments are *not*
-    /// revoked — as in the real implementation, coordinating
-    /// detach-before-exit is the composed application's responsibility
-    /// (the segid becomes unattachable, but already-installed mappings
-    /// keep pointing at the freed frames).
+    /// Destroy a process gracefully: detach its live attachments
+    /// (dropping any loan refcounts they held), release its permits
+    /// (dropping the exporter-side grant refcounts), withdraw its
+    /// exported segments — [`Self::remove_at`] drives the revocation
+    /// protocol, so remote attachments are reaped and subsequent access
+    /// through them fails with `SourceGone` — and free its memory.
     pub fn exit_process(&mut self, p: ProcessRef) -> Result<(), XememError> {
+        self.process_faults(self.clock.now());
         let slot_idx = p.enclave.0;
         if slot_idx >= self.slots.len() {
             return Err(XememError::BadEnclave(p.enclave));
         }
-        // Tear down attachments (local unmap).
-        let attached: Vec<u64> = self.slots[slot_idx]
+        if !self.slots[slot_idx].alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        // Tear down attachments (local unmap; drops loan refcounts).
+        // Sorted for deterministic teardown order (map iteration is not).
+        let mut attached: Vec<u64> = self.slots[slot_idx]
             .attachments
             .iter()
             .filter(|((pid, _), _)| *pid == p.pid)
             .map(|((_, va), _)| *va)
             .collect();
+        attached.sort_unstable();
         for va in attached {
             let at = self.clock.now();
             let end = self.detach_at(p, VirtAddr(va), at)?;
             self.clock.advance_to(end);
         }
-        // Drop permits.
-        self.slots[slot_idx].apids.retain(|_, rec| rec.pid != p.pid);
-        // Withdraw exported segments (notifying the name server).
-        let segids: Vec<Segid> = self.slots[slot_idx]
+        // Release permits, dropping the exporter-side grant refcounts
+        // they pinned (left dangling before the teardown protocol
+        // existed).
+        let mut permits: Vec<Apid> = self.slots[slot_idx]
+            .apids
+            .iter()
+            .filter(|(_, rec)| rec.pid == p.pid)
+            .map(|(apid, _)| *apid)
+            .collect();
+        permits.sort_unstable();
+        for apid in permits {
+            let at = self.clock.now();
+            let end = self.release_at(p, apid, at)?;
+            self.clock.advance_to(end);
+        }
+        // Withdraw exported segments; remove_at revokes and reaps any
+        // remote attachments before the kernel frees the frames below.
+        let mut segids: Vec<Segid> = self.slots[slot_idx]
             .segs
             .iter()
             .filter(|(_, rec)| rec.pid == p.pid)
             .map(|(segid, _)| *segid)
             .collect();
+        segids.sort_unstable();
         for segid in segids {
             let at = self.clock.now();
             let end = self.remove_at(p, segid, at)?;
@@ -203,7 +790,14 @@ impl System {
     /// Allocate a page-aligned buffer in a process (the region an
     /// application will export).
     pub fn alloc_buffer(&mut self, p: ProcessRef, len: u64) -> Result<VirtAddr, XememError> {
-        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        self.process_faults(self.clock.now());
+        let slot = self
+            .slots
+            .get_mut(p.enclave.0)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
         let out = slot.kind.kernel_mut().alloc_buffer(p.pid, len)?;
         self.clock.advance(out.cost);
         Ok(out.value)
@@ -220,22 +814,48 @@ impl System {
         va: VirtAddr,
         len: u64,
     ) -> Result<(), XememError> {
-        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        let slot = self
+            .slots
+            .get_mut(p.enclave.0)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
         slot.kind.kernel_mut().populate(p.pid, va, len)?;
         Ok(())
     }
 
-    /// Write process memory.
+    /// Write process memory. Writes overlapping a revoked attachment
+    /// fail with `SourceGone`.
     pub fn write(&mut self, p: ProcessRef, va: VirtAddr, data: &[u8]) -> Result<(), XememError> {
-        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        self.process_faults(self.clock.now());
+        if !self
+            .slots
+            .get(p.enclave.0)
+            .ok_or(XememError::BadEnclave(p.enclave))?
+            .alive
+        {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        self.check_data_access(p.enclave.0, p.pid, va, data.len() as u64)?;
+        let slot = &mut self.slots[p.enclave.0];
         let out = slot.kind.kernel_mut().write(p.pid, va, data)?;
         self.clock.advance(out.cost);
         Ok(())
     }
 
-    /// Read process memory.
+    /// Read process memory. Reads overlapping a revoked attachment fail
+    /// with `SourceGone` — the teardown protocol never leaves stale
+    /// bytes readable.
     pub fn read(&mut self, p: ProcessRef, va: VirtAddr, out: &mut [u8]) -> Result<(), XememError> {
-        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
+        self.process_faults(self.clock.now());
+        if !self
+            .slots
+            .get(p.enclave.0)
+            .ok_or(XememError::BadEnclave(p.enclave))?
+            .alive
+        {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        self.check_data_access(p.enclave.0, p.pid, va, out.len() as u64)?;
+        let slot = &mut self.slots[p.enclave.0];
         let r = slot.kind.kernel_mut().read(p.pid, va, out)?;
         self.clock.advance(r.cost);
         Ok(())
@@ -271,6 +891,11 @@ impl System {
                     ))
                 })?,
             };
+            if !self.slots[next].alive {
+                // Forwarding through (or to) a crashed enclave: the
+                // message has nowhere to go.
+                return Err(XememError::EnclaveDead(EnclaveRef(next)));
+            }
             path.push(next);
             cur = next;
             hops += 1;
@@ -294,11 +919,45 @@ impl System {
         let bytes = kind.wire_bytes();
         for w in 0..path.len().saturating_sub(1) {
             let (a, b) = (path[w], path[w + 1]);
+            // Injected message loss: the sender times out and
+            // retransmits; each retry re-consults the loss window at the
+            // advanced timestamp.
+            if let Some(injector) = self.injector.as_mut() {
+                let timeout = SimDuration::from_nanos(self.cost.retransmit_timeout_ns);
+                let mut dropped = 0u32;
+                while dropped < MAX_RETRANSMITS && injector.should_drop(at) {
+                    dropped += 1;
+                    at += timeout;
+                }
+                if dropped > 0 {
+                    self.events.record(
+                        at,
+                        timeout.times(u64::from(dropped)),
+                        format!("fault:drop:{dropped}"),
+                    );
+                }
+            }
             if self.trace_enabled {
-                self.trace.push(MessageRecord { from_slot: a, to_slot: b, kind, at, segid, routed_to });
+                self.trace.push(MessageRecord {
+                    from_slot: a,
+                    to_slot: b,
+                    kind,
+                    at,
+                    segid,
+                    routed_to,
+                });
             }
             let (link, dir) = self.link_between(a, b).expect("path hops are tree edges");
             at = link.send(at, bytes, dir);
+            // Injected duplication: the receiver pays for a second copy.
+            if self
+                .injector
+                .as_mut()
+                .is_some_and(|i| i.should_duplicate(at))
+            {
+                self.events.record(at, SimDuration::ZERO, "fault:dup");
+                at = link.send(at, bytes, dir);
+            }
             // Forwarding decision at each intermediate receiver.
             if w + 2 < path.len() {
                 at += SimDuration::from_nanos(self.cost.route_hop_ns);
@@ -316,11 +975,25 @@ impl System {
         let mut path = vec![from];
         let mut cur = from;
         while cur != self.ns_slot {
-            let via = self.slots[cur].ns_via.expect("registered enclaves know the NS direction");
+            let via = self.slots[cur]
+                .ns_via
+                .expect("registered enclaves know the NS direction");
             path.push(via);
             cur = via;
         }
         path
+    }
+
+    /// [`Self::path_to_ns`], failing with `EnclaveDead` when any hop on
+    /// the way crashed (the fabric toward the name server is gone).
+    fn path_to_ns_checked(&self, from: usize) -> Result<Vec<usize>, XememError> {
+        let path = self.path_to_ns(from);
+        for &hop in &path[1..] {
+            if !self.slots[hop].alive {
+                return Err(XememError::EnclaveDead(EnclaveRef(hop)));
+            }
+        }
+        Ok(path)
     }
 
     // ------------------------------------------------------------------
@@ -338,15 +1011,28 @@ impl System {
         name: Option<&str>,
         at: SimTime,
     ) -> Result<(Segid, SimTime), XememError> {
+        self.process_faults(at);
         let slot_idx = p.enclave.0;
-        let my_id =
-            self.slots.get(slot_idx).and_then(|s| s.id).ok_or(XememError::BadEnclave(p.enclave))?;
+        let my_id = self
+            .slots
+            .get(slot_idx)
+            .and_then(|s| s.id)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !self.slots[slot_idx].alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        // Registration mutates the name server — no stale-cache fallback;
+        // outages are ridden out with exponential backoff.
+        let at = self.ns_backoff(at)?;
         let (segid, mut t) = if slot_idx == self.ns_slot {
             // Local syscall into the co-resident name server.
             let segid = self.name_server.alloc_segid(my_id, name)?;
-            (segid, at + SimDuration::from_nanos(self.cost.name_server_ns))
+            (
+                segid,
+                at + SimDuration::from_nanos(self.cost.name_server_ns),
+            )
         } else {
-            let path = self.path_to_ns(slot_idx);
+            let path = self.path_to_ns_checked(slot_idx)?;
             let t_req = self.charge_hops(&path, MessageKind::AllocSegid, None, None, at);
             let segid = self.name_server.alloc_segid(my_id, name)?;
             let back: Vec<usize> = path.iter().rev().copied().collect();
@@ -355,20 +1041,38 @@ impl System {
         };
         // Local registration bookkeeping.
         t += SimDuration::from_nanos(300);
-        self.slots[slot_idx].segs.insert(segid, SegRecord { pid: p.pid, va, len });
+        self.slots[slot_idx].segs.insert(
+            segid,
+            SegRecord {
+                pid: p.pid,
+                va,
+                len,
+            },
+        );
         Ok((segid, t))
     }
 
-    /// Remove an exported region (`xpmem_remove`).
+    /// Remove an exported region (`xpmem_remove`). Drives the revocation
+    /// protocol: every remote attachment to the segment is reaped (its
+    /// enclave is notified and unmaps), so subsequent access through
+    /// those attachments fails with `SourceGone` rather than reading
+    /// frames the exporter may now recycle.
     pub fn remove_at(
         &mut self,
         p: ProcessRef,
         segid: Segid,
         at: SimTime,
     ) -> Result<SimTime, XememError> {
+        self.process_faults(at);
         let slot_idx = p.enclave.0;
-        let my_id =
-            self.slots.get(slot_idx).and_then(|s| s.id).ok_or(XememError::BadEnclave(p.enclave))?;
+        let my_id = self
+            .slots
+            .get(slot_idx)
+            .and_then(|s| s.id)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !self.slots[slot_idx].alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
         let rec = self.slots[slot_idx]
             .segs
             .get(&segid)
@@ -376,16 +1080,22 @@ impl System {
         if rec.pid != p.pid {
             return Err(XememError::PermissionDenied);
         }
+        // Unregistration mutates the name server — backoff, no stale path.
+        let at = self.ns_backoff(at)?;
         let t = if slot_idx == self.ns_slot {
             self.name_server.remove_segid(segid, my_id)?;
             at + SimDuration::from_nanos(self.cost.name_server_ns)
         } else {
-            let path = self.path_to_ns(slot_idx);
+            let path = self.path_to_ns_checked(slot_idx)?;
             let t = self.charge_hops(&path, MessageKind::RemoveSegid, Some(segid), None, at);
             self.name_server.remove_segid(segid, my_id)?;
             t
         };
         self.slots[slot_idx].segs.remove(&segid);
+        self.grants.remove(&(slot_idx, segid));
+        // Revocation: remote reapers unmap. The exporter is still alive
+        // and keeps its frames, so nothing is quarantined.
+        let t = self.revoke_segment(slot_idx, segid, None, t);
         Ok(t)
     }
 
@@ -397,19 +1107,44 @@ impl System {
         name: &str,
         at: SimTime,
     ) -> Result<(Segid, SimTime), XememError> {
+        self.process_faults(at);
         let slot_idx = p.enclave.0;
         if slot_idx >= self.slots.len() {
             return Err(XememError::BadEnclave(p.enclave));
         }
-        if slot_idx == self.ns_slot {
-            let segid = self.name_server.search(name)?;
-            return Ok((segid, at + SimDuration::from_nanos(self.cost.name_server_ns)));
+        if !self.slots[slot_idx].alive {
+            return Err(XememError::EnclaveDead(p.enclave));
         }
-        let path = self.path_to_ns(slot_idx);
+        if slot_idx == self.ns_slot {
+            let at = self.ns_backoff(at)?;
+            let segid = self.name_server.search(name)?;
+            self.slots[slot_idx]
+                .ns_cache
+                .insert(name.to_string(), segid);
+            return Ok((
+                segid,
+                at + SimDuration::from_nanos(self.cost.name_server_ns),
+            ));
+        }
+        // Graceful degradation: during an outage, lookups can be served
+        // from the per-enclave stale cache (marked as such in the event
+        // trace). The answer may be outdated — attach validates it.
+        if !self.ns_available(at) {
+            if let Some(&segid) = self.slots[slot_idx].ns_cache.get(name) {
+                self.events
+                    .record(at, SimDuration::ZERO, format!("ns:stale:search:{name}"));
+                return Ok((segid, at + SimDuration::from_nanos(300)));
+            }
+        }
+        let at = self.ns_backoff(at)?;
+        let path = self.path_to_ns_checked(slot_idx)?;
         let t = self.charge_hops(&path, MessageKind::SearchSegid, None, None, at);
         let segid = self.name_server.search(name)?;
         let back: Vec<usize> = path.iter().rev().copied().collect();
         let t = self.charge_hops(&back, MessageKind::SearchReply, Some(segid), None, t);
+        self.slots[slot_idx]
+            .ns_cache
+            .insert(name.to_string(), segid);
         Ok((segid, t))
     }
 
@@ -433,46 +1168,92 @@ impl System {
         mode: AccessMode,
         at: SimTime,
     ) -> Result<(Apid, SimTime), XememError> {
+        self.process_faults(at);
         let slot_idx = p.enclave.0;
         if slot_idx >= self.slots.len() {
             return Err(XememError::BadEnclave(p.enclave));
+        }
+        if !self.slots[slot_idx].alive {
+            return Err(XememError::EnclaveDead(p.enclave));
         }
         let (owner, t) = if self.slots[slot_idx].segs.contains_key(&segid) {
             // Locally owned: no messages needed.
             let my_id = self.slots[slot_idx].id.expect("registered");
             (my_id, at + SimDuration::from_nanos(300))
         } else if slot_idx == self.ns_slot {
+            let at = self.ns_backoff(at)?;
             let owner = self.name_server.owner_of(segid)?;
-            (owner, at + SimDuration::from_nanos(self.cost.name_server_ns))
+            (
+                owner,
+                at + SimDuration::from_nanos(self.cost.name_server_ns),
+            )
+        } else if !self.ns_available(at) && self.slots[slot_idx].owner_cache.contains_key(&segid) {
+            // Stale-cache degradation during a name-server outage: grant
+            // against the last known owner; attach re-validates.
+            let owner = self.slots[slot_idx].owner_cache[&segid];
+            self.events
+                .record(at, SimDuration::ZERO, format!("ns:stale:get:{segid}"));
+            (owner, at + SimDuration::from_nanos(300))
         } else {
-            let path = self.path_to_ns(slot_idx);
+            let at = self.ns_backoff(at)?;
+            let path = self.path_to_ns_checked(slot_idx)?;
             let t = self.charge_hops(&path, MessageKind::SearchSegid, Some(segid), None, at);
             let owner = self.name_server.owner_of(segid)?;
             let back: Vec<usize> = path.iter().rev().copied().collect();
             let t = self.charge_hops(&back, MessageKind::SearchReply, Some(segid), None, t);
+            self.slots[slot_idx].owner_cache.insert(segid, owner);
             (owner, t)
         };
         self.next_apid += 1;
         let apid = Apid(self.next_apid);
-        self.slots[slot_idx]
-            .apids
-            .insert(apid, crate::enclave::ApidRecord { segid, pid: p.pid, owner, mode });
+        self.slots[slot_idx].apids.insert(
+            apid,
+            crate::enclave::ApidRecord {
+                segid,
+                pid: p.pid,
+                owner,
+                mode,
+            },
+        );
+        // Exporter-side grant refcount (dropped by release / attacher
+        // exit — the GC that used to leak).
+        if let Some(&owner_slot) = self.id_to_slot.get(&owner) {
+            *self.grants.entry((owner_slot, segid)).or_insert(0) += 1;
+        }
         Ok((apid, t))
     }
 
-    /// Release a permission grant (`xpmem_release`).
+    /// Release a permission grant (`xpmem_release`), dropping the
+    /// exporter-side grant refcount. A second release of the same permit
+    /// fails cleanly with `AlreadyReleased`.
     pub fn release_at(
         &mut self,
         p: ProcessRef,
         apid: Apid,
         at: SimTime,
     ) -> Result<SimTime, XememError> {
-        let slot = self.slots.get_mut(p.enclave.0).ok_or(XememError::BadEnclave(p.enclave))?;
-        let rec = slot.apids.get(&apid).ok_or(XememError::UnknownApid(apid))?;
+        self.process_faults(at);
+        let slot = self
+            .slots
+            .get_mut(p.enclave.0)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        let Some(rec) = slot.apids.get(&apid) else {
+            return Err(if slot.released.contains(&apid) {
+                XememError::AlreadyReleased(apid)
+            } else {
+                XememError::UnknownApid(apid)
+            });
+        };
         if rec.pid != p.pid {
             return Err(XememError::PermissionDenied);
         }
+        let (owner, segid) = (rec.owner, rec.segid);
         slot.apids.remove(&apid);
+        slot.released.insert(apid);
+        self.drop_grant(owner, segid);
         Ok(at + SimDuration::from_nanos(200))
     }
 
@@ -487,19 +1268,26 @@ impl System {
         len: u64,
         at: SimTime,
     ) -> Result<AttachOutcome, XememError> {
+        self.process_faults(at);
         let slot_idx = p.enclave.0;
-        let rec = *self
+        let slot = self
             .slots
             .get(slot_idx)
-            .ok_or(XememError::BadEnclave(p.enclave))?
-            .apids
-            .get(&apid)
-            .ok_or(XememError::UnknownApid(apid))?;
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        let rec = *slot.apids.get(&apid).ok_or(XememError::UnknownApid(apid))?;
         if rec.pid != p.pid {
             return Err(XememError::PermissionDenied);
         }
-        let owner_slot =
-            *self.id_to_slot.get(&rec.owner).ok_or(XememError::UnknownSegid(rec.segid))?;
+        let owner_slot = *self
+            .id_to_slot
+            .get(&rec.owner)
+            .ok_or(XememError::UnknownSegid(rec.segid))?;
+        if !self.slots[owner_slot].alive {
+            return Err(XememError::EnclaveDead(EnclaveRef(owner_slot)));
+        }
 
         // Resolve the window against the owner's registration.
         let seg = self.slots[owner_slot]
@@ -508,7 +1296,11 @@ impl System {
             .ok_or(XememError::UnknownSegid(rec.segid))?
             .clone();
         if !offset.is_multiple_of(PAGE_SIZE) || len == 0 || offset + len > seg.len {
-            return Err(XememError::BadWindow { offset, len, seg_len: seg.len });
+            return Err(XememError::BadWindow {
+                offset,
+                len,
+                seg_len: seg.len,
+            });
         }
         let src_va = VirtAddr(seg.va.0 + offset);
 
@@ -518,7 +1310,7 @@ impl System {
         };
 
         if owner_slot == slot_idx {
-            return self.attach_local(p, apid, owner_slot, seg.pid, src_va, len, prot, at);
+            return self.attach_local(p, apid, rec, owner_slot, seg.pid, src_va, len, prot, at);
         }
 
         // 1. Route the attachment request to the owner (via the name
@@ -533,6 +1325,21 @@ impl System {
         );
         let route_request = t1.duration_since(at);
 
+        // A crash injected while the request was in flight lands here:
+        // the owner (or the attacher) may now be dead, and the attach
+        // fails cleanly before any state is installed.
+        self.process_faults(t1);
+        if !self.slots[owner_slot].alive || !self.slots[owner_slot].segs.contains_key(&rec.segid) {
+            return Err(if self.slots[owner_slot].alive {
+                XememError::UnknownSegid(rec.segid)
+            } else {
+                XememError::EnclaveDead(EnclaveRef(owner_slot))
+            });
+        }
+        if !self.slots[slot_idx].alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+
         // 2. The owner generates the PFN list with its local OS routines.
         let (list, mut serve) = self.serve_export(owner_slot, seg.pid, src_va, len)?;
         // Cross-socket attachments touch remote page tables and frames
@@ -543,11 +1350,26 @@ impl System {
         }
 
         // 3. Route the (bulk) reply back.
-        let reply_kind = MessageKind::PfnListReply { pages: list.pages() };
+        let reply_kind = MessageKind::PfnListReply {
+            pages: list.pages(),
+        };
         let back = reply_trimmed(&self.slots, &path, owner_slot, slot_idx);
         let t2 = t1 + serve;
         let t3 = self.charge_hops(&back, reply_kind, Some(rec.segid), None, t2);
         let route_reply = t3.duration_since(t2);
+
+        // A crash injected while the reply was in flight: if the owner
+        // died after serving, its frames are being retired — installing
+        // the mapping now would resurrect a revoked segment, so the
+        // attach fails instead. If the attacher died, there is no
+        // process to map into.
+        self.process_faults(t3);
+        if !self.slots[owner_slot].alive {
+            return Err(XememError::EnclaveDead(EnclaveRef(owner_slot)));
+        }
+        if !self.slots[slot_idx].alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
 
         // 4. Map locally with the attaching enclave's OS routines.
         let (va, mut map) = self.install_attachment(slot_idx, p.pid, &list, prot)?;
@@ -556,10 +1378,33 @@ impl System {
         }
         let end = t3 + map;
 
-        self.slots[slot_idx]
-            .attachments
-            .insert((p.pid, va.0), crate::enclave::AttachRecord { apid, len });
-        Ok(AttachOutcome { va, end, route_request, serve, route_reply, map })
+        self.slots[slot_idx].attachments.insert(
+            (p.pid, va.0),
+            crate::enclave::AttachRecord {
+                apid,
+                segid: rec.segid,
+                owner: rec.owner,
+                len,
+                state: AttachState::Live,
+            },
+        );
+        self.slots[slot_idx].detached.remove(&(p.pid, va.0));
+        self.attachers
+            .entry((owner_slot, rec.segid))
+            .or_default()
+            .push(AttachSite {
+                slot: slot_idx,
+                pid: p.pid,
+                va: va.0,
+            });
+        Ok(AttachOutcome {
+            va,
+            end,
+            route_request,
+            serve,
+            route_reply,
+            map,
+        })
     }
 
     /// Local (single-enclave) attachment: the conventions of the local OS
@@ -570,6 +1415,7 @@ impl System {
         &mut self,
         p: ProcessRef,
         apid: Apid,
+        rec: crate::enclave::ApidRecord,
         slot_idx: usize,
         src_pid: Pid,
         src_va: VirtAddr,
@@ -597,9 +1443,25 @@ impl System {
             }
         };
         let end = at + serve + map;
-        self.slots[slot_idx]
-            .attachments
-            .insert((p.pid, va.0), crate::enclave::AttachRecord { apid, len });
+        self.slots[slot_idx].attachments.insert(
+            (p.pid, va.0),
+            crate::enclave::AttachRecord {
+                apid,
+                segid: rec.segid,
+                owner: rec.owner,
+                len,
+                state: AttachState::Live,
+            },
+        );
+        self.slots[slot_idx].detached.remove(&(p.pid, va.0));
+        self.attachers
+            .entry((slot_idx, rec.segid))
+            .or_default()
+            .push(AttachSite {
+                slot: slot_idx,
+                pid: p.pid,
+                va: va.0,
+            });
         Ok(AttachOutcome {
             va,
             end,
@@ -655,24 +1517,48 @@ impl System {
         }
     }
 
-    /// Unmap an attachment (`xpmem_detach`). Purely local (paper §4.2).
+    /// Unmap an attachment (`xpmem_detach`). Purely local (paper §4.2),
+    /// except for dropping the exporter-side loan refcount when the
+    /// segment's frames are on loan from a dead exporter. A second
+    /// detach of the same base fails cleanly with `AlreadyDetached`;
+    /// detaching an attachment the reaper already unmapped is free
+    /// bookkeeping.
     pub fn detach_at(
         &mut self,
         p: ProcessRef,
         va: VirtAddr,
         at: SimTime,
     ) -> Result<SimTime, XememError> {
+        self.process_faults(at);
         let slot_idx = p.enclave.0;
-        let slot = self.slots.get_mut(slot_idx).ok_or(XememError::BadEnclave(p.enclave))?;
-        slot.attachments
-            .remove(&(p.pid, va.0))
-            .ok_or(XememError::Kernel(xemem_mem::KernelError::Mem(
-                xemem_mem::MemError::NoSuchRegion(va),
-            )))?;
+        let slot = self
+            .slots
+            .get_mut(slot_idx)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        let Some(rec) = slot.attachments.get(&(p.pid, va.0)).copied() else {
+            return Err(if slot.detached.contains(&(p.pid, va.0)) {
+                XememError::AlreadyDetached(va.0)
+            } else {
+                XememError::Kernel(xemem_mem::KernelError::Mem(
+                    xemem_mem::MemError::NoSuchRegion(va),
+                ))
+            });
+        };
+        if rec.state == AttachState::Reaped {
+            // Already unmapped by the reaper; the detach just retires
+            // the bookkeeping.
+            slot.attachments.remove(&(p.pid, va.0));
+            slot.detached.insert((p.pid, va.0));
+            return Ok(at + SimDuration::from_nanos(200));
+        }
         let cost = match &mut slot.kind {
             EnclaveKind::Native(k) => k.detach(p.pid, va)?.cost,
             EnclaveKind::Vm(vmm) => vmm.guest_detach(p.pid, va)?.cost,
         };
+        self.drop_site(slot_idx, p.pid, va.0, rec, at);
         Ok(at + cost)
     }
 
@@ -756,7 +1642,10 @@ impl System {
             }
         }
         let via = via.ok_or_else(|| {
-            XememError::Topology(format!("enclave {:?} cannot reach the name server", self.slots[idx].name))
+            XememError::Topology(format!(
+                "enclave {:?} cannot reach the name server",
+                self.slots[idx].name
+            ))
         })?;
         self.slots[idx].ns_via = Some(via);
 
@@ -795,7 +1684,12 @@ fn requires_ns_processing(kind: MessageKind) -> bool {
 /// Reply path for an attachment: reverse of the request path, but
 /// starting/ending at host anchors for VM endpoints (the VMM-side costs
 /// are charged by `host_walk_guest_region` / `guest_attach`).
-fn reply_trimmed(slots: &[Slot], path: &[usize], owner_slot: usize, attacher_slot: usize) -> Vec<usize> {
+fn reply_trimmed(
+    slots: &[Slot],
+    path: &[usize],
+    owner_slot: usize,
+    attacher_slot: usize,
+) -> Vec<usize> {
     let mut back: Vec<usize> = path.iter().rev().copied().collect();
     if slots[owner_slot].kind.is_vm() && back.len() > 1 {
         back.remove(0);
@@ -816,7 +1710,13 @@ enum NativeKind {
 }
 
 enum Spec {
-    Native { name: String, kind: NativeKind, cores: u32, mem: u64, zone: u32 },
+    Native {
+        name: String,
+        kind: NativeKind,
+        cores: u32,
+        mem: u64,
+        zone: u32,
+    },
     Vm {
         name: String,
         host: String,
@@ -840,6 +1740,7 @@ pub struct SystemBuilder {
     numa_zones: u32,
     next_zone: u32,
     hugepage_attach: bool,
+    fault_plan: Option<(FaultPlan, u64)>,
 }
 
 impl Default for SystemBuilder {
@@ -861,7 +1762,18 @@ impl SystemBuilder {
             numa_zones: 1,
             next_zone: 0,
             hugepage_attach: false,
+            fault_plan: None,
         }
+    }
+
+    /// Arm a deterministic fault plan: scheduled enclave crashes, process
+    /// kills, name-server outages and message-loss/duplication windows,
+    /// driven by an injector seeded with `seed`. Identical plans and
+    /// seeds reproduce identical executions; faults are delivered as
+    /// virtual time crosses their timestamps.
+    pub fn with_fault_plan(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.fault_plan = Some((plan, seed));
+        self
     }
 
     /// Ablation beyond the paper: FWK enclaves install eager attachments
@@ -975,7 +1887,13 @@ impl SystemBuilder {
         if self.specs.is_empty() {
             return Err(XememError::Topology("no enclaves declared".into()));
         }
-        if !matches!(self.specs[0], Spec::Native { kind: NativeKind::LinuxMgmt, .. }) {
+        if !matches!(
+            self.specs[0],
+            Spec::Native {
+                kind: NativeKind::LinuxMgmt,
+                ..
+            }
+        ) {
             return Err(XememError::Topology(
                 "the first enclave must be the Linux management enclave (topology root)".into(),
             ));
@@ -1000,7 +1918,9 @@ impl SystemBuilder {
             .explicit_node
             .unwrap_or((total_cores.max(1), total_mem + total_mem / 4 + (64 << 20)));
         if node_cores < total_cores || node_mem < total_mem {
-            return Err(XememError::Topology("node too small for declared enclaves".into()));
+            return Err(XememError::Topology(
+                "node too small for declared enclaves".into(),
+            ));
         }
         let frames = node_mem / PAGE_SIZE;
         // Split memory evenly across the configured NUMA zones.
@@ -1021,9 +1941,17 @@ impl SystemBuilder {
         let mut names: HashMap<String, usize> = HashMap::new();
         for spec in &self.specs {
             match spec {
-                Spec::Native { name, kind, cores, mem, zone } => {
+                Spec::Native {
+                    name,
+                    kind,
+                    cores,
+                    mem,
+                    zone,
+                } => {
                     if names.contains_key(name) {
-                        return Err(XememError::Topology(format!("duplicate enclave name {name:?}")));
+                        return Err(XememError::Topology(format!(
+                            "duplicate enclave name {name:?}"
+                        )));
                     }
                     let part = resources.carve(*cores, mem / PAGE_SIZE, *zone)?;
                     let phys_dyn: Arc<dyn xemem_mem::PhysAccess> = phys.clone();
@@ -1058,12 +1986,23 @@ impl SystemBuilder {
                     zones.push(*zone);
                     slots.push(slot);
                 }
-                Spec::Vm { name, host, guest_ram, map_kind, guest, zone } => {
+                Spec::Vm {
+                    name,
+                    host,
+                    guest_ram,
+                    map_kind,
+                    guest,
+                    zone,
+                } => {
                     if names.contains_key(name) {
-                        return Err(XememError::Topology(format!("duplicate enclave name {name:?}")));
+                        return Err(XememError::Topology(format!(
+                            "duplicate enclave name {name:?}"
+                        )));
                     }
                     let host_idx = *names.get(host).ok_or_else(|| {
-                        XememError::Topology(format!("VM {name:?} references unknown host {host:?}"))
+                        XememError::Topology(format!(
+                            "VM {name:?} references unknown host {host:?}"
+                        ))
                     })?;
                     if slots[host_idx].kind.is_vm() {
                         return Err(XememError::Topology("nested VMs are not supported".into()));
@@ -1089,7 +2028,9 @@ impl SystemBuilder {
                     )?;
                     let mut slot = Slot::new(name.clone(), EnclaveKind::Vm(Box::new(vmm)));
                     slot.parent = Some(host_idx);
-                    slot.parent_link = Some(Link::Pci { cost: self.cost.clone() });
+                    slot.parent_link = Some(Link::Pci {
+                        cost: self.cost.clone(),
+                    });
                     let idx = slots.len();
                     slots[host_idx].children.push(idx);
                     names.insert(name.clone(), idx);
@@ -1100,12 +2041,15 @@ impl SystemBuilder {
         }
 
         let ns_slot = match &self.ns_name {
-            Some(n) => *names
-                .get(n)
-                .ok_or_else(|| XememError::Topology(format!("unknown name-server enclave {n:?}")))?,
+            Some(n) => *names.get(n).ok_or_else(|| {
+                XememError::Topology(format!("unknown name-server enclave {n:?}"))
+            })?,
             None => 0,
         };
 
+        let injector = self
+            .fault_plan
+            .map(|(plan, seed)| FaultInjector::new(plan, seed));
         let mut system = System {
             cost: self.cost,
             clock: Clock::new(),
@@ -1120,6 +2064,11 @@ impl SystemBuilder {
             core0,
             last_vm_breakdown: None,
             zones,
+            injector,
+            events: Trace::new(),
+            attachers: HashMap::new(),
+            grants: HashMap::new(),
+            loans: Vec::new(),
         };
         system.register_all()?;
         Ok(system)

@@ -4,7 +4,7 @@
 //! round-trips — the paper's "arbitrary enclave topologies" claim (§3.2).
 
 use proptest::prelude::*;
-use xemem::{GuestOs, MemoryMapKind, SystemBuilder, System};
+use xemem::{GuestOs, MemoryMapKind, System, SystemBuilder};
 
 const MIB: u64 = 1 << 20;
 
@@ -24,7 +24,11 @@ fn topology() -> impl Strategy<Value = Topology> {
     (1usize..5, prop::collection::vec(0usize..5, 0..3), 0usize..5).prop_map(
         |(cokernels, vm_hosts_raw, ns_raw)| {
             let vm_hosts = vm_hosts_raw.iter().map(|&h| h % (cokernels + 1)).collect();
-            Topology { cokernels, vm_hosts, ns_at: ns_raw % (cokernels + 1) }
+            Topology {
+                cokernels,
+                vm_hosts,
+                ns_at: ns_raw % (cokernels + 1),
+            }
         },
     )
 }
@@ -38,7 +42,13 @@ fn build(topo: &Topology) -> System {
         names.push(name);
     }
     for (v, &host) in topo.vm_hosts.iter().enumerate() {
-        b = b.palacios_vm(&format!("vm{v}"), &names[host], 64 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk);
+        b = b.palacios_vm(
+            &format!("vm{v}"),
+            &names[host],
+            64 * MIB,
+            MemoryMapKind::RbTree,
+            GuestOs::Fwk,
+        );
     }
     b = b.name_server_at(&names[topo.ns_at]);
     b.build().expect("random topology must boot")

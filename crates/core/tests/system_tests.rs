@@ -2,7 +2,7 @@
 //! construction, registration, routing, the XPMEM API lifecycle, and
 //! data flow across every attach path the paper exercises.
 
-use xemem::{GuestOs, MemoryMapKind, MessageKind, SystemBuilder, System, VirtAddr, XememError};
+use xemem::{GuestOs, MemoryMapKind, MessageKind, System, SystemBuilder, VirtAddr, XememError};
 
 const MIB: u64 = 1 << 20;
 
@@ -23,7 +23,13 @@ fn paper_like_system() -> System {
         .linux_management("linuxB", 4, 512 * MIB)
         .kitten_cokernel("lwkA", 1, 128 * MIB)
         .kitten_cokernel("lwkD", 1, 192 * MIB)
-        .palacios_vm("vmC", "linuxB", 96 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .palacios_vm(
+            "vmC",
+            "linuxB",
+            96 * MIB,
+            MemoryMapKind::RbTree,
+            GuestOs::Fwk,
+        )
         .palacios_vm("vmF", "lwkD", 96 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
         .build()
         .unwrap()
@@ -51,7 +57,10 @@ fn registration_messages_follow_the_hierarchy() {
         .filter(|m| m.kind == MessageKind::AllocEnclaveId && m.from_slot == 4)
         .collect();
     assert!(!alloc_hops.is_empty());
-    assert!(alloc_hops.iter().all(|m| m.to_slot == 2), "vmF must route via lwkD");
+    assert!(
+        alloc_hops.iter().all(|m| m.to_slot == 2),
+        "vmF must route via lwkD"
+    );
 }
 
 #[test]
@@ -90,7 +99,8 @@ fn attach_with_offset_window() {
     let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
 
     let buf = sys.alloc_buffer(exporter, MIB).unwrap();
-    sys.write(exporter, VirtAddr(buf.0 + 8192), b"windowed").unwrap();
+    sys.write(exporter, VirtAddr(buf.0 + 8192), b"windowed")
+        .unwrap();
     let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
     let apid = sys.xpmem_get(attacher, segid).unwrap();
 
@@ -119,7 +129,13 @@ fn vm_attaches_to_kitten_export() {
     let mut sys = SystemBuilder::new()
         .linux_management("linux0", 4, 384 * MIB)
         .kitten_cokernel("kitten0", 1, 128 * MIB)
-        .palacios_vm("vm0", "linux0", 128 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .palacios_vm(
+            "vm0",
+            "linux0",
+            128 * MIB,
+            MemoryMapKind::RbTree,
+            GuestOs::Fwk,
+        )
         .build()
         .unwrap();
     let kitten = sys.enclave_by_name("kitten0").unwrap();
@@ -128,10 +144,13 @@ fn vm_attaches_to_kitten_export() {
     let attacher = sys.spawn_process(vm, 16 * MIB).unwrap();
 
     let buf = sys.alloc_buffer(exporter, 4 * MIB).unwrap();
-    sys.write(exporter, buf, b"host-side data for the vm").unwrap();
+    sys.write(exporter, buf, b"host-side data for the vm")
+        .unwrap();
     let segid = sys.xpmem_make(exporter, buf, 4 * MIB, None).unwrap();
     let apid = sys.xpmem_get(attacher, segid).unwrap();
-    let outcome = sys.xpmem_attach_outcome(attacher, apid, 0, 4 * MIB).unwrap();
+    let outcome = sys
+        .xpmem_attach_outcome(attacher, apid, 0, 4 * MIB)
+        .unwrap();
 
     let mut got = vec![0u8; 25];
     sys.read(attacher, outcome.va, &mut got).unwrap();
@@ -142,7 +161,12 @@ fn vm_attaches_to_kitten_export() {
 
     // The attach-side mapping dominated by VMM map updates: the map
     // phase must be several times the serve (walk) phase.
-    assert!(outcome.map > outcome.serve.times(2), "map {:?} serve {:?}", outcome.map, outcome.serve);
+    assert!(
+        outcome.map > outcome.serve.times(2),
+        "map {:?} serve {:?}",
+        outcome.map,
+        outcome.serve
+    );
 }
 
 #[test]
@@ -151,7 +175,13 @@ fn kitten_attaches_to_vm_export() {
     let mut sys = SystemBuilder::new()
         .linux_management("linux0", 4, 384 * MIB)
         .kitten_cokernel("kitten0", 1, 128 * MIB)
-        .palacios_vm("vm0", "linux0", 128 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .palacios_vm(
+            "vm0",
+            "linux0",
+            128 * MIB,
+            MemoryMapKind::RbTree,
+            GuestOs::Fwk,
+        )
         .build()
         .unwrap();
     let kitten = sys.enclave_by_name("kitten0").unwrap();
@@ -210,7 +240,9 @@ fn name_discovery_via_search() {
     let searcher = sys.spawn_process(linux, 8 * MIB).unwrap();
 
     let buf = sys.alloc_buffer(exporter, MIB).unwrap();
-    let segid = sys.xpmem_make(exporter, buf, MIB, Some("checkpoint-7")).unwrap();
+    let segid = sys
+        .xpmem_make(exporter, buf, MIB, Some("checkpoint-7"))
+        .unwrap();
     assert_eq!(sys.xpmem_search(searcher, "checkpoint-7").unwrap(), segid);
     assert!(matches!(
         sys.xpmem_search(searcher, "nonexistent"),
@@ -242,7 +274,10 @@ fn full_lifecycle_make_get_attach_detach_release_remove() {
     ));
     sys.xpmem_remove(exporter, segid).unwrap();
     // Removed segid can't be got.
-    assert!(matches!(sys.xpmem_get(attacher, segid), Err(XememError::UnknownSegid(_))));
+    assert!(matches!(
+        sys.xpmem_get(attacher, segid),
+        Err(XememError::UnknownSegid(_))
+    ));
 }
 
 #[test]
@@ -268,15 +303,23 @@ fn local_linux_attachment_uses_fault_semantics() {
     let exporter = sys.spawn_process(linux, 32 * MIB).unwrap();
     let attacher = sys.spawn_process(linux, 32 * MIB).unwrap();
     let buf = sys.alloc_buffer(exporter, 4 * MIB).unwrap();
-    sys.write(exporter, buf, &vec![7u8; 4 * MIB as usize]).unwrap();
+    sys.write(exporter, buf, &vec![7u8; 4 * MIB as usize])
+        .unwrap();
     let segid = sys.xpmem_make(exporter, buf, 4 * MIB, None).unwrap();
     let apid = sys.xpmem_get(attacher, segid).unwrap();
-    let outcome = sys.xpmem_attach_outcome(attacher, apid, 0, 4 * MIB).unwrap();
+    let outcome = sys
+        .xpmem_attach_outcome(attacher, apid, 0, 4 * MIB)
+        .unwrap();
     // Lazy attach: the map phase is tiny (no per-page work yet).
-    assert!(outcome.map < xemem::SimDuration::from_micros(50), "map = {:?}", outcome.map);
+    assert!(
+        outcome.map < xemem::SimDuration::from_micros(50),
+        "map = {:?}",
+        outcome.map
+    );
     // But the data is correct on first touch.
     let mut byte = [0u8; 1];
-    sys.read(attacher, outcome.va + (4 * MIB - 1), &mut byte).unwrap();
+    sys.read(attacher, outcome.va + (4 * MIB - 1), &mut byte)
+        .unwrap();
     assert_eq!(byte[0], 7);
 }
 
@@ -309,7 +352,10 @@ fn topology_validation_errors() {
     // No enclaves.
     assert!(SystemBuilder::new().build().is_err());
     // Root must be the management enclave.
-    assert!(SystemBuilder::new().kitten_cokernel("k", 1, MIB).build().is_err());
+    assert!(SystemBuilder::new()
+        .kitten_cokernel("k", 1, MIB)
+        .build()
+        .is_err());
     // Duplicate names.
     assert!(SystemBuilder::new()
         .linux_management("a", 1, 64 * MIB)
@@ -395,12 +441,17 @@ fn read_only_grants_reject_writes() {
     let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
 
     // A read-only grant (XPMEM_RDONLY): reads work, writes fault.
-    let ro = sys.xpmem_get_mode(attacher, segid, xemem::AccessMode::ReadOnly).unwrap();
+    let ro = sys
+        .xpmem_get_mode(attacher, segid, xemem::AccessMode::ReadOnly)
+        .unwrap();
     let va = sys.xpmem_attach(attacher, ro, 0, MIB).unwrap();
     let mut got = [0u8; 9];
     sys.read(attacher, va, &mut got).unwrap();
     assert_eq!(&got, b"immutable");
-    assert!(sys.write(attacher, va, b"nope").is_err(), "write through RO mapping must fault");
+    assert!(
+        sys.write(attacher, va, b"nope").is_err(),
+        "write through RO mapping must fault"
+    );
     // The exporter's own mapping stays writable.
     sys.write(exporter, buf, b"ok").unwrap();
 
@@ -416,7 +467,13 @@ fn read_only_grant_into_a_vm() {
     let mut sys = SystemBuilder::new()
         .linux_management("linux0", 4, 256 * MIB)
         .kitten_cokernel("kitten0", 1, 128 * MIB)
-        .palacios_vm("vm0", "linux0", 96 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .palacios_vm(
+            "vm0",
+            "linux0",
+            96 * MIB,
+            MemoryMapKind::RbTree,
+            GuestOs::Fwk,
+        )
         .build()
         .unwrap();
     let kitten = sys.enclave_by_name("kitten0").unwrap();
@@ -426,7 +483,9 @@ fn read_only_grant_into_a_vm() {
     let buf = sys.alloc_buffer(exporter, MIB).unwrap();
     sys.write(exporter, buf, b"vm-visible").unwrap();
     let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
-    let ro = sys.xpmem_get_mode(attacher, segid, xemem::AccessMode::ReadOnly).unwrap();
+    let ro = sys
+        .xpmem_get_mode(attacher, segid, xemem::AccessMode::ReadOnly)
+        .unwrap();
     let va = sys.xpmem_attach(attacher, ro, 0, MIB).unwrap();
     let mut got = [0u8; 10];
     sys.read(attacher, va, &mut got).unwrap();

@@ -26,9 +26,7 @@ use std::sync::Arc;
 
 use xemem_mem::addr_space::{AddressSpace, RegionKind};
 use xemem_mem::kernel::{AttachSemantics, KernelError, KernelKind, MappingKernel, Pid};
-use xemem_mem::{
-    FrameAllocator, MemError, PfnList, PhysAccess, PteFlags, VirtAddr, PAGE_SIZE,
-};
+use xemem_mem::{FrameAllocator, MemError, PfnList, PhysAccess, PteFlags, VirtAddr, PAGE_SIZE};
 use xemem_sim::noise::CompositeNoise;
 use xemem_sim::{CostModel, Costed, SimDuration, SimRng};
 
@@ -114,7 +112,9 @@ impl Fwk {
     }
 
     fn proc_mut(&mut self, pid: Pid) -> Result<&mut Proc, KernelError> {
-        self.procs.get_mut(&pid).ok_or(KernelError::NoSuchProcess(pid))
+        self.procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))
     }
 
     /// Fault in every non-resident page of `[va, va+len)` in `pid`.
@@ -126,7 +126,10 @@ impl Fwk {
         // fill them.
         let mut holes: Vec<VirtAddr> = Vec::new();
         {
-            let proc = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+            let proc = self
+                .procs
+                .get(&pid)
+                .ok_or(KernelError::NoSuchProcess(pid))?;
             let first = va.page_base();
             let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
             for i in 0..pages {
@@ -182,7 +185,15 @@ impl Fwk {
         let proc = self.proc_mut(pid)?;
         let va = proc.asp.reserve_free(len, kind, name)?;
         let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        proc.vmas.insert(va.0, Vma { start: va, len, backing, prot });
+        proc.vmas.insert(
+            va.0,
+            Vma {
+                start: va,
+                len,
+                backing,
+                prot,
+            },
+        );
         Ok(va)
     }
 }
@@ -197,16 +208,37 @@ impl MappingKernel for Fwk {
         self.next_pid += 1;
         self.procs.insert(
             pid,
-            Proc { asp: AddressSpace::new(), vmas: HashMap::new(), owned: Vec::new() },
+            Proc {
+                asp: AddressSpace::new(),
+                vmas: HashMap::new(),
+                owned: Vec::new(),
+            },
         );
         // Regions exist immediately; pages fault in on demand.
-        self.create_vma(pid, mem_bytes.max(PAGE_SIZE), RegionKind::Heap, Backing::Anon, "heap", PteFlags::rw_user())?;
-        self.create_vma(pid, 8 << 20, RegionKind::Stack, Backing::Anon, "stack", PteFlags::rw_user())?;
+        self.create_vma(
+            pid,
+            mem_bytes.max(PAGE_SIZE),
+            RegionKind::Heap,
+            Backing::Anon,
+            "heap",
+            PteFlags::rw_user(),
+        )?;
+        self.create_vma(
+            pid,
+            8 << 20,
+            RegionKind::Stack,
+            Backing::Anon,
+            "stack",
+            PteFlags::rw_user(),
+        )?;
         Ok(Costed::new(pid, SimDuration::from_micros(60)))
     }
 
     fn exit(&mut self, pid: Pid) -> Result<Costed<()>, KernelError> {
-        let proc = self.procs.remove(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .remove(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
         for pfn in proc.owned {
             self.alloc.free(pfn)?;
         }
@@ -214,8 +246,18 @@ impl MappingKernel for Fwk {
     }
 
     fn alloc_buffer(&mut self, pid: Pid, len: u64) -> Result<Costed<VirtAddr>, KernelError> {
-        let va = self.create_vma(pid, len, RegionKind::AnonMmap, Backing::Anon, "buffer", PteFlags::rw_user())?;
-        Ok(Costed::new(va, SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)))
+        let va = self.create_vma(
+            pid,
+            len,
+            RegionKind::AnonMmap,
+            Backing::Anon,
+            "buffer",
+            PteFlags::rw_user(),
+        )?;
+        Ok(Costed::new(
+            va,
+            SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns),
+        ))
     }
 
     fn populate(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<Costed<u64>, KernelError> {
@@ -231,7 +273,10 @@ impl MappingKernel for Fwk {
         // get_user_pages: fault in whatever is missing (usually nothing —
         // see the paper's footnote) and pin, then walk.
         let populate = self.populate(pid, va, len)?;
-        let proc = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
         let (list, stats) = proc.asp.page_table().walk_range(va, len)?;
         let cost = populate.cost
             + SimDuration::from_nanos(self.cost.fwk_pin_page_ns + self.cost.walk_pte_ns)
@@ -262,7 +307,12 @@ impl MappingKernel for Fwk {
                 )?;
                 proc.vmas.insert(
                     va.0,
-                    Vma { start: va, len, backing: Backing::Remote(pfns.clone()), prot },
+                    Vma {
+                        start: va,
+                        len,
+                        backing: Backing::Remote(pfns.clone()),
+                        prot,
+                    },
                 );
                 let mut written = 0u64;
                 let mut page_idx = 0u64;
@@ -279,9 +329,12 @@ impl MappingKernel for Fwk {
                             proc.asp.page_table_mut().map(cur_va, frame, two_m, prot)?;
                             off += two_m.frames();
                         } else {
-                            proc.asp
-                                .page_table_mut()
-                                .map(cur_va, frame, xemem_mem::PageSize::Size4K, prot)?;
+                            proc.asp.page_table_mut().map(
+                                cur_va,
+                                frame,
+                                xemem_mem::PageSize::Size4K,
+                                prot,
+                            )?;
                             off += 1;
                         }
                         written += 1;
@@ -303,8 +356,10 @@ impl MappingKernel for Fwk {
                     prot,
                 )?;
                 let proc = self.proc_mut(pid)?;
-                let written =
-                    proc.asp.page_table_mut().map_pages(va, pfns.iter_pages(), prot)?;
+                let written = proc
+                    .asp
+                    .page_table_mut()
+                    .map_pages(va, pfns.iter_pages(), prot)?;
                 let cost = SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)
                     + SimDuration::from_nanos(self.cost.fwk_remap_page_ns).times(written);
                 Ok(Costed::new(va, cost))
@@ -320,7 +375,10 @@ impl MappingKernel for Fwk {
                     "xemem-lazy",
                     prot,
                 )?;
-                Ok(Costed::new(va, SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)))
+                Ok(Costed::new(
+                    va,
+                    SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns),
+                ))
             }
         }
     }
@@ -334,7 +392,10 @@ impl MappingKernel for Fwk {
             .filter(|r| r.kind == RegionKind::XememAttach)
             .ok_or(MemError::NoSuchRegion(va))?;
         let (start, len) = (region.start, region.len);
-        let vma = proc.vmas.remove(&start.0).ok_or(MemError::NoSuchRegion(start))?;
+        let vma = proc
+            .vmas
+            .remove(&start.0)
+            .ok_or(MemError::NoSuchRegion(start))?;
         // Unmap whatever is resident (everything for eager, the touched
         // subset for lazy).
         let mut cleared = 0u64;
@@ -350,21 +411,79 @@ impl MappingKernel for Fwk {
             Backing::Remote(list) => list,
             Backing::Anon => PfnList::new(),
         };
-        Ok(Costed::new(list, SimDuration::from_nanos(unmap_ns).times(cleared)))
+        Ok(Costed::new(
+            list,
+            SimDuration::from_nanos(unmap_ns).times(cleared),
+        ))
+    }
+
+    fn retain_frames(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<Costed<PfnList>, KernelError> {
+        let walk_ns = self.cost.walk_pte_ns;
+        let proc = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        let first = va.page_base();
+        let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
+        // Quarantine whatever is resident; unpopulated holes own no frame.
+        let mut resident = Vec::new();
+        for i in 0..pages {
+            let page = first + i * PAGE_SIZE;
+            if let Some((pa, _, _)) = proc.asp.page_table().translate(page) {
+                resident.push(pa.pfn());
+            }
+        }
+        let quarantined: std::collections::HashSet<u64> = resident.iter().map(|p| p.0).collect();
+        proc.owned.retain(|p| !quarantined.contains(&p.0));
+        Ok(Costed::new(
+            PfnList::from_pages(resident),
+            SimDuration::from_nanos(walk_ns).times(pages),
+        ))
+    }
+
+    fn return_frames(&mut self, frames: &PfnList) -> Result<Costed<()>, KernelError> {
+        for pfn in frames.iter_pages() {
+            self.alloc.free(pfn)?;
+        }
+        Ok(Costed::new(
+            (),
+            SimDuration::from_nanos(self.cost.frame_alloc_ns).times(frames.pages()),
+        ))
+    }
+
+    fn free_frame_count(&self) -> u64 {
+        self.alloc.free_frames()
     }
 
     fn write(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Costed<()>, KernelError> {
         let populate = self.populate(pid, va, data.len() as u64)?;
-        let proc = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
         proc.asp.write_bytes(&*self.phys, va, data)?;
-        Ok(Costed::new((), populate.cost + self.cost.dram_stream(data.len() as u64)))
+        Ok(Costed::new(
+            (),
+            populate.cost + self.cost.dram_stream(data.len() as u64),
+        ))
     }
 
     fn read(&mut self, pid: Pid, va: VirtAddr, out: &mut [u8]) -> Result<Costed<()>, KernelError> {
         let populate = self.populate(pid, va, out.len() as u64)?;
-        let proc = self.procs.get(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
         proc.asp.read_bytes(&*self.phys, va, out)?;
-        Ok(Costed::new((), populate.cost + self.cost.dram_stream(out.len() as u64)))
+        Ok(Costed::new(
+            (),
+            populate.cost + self.cost.dram_stream(out.len() as u64),
+        ))
     }
 }
 
@@ -423,7 +542,9 @@ mod tests {
         let pid = f.spawn(1 << 20).unwrap().value;
         let remote = PfnList::from_pages((3000..3008).map(Pfn));
         phys.write(Pfn(3007).base(), b"tail").unwrap();
-        let attached = f.attach_map(pid, &remote, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        let attached = f
+            .attach_map(pid, &remote, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap();
         // Reading must not fault: PTEs are present.
         let before = f.faults_served();
         let mut buf = [0u8; 4];
@@ -441,14 +562,20 @@ mod tests {
         let pid = f.spawn(1 << 20).unwrap().value;
         let remote = PfnList::from_pages((2000..2004).map(Pfn));
         phys.write(Pfn(2002).base(), b"lazy").unwrap();
-        let attached = f.attach_map(pid, &remote, AttachSemantics::Lazy, PteFlags::rw_user()).unwrap();
+        let attached = f
+            .attach_map(pid, &remote, AttachSemantics::Lazy, PteFlags::rw_user())
+            .unwrap();
         // Setup is O(1).
         assert!(attached.cost < SimDuration::from_micros(10));
         let before = f.faults_served();
         let mut buf = [0u8; 4];
         f.read(pid, attached.value + 2 * 4096, &mut buf).unwrap();
         assert_eq!(&buf, b"lazy");
-        assert_eq!(f.faults_served(), before + 1, "exactly the touched page faults");
+        assert_eq!(
+            f.faults_served(),
+            before + 1,
+            "exactly the touched page faults"
+        );
     }
 
     #[test]
@@ -456,14 +583,20 @@ mod tests {
         let (mut f, _) = boot(1 << 12);
         let pid = f.spawn(1 << 20).unwrap().value;
         let remote = PfnList::from_pages((2000..2008).map(Pfn));
-        let va = f.attach_map(pid, &remote, AttachSemantics::Lazy, PteFlags::rw_user()).unwrap().value;
+        let va = f
+            .attach_map(pid, &remote, AttachSemantics::Lazy, PteFlags::rw_user())
+            .unwrap()
+            .value;
         // Touch two pages only.
         f.write(pid, va, &[1u8; 4096]).unwrap();
         f.write(pid, va + 4 * 4096, &[1u8; 1]).unwrap();
         let detached = f.detach(pid, va).unwrap();
         assert_eq!(detached.value, remote);
         let mut buf = [0u8; 1];
-        assert!(f.read(pid, va, &mut buf).is_err(), "detached range must fault");
+        assert!(
+            f.read(pid, va, &mut buf).is_err(),
+            "detached range must fault"
+        );
     }
 
     #[test]
@@ -472,7 +605,10 @@ mod tests {
         let pid = f.spawn(64 * 4096).unwrap().value;
         let va = f.alloc_buffer(pid, 32 * 4096).unwrap().value;
         let err = f.write(pid, va, &vec![1u8; 32 * 4096]).unwrap_err();
-        assert!(matches!(err, KernelError::Mem(MemError::OutOfFrames { .. })));
+        assert!(matches!(
+            err,
+            KernelError::Mem(MemError::OutOfFrames { .. })
+        ));
     }
 
     #[test]
@@ -497,7 +633,10 @@ mod tests {
         let buf = f.alloc_buffer(exporter, 8192).unwrap().value;
         f.write(exporter, buf, b"cross-process payload").unwrap();
         let list = f.export_walk(exporter, buf, 8192).unwrap().value;
-        let va = f.attach_map(attacher, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap().value;
+        let va = f
+            .attach_map(attacher, &list, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap()
+            .value;
         let mut got = [0u8; 21];
         f.read(attacher, va, &mut got).unwrap();
         assert_eq!(&got, b"cross-process payload");
@@ -530,7 +669,9 @@ mod hugepage_tests {
         let mut list = PfnList::new();
         list.push_run(Pfn(1024), 1024);
         phys.write(Pfn(1024).base(), b"huge").unwrap();
-        let huge = f.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        let huge = f
+            .attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap();
         // Two 2 MiB leaves instead of 1024 PTEs ⇒ ~500x cheaper map phase.
         let per_4k_equiv = huge.cost.as_nanos() / 1024;
         assert!(per_4k_equiv < 10, "amortized {per_4k_equiv} ns/page");
@@ -551,13 +692,18 @@ mod hugepage_tests {
         let pid = f.spawn(1 << 20).unwrap().value;
         // Scattered frames: no co-alignment, so every leaf is 4 KiB.
         let list = PfnList::from_pages((0..64).map(|i| Pfn(100 + i * 2)));
-        let out = f.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        let out = f
+            .attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap();
         let per_page = (out.cost.as_nanos() - 2500) / 64;
         assert!((150..350).contains(&per_page), "per-page {per_page} ns");
         // All frames map in order.
         let (walked, _) = {
             let proc = f.procs.get(&pid).unwrap();
-            proc.asp.page_table().walk_range(out.value, 64 * 4096).unwrap()
+            proc.asp
+                .page_table()
+                .walk_range(out.value, 64 * 4096)
+                .unwrap()
         };
         assert_eq!(walked, list);
     }
@@ -571,7 +717,9 @@ mod hugepage_tests {
         let mut list = PfnList::new();
         list.push_run(Pfn(512), 700);
         phys.write(Pfn(512 + 699).base() + 4090, b"END").unwrap();
-        let out = f.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        let out = f
+            .attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap();
         let mut got = [0u8; 3];
         f.read(pid, out.value + (700 * 4096 - 6), &mut got).unwrap();
         assert_eq!(&got, b"END");

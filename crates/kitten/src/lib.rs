@@ -86,7 +86,14 @@ impl Kitten {
     /// Boot a Kitten instance over the given physical view and frame
     /// range.
     pub fn new(cost: CostModel, phys: Arc<dyn PhysAccess>, alloc: FrameAllocator) -> Self {
-        Kitten { cost, phys, alloc, procs: HashMap::new(), next_pid: 1, next_rank: 1 }
+        Kitten {
+            cost,
+            phys,
+            alloc,
+            procs: HashMap::new(),
+            next_pid: 1,
+            next_rank: 1,
+        }
     }
 
     /// The Kitten noise profile (near-silent: hardware baseline + SMIs).
@@ -105,7 +112,9 @@ impl Kitten {
     }
 
     fn proc_mut(&mut self, pid: Pid) -> Result<&mut Proc, KernelError> {
-        self.procs.get_mut(&pid).ok_or(KernelError::NoSuchProcess(pid))
+        self.procs
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))
     }
 
     fn proc_ref(&self, pid: Pid) -> Result<&Proc, KernelError> {
@@ -134,10 +143,12 @@ impl Kitten {
                 && frame.0.is_multiple_of(PageSize::Size2M.frames())
                 && remaining >= two_m
             {
-                asp.page_table_mut().map(cur, frame, PageSize::Size2M, PteFlags::rw_user())?;
+                asp.page_table_mut()
+                    .map(cur, frame, PageSize::Size2M, PteFlags::rw_user())?;
                 off += two_m;
             } else {
-                asp.page_table_mut().map(cur, frame, PageSize::Size4K, PteFlags::rw_user())?;
+                asp.page_table_mut()
+                    .map(cur, frame, PageSize::Size4K, PteFlags::rw_user())?;
                 off += PAGE_SIZE;
             }
             written += 1;
@@ -182,9 +193,14 @@ impl Kitten {
         for (peer_va, list) in mappings {
             // The peer's address inside the window preserves its offsets.
             let dst = VirtAddr(window.0 + peer_va.0);
-            me.asp.page_table_mut().map_pages(dst, list.iter_pages(), PteFlags::rw_user())?;
+            me.asp
+                .page_table_mut()
+                .map_pages(dst, list.iter_pages(), PteFlags::rw_user())?;
         }
-        Ok(Costed::new(window, SimDuration::from_nanos(self.cost.smartmap_ns)))
+        Ok(Costed::new(
+            window,
+            SimDuration::from_nanos(self.cost.smartmap_ns),
+        ))
     }
 }
 
@@ -195,8 +211,7 @@ impl MappingKernel for Kitten {
 
     fn spawn(&mut self, mem_bytes: u64) -> Result<Costed<Pid>, KernelError> {
         let heap_len = mem_bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        let total =
-            layout::TEXT_LEN + layout::DATA_LEN + heap_len + layout::STACK_LEN;
+        let total = layout::TEXT_LEN + layout::DATA_LEN + heap_len + layout::STACK_LEN;
         let frames = total / PAGE_SIZE;
         // The whole process image is one physically contiguous run — the
         // LWK property that keeps exported PFN lists single-run.
@@ -220,7 +235,16 @@ impl MappingKernel for Kitten {
         self.next_pid += 1;
         let rank = self.next_rank;
         self.next_rank += 1;
-        self.procs.insert(pid, Proc { asp, heap_bump: 0, heap_len, rank, owned });
+        self.procs.insert(
+            pid,
+            Proc {
+                asp,
+                heap_bump: 0,
+                heap_len,
+                rank,
+                owned,
+            },
+        );
         // Static mapping cost: one PTE install per leaf written.
         let cost = SimDuration::from_nanos(self.cost.lwk_map_page_ns).times(leaves)
             + SimDuration::from_nanos(self.cost.frame_alloc_ns).times(frames);
@@ -228,7 +252,10 @@ impl MappingKernel for Kitten {
     }
 
     fn exit(&mut self, pid: Pid) -> Result<Costed<()>, KernelError> {
-        let proc = self.procs.remove(&pid).ok_or(KernelError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .remove(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
         for pfn in proc.owned.iter_pages() {
             self.alloc.free(pfn)?;
         }
@@ -277,10 +304,14 @@ impl MappingKernel for Kitten {
         // Dynamic heap expansion (the XEMEM addition): carve a region out
         // of the attachment arena without disturbing static regions or
         // SMARTMAP windows.
-        let va = proc.asp.reserve_free(len, RegionKind::XememAttach, "xemem")?;
-        let written = proc.asp.page_table_mut().map_pages(va, pfns.iter_pages(), prot)?;
-        let cost = SimDuration::from_nanos(lwk_map).times(written)
-            + SimDuration::from_nanos(400); // region bookkeeping
+        let va = proc
+            .asp
+            .reserve_free(len, RegionKind::XememAttach, "xemem")?;
+        let written = proc
+            .asp
+            .page_table_mut()
+            .map_pages(va, pfns.iter_pages(), prot)?;
+        let cost = SimDuration::from_nanos(lwk_map).times(written) + SimDuration::from_nanos(400); // region bookkeeping
         Ok(Costed::new(va, cost))
     }
 
@@ -298,6 +329,52 @@ impl MappingKernel for Kitten {
         // PTE clears are cheaper than installs.
         let cost = SimDuration::from_nanos(lwk_map / 2).times(pages);
         Ok(Costed::new(PfnList::from_pages(freed), cost))
+    }
+
+    fn retain_frames(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<Costed<PfnList>, KernelError> {
+        let walk_ns = self.cost.walk_pte_ns;
+        let proc = self.proc_mut(pid)?;
+        let first = va.page_base();
+        let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
+        // The image is statically mapped, so every page resolves.
+        let mut quarantined = Vec::new();
+        for i in 0..pages {
+            let page = first + i * PAGE_SIZE;
+            if let Some((pa, _, _)) = proc.asp.page_table().translate(page) {
+                quarantined.push(pa.pfn());
+            }
+        }
+        let set: std::collections::HashSet<u64> = quarantined.iter().map(|p| p.0).collect();
+        // Rebuild the (contiguous-run) ownership list without the
+        // quarantined frames so a later exit will not free them.
+        proc.owned = proc
+            .owned
+            .iter_pages()
+            .filter(|p| !set.contains(&p.0))
+            .collect();
+        Ok(Costed::new(
+            PfnList::from_pages(quarantined),
+            SimDuration::from_nanos(walk_ns).times(pages),
+        ))
+    }
+
+    fn return_frames(&mut self, frames: &PfnList) -> Result<Costed<()>, KernelError> {
+        for pfn in frames.iter_pages() {
+            self.alloc.free(pfn)?;
+        }
+        Ok(Costed::new(
+            (),
+            SimDuration::from_nanos(self.cost.frame_alloc_ns).times(frames.pages()),
+        ))
+    }
+
+    fn free_frame_count(&self) -> u64 {
+        self.alloc.free_frames()
     }
 
     fn write(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Costed<()>, KernelError> {
@@ -333,10 +410,18 @@ mod tests {
         // Every region translates without faulting, end to end.
         for region in proc.asp.regions() {
             assert!(proc.asp.page_table().translate(region.start).is_some());
-            assert!(proc.asp.page_table().translate(region.start + (region.len - 1)).is_some());
+            assert!(proc
+                .asp
+                .page_table()
+                .translate(region.start + (region.len - 1))
+                .is_some());
         }
         // Heap is physically contiguous.
-        let (list, _) = proc.asp.page_table().walk_range(layout::HEAP, 4 << 20).unwrap();
+        let (list, _) = proc
+            .asp
+            .page_table()
+            .walk_range(layout::HEAP, 4 << 20)
+            .unwrap();
         assert_eq!(list.run_count(), 1);
     }
 
@@ -348,7 +433,10 @@ mod tests {
         // The 4 MiB heap at a 2 MiB-aligned VA over contiguous frames
         // should have far fewer leaves than 4 KiB paging would need.
         let leaves = proc.asp.page_table().leaf_count();
-        assert!(leaves < 1024, "expected large-page mappings, got {leaves} leaves");
+        assert!(
+            leaves < 1024,
+            "expected large-page mappings, got {leaves} leaves"
+        );
     }
 
     #[test]
@@ -358,7 +446,10 @@ mod tests {
         let a = k.alloc_buffer(pid, 4096).unwrap().value;
         let b = k.alloc_buffer(pid, 4096).unwrap().value;
         assert_eq!(b.0 - a.0, 4096);
-        assert!(k.alloc_buffer(pid, 2 << 20).is_err(), "over-allocation must fail");
+        assert!(
+            k.alloc_buffer(pid, 2 << 20).is_err(),
+            "over-allocation must fail"
+        );
     }
 
     #[test]
@@ -379,7 +470,9 @@ mod tests {
         // Pretend frames 3000..3004 came from a remote enclave.
         let remote = PfnList::from_pages((3000..3004).map(Pfn));
         phys.write(Pfn(3001).base(), b"remote!").unwrap();
-        let attached = k.attach_map(pid, &remote, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        let attached = k
+            .attach_map(pid, &remote, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap();
         let va = attached.value;
         assert!(va >= layout::ATTACH_ARENA);
         let mut buf = [0u8; 7];
@@ -406,11 +499,17 @@ mod tests {
         let (mut k, _) = boot(1 << 12);
         let pid = k.spawn(1 << 20).unwrap().value;
         let remote = PfnList::from_pages((2000..2008).map(Pfn));
-        let va = k.attach_map(pid, &remote, AttachSemantics::Eager, PteFlags::rw_user()).unwrap().value;
+        let va = k
+            .attach_map(pid, &remote, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap()
+            .value;
         let freed = k.detach(pid, va + 4096).unwrap().value;
         assert_eq!(freed, remote);
         let mut buf = [0u8; 1];
-        assert!(k.read(pid, va, &mut buf).is_err(), "detached range must fault");
+        assert!(
+            k.read(pid, va, &mut buf).is_err(),
+            "detached range must fault"
+        );
         // Detaching a non-attachment region is rejected.
         assert!(k.detach(pid, layout::HEAP).is_err());
     }
@@ -504,7 +603,8 @@ mod more_tests {
         let mut vas = Vec::new();
         for i in 0..16u64 {
             let list = PfnList::from_pages((4000 + i * 8..4000 + i * 8 + 8).map(Pfn));
-            let va = k.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user())
+            let va = k
+                .attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user())
                 .unwrap()
                 .value;
             vas.push(va);
@@ -518,7 +618,8 @@ mod more_tests {
             k.detach(pid, *va).unwrap();
         }
         let list = PfnList::from_pages((5000..5032).map(Pfn));
-        k.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user()).unwrap();
+        k.attach_map(pid, &list, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap();
     }
 
     #[test]
@@ -526,7 +627,9 @@ mod more_tests {
         let mut k = boot(1 << 13);
         let pid = k.spawn(1 << 20).unwrap().value;
         // Past the end of the statically mapped stack region.
-        assert!(k.export_walk(pid, VirtAddr(0xDEAD_0000_0000), 4096).is_err());
+        assert!(k
+            .export_walk(pid, VirtAddr(0xDEAD_0000_0000), 4096)
+            .is_err());
     }
 
     #[test]

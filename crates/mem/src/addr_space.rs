@@ -78,7 +78,12 @@ impl AddressSpace {
     /// An address space with an explicit dynamic arena.
     pub fn with_arena(mmap_base: VirtAddr, mmap_top: VirtAddr) -> Self {
         assert!(mmap_base < mmap_top);
-        AddressSpace { regions: BTreeMap::new(), page_table: PageTable::new(), mmap_base, mmap_top }
+        AddressSpace {
+            regions: BTreeMap::new(),
+            page_table: PageTable::new(),
+            mmap_base,
+            mmap_top,
+        }
     }
 
     /// The page table.
@@ -120,7 +125,15 @@ impl AddressSpace {
                 return Err(MemError::RegionOverlap(start));
             }
         }
-        self.regions.insert(start.0, Region { start, len, kind, name: name.into() });
+        self.regions.insert(
+            start.0,
+            Region {
+                start,
+                len,
+                kind,
+                name: name.into(),
+            },
+        );
         Ok(())
     }
 
@@ -170,7 +183,9 @@ impl AddressSpace {
 
     /// Remove the region starting exactly at `start`.
     pub fn remove_region(&mut self, start: VirtAddr) -> Result<Region, MemError> {
-        self.regions.remove(&start.0).ok_or(MemError::NoSuchRegion(start))
+        self.regions
+            .remove(&start.0)
+            .ok_or(MemError::NoSuchRegion(start))
     }
 
     /// The region containing `va`.
@@ -188,7 +203,10 @@ impl AddressSpace {
     pub fn grow_region(&mut self, start: VirtAddr, extra: u64) -> Result<(), MemError> {
         let extra = extra.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         let end = {
-            let region = self.regions.get(&start.0).ok_or(MemError::NoSuchRegion(start))?;
+            let region = self
+                .regions
+                .get(&start.0)
+                .ok_or(MemError::NoSuchRegion(start))?;
             region.end().0
         };
         if let Some((_, next)) = self.regions.range(start.0 + 1..).next() {
@@ -265,7 +283,8 @@ mod tests {
     #[test]
     fn fixed_regions_reject_overlap() {
         let mut asp = AddressSpace::new();
-        asp.insert_region(VirtAddr(0x1000), 0x2000, RegionKind::Data, "data").unwrap();
+        asp.insert_region(VirtAddr(0x1000), 0x2000, RegionKind::Data, "data")
+            .unwrap();
         // Overlapping tail.
         assert!(matches!(
             asp.insert_region(VirtAddr(0x2000), 0x1000, RegionKind::Heap, "heap"),
@@ -277,15 +296,22 @@ mod tests {
             Err(MemError::RegionOverlap(_))
         ));
         // Adjacent is fine.
-        asp.insert_region(VirtAddr(0x3000), 0x1000, RegionKind::Heap, "heap").unwrap();
+        asp.insert_region(VirtAddr(0x3000), 0x1000, RegionKind::Heap, "heap")
+            .unwrap();
     }
 
     #[test]
     fn misaligned_regions_rejected() {
         let mut asp = AddressSpace::new();
-        assert!(asp.insert_region(VirtAddr(0x10), 0x1000, RegionKind::Data, "d").is_err());
-        assert!(asp.insert_region(VirtAddr(0x1000), 0x10, RegionKind::Data, "d").is_err());
-        assert!(asp.insert_region(VirtAddr(0x1000), 0, RegionKind::Data, "d").is_err());
+        assert!(asp
+            .insert_region(VirtAddr(0x10), 0x1000, RegionKind::Data, "d")
+            .is_err());
+        assert!(asp
+            .insert_region(VirtAddr(0x1000), 0x10, RegionKind::Data, "d")
+            .is_err());
+        assert!(asp
+            .insert_region(VirtAddr(0x1000), 0, RegionKind::Data, "d")
+            .is_err());
     }
 
     #[test]
@@ -304,7 +330,8 @@ mod tests {
     #[test]
     fn reserve_free_exhausts() {
         let mut asp = AddressSpace::with_arena(VirtAddr(0x10000), VirtAddr(0x12000));
-        asp.reserve_free(0x2000, RegionKind::AnonMmap, "fill").unwrap();
+        asp.reserve_free(0x2000, RegionKind::AnonMmap, "fill")
+            .unwrap();
         assert!(matches!(
             asp.reserve_free(0x1000, RegionKind::AnonMmap, "x"),
             Err(MemError::NoVirtualSpace { .. })
@@ -314,8 +341,12 @@ mod tests {
     #[test]
     fn region_lookup_by_address() {
         let mut asp = AddressSpace::new();
-        asp.insert_region(VirtAddr(0x1000), 0x1000, RegionKind::Stack, "stack").unwrap();
-        assert_eq!(asp.region_containing(VirtAddr(0x1800)).unwrap().name, "stack");
+        asp.insert_region(VirtAddr(0x1000), 0x1000, RegionKind::Stack, "stack")
+            .unwrap();
+        assert_eq!(
+            asp.region_containing(VirtAddr(0x1800)).unwrap().name,
+            "stack"
+        );
         assert!(asp.region_containing(VirtAddr(0x2000)).is_none());
         assert!(asp.region_containing(VirtAddr(0x800)).is_none());
     }
@@ -323,10 +354,15 @@ mod tests {
     #[test]
     fn grow_region_respects_neighbours() {
         let mut asp = AddressSpace::new();
-        asp.insert_region(VirtAddr(0x1000), 0x1000, RegionKind::Heap, "heap").unwrap();
-        asp.insert_region(VirtAddr(0x4000), 0x1000, RegionKind::Stack, "stack").unwrap();
+        asp.insert_region(VirtAddr(0x1000), 0x1000, RegionKind::Heap, "heap")
+            .unwrap();
+        asp.insert_region(VirtAddr(0x4000), 0x1000, RegionKind::Stack, "stack")
+            .unwrap();
         asp.grow_region(VirtAddr(0x1000), 0x2000).unwrap();
-        assert_eq!(asp.region_containing(VirtAddr(0x2FFF)).unwrap().name, "heap");
+        assert_eq!(
+            asp.region_containing(VirtAddr(0x2FFF)).unwrap().name,
+            "heap"
+        );
         // Further growth collides with the stack.
         assert!(asp.grow_region(VirtAddr(0x1000), 0x1000 + 1).is_err());
     }
@@ -335,7 +371,8 @@ mod tests {
     fn byte_access_through_mappings() {
         let phys = PhysicalMemory::new(64);
         let mut asp = AddressSpace::new();
-        asp.insert_region(VirtAddr(0x1000), 0x2000, RegionKind::Data, "d").unwrap();
+        asp.insert_region(VirtAddr(0x1000), 0x2000, RegionKind::Data, "d")
+            .unwrap();
         asp.page_table_mut()
             .map_pages(VirtAddr(0x1000), vec![Pfn(10), Pfn(3)], PteFlags::rw_user())
             .unwrap();
@@ -361,8 +398,13 @@ mod tests {
             asp.write_bytes(&*phys, VirtAddr(0x9000), b"x"),
             Err(MemError::Fault(VirtAddr(0x9000)))
         );
-        asp.page_table_mut().map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::ro_user()).unwrap();
-        assert_eq!(asp.write_bytes(&*phys, VirtAddr(0), b"x"), Err(MemError::Fault(VirtAddr(0))));
+        asp.page_table_mut()
+            .map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::ro_user())
+            .unwrap();
+        assert_eq!(
+            asp.write_bytes(&*phys, VirtAddr(0), b"x"),
+            Err(MemError::Fault(VirtAddr(0)))
+        );
         let mut buf = [0u8; 1];
         asp.read_bytes(&*phys, VirtAddr(0), &mut buf).unwrap();
     }

@@ -93,7 +93,10 @@ impl FrameAllocator {
     /// Allocate a single frame.
     pub fn alloc(&mut self) -> Result<Pfn, MemError> {
         if self.free == 0 {
-            return Err(MemError::OutOfFrames { requested: 1, available: 0 });
+            return Err(MemError::OutOfFrames {
+                requested: 1,
+                available: 0,
+            });
         }
         let start = match self.policy {
             Placement::FirstFit => self.cursor,
@@ -115,14 +118,20 @@ impl FrameAllocator {
                 return Ok(self.base.offset(idx));
             }
         }
-        Err(MemError::OutOfFrames { requested: 1, available: 0 })
+        Err(MemError::OutOfFrames {
+            requested: 1,
+            available: 0,
+        })
     }
 
     /// Allocate `n` frames, not necessarily contiguous, in allocation
     /// order.
     pub fn alloc_pages(&mut self, n: u64) -> Result<Vec<Pfn>, MemError> {
         if self.free < n {
-            return Err(MemError::OutOfFrames { requested: n, available: self.free });
+            return Err(MemError::OutOfFrames {
+                requested: n,
+                available: self.free,
+            });
         }
         let mut out = Vec::with_capacity(n as usize);
         for _ in 0..n {
@@ -136,10 +145,16 @@ impl FrameAllocator {
     /// contiguous regions.
     pub fn alloc_contiguous(&mut self, n: u64) -> Result<Pfn, MemError> {
         if n == 0 {
-            return Err(MemError::OutOfFrames { requested: 0, available: self.free });
+            return Err(MemError::OutOfFrames {
+                requested: 0,
+                available: self.free,
+            });
         }
         if self.free < n {
-            return Err(MemError::OutOfFrames { requested: n, available: self.free });
+            return Err(MemError::OutOfFrames {
+                requested: n,
+                available: self.free,
+            });
         }
         let mut run_start = 0u64;
         let mut run_len = 0u64;
@@ -160,12 +175,18 @@ impl FrameAllocator {
                 return Ok(self.base.offset(run_start));
             }
         }
-        Err(MemError::OutOfFrames { requested: n, available: self.free })
+        Err(MemError::OutOfFrames {
+            requested: n,
+            available: self.free,
+        })
     }
 
     /// Free a previously allocated frame.
     pub fn free(&mut self, pfn: Pfn) -> Result<(), MemError> {
-        let idx = pfn.0.checked_sub(self.base.0).ok_or(MemError::BadFree(pfn))?;
+        let idx = pfn
+            .0
+            .checked_sub(self.base.0)
+            .ok_or(MemError::BadFree(pfn))?;
         if idx >= self.frames || !self.is_set(idx) {
             return Err(MemError::BadFree(pfn));
         }
@@ -230,7 +251,10 @@ mod tests {
         let mut a = FrameAllocator::new(Pfn(0), 4);
         a.alloc_pages(4).unwrap();
         assert!(matches!(a.alloc(), Err(MemError::OutOfFrames { .. })));
-        assert!(matches!(a.alloc_pages(1), Err(MemError::OutOfFrames { .. })));
+        assert!(matches!(
+            a.alloc_pages(1),
+            Err(MemError::OutOfFrames { .. })
+        ));
         assert!(matches!(
             a.alloc_contiguous(1),
             Err(MemError::OutOfFrames { .. })

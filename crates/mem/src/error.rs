@@ -33,8 +33,14 @@ pub enum MemError {
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemError::OutOfFrames { requested, available } => {
-                write!(f, "out of frames: requested {requested}, available {available}")
+            MemError::OutOfFrames {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of frames: requested {requested}, available {available}"
+                )
             }
             MemError::BadFree(pfn) => write!(f, "bad free of {pfn}"),
             MemError::AlreadyMapped(va) => write!(f, "{va} already mapped"),

@@ -133,15 +133,39 @@ pub trait MappingKernel: Send {
     /// Unmap a previously attached region, returning the frames it covered.
     fn detach(&mut self, pid: Pid, va: VirtAddr) -> Result<Costed<PfnList>, KernelError>;
 
+    /// Remove the frames backing `[va, va + len)` from `pid`'s *ownership*
+    /// without unmapping them, returning the list. Used by the teardown
+    /// protocol to quarantine frames that remote enclaves still map: after
+    /// retention, a later `exit` of the process will no longer free them,
+    /// and the caller becomes responsible for handing them back through
+    /// [`MappingKernel::free_frames`] once the last remote reference
+    /// drops. Kernels that cannot transfer frame ownership report
+    /// [`KernelError::Unsupported`].
+    fn retain_frames(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<Costed<PfnList>, KernelError> {
+        let _ = (pid, va, len);
+        Err(KernelError::Unsupported("frame retention"))
+    }
+
+    /// Hand frames previously taken out of process ownership by
+    /// [`MappingKernel::retain_frames`] back to this kernel's allocator.
+    fn return_frames(&mut self, frames: &PfnList) -> Result<Costed<()>, KernelError> {
+        let _ = frames;
+        Err(KernelError::Unsupported("frame return"))
+    }
+
+    /// Number of free physical frames in this kernel's allocator. Used by
+    /// leak detection in tests and by capacity probes.
+    fn free_frame_count(&self) -> u64;
+
     /// Write process memory (through its page table, faulting lazily where
     /// the kernel's semantics say so).
     fn write(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Costed<()>, KernelError>;
 
     /// Read process memory.
-    fn read(
-        &mut self,
-        pid: Pid,
-        va: VirtAddr,
-        out: &mut [u8],
-    ) -> Result<Costed<()>, KernelError>;
+    fn read(&mut self, pid: Pid, va: VirtAddr, out: &mut [u8]) -> Result<Costed<()>, KernelError>;
 }

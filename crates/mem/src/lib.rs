@@ -28,4 +28,4 @@ pub use kernel::{AttachSemantics, KernelError, KernelKind, MappingKernel, Pid};
 pub use page_table::{PageTable, PteFlags};
 pub use pfn_list::PfnList;
 pub use phys::{PhysAccess, PhysicalMemory};
-pub use types::{PageSize, PhysAddr, Pfn, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use types::{PageSize, Pfn, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};

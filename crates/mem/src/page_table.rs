@@ -11,7 +11,7 @@
 
 use crate::error::MemError;
 use crate::pfn_list::PfnList;
-use crate::types::{PageSize, PhysAddr, Pfn, VirtAddr, PAGE_SIZE};
+use crate::types::{PageSize, Pfn, PhysAddr, VirtAddr, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 
 /// Page protection / attribute flags.
@@ -73,7 +73,9 @@ struct Level {
 
 impl Level {
     fn new() -> Box<Level> {
-        Box::new(Level { entries: (0..512).map(|_| None).collect() })
+        Box::new(Level {
+            entries: (0..512).map(|_| None).collect(),
+        })
     }
 }
 
@@ -105,7 +107,11 @@ impl Default for PageTable {
 impl PageTable {
     /// An empty table.
     pub fn new() -> Self {
-        PageTable { root: Level::new(), leaf_count: 0, table_count: 1 }
+        PageTable {
+            root: Level::new(),
+            leaf_count: 0,
+            table_count: 1,
+        }
     }
 
     /// Number of leaf mappings installed.
@@ -183,11 +189,7 @@ impl PageTable {
     /// Remove the mapping containing `va`. Returns the leaf's frame and
     /// size.
     pub fn unmap(&mut self, va: VirtAddr) -> Result<(Pfn, PageSize), MemError> {
-        fn descend(
-            level: &mut Level,
-            lvl: u8,
-            va: VirtAddr,
-        ) -> Result<(Pfn, PageSize), MemError> {
+        fn descend(level: &mut Level, lvl: u8, va: VirtAddr) -> Result<(Pfn, PageSize), MemError> {
             let idx = va.pt_index(lvl);
             match &mut level.entries[idx] {
                 None => Err(MemError::NotMapped(va)),
@@ -271,7 +273,12 @@ impl PageTable {
 
     /// Change the flags on the leaf containing `va`.
     pub fn protect(&mut self, va: VirtAddr, flags: PteFlags) -> Result<(), MemError> {
-        fn descend(level: &mut Level, lvl: u8, va: VirtAddr, flags: PteFlags) -> Result<(), MemError> {
+        fn descend(
+            level: &mut Level,
+            lvl: u8,
+            va: VirtAddr,
+            flags: PteFlags,
+        ) -> Result<(), MemError> {
             let idx = va.pt_index(lvl);
             match &mut level.entries[idx] {
                 None => Err(MemError::NotMapped(va)),
@@ -303,7 +310,13 @@ mod tests {
     #[test]
     fn map_translate_4k() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(0x4000), Pfn(7), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt.map(
+            VirtAddr(0x4000),
+            Pfn(7),
+            PageSize::Size4K,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
         let (pa, flags, size) = pt.translate(VirtAddr(0x4123)).unwrap();
         assert_eq!(pa.0, 7 * K4 + 0x123);
         assert!(flags.writable());
@@ -315,8 +328,20 @@ mod tests {
     #[test]
     fn map_translate_large_pages() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(M2), Pfn(512), PageSize::Size2M, PteFlags::rw_user()).unwrap();
-        pt.map(VirtAddr(G1), Pfn(1 << 18), PageSize::Size1G, PteFlags::ro_user()).unwrap();
+        pt.map(
+            VirtAddr(M2),
+            Pfn(512),
+            PageSize::Size2M,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
+        pt.map(
+            VirtAddr(G1),
+            Pfn(1 << 18),
+            PageSize::Size1G,
+            PteFlags::ro_user(),
+        )
+        .unwrap();
         // Offset inside the 2 MiB page.
         let (pa, _, sz) = pt.translate(VirtAddr(M2 + 0x12345)).unwrap();
         assert_eq!(pa.0, 512 * K4 + 0x12345);
@@ -332,7 +357,12 @@ mod tests {
     fn misalignment_rejected() {
         let mut pt = PageTable::new();
         assert_eq!(
-            pt.map(VirtAddr(0x1000), Pfn(0), PageSize::Size2M, PteFlags::rw_user()),
+            pt.map(
+                VirtAddr(0x1000),
+                Pfn(0),
+                PageSize::Size2M,
+                PteFlags::rw_user()
+            ),
             Err(MemError::Misaligned(VirtAddr(0x1000), PageSize::Size2M))
         );
     }
@@ -340,7 +370,8 @@ mod tests {
     #[test]
     fn double_map_rejected() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user())
+            .unwrap();
         assert_eq!(
             pt.map(VirtAddr(0), Pfn(2), PageSize::Size4K, PteFlags::rw_user()),
             Err(MemError::AlreadyMapped(VirtAddr(0)))
@@ -351,14 +382,26 @@ mod tests {
     fn conflict_between_leaf_sizes_rejected() {
         let mut pt = PageTable::new();
         // 2 MiB leaf at level 1, then a 4 KiB map inside it must conflict.
-        pt.map(VirtAddr(0), Pfn(0), PageSize::Size2M, PteFlags::rw_user()).unwrap();
+        pt.map(VirtAddr(0), Pfn(0), PageSize::Size2M, PteFlags::rw_user())
+            .unwrap();
         assert_eq!(
-            pt.map(VirtAddr(0x3000), Pfn(9), PageSize::Size4K, PteFlags::rw_user()),
+            pt.map(
+                VirtAddr(0x3000),
+                Pfn(9),
+                PageSize::Size4K,
+                PteFlags::rw_user()
+            ),
             Err(MemError::MappingConflict(VirtAddr(0x3000)))
         );
         // And the reverse: 4 KiB mapping first, then 2 MiB over it.
         let mut pt2 = PageTable::new();
-        pt2.map(VirtAddr(0x1000), Pfn(3), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt2.map(
+            VirtAddr(0x1000),
+            Pfn(3),
+            PageSize::Size4K,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
         assert_eq!(
             pt2.map(VirtAddr(0), Pfn(0), PageSize::Size2M, PteFlags::rw_user()),
             Err(MemError::MappingConflict(VirtAddr(0)))
@@ -368,11 +411,20 @@ mod tests {
     #[test]
     fn unmap_restores_unmapped_state() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(0x8000), Pfn(42), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt.map(
+            VirtAddr(0x8000),
+            Pfn(42),
+            PageSize::Size4K,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
         let (pfn, size) = pt.unmap(VirtAddr(0x8000)).unwrap();
         assert_eq!((pfn, size), (Pfn(42), PageSize::Size4K));
         assert!(pt.translate(VirtAddr(0x8000)).is_none());
-        assert_eq!(pt.unmap(VirtAddr(0x8000)), Err(MemError::NotMapped(VirtAddr(0x8000))));
+        assert_eq!(
+            pt.unmap(VirtAddr(0x8000)),
+            Err(MemError::NotMapped(VirtAddr(0x8000)))
+        );
         assert_eq!(pt.leaf_count(), 0);
     }
 
@@ -380,7 +432,9 @@ mod tests {
     fn map_pages_installs_in_order() {
         let mut pt = PageTable::new();
         let pfns = vec![Pfn(10), Pfn(99), Pfn(5)];
-        let n = pt.map_pages(VirtAddr(0x10000), pfns.clone(), PteFlags::rw_user()).unwrap();
+        let n = pt
+            .map_pages(VirtAddr(0x10000), pfns.clone(), PteFlags::rw_user())
+            .unwrap();
         assert_eq!(n, 3);
         for (i, pfn) in pfns.iter().enumerate() {
             let (pa, _, _) = pt.translate(VirtAddr(0x10000 + i as u64 * K4)).unwrap();
@@ -394,8 +448,12 @@ mod tests {
     fn walk_range_produces_pfn_list_and_stats() {
         let mut pt = PageTable::new();
         // Contiguous then discontiguous 4 KiB pages.
-        pt.map_pages(VirtAddr(0), vec![Pfn(100), Pfn(101), Pfn(500)], PteFlags::rw_user())
-            .unwrap();
+        pt.map_pages(
+            VirtAddr(0),
+            vec![Pfn(100), Pfn(101), Pfn(500)],
+            PteFlags::rw_user(),
+        )
+        .unwrap();
         let (list, stats) = pt.walk_range(VirtAddr(0), 3 * K4).unwrap();
         assert_eq!(list.pages(), 3);
         assert_eq!(stats.pages, 3);
@@ -407,7 +465,13 @@ mod tests {
     #[test]
     fn walk_range_across_a_large_page_visits_one_leaf() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(0), Pfn(0x1000), PageSize::Size2M, PteFlags::rw_user()).unwrap();
+        pt.map(
+            VirtAddr(0),
+            Pfn(0x1000),
+            PageSize::Size2M,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
         let (list, stats) = pt.walk_range(VirtAddr(0), M2).unwrap();
         assert_eq!(list.pages(), 512);
         assert_eq!(stats.leaves_visited, 1);
@@ -417,7 +481,13 @@ mod tests {
     #[test]
     fn walk_range_partial_large_page_from_offset() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(0), Pfn(0x1000), PageSize::Size2M, PteFlags::rw_user()).unwrap();
+        pt.map(
+            VirtAddr(0),
+            Pfn(0x1000),
+            PageSize::Size2M,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
         // Start 16 KiB into the large page, take 8 KiB.
         let (list, _) = pt.walk_range(VirtAddr(0x4000), 2 * K4).unwrap();
         let pfns: Vec<Pfn> = list.iter_pages().collect();
@@ -427,7 +497,8 @@ mod tests {
     #[test]
     fn walk_of_hole_errors() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user())
+            .unwrap();
         let err = pt.walk_range(VirtAddr(0), 2 * K4).unwrap_err();
         assert_eq!(err, MemError::NotMapped(VirtAddr(K4)));
     }
@@ -435,22 +506,33 @@ mod tests {
     #[test]
     fn protect_changes_flags() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user())
+            .unwrap();
         pt.protect(VirtAddr(0), PteFlags::ro_user()).unwrap();
         let (_, flags, _) = pt.translate(VirtAddr(0)).unwrap();
         assert!(!flags.writable());
-        assert_eq!(pt.protect(VirtAddr(K4), PteFlags::ro_user()), Err(MemError::NotMapped(VirtAddr(K4))));
+        assert_eq!(
+            pt.protect(VirtAddr(K4), PteFlags::ro_user()),
+            Err(MemError::NotMapped(VirtAddr(K4)))
+        );
     }
 
     #[test]
     fn table_count_grows_with_sparse_mappings() {
         let mut pt = PageTable::new();
         assert_eq!(pt.table_count(), 1);
-        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt.map(VirtAddr(0), Pfn(1), PageSize::Size4K, PteFlags::rw_user())
+            .unwrap();
         // Root + L2 + L1 + L0.
         assert_eq!(pt.table_count(), 4);
         // Far-away mapping adds three more tables.
-        pt.map(VirtAddr(1 << 40), Pfn(2), PageSize::Size4K, PteFlags::rw_user()).unwrap();
+        pt.map(
+            VirtAddr(1 << 40),
+            Pfn(2),
+            PageSize::Size4K,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
         assert_eq!(pt.table_count(), 7);
     }
 }

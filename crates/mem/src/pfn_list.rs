@@ -88,7 +88,9 @@ impl PfnList {
 
     /// Iterate over every frame in order.
     pub fn iter_pages(&self) -> impl Iterator<Item = Pfn> + '_ {
-        self.runs.iter().flat_map(|r| (0..r.len).map(move |i| r.start.offset(i)))
+        self.runs
+            .iter()
+            .flat_map(|r| (0..r.len).map(move |i| r.start.offset(i)))
     }
 
     /// The frame at page index `idx`, if in range.
@@ -156,8 +158,20 @@ mod tests {
         let list = PfnList::from_pages([Pfn(5), Pfn(6), Pfn(7), Pfn(9), Pfn(10)]);
         assert_eq!(list.pages(), 5);
         assert_eq!(list.run_count(), 2);
-        assert_eq!(list.runs()[0], PfnRun { start: Pfn(5), len: 3 });
-        assert_eq!(list.runs()[1], PfnRun { start: Pfn(9), len: 2 });
+        assert_eq!(
+            list.runs()[0],
+            PfnRun {
+                start: Pfn(5),
+                len: 3
+            }
+        );
+        assert_eq!(
+            list.runs()[1],
+            PfnRun {
+                start: Pfn(9),
+                len: 2
+            }
+        );
     }
 
     #[test]

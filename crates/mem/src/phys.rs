@@ -11,7 +11,7 @@
 //! synchronized and handed around as `Arc<PhysicalMemory>`.
 
 use crate::error::MemError;
-use crate::types::{PhysAddr, Pfn, PAGE_SIZE};
+use crate::types::{Pfn, PhysAddr, PAGE_SIZE};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -61,14 +61,22 @@ impl PhysicalMemory {
     /// A node with a single zone of `frames` 4 KiB frames starting at
     /// frame 0.
     pub fn new(frames: u64) -> Arc<Self> {
-        Self::with_zones(vec![NumaZone { id: 0, base: Pfn(0), frames }])
+        Self::with_zones(vec![NumaZone {
+            id: 0,
+            base: Pfn(0),
+            frames,
+        }])
     }
 
     /// A node with the given NUMA zones. Zones must be disjoint; the paper
     /// systems use two 16 GiB sockets.
     pub fn with_zones(zones: Vec<NumaZone>) -> Arc<Self> {
         let total_frames = zones.iter().map(|z| z.frames).sum();
-        Arc::new(PhysicalMemory { zones, total_frames, contents: RwLock::new(HashMap::new()) })
+        Arc::new(PhysicalMemory {
+            zones,
+            total_frames,
+            contents: RwLock::new(HashMap::new()),
+        })
     }
 
     /// A two-socket layout mirroring the paper's evaluation node: two
@@ -76,8 +84,16 @@ impl PhysicalMemory {
     pub fn dual_socket(per_zone_gib: u64) -> Arc<Self> {
         let frames = per_zone_gib << (30 - 12);
         Self::with_zones(vec![
-            NumaZone { id: 0, base: Pfn(0), frames },
-            NumaZone { id: 1, base: Pfn(frames), frames },
+            NumaZone {
+                id: 0,
+                base: Pfn(0),
+                frames,
+            },
+            NumaZone {
+                id: 1,
+                base: Pfn(frames),
+                frames,
+            },
         ])
     }
 

@@ -66,7 +66,9 @@ impl fmt::Display for PhysAddr {
 }
 
 /// A virtual byte address within some address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VirtAddr(pub u64);
 
 impl VirtAddr {

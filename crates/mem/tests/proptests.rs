@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use xemem_mem::{
-    FrameAllocator, MemError, PageSize, PageTable, Pfn, PfnList, PteFlags, VirtAddr,
-};
+use xemem_mem::{FrameAllocator, MemError, PageSize, PageTable, Pfn, PfnList, PteFlags, VirtAddr};
 
 // ----------------------------------------------------------------------
 // Page table vs a flat HashMap model

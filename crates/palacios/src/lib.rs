@@ -29,7 +29,9 @@ use std::sync::Arc;
 
 use xemem_collections::{GuestMemoryMap, RadixMemoryMap, RbMemoryMap};
 use xemem_mem::kernel::{AttachSemantics, KernelError, MappingKernel, Pid};
-use xemem_mem::{FrameAllocator, MemError, PfnList, PhysAccess, PhysAddr, Pfn, VirtAddr, PAGE_SIZE};
+use xemem_mem::{
+    FrameAllocator, MemError, Pfn, PfnList, PhysAccess, PhysAddr, VirtAddr, PAGE_SIZE,
+};
 use xemem_sim::{CostModel, Costed, SimDuration};
 
 /// Which structure backs the VMM memory map.
@@ -65,7 +67,10 @@ impl MapImpl {
         }
     }
 
-    fn lookup(&self, gfn: u64) -> Result<(u64, xemem_collections::OpReport), xemem_collections::MapError> {
+    fn lookup(
+        &self,
+        gfn: u64,
+    ) -> Result<(u64, xemem_collections::OpReport), xemem_collections::MapError> {
         match self {
             MapImpl::Rb(m) => m.lookup(gfn),
             MapImpl::Radix(m) => m.lookup(gfn),
@@ -92,7 +97,9 @@ impl GuestPhys {
     fn translate(&self, at: PhysAddr) -> Result<PhysAddr, MemError> {
         let gfn = at.pfn().0;
         let map = self.map.read();
-        let (hpfn, _) = map.lookup(gfn).map_err(|_| MemError::BadPhysAccess(at.pfn()))?;
+        let (hpfn, _) = map
+            .lookup(gfn)
+            .map_err(|_| MemError::BadPhysAccess(at.pfn()))?;
         Ok(Pfn(hpfn).base() + at.page_offset())
     }
 }
@@ -104,7 +111,9 @@ impl PhysAccess for GuestPhys {
         let mut remaining = data;
         let mut cur = at;
         while !remaining.is_empty() {
-            let take = remaining.len().min((PAGE_SIZE - cur.page_offset()) as usize);
+            let take = remaining
+                .len()
+                .min((PAGE_SIZE - cur.page_offset()) as usize);
             let hpa = self.translate(cur)?;
             self.host.write(hpa, &remaining[..take])?;
             remaining = &remaining[take..];
@@ -238,8 +247,10 @@ impl Vmm {
             .insert(0, ram_frames, host_base.0)
             .expect("empty map cannot overlap");
         let map = Arc::new(RwLock::new(inner));
-        let guest_phys: Arc<dyn PhysAccess> =
-            Arc::new(GuestPhys { map: map.clone(), host: host_phys });
+        let guest_phys: Arc<dyn PhysAccess> = Arc::new(GuestPhys {
+            map: map.clone(),
+            host: host_phys,
+        });
         let guest_alloc = FrameAllocator::new(Pfn(0), ram_frames);
         let guest = mk_guest(guest_phys, guest_alloc);
         Ok(Vmm {
@@ -369,7 +380,9 @@ impl Vmm {
 
         // (5) Guest maps the new guest pages into the attaching process.
         let delivered = self.pci.unload();
-        let mapped = self.guest.attach_map(guest_pid, &delivered, AttachSemantics::Eager, prot)?;
+        let mapped = self
+            .guest
+            .attach_map(guest_pid, &delivered, AttachSemantics::Eager, prot)?;
 
         Ok(AttachBreakdown {
             va: mapped.value,
@@ -416,17 +429,23 @@ impl Vmm {
                     .map_err(|_| KernelError::Mem(MemError::BadPhysAccess(gfn)))?;
                 host_list.push_run(Pfn(hpfn), 1);
                 translate += SimDuration::from_nanos(
-                    self.cost.vmm_translate_floor_ns
-                        + self.cost.rb_level_ns * report.visits as u64,
+                    self.cost.vmm_translate_floor_ns + self.cost.rb_level_ns * report.visits as u64,
                 );
             }
         }
-        Ok(Costed::new(host_list, walked.cost + copy_in + hypercall + translate))
+        Ok(Costed::new(
+            host_list,
+            walked.cost + copy_in + hypercall + translate,
+        ))
     }
 
     /// Detach a guest attachment: unmap in the guest and remove the
     /// hot-plugged memory-map entries.
-    pub fn guest_detach(&mut self, guest_pid: Pid, va: VirtAddr) -> Result<Costed<()>, KernelError> {
+    pub fn guest_detach(
+        &mut self,
+        guest_pid: Pid,
+        va: VirtAddr,
+    ) -> Result<Costed<()>, KernelError> {
         let detached = self.guest.detach(guest_pid, va)?;
         let mut cost = detached.cost + SimDuration::from_nanos(self.cost.hypercall_ns);
         let mut map = self.map.write();
@@ -440,14 +459,29 @@ impl Vmm {
                             self.cost.rb_insert_base_ns
                                 + self.cost.rb_level_ns * report.visits as u64,
                         ),
-                        MemoryMapKind::Radix => SimDuration::from_nanos(
-                            self.cost.radix_level_ns * report.visits as u64,
-                        ),
+                        MemoryMapKind::Radix => {
+                            SimDuration::from_nanos(self.cost.radix_level_ns * report.visits as u64)
+                        }
                     };
                 }
             }
         }
         Ok(Costed::new((), cost))
+    }
+
+    /// Teardown protocol: deliver a revocation notice for a guest
+    /// attachment. The VMM rings the notification device's doorbell into
+    /// the guest (virtual IRQ), whose reaper then detaches — unmapping the
+    /// guest pages and retiring the hot-plugged memory-map entries.
+    pub fn revoke_guest_attachment(
+        &mut self,
+        guest_pid: Pid,
+        va: VirtAddr,
+    ) -> Result<Costed<()>, KernelError> {
+        self.pci.irqs_raised += 1;
+        let irq = SimDuration::from_nanos(self.cost.guest_irq_ns);
+        let detached = self.guest_detach(guest_pid, va)?;
+        Ok(Costed::new((), irq + detached.cost))
     }
 
     /// First hot-pluggable GPA frame: everything below is guest RAM and
@@ -470,9 +504,14 @@ mod tests {
         let mut host_alloc = FrameAllocator::new(Pfn(0), 1 << 16);
         let cost = CostModel::default();
         let guest_cost = cost.clone();
-        let vmm = Vmm::launch(cost, phys.clone(), &mut host_alloc, GUEST_RAM, kind, |gp, ga| {
-            Box::new(Fwk::new(guest_cost, gp, ga))
-        })
+        let vmm = Vmm::launch(
+            cost,
+            phys.clone(),
+            &mut host_alloc,
+            GUEST_RAM,
+            kind,
+            |gp, ga| Box::new(Fwk::new(guest_cost, gp, ga)),
+        )
         .unwrap();
         (vmm, phys, host_alloc)
     }
@@ -480,7 +519,11 @@ mod tests {
     #[test]
     fn boot_map_is_small() {
         let (vmm, _, _) = launch(MemoryMapKind::RbTree);
-        assert_eq!(vmm.map_entries(), 1, "guest RAM should be one contiguous entry");
+        assert_eq!(
+            vmm.map_entries(),
+            1,
+            "guest RAM should be one contiguous entry"
+        );
     }
 
     #[test]
@@ -521,10 +564,14 @@ mod tests {
         assert_eq!(vmm.pci().irqs_raised(), 1);
         // The guest reads the host's bytes through the new mapping.
         let mut got = [0u8; 9];
-        vmm.guest_mut().read(pid, breakdown.va + 3 * 4096, &mut got).unwrap();
+        vmm.guest_mut()
+            .read(pid, breakdown.va + 3 * 4096, &mut got)
+            .unwrap();
         assert_eq!(&got, b"host data");
         // And guest writes become visible to the host.
-        vmm.guest_mut().write(pid, breakdown.va + 3 * 4096, b"GUEST OUT").unwrap();
+        vmm.guest_mut()
+            .write(pid, breakdown.va + 3 * 4096, b"GUEST OUT")
+            .unwrap();
         let mut host_view = [0u8; 9];
         phys.read(host_frames[3].base(), &mut host_view).unwrap();
         assert_eq!(&host_view, b"GUEST OUT");
@@ -543,7 +590,10 @@ mod tests {
         let frac = b.map_update_fraction();
         assert!((0.6..0.95).contains(&frac), "map-update fraction = {frac}");
         let speedup = b.total.as_secs_f64() / b.without_map_structure().as_secs_f64();
-        assert!((1.5..3.0).contains(&speedup), "w/o-structure speedup = {speedup}");
+        assert!(
+            (1.5..3.0).contains(&speedup),
+            "w/o-structure speedup = {speedup}"
+        );
     }
 
     #[test]
@@ -584,14 +634,17 @@ mod tests {
         let (mut vmm, phys, _) = launch(MemoryMapKind::RbTree);
         let pid = vmm.guest_mut().spawn(1 << 20).unwrap().value;
         let va = vmm.guest_mut().alloc_buffer(pid, 16 * 4096).unwrap().value;
-        vmm.guest_mut().write(pid, va, b"exported from guest").unwrap();
+        vmm.guest_mut()
+            .write(pid, va, b"exported from guest")
+            .unwrap();
         let walked = vmm.host_walk_guest_region(pid, va, 16 * 4096).unwrap();
         assert_eq!(walked.value.pages(), 16);
         assert_eq!(vmm.pci().hypercalls(), 1);
         // The host list points at real host frames holding the guest's
         // bytes.
         let mut probe = [0u8; 19];
-        phys.read(walked.value.page(0).unwrap().base(), &mut probe).unwrap();
+        phys.read(walked.value.page(0).unwrap().base(), &mut probe)
+            .unwrap();
         assert_eq!(&probe, b"exported from guest");
     }
 
@@ -639,13 +692,20 @@ mod more_tests {
         let mut host_alloc = FrameAllocator::new(Pfn(0), 1 << 16);
         let cost = CostModel::default();
         let gc = cost.clone();
-        let vmm = Vmm::launch(cost, phys.clone(), &mut host_alloc, 64 << 20, kind, |gp, ga| {
-            if guest_lwk {
-                Box::new(Kitten::new(gc, gp, ga)) as Box<dyn MappingKernel>
-            } else {
-                Box::new(Fwk::new(gc, gp, ga))
-            }
-        })
+        let vmm = Vmm::launch(
+            cost,
+            phys.clone(),
+            &mut host_alloc,
+            64 << 20,
+            kind,
+            |gp, ga| {
+                if guest_lwk {
+                    Box::new(Kitten::new(gc, gp, ga)) as Box<dyn MappingKernel>
+                } else {
+                    Box::new(Fwk::new(gc, gp, ga))
+                }
+            },
+        )
         .unwrap();
         (vmm, phys, host_alloc)
     }
@@ -659,9 +719,13 @@ mod more_tests {
         let pid = vmm.guest_mut().spawn(1 << 20).unwrap().value;
         let frames = host_alloc.alloc_pages(4).unwrap();
         phys.write(frames[2].base(), b"radix path").unwrap();
-        let b = vmm.guest_attach(pid, &PfnList::from_pages(frames.clone())).unwrap();
+        let b = vmm
+            .guest_attach(pid, &PfnList::from_pages(frames.clone()))
+            .unwrap();
         let mut got = [0u8; 10];
-        vmm.guest_mut().read(pid, b.va + 2 * 4096, &mut got).unwrap();
+        vmm.guest_mut()
+            .read(pid, b.va + 2 * 4096, &mut got)
+            .unwrap();
         assert_eq!(&got, b"radix path");
         vmm.guest_mut().write(pid, b.va, b"back at ya").unwrap();
         let mut host_view = [0u8; 10];

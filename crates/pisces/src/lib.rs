@@ -56,7 +56,11 @@ impl NodeResources {
     /// A node with `cores` hardware threads and one memory zone of
     /// `frames` frames.
     pub fn new(cores: u32, frames: u64) -> Self {
-        NodeResources { total_cores: cores, next_core: 0, zones: vec![(0, 0, frames)] }
+        NodeResources {
+            total_cores: cores,
+            next_core: 0,
+            zones: vec![(0, 0, frames)],
+        }
     }
 
     /// A node with explicit NUMA zones, given as (zone id, frames) —
@@ -68,7 +72,11 @@ impl NodeResources {
             zones.push((id, base, base + frames));
             base += frames;
         }
-        NodeResources { total_cores: cores, next_core: 0, zones }
+        NodeResources {
+            total_cores: cores,
+            next_core: 0,
+            zones,
+        }
     }
 
     /// The paper's evaluation node: 24 hardware threads, two 16 GiB NUMA
@@ -100,15 +108,24 @@ impl NodeResources {
     /// given NUMA zone.
     pub fn carve(&mut self, cores: u32, frames: u64, zone: u32) -> Result<Partition, MemError> {
         if self.next_core + cores > self.total_cores {
-            return Err(MemError::OutOfFrames { requested: cores as u64, available: self.free_cores() as u64 });
+            return Err(MemError::OutOfFrames {
+                requested: cores as u64,
+                available: self.free_cores() as u64,
+            });
         }
-        let (_, next, end) = self
-            .zones
-            .iter_mut()
-            .find(|(z, _, _)| *z == zone)
-            .ok_or(MemError::OutOfFrames { requested: frames, available: 0 })?;
+        let (_, next, end) =
+            self.zones
+                .iter_mut()
+                .find(|(z, _, _)| *z == zone)
+                .ok_or(MemError::OutOfFrames {
+                    requested: frames,
+                    available: 0,
+                })?;
         if *next + frames > *end {
-            return Err(MemError::OutOfFrames { requested: frames, available: *end - *next });
+            return Err(MemError::OutOfFrames {
+                requested: frames,
+                available: *end - *next,
+            });
         }
         let base = Pfn(*next);
         *next += frames;

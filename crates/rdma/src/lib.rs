@@ -26,7 +26,11 @@ pub enum RdmaError {
     /// Unknown memory region key.
     BadKey(u32),
     /// Access outside the registered region.
-    OutOfBounds { offset: u64, len: u64, region_len: u64 },
+    OutOfBounds {
+        offset: u64,
+        len: u64,
+        region_len: u64,
+    },
     /// The queue pair is not ready to send (not in RTS).
     NotReady(QpState),
     /// Unknown queue pair.
@@ -39,8 +43,15 @@ impl std::fmt::Display for RdmaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RdmaError::BadKey(k) => write!(f, "invalid memory key {k:#x}"),
-            RdmaError::OutOfBounds { offset, len, region_len } => {
-                write!(f, "access [{offset}, {offset}+{len}) outside region of {region_len} bytes")
+            RdmaError::OutOfBounds {
+                offset,
+                len,
+                region_len,
+            } => {
+                write!(
+                    f,
+                    "access [{offset}, {offset}+{len}) outside region of {region_len} bytes"
+                )
             }
             RdmaError::NotReady(s) => write!(f, "queue pair not ready (state {s:?})"),
             RdmaError::BadQp(q) => write!(f, "unknown queue pair {q}"),
@@ -119,12 +130,18 @@ impl IbDevice {
         self.next_key += 1;
         self.regions.insert(key, MemoryRegion { len });
         let pages = len.div_ceil(4096);
-        (key, SimDuration::from_nanos(self.cost.fwk_pin_page_ns).times(pages))
+        (
+            key,
+            SimDuration::from_nanos(self.cost.fwk_pin_page_ns).times(pages),
+        )
     }
 
     /// Deregister a region.
     pub fn dereg_mr(&mut self, key: u32) -> Result<(), RdmaError> {
-        self.regions.remove(&key).map(|_| ()).ok_or(RdmaError::BadKey(key))
+        self.regions
+            .remove(&key)
+            .map(|_| ())
+            .ok_or(RdmaError::BadKey(key))
     }
 
     /// Create a queue pair on a virtual function (state INIT).
@@ -134,7 +151,14 @@ impl IbDevice {
         }
         let id = self.next_qp;
         self.next_qp += 1;
-        self.qps.insert(id, QueuePair { state: QpState::Init, vf, completions: Vec::new() });
+        self.qps.insert(
+            id,
+            QueuePair {
+                state: QpState::Init,
+                vf,
+                completions: Vec::new(),
+            },
+        );
         Ok(id)
     }
 
@@ -143,7 +167,8 @@ impl IbDevice {
         let q = self.qps.get_mut(&qp).ok_or(RdmaError::BadQp(qp))?;
         let valid = matches!(
             (q.state, state),
-            (QpState::Init, QpState::ReadyToReceive) | (QpState::ReadyToReceive, QpState::ReadyToSend)
+            (QpState::Init, QpState::ReadyToReceive)
+                | (QpState::ReadyToReceive, QpState::ReadyToSend)
         );
         if !valid {
             return Err(RdmaError::NotReady(q.state));
@@ -180,7 +205,11 @@ impl IbDevice {
         }
         let region = self.regions.get(&rkey).ok_or(RdmaError::BadKey(rkey))?;
         if offset + len > region.len {
-            return Err(RdmaError::OutOfBounds { offset, len, region_len: region.len });
+            return Err(RdmaError::OutOfBounds {
+                offset,
+                len,
+                region_len: region.len,
+            });
         }
         // Posting overhead on the CPU side, then MTU-segmented wire time
         // on the shared port.
@@ -194,7 +223,11 @@ impl IbDevice {
             .get_mut(&qp)
             .expect("checked above")
             .completions
-            .push(Completion { wr_id, at: done, bytes: len });
+            .push(Completion {
+                wr_id,
+                at: done,
+                bytes: len,
+            });
         Ok(done)
     }
 
@@ -252,7 +285,9 @@ mod tests {
         assert!(dev.modify_qp(qp, QpState::ReadyToSend).is_err());
         dev.modify_qp(qp, QpState::ReadyToReceive).unwrap();
         dev.modify_qp(qp, QpState::ReadyToSend).unwrap();
-        assert!(dev.post_rdma_write(qp, 0, rkey, 0, 64, SimTime::ZERO).is_ok());
+        assert!(dev
+            .post_rdma_write(qp, 0, rkey, 0, 64, SimTime::ZERO)
+            .is_ok());
     }
 
     #[test]
@@ -271,7 +306,9 @@ mod tests {
             Err(RdmaError::OutOfBounds { .. })
         ));
         dev.dereg_mr(rkey).unwrap();
-        assert!(dev.post_rdma_write(qp, 0, rkey, 0, 64, SimTime::ZERO).is_err());
+        assert!(dev
+            .post_rdma_write(qp, 0, rkey, 0, 64, SimTime::ZERO)
+            .is_err());
     }
 
     #[test]
@@ -280,7 +317,8 @@ mod tests {
         let (rkey, _) = dev.reg_mr(1 << 20);
         let (a, b) = (dev.create_qp(0).unwrap(), dev.create_qp(1).unwrap());
         dev.connect(a, b).unwrap();
-        dev.post_rdma_write(a, 7, rkey, 0, 1 << 20, SimTime::ZERO).unwrap();
+        dev.post_rdma_write(a, 7, rkey, 0, 1 << 20, SimTime::ZERO)
+            .unwrap();
         let comps = dev.poll_cq(a).unwrap();
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0].wr_id, 7);
@@ -293,8 +331,12 @@ mod tests {
         let (rkey, _) = dev.reg_mr(1 << 24);
         let (a, b) = (dev.create_qp(0).unwrap(), dev.create_qp(1).unwrap());
         dev.connect(a, b).unwrap();
-        let t1 = dev.post_rdma_write(a, 0, rkey, 0, 1 << 24, SimTime::ZERO).unwrap();
-        let t2 = dev.post_rdma_write(b, 1, rkey, 0, 1 << 24, SimTime::ZERO).unwrap();
+        let t1 = dev
+            .post_rdma_write(a, 0, rkey, 0, 1 << 24, SimTime::ZERO)
+            .unwrap();
+        let t2 = dev
+            .post_rdma_write(b, 1, rkey, 0, 1 << 24, SimTime::ZERO)
+            .unwrap();
         // The second transfer queues behind the first on the port.
         assert!(t2 > t1);
         assert!(t2.as_nanos() >= 2 * (t1.as_nanos() - 1200));

@@ -212,6 +212,32 @@ pub struct CostModel {
     /// Fraction of local DRAM bandwidth available for streaming reads of
     /// remote-socket memory.
     pub numa_remote_bw_factor: f64,
+
+    // ------------------------------------------------------------------
+    // Failure handling and teardown
+    // ------------------------------------------------------------------
+    /// Virtual time a sender waits before retransmitting a forwarded
+    /// command whose hop was dropped (no ack observed). Modeled on a
+    /// conservative kernel-level command timeout, far above the ~µs
+    /// round-trip of a healthy channel.
+    pub retransmit_timeout_ns: u64,
+
+    /// Base delay of the name-server retry backoff; attempt *k* waits
+    /// `ns_retry_base_ns << k` of virtual time before re-sending (capped
+    /// by [`CostModel::ns_retry_max_attempts`]).
+    pub ns_retry_base_ns: u64,
+
+    /// Maximum name-server retry attempts before an operation gives up
+    /// with `NameServerUnavailable`.
+    pub ns_retry_max_attempts: u32,
+
+    /// Owner-kernel bookkeeping to tear down one exported segment during
+    /// revocation (unlink from the export table, walk the attacher index).
+    pub revoke_bookkeeping_ns: u64,
+
+    /// Per-attachment cost of the reaper unmapping a dead attachment in
+    /// the attaching enclave (VMA/arena teardown plus TLB shootdown).
+    pub reap_unmap_ns: u64,
 }
 
 impl Default for CostModel {
@@ -251,6 +277,11 @@ impl Default for CostModel {
             fwk_mmap_contention: 0.06,
             numa_remote_op_factor: 1.5,
             numa_remote_bw_factor: 0.62,
+            retransmit_timeout_ns: 50_000,
+            ns_retry_base_ns: 2_000,
+            ns_retry_max_attempts: 24,
+            revoke_bookkeeping_ns: 400,
+            reap_unmap_ns: 350,
         }
     }
 }
@@ -265,7 +296,8 @@ impl CostModel {
         // remainder at nanosecond resolution.
         let secs = bytes / bps;
         let rem = bytes % bps;
-        SimDuration::from_secs(secs) + SimDuration::from_nanos(rem.saturating_mul(1_000_000_000) / bps)
+        SimDuration::from_secs(secs)
+            + SimDuration::from_nanos(rem.saturating_mul(1_000_000_000) / bps)
     }
 
     /// Time for a bulk copy through the kernel shared-memory channel.

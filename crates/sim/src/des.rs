@@ -98,7 +98,10 @@ impl Resource {
 
     /// The time at which the resource's last booking ends.
     pub fn free_at(&self) -> SimTime {
-        self.calendar.iter().map(|&(_, e)| e).fold(SimTime::ZERO, SimTime::max)
+        self.calendar
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(SimTime::ZERO, SimTime::max)
     }
 
     /// Total service time granted so far.
@@ -274,7 +277,7 @@ mod calendar_tests {
         let mut r = Resource::new();
         r.acquire(SimTime::from_nanos(0), SimDuration::from_nanos(10)); // [0,10)
         r.acquire(SimTime::from_nanos(20), SimDuration::from_nanos(10)); // [20,30)
-        // Exactly 10 ns fits in [10, 20).
+                                                                         // Exactly 10 ns fits in [10, 20).
         let g = r.acquire(SimTime::from_nanos(5), SimDuration::from_nanos(10));
         assert_eq!((g.start.as_nanos(), g.end.as_nanos()), (10, 20));
     }
@@ -301,7 +304,12 @@ mod calendar_tests {
         }
         grants.sort_by_key(|g| g.start);
         for w in grants.windows(2) {
-            assert!(w[0].end <= w[1].start, "overlap: {:?} then {:?}", w[0], w[1]);
+            assert!(
+                w[0].end <= w[1].start,
+                "overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
         }
         // Total booked time is exactly 10 × 80 ns.
         assert_eq!(r.total_busy().as_nanos(), 800);

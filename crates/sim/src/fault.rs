@@ -1,0 +1,397 @@
+//! Deterministic fault injection for the simulated system.
+//!
+//! A [`FaultPlan`] is an explicit, virtual-time-stamped schedule of failures
+//! — enclave crashes, process kills, name-server outages of bounded
+//! duration, and message drop/duplication windows on the forwarding
+//! channels. A [`FaultInjector`] executes a plan: the system polls it as
+//! virtual time advances and receives the due [`FaultEvent`]s, and consults
+//! it on every name-server transaction and forwarded hop.
+//!
+//! Everything is deterministic: discrete events fire at the exact virtual
+//! times in the plan, and the probabilistic drop/duplication decisions
+//! inside a window are drawn from a [`SimRng`] forked from the injector's
+//! seed, so identical plans + seeds reproduce identical failure histories.
+//!
+//! This crate sits below `xemem-core`, so enclaves and processes are
+//! referred to by plain indices (`usize` slot index, `u32` pid) and the
+//! core crate maps them onto its own handle types.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// What kind of failure fires at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The whole enclave at this slot index dies abruptly.
+    EnclaveCrash {
+        /// Slot index of the enclave (as reported by the system's topology).
+        slot: usize,
+    },
+    /// One process in an enclave is killed without running cleanup code.
+    ProcessKill {
+        /// Slot index of the enclave hosting the process.
+        slot: usize,
+        /// Kernel pid of the victim within that enclave.
+        pid: u32,
+    },
+    /// The name server stops answering for a bounded duration.
+    NameServerOutage {
+        /// How long the outage lasts; lookups retry or degrade until then.
+        duration: SimDuration,
+    },
+}
+
+/// A scheduled failure: a kind plus the virtual instant it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time at which the failure takes effect.
+    pub at: SimTime,
+    /// The failure itself.
+    pub kind: FaultKind,
+}
+
+/// A window of virtual time during which forwarded messages are unreliable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LossWindow {
+    from: SimTime,
+    until: SimTime,
+    /// Per-hop probability of the effect (drop or duplicate) applying.
+    probability_ppm: u32,
+}
+
+impl LossWindow {
+    fn contains(&self, at: SimTime) -> bool {
+        at >= self.from && at < self.until
+    }
+}
+
+/// An explicit schedule of failures, built up then handed to the system.
+///
+/// Events may be added in any order; the plan sorts them by time. Times are
+/// virtual (`SimTime`), so a plan composed for one seed reproduces the same
+/// failure history on every run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    drop_windows: Vec<LossWindow>,
+    duplicate_windows: Vec<LossWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failures).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule the enclave at `slot` to crash at virtual time `at`.
+    pub fn crash_enclave(mut self, at: SimTime, slot: usize) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::EnclaveCrash { slot },
+        });
+        self
+    }
+
+    /// Schedule the process `pid` in enclave `slot` to be killed at `at`.
+    pub fn kill_process(mut self, at: SimTime, slot: usize, pid: u32) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::ProcessKill { slot, pid },
+        });
+        self
+    }
+
+    /// Schedule a name-server outage of `duration` starting at `at`.
+    pub fn name_server_outage(mut self, at: SimTime, duration: SimDuration) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::NameServerOutage { duration },
+        });
+        self
+    }
+
+    /// During `[from, from + duration)`, drop each forwarded hop with the
+    /// given probability (0.0–1.0).
+    pub fn drop_messages(mut self, from: SimTime, duration: SimDuration, probability: f64) -> Self {
+        self.drop_windows.push(LossWindow {
+            from,
+            until: from + duration,
+            probability_ppm: to_ppm(probability),
+        });
+        self
+    }
+
+    /// During `[from, from + duration)`, deliver each forwarded hop twice
+    /// with the given probability (0.0–1.0).
+    pub fn duplicate_messages(
+        mut self,
+        from: SimTime,
+        duration: SimDuration,
+        probability: f64,
+    ) -> Self {
+        self.duplicate_windows.push(LossWindow {
+            from,
+            until: from + duration,
+            probability_ppm: to_ppm(probability),
+        });
+        self
+    }
+
+    /// Number of discrete scheduled events (crashes, kills, outages).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.drop_windows.is_empty() && self.duplicate_windows.is_empty()
+    }
+
+    /// The scheduled discrete events, not yet sorted.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Generate a random-but-reproducible plan: `n_events` discrete faults
+    /// spread over `[0, horizon)`, aimed at `slots` enclaves each assumed
+    /// to host pids `1..=max_pid`. Equal `rng` states produce equal plans.
+    pub fn random(
+        rng: &mut SimRng,
+        horizon: SimTime,
+        slots: usize,
+        max_pid: u32,
+        n_events: usize,
+    ) -> Self {
+        assert!(slots > 0 && max_pid > 0);
+        let mut plan = FaultPlan::new();
+        let span = horizon.as_nanos().max(1);
+        for _ in 0..n_events {
+            let at = SimTime::from_nanos(rng.uniform_u64(0, span));
+            let slot = rng.uniform_u64(0, slots as u64) as usize;
+            plan = match rng.uniform_u64(0, 4) {
+                0 => plan.crash_enclave(at, slot),
+                1 => plan.kill_process(at, slot, rng.uniform_u64(1, u64::from(max_pid) + 1) as u32),
+                2 => plan.name_server_outage(
+                    at,
+                    SimDuration::from_nanos(rng.uniform_u64(1_000, span / 4 + 2_000)),
+                ),
+                _ => plan.drop_messages(
+                    at,
+                    SimDuration::from_nanos(rng.uniform_u64(1_000, span / 4 + 2_000)),
+                    rng.uniform(0.05, 0.5),
+                ),
+            };
+        }
+        plan
+    }
+}
+
+fn to_ppm(probability: f64) -> u32 {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability must be within [0, 1], got {probability}"
+    );
+    (probability * 1_000_000.0).round() as u32
+}
+
+/// Executes a [`FaultPlan`] deterministically as virtual time advances.
+///
+/// The owning system calls [`FaultInjector::due_events`] whenever its clock
+/// moves, applies the returned failures, and consults
+/// [`FaultInjector::ns_available`] / [`FaultInjector::should_drop`] /
+/// [`FaultInjector::should_duplicate`] on the affected paths.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Events sorted by time; `cursor` indexes the next undelivered one.
+    events: Vec<FaultEvent>,
+    cursor: usize,
+    drop_windows: Vec<LossWindow>,
+    duplicate_windows: Vec<LossWindow>,
+    /// End of the current name-server outage, if one is active.
+    ns_outage_until: Option<SimTime>,
+    rng: SimRng,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan`, drawing probabilistic decisions from
+    /// a stream forked deterministically from `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let mut events = plan.events;
+        events.sort_by_key(|e| e.at);
+        FaultInjector {
+            events,
+            cursor: 0,
+            drop_windows: plan.drop_windows,
+            duplicate_windows: plan.duplicate_windows,
+            ns_outage_until: None,
+            rng: SimRng::seed_from_u64(seed).fork(0xFA_17),
+        }
+    }
+
+    /// All discrete events scheduled at or before `now` that have not been
+    /// returned yet, in schedule order. Name-server outages update the
+    /// injector's outage horizon as a side effect (and are also returned,
+    /// so the caller can record them in its trace).
+    pub fn due_events(&mut self, now: SimTime) -> Vec<FaultEvent> {
+        let mut due = Vec::new();
+        while let Some(&event) = self.events.get(self.cursor) {
+            if event.at > now {
+                break;
+            }
+            self.cursor += 1;
+            if let FaultKind::NameServerOutage { duration } = event.kind {
+                let until = event.at + duration;
+                // Overlapping outages extend each other.
+                self.ns_outage_until = Some(match self.ns_outage_until {
+                    Some(existing) if existing > until => existing,
+                    _ => until,
+                });
+            }
+            due.push(event);
+        }
+        due
+    }
+
+    /// Does the name server answer at virtual time `at`?
+    ///
+    /// Callers must have drained [`due_events`](Self::due_events) up to
+    /// `at` first so outage starts have been observed.
+    pub fn ns_available(&self, at: SimTime) -> bool {
+        match self.ns_outage_until {
+            Some(until) => at >= until,
+            None => true,
+        }
+    }
+
+    /// When the current outage ends, if one is active at `at`.
+    pub fn ns_outage_until(&self, at: SimTime) -> Option<SimTime> {
+        self.ns_outage_until.filter(|&until| at < until)
+    }
+
+    /// Should a forwarded hop sent at `at` be dropped? Draws from the
+    /// injector's RNG only when inside a drop window, so plans without
+    /// windows consume no randomness.
+    pub fn should_drop(&mut self, at: SimTime) -> bool {
+        Self::roll(&self.drop_windows, &mut self.rng, at)
+    }
+
+    /// Should a forwarded hop sent at `at` be delivered twice?
+    pub fn should_duplicate(&mut self, at: SimTime) -> bool {
+        Self::roll(&self.duplicate_windows, &mut self.rng, at)
+    }
+
+    fn roll(windows: &[LossWindow], rng: &mut SimRng, at: SimTime) -> bool {
+        let Some(window) = windows.iter().find(|w| w.contains(at)) else {
+            return false;
+        };
+        rng.chance(f64::from(window.probability_ppm) / 1_000_000.0)
+    }
+
+    /// True when every scheduled discrete event has been delivered.
+    pub fn exhausted(&self) -> bool {
+        self.cursor == self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_once_in_time_order() {
+        let plan = FaultPlan::new()
+            .kill_process(SimTime::from_nanos(500), 1, 3)
+            .crash_enclave(SimTime::from_nanos(100), 0);
+        let mut inj = FaultInjector::new(plan, 7);
+        assert!(inj.due_events(SimTime::from_nanos(50)).is_empty());
+        let first = inj.due_events(SimTime::from_nanos(100));
+        assert_eq!(
+            first,
+            vec![FaultEvent {
+                at: SimTime::from_nanos(100),
+                kind: FaultKind::EnclaveCrash { slot: 0 },
+            }]
+        );
+        // Already-delivered events do not repeat.
+        assert!(inj.due_events(SimTime::from_nanos(100)).is_empty());
+        let second = inj.due_events(SimTime::from_nanos(10_000));
+        assert_eq!(second.len(), 1);
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn ns_outage_window_opens_and_closes() {
+        let plan = FaultPlan::new()
+            .name_server_outage(SimTime::from_nanos(1_000), SimDuration::from_nanos(500));
+        let mut inj = FaultInjector::new(plan, 1);
+        assert!(inj.ns_available(SimTime::from_nanos(999)));
+        inj.due_events(SimTime::from_nanos(1_000));
+        assert!(!inj.ns_available(SimTime::from_nanos(1_000)));
+        assert!(!inj.ns_available(SimTime::from_nanos(1_499)));
+        assert!(inj.ns_available(SimTime::from_nanos(1_500)));
+        assert_eq!(
+            inj.ns_outage_until(SimTime::from_nanos(1_200)),
+            Some(SimTime::from_nanos(1_500))
+        );
+        assert_eq!(inj.ns_outage_until(SimTime::from_nanos(1_600)), None);
+    }
+
+    #[test]
+    fn overlapping_outages_extend() {
+        let plan = FaultPlan::new()
+            .name_server_outage(SimTime::from_nanos(0), SimDuration::from_nanos(1_000))
+            .name_server_outage(SimTime::from_nanos(500), SimDuration::from_nanos(1_000));
+        let mut inj = FaultInjector::new(plan, 1);
+        inj.due_events(SimTime::from_nanos(600));
+        assert!(!inj.ns_available(SimTime::from_nanos(1_200)));
+        assert!(inj.ns_available(SimTime::from_nanos(1_500)));
+    }
+
+    #[test]
+    fn drop_decisions_only_inside_windows_and_deterministic() {
+        let plan = FaultPlan::new().drop_messages(
+            SimTime::from_nanos(1_000),
+            SimDuration::from_nanos(1_000),
+            0.5,
+        );
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan.clone(), seed);
+            (0..100)
+                .map(|i| inj.should_drop(SimTime::from_nanos(1_000 + i * 10)))
+                .collect::<Vec<_>>()
+        };
+        // Outside the window: never drops, consumes no randomness.
+        let mut inj = FaultInjector::new(plan.clone(), 3);
+        assert!(!inj.should_drop(SimTime::from_nanos(0)));
+        assert!(!inj.should_drop(SimTime::from_nanos(2_000)));
+        // Inside: a mix of outcomes, identical across equal seeds.
+        let a = run(9);
+        assert!(a.iter().any(|&d| d) && a.iter().any(|&d| !d));
+        assert_eq!(a, run(9));
+        assert_ne!(a, run(10));
+    }
+
+    #[test]
+    fn zero_probability_never_fires_one_always_fires() {
+        let plan = FaultPlan::new()
+            .drop_messages(SimTime::ZERO, SimDuration::from_nanos(100), 0.0)
+            .duplicate_messages(SimTime::ZERO, SimDuration::from_nanos(100), 1.0);
+        let mut inj = FaultInjector::new(plan, 5);
+        for i in 0..50 {
+            let at = SimTime::from_nanos(i);
+            assert!(!inj.should_drop(at));
+            assert!(inj.should_duplicate(at));
+        }
+    }
+
+    #[test]
+    fn random_plans_are_reproducible() {
+        let build = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            FaultPlan::random(&mut rng, SimTime::from_nanos(1_000_000), 3, 8, 12)
+        };
+        assert_eq!(build(11), build(11));
+        assert_ne!(build(11), build(12));
+        assert_eq!(build(11).len(), 12 - build(11).drop_windows.len());
+    }
+}

@@ -24,10 +24,14 @@
 //! * [`rng`] — deterministic seeded RNG with the distribution samplers the
 //!   noise models need (uniform, exponential, normal, lognormal).
 //! * [`trace`] — timestamped event recording for detour profiles.
+//! * [`fault`] — deterministic fault injection: scheduled enclave crashes,
+//!   process kills, name-server outages and message drop/duplication
+//!   windows, driven by a seeded [`FaultInjector`].
 
 pub mod clock;
 pub mod cost;
 pub mod des;
+pub mod fault;
 pub mod noise;
 pub mod rng;
 pub mod stats;
@@ -36,6 +40,7 @@ pub mod trace;
 
 pub use clock::Clock;
 pub use cost::CostModel;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::{Costed, SimDuration, SimTime};

@@ -121,7 +121,11 @@ impl NoiseGen for PoissonNoise {
         }
         while self.next_arrival < to {
             let duration = self.rng.normal_duration(self.dur_mean, self.dur_stddev);
-            out.push(NoiseEvent { start: self.next_arrival, duration, kind: self.kind });
+            out.push(NoiseEvent {
+                start: self.next_arrival,
+                duration,
+                kind: self.kind,
+            });
             self.next_arrival += self.rng.exp_duration(self.mean_interval);
         }
         out
@@ -161,8 +165,8 @@ impl NoiseGen for PeriodicNoise {
     fn events_in(&mut self, from: SimTime, to: SimTime) -> Vec<NoiseEvent> {
         if !self.primed {
             // First SMI lands somewhere within the first period.
-            self.next_arrival =
-                from + SimDuration::from_nanos(self.rng.uniform_u64(0, self.period.as_nanos().max(1)));
+            self.next_arrival = from
+                + SimDuration::from_nanos(self.rng.uniform_u64(0, self.period.as_nanos().max(1)));
             self.primed = true;
         }
         let mut out = Vec::new();
@@ -171,7 +175,11 @@ impl NoiseGen for PeriodicNoise {
         }
         while self.next_arrival < to {
             let duration = self.rng.normal_duration(self.dur_mean, self.dur_stddev);
-            out.push(NoiseEvent { start: self.next_arrival, duration, kind: self.kind });
+            out.push(NoiseEvent {
+                start: self.next_arrival,
+                duration,
+                kind: self.kind,
+            });
             self.advance();
         }
         out
@@ -400,7 +408,11 @@ mod tests {
         let mut src = PoissonNoise::kitten_hardware(rng());
         let events = src.events_in(SimTime::ZERO, SimTime::from_nanos(10_000_000_000));
         // 10 s at mean interval 10 ms ⇒ ~1000 events.
-        assert!((800..1200).contains(&events.len()), "{} events", events.len());
+        assert!(
+            (800..1200).contains(&events.len()),
+            "{} events",
+            events.len()
+        );
         for e in &events {
             let us = e.duration.as_micros_f64();
             assert!((8.0..16.0).contains(&us), "duration {us} µs");
@@ -443,9 +455,17 @@ mod tests {
             kind: NoiseKind::AttachService,
         };
         let mut src = ScheduledNoise::new(vec![e2, e1]);
-        assert_eq!(src.events_in(SimTime::ZERO, SimTime::from_nanos(200)), vec![e1]);
-        assert_eq!(src.events_in(SimTime::from_nanos(200), SimTime::from_nanos(400)), vec![e2]);
-        assert!(src.events_in(SimTime::from_nanos(400), SimTime::from_nanos(999)).is_empty());
+        assert_eq!(
+            src.events_in(SimTime::ZERO, SimTime::from_nanos(200)),
+            vec![e1]
+        );
+        assert_eq!(
+            src.events_in(SimTime::from_nanos(200), SimTime::from_nanos(400)),
+            vec![e2]
+        );
+        assert!(src
+            .events_in(SimTime::from_nanos(400), SimTime::from_nanos(999))
+            .is_empty());
     }
 
     #[test]

@@ -130,7 +130,9 @@ mod tests {
 
         let mut g1 = SimRng::seed_from_u64(7).fork(1);
         let mut g2 = SimRng::seed_from_u64(7).fork(2);
-        let same = (0..32).filter(|_| g1.unit().to_bits() == g2.unit().to_bits()).count();
+        let same = (0..32)
+            .filter(|_| g1.unit().to_bits() == g2.unit().to_bits())
+            .count();
         assert!(same < 4, "sibling forks look correlated");
     }
 
@@ -169,10 +171,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(4);
         for _ in 0..1000 {
             // Deliberately stress the clamp with stddev >> mean.
-            let d = rng.normal_duration(
-                SimDuration::from_nanos(10),
-                SimDuration::from_micros(10),
-            );
+            let d = rng.normal_duration(SimDuration::from_nanos(10), SimDuration::from_micros(10));
             // SimDuration is unsigned; just ensure construction succeeded.
             let _ = d.as_nanos();
         }

@@ -23,7 +23,13 @@ impl Summary {
     /// empty slice.
     pub fn of(xs: &[f64]) -> Summary {
         if xs.is_empty() {
-            return Summary { n: 0, mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let n = xs.len();
         let mean = xs.iter().sum::<f64>() / n as f64;
@@ -37,7 +43,13 @@ impl Summary {
             min = min.min(x);
             max = max.max(x);
         }
-        Summary { n, mean, stddev: var.sqrt(), min, max }
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Summarize virtual durations, in seconds.

@@ -13,11 +13,15 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An absolute virtual timestamp, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A non-negative virtual time interval, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -259,7 +263,10 @@ impl<T> Costed<T> {
 
     /// Transform the value, keeping the cost.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Costed<U> {
-        Costed { value: f(self.value), cost: self.cost }
+        Costed {
+            value: f(self.value),
+            cost: self.cost,
+        }
     }
 
     /// Add extra cost.

@@ -33,7 +33,11 @@ impl Trace {
 
     /// Record an event.
     pub fn record(&mut self, at: SimTime, duration: SimDuration, label: impl Into<String>) {
-        self.events.push(TraceEvent { at, duration, label: label.into() });
+        self.events.push(TraceEvent {
+            at,
+            duration,
+            label: label.into(),
+        });
     }
 
     /// All events, in insertion order.
@@ -43,7 +47,9 @@ impl Trace {
 
     /// Events whose label matches the given prefix.
     pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.label.starts_with(prefix))
+        self.events
+            .iter()
+            .filter(move |e| e.label.starts_with(prefix))
     }
 
     /// Number of events recorded.
@@ -64,9 +70,21 @@ mod tests {
     #[test]
     fn records_and_filters() {
         let mut t = Trace::new();
-        t.record(SimTime::from_nanos(1), SimDuration::from_nanos(10), "detour:hw");
-        t.record(SimTime::from_nanos(2), SimDuration::from_nanos(20), "attach:1GB");
-        t.record(SimTime::from_nanos(3), SimDuration::from_nanos(30), "detour:smi");
+        t.record(
+            SimTime::from_nanos(1),
+            SimDuration::from_nanos(10),
+            "detour:hw",
+        );
+        t.record(
+            SimTime::from_nanos(2),
+            SimDuration::from_nanos(20),
+            "attach:1GB",
+        );
+        t.record(
+            SimTime::from_nanos(3),
+            SimDuration::from_nanos(30),
+            "detour:smi",
+        );
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
         let detours: Vec<_> = t.with_prefix("detour:").collect();

@@ -38,7 +38,10 @@ pub struct Slab {
 impl SlabDecomposition {
     /// Create a decomposition; `ranks` must not exceed `nz`.
     pub fn new(problem: HpccgProblem, ranks: usize) -> Self {
-        assert!(ranks >= 1 && ranks <= problem.nz, "more ranks than z-planes");
+        assert!(
+            ranks >= 1 && ranks <= problem.nz,
+            "more ranks than z-planes"
+        );
         SlabDecomposition { problem, ranks }
     }
 
@@ -78,8 +81,10 @@ impl SlabDecomposition {
 
         // Per-rank state (local planes only).
         let mut x: Vec<Vec<f64>> = slabs.iter().map(|s| vec![0.0; s.nz * plane]).collect();
-        let mut r: Vec<Vec<f64>> =
-            slabs.iter().map(|s| b[s.z0 * plane..(s.z0 + s.nz) * plane].to_vec()).collect();
+        let mut r: Vec<Vec<f64>> = slabs
+            .iter()
+            .map(|s| b[s.z0 * plane..(s.z0 + s.nz) * plane].to_vec())
+            .collect();
         let mut pv: Vec<Vec<f64>> = r.clone();
         let mut ap: Vec<Vec<f64>> = slabs.iter().map(|s| vec![0.0; s.nz * plane]).collect();
 
@@ -107,8 +112,7 @@ impl SlabDecomposition {
                     let below = rank
                         .checked_sub(1)
                         .map(|nb| pv[nb][(slabs[nb].nz - 1) * plane..].to_vec());
-                    let above =
-                        (rank + 1 < self.ranks).then(|| pv[rank + 1][..plane].to_vec());
+                    let above = (rank + 1 < self.ranks).then(|| pv[rank + 1][..plane].to_vec());
                     (below, above)
                 })
                 .collect();
@@ -117,7 +121,14 @@ impl SlabDecomposition {
             for rank in 0..self.ranks {
                 let slab = slabs[rank];
                 let (ghost_below, ghost_above) = &ghosts[rank];
-                apply_slab(&p, slab, &pv[rank], ghost_below.as_deref(), ghost_above.as_deref(), &mut ap[rank]);
+                apply_slab(
+                    &p,
+                    slab,
+                    &pv[rank],
+                    ghost_below.as_deref(),
+                    ghost_above.as_deref(),
+                    &mut ap[rank],
+                );
             }
 
             let alpha = rr / dot(&pv, &ap);
@@ -142,7 +153,11 @@ impl SlabDecomposition {
         for (rank, slab) in slabs.iter().enumerate() {
             global[slab.z0 * plane..(slab.z0 + slab.nz) * plane].copy_from_slice(&x[rank]);
         }
-        crate::hpccg::CgResult { iterations, residual: rr.sqrt(), x: global }
+        crate::hpccg::CgResult {
+            iterations,
+            residual: rr.sqrt(),
+            x: global,
+        }
     }
 }
 
@@ -205,7 +220,11 @@ mod tests {
 
     #[test]
     fn slabs_partition_the_grid() {
-        let p = HpccgProblem { nx: 6, ny: 5, nz: 11 };
+        let p = HpccgProblem {
+            nx: 6,
+            ny: 5,
+            nz: 11,
+        };
         for ranks in [1usize, 2, 3, 4, 11] {
             let d = SlabDecomposition::new(p, ranks);
             let mut covered = 0;
@@ -223,7 +242,11 @@ mod tests {
 
     #[test]
     fn distributed_solve_matches_sequential_exactly() {
-        let p = HpccgProblem { nx: 8, ny: 7, nz: 12 };
+        let p = HpccgProblem {
+            nx: 8,
+            ny: 7,
+            nz: 12,
+        };
         let sequential = p.solve(40, 1e-10);
         for ranks in [2usize, 3, 4] {
             let d = SlabDecomposition::new(p, ranks);
@@ -243,7 +266,11 @@ mod tests {
 
     #[test]
     fn distributed_solve_converges_to_ones() {
-        let p = HpccgProblem { nx: 10, ny: 10, nz: 10 };
+        let p = HpccgProblem {
+            nx: 10,
+            ny: 10,
+            nz: 10,
+        };
         let d = SlabDecomposition::new(p, 4);
         let result = d.solve(200, 1e-9);
         assert!(result.residual < 1e-9);
@@ -254,13 +281,27 @@ mod tests {
 
     #[test]
     fn halo_bytes_is_one_plane() {
-        let d = SlabDecomposition::new(HpccgProblem { nx: 128, ny: 128, nz: 288 }, 8);
+        let d = SlabDecomposition::new(
+            HpccgProblem {
+                nx: 128,
+                ny: 128,
+                nz: 288,
+            },
+            8,
+        );
         assert_eq!(d.halo_bytes(), 128 * 128 * 8);
     }
 
     #[test]
     #[should_panic(expected = "more ranks than z-planes")]
     fn too_many_ranks_rejected() {
-        SlabDecomposition::new(HpccgProblem { nx: 4, ny: 4, nz: 4 }, 5);
+        SlabDecomposition::new(
+            HpccgProblem {
+                nx: 4,
+                ny: 4,
+                nz: 4,
+            },
+            5,
+        );
     }
 }

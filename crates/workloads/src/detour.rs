@@ -34,7 +34,9 @@ pub struct SelfishDetour {
 
 impl Default for SelfishDetour {
     fn default() -> Self {
-        SelfishDetour { threshold: SimDuration::from_micros(1) }
+        SelfishDetour {
+            threshold: SimDuration::from_micros(1),
+        }
     }
 }
 
@@ -68,7 +70,11 @@ impl SelfishDetour {
                     continue;
                 }
             }
-            out.push(DetourSample { at: e.start, duration: e.duration, kind: e.kind });
+            out.push(DetourSample {
+                at: e.start,
+                duration: e.duration,
+                kind: e.kind,
+            });
         }
         out.retain(|d| d.duration >= self.threshold);
         out
@@ -131,14 +137,17 @@ mod tests {
     fn kitten_profile_shows_paper_bands() {
         let mut rng = SimRng::seed_from_u64(7);
         let mut noise = CompositeNoise::kitten(&mut rng);
-        let detours = SelfishDetour::default().run(
-            &mut noise,
-            SimTime::ZERO,
-            SimDuration::from_secs(10),
-        );
+        let detours =
+            SelfishDetour::default().run(&mut noise, SimTime::ZERO, SimDuration::from_secs(10));
         // Fig. 7: a dense ~12 µs band plus sparse ~100 µs SMIs.
-        let hw: Vec<_> = detours.iter().filter(|d| d.kind == NoiseKind::Hardware).collect();
-        let smi: Vec<_> = detours.iter().filter(|d| d.kind == NoiseKind::Smi).collect();
+        let hw: Vec<_> = detours
+            .iter()
+            .filter(|d| d.kind == NoiseKind::Hardware)
+            .collect();
+        let smi: Vec<_> = detours
+            .iter()
+            .filter(|d| d.kind == NoiseKind::Smi)
+            .collect();
         assert!(hw.len() > 500, "{} hardware detours", hw.len());
         assert!((8..25).contains(&smi.len()), "{} SMIs", smi.len());
         for d in &hw {

@@ -39,19 +39,31 @@ pub struct CgResult {
 impl HpccgProblem {
     /// A problem sized for quick numeric runs in tests.
     pub fn tiny() -> Self {
-        HpccgProblem { nx: 12, ny: 12, nz: 12 }
+        HpccgProblem {
+            nx: 12,
+            ny: 12,
+            nz: 12,
+        }
     }
 
     /// The single-node Fig. 8 scale: calibrated so 600 iterations take
     /// ≈ 142 s of virtual time on the paper's 4-core node.
     pub fn fig8() -> Self {
-        HpccgProblem { nx: 200, ny: 200, nz: 200 }
+        HpccgProblem {
+            nx: 200,
+            ny: 200,
+            nz: 200,
+        }
     }
 
     /// The per-node Fig. 9 scale (weak scaling: this is each node's
     /// share): calibrated so 300 iterations take ≈ 43 s.
     pub fn fig9_per_node() -> Self {
-        HpccgProblem { nx: 128, ny: 128, nz: 288 }
+        HpccgProblem {
+            nx: 128,
+            ny: 128,
+            nz: 288,
+        }
     }
 
     /// Number of rows (grid points).
@@ -161,7 +173,11 @@ impl HpccgProblem {
                 p[i] = r[i] + beta * p[i];
             }
         }
-        CgResult { iterations, residual: rr.sqrt(), x }
+        CgResult {
+            iterations,
+            residual: rr.sqrt(),
+            x,
+        }
     }
 }
 
@@ -190,7 +206,12 @@ pub struct HpccgModel {
 impl HpccgModel {
     /// Build a model.
     pub fn new(problem: HpccgProblem, cores: u32, cost: CostModel) -> Self {
-        HpccgModel { problem, cores, slowdown: 1.0, cost }
+        HpccgModel {
+            problem,
+            cores,
+            slowdown: 1.0,
+            cost,
+        }
     }
 
     /// Apply a multiplicative slowdown (VM overhead, busy host, ...).
@@ -203,7 +224,8 @@ impl HpccgModel {
     /// memory-bandwidth time (socket-wide) and FLOP time (per-core rate ×
     /// cores), scaled by the slowdown.
     pub fn iter_time(&self) -> SimDuration {
-        let mem = CostModel::transfer_time(self.problem.bytes_per_iter(), self.cost.dram_stream_bps);
+        let mem =
+            CostModel::transfer_time(self.problem.bytes_per_iter(), self.cost.dram_stream_bps);
         let flops = self.problem.flops_per_iter();
         let flop_rate = self.cost.flops_per_core * self.cores.max(1) as u64;
         let compute = CostModel::transfer_time(flops, flop_rate);
@@ -217,7 +239,11 @@ mod tests {
 
     #[test]
     fn nonzero_count_matches_brute_force() {
-        let p = HpccgProblem { nx: 5, ny: 4, nz: 3 };
+        let p = HpccgProblem {
+            nx: 5,
+            ny: 4,
+            nz: 3,
+        };
         // Brute force: count in-grid neighbours per cell (+ diagonal).
         let mut expect = 0u64;
         for z in 0..p.nz as i64 {
@@ -250,7 +276,11 @@ mod tests {
         let p = HpccgProblem::tiny();
         let result = p.solve(200, 1e-8);
         assert!(result.residual < 1e-8, "residual {}", result.residual);
-        assert!(result.iterations < 100, "took {} iterations", result.iterations);
+        assert!(
+            result.iterations < 100,
+            "took {} iterations",
+            result.iterations
+        );
         for (i, &xi) in result.x.iter().enumerate() {
             assert!((xi - 1.0).abs() < 1e-6, "x[{i}] = {xi}");
         }
@@ -267,7 +297,11 @@ mod tests {
     #[test]
     fn apply_is_symmetric() {
         // CG requires symmetric A: check x'Ay == y'Ax on random-ish data.
-        let p = HpccgProblem { nx: 6, ny: 5, nz: 4 };
+        let p = HpccgProblem {
+            nx: 6,
+            ny: 5,
+            nz: 4,
+        };
         let n = p.rows() as usize;
         let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
         let y: Vec<f64> = (0..n).map(|i| ((i * 53 + 29) % 13) as f64 - 6.0).collect();

@@ -123,8 +123,16 @@ impl InsituConfig {
     /// The four enclave configurations of Table 3, in paper order.
     pub fn table3() -> [(SimEnclave, AnalyticsEnclave, &'static str); 4] {
         [
-            (SimEnclave::LinuxNative, AnalyticsEnclave::LinuxNative, "Linux/Linux"),
-            (SimEnclave::KittenCokernel, AnalyticsEnclave::LinuxNative, "Kitten/Linux"),
+            (
+                SimEnclave::LinuxNative,
+                AnalyticsEnclave::LinuxNative,
+                "Linux/Linux",
+            ),
+            (
+                SimEnclave::KittenCokernel,
+                AnalyticsEnclave::LinuxNative,
+                "Kitten/Linux",
+            ),
             (
                 SimEnclave::KittenCokernel,
                 AnalyticsEnclave::VmOnLinuxHost,
@@ -154,7 +162,11 @@ impl InsituConfig {
             iterations: 20,
             comm_every: 5,
             region_bytes: 4 << 20,
-            problem: HpccgProblem { nx: 64, ny: 64, nz: 64 },
+            problem: HpccgProblem {
+                nx: 64,
+                ny: 64,
+                nz: 64,
+            },
             sim_cores: 4,
             seed: 42,
         }
@@ -212,16 +224,34 @@ pub fn run_insitu(cfg: &InsituConfig) -> Result<InsituResult, XememError> {
         (SimEnclave::KittenCokernel, AnalyticsEnclave::VmOnLinuxHost) => b
             .linux_management("linux", 4, slack)
             .kitten_cokernel("kitten-sim", cfg.sim_cores, sim_mem)
-            .palacios_vm("ana-vm", "linux", ana_mem, MemoryMapKind::RbTree, GuestOs::Fwk),
+            .palacios_vm(
+                "ana-vm",
+                "linux",
+                ana_mem,
+                MemoryMapKind::RbTree,
+                GuestOs::Fwk,
+            ),
         (SimEnclave::KittenCokernel, AnalyticsEnclave::VmOnKittenHost) => b
             .linux_management("linux", 4, slack)
             .kitten_cokernel("kitten-sim", cfg.sim_cores, sim_mem)
             .kitten_cokernel("kitten-host", 1, slack)
-            .palacios_vm("ana-vm", "kitten-host", ana_mem, MemoryMapKind::RbTree, GuestOs::Fwk),
+            .palacios_vm(
+                "ana-vm",
+                "kitten-host",
+                ana_mem,
+                MemoryMapKind::RbTree,
+                GuestOs::Fwk,
+            ),
         (SimEnclave::VmOnKittenHost, AnalyticsEnclave::LinuxNative) => b
             .linux_management("linux", 8, ana_mem)
             .kitten_cokernel("kitten-host", cfg.sim_cores, slack)
-            .palacios_vm("sim-vm", "kitten-host", sim_mem, MemoryMapKind::RbTree, GuestOs::Fwk),
+            .palacios_vm(
+                "sim-vm",
+                "kitten-host",
+                sim_mem,
+                MemoryMapKind::RbTree,
+                GuestOs::Fwk,
+            ),
         (SimEnclave::VmOnKittenHost, _) => {
             return Err(XememError::Topology(
                 "VM-hosted simulation is only paired with Linux-native analytics".into(),
@@ -253,7 +283,8 @@ pub fn run_insitu(cfg: &InsituConfig) -> Result<InsituResult, XememError> {
         SimEnclave::LinuxNative | SimEnclave::KittenCokernel => 1.0,
         SimEnclave::VmOnKittenHost => cost.vm_compute_overhead,
     };
-    let hpccg = HpccgModel::new(cfg.problem, cfg.sim_cores, cost.clone()).with_slowdown(sim_slowdown);
+    let hpccg =
+        HpccgModel::new(cfg.problem, cfg.sim_cores, cost.clone()).with_slowdown(sim_slowdown);
 
     let ana_slowdown = match cfg.analytics_enclave {
         AnalyticsEnclave::LinuxNative => 1.0,
@@ -407,7 +438,10 @@ mod tests {
             for exec in [ExecutionModel::Synchronous, ExecutionModel::Asynchronous] {
                 for attach in [AttachModel::OneTime, AttachModel::Recurring] {
                     let r = smoke(sim, ana, exec, attach);
-                    assert!(r.verified, "{sim:?}/{ana:?}/{exec:?}/{attach:?} failed verification");
+                    assert!(
+                        r.verified,
+                        "{sim:?}/{ana:?}/{exec:?}/{attach:?} failed verification"
+                    );
                     assert_eq!(r.comm_points, 4);
                     assert!(r.sim_completion > SimDuration::ZERO);
                 }

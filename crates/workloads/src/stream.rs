@@ -89,9 +89,7 @@ impl StreamArrays {
             cj = aj + bj;
             aj = bj + self.scalar * cj;
         }
-        for (name, arr, expect) in
-            [("a", &self.a, aj), ("b", &self.b, bj), ("c", &self.c, cj)]
-        {
+        for (name, arr, expect) in [("a", &self.a, aj), ("b", &self.b, bj), ("c", &self.c, cj)] {
             for (i, &v) in arr.iter().enumerate() {
                 if (v - expect).abs() > 1e-8 * expect.abs().max(1.0) {
                     return Err(format!("{name}[{i}] = {v}, expected {expect}"));

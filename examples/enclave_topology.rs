@@ -16,7 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .linux_management("linuxB", 4, 512 * MIB) // hosts the name server
         .kitten_cokernel("lwkA", 1, 128 * MIB)
         .kitten_cokernel("lwkD", 1, 192 * MIB)
-        .palacios_vm("vmC", "linuxB", 96 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .palacios_vm(
+            "vmC",
+            "linuxB",
+            96 * MIB,
+            MemoryMapKind::RbTree,
+            GuestOs::Fwk,
+        )
         .palacios_vm("vmF", "lwkD", 96 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
         .build()?;
 
@@ -33,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nRegistration traffic (discovery broadcasts + enclave-ID allocation):");
     for m in sys.trace() {
-        println!("  [{}] slot{} -> slot{}: {:?}", m.at, m.from_slot, m.to_slot, m.kind);
+        println!(
+            "  [{}] slot{} -> slot{}: {:?}",
+            m.at, m.from_slot, m.to_slot, m.kind
+        );
     }
     sys.clear_trace();
 
@@ -54,9 +63,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nVM-to-VM attachment traffic for {segid}:");
     for m in sys.trace() {
-        println!("  [{}] slot{} -> slot{}: {:?}", m.at, m.from_slot, m.to_slot, m.kind);
+        println!(
+            "  [{}] slot{} -> slot{}: {:?}",
+            m.at, m.from_slot, m.to_slot, m.kind
+        );
     }
-    println!("\nvmF read {:?} through two VMMs and two co-kernel hops",
-        std::str::from_utf8(&got).unwrap());
+    println!(
+        "\nvmF read {:?} through two VMMs and two co-kernel hops",
+        std::str::from_utf8(&got).unwrap()
+    );
     Ok(())
 }

@@ -15,7 +15,11 @@ use xemem_workloads::insitu::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // First, prove the simulation component is a real solver: run the
     // numeric conjugate gradient on a small grid.
-    let problem = HpccgProblem { nx: 16, ny: 16, nz: 16 };
+    let problem = HpccgProblem {
+        nx: 16,
+        ny: 16,
+        nz: 16,
+    };
     let solved = problem.solve(300, 1e-8);
     println!(
         "HPCCG numeric check: {} iterations, residual {:.2e} (exact solution = ones)",
@@ -26,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Then run the composed pipeline in every workflow combination, on a
     // Kitten-simulation + native-Linux-analytics node.
     println!("\nComposed in situ pipeline (Kitten simulation / Linux analytics):");
-    println!("{:>13} {:>10} {:>12} {:>14} {:>10}", "execution", "attach", "completion", "attach ovhd", "verified");
+    println!(
+        "{:>13} {:>10} {:>12} {:>14} {:>10}",
+        "execution", "attach", "completion", "attach ovhd", "verified"
+    );
     for execution in [ExecutionModel::Synchronous, ExecutionModel::Asynchronous] {
         for attach in [AttachModel::OneTime, AttachModel::Recurring] {
             let mut cfg = InsituConfig::smoke(

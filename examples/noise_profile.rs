@@ -14,7 +14,11 @@ use xemem_workloads::detour::SelfishDetour;
 
 fn summarize(label: &str, detours: &[xemem_workloads::detour::DetourSample]) {
     let total: f64 = detours.iter().map(|d| d.duration.as_secs_f64()).sum();
-    let max = detours.iter().map(|d| d.duration).max().unwrap_or(SimDuration::ZERO);
+    let max = detours
+        .iter()
+        .map(|d| d.duration)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
     println!(
         "  {label:<18} {:>6} detours, {:>9.4}% CPU stolen, longest {}",
         detours.len(),
@@ -32,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kitten = CompositeNoise::kitten(&mut rng);
     summarize("Kitten LWK", &bench.run(&mut kitten, SimTime::ZERO, window));
     let mut fwk = CompositeNoise::fwk(&mut rng);
-    summarize("Linux-like FWK", &bench.run(&mut fwk, SimTime::ZERO, window));
+    summarize(
+        "Linux-like FWK",
+        &bench.run(&mut fwk, SimTime::ZERO, window),
+    );
 
     println!("\nKitten while serving one XEMEM attachment per second (paper Fig. 7):");
     for region in [4u64 << 10, 2 << 20, 256 << 20] {

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let kitten = sys.enclave_by_name("kitten0").unwrap();
     let linux = sys.enclave_by_name("linux0").unwrap();
-    println!("booted {} enclaves; virtual time {}", sys.enclave_count(), sys.clock().now());
+    println!(
+        "booted {} enclaves; virtual time {}",
+        sys.enclave_count(),
+        sys.clock().now()
+    );
 
     // An HPC simulation process in the lightweight kernel, and an
     // analytics process in Linux.

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut got = [0u8; 16];
     kitten.read(a, xemem_mem::VirtAddr(window.0 + buf.0), &mut got)?;
     assert_eq!(&got, b"smartmap payload");
-    println!("SMARTMAP (intra-enclave): {region} bytes visible after {}", sm.cost);
+    println!(
+        "SMARTMAP (intra-enclave): {region} bytes visible after {}",
+        sm.cost
+    );
 
     // --- XEMEM: the same region shared ACROSS enclaves. ---
     let mut sys = SystemBuilder::new()
@@ -49,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let segid = sys.xpmem_make(exporter, xbuf, region, None)?;
     let apid = sys.xpmem_get(attacher, segid)?;
     let outcome = sys.xpmem_attach_outcome(attacher, apid, 0, region)?;
-    let total =
-        outcome.route_request + outcome.serve + outcome.route_reply + outcome.map;
+    let total = outcome.route_request + outcome.serve + outcome.route_reply + outcome.map;
     let mut got = [0u8; 13];
     sys.read(attacher, outcome.va, &mut got)?;
     assert_eq!(&got, b"xemem payload");

@@ -5,7 +5,7 @@
 
 use crossbeam::thread;
 use xemem::SystemBuilder;
-use xemem_mem::{PhysAddr, PhysicalMemory, Pfn};
+use xemem_mem::{Pfn, PhysAddr, PhysicalMemory};
 use xemem_sim::{Clock, SimDuration};
 
 const MIB: u64 = 1 << 20;
@@ -41,7 +41,10 @@ fn physical_memory_is_thread_safe_under_mixed_load() {
     let mut buf = [0u8; 4096];
     for t in 0..8u64 {
         phys.read(PhysAddr((t * 512) << 12), &mut buf).unwrap();
-        assert!(buf.iter().all(|&b| b == t as u8 + 1), "torn write in thread {t} range");
+        assert!(
+            buf.iter().all(|&b| b == t as u8 + 1),
+            "torn write in thread {t} range"
+        );
     }
 }
 
@@ -147,9 +150,15 @@ fn equal_seeds_give_identical_experiment_results() {
     );
     let a = run_insitu(&cfg).unwrap();
     let b = run_insitu(&cfg).unwrap();
-    assert_eq!(a.sim_completion, b.sim_completion, "same seed must be deterministic");
+    assert_eq!(
+        a.sim_completion, b.sim_completion,
+        "same seed must be deterministic"
+    );
     let mut cfg2 = cfg.clone();
     cfg2.seed ^= 0xDEAD;
     let c = run_insitu(&cfg2).unwrap();
-    assert_ne!(a.sim_completion, c.sim_completion, "different seeds must differ");
+    assert_ne!(
+        a.sim_completion, c.sim_completion,
+        "different seeds must differ"
+    );
 }

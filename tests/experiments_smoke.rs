@@ -10,12 +10,20 @@ use xemem_workloads::insitu::AttachModel;
 fn fig5_xemem_beats_rdma_at_every_size() {
     let rows = fig5::run(&[4 << 20, 16 << 20], 5).unwrap();
     for r in &rows {
-        assert!(r.attach_gbps > 3.0 * r.rdma_gbps, "attach {} vs rdma {}", r.attach_gbps, r.rdma_gbps);
+        assert!(
+            r.attach_gbps > 3.0 * r.rdma_gbps,
+            "attach {} vs rdma {}",
+            r.attach_gbps,
+            r.rdma_gbps
+        );
         assert!(r.attach_read_gbps < r.attach_gbps);
     }
     // Scalability with size: throughput within 5% across sizes.
     let spread = (rows[0].attach_gbps - rows[1].attach_gbps).abs() / rows[0].attach_gbps;
-    assert!(spread < 0.05, "attach throughput not flat across sizes: {spread}");
+    assert!(
+        spread < 0.05,
+        "attach throughput not flat across sizes: {spread}"
+    );
 }
 
 #[test]
@@ -33,8 +41,14 @@ fn table2_vm_penalty_emerges_from_the_rb_tree() {
     let vm = rows[1].gbps;
     let recovered = rows[1].gbps_without_rb.unwrap();
     assert!(vm < native / 2.2, "VM attach must be ≥2.2x slower");
-    assert!(recovered > 1.7 * vm, "removing rb time must roughly double throughput");
-    assert!(rows[2].gbps > 0.75 * native, "guest exports stay near native");
+    assert!(
+        recovered > 1.7 * vm,
+        "removing rb time must roughly double throughput"
+    );
+    assert!(
+        rows[2].gbps > 0.75 * native,
+        "guest exports stay near native"
+    );
 }
 
 #[test]
@@ -51,7 +65,10 @@ fn fig7_detour_magnitude_tracks_region_size() {
     assert_eq!(max_attach(0), 0.0);
     assert!(max_attach(1) > 20.0);
     // 32 MB has 16x the pages of 2 MB; the detour must scale with it.
-    assert!(max_attach(2) > 12.0 * max_attach(1), "detours must scale ~linearly with pages");
+    assert!(
+        max_attach(2) > 12.0 * max_attach(1),
+        "detours must scale ~linearly with pages"
+    );
 }
 
 #[test]
@@ -59,8 +76,13 @@ fn fig8_isolation_beats_colocation() {
     let bars = fig8::run(3, true).unwrap();
     let f = |c, e, a| fig8::find(&bars, c, e, a).mean_secs;
     // Kitten-simulation beats Linux/Linux under both execution models.
-    assert!(f("Kitten/Linux", "Asynchronous", "one-time") < f("Linux/Linux", "Asynchronous", "one-time"));
-    assert!(f("Kitten/Linux", "Synchronous", "one-time") < f("Linux/Linux", "Synchronous", "one-time"));
+    assert!(
+        f("Kitten/Linux", "Asynchronous", "one-time")
+            < f("Linux/Linux", "Asynchronous", "one-time")
+    );
+    assert!(
+        f("Kitten/Linux", "Synchronous", "one-time") < f("Linux/Linux", "Synchronous", "one-time")
+    );
     // Linux/Linux variance exceeds the multi-enclave configurations'.
     let linux_sd = fig8::find(&bars, "Linux/Linux", "Synchronous", "one-time").stddev_secs;
     let kitten_sd = fig8::find(&bars, "Kitten/Linux", "Synchronous", "one-time").stddev_secs;
@@ -90,7 +112,10 @@ fn fig9_recurring_crossover() {
         let mut cfg = xemem_cluster::ClusterConfig::smoke(nodes, config, AttachModel::Recurring);
         cfg.iterations = 400;
         cfg.comm_every = 50;
-        xemem_cluster::run_cluster(&cfg).unwrap().completion.as_secs_f64()
+        xemem_cluster::run_cluster(&cfg)
+            .unwrap()
+            .completion
+            .as_secs_f64()
     };
     assert!(run(1, NodeConfig::LinuxOnly) < run(1, NodeConfig::MultiEnclave));
     assert!(run(8, NodeConfig::LinuxOnly) > run(8, NodeConfig::MultiEnclave));
@@ -99,7 +124,12 @@ fn fig9_recurring_crossover() {
 #[test]
 fn ablation_results_ordered_as_designed() {
     let rows = ablations::memmap::run(4 << 20, 2).unwrap();
-    let g = |prefix: &str| rows.iter().find(|r| r.variant.starts_with(prefix)).unwrap().gbps;
+    let g = |prefix: &str| {
+        rows.iter()
+            .find(|r| r.variant.starts_with(prefix))
+            .unwrap()
+            .gbps
+    };
     assert!(g("radix / per-page") > g("rb-tree / per-page"));
     assert!(g("rb-tree / coalesced") > g("rb-tree / per-page"));
 
@@ -107,12 +137,16 @@ fn ablation_results_ordered_as_designed() {
     assert!(ipi[1].core0_wait_us == 0.0 && ipi[0].core0_wait_us > 0.0);
 
     let ns = ablations::name_server::run(4).unwrap();
-    assert!(ns[1].make_us < ns[0].make_us, "local name server makes are cheaper");
+    assert!(
+        ns[1].make_us < ns[0].make_us,
+        "local name server makes are cheaper"
+    );
 }
 
 #[test]
 fn cluster_coupling_wait_grows_with_nodes() {
-    let mut small = xemem_cluster::ClusterConfig::smoke(1, NodeConfig::LinuxOnly, AttachModel::OneTime);
+    let mut small =
+        xemem_cluster::ClusterConfig::smoke(1, NodeConfig::LinuxOnly, AttachModel::OneTime);
     small.iterations = 60;
     let mut big = small.clone();
     big.nodes = 6;

@@ -2,7 +2,10 @@
 //! exhaustion, stale identifiers, invalid windows, permission violations
 //! and teardown ordering.
 
-use xemem::{GuestOs, MemoryMapKind, SystemBuilder, VirtAddr, XememError};
+use xemem::{
+    CostModel, FaultPlan, GuestOs, MemoryMapKind, SimDuration, SimTime, SystemBuilder, VirtAddr,
+    XememError,
+};
 use xemem_mem::KernelError;
 
 const MIB: u64 = 1 << 20;
@@ -35,7 +38,10 @@ fn stale_segid_after_remove_fails_everywhere() {
         Err(XememError::UnknownSegid(_))
     ));
     // And new gets fail at the name server.
-    assert!(matches!(sys.xpmem_get(attacher, segid), Err(XememError::UnknownSegid(_))));
+    assert!(matches!(
+        sys.xpmem_get(attacher, segid),
+        Err(XememError::UnknownSegid(_))
+    ));
     // Double remove fails.
     assert!(sys.xpmem_remove(exporter, segid).is_err());
 }
@@ -56,7 +62,10 @@ fn apid_is_process_scoped() {
         sys.xpmem_attach(p2, apid, 0, MIB),
         Err(XememError::PermissionDenied)
     ));
-    assert!(matches!(sys.xpmem_release(p2, apid), Err(XememError::PermissionDenied)));
+    assert!(matches!(
+        sys.xpmem_release(p2, apid),
+        Err(XememError::PermissionDenied)
+    ));
 }
 
 #[test]
@@ -114,7 +123,13 @@ fn vm_ram_overcommit_rejected_at_build() {
     let err = SystemBuilder::new()
         .with_node(8, 256 * MIB)
         .linux_management("linux", 4, 128 * MIB)
-        .palacios_vm("vm", "linux", 512 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .palacios_vm(
+            "vm",
+            "linux",
+            512 * MIB,
+            MemoryMapKind::RbTree,
+            GuestOs::Fwk,
+        )
         .build();
     assert!(matches!(err, Err(XememError::Topology(_))));
 }
@@ -149,6 +164,466 @@ fn reads_through_detached_mapping_fault() {
     sys.read(attacher, va2, &mut b).unwrap();
 }
 
+// ---------------------------------------------------------------------
+// Crash-consistent teardown: revocation, reaper, loans and grants
+// ---------------------------------------------------------------------
+
+#[test]
+fn exporter_crash_revokes_attachment_and_reader_gets_source_gone() {
+    let mut sys = sys2();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let baseline = sys.free_frames_of(kitten).unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    sys.write(exporter, buf, b"live data").unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+    let mut got = [0u8; 9];
+    sys.read(attacher, va, &mut got).unwrap();
+    assert_eq!(&got, b"live data");
+
+    sys.crash_process(exporter).unwrap();
+
+    // The previously-attached reader faults with SourceGone — it never
+    // sees stale bytes through the dead mapping.
+    assert!(matches!(
+        sys.read(attacher, va, &mut got),
+        Err(XememError::SourceGone)
+    ));
+    assert!(matches!(
+        sys.write(attacher, va, b"x"),
+        Err(XememError::SourceGone)
+    ));
+    // The revocation round and the reaper both left trace evidence...
+    assert!(sys.events().with_prefix("crash:process").next().is_some());
+    assert!(sys
+        .events()
+        .with_prefix("revoke:quarantine")
+        .next()
+        .is_some());
+    assert!(sys.events().with_prefix("reap:slot").next().is_some());
+    // ...the loan drained, and the quarantined frames went home: no leak.
+    assert_eq!(sys.outstanding_loans(), 0);
+    assert!(sys
+        .events()
+        .with_prefix("reap:frames-returned")
+        .next()
+        .is_some());
+    assert_eq!(sys.free_frames_of(kitten).unwrap(), baseline);
+    // The reaped mapping detaches cleanly (bookkeeping only); a second
+    // detach reports the tombstone.
+    sys.xpmem_detach(attacher, va).unwrap();
+    assert!(matches!(
+        sys.xpmem_detach(attacher, va),
+        Err(XememError::AlreadyDetached(_))
+    ));
+}
+
+#[test]
+fn remove_revokes_remote_attachments_but_exporter_keeps_frames() {
+    let mut sys = sys2();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    sys.write(exporter, buf, b"v1").unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+
+    sys.xpmem_remove(exporter, segid).unwrap();
+
+    // The remote attachment was reaped: access faults, never stale data.
+    let mut b = [0u8; 2];
+    assert!(matches!(
+        sys.read(attacher, va, &mut b),
+        Err(XememError::SourceGone)
+    ));
+    assert!(sys.events().with_prefix("revoke:").next().is_some());
+    // The exporter is alive and keeps its frames — no loan was needed.
+    assert_eq!(sys.outstanding_loans(), 0);
+    sys.read(exporter, buf, &mut b).unwrap();
+    assert_eq!(&b, b"v1");
+    // It can re-export the same buffer immediately.
+    let segid2 = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    assert_ne!(segid, segid2);
+    sys.xpmem_detach(attacher, va).unwrap();
+}
+
+#[test]
+fn exporter_graceful_exit_drives_revocation() {
+    let mut sys = sys2();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let baseline = sys.free_frames_of(kitten).unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, Some("output")).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+
+    sys.exit_process(exporter).unwrap();
+
+    let mut b = [0u8; 1];
+    assert!(matches!(
+        sys.read(attacher, va, &mut b),
+        Err(XememError::SourceGone)
+    ));
+    // Graceful exit frees everything the process owned (revocation ran
+    // before the kernel reclaimed the frames), and the name is free again.
+    assert_eq!(sys.free_frames_of(kitten).unwrap(), baseline);
+    assert_eq!(sys.outstanding_loans(), 0);
+    assert!(matches!(
+        sys.xpmem_search(attacher, "output"),
+        Err(XememError::UnknownName(_))
+    ));
+}
+
+#[test]
+fn release_and_attacher_exit_drop_exporter_side_grants() {
+    let mut sys = sys2();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let a1 = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let a2 = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+
+    let apid1 = sys.xpmem_get(a1, segid).unwrap();
+    let apid2 = sys.xpmem_get(a2, segid).unwrap();
+    let _ = apid2;
+    assert_eq!(sys.outstanding_grants(kitten, segid), 2);
+
+    // Explicit release drops one refcount; releasing again is a clean,
+    // idempotent error rather than a panic or a silent success.
+    sys.xpmem_release(a1, apid1).unwrap();
+    assert_eq!(sys.outstanding_grants(kitten, segid), 1);
+    assert!(matches!(
+        sys.xpmem_release(a1, apid1),
+        Err(XememError::AlreadyReleased(_))
+    ));
+
+    // An attacher exiting without cleanup no longer leaks its grant.
+    sys.exit_process(a2).unwrap();
+    assert_eq!(sys.outstanding_grants(kitten, segid), 0);
+    sys.xpmem_remove(exporter, segid).unwrap();
+}
+
+#[test]
+fn destroy_enclave_cascades_to_hosted_vms_and_protects_name_server() {
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten", 2, 192 * MIB)
+        .palacios_vm(
+            "vm",
+            "kitten",
+            64 * MIB,
+            MemoryMapKind::RbTree,
+            GuestOs::Lwk,
+        )
+        .build()
+        .unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let vm = sys.enclave_by_name("vm").unwrap();
+    let exporter = sys.spawn_process(vm, 8 * MIB).unwrap();
+    let reader = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(reader, segid).unwrap();
+    let va = sys.xpmem_attach(reader, apid, 0, MIB).unwrap();
+
+    // The name-server enclave is not destroyable.
+    assert!(matches!(
+        sys.destroy_enclave(linux),
+        Err(XememError::Topology(_))
+    ));
+
+    // Destroying the co-kernel takes its hosted VM down first, revoking
+    // the VM's exports on the way out.
+    sys.destroy_enclave(kitten).unwrap();
+    assert!(!sys.enclave_alive(kitten));
+    assert!(!sys.enclave_alive(vm));
+    assert!(sys
+        .events()
+        .with_prefix("crash:enclave:vm")
+        .next()
+        .is_some());
+    let mut b = [0u8; 1];
+    assert!(matches!(
+        sys.read(reader, va, &mut b),
+        Err(XememError::SourceGone)
+    ));
+
+    // Dead enclaves reject everything, including a second destroy.
+    assert!(matches!(
+        sys.spawn_process(kitten, MIB),
+        Err(XememError::EnclaveDead(_))
+    ));
+    assert!(matches!(
+        sys.destroy_enclave(kitten),
+        Err(XememError::EnclaveDead(_))
+    ));
+    assert!(matches!(
+        sys.xpmem_get(exporter, segid),
+        Err(XememError::EnclaveDead(_))
+    ));
+
+    // The surviving enclave still works end to end.
+    let p = sys.spawn_process(linux, 8 * MIB).unwrap();
+    let lbuf = sys.alloc_buffer(p, MIB).unwrap();
+    sys.write(p, lbuf, b"alive").unwrap();
+}
+
+#[test]
+fn vm_attacher_reap_is_delivered_via_guest_irq() {
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .palacios_vm("vm", "linux", 64 * MIB, MemoryMapKind::RbTree, GuestOs::Fwk)
+        .build()
+        .unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let vm = sys.enclave_by_name("vm").unwrap();
+    let exporter = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let guest = sys.spawn_process(vm, 8 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(guest, segid).unwrap();
+    let va = sys.xpmem_attach(guest, apid, 0, MIB).unwrap();
+
+    let irqs_before = sys.vmm_mut(vm).unwrap().pci().irqs_raised();
+    sys.xpmem_remove(exporter, segid).unwrap();
+    // The revocation notice reaches the guest as a virtual-PCI interrupt
+    // and the guest-side reaper unmaps the attachment.
+    assert!(sys.vmm_mut(vm).unwrap().pci().irqs_raised() > irqs_before);
+    let mut b = [0u8; 1];
+    assert!(matches!(
+        sys.read(guest, va, &mut b),
+        Err(XememError::SourceGone)
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: scheduled crashes, outages and lossy links
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_exporter_kill_mid_attach_fails_cleanly() {
+    // Kill the exporter at a virtual instant that lands inside the attach
+    // protocol (between the request hop and the reply).
+    const T: u64 = 1_000_000;
+    let plan = FaultPlan::new().kill_process(SimTime::from_nanos(T), 1, 1);
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten", 1, 128 * MIB)
+        .with_fault_plan(plan, 42)
+        .build()
+        .unwrap();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    assert_eq!(kitten.0, 1, "plan targets the kitten slot");
+    let baseline = sys.free_frames_of(kitten).unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    assert_eq!(exporter.pid.0, 1, "plan targets the first kitten pid");
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+
+    // Step onto the instant just before the scheduled kill, then attach:
+    // the fault fires between protocol steps and the attach fails
+    // cleanly — no partial mapping is installed.
+    sys.clock().advance_to(SimTime::from_nanos(T - 1));
+    assert!(matches!(
+        sys.xpmem_attach(attacher, apid, 0, MIB),
+        Err(XememError::UnknownSegid(_) | XememError::EnclaveDead(_))
+    ));
+    assert!(sys.events().with_prefix("crash:process").next().is_some());
+    assert_eq!(sys.outstanding_loans(), 0);
+    assert_eq!(sys.free_frames_of(kitten).unwrap(), baseline);
+
+    // The enclave survived its process; a fresh export cycle works.
+    let exporter2 = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let buf2 = sys.alloc_buffer(exporter2, MIB).unwrap();
+    sys.write(exporter2, buf2, b"redo").unwrap();
+    let segid2 = sys.xpmem_make(exporter2, buf2, MIB, None).unwrap();
+    let apid2 = sys.xpmem_get(attacher, segid2).unwrap();
+    let va = sys.xpmem_attach(attacher, apid2, 0, MIB).unwrap();
+    let mut got = [0u8; 4];
+    sys.read(attacher, va, &mut got).unwrap();
+    assert_eq!(&got, b"redo");
+}
+
+#[test]
+fn injected_enclave_crash_mid_attach_reports_dead_enclave() {
+    const T: u64 = 1_000_000;
+    let plan = FaultPlan::new().crash_enclave(SimTime::from_nanos(T), 1);
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten", 1, 128 * MIB)
+        .with_fault_plan(plan, 42)
+        .build()
+        .unwrap();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    assert_eq!(kitten.0, 1);
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+
+    sys.clock().advance_to(SimTime::from_nanos(T - 1));
+    assert!(matches!(
+        sys.xpmem_attach(attacher, apid, 0, MIB),
+        Err(XememError::EnclaveDead(_) | XememError::UnknownSegid(_))
+    ));
+    assert!(sys
+        .events()
+        .with_prefix("crash:enclave:kitten")
+        .next()
+        .is_some());
+    assert!(!sys.enclave_alive(kitten));
+    assert!(matches!(
+        sys.spawn_process(kitten, MIB),
+        Err(XememError::EnclaveDead(_))
+    ));
+    // The management enclave and name server keep working.
+    let p = sys.spawn_process(linux, 8 * MIB).unwrap();
+    let b2 = sys.alloc_buffer(p, MIB).unwrap();
+    assert!(sys.xpmem_make(p, b2, MIB, Some("post-crash")).is_ok());
+}
+
+#[test]
+fn name_server_outage_stale_cache_and_backoff_recovery() {
+    const START: u64 = 1_000_000_000;
+    const DUR: u64 = 100_000; // 100 µs — inside the default retry budget
+    let plan = FaultPlan::new()
+        .name_server_outage(SimTime::from_nanos(START), SimDuration::from_nanos(DUR));
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten", 1, 128 * MIB)
+        .with_fault_plan(plan, 9)
+        .build()
+        .unwrap();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let consumer = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    sys.write(exporter, buf, b"field0").unwrap();
+    sys.xpmem_make(exporter, buf, MIB, Some("field")).unwrap();
+    // Warm the consumer's stale caches with successful lookups.
+    let segid = sys.xpmem_search(consumer, "field").unwrap();
+    let warm = sys.xpmem_get(consumer, segid).unwrap();
+    sys.xpmem_release(consumer, warm).unwrap();
+    let cbuf = sys.alloc_buffer(consumer, MIB).unwrap();
+
+    // Jump into the outage window.
+    sys.clock().advance_to(SimTime::from_nanos(START + 1_000));
+
+    // Lookups degrade gracefully to the per-enclave stale cache...
+    assert_eq!(sys.xpmem_search(consumer, "field").unwrap(), segid);
+    assert!(sys.events().with_prefix("ns:stale:search").next().is_some());
+    let apid = sys.xpmem_get(consumer, segid).unwrap();
+    assert!(sys.events().with_prefix("ns:stale:get").next().is_some());
+
+    // ...while mutations ride out the outage with exponential backoff.
+    let segid2 = sys.xpmem_make(consumer, cbuf, MIB, Some("late")).unwrap();
+    assert!(sys.events().with_prefix("ns:outage").next().is_some());
+    assert!(sys.events().with_prefix("ns:retry:").next().is_some());
+    assert!(
+        sys.clock().now() >= SimTime::from_nanos(START + DUR),
+        "backoff waited out the outage"
+    );
+
+    // After recovery everything behaves normally, including the grant
+    // issued from the stale cache.
+    let va = sys.xpmem_attach(consumer, apid, 0, MIB).unwrap();
+    let mut got = [0u8; 6];
+    sys.read(consumer, va, &mut got).unwrap();
+    assert_eq!(&got, b"field0");
+    assert_eq!(sys.xpmem_search(consumer, "late").unwrap(), segid2);
+}
+
+#[test]
+fn name_server_outage_exhausts_bounded_retry_budget() {
+    // A tiny retry budget against a long outage: the caller gets a clean
+    // NameServerUnavailable instead of hanging forever.
+    let plan =
+        FaultPlan::new().name_server_outage(SimTime::from_nanos(0), SimDuration::from_millis(10));
+    let cost = CostModel {
+        ns_retry_base_ns: 1_000,
+        ns_retry_max_attempts: 3,
+        ..CostModel::default()
+    };
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten", 1, 128 * MIB)
+        .with_cost(cost)
+        .with_fault_plan(plan, 1)
+        .build()
+        .unwrap();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let p = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(p, MIB).unwrap();
+    assert!(matches!(
+        sys.xpmem_make(p, buf, MIB, None),
+        Err(XememError::NameServerUnavailable)
+    ));
+    assert!(sys.events().with_prefix("ns:unavailable").next().is_some());
+    // An uncached lookup during the outage fails the same way.
+    assert!(matches!(
+        sys.xpmem_search(p, "nothing-cached"),
+        Err(XememError::NameServerUnavailable)
+    ));
+    // Once the outage passes, the same operation succeeds.
+    sys.clock().advance_to(SimTime::from_nanos(11_000_000));
+    assert!(sys.xpmem_make(p, buf, MIB, None).is_ok());
+}
+
+#[test]
+fn lossy_links_retransmit_and_duplicate_without_breaking_protocol() {
+    const WINDOW: u64 = 50_000_000;
+    let plan = FaultPlan::new()
+        .drop_messages(
+            SimTime::from_nanos(0),
+            SimDuration::from_nanos(WINDOW),
+            0.35,
+        )
+        .duplicate_messages(SimTime::from_nanos(0), SimDuration::from_nanos(WINDOW), 1.0);
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten", 1, 128 * MIB)
+        .with_fault_plan(plan, 1234)
+        .build()
+        .unwrap();
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    sys.write(exporter, buf, b"lossy").unwrap();
+    // Every cross-enclave command still completes: drops cost bounded
+    // retransmissions (virtual timeouts), duplicates are harmless.
+    let segid = sys.xpmem_make(exporter, buf, MIB, Some("noisy")).unwrap();
+    let found = sys.xpmem_search(attacher, "noisy").unwrap();
+    assert_eq!(found, segid);
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+    let mut got = [0u8; 5];
+    sys.read(attacher, va, &mut got).unwrap();
+    assert_eq!(&got, b"lossy");
+    assert!(sys.events().with_prefix("fault:dup").next().is_some());
+    assert!(sys.events().with_prefix("fault:drop:").next().is_some());
+}
+
 #[test]
 fn guest_ram_boundary_enforced_through_vm_data_path() {
     // A guest process cannot be given more memory than the VM has RAM:
@@ -161,7 +636,7 @@ fn guest_ram_boundary_enforced_through_vm_data_path() {
     let vm = sys.enclave_by_name("vm").unwrap();
     let p = sys.spawn_process(vm, 16 * MIB).unwrap();
     let buf = sys.alloc_buffer(p, 64 * MIB).unwrap(); // VMA reserve succeeds…
-    // …but faulting in more frames than guest RAM fails cleanly.
+                                                      // …but faulting in more frames than guest RAM fails cleanly.
     let res = sys.write(p, buf, &vec![1u8; 64 * MIB as usize]);
     assert!(matches!(res, Err(XememError::Kernel(KernelError::Mem(_)))));
 }

@@ -26,8 +26,7 @@ fn fig3_walkthrough() {
 
     // Step 1 (registration) already ran at build: both co-kernels
     // discovered the name server and allocated enclave IDs through it.
-    let reg_kinds: Vec<MessageKind> =
-        sys.trace().iter().map(|m| m.kind).collect();
+    let reg_kinds: Vec<MessageKind> = sys.trace().iter().map(|m| m.kind).collect();
     assert!(reg_kinds.contains(&MessageKind::NameServerQuery));
     assert!(reg_kinds.contains(&MessageKind::AllocEnclaveId));
     assert!(reg_kinds.contains(&MessageKind::EnclaveIdReply));
@@ -43,8 +42,11 @@ fn fig3_walkthrough() {
     let buf = sys.alloc_buffer(exporter, 4 * MIB).unwrap();
     sys.write(exporter, buf, b"fig3 payload").unwrap();
     let segid = sys.xpmem_make(exporter, buf, 4 * MIB, None).unwrap();
-    let make_hops: Vec<(usize, usize, MessageKind)> =
-        sys.trace().iter().map(|m| (m.from_slot, m.to_slot, m.kind)).collect();
+    let make_hops: Vec<(usize, usize, MessageKind)> = sys
+        .trace()
+        .iter()
+        .map(|m| (m.from_slot, m.to_slot, m.kind))
+        .collect();
     assert_eq!(
         make_hops,
         vec![
@@ -59,9 +61,14 @@ fn fig3_walkthrough() {
     // → enclave1; the owner walks its page tables; the PFN list routes
     // back for local mapping.
     let apid = sys.xpmem_get(attacher, segid).unwrap();
-    let outcome = sys.xpmem_attach_outcome(attacher, apid, 0, 4 * MIB).unwrap();
-    let attach_hops: Vec<(usize, usize, MessageKind)> =
-        sys.trace().iter().map(|m| (m.from_slot, m.to_slot, m.kind)).collect();
+    let outcome = sys
+        .xpmem_attach_outcome(attacher, apid, 0, 4 * MIB)
+        .unwrap();
+    let attach_hops: Vec<(usize, usize, MessageKind)> = sys
+        .trace()
+        .iter()
+        .map(|m| (m.from_slot, m.to_slot, m.kind))
+        .collect();
     let pages = 4 * MIB / 4096;
     assert_eq!(
         attach_hops,
@@ -85,9 +92,11 @@ fn fig3_walkthrough() {
     let mut got = vec![0u8; 12];
     sys.read(attacher, outcome.va, &mut got).unwrap();
     assert_eq!(&got, b"fig3 payload");
-    sys.write(attacher, VirtAddr(outcome.va.0 + 100), b"reply").unwrap();
+    sys.write(attacher, VirtAddr(outcome.va.0 + 100), b"reply")
+        .unwrap();
     let mut back = vec![0u8; 5];
-    sys.read(exporter, VirtAddr(buf.0 + 100), &mut back).unwrap();
+    sys.read(exporter, VirtAddr(buf.0 + 100), &mut back)
+        .unwrap();
     assert_eq!(&back, b"reply");
 }
 

@@ -1,0 +1,194 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface the
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`] and `Bencher::iter`. No statistical
+//! analysis or HTML reports — each benchmark runs a calibrated number of
+//! iterations and prints mean time per iteration (plus throughput when
+//! declared) to stdout.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimizer — re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared work per iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` parameterized by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the measured closure; `iter` times the hot loop.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record mean time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: run until ~50ms or the iteration cap, whichever first.
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 10_000 {
+            std_black_box(routine());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters.max(1);
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_one(&id.into(), None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let name = format!("{}/{}", self.group, id.into());
+        run_one(&name, self.throughput, f);
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let name = format!("{}/{}", self.group, id.name);
+        run_one(&name, self.throughput, |b| f(b, input));
+    }
+
+    /// Finish the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 1,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_s = bytes as f64 / per_iter * 1e9 / (1u64 << 30) as f64;
+            println!(
+                "{name}: {per_iter:.0} ns/iter ({gib_s:.2} GiB/s, {} iters)",
+                bencher.iters
+            );
+        }
+        Some(Throughput::Elements(n)) => {
+            let melem_s = n as f64 / per_iter * 1e9 / 1e6;
+            println!(
+                "{name}: {per_iter:.0} ns/iter ({melem_s:.2} Melem/s, {} iters)",
+                bencher.iters
+            );
+        }
+        None => println!("{name}: {per_iter:.0} ns/iter ({} iters)", bencher.iters),
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups (for `harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(8));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with crossbeam's closure signature
+//! (`s.spawn(|scope| ...)`), implemented over `std::thread::scope` (which
+//! has been stable since Rust 1.63 and makes the rest of crossbeam's
+//! scoped-thread machinery unnecessary here).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Handle for spawning further scoped threads, passed to every spawn
+    /// closure (crossbeam signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives this scope so it
+        /// can spawn siblings, mirroring crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result or panic.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    /// Create a scope; all threads spawned within are joined before it
+    /// returns. Child panics propagate when the scope unwinds, so `Ok` is
+    /// the only value actually produced — the `Result` exists for
+    /// crossbeam signature compatibility (`scope(...).unwrap()`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let counter = AtomicU64::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        for _ in 0..100 {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 400);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let hit = AtomicU64::new(0);
+            super::scope(|s| {
+                let hit = &hit;
+                s.spawn(move |s2| {
+                    s2.spawn(move |_| {
+                        hit.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(hit.load(Ordering::Relaxed), 1);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of serde it uses: a [`Serialize`] trait that lowers values to
+//! a JSON-like [`Value`] tree (consumed by the vendored `serde_json`), a
+//! [`Deserialize`] marker trait carrying the `'de` lifetime so
+//! `for<'de> Deserialize<'de>` bounds hold, and `#[derive(Serialize,
+//! Deserialize)]` macros re-exported from the companion `serde_derive`
+//! proc-macro crate (covering non-generic named structs, tuple structs and
+//! unit-variant enums — the shapes this workspace derives on).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A serialized value: the JSON-like tree [`Serialize`] lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / absent.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-ordered map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Produce the serialized representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait for deserializable types.
+///
+/// The workspace never deserializes at runtime (only `to_string_pretty`
+/// is used), but generic code constrains on `for<'de> Deserialize<'de>`,
+/// so the trait and its lifetime parameter must exist and be derivable.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl<'de> Deserialize<'de> for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Value::Seq(vec![$($name.to_value()),+])
+            }
+        }
+    )+};
+}
+impl_serialize_tuple!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_values() {
+        assert_eq!(5u32.to_value(), Value::U64(5));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u64, 2].to_value(),
+            Value::Seq(vec![Value::U64(1), Value::U64(2)])
+        );
+    }
+
+    #[test]
+    fn tuples_lower_to_sequences() {
+        assert_eq!(
+            (1u64, "x").to_value(),
+            Value::Seq(vec![Value::U64(1), Value::Str("x".into())])
+        );
+    }
+}

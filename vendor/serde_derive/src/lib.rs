@@ -1,0 +1,245 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with the
+//! raw `proc_macro` API only — the environment has no registry access, so
+//! `syn`/`quote` are unavailable. Supported item shapes (the ones this
+//! workspace actually derives on):
+//!
+//! - non-generic structs with named fields
+//! - non-generic tuple structs (any arity; newtypes serialize transparently)
+//! - non-generic enums with unit variants only
+//!
+//! `#[serde(...)]` attributes are not supported and generics are rejected
+//! with a compile error rather than silently miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item a derive was applied to.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct { name, .. }
+            | Item::TupleStruct { name, .. }
+            | Item::UnitEnum { name, .. } => name,
+        }
+    }
+}
+
+/// Skip attributes (`#[...]`, including expanded doc comments) and
+/// visibility (`pub`, `pub(...)`) at the cursor position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group is an attribute.
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advance past a type expression to the next top-level comma (or the
+/// end), tracking `<...>` nesting so commas inside generics don't split.
+fn skip_type_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(field)) = body.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        i += 1;
+        // Expect `:` then the type, then a comma or the end.
+        assert!(
+            matches!(body.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive shim: expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        i = skip_type_to_comma(body, i + 1);
+        i += 1; // past the comma
+    }
+    fields
+}
+
+fn parse_tuple_arity(body: &[TokenTree]) -> usize {
+    let mut arity = 0;
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        arity += 1;
+        i = skip_type_to_comma(body, i);
+        i += 1;
+    }
+    arity
+}
+
+fn parse_unit_variants(name: &str, body: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(var)) = body.get(i) else {
+            break;
+        };
+        variants.push(var.to_string());
+        i += 1;
+        match body.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            _ => panic!(
+                "serde_derive shim: enum `{name}` has a non-unit variant `{}`; \
+                 only unit variants are supported",
+                variants.last().unwrap()
+            ),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(&body),
+                }
+            }
+            _ => panic!("serde_derive shim: unit struct `{name}` has nothing to serialize"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = parse_unit_variants(&name, &body);
+                Item::UnitEnum { name, variants }
+            }
+            other => panic!("serde_derive shim: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derive `serde::Serialize` (workspace shim semantics: lower to `Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Item::TupleStruct { arity: 1, .. } => {
+            // Newtype: serialize transparently, like upstream serde.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Item::TupleStruct { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        item.name(),
+        body
+    );
+    out.parse()
+        .expect("serde_derive shim: generated impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (workspace shim semantics: marker impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let out = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        item.name()
+    );
+    out.parse()
+        .expect("serde_derive shim: generated impl failed to parse")
+}

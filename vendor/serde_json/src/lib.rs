@@ -1,0 +1,148 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde::Value` tree to JSON text. Only the
+//! serializing half the workspace uses is provided: [`to_string`] and
+//! [`to_string_pretty`]. Non-finite floats render as `null`, matching the
+//! lossy behaviour the benchmark binaries can tolerate.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the shim's rendering is infallible, but the
+/// signature matches upstream so call sites can `?`/`unwrap` uniformly).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) if !x.is_finite() => out.push_str("null"),
+        Value::F64(x) => {
+            let s = x.to_string();
+            out.push_str(&s);
+            // Keep floats recognizable as floats in the output.
+            if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        assert_eq!(to_string(&vec![1u64, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true)])),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&Raw(v)).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+}
