@@ -1,0 +1,216 @@
+//! Wall-clock regression harness: times attach, attach+read, teardown,
+//! and the fig6 sweep on the *host* clock and maintains
+//! `BENCH_wallclock.json` at the repo root.
+//!
+//! Modes:
+//!
+//! * default — measure full (1 GiB) and smoke (64 MiB) profiles, write
+//!   them as the `current` section, preserving any committed `baseline`
+//!   section (if none exists, this run becomes the baseline too);
+//! * `--baseline` — record this run as both `baseline` and `current`
+//!   (run once, before a perf change, to pin the reference point);
+//! * `--check` — CI gate: re-measure the smoke-size attach and fail if
+//!   it regresses more than 2× (plus a generous absolute floor) against
+//!   the committed smoke numbers; writes nothing;
+//! * `--iters N` — override attach iterations.
+
+use serde::Serialize;
+use xemem_bench::wallclock::{
+    measure_attach, measure_profile, Json, Profile, CHECK_FACTOR, CHECK_FLOOR_NS, FULL_BYTES,
+    SMOKE_BYTES,
+};
+
+const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wallclock.json");
+
+#[derive(Debug, Clone, Serialize)]
+struct Section {
+    label: String,
+    full: Profile,
+    smoke: Profile,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    schema: u32,
+    note: String,
+    /// Pre-change reference numbers; preserved verbatim on update runs.
+    baseline: Section,
+    /// Numbers for the tree as built.
+    current: Section,
+    /// `baseline.full.attach.mean_ns / current.full.attach.mean_ns`.
+    attach_full_speedup_vs_baseline: f64,
+}
+
+fn stats_from_json(v: &Json, what: &str) -> xemem_bench::wallclock::BenchStats {
+    let f = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{what}.{k} missing in committed JSON"))
+    };
+    xemem_bench::wallclock::BenchStats {
+        iters: f("iters") as u32,
+        mean_ns: f("mean_ns"),
+        min_ns: f("min_ns"),
+    }
+}
+
+fn profile_from_json(v: &Json, what: &str) -> Profile {
+    let get = |k: &str| {
+        v.get(k)
+            .unwrap_or_else(|| panic!("{what}.{k} missing in committed JSON"))
+    };
+    Profile {
+        bytes: get("bytes").as_f64().expect("bytes") as u64,
+        attach: stats_from_json(get("attach"), what),
+        attach_read: stats_from_json(get("attach_read"), what),
+        teardown: stats_from_json(get("teardown"), what),
+        fig6_sweep_ns: get("fig6_sweep_ns").as_f64().expect("fig6_sweep_ns") as u64,
+    }
+}
+
+fn section_from_json(v: &Json, what: &str) -> Section {
+    Section {
+        label: match v.get("label") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => what.to_string(),
+        },
+        full: profile_from_json(v.get("full").expect("full profile"), what),
+        smoke: profile_from_json(v.get("smoke").expect("smoke profile"), what),
+    }
+}
+
+fn print_profile(name: &str, p: &Profile) {
+    println!(
+        "  {name}: {} MiB — attach {:.3} ms (min {:.3}), attach+read {:.3} ms, \
+         teardown {:.3} ms, fig6 sweep {:.1} ms",
+        p.bytes >> 20,
+        p.attach.mean_ns / 1e6,
+        p.attach.min_ns / 1e6,
+        p.attach_read.mean_ns / 1e6,
+        p.teardown.mean_ns / 1e6,
+        p.fig6_sweep_ns as f64 / 1e6,
+    );
+}
+
+fn run_check(out_path: &str, iters: u32) {
+    let text = std::fs::read_to_string(out_path).unwrap_or_else(|e| {
+        eprintln!("wallclock --check: cannot read {out_path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("wallclock --check: cannot parse {out_path}: {e}");
+        std::process::exit(1);
+    });
+    let committed = doc
+        .path(&["current", "smoke", "attach", "mean_ns"])
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| {
+            eprintln!("wallclock --check: current.smoke.attach.mean_ns missing in {out_path}");
+            std::process::exit(1);
+        });
+    let (attach, _) = measure_attach(SMOKE_BYTES, iters).expect("smoke attach measurement");
+    let limit = (committed * CHECK_FACTOR).max(CHECK_FLOOR_NS);
+    println!(
+        "wallclock --check: smoke attach min {:.3} ms (committed mean {:.3} ms, limit {:.3} ms)",
+        attach.min_ns / 1e6,
+        committed / 1e6,
+        limit / 1e6
+    );
+    if attach.min_ns > limit {
+        eprintln!("wallclock --check: FAIL — attach wall time regressed more than {CHECK_FACTOR}x");
+        std::process::exit(1);
+    }
+    println!("wallclock --check: OK");
+}
+
+fn main() {
+    let mut baseline_mode = false;
+    let mut check_mode = false;
+    let mut iters: Option<u32> = None;
+    let mut out_path = DEFAULT_OUT.to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_mode = true,
+            "--check" => check_mode = true,
+            "--smoke" => {} // accepted for symmetry with other bins; --check is already smoke-size
+            "--iters" => {
+                iters = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--iters requires an integer"),
+                );
+            }
+            "--out" => out_path = it.next().expect("--out requires a path"),
+            other => panic!("unknown argument: {other} (expected --baseline, --check, --smoke, --iters N, --out PATH)"),
+        }
+    }
+
+    if check_mode {
+        run_check(&out_path, iters.unwrap_or(10));
+        return;
+    }
+
+    println!(
+        "wallclock: measuring full profile ({} MiB)...",
+        FULL_BYTES >> 20
+    );
+    let full = measure_profile(FULL_BYTES, iters.unwrap_or(5), 3).expect("full profile");
+    println!(
+        "wallclock: measuring smoke profile ({} MiB)...",
+        SMOKE_BYTES >> 20
+    );
+    let smoke = measure_profile(SMOKE_BYTES, iters.unwrap_or(20), 5).expect("smoke profile");
+    let run = Section {
+        label: if baseline_mode {
+            "per-page mapping paths (pre extent fast path)".to_string()
+        } else {
+            "extent fast path".to_string()
+        },
+        full,
+        smoke,
+    };
+
+    let baseline = if baseline_mode {
+        run.clone()
+    } else {
+        match std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|t| Json::parse(&t).ok())
+        {
+            Some(doc) if doc.get("baseline").is_some() => {
+                section_from_json(doc.get("baseline").unwrap(), "baseline")
+            }
+            _ => {
+                eprintln!("wallclock: no committed baseline found; recording this run as baseline");
+                run.clone()
+            }
+        }
+    };
+
+    let report = Report {
+        schema: 1,
+        note: "Host wall-clock times for the XEMEM simulator's structural work. \
+               Virtual-time figures are unaffected by construction; see DESIGN.md \
+               'Wall-clock vs virtual time'."
+            .to_string(),
+        attach_full_speedup_vs_baseline: baseline.full.attach.mean_ns / run.full.attach.mean_ns,
+        baseline,
+        current: run,
+    };
+
+    println!("baseline ({}):", report.baseline.label);
+    print_profile("full", &report.baseline.full);
+    print_profile("smoke", &report.baseline.smoke);
+    println!("current ({}):", report.current.label);
+    print_profile("full", &report.current.full);
+    print_profile("smoke", &report.current.smoke);
+    println!(
+        "1 GiB attach speedup vs baseline: {:.1}x",
+        report.attach_full_speedup_vs_baseline
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_wallclock.json");
+    println!("wrote {out_path}");
+}

@@ -23,6 +23,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod table2;
+pub mod wallclock;
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,436 @@
+//! Wall-clock regression harness (host time, not virtual time).
+//!
+//! Every figure in this repo reports *virtual* nanoseconds from the
+//! calibrated [`xemem_sim::CostModel`]; the host clock never appears in
+//! a result table. But the simulator also does real structural work —
+//! page-table installs, allocator bitmap updates, PFN-list handling —
+//! and that work is what the extent fast path accelerates. This module
+//! measures that host-side cost directly: attach, attach+read, and
+//! crash-consistent teardown on one exported region, plus a fig6-style
+//! contention sweep, all timed with [`std::time::Instant`].
+//!
+//! The companion binary (`cargo run --release -p xemem-bench --bin
+//! wallclock`) writes `BENCH_wallclock.json` at the repo root with a
+//! `baseline` section (recorded once, before the extent fast path) and
+//! a `current` section (refreshed on demand), so the wall-clock
+//! trajectory is tracked across PRs. CI runs the binary in `--check
+//! --smoke` mode, which re-measures the reduced-size attach and fails
+//! if it regresses more than [`CHECK_FACTOR`]× against the committed
+//! numbers (with [`CHECK_FLOOR_NS`] of absolute headroom so slow CI
+//! runners don't trip the gate spuriously).
+
+use serde::Serialize;
+use std::time::Instant;
+use xemem::{SystemBuilder, XememError};
+use xemem_sim::CostModel;
+
+/// Multiplier over the committed attach time above which `--check`
+/// fails. Generous on purpose: it is meant to catch an accidental
+/// return to per-page host work (a >50× slowdown at smoke size), not
+/// scheduler jitter.
+pub const CHECK_FACTOR: f64 = 2.0;
+
+/// Absolute headroom for `--check`: measured attach times at or below
+/// this never fail the gate, whatever the committed number says. Kept
+/// far below the per-page baseline at smoke size (~milliseconds) so a
+/// real regression still trips.
+pub const CHECK_FLOOR_NS: f64 = 2_000_000.0;
+
+/// Region size used for the full-size profile (the paper's largest
+/// Fig. 5/6 point).
+pub const FULL_BYTES: u64 = 1 << 30;
+
+/// Region size used for the smoke profile (CI and `--smoke`).
+pub const SMOKE_BYTES: u64 = 64 << 20;
+
+/// Wall-clock samples for one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchStats {
+    /// Timed iterations.
+    pub iters: u32,
+    /// Mean wall nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest iteration (used by the regression gate — robust against
+    /// one-off scheduler noise).
+    pub min_ns: f64,
+}
+
+impl BenchStats {
+    fn from_samples(samples: &[u64]) -> BenchStats {
+        let iters = samples.len() as u32;
+        let total: u64 = samples.iter().sum();
+        let min = samples.iter().copied().min().unwrap_or(0);
+        BenchStats {
+            iters,
+            mean_ns: total as f64 / iters.max(1) as f64,
+            min_ns: min as f64,
+        }
+    }
+}
+
+/// One measured profile (full-size or smoke).
+#[derive(Debug, Clone, Serialize)]
+pub struct Profile {
+    /// Exported-region size in bytes for attach/attach+read/teardown.
+    pub bytes: u64,
+    /// Wall time of one `xpmem_attach` (eager PTE install) of `bytes`.
+    pub attach: BenchStats,
+    /// Attach plus reading the first MiB back out through the mapping.
+    pub attach_read: BenchStats,
+    /// Crash-consistent teardown: `crash_process` on the exporter with
+    /// a live remote attachment (revocation, reap, quarantine return).
+    pub teardown: BenchStats,
+    /// Wall time of a fig6-style contention sweep (counts 1 and 2) at a
+    /// quarter of `bytes`.
+    pub fig6_sweep_ns: u64,
+}
+
+/// Measure attach and attach+read wall time for one region size.
+pub fn measure_attach(size: u64, iters: u32) -> Result<(BenchStats, BenchStats), XememError> {
+    let mut sys = SystemBuilder::new()
+        .with_cost(CostModel::default())
+        .linux_management("linux", 4, 256 << 20)
+        .kitten_cokernel("kitten", 1, size + (64 << 20))
+        .build()?;
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
+    let attacher = sys.spawn_process(linux, 16 << 20)?;
+    let buf = sys.alloc_buffer(exporter, size)?;
+    sys.prepare_buffer(exporter, buf, size)?;
+    let segid = sys.xpmem_make(exporter, buf, size, None)?;
+    let apid = sys.xpmem_get(attacher, segid)?;
+
+    // Warm up once so lazily materialized state (channels, name-server
+    // caches) does not pollute the first sample.
+    let va = sys.xpmem_attach(attacher, apid, 0, size)?;
+    sys.xpmem_detach(attacher, va)?;
+
+    let mut attach_samples = Vec::with_capacity(iters as usize);
+    let mut read_samples = Vec::with_capacity(iters as usize);
+    // Bound the host bytes actually copied: the virtual-time read cost
+    // is charged per byte anyway; wall-wise the mapping walk dominates.
+    let read_len = size.min(1 << 20) as usize;
+    let mut out = vec![0u8; read_len];
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let va = sys.xpmem_attach(attacher, apid, 0, size)?;
+        let attach_ns = t0.elapsed().as_nanos() as u64;
+        let t1 = Instant::now();
+        sys.read(attacher, va, &mut out)?;
+        let read_ns = t1.elapsed().as_nanos() as u64;
+        attach_samples.push(attach_ns);
+        read_samples.push(attach_ns + read_ns);
+        sys.xpmem_detach(attacher, va)?;
+    }
+    Ok((
+        BenchStats::from_samples(&attach_samples),
+        BenchStats::from_samples(&read_samples),
+    ))
+}
+
+/// Measure crash-consistent teardown wall time: each iteration builds a
+/// fresh two-enclave system with a live cross-enclave attachment
+/// (untimed), then times `crash_process` on the exporter — revocation,
+/// remote reap, and quarantined-frame return all happen inside.
+pub fn measure_teardown(size: u64, iters: u32) -> Result<BenchStats, XememError> {
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let mut sys = SystemBuilder::new()
+            .with_cost(CostModel::default())
+            .linux_management("linux", 4, 256 << 20)
+            .kitten_cokernel("kitten", 1, size + (64 << 20))
+            .build()?;
+        let kitten = sys.enclave_by_name("kitten").unwrap();
+        let linux = sys.enclave_by_name("linux").unwrap();
+        let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
+        let attacher = sys.spawn_process(linux, 16 << 20)?;
+        let buf = sys.alloc_buffer(exporter, size)?;
+        sys.prepare_buffer(exporter, buf, size)?;
+        let segid = sys.xpmem_make(exporter, buf, size, None)?;
+        let apid = sys.xpmem_get(attacher, segid)?;
+        let _va = sys.xpmem_attach(attacher, apid, 0, size)?;
+
+        let t0 = Instant::now();
+        sys.crash_process(exporter)?;
+        samples.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(sys.outstanding_loans(), 0, "teardown left loans");
+    }
+    Ok(BenchStats::from_samples(&samples))
+}
+
+/// Measure one full profile at the given attach size.
+pub fn measure_profile(bytes: u64, iters: u32, teardown_iters: u32) -> Result<Profile, XememError> {
+    let (attach, attach_read) = measure_attach(bytes, iters)?;
+    let teardown = measure_teardown(bytes, teardown_iters)?;
+    let sweep_size = (bytes / 4).max(4 << 20);
+    let t0 = Instant::now();
+    crate::fig6::run(&[1, 2], &[sweep_size], true)?;
+    let fig6_sweep_ns = t0.elapsed().as_nanos() as u64;
+    Ok(Profile {
+        bytes,
+        attach,
+        attach_read,
+        teardown,
+        fig6_sweep_ns,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON reader
+// ----------------------------------------------------------------------
+//
+// The vendored serde_json shim only serializes; reading the committed
+// BENCH_wallclock.json back (to preserve the baseline section and to
+// drive the `--check` gate) needs a parser. This is a deliberately tiny
+// recursive-descent reader for the subset of JSON this harness emits.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64 — the harness only stores counts and
+    /// nanosecond measurements, both exactly representable).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Follow a path of object keys.
+    pub fn path(&self, keys: &[&str]) -> Option<&Json> {
+        let mut cur = self;
+        for k in keys {
+            cur = cur.get(k)?;
+        }
+        Some(cur)
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at offset {pos}", ch as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_num(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        *pos += 4;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                }
+            }
+            _ => {
+                // Copy one UTF-8 scalar verbatim.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut entries = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(entries));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        entries.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_subset() {
+        let doc = r#"{"a": 1, "b": [1.5, true, null], "c": {"d": "x\ny"}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.path(&["a"]).unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.path(&["c", "d"]), Some(&Json::Str("x\ny".into())));
+        match v.get("b") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[0], Json::Num(1.5));
+                assert_eq!(items[1], Json::Bool(true));
+                assert_eq!(items[2], Json::Null);
+            }
+            other => panic!("bad array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn parses_own_emitted_report() {
+        let stats = BenchStats {
+            iters: 3,
+            mean_ns: 1.5e6,
+            min_ns: 1.0e6,
+        };
+        let text = serde_json::to_string_pretty(&stats).unwrap();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("iters").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("min_ns").unwrap().as_f64(), Some(1.0e6));
+    }
+
+    #[test]
+    fn smoke_measurements_run() {
+        let (attach, attach_read) = measure_attach(4 << 20, 2).unwrap();
+        assert_eq!(attach.iters, 2);
+        assert!(attach.min_ns > 0.0);
+        assert!(attach_read.mean_ns >= attach.mean_ns);
+        let teardown = measure_teardown(4 << 20, 1).unwrap();
+        assert!(teardown.min_ns > 0.0);
+    }
+}

@@ -80,6 +80,20 @@ pub trait GuestMemoryMap {
     /// Translate one guest frame to its host frame.
     fn lookup(&self, gfn: u64) -> Result<(u64, OpReport), MapError>;
 
+    /// Translate a run of consecutive guest frames resolved by a single
+    /// entry: returns the host frame for `gfn` plus how many consecutive
+    /// guest frames (capped at `max_len`, at least 1) the containing
+    /// entry covers from `gfn` onward, with the report of the one shared
+    /// search path. Every frame of an entry resolves through the same
+    /// path, so charging `covered` × the reported work is identical to
+    /// `covered` individual [`GuestMemoryMap::lookup`] calls — this is
+    /// what lets callers walk the map in O(entries) instead of O(frames).
+    fn lookup_run(&self, gfn: u64, max_len: u64) -> Result<((u64, u64), OpReport), MapError> {
+        let _ = max_len;
+        let (hpfn, report) = self.lookup(gfn)?;
+        Ok(((hpfn, 1), report))
+    }
+
     /// Remove the entry whose range contains `gfn`. Returns the removed
     /// (gfn_start, len, hpfn_start).
     fn remove(&mut self, gfn: u64) -> Result<((u64, u64, u64), OpReport), MapError>;

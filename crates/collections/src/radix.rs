@@ -176,6 +176,25 @@ impl GuestMemoryMap for RadixMemoryMap {
         }
     }
 
+    fn lookup_run(&self, gfn: u64, max_len: u64) -> Result<((u64, u64), OpReport), MapError> {
+        let (entry, visits) = self.walk(gfn);
+        let entry = entry.ok_or(MapError::NotFound { gfn })?;
+        // Every present frame costs exactly LEVELS visits, so the one
+        // reported walk is per-frame identical across the covered run.
+        let (len, _) = *self
+            .regions
+            .get(&entry.region_start)
+            .expect("leaf entry without region record");
+        let covered = (entry.region_start + len - gfn).min(max_len.max(1));
+        Ok((
+            (entry.hpfn, covered),
+            OpReport {
+                visits,
+                rotations: 0,
+            },
+        ))
+    }
+
     fn remove(&mut self, gfn: u64) -> Result<((u64, u64, u64), OpReport), MapError> {
         let (entry, mut visits) = self.walk(gfn);
         let entry = entry.ok_or(MapError::NotFound { gfn })?;
@@ -283,6 +302,23 @@ mod tests {
     fn zero_length_rejected() {
         let mut map = RadixMemoryMap::new();
         assert_eq!(map.insert(5, 0, 0), Err(MapError::EmptyRange));
+    }
+
+    #[test]
+    fn lookup_run_matches_per_frame_lookups() {
+        let mut map = RadixMemoryMap::new();
+        // A region crossing a 512-frame leaf-table boundary.
+        map.insert(500, 40, 0x900).unwrap();
+        let ((hpfn, covered), run_report) = map.lookup_run(510, 1_000).unwrap();
+        assert_eq!(covered, 30, "covers to the region end");
+        for off in 0..covered {
+            let (h, r) = map.lookup(510 + off).unwrap();
+            assert_eq!(h, hpfn + off);
+            assert_eq!(r.visits, run_report.visits, "constant per-frame visits");
+        }
+        let ((_, capped), _) = map.lookup_run(500, 4).unwrap();
+        assert_eq!(capped, 4);
+        assert!(map.lookup_run(499, 4).is_err());
     }
 
     #[test]

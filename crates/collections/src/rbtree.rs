@@ -421,6 +421,26 @@ impl GuestMemoryMap for RbMemoryMap {
         ))
     }
 
+    fn lookup_run(&self, gfn: u64, max_len: u64) -> Result<((u64, u64), OpReport), MapError> {
+        let (idx, visits) = self.find_containing(gfn);
+        if idx == NIL {
+            return Err(MapError::NotFound { gfn });
+        }
+        // Any frame in `[key, key+len)` follows the exact same root-to-node
+        // comparisons (ancestor intervals are disjoint from this node's),
+        // so `visits` is per-frame identical across the covered run.
+        let node = self.n(idx);
+        let hpfn = node.hpfn + (gfn - node.key);
+        let covered = (node.key + node.len - gfn).min(max_len.max(1));
+        Ok((
+            (hpfn, covered),
+            OpReport {
+                visits,
+                rotations: 0,
+            },
+        ))
+    }
+
     fn remove(&mut self, gfn: u64) -> Result<((u64, u64, u64), OpReport), MapError> {
         let (z, visits) = self.find_containing(gfn);
         if z == NIL {
@@ -620,6 +640,30 @@ mod tests {
             map.total_rotations()
         );
         assert!(map.total_visits() > 1000);
+    }
+
+    #[test]
+    fn lookup_run_matches_per_frame_lookups() {
+        let mut map = RbMemoryMap::new();
+        for i in 0..256u64 {
+            map.insert(i * 100, 40, i * 1000).unwrap();
+        }
+        // Every frame of an entry must report the same visits as its
+        // per-frame lookup, and the run must cover exactly to the entry
+        // end (or max_len, whichever is smaller).
+        let ((hpfn, covered), run_report) = map.lookup_run(700 + 5, 1_000).unwrap();
+        assert_eq!(covered, 35, "covers to the entry end");
+        for off in 0..covered {
+            let (h, r) = map.lookup(705 + off).unwrap();
+            assert_eq!(h, hpfn + off);
+            assert_eq!(r.visits, run_report.visits, "shared search path");
+        }
+        // max_len caps the run; zero max_len still covers one frame.
+        let ((_, capped), _) = map.lookup_run(700, 8).unwrap();
+        assert_eq!(capped, 8);
+        let ((_, one), _) = map.lookup_run(700, 0).unwrap();
+        assert_eq!(one, 1);
+        assert!(map.lookup_run(41, 4).is_err(), "gap between entries");
     }
 
     #[test]

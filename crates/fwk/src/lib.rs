@@ -52,8 +52,8 @@ struct Vma {
 struct Proc {
     asp: AddressSpace,
     vmas: HashMap<u64, Vma>,
-    /// Anonymous frames owned (freed on exit).
-    owned: Vec<xemem_mem::Pfn>,
+    /// Anonymous frames owned (freed on exit), run-length encoded.
+    owned: PfnList,
 }
 
 /// The Linux-like full-weight kernel for one enclave.
@@ -119,58 +119,82 @@ impl Fwk {
 
     /// Fault in every non-resident page of `[va, va+len)` in `pid`.
     /// Returns the number of pages newly faulted and the virtual cost.
+    ///
+    /// Structurally O(extents): holes are discovered as runs and each run
+    /// segment (bounded by its covering VMA) is installed with one batched
+    /// call. The virtual charge stays per page faulted.
     fn populate(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<Costed<u64>, KernelError> {
-        let fault_ns = self.cost.fwk_fault_ns;
-        let alloc_ns = self.cost.frame_alloc_ns;
-        // Two-phase to satisfy the borrow checker: find the holes, then
-        // fill them.
-        let mut holes: Vec<VirtAddr> = Vec::new();
-        {
+        // Two-phase to satisfy the borrow checker: find the hole runs,
+        // then fill them.
+        let holes: Vec<(VirtAddr, u64)> = {
             let proc = self
                 .procs
                 .get(&pid)
                 .ok_or(KernelError::NoSuchProcess(pid))?;
             let first = va.page_base();
             let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
-            for i in 0..pages {
-                let page = first + i * PAGE_SIZE;
-                if proc.asp.page_table().translate(page).is_none() {
-                    holes.push(page);
+            proc.asp
+                .page_table()
+                .find_unmapped(first, pages)
+                .into_iter()
+                .map(|(off, n)| (first + off * PAGE_SIZE, n))
+                .collect()
+        };
+        let mut faulted = 0u64;
+        for (start, run_pages) in holes {
+            let mut page = start;
+            let mut remaining = run_pages;
+            while remaining > 0 {
+                // The VMA covering this stretch bounds one batch.
+                let (backing, vma_start, vma_end, prot) = {
+                    let proc = self.procs.get(&pid).unwrap();
+                    let vma = proc
+                        .vmas
+                        .values()
+                        .find(|v| page >= v.start && page < v.start + v.len)
+                        .ok_or(MemError::Fault(page))?;
+                    (
+                        vma.backing.clone(),
+                        vma.start,
+                        vma.start + vma.len,
+                        vma.prot,
+                    )
+                };
+                let batch = remaining.min((vma_end.0 - page.0) / PAGE_SIZE);
+                match backing {
+                    Backing::Anon => {
+                        // Allocate in VA order (preserving first-fit
+                        // frame selection), then install in one call.
+                        let mut frames = PfnList::new();
+                        for _ in 0..batch {
+                            let pfn = self.alloc.alloc()?;
+                            self.procs.get_mut(&pid).unwrap().owned.push_run(pfn, 1);
+                            frames.push_run(pfn, 1);
+                        }
+                        let proc = self.procs.get_mut(&pid).unwrap();
+                        proc.asp.page_table_mut().map_list(page, &frames, prot)?;
+                    }
+                    Backing::Remote(list) => {
+                        let idx = (page.0 - vma_start.0) / PAGE_SIZE;
+                        let avail = list.pages().saturating_sub(idx).min(batch);
+                        if avail > 0 {
+                            let seg = list.slice(idx, avail).expect("bounds checked");
+                            let proc = self.procs.get_mut(&pid).unwrap();
+                            proc.asp.page_table_mut().map_list(page, &seg, prot)?;
+                        }
+                        if avail < batch {
+                            // The remote list ends inside the VMA.
+                            return Err(MemError::Fault(page + avail * PAGE_SIZE).into());
+                        }
+                    }
                 }
+                faulted += batch;
+                page = page + batch * PAGE_SIZE;
+                remaining -= batch;
             }
         }
-        let mut faulted = 0u64;
-        for page in holes {
-            // Find the VMA backing this page.
-            let (backing, vma_start, prot) = {
-                let proc = self.procs.get(&pid).unwrap();
-                let vma = proc
-                    .vmas
-                    .values()
-                    .find(|v| page >= v.start && page < v.start + v.len)
-                    .ok_or(MemError::Fault(page))?;
-                (vma.backing.clone(), vma.start, vma.prot)
-            };
-            let pfn = match backing {
-                Backing::Anon => {
-                    let pfn = self.alloc.alloc()?;
-                    self.procs.get_mut(&pid).unwrap().owned.push(pfn);
-                    pfn
-                }
-                Backing::Remote(list) => {
-                    let idx = (page.0 - vma_start.0) / PAGE_SIZE;
-                    list.page(idx).ok_or(MemError::Fault(page))?
-                }
-            };
-            let proc = self.procs.get_mut(&pid).unwrap();
-            proc.asp
-                .page_table_mut()
-                .map(page, pfn, xemem_mem::PageSize::Size4K, prot)?;
-            faulted += 1;
-        }
         self.faults_served += faulted;
-        let cost = SimDuration::from_nanos(fault_ns + alloc_ns).times(faulted);
-        Ok(Costed::new(faulted, cost))
+        Ok(Costed::new(faulted, self.cost.fwk_fault_in(faulted)))
     }
 
     fn create_vma(
@@ -211,7 +235,7 @@ impl MappingKernel for Fwk {
             Proc {
                 asp: AddressSpace::new(),
                 vmas: HashMap::new(),
-                owned: Vec::new(),
+                owned: PfnList::new(),
             },
         );
         // Regions exist immediately; pages fault in on demand.
@@ -239,9 +263,7 @@ impl MappingKernel for Fwk {
             .procs
             .remove(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
-        for pfn in proc.owned {
-            self.alloc.free(pfn)?;
-        }
+        self.alloc.free_list(&proc.owned)?;
         Ok(Costed::new((), SimDuration::from_micros(40)))
     }
 
@@ -278,9 +300,7 @@ impl MappingKernel for Fwk {
             .get(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         let (list, stats) = proc.asp.page_table().walk_range(va, len)?;
-        let cost = populate.cost
-            + SimDuration::from_nanos(self.cost.fwk_pin_page_ns + self.cost.walk_pte_ns)
-                .times(stats.pages);
+        let cost = populate.cost + self.cost.pin_and_walk(stats.pages);
         Ok(Costed::new(list, cost))
     }
 
@@ -328,22 +348,30 @@ impl MappingKernel for Fwk {
                         {
                             proc.asp.page_table_mut().map(cur_va, frame, two_m, prot)?;
                             off += two_m.frames();
+                            written += 1;
                         } else {
-                            proc.asp.page_table_mut().map(
-                                cur_va,
-                                frame,
-                                xemem_mem::PageSize::Size4K,
-                                prot,
-                            )?;
-                            off += 1;
+                            // 4 KiB fill-in, batched up to the next
+                            // co-aligned 2 MiB boundary (or the run end
+                            // when VA and frame can never co-align).
+                            let va_page = cur_va.0 / PAGE_SIZE;
+                            let to_boundary =
+                                (two_m.frames() - va_page % two_m.frames()) % two_m.frames();
+                            let co_alignable = va_page % two_m.frames() == frame.0 % two_m.frames();
+                            let tail = if co_alignable && to_boundary > 0 {
+                                frames_left.min(to_boundary)
+                            } else {
+                                frames_left
+                            };
+                            written += proc
+                                .asp
+                                .page_table_mut()
+                                .map_extent(cur_va, frame, tail, prot)?;
+                            off += tail;
                         }
-                        written += 1;
                     }
                     page_idx += run.len;
                 }
-                let cost = SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)
-                    + SimDuration::from_nanos(self.cost.fwk_remap_page_ns).times(written);
-                Ok(Costed::new(va, cost))
+                Ok(Costed::new(va, self.cost.fwk_eager_attach(written)))
             }
             AttachSemantics::Eager => {
                 // vm_mmap + remap_pfn_range: every PTE installed now.
@@ -356,13 +384,8 @@ impl MappingKernel for Fwk {
                     prot,
                 )?;
                 let proc = self.proc_mut(pid)?;
-                let written = proc
-                    .asp
-                    .page_table_mut()
-                    .map_pages(va, pfns.iter_pages(), prot)?;
-                let cost = SimDuration::from_nanos(self.cost.fwk_vm_mmap_ns)
-                    + SimDuration::from_nanos(self.cost.fwk_remap_page_ns).times(written);
-                Ok(Costed::new(va, cost))
+                let written = proc.asp.page_table_mut().map_list(va, pfns, prot)?;
+                Ok(Costed::new(va, self.cost.fwk_eager_attach(written)))
             }
             AttachSemantics::Lazy => {
                 // Single-OS XEMEM attachment: reserve only; pages fault in
@@ -384,7 +407,6 @@ impl MappingKernel for Fwk {
     }
 
     fn detach(&mut self, pid: Pid, va: VirtAddr) -> Result<Costed<PfnList>, KernelError> {
-        let unmap_ns = self.cost.fwk_remap_page_ns / 2;
         let proc = self.proc_mut(pid)?;
         let region = proc
             .asp
@@ -397,24 +419,18 @@ impl MappingKernel for Fwk {
             .remove(&start.0)
             .ok_or(MemError::NoSuchRegion(start))?;
         // Unmap whatever is resident (everything for eager, the touched
-        // subset for lazy).
-        let mut cleared = 0u64;
-        for i in 0..len / PAGE_SIZE {
-            let page = start + i * PAGE_SIZE;
-            if proc.asp.page_table().translate(page).is_some() {
-                proc.asp.page_table_mut().unmap(page)?;
-                cleared += 1;
-            }
-        }
+        // subset for lazy), run-wise; a 2 MiB leaf clears — and is
+        // charged — once, exactly like the per-page loop it replaces.
+        let (_, cleared) = proc
+            .asp
+            .page_table_mut()
+            .unmap_resident(start, len / PAGE_SIZE);
         proc.asp.remove_region(start)?;
         let list = match vma.backing {
             Backing::Remote(list) => list,
             Backing::Anon => PfnList::new(),
         };
-        Ok(Costed::new(
-            list,
-            SimDuration::from_nanos(unmap_ns).times(cleared),
-        ))
+        Ok(Costed::new(list, self.cost.fwk_detach(cleared)))
     }
 
     fn retain_frames(
@@ -423,37 +439,22 @@ impl MappingKernel for Fwk {
         va: VirtAddr,
         len: u64,
     ) -> Result<Costed<PfnList>, KernelError> {
-        let walk_ns = self.cost.walk_pte_ns;
         let proc = self
             .procs
             .get_mut(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
         let first = va.page_base();
         let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
-        // Quarantine whatever is resident; unpopulated holes own no frame.
-        let mut resident = Vec::new();
-        for i in 0..pages {
-            let page = first + i * PAGE_SIZE;
-            if let Some((pa, _, _)) = proc.asp.page_table().translate(page) {
-                resident.push(pa.pfn());
-            }
-        }
-        let quarantined: std::collections::HashSet<u64> = resident.iter().map(|p| p.0).collect();
-        proc.owned.retain(|p| !quarantined.contains(&p.0));
-        Ok(Costed::new(
-            PfnList::from_pages(resident),
-            SimDuration::from_nanos(walk_ns).times(pages),
-        ))
+        // Quarantine whatever is resident (unpopulated holes own no
+        // frame), run-wise; the charge covers the full per-page scan.
+        let resident = proc.asp.page_table().walk_resident(first, pages);
+        proc.owned = proc.owned.subtract(&resident);
+        Ok(Costed::new(resident, self.cost.walk(pages)))
     }
 
     fn return_frames(&mut self, frames: &PfnList) -> Result<Costed<()>, KernelError> {
-        for pfn in frames.iter_pages() {
-            self.alloc.free(pfn)?;
-        }
-        Ok(Costed::new(
-            (),
-            SimDuration::from_nanos(self.cost.frame_alloc_ns).times(frames.pages()),
-        ))
+        self.alloc.free_list(frames)?;
+        Ok(Costed::new((), self.cost.frame_return(frames.pages())))
     }
 
     fn free_frame_count(&self) -> u64 {

@@ -195,7 +195,7 @@ impl Kitten {
             let dst = VirtAddr(window.0 + peer_va.0);
             me.asp
                 .page_table_mut()
-                .map_pages(dst, list.iter_pages(), PteFlags::rw_user())?;
+                .map_list(dst, &list, PteFlags::rw_user())?;
         }
         Ok(Costed::new(
             window,
@@ -256,9 +256,7 @@ impl MappingKernel for Kitten {
             .procs
             .remove(&pid)
             .ok_or(KernelError::NoSuchProcess(pid))?;
-        for pfn in proc.owned.iter_pages() {
-            self.alloc.free(pfn)?;
-        }
+        self.alloc.free_list(&proc.owned)?;
         Ok(Costed::new((), SimDuration::from_micros(5)))
     }
 
@@ -298,25 +296,20 @@ impl MappingKernel for Kitten {
         if semantics == AttachSemantics::Lazy {
             return Err(KernelError::Unsupported("Kitten has no demand paging"));
         }
-        let lwk_map = self.cost.lwk_map_page_ns;
         let proc = self.proc_mut(pid)?;
         let len = pfns.pages() * PAGE_SIZE;
         // Dynamic heap expansion (the XEMEM addition): carve a region out
         // of the attachment arena without disturbing static regions or
-        // SMARTMAP windows.
+        // SMARTMAP windows. The install itself is O(extents) on the host;
+        // the charge stays per PTE written.
         let va = proc
             .asp
             .reserve_free(len, RegionKind::XememAttach, "xemem")?;
-        let written = proc
-            .asp
-            .page_table_mut()
-            .map_pages(va, pfns.iter_pages(), prot)?;
-        let cost = SimDuration::from_nanos(lwk_map).times(written) + SimDuration::from_nanos(400); // region bookkeeping
-        Ok(Costed::new(va, cost))
+        let written = proc.asp.page_table_mut().map_list(va, pfns, prot)?;
+        Ok(Costed::new(va, self.cost.lwk_attach(written)))
     }
 
     fn detach(&mut self, pid: Pid, va: VirtAddr) -> Result<Costed<PfnList>, KernelError> {
-        let lwk_map = self.cost.lwk_map_page_ns;
         let proc = self.proc_mut(pid)?;
         let region = proc
             .asp
@@ -327,8 +320,7 @@ impl MappingKernel for Kitten {
         let freed = proc.asp.page_table_mut().unmap_pages(start, pages)?;
         proc.asp.remove_region(start)?;
         // PTE clears are cheaper than installs.
-        let cost = SimDuration::from_nanos(lwk_map / 2).times(pages);
-        Ok(Costed::new(PfnList::from_pages(freed), cost))
+        Ok(Costed::new(freed, self.cost.lwk_detach(pages)))
     }
 
     fn retain_frames(
@@ -337,40 +329,22 @@ impl MappingKernel for Kitten {
         va: VirtAddr,
         len: u64,
     ) -> Result<Costed<PfnList>, KernelError> {
-        let walk_ns = self.cost.walk_pte_ns;
         let proc = self.proc_mut(pid)?;
         let first = va.page_base();
         let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
-        // The image is statically mapped, so every page resolves.
-        let mut quarantined = Vec::new();
-        for i in 0..pages {
-            let page = first + i * PAGE_SIZE;
-            if let Some((pa, _, _)) = proc.asp.page_table().translate(page) {
-                quarantined.push(pa.pfn());
-            }
-        }
-        let set: std::collections::HashSet<u64> = quarantined.iter().map(|p| p.0).collect();
-        // Rebuild the (contiguous-run) ownership list without the
-        // quarantined frames so a later exit will not free them.
-        proc.owned = proc
-            .owned
-            .iter_pages()
-            .filter(|p| !set.contains(&p.0))
-            .collect();
-        Ok(Costed::new(
-            PfnList::from_pages(quarantined),
-            SimDuration::from_nanos(walk_ns).times(pages),
-        ))
+        // The image is statically mapped, so every page resolves; the
+        // walk and the ownership subtraction are both run-wise, while
+        // the charge covers the full per-page scan the real kernel does.
+        let quarantined = proc.asp.page_table().walk_resident(first, pages);
+        // Drop the quarantined frames from the ownership list so a later
+        // exit will not free them.
+        proc.owned = proc.owned.subtract(&quarantined);
+        Ok(Costed::new(quarantined, self.cost.walk(pages)))
     }
 
     fn return_frames(&mut self, frames: &PfnList) -> Result<Costed<()>, KernelError> {
-        for pfn in frames.iter_pages() {
-            self.alloc.free(pfn)?;
-        }
-        Ok(Costed::new(
-            (),
-            SimDuration::from_nanos(self.cost.frame_alloc_ns).times(frames.pages()),
-        ))
+        self.alloc.free_list(frames)?;
+        Ok(Costed::new((), self.cost.frame_return(frames.pages())))
     }
 
     fn free_frame_count(&self) -> u64 {

@@ -206,6 +206,105 @@ impl FrameAllocator {
         Ok(())
     }
 
+    /// Free `len` consecutive frames starting at `start`, operating on
+    /// whole bitmap words — the extent fast path for teardown/reaper
+    /// frees. Validate-then-commit: on `BadFree` (naming the first frame
+    /// that is out of range or not allocated) nothing has been freed.
+    pub fn free_run(&mut self, start: Pfn, len: u64) -> Result<(), MemError> {
+        self.check_run(start, len)?;
+        self.clear_run(start, len);
+        Ok(())
+    }
+
+    /// Free every frame of a run-length-encoded list. Validate-then-commit
+    /// across the *whole* list (including a check that no frame appears
+    /// twice): on error nothing has been freed.
+    pub fn free_list(&mut self, list: &crate::pfn_list::PfnList) -> Result<(), MemError> {
+        // Reject duplicate frames across runs up front — committed runs
+        // would otherwise corrupt the free count.
+        let mut spans: Vec<(u64, u64)> = list
+            .runs()
+            .iter()
+            .map(|r| (r.start.0, r.start.0 + r.len))
+            .collect();
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                return Err(MemError::BadFree(Pfn(pair[1].0)));
+            }
+        }
+        for run in list.runs() {
+            self.check_run(run.start, run.len)?;
+        }
+        for run in list.runs() {
+            self.clear_run(run.start, run.len);
+        }
+        Ok(())
+    }
+
+    /// Verify that `len` frames from `start` are all in range and
+    /// allocated, word-wise. Errors name the first offending frame.
+    fn check_run(&self, start: Pfn, len: u64) -> Result<(), MemError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let idx = start
+            .0
+            .checked_sub(self.base.0)
+            .ok_or(MemError::BadFree(start))?;
+        if idx >= self.frames {
+            return Err(MemError::BadFree(start));
+        }
+        if self.frames - idx < len {
+            return Err(MemError::BadFree(Pfn(self.base.0 + self.frames)));
+        }
+        let mut i = idx;
+        let end = idx + len;
+        while i < end {
+            let word = (i / 64) as usize;
+            let bit = i % 64;
+            let span = (64 - bit).min(end - i);
+            let mask = if span == 64 {
+                !0u64
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            let missing = !self.bitmap[word] & mask;
+            if missing != 0 {
+                let first = word as u64 * 64 + missing.trailing_zeros() as u64;
+                return Err(MemError::BadFree(Pfn(self.base.0 + first)));
+            }
+            i += span;
+        }
+        Ok(())
+    }
+
+    /// Clear a validated run, word-wise.
+    fn clear_run(&mut self, start: Pfn, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let idx = start.0 - self.base.0;
+        let mut i = idx;
+        let end = idx + len;
+        while i < end {
+            let word = (i / 64) as usize;
+            let bit = i % 64;
+            let span = (64 - bit).min(end - i);
+            let mask = if span == 64 {
+                !0u64
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            self.bitmap[word] &= !mask;
+            i += span;
+        }
+        self.free += len;
+        if self.policy == Placement::FirstFit && idx < self.cursor {
+            self.cursor = idx;
+        }
+    }
+
     /// True when the frame is currently allocated by this allocator.
     pub fn is_allocated(&self, pfn: Pfn) -> bool {
         pfn.0
@@ -279,6 +378,49 @@ mod tests {
         assert_eq!(a.free_frames(), 4);
         let again = a.alloc_pages(4).unwrap();
         assert_eq!(again.len(), 4);
+    }
+
+    #[test]
+    fn free_run_is_atomic_and_word_wise() {
+        let mut a = FrameAllocator::new(Pfn(0), 200);
+        a.alloc_pages(150).unwrap();
+        a.free(Pfn(100)).unwrap(); // hole mid-run
+                                   // Run touching the hole fails, naming the hole, freeing nothing.
+        assert_eq!(a.free_run(Pfn(90), 20), Err(MemError::BadFree(Pfn(100))));
+        assert_eq!(a.free_frames(), 51);
+        assert!(a.is_allocated(Pfn(90)));
+        // A clean run crossing word boundaries frees in one shot.
+        a.free_run(Pfn(0), 90).unwrap();
+        assert_eq!(a.free_frames(), 141);
+        assert!(!a.is_allocated(Pfn(63)));
+        assert!(!a.is_allocated(Pfn(64)));
+        // Out-of-range and double frees are still rejected.
+        assert_eq!(a.free_run(Pfn(199), 2), Err(MemError::BadFree(Pfn(200))));
+        assert_eq!(a.free_run(Pfn(0), 1), Err(MemError::BadFree(Pfn(0))));
+    }
+
+    #[test]
+    fn free_list_frees_all_runs_or_nothing() {
+        use crate::pfn_list::PfnList;
+        let mut a = FrameAllocator::new(Pfn(0), 128);
+        a.alloc_pages(64).unwrap();
+        let mut list = PfnList::new();
+        list.push_run(Pfn(0), 10);
+        list.push_run(Pfn(20), 10);
+        a.free_list(&list).unwrap();
+        assert_eq!(a.free_frames(), 84);
+        // A list with an unallocated frame frees nothing.
+        let mut bad = PfnList::new();
+        bad.push_run(Pfn(30), 5);
+        bad.push_run(Pfn(18), 4); // 20/21 already freed above
+        assert_eq!(a.free_list(&bad), Err(MemError::BadFree(Pfn(20))));
+        assert!(a.is_allocated(Pfn(30)));
+        // Duplicate frames across runs are rejected up front.
+        let mut dup = PfnList::new();
+        dup.push_run(Pfn(40), 4);
+        dup.push_run(Pfn(42), 4);
+        assert_eq!(a.free_list(&dup), Err(MemError::BadFree(Pfn(42))));
+        assert!(a.is_allocated(Pfn(40)));
     }
 
     #[test]

@@ -6,6 +6,22 @@
 //! attachments install 4 KiB mappings one frame at a time, which is exactly
 //! the per-page work the paper's throughput numbers measure.
 //!
+//! # Extent fast path
+//!
+//! The *virtual-time* model charges per page — that is the paper's result —
+//! but the *host* should not pay a full four-level descent per 4 KiB frame.
+//! The batched entry points ([`PageTable::map_extent`],
+//! [`PageTable::map_list`], [`PageTable::unmap_pages`],
+//! [`PageTable::unmap_resident`], [`PageTable::walk_range`]) descend once
+//! per 2 MiB-aligned chunk and operate on whole runs. A run of contiguous
+//! 4 KiB mappings within one chunk is stored as a single [`Entry::LeafRun`]
+//! rather than 512 discrete level-0 entries; every observable query
+//! (`translate`, `walk_range` output and [`WalkStats`], error values,
+//! `leaf_count`) is identical to the discrete representation, which the
+//! equivalence property tests in `tests/extent_equivalence.rs` pin down.
+//! Single-page operations that punch into a run convert the affected chunk
+//! back to a discrete level-0 table (bounded, ≤ 512 entries).
+//!
 //! The table tracks how many leaf entries and intermediate tables exist so
 //! kernels can charge virtual time for real structural work performed.
 
@@ -60,10 +76,55 @@ struct Leaf {
     size: PageSize,
 }
 
+/// A run of contiguous 4 KiB leaf mappings within one 2 MiB chunk, stored
+/// as a single level-1 entry: level-0 slot `first + i` maps frame
+/// `start + i` for `i < len`. Observationally identical to `len` discrete
+/// [`Leaf`] entries in a level-0 table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LeafRun {
+    /// First covered level-0 slot (0..512).
+    first: u16,
+    /// Covered slots (1..=512, `first + len <= 512`).
+    len: u16,
+    /// Frame backing slot `first`.
+    start: Pfn,
+    flags: PteFlags,
+}
+
+impl LeafRun {
+    fn end(&self) -> u16 {
+        self.first + self.len
+    }
+
+    fn covers(&self, slot: u16) -> bool {
+        slot >= self.first && slot < self.end()
+    }
+
+    fn pfn_at(&self, slot: u16) -> Pfn {
+        Pfn(self.start.0 + (slot - self.first) as u64)
+    }
+
+    /// Expand into an equivalent discrete level-0 table.
+    fn to_table(self) -> Box<Level> {
+        let mut table = Level::new();
+        for i in 0..self.len {
+            table.entries[(self.first + i) as usize] = Some(Entry::Leaf(Leaf {
+                pfn: Pfn(self.start.0 + i as u64),
+                flags: self.flags,
+                size: PageSize::Size4K,
+            }));
+        }
+        table
+    }
+}
+
 #[derive(Debug)]
 enum Entry {
     Table(Box<Level>),
     Leaf(Leaf),
+    /// Extent fast path: contiguous 4 KiB leaves compressed into one
+    /// level-1 entry. Never present at other levels.
+    LeafRun(LeafRun),
 }
 
 #[derive(Debug)]
@@ -86,8 +147,58 @@ pub struct WalkStats {
     /// 4 KiB page translations produced.
     pub pages: u64,
     /// Leaf PTEs actually visited (a 2 MiB leaf covers 512 pages but is
-    /// one visit).
+    /// one visit; a [`LeafRun`] counts one visit per covered page, exactly
+    /// like the discrete 4 KiB leaves it stands for).
     pub leaves_visited: u64,
+}
+
+/// Level-0 slots per 2 MiB chunk.
+const CHUNK_SLOTS: u64 = 512;
+
+/// What occupies the 2 MiB chunk containing a given address.
+enum ChunkRef<'a> {
+    /// No table path down to level 1 — at least the whole chunk is
+    /// unmapped (possibly a much larger region).
+    Hole,
+    /// A 1 GiB leaf at level 2 covers this chunk.
+    Giant(&'a Leaf),
+    /// A 2 MiB leaf occupies exactly this chunk.
+    Large(&'a Leaf),
+    /// A compressed run of 4 KiB leaves.
+    Run(&'a LeafRun),
+    /// A discrete level-0 table.
+    Table0(&'a Level),
+}
+
+/// Descend to the level-`target` table containing `va`, creating
+/// intermediate tables as needed. Free function so callers can keep using
+/// the other `PageTable` counters while the returned borrow is live.
+fn table_for<'a>(
+    root: &'a mut Level,
+    table_count: &mut u64,
+    va: VirtAddr,
+    target: u8,
+) -> Result<&'a mut Level, MemError> {
+    let mut level = root;
+    let mut lvl = 3u8;
+    while lvl > target {
+        let idx = va.pt_index(lvl);
+        let slot = &mut level.entries[idx];
+        match slot {
+            None => {
+                *slot = Some(Entry::Table(Level::new()));
+                *table_count += 1;
+            }
+            Some(Entry::Table(_)) => {}
+            Some(_) => return Err(MemError::MappingConflict(va)),
+        }
+        level = match slot {
+            Some(Entry::Table(t)) => t,
+            _ => unreachable!("slot was just ensured to be a table"),
+        };
+        lvl -= 1;
+    }
+    Ok(level)
 }
 
 /// A four-level page table.
@@ -114,7 +225,8 @@ impl PageTable {
         }
     }
 
-    /// Number of leaf mappings installed.
+    /// Number of leaf mappings installed (a [`LeafRun`] counts one per
+    /// covered page, exactly like the discrete leaves it stands for).
     pub fn leaf_count(&self) -> u64 {
         self.leaf_count
     }
@@ -122,6 +234,25 @@ impl PageTable {
     /// Number of intermediate tables (including the root).
     pub fn table_count(&self) -> u64 {
         self.table_count
+    }
+
+    /// Resolve the chunk containing `va` without creating tables.
+    fn chunk_ref(&self, va: VirtAddr) -> ChunkRef<'_> {
+        let mut level = &self.root;
+        for lvl in [3u8, 2] {
+            match level.entries[va.pt_index(lvl)].as_ref() {
+                None => return ChunkRef::Hole,
+                Some(Entry::Leaf(l)) => return ChunkRef::Giant(l),
+                Some(Entry::LeafRun(_)) => unreachable!("LeafRun above level 1"),
+                Some(Entry::Table(t)) => level = t,
+            }
+        }
+        match level.entries[va.pt_index(1)].as_ref() {
+            None => ChunkRef::Hole,
+            Some(Entry::Leaf(l)) => ChunkRef::Large(l),
+            Some(Entry::LeafRun(r)) => ChunkRef::Run(r),
+            Some(Entry::Table(t)) => ChunkRef::Table0(t),
+        }
     }
 
     /// Install a mapping of the given size.
@@ -148,7 +279,11 @@ impl PageTable {
                         return Ok(());
                     }
                     Some(Entry::Leaf(_)) => return Err(MemError::AlreadyMapped(va)),
-                    Some(Entry::Table(_)) => return Err(MemError::MappingConflict(va)),
+                    // A run of 4 KiB leaves blocks a 2 MiB leaf exactly
+                    // like the discrete level-0 table it stands for.
+                    Some(Entry::LeafRun(_)) | Some(Entry::Table(_)) => {
+                        return Err(MemError::MappingConflict(va))
+                    }
                 }
             }
             // Descend, creating intermediate tables as needed.
@@ -159,6 +294,18 @@ impl PageTable {
                     self.table_count += 1;
                 }
                 Some(Entry::Leaf(_)) => return Err(MemError::MappingConflict(va)),
+                Some(Entry::LeafRun(r)) => {
+                    // Only reachable at level 1 heading for a 4 KiB
+                    // install. Inside the run: the page is already
+                    // mapped. Outside: expand to a discrete table and
+                    // fall through to the level-0 install.
+                    if r.covers(va.pt_index(0) as u16) {
+                        return Err(MemError::AlreadyMapped(va));
+                    }
+                    let run = *r;
+                    *slot = Some(Entry::Table(run.to_table()));
+                    self.table_count += 1;
+                }
                 Some(Entry::Table(_)) => {}
             }
             level = match slot {
@@ -170,60 +317,388 @@ impl PageTable {
     }
 
     /// Map `pfns.len()` 4 KiB pages starting at `va`, one frame per page,
-    /// in order — the XEMEM attachment fast path. Returns the number of
-    /// PTEs written.
+    /// in order — the XEMEM attachment fast path. Validates the whole
+    /// range first (no partial installs on error) and installs whole
+    /// contiguous runs per 2 MiB chunk. Returns the number of PTEs
+    /// written.
     pub fn map_pages(
         &mut self,
         va: VirtAddr,
         pfns: impl IntoIterator<Item = Pfn>,
         flags: PteFlags,
     ) -> Result<u64, MemError> {
-        let mut n = 0u64;
-        for pfn in pfns {
-            self.map(va + n * PAGE_SIZE, pfn, PageSize::Size4K, flags)?;
-            n += 1;
+        let list: PfnList = pfns.into_iter().collect();
+        self.map_list(va, &list, flags)
+    }
+
+    /// Map a whole PFN list at `va` with one table descent per 2 MiB
+    /// chunk per run: the extent fast path behind every XEMEM attach.
+    /// Validate-then-commit — on error nothing was installed. Returns the
+    /// number of (4 KiB) PTEs written.
+    pub fn map_list(
+        &mut self,
+        va: VirtAddr,
+        list: &PfnList,
+        flags: PteFlags,
+    ) -> Result<u64, MemError> {
+        if list.pages() > 0 && !va.is_aligned(PageSize::Size4K) {
+            return Err(MemError::Misaligned(va, PageSize::Size4K));
         }
-        Ok(n)
+        let mut off = 0u64;
+        for run in list.runs() {
+            self.validate_extent(va + off * PAGE_SIZE, run.len)?;
+            off += run.len;
+        }
+        let mut off = 0u64;
+        let mut written = 0u64;
+        for run in list.runs() {
+            written += self.commit_extent(va + off * PAGE_SIZE, run.start, run.len, flags);
+            off += run.len;
+        }
+        Ok(written)
+    }
+
+    /// Map `pages` physically contiguous 4 KiB frames starting at
+    /// (`va`, `start`). One L4→L1 descent per 2 MiB chunk; whole-chunk
+    /// coverage installs a single compressed entry. Validate-then-commit.
+    pub fn map_extent(
+        &mut self,
+        va: VirtAddr,
+        start: Pfn,
+        pages: u64,
+        flags: PteFlags,
+    ) -> Result<u64, MemError> {
+        if pages == 0 {
+            return Ok(0);
+        }
+        if !va.is_aligned(PageSize::Size4K) {
+            return Err(MemError::Misaligned(va, PageSize::Size4K));
+        }
+        self.validate_extent(va, pages)?;
+        Ok(self.commit_extent(va, start, pages, flags))
+    }
+
+    /// Check that `pages` 4 KiB installs starting at `va` would all
+    /// succeed, reporting the same error (and error address) the per-page
+    /// [`PageTable::map`] loop would hit first.
+    fn validate_extent(&self, va: VirtAddr, pages: u64) -> Result<(), MemError> {
+        let first_page = va.0 >> 12;
+        let end_page = first_page + pages;
+        let mut page = first_page;
+        while page < end_page {
+            let chunk_end = (page / CHUNK_SLOTS + 1) * CHUNK_SLOTS;
+            let seg_end = end_page.min(chunk_end);
+            let cur = VirtAddr(page << 12);
+            match self.chunk_ref(cur) {
+                ChunkRef::Hole => {}
+                ChunkRef::Giant(_) | ChunkRef::Large(_) => {
+                    return Err(MemError::MappingConflict(cur));
+                }
+                ChunkRef::Run(r) => {
+                    let s = (page % CHUNK_SLOTS) as u16;
+                    let e = ((seg_end - 1) % CHUNK_SLOTS) as u16 + 1;
+                    let lo = s.max(r.first);
+                    let hi = e.min(r.end());
+                    if lo < hi {
+                        let clash = page + (lo - s) as u64;
+                        return Err(MemError::AlreadyMapped(VirtAddr(clash << 12)));
+                    }
+                }
+                ChunkRef::Table0(t) => {
+                    for p in page..seg_end {
+                        if t.entries[(p % CHUNK_SLOTS) as usize].is_some() {
+                            return Err(MemError::AlreadyMapped(VirtAddr(p << 12)));
+                        }
+                    }
+                }
+            }
+            page = seg_end;
+        }
+        Ok(())
+    }
+
+    /// Install a validated extent. Returns the number of PTEs written.
+    fn commit_extent(&mut self, va: VirtAddr, start: Pfn, pages: u64, flags: PteFlags) -> u64 {
+        let first_page = va.0 >> 12;
+        let end_page = first_page + pages;
+        let mut page = first_page;
+        let mut pfn = start.0;
+        while page < end_page {
+            let chunk_end = (page / CHUNK_SLOTS + 1) * CHUNK_SLOTS;
+            let seg_end = end_page.min(chunk_end);
+            let n = (seg_end - page) as u16;
+            let s = (page % CHUNK_SLOTS) as u16;
+            let cur = VirtAddr(page << 12);
+            let l1 = table_for(&mut self.root, &mut self.table_count, cur, 1)
+                .expect("extent was validated");
+            let slot = &mut l1.entries[cur.pt_index(1)];
+            match slot {
+                None => {
+                    *slot = Some(Entry::LeafRun(LeafRun {
+                        first: s,
+                        len: n,
+                        start: Pfn(pfn),
+                        flags,
+                    }));
+                }
+                Some(Entry::LeafRun(r)) => {
+                    // Disjoint by validation; merge when the new piece
+                    // extends the run contiguously, otherwise expand.
+                    if r.flags == flags && s == r.end() && pfn == r.start.0 + r.len as u64 {
+                        r.len += n;
+                    } else if r.flags == flags && s + n == r.first && pfn + n as u64 == r.start.0 {
+                        r.first = s;
+                        r.start = Pfn(pfn);
+                        r.len += n;
+                    } else {
+                        let mut table = r.to_table();
+                        for i in 0..n {
+                            table.entries[(s + i) as usize] = Some(Entry::Leaf(Leaf {
+                                pfn: Pfn(pfn + i as u64),
+                                flags,
+                                size: PageSize::Size4K,
+                            }));
+                        }
+                        *slot = Some(Entry::Table(table));
+                        self.table_count += 1;
+                    }
+                }
+                Some(Entry::Table(t)) => {
+                    for i in 0..n {
+                        t.entries[(s + i) as usize] = Some(Entry::Leaf(Leaf {
+                            pfn: Pfn(pfn + i as u64),
+                            flags,
+                            size: PageSize::Size4K,
+                        }));
+                    }
+                }
+                Some(Entry::Leaf(_)) => unreachable!("extent was validated"),
+            }
+            self.leaf_count += n as u64;
+            pfn += n as u64;
+            page = seg_end;
+        }
+        pages
     }
 
     /// Remove the mapping containing `va`. Returns the leaf's frame and
     /// size.
     pub fn unmap(&mut self, va: VirtAddr) -> Result<(Pfn, PageSize), MemError> {
-        fn descend(level: &mut Level, lvl: u8, va: VirtAddr) -> Result<(Pfn, PageSize), MemError> {
+        let mut level = &mut self.root;
+        let mut lvl = 3u8;
+        loop {
             let idx = va.pt_index(lvl);
-            match &mut level.entries[idx] {
-                None => Err(MemError::NotMapped(va)),
-                Some(Entry::Leaf(leaf)) => {
-                    let out = (leaf.pfn, leaf.size);
-                    level.entries[idx] = None;
-                    Ok(out)
+            let slot = &mut level.entries[idx];
+            match slot {
+                None => return Err(MemError::NotMapped(va)),
+                Some(Entry::Leaf(_)) => {
+                    let Some(Entry::Leaf(leaf)) = slot.take() else {
+                        unreachable!()
+                    };
+                    self.leaf_count -= 1;
+                    return Ok((leaf.pfn, leaf.size));
                 }
-                Some(Entry::Table(t)) => {
+                Some(Entry::LeafRun(_)) => {
+                    let Some(Entry::LeafRun(mut r)) = slot.take() else {
+                        unreachable!()
+                    };
+                    let idx0 = va.pt_index(0) as u16;
+                    if !r.covers(idx0) {
+                        *slot = Some(Entry::LeafRun(r));
+                        return Err(MemError::NotMapped(va));
+                    }
+                    let pfn = r.pfn_at(idx0);
+                    self.leaf_count -= 1;
+                    if r.len == 1 {
+                        // Run fully consumed; slot stays empty.
+                    } else if idx0 == r.first {
+                        r.first += 1;
+                        r.start = Pfn(r.start.0 + 1);
+                        r.len -= 1;
+                        *slot = Some(Entry::LeafRun(r));
+                    } else if idx0 + 1 == r.end() {
+                        r.len -= 1;
+                        *slot = Some(Entry::LeafRun(r));
+                    } else {
+                        // Punching a hole in the middle: expand to a
+                        // discrete table minus the removed page.
+                        let mut table = r.to_table();
+                        table.entries[idx0 as usize] = None;
+                        *slot = Some(Entry::Table(table));
+                        self.table_count += 1;
+                    }
+                    return Ok((pfn, PageSize::Size4K));
+                }
+                Some(Entry::Table(_)) => {
                     if lvl == 0 {
                         // Tables never sit at level 0.
-                        Err(MemError::MappingConflict(va))
-                    } else {
-                        descend(t, lvl - 1, va)
+                        return Err(MemError::MappingConflict(va));
+                    }
+                    let Some(Entry::Table(t)) = slot else {
+                        unreachable!()
+                    };
+                    level = t;
+                    lvl -= 1;
+                }
+            }
+        }
+    }
+
+    /// Unmap `pages` consecutive 4 KiB pages starting at `va`, returning
+    /// the freed frames in address order. Validate-then-commit: on error
+    /// (a hole, or a large-page leaf in the range) nothing has been
+    /// unmapped. Whole compressed runs are removed in O(1).
+    pub fn unmap_pages(&mut self, va: VirtAddr, pages: u64) -> Result<PfnList, MemError> {
+        let first_page = va.0 >> 12;
+        let end_page = first_page + pages;
+        // Validation: every page must be covered by a 4 KiB mapping.
+        let mut page = first_page;
+        while page < end_page {
+            let chunk_end = (page / CHUNK_SLOTS + 1) * CHUNK_SLOTS;
+            let seg_end = end_page.min(chunk_end);
+            let cur = VirtAddr(page << 12);
+            match self.chunk_ref(cur) {
+                ChunkRef::Hole => return Err(MemError::NotMapped(cur)),
+                ChunkRef::Giant(_) | ChunkRef::Large(_) => {
+                    return Err(MemError::MappingConflict(cur));
+                }
+                ChunkRef::Run(r) => {
+                    let s = (page % CHUNK_SLOTS) as u16;
+                    let e = ((seg_end - 1) % CHUNK_SLOTS) as u16 + 1;
+                    if s < r.first || e > r.end() {
+                        let missing = if s < r.first {
+                            page
+                        } else {
+                            page + (r.end() - s) as u64
+                        };
+                        return Err(MemError::NotMapped(VirtAddr(missing << 12)));
+                    }
+                }
+                ChunkRef::Table0(t) => {
+                    for p in page..seg_end {
+                        if t.entries[(p % CHUNK_SLOTS) as usize].is_none() {
+                            return Err(MemError::NotMapped(VirtAddr(p << 12)));
+                        }
                     }
                 }
             }
+            page = seg_end;
         }
-        let out = descend(&mut self.root, 3, va)?;
-        self.leaf_count -= 1;
+        // Commit.
+        let mut out = PfnList::new();
+        let mut page = first_page;
+        while page < end_page {
+            let chunk_end = (page / CHUNK_SLOTS + 1) * CHUNK_SLOTS;
+            let seg_end = end_page.min(chunk_end);
+            let cur = VirtAddr(page << 12);
+            let s = (page % CHUNK_SLOTS) as u16;
+            let e = ((seg_end - 1) % CHUNK_SLOTS) as u16 + 1;
+            self.remove_run_from_chunk(cur, s, e, &mut out);
+            page = seg_end;
+        }
         Ok(out)
     }
 
-    /// Unmap `pages` consecutive 4 KiB pages starting at `va`.
-    pub fn unmap_pages(&mut self, va: VirtAddr, pages: u64) -> Result<Vec<Pfn>, MemError> {
-        let mut out = Vec::with_capacity(pages as usize);
-        for i in 0..pages {
-            let (pfn, size) = self.unmap(va + i * PAGE_SIZE)?;
-            if size != PageSize::Size4K {
-                return Err(MemError::MappingConflict(va + i * PAGE_SIZE));
+    /// Remove the 4 KiB mappings at slots `[s, e)` of the chunk holding
+    /// `va`, appending the freed frames. Caller guarantees they exist.
+    fn remove_run_from_chunk(&mut self, va: VirtAddr, s: u16, e: u16, out: &mut PfnList) {
+        let n = (e - s) as u64;
+        let l1 =
+            table_for(&mut self.root, &mut self.table_count, va, 1).expect("range was validated");
+        let slot = &mut l1.entries[va.pt_index(1)];
+        match slot {
+            Some(Entry::LeafRun(_)) => {
+                let Some(Entry::LeafRun(mut r)) = slot.take() else {
+                    unreachable!()
+                };
+                out.push_run(r.pfn_at(s), n);
+                if s == r.first && e == r.end() {
+                    // Whole run gone; slot stays empty.
+                } else if s == r.first {
+                    r.start = Pfn(r.start.0 + n);
+                    r.first = e;
+                    r.len -= n as u16;
+                    *slot = Some(Entry::LeafRun(r));
+                } else if e == r.end() {
+                    r.len -= n as u16;
+                    *slot = Some(Entry::LeafRun(r));
+                } else {
+                    let mut table = r.to_table();
+                    for i in s..e {
+                        table.entries[i as usize] = None;
+                    }
+                    *slot = Some(Entry::Table(table));
+                    self.table_count += 1;
+                }
             }
-            out.push(pfn);
+            Some(Entry::Table(t)) => {
+                for i in s..e {
+                    let Some(Entry::Leaf(leaf)) = t.entries[i as usize].take() else {
+                        unreachable!("range was validated");
+                    };
+                    out.push_run(leaf.pfn, 1);
+                }
+            }
+            _ => unreachable!("range was validated"),
         }
-        Ok(out)
+        self.leaf_count -= n;
+    }
+
+    /// Unmap whatever is resident in `[va, va + pages * 4 KiB)`, skipping
+    /// holes — the teardown/reaper path, O(extents). Returns the freed
+    /// frames and the number of *leaves* cleared (one per 4 KiB page, one
+    /// per large-page leaf — the count the per-page translate-then-unmap
+    /// loop used to produce). A large-page leaf overlapping the range is
+    /// removed whole and all of its frames are reported.
+    pub fn unmap_resident(&mut self, va: VirtAddr, pages: u64) -> (PfnList, u64) {
+        let first_page = va.0 >> 12;
+        let end_page = first_page + pages;
+        let mut out = PfnList::new();
+        let mut cleared = 0u64;
+        let mut page = first_page;
+        while page < end_page {
+            let chunk_end = (page / CHUNK_SLOTS + 1) * CHUNK_SLOTS;
+            let seg_end = end_page.min(chunk_end);
+            let cur = VirtAddr(page << 12);
+            match self.chunk_ref(cur) {
+                ChunkRef::Hole => {
+                    page = seg_end;
+                    continue;
+                }
+                ChunkRef::Giant(_) | ChunkRef::Large(_) => {
+                    // Remove the whole leaf (what per-page unmap did) and
+                    // skip the rest of its span.
+                    let (pfn, size) = self.unmap(cur).expect("leaf just observed");
+                    out.push_run(pfn, size.frames());
+                    cleared += 1;
+                    let leaf_end_page = ((cur.0 & !(size.bytes() - 1)) + size.bytes()) >> 12;
+                    page = end_page.min(leaf_end_page.max(seg_end));
+                    continue;
+                }
+                ChunkRef::Run(r) => {
+                    let s = (page % CHUNK_SLOTS) as u16;
+                    let e = ((seg_end - 1) % CHUNK_SLOTS) as u16 + 1;
+                    let lo = s.max(r.first);
+                    let hi = e.min(r.end());
+                    if lo < hi {
+                        let seg_base = VirtAddr((page - s as u64) << 12);
+                        self.remove_run_from_chunk(seg_base, lo, hi, &mut out);
+                        cleared += (hi - lo) as u64;
+                    }
+                }
+                ChunkRef::Table0(_) => {
+                    // Discrete chunk: per-slot removal (bounded by 512).
+                    for p in page..seg_end {
+                        if let Ok((pfn, _)) = self.unmap(VirtAddr(p << 12)) {
+                            out.push_run(pfn, 1);
+                            cleared += 1;
+                        }
+                    }
+                }
+            }
+            page = seg_end;
+        }
+        (out, cleared)
     }
 
     /// Translate a virtual address to (physical address, flags, leaf size).
@@ -236,6 +711,14 @@ impl PageTable {
                 Entry::Leaf(leaf) => {
                     let within = va.0 & (leaf.size.bytes() - 1);
                     return Some((leaf.pfn.base() + within, leaf.flags, leaf.size));
+                }
+                Entry::LeafRun(r) => {
+                    let idx0 = va.pt_index(0) as u16;
+                    if !r.covers(idx0) {
+                        return None;
+                    }
+                    let within = va.0 & (PAGE_SIZE - 1);
+                    return Some((r.pfn_at(idx0).base() + within, r.flags, PageSize::Size4K));
                 }
                 Entry::Table(t) => {
                     if lvl == 0 {
@@ -251,51 +734,213 @@ impl PageTable {
     /// Produce the PFN list for `[va, va + len)` — the export-side
     /// operation of the XEMEM protocol. Every 4 KiB page in the range must
     /// be mapped. Returns the list and the real structural work performed.
+    /// One chunk lookup per 2 MiB (or per discrete leaf), not per page;
+    /// the [`WalkStats`] are computed arithmetically and match the
+    /// per-page walk exactly.
     pub fn walk_range(&self, va: VirtAddr, len: u64) -> Result<(PfnList, WalkStats), MemError> {
         let mut list = PfnList::new();
         let mut stats = WalkStats::default();
         let mut off = 0u64;
         while off < len {
             let cur = va + off;
-            let (pa, _flags, size) = self.translate(cur).ok_or(MemError::NotMapped(cur))?;
-            stats.leaves_visited += 1;
-            // Emit 4 KiB frames from this leaf until it ends or the range
-            // ends.
-            let leaf_remaining = size.bytes() - (cur.0 & (size.bytes() - 1));
-            let take = leaf_remaining.min(len - off);
-            let frames = take.div_ceil(PAGE_SIZE);
-            list.push_run(pa.pfn(), frames);
-            stats.pages += frames;
-            off += frames * PAGE_SIZE;
+            match self.chunk_ref(cur) {
+                ChunkRef::Hole => return Err(MemError::NotMapped(cur)),
+                ChunkRef::Giant(leaf) | ChunkRef::Large(leaf) => {
+                    let bytes = leaf.size.bytes();
+                    let within = cur.0 & (bytes - 1);
+                    let leaf_remaining = bytes - within;
+                    let take = leaf_remaining.min(len - off);
+                    let frames = take.div_ceil(PAGE_SIZE);
+                    list.push_run(Pfn(leaf.pfn.0 + (within >> 12)), frames);
+                    stats.pages += frames;
+                    stats.leaves_visited += 1;
+                    off += frames * PAGE_SIZE;
+                }
+                ChunkRef::Run(r) => {
+                    let idx0 = cur.pt_index(0) as u16;
+                    if !r.covers(idx0) {
+                        return Err(MemError::NotMapped(cur));
+                    }
+                    let pages_remaining = (len - off).div_ceil(PAGE_SIZE);
+                    let frames = ((r.end() - idx0) as u64).min(pages_remaining);
+                    list.push_run(r.pfn_at(idx0), frames);
+                    stats.pages += frames;
+                    stats.leaves_visited += frames;
+                    off += frames * PAGE_SIZE;
+                }
+                ChunkRef::Table0(t) => {
+                    // Discrete chunk: per-slot scan to the chunk (or
+                    // range) end, erroring at the first hole like the
+                    // per-page walk.
+                    let idx0 = cur.pt_index(0) as u16;
+                    let pages_remaining = (len - off).div_ceil(PAGE_SIZE);
+                    let span = (CHUNK_SLOTS - idx0 as u64).min(pages_remaining);
+                    for i in 0..span {
+                        let pva = cur + i * PAGE_SIZE;
+                        match t.entries[(idx0 as u64 + i) as usize].as_ref() {
+                            Some(Entry::Leaf(leaf)) => {
+                                list.push_run(leaf.pfn, 1);
+                                stats.pages += 1;
+                                stats.leaves_visited += 1;
+                            }
+                            _ => return Err(MemError::NotMapped(pva)),
+                        }
+                    }
+                    off += span * PAGE_SIZE;
+                }
+            }
         }
         Ok((list, stats))
     }
 
-    /// Change the flags on the leaf containing `va`.
-    pub fn protect(&mut self, va: VirtAddr, flags: PteFlags) -> Result<(), MemError> {
-        fn descend(
-            level: &mut Level,
-            lvl: u8,
-            va: VirtAddr,
-            flags: PteFlags,
-        ) -> Result<(), MemError> {
-            let idx = va.pt_index(lvl);
-            match &mut level.entries[idx] {
-                None => Err(MemError::NotMapped(va)),
-                Some(Entry::Leaf(leaf)) => {
-                    leaf.flags = flags;
-                    Ok(())
+    /// Frames backing the resident pages of `[va, va + pages * 4 KiB)`,
+    /// in address order, skipping holes — the frame-retention walk,
+    /// O(extents).
+    pub fn walk_resident(&self, va: VirtAddr, pages: u64) -> PfnList {
+        let first_page = va.0 >> 12;
+        let end_page = first_page + pages;
+        let mut out = PfnList::new();
+        let mut page = first_page;
+        while page < end_page {
+            let chunk_end = (page / CHUNK_SLOTS + 1) * CHUNK_SLOTS;
+            let seg_end = end_page.min(chunk_end);
+            let cur = VirtAddr(page << 12);
+            match self.chunk_ref(cur) {
+                ChunkRef::Hole => {}
+                ChunkRef::Giant(leaf) | ChunkRef::Large(leaf) => {
+                    let within = (cur.0 & (leaf.size.bytes() - 1)) >> 12;
+                    out.push_run(Pfn(leaf.pfn.0 + within), seg_end - page);
                 }
-                Some(Entry::Table(t)) => {
-                    if lvl == 0 {
-                        Err(MemError::MappingConflict(va))
-                    } else {
-                        descend(t, lvl - 1, va, flags)
+                ChunkRef::Run(r) => {
+                    let s = (page % CHUNK_SLOTS) as u16;
+                    let e = ((seg_end - 1) % CHUNK_SLOTS) as u16 + 1;
+                    let lo = s.max(r.first);
+                    let hi = e.min(r.end());
+                    if lo < hi {
+                        out.push_run(r.pfn_at(lo), (hi - lo) as u64);
+                    }
+                }
+                ChunkRef::Table0(t) => {
+                    for p in page..seg_end {
+                        if let Some(Entry::Leaf(leaf)) =
+                            t.entries[(p % CHUNK_SLOTS) as usize].as_ref()
+                        {
+                            out.push_run(leaf.pfn, 1);
+                        }
                     }
                 }
             }
+            page = seg_end;
         }
-        descend(&mut self.root, 3, va, flags)
+        out
+    }
+
+    /// The unmapped sub-ranges of `[va, va + pages * 4 KiB)`, as
+    /// `(page_offset_from_va, run_length)` pairs in address order —
+    /// the demand-fault hole finder, O(extents).
+    pub fn find_unmapped(&self, va: VirtAddr, pages: u64) -> Vec<(u64, u64)> {
+        let first_page = va.0 >> 12;
+        let end_page = first_page + pages;
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        let push = |out: &mut Vec<(u64, u64)>, off: u64, len: u64| {
+            if len == 0 {
+                return;
+            }
+            if let Some(last) = out.last_mut() {
+                if last.0 + last.1 == off {
+                    last.1 += len;
+                    return;
+                }
+            }
+            out.push((off, len));
+        };
+        let mut page = first_page;
+        while page < end_page {
+            let chunk_end = (page / CHUNK_SLOTS + 1) * CHUNK_SLOTS;
+            let seg_end = end_page.min(chunk_end);
+            let cur = VirtAddr(page << 12);
+            match self.chunk_ref(cur) {
+                ChunkRef::Hole => push(&mut out, page - first_page, seg_end - page),
+                ChunkRef::Giant(_) | ChunkRef::Large(_) => {}
+                ChunkRef::Run(r) => {
+                    let s = (page % CHUNK_SLOTS) as u16;
+                    let e = ((seg_end - 1) % CHUNK_SLOTS) as u16 + 1;
+                    // Everything outside [first, end) is a hole.
+                    let mapped_lo = s.max(r.first);
+                    let mapped_hi = e.min(r.end());
+                    if mapped_lo >= mapped_hi {
+                        push(&mut out, page - first_page, seg_end - page);
+                    } else {
+                        push(&mut out, page - first_page, (mapped_lo - s) as u64);
+                        push(
+                            &mut out,
+                            page - first_page + (mapped_hi - s) as u64,
+                            (e - mapped_hi) as u64,
+                        );
+                    }
+                }
+                ChunkRef::Table0(t) => {
+                    for p in page..seg_end {
+                        if t.entries[(p % CHUNK_SLOTS) as usize].is_none() {
+                            push(&mut out, p - first_page, 1);
+                        }
+                    }
+                }
+            }
+            page = seg_end;
+        }
+        out
+    }
+
+    /// Change the flags on the leaf containing `va`.
+    pub fn protect(&mut self, va: VirtAddr, flags: PteFlags) -> Result<(), MemError> {
+        let mut level = &mut self.root;
+        let mut lvl = 3u8;
+        loop {
+            let idx = va.pt_index(lvl);
+            let slot = &mut level.entries[idx];
+            match slot {
+                None => return Err(MemError::NotMapped(va)),
+                Some(Entry::Leaf(leaf)) => {
+                    leaf.flags = flags;
+                    return Ok(());
+                }
+                Some(Entry::LeafRun(_)) => {
+                    let Some(Entry::LeafRun(mut r)) = slot.take() else {
+                        unreachable!()
+                    };
+                    let idx0 = va.pt_index(0) as u16;
+                    if !r.covers(idx0) {
+                        *slot = Some(Entry::LeafRun(r));
+                        return Err(MemError::NotMapped(va));
+                    }
+                    if r.len == 1 {
+                        r.flags = flags;
+                        *slot = Some(Entry::LeafRun(r));
+                    } else {
+                        // One page diverges from the run's flags: expand
+                        // to a discrete table and edit that leaf.
+                        let mut table = r.to_table();
+                        if let Some(Entry::Leaf(leaf)) = table.entries[idx0 as usize].as_mut() {
+                            leaf.flags = flags;
+                        }
+                        *slot = Some(Entry::Table(table));
+                        self.table_count += 1;
+                    }
+                    return Ok(());
+                }
+                Some(Entry::Table(_)) => {
+                    if lvl == 0 {
+                        return Err(MemError::MappingConflict(va));
+                    }
+                    let Some(Entry::Table(t)) = slot else {
+                        unreachable!()
+                    };
+                    level = t;
+                    lvl -= 1;
+                }
+            }
+        }
     }
 }
 
@@ -409,6 +1054,17 @@ mod tests {
     }
 
     #[test]
+    fn two_mib_map_over_leaf_run_conflicts() {
+        let mut pt = PageTable::new();
+        pt.map_extent(VirtAddr(0x1000), Pfn(3), 4, PteFlags::rw_user())
+            .unwrap();
+        assert_eq!(
+            pt.map(VirtAddr(0), Pfn(0), PageSize::Size2M, PteFlags::rw_user()),
+            Err(MemError::MappingConflict(VirtAddr(0)))
+        );
+    }
+
+    #[test]
     fn unmap_restores_unmapped_state() {
         let mut pt = PageTable::new();
         pt.map(
@@ -441,7 +1097,128 @@ mod tests {
             assert_eq!(pa.pfn(), *pfn);
         }
         let freed = pt.unmap_pages(VirtAddr(0x10000), 3).unwrap();
-        assert_eq!(freed, pfns);
+        assert_eq!(freed, PfnList::from_pages(pfns));
+    }
+
+    #[test]
+    fn map_extent_spans_chunks_and_unmaps_whole() {
+        let mut pt = PageTable::new();
+        // 3 chunks' worth of pages starting mid-chunk: crosses two 2 MiB
+        // boundaries.
+        let base = VirtAddr(M2 - 8 * K4);
+        let pages = 512 + 300;
+        pt.map_extent(base, Pfn(0x9000), pages, PteFlags::rw_user())
+            .unwrap();
+        assert_eq!(pt.leaf_count(), pages);
+        // Every page translates to the right frame.
+        for i in [0, 7, 8, 511, 512, pages - 1] {
+            let (pa, _, sz) = pt.translate(base + i * K4).unwrap();
+            assert_eq!(pa.pfn(), Pfn(0x9000 + i), "page {i}");
+            assert_eq!(sz, PageSize::Size4K);
+        }
+        assert!(pt.translate(base + pages * K4).is_none());
+        assert!(pt.translate(VirtAddr(base.0 - K4)).is_none());
+        // Walk agrees and is one run.
+        let (list, stats) = pt.walk_range(base, pages * K4).unwrap();
+        assert_eq!(list.run_count(), 1);
+        assert_eq!(stats.pages, pages);
+        assert_eq!(stats.leaves_visited, pages);
+        // Strict unmap returns the same frames and empties the table.
+        let freed = pt.unmap_pages(base, pages).unwrap();
+        assert_eq!(freed, list);
+        assert_eq!(pt.leaf_count(), 0);
+    }
+
+    #[test]
+    fn map_extent_rejects_overlap_without_partial_install() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr(4 * K4),
+            Pfn(1),
+            PageSize::Size4K,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
+        // Overlapping extent fails at the clashing page...
+        assert_eq!(
+            pt.map_extent(VirtAddr(0), Pfn(100), 8, PteFlags::rw_user()),
+            Err(MemError::AlreadyMapped(VirtAddr(4 * K4)))
+        );
+        // ...and the pages before the clash were NOT installed.
+        assert!(pt.translate(VirtAddr(0)).is_none());
+        assert_eq!(pt.leaf_count(), 1);
+    }
+
+    #[test]
+    fn unmap_pages_is_atomic_on_error() {
+        let mut pt = PageTable::new();
+        pt.map_extent(VirtAddr(0), Pfn(50), 3, PteFlags::rw_user())
+            .unwrap();
+        // Page 3 is a hole: strict unmap of 5 pages fails...
+        assert_eq!(
+            pt.unmap_pages(VirtAddr(0), 5),
+            Err(MemError::NotMapped(VirtAddr(3 * K4)))
+        );
+        // ...and nothing was unmapped.
+        assert_eq!(pt.leaf_count(), 3);
+        assert!(pt.translate(VirtAddr(0)).is_some());
+        assert!(pt.translate(VirtAddr(2 * K4)).is_some());
+    }
+
+    #[test]
+    fn unmap_middle_of_run_splits_it() {
+        let mut pt = PageTable::new();
+        pt.map_extent(VirtAddr(0), Pfn(100), 8, PteFlags::rw_user())
+            .unwrap();
+        let (pfn, size) = pt.unmap(VirtAddr(3 * K4)).unwrap();
+        assert_eq!((pfn, size), (Pfn(103), PageSize::Size4K));
+        assert_eq!(pt.leaf_count(), 7);
+        assert!(pt.translate(VirtAddr(3 * K4)).is_none());
+        for i in [0u64, 1, 2, 4, 5, 6, 7] {
+            let (pa, _, _) = pt.translate(VirtAddr(i * K4)).unwrap();
+            assert_eq!(pa.pfn(), Pfn(100 + i));
+        }
+    }
+
+    #[test]
+    fn unmap_resident_skips_holes_and_counts_leaves() {
+        let mut pt = PageTable::new();
+        pt.map_extent(VirtAddr(0), Pfn(10), 2, PteFlags::rw_user())
+            .unwrap();
+        pt.map_extent(VirtAddr(4 * K4), Pfn(20), 2, PteFlags::rw_user())
+            .unwrap();
+        let (freed, cleared) = pt.unmap_resident(VirtAddr(0), 6);
+        assert_eq!(cleared, 4);
+        let frames: Vec<Pfn> = freed.iter_pages().collect();
+        assert_eq!(frames, vec![Pfn(10), Pfn(11), Pfn(20), Pfn(21)]);
+        assert_eq!(pt.leaf_count(), 0);
+    }
+
+    #[test]
+    fn find_unmapped_reports_hole_runs() {
+        let mut pt = PageTable::new();
+        pt.map_extent(VirtAddr(2 * K4), Pfn(7), 3, PteFlags::rw_user())
+            .unwrap();
+        let holes = pt.find_unmapped(VirtAddr(0), 8);
+        assert_eq!(holes, vec![(0, 2), (5, 3)]);
+        assert!(pt.find_unmapped(VirtAddr(2 * K4), 3).is_empty());
+    }
+
+    #[test]
+    fn walk_resident_collects_only_mapped_frames() {
+        let mut pt = PageTable::new();
+        pt.map_extent(VirtAddr(0), Pfn(5), 2, PteFlags::rw_user())
+            .unwrap();
+        pt.map(
+            VirtAddr(5 * K4),
+            Pfn(90),
+            PageSize::Size4K,
+            PteFlags::rw_user(),
+        )
+        .unwrap();
+        let resident = pt.walk_resident(VirtAddr(0), 8);
+        let frames: Vec<Pfn> = resident.iter_pages().collect();
+        assert_eq!(frames, vec![Pfn(5), Pfn(6), Pfn(90)]);
     }
 
     #[test]
@@ -515,6 +1292,19 @@ mod tests {
             pt.protect(VirtAddr(K4), PteFlags::ro_user()),
             Err(MemError::NotMapped(VirtAddr(K4)))
         );
+    }
+
+    #[test]
+    fn protect_one_page_of_a_run() {
+        let mut pt = PageTable::new();
+        pt.map_extent(VirtAddr(0), Pfn(40), 4, PteFlags::rw_user())
+            .unwrap();
+        pt.protect(VirtAddr(2 * K4), PteFlags::ro_user()).unwrap();
+        let (_, flags, _) = pt.translate(VirtAddr(2 * K4)).unwrap();
+        assert!(!flags.writable());
+        let (_, flags, _) = pt.translate(VirtAddr(K4)).unwrap();
+        assert!(flags.writable());
+        assert_eq!(pt.leaf_count(), 4);
     }
 
     #[test]

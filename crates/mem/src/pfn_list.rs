@@ -129,6 +129,48 @@ impl PfnList {
         Some(out)
     }
 
+    /// Frames of `self` in order, minus every frame appearing anywhere in
+    /// `other` — set subtraction over run lists, O(runs·log runs). Used by
+    /// the frame-quarantine paths to drop retained frames from a process's
+    /// owned list without materializing per-page hash sets.
+    pub fn subtract(&self, other: &PfnList) -> PfnList {
+        let mut intervals: Vec<(u64, u64)> = other
+            .runs
+            .iter()
+            .map(|r| (r.start.0, r.start.0 + r.len))
+            .collect();
+        intervals.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+        for (s, e) in intervals {
+            if let Some(last) = merged.last_mut() {
+                if s <= last.1 {
+                    last.1 = last.1.max(e);
+                    continue;
+                }
+            }
+            merged.push((s, e));
+        }
+        let mut out = PfnList::new();
+        for run in &self.runs {
+            let mut s = run.start.0;
+            let e = run.start.0 + run.len;
+            let mut i = merged.partition_point(|&(_, ie)| ie <= s);
+            while s < e {
+                if i >= merged.len() || merged[i].0 >= e {
+                    out.push_run(Pfn(s), e - s);
+                    break;
+                }
+                let (is, ie) = merged[i];
+                if is > s {
+                    out.push_run(Pfn(s), is - s);
+                }
+                s = s.max(ie);
+                i += 1;
+            }
+        }
+        out
+    }
+
     /// Size of the flat wire representation (8 bytes per page) — what the
     /// paper's implementation ships between enclaves, used for transfer
     /// cost accounting.
@@ -221,6 +263,20 @@ mod tests {
         a.extend(&b);
         assert_eq!(a.run_count(), 2);
         assert_eq!(a.pages(), 4);
+    }
+
+    #[test]
+    fn subtract_removes_frames_preserving_order() {
+        let owned = PfnList::from_pages((0..10).map(Pfn).chain([Pfn(50), Pfn(51)]));
+        let mut retained = PfnList::new();
+        retained.push_run(Pfn(3), 4); // 3..7
+        retained.push_run(Pfn(51), 1);
+        let rest = owned.subtract(&retained);
+        let back: Vec<u64> = rest.iter_pages().map(|p| p.0).collect();
+        assert_eq!(back, vec![0, 1, 2, 7, 8, 9, 50]);
+        // Subtracting everything leaves nothing; subtracting nothing is id.
+        assert!(owned.subtract(&owned).is_empty());
+        assert_eq!(owned.subtract(&PfnList::new()), owned);
     }
 
     #[test]

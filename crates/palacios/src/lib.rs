@@ -77,6 +77,17 @@ impl MapImpl {
         }
     }
 
+    fn lookup_run(
+        &self,
+        gfn: u64,
+        max_len: u64,
+    ) -> Result<((u64, u64), xemem_collections::OpReport), xemem_collections::MapError> {
+        match self {
+            MapImpl::Rb(m) => m.lookup_run(gfn, max_len),
+            MapImpl::Radix(m) => m.lookup_run(gfn, max_len),
+        }
+    }
+
     fn len(&self) -> usize {
         match self {
             MapImpl::Rb(m) => m.len(),
@@ -140,8 +151,10 @@ impl PhysAccess for GuestPhys {
 /// buffer (paper §4.4–4.5). Transfers through it are charged per entry.
 #[derive(Debug, Default)]
 pub struct VirtPciDevice {
-    /// PFN-list mailbox contents (frame numbers).
-    buffer: Vec<u64>,
+    /// PFN-list mailbox contents, run-length encoded so loads and
+    /// unloads are O(runs) on the host (the per-entry copy is still
+    /// charged per page).
+    buffer: PfnList,
     /// Doorbells rung into the guest (virtual IRQs).
     irqs_raised: u64,
     /// Doorbells rung into the host (hypercalls).
@@ -151,13 +164,12 @@ pub struct VirtPciDevice {
 impl VirtPciDevice {
     /// Copy a PFN list into the device buffer.
     fn load(&mut self, pfns: &PfnList) {
-        self.buffer.clear();
-        self.buffer.extend(pfns.iter_pages().map(|p| p.0));
+        self.buffer = pfns.clone();
     }
 
     /// Read the buffer back as a PFN list.
     fn unload(&self) -> PfnList {
-        PfnList::from_pages(self.buffer.iter().map(|&p| Pfn(p)))
+        self.buffer.clone()
     }
 
     /// Count of virtual IRQs delivered to the guest.
@@ -417,20 +429,26 @@ impl Vmm {
         self.pci.hypercalls += 1;
         let hypercall = SimDuration::from_nanos(self.cost.hypercall_ns);
 
-        // (3–4) Translate each guest frame through the memory map.
+        // (3–4) Translate the guest frames through the memory map — one
+        // map descent per *entry* rather than per frame. Frames sharing
+        // an entry resolve through the same search path, so the batched
+        // charge is exactly `covered` individual lookups.
         let guest_frames = self.pci.unload();
         let mut host_list = PfnList::new();
         let mut translate = SimDuration::ZERO;
         {
             let map = self.map.read();
-            for gfn in guest_frames.iter_pages() {
-                let (hpfn, report) = map
-                    .lookup(gfn.0)
-                    .map_err(|_| KernelError::Mem(MemError::BadPhysAccess(gfn)))?;
-                host_list.push_run(Pfn(hpfn), 1);
-                translate += SimDuration::from_nanos(
-                    self.cost.vmm_translate_floor_ns + self.cost.rb_level_ns * report.visits as u64,
-                );
+            for run in guest_frames.runs() {
+                let mut gfn = run.start.0;
+                let end = run.start.0 + run.len;
+                while gfn < end {
+                    let ((hpfn, covered), report) = map
+                        .lookup_run(gfn, end - gfn)
+                        .map_err(|_| KernelError::Mem(MemError::BadPhysAccess(Pfn(gfn))))?;
+                    host_list.push_run(Pfn(hpfn), covered);
+                    translate += self.cost.vmm_translate(report.visits, covered);
+                    gfn += covered;
+                }
             }
         }
         Ok(Costed::new(

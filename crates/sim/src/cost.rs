@@ -324,6 +324,65 @@ impl CostModel {
     pub fn walk(&self, pages: u64) -> SimDuration {
         SimDuration::from_nanos(self.walk_pte_ns).times(pages)
     }
+
+    // ------------------------------------------------------------------
+    // Arithmetic charge formulas
+    //
+    // Every kernel charges virtual time through these helpers, computed
+    // from page counts rather than accumulated inside per-page loops, so
+    // the host-side structural work can batch over extents while the
+    // reported virtual nanoseconds stay bitwise-identical to a per-page
+    // walk (`times` is exact u64 multiplication).
+    // ------------------------------------------------------------------
+
+    /// LWK attach-side mapping: one PTE install per leaf written plus a
+    /// fixed region-bookkeeping charge.
+    pub fn lwk_attach(&self, written: u64) -> SimDuration {
+        SimDuration::from_nanos(self.lwk_map_page_ns).times(written) + SimDuration::from_nanos(400)
+    }
+
+    /// LWK detach: PTE clears are charged at half the install cost.
+    pub fn lwk_detach(&self, pages: u64) -> SimDuration {
+        SimDuration::from_nanos(self.lwk_map_page_ns / 2).times(pages)
+    }
+
+    /// FWK eager attach: one `vm_mmap` reservation plus `remap_pfn_range`
+    /// per leaf written (a 2 MiB leaf counts once — the hugepage
+    /// ablation's whole point).
+    pub fn fwk_eager_attach(&self, written: u64) -> SimDuration {
+        SimDuration::from_nanos(self.fwk_vm_mmap_ns)
+            + SimDuration::from_nanos(self.fwk_remap_page_ns).times(written)
+    }
+
+    /// FWK detach: PTE clears at half the install cost, per leaf cleared.
+    pub fn fwk_detach(&self, cleared: u64) -> SimDuration {
+        SimDuration::from_nanos(self.fwk_remap_page_ns / 2).times(cleared)
+    }
+
+    /// FWK demand-paging fault-in: fault service plus frame allocation,
+    /// per page faulted.
+    pub fn fwk_fault_in(&self, faulted: u64) -> SimDuration {
+        SimDuration::from_nanos(self.fwk_fault_ns + self.frame_alloc_ns).times(faulted)
+    }
+
+    /// `get_user_pages` pin plus export walk, per resident page.
+    pub fn pin_and_walk(&self, pages: u64) -> SimDuration {
+        SimDuration::from_nanos(self.fwk_pin_page_ns + self.walk_pte_ns).times(pages)
+    }
+
+    /// Returning quarantined frames to an allocator, per frame.
+    pub fn frame_return(&self, pages: u64) -> SimDuration {
+        SimDuration::from_nanos(self.frame_alloc_ns).times(pages)
+    }
+
+    /// Host-side GPA→HPA translation of `covered` consecutive guest
+    /// frames resolved by one memory-map entry: every frame in the entry
+    /// shares the same search path (`visits` node visits), so the batch
+    /// charge equals `covered` individual lookups.
+    pub fn vmm_translate(&self, visits: u32, covered: u64) -> SimDuration {
+        SimDuration::from_nanos(self.vmm_translate_floor_ns + self.rb_level_ns * visits as u64)
+            .times(covered)
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +461,41 @@ mod tests {
         // Large transfer does not overflow: 1 TiB at 1 GB/s ≈ 1099.5 s.
         let d = CostModel::transfer_time(1 << 40, 1_000_000_000);
         assert!((1099.0..1100.0).contains(&d.as_secs_f64()));
+    }
+
+    #[test]
+    fn arithmetic_charges_equal_per_page_accumulation() {
+        // The batched helpers must charge exactly what an equivalent
+        // per-page loop would have — this identity is what lets the host
+        // side go O(extents) without moving a single virtual nanosecond.
+        let m = CostModel::default();
+        for pages in [0u64, 1, 7, 511, 512, 513, 262_144] {
+            let mut looped = SimDuration::ZERO;
+            for _ in 0..pages {
+                looped += SimDuration::from_nanos(m.lwk_map_page_ns);
+            }
+            assert_eq!(
+                m.lwk_attach(pages),
+                looped + SimDuration::from_nanos(400),
+                "lwk_attach({pages})"
+            );
+            let mut looped = SimDuration::ZERO;
+            for _ in 0..pages {
+                looped += SimDuration::from_nanos(m.fwk_remap_page_ns / 2);
+            }
+            assert_eq!(m.fwk_detach(pages), looped, "fwk_detach({pages})");
+            let mut looped = SimDuration::ZERO;
+            for _ in 0..pages {
+                looped += SimDuration::from_nanos(m.fwk_fault_ns + m.frame_alloc_ns);
+            }
+            assert_eq!(m.fwk_fault_in(pages), looped, "fwk_fault_in({pages})");
+        }
+        // The VM translate batch: `covered` frames sharing one map entry.
+        let mut looped = SimDuration::ZERO;
+        for _ in 0..33 {
+            looped += SimDuration::from_nanos(m.vmm_translate_floor_ns + m.rb_level_ns * 12);
+        }
+        assert_eq!(m.vmm_translate(12, 33), looped);
     }
 
     #[test]
