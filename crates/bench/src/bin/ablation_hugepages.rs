@@ -2,10 +2,11 @@
 //! LWK-exported memory is physically contiguous, so the attaching FWK
 //! can install 2 MiB leaves instead of per-page PTEs.
 
-use xemem_bench::{ablations::hugepages, render_table, Args};
+use xemem_bench::{ablations::hugepages, finish_tracing, init_tracing, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    let tracer = init_tracing(&args);
     let size = if args.smoke { 16 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 50 });
     let rows = hugepages::run(size, iters).expect("hugepage ablation");
@@ -24,4 +25,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
+    finish_tracing(&args, &tracer);
 }

@@ -1,10 +1,11 @@
 //! Ablation: core-0-restricted IPI handling (the paper's implementation)
 //! vs per-channel interrupt handlers (its stated future work).
 
-use xemem_bench::{ablations::ipi, render_table, Args};
+use xemem_bench::{ablations::ipi, finish_tracing, init_tracing, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    let tracer = init_tracing(&args);
     let size = if args.smoke { 4 << 20 } else { 128 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 4 } else { 100 });
     let rows = ipi::run(size, iters).expect("ipi ablation");
@@ -29,4 +30,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
+    finish_tracing(&args, &tracer);
 }

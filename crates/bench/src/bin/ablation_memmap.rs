@@ -1,10 +1,11 @@
 //! Ablation: the VMM guest memory map — the paper's red-black tree vs
 //! its proposed radix-tree future work, with and without run coalescing.
 
-use xemem_bench::{ablations::memmap, render_table, Args};
+use xemem_bench::{ablations::memmap, finish_tracing, init_tracing, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    let tracer = init_tracing(&args);
     let size = if args.smoke { 8 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 25 });
     let rows = memmap::run(size, iters).expect("memmap ablation");
@@ -29,4 +30,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
+    finish_tracing(&args, &tracer);
 }

@@ -1,9 +1,10 @@
 //! Ablation: name-server placement — management enclave vs co-kernel.
 
-use xemem_bench::{ablations::name_server, render_table, Args};
+use xemem_bench::{ablations::name_server, finish_tracing, init_tracing, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    let tracer = init_tracing(&args);
     let iters = args.runs.unwrap_or(if args.smoke { 5 } else { 200 });
     let rows = name_server::run(iters).expect("name-server ablation");
     let table: Vec<Vec<String>> = rows
@@ -31,4 +32,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
+    finish_tracing(&args, &tracer);
 }

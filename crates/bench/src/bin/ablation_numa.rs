@@ -2,10 +2,11 @@
 //! socket (§5.1); this shows the cross-socket penalty that pinning
 //! avoids.
 
-use xemem_bench::{ablations::numa, render_table, Args};
+use xemem_bench::{ablations::numa, finish_tracing, init_tracing, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    let tracer = init_tracing(&args);
     let size = if args.smoke { 8 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 50 });
     let rows = numa::run(size, iters).expect("numa ablation");
@@ -30,4 +31,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
+    finish_tracing(&args, &tracer);
 }

@@ -1,10 +1,11 @@
 //! Regenerates paper Fig. 7: noise profile of a Kitten enclave serving
 //! XEMEM attachment requests on a single core.
 
-use xemem_bench::{fig7, render_table, Args};
+use xemem_bench::{fig7, finish_tracing, init_tracing, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    let tracer = init_tracing(&args);
     let (regions, window): (Vec<u64>, u64) = if args.smoke {
         (vec![4 << 10, 2 << 20, 64 << 20], 4)
     } else {
@@ -49,6 +50,7 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&series).unwrap());
     }
+    finish_tracing(&args, &tracer);
 }
 
 fn kind_key(k: &str) -> &'static str {

@@ -1,10 +1,11 @@
 //! Regenerates paper Fig. 8: single-node in situ benchmark across the
 //! Table 3 enclave configurations.
 
-use xemem_bench::{fig8, pm, render_table, Args};
+use xemem_bench::{fig8, finish_tracing, init_tracing, pm, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    let tracer = init_tracing(&args);
     let runs = args.runs.unwrap_or(if args.smoke { 2 } else { 10 });
     let bars = fig8::run(runs, args.smoke).expect("fig8 experiment");
     for attach in ["one-time", "recurring"] {
@@ -34,4 +35,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&bars).unwrap());
     }
+    finish_tracing(&args, &tracer);
 }

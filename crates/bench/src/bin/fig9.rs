@@ -1,10 +1,11 @@
 //! Regenerates paper Fig. 9: multi-node in situ weak scaling,
 //! Linux-only vs multi-enclave.
 
-use xemem_bench::{fig9, pm, render_table, Args};
+use xemem_bench::{fig9, finish_tracing, init_tracing, pm, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    let tracer = init_tracing(&args);
     let runs = args.runs.unwrap_or(if args.smoke { 2 } else { 5 });
     let counts = [1u32, 2, 4, 8];
     let points = fig9::run(&counts, runs, args.smoke).expect("fig9 experiment");
@@ -34,4 +35,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&points).unwrap());
     }
+    finish_tracing(&args, &tracer);
 }

@@ -15,9 +15,10 @@
 //! * `--iters N` — override attach iterations.
 
 use serde::Serialize;
+use xemem::TraceHandle;
 use xemem_bench::wallclock::{
-    measure_attach, measure_profile, Json, Profile, CHECK_FACTOR, CHECK_FLOOR_NS, FULL_BYTES,
-    SMOKE_BYTES,
+    measure_attach, measure_attach_with, measure_profile, BenchStats, Json, Profile, CHECK_FACTOR,
+    CHECK_FLOOR_NS, FULL_BYTES, SMOKE_BYTES, TRACE_CHECK_FACTOR,
 };
 
 const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wallclock.json");
@@ -27,6 +28,19 @@ struct Section {
     label: String,
     full: Profile,
     smoke: Profile,
+}
+
+/// Smoke-size attach wall time with the tracing layer disabled vs
+/// enabled. The `off` column is what the `--check` overhead gate holds
+/// to [`TRACE_CHECK_FACTOR`]: a disabled tracer must cost (within
+/// noise) nothing.
+#[derive(Debug, Clone, Serialize)]
+struct TracingSection {
+    bytes: u64,
+    off: BenchStats,
+    on: BenchStats,
+    /// `on.mean_ns / off.mean_ns`.
+    on_over_off: f64,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -39,6 +53,22 @@ struct Report {
     current: Section,
     /// `baseline.full.attach.mean_ns / current.full.attach.mean_ns`.
     attach_full_speedup_vs_baseline: f64,
+    /// Tracing-off vs tracing-on smoke attach columns.
+    tracing: TracingSection,
+}
+
+fn measure_tracing_section(iters: u32) -> TracingSection {
+    let (off, _) =
+        measure_attach_with(SMOKE_BYTES, iters, &TraceHandle::disabled()).expect("tracing-off");
+    let tracer = TraceHandle::enabled();
+    let (on, _) = measure_attach_with(SMOKE_BYTES, iters, &tracer).expect("tracing-on");
+    tracer.audit().expect("wallclock tracing-on audit");
+    TracingSection {
+        bytes: SMOKE_BYTES,
+        on_over_off: on.mean_ns / off.mean_ns,
+        off,
+        on,
+    }
 }
 
 fn stats_from_json(v: &Json, what: &str) -> xemem_bench::wallclock::BenchStats {
@@ -120,6 +150,32 @@ fn run_check(out_path: &str, iters: u32) {
         eprintln!("wallclock --check: FAIL — attach wall time regressed more than {CHECK_FACTOR}x");
         std::process::exit(1);
     }
+
+    // Tracing-overhead gate: the disabled-tracing path (which is what
+    // `measure_attach` just timed) must stay within TRACE_CHECK_FACTOR
+    // of its committed tracing-off column.
+    let committed_off = doc
+        .path(&["tracing", "off", "mean_ns"])
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| {
+            eprintln!("wallclock --check: tracing.off.mean_ns missing in {out_path}");
+            std::process::exit(1);
+        });
+    let trace_limit = (committed_off * TRACE_CHECK_FACTOR).max(CHECK_FLOOR_NS);
+    println!(
+        "wallclock --check: tracing-off attach min {:.3} ms (committed {:.3} ms, limit {:.3} ms)",
+        attach.min_ns / 1e6,
+        committed_off / 1e6,
+        trace_limit / 1e6
+    );
+    if attach.min_ns > trace_limit {
+        eprintln!(
+            "wallclock --check: FAIL — tracing-off attach exceeds committed by more than \
+             {:.0}% (disabled tracing must be free)",
+            (TRACE_CHECK_FACTOR - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
     println!("wallclock --check: OK");
 }
 
@@ -188,8 +244,11 @@ fn main() {
         }
     };
 
+    println!("wallclock: measuring tracing off/on smoke attach...");
+    let tracing = measure_tracing_section(iters.unwrap_or(20));
+
     let report = Report {
-        schema: 1,
+        schema: 2,
         note: "Host wall-clock times for the XEMEM simulator's structural work. \
                Virtual-time figures are unaffected by construction; see DESIGN.md \
                'Wall-clock vs virtual time'."
@@ -197,6 +256,7 @@ fn main() {
         attach_full_speedup_vs_baseline: baseline.full.attach.mean_ns / run.full.attach.mean_ns,
         baseline,
         current: run,
+        tracing,
     };
 
     println!("baseline ({}):", report.baseline.label);
@@ -208,6 +268,13 @@ fn main() {
     println!(
         "1 GiB attach speedup vs baseline: {:.1}x",
         report.attach_full_speedup_vs_baseline
+    );
+    println!(
+        "tracing overhead at {} MiB: off {:.3} ms, on {:.3} ms ({:.2}x)",
+        report.tracing.bytes >> 20,
+        report.tracing.off.mean_ns / 1e6,
+        report.tracing.on.mean_ns / 1e6,
+        report.tracing.on_over_off
     );
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -10,10 +10,10 @@
 //! attach+read ≈ 12 GB/s, RDMA just under 3.5 GB/s.
 
 use serde::Serialize;
-use xemem::{SystemBuilder, XememError};
+use xemem::{SystemBuilder, TraceHandle, XememError};
 use xemem_rdma::write_bandwidth_test;
 use xemem_sim::stats::throughput_gbps;
-use xemem_sim::{CostModel, SimDuration};
+use xemem_sim::{CostModel, SimDuration, SimTime};
 
 /// One size point of the figure.
 #[derive(Debug, Clone, Serialize)]
@@ -33,11 +33,24 @@ pub struct Fig5Row {
 /// Run the experiment over the given sizes with `iters` attachments per
 /// size.
 pub fn run(sizes: &[u64], iters: u32) -> Result<Vec<Fig5Row>, XememError> {
+    run_with(sizes, iters, &TraceHandle::disabled())
+}
+
+/// [`run`] with an explicit tracer. When the handle is enabled, every
+/// size point is audited: the sum of attributed span durations must
+/// equal the virtual time that elapsed on that system's clock, exactly.
+pub fn run_with(
+    sizes: &[u64],
+    iters: u32,
+    tracer: &TraceHandle,
+) -> Result<Vec<Fig5Row>, XememError> {
     let cost = CostModel::default();
     let mut rows = Vec::new();
     for &size in sizes {
+        let scope = tracer.scope();
         let mut sys = SystemBuilder::new()
             .with_cost(cost.clone())
+            .with_tracer(tracer.clone())
             .linux_management("linux", 4, 256 << 20)
             .kitten_cokernel("kitten", 1, size + (64 << 20))
             .build()?;
@@ -61,6 +74,13 @@ pub fn run(sizes: &[u64], iters: u32) -> Result<Vec<Fig5Row>, XememError> {
         // of the freshly attached mapping.
         let read_each = cost.attached_read(size);
         let read_total = attach_total + read_each.times(iters as u64);
+
+        if tracer.is_enabled() {
+            let elapsed = sys.clock().now().duration_since(SimTime::ZERO);
+            tracer
+                .audit_scope(&scope, Some(elapsed))
+                .expect("fig5 conservation audit");
+        }
 
         let rdma_gbps = write_bandwidth_test(&cost, size, iters.clamp(5, 50));
         rows.push(Fig5Row {

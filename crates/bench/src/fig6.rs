@@ -19,7 +19,8 @@
 use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use xemem::{ProcessRef, System, SystemBuilder, XememError};
+use xemem::trace_layer::{Ctx, SpanKind, Timeline};
+use xemem::{ProcessRef, System, SystemBuilder, TraceHandle, XememError};
 use xemem_sim::stats::throughput_gbps;
 use xemem_sim::{CostModel, SimDuration, SimTime};
 
@@ -49,9 +50,27 @@ struct Pair {
 /// Run one cell: `n` enclaves each serving `iters` attachments of
 /// `size` bytes.
 pub fn run_cell(n: u32, size: u64, iters: u32) -> Result<Fig6Cell, XememError> {
+    run_cell_with(n, size, iters, &TraceHandle::disabled())
+}
+
+/// [`run_cell`] with an explicit tracer. The worklist drives the
+/// timeline (`*_at`) API directly, so this variant frames each
+/// attachment/detach on the detached timeline itself — including a
+/// `MapContention` leaf for the memory-map contention surcharge the
+/// worklist adds outside the [`System`] — and audits the cell: clock
+/// roots must tile the setup phase and detached leaves must tile their
+/// roots, exactly.
+pub fn run_cell_with(
+    n: u32,
+    size: u64,
+    iters: u32,
+    tracer: &TraceHandle,
+) -> Result<Fig6Cell, XememError> {
+    let scope = tracer.scope();
     let cost = CostModel::default();
     let mut b = SystemBuilder::new()
         .with_cost(cost.clone())
+        .with_tracer(tracer.clone())
         .linux_management("linux", 8, (n as u64) * (32 << 20) + (64 << 20));
     for i in 0..n {
         b = b.kitten_cokernel(&format!("kitten{i}"), 1, size + (64 << 20));
@@ -96,13 +115,38 @@ pub fn run_cell(n: u32, size: u64, iters: u32) -> Result<Fig6Cell, XememError> {
             continue;
         }
         pair.remaining -= 1;
-        let outcome = sys.attach_at(pair.attacher, pair.apid, 0, size, at)?;
+        let ctx = Ctx::proc(pair.attacher.enclave.0, pair.attacher.pid.0);
+        tracer.begin_op(SpanKind::Attach, at, ctx, Timeline::Detached);
+        let outcome = match sys.attach_at(pair.attacher, pair.apid, 0, size, at) {
+            Ok(o) => o,
+            Err(e) => {
+                tracer.abort_op();
+                return Err(e);
+            }
+        };
         let extra = outcome.map.scaled(map_contention);
+        tracer.leaf(SpanKind::MapContention, outcome.end, extra, ctx);
         let attach_end = outcome.end + extra;
+        tracer.commit_op(attach_end);
         pair.busy_time += attach_end.duration_since(at);
-        let free_at = sys.detach_at(pair.attacher, outcome.va, attach_end)?;
+        tracer.begin_op(SpanKind::Detach, attach_end, ctx, Timeline::Detached);
+        let free_at = match sys.detach_at(pair.attacher, outcome.va, attach_end) {
+            Ok(t) => t,
+            Err(e) => {
+                tracer.abort_op();
+                return Err(e);
+            }
+        };
+        tracer.commit_op(free_at);
         let _ = pair.exporter;
         heap.push(Reverse((free_at, idx)));
+    }
+
+    if tracer.is_enabled() {
+        let elapsed = sys.clock().now().duration_since(SimTime::ZERO);
+        tracer
+            .audit_scope(&scope, Some(elapsed))
+            .expect("fig6 conservation audit");
     }
 
     let per_pair: Vec<f64> = pairs
@@ -132,10 +176,25 @@ pub fn default_iters(n: u32, size: u64, smoke: bool) -> u32 {
 
 /// Run the full sweep.
 pub fn run(counts: &[u32], sizes: &[u64], smoke: bool) -> Result<Vec<Fig6Cell>, XememError> {
+    run_with(counts, sizes, smoke, &TraceHandle::disabled())
+}
+
+/// [`run`] with an explicit tracer (see [`run_cell_with`]).
+pub fn run_with(
+    counts: &[u32],
+    sizes: &[u64],
+    smoke: bool,
+    tracer: &TraceHandle,
+) -> Result<Vec<Fig6Cell>, XememError> {
     let mut out = Vec::new();
     for &n in counts {
         for &size in sizes {
-            out.push(run_cell(n, size, default_iters(n, size, smoke))?);
+            out.push(run_cell_with(
+                n,
+                size,
+                default_iters(n, size, smoke),
+                tracer,
+            )?);
         }
     }
     Ok(out)

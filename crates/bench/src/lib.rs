@@ -27,6 +27,9 @@ pub mod wallclock;
 
 use std::fmt::Write as _;
 
+use xemem::trace_layer;
+use xemem::TraceHandle;
+
 /// Minimal CLI options shared by the figure binaries.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -36,11 +39,16 @@ pub struct Args {
     pub runs: Option<u32>,
     /// Emit machine-readable JSON after the table.
     pub json: bool,
+    /// Enable the tracing/metrics layer for this run.
+    pub trace: bool,
+    /// Write a chrome://tracing JSON export here (implies `trace`); a
+    /// folded-stack export lands next to it at `<path>.folded`.
+    pub trace_out: Option<String>,
 }
 
 impl Args {
     /// Parse from `std::env::args`. Recognized: `--smoke`, `--runs N`,
-    /// `--json`.
+    /// `--json`, `--trace`, `--trace-out PATH`.
     pub fn parse() -> Args {
         let mut out = Args::default();
         let mut it = std::env::args().skip(1);
@@ -54,11 +62,61 @@ impl Args {
                         .and_then(|v| v.parse().ok())
                         .or_else(|| panic!("--runs requires an integer"));
                 }
-                other => panic!("unknown argument: {other} (expected --smoke, --runs N, --json)"),
+                "--trace" => out.trace = true,
+                "--trace-out" => {
+                    out.trace_out = Some(it.next().expect("--trace-out requires a path"));
+                    out.trace = true;
+                }
+                other => panic!(
+                    "unknown argument: {other} (expected --smoke, --runs N, --json, --trace, --trace-out PATH)"
+                ),
             }
         }
         out
     }
+
+    /// Whether tracing was requested via flags or `XEMEM_TRACE=1`.
+    pub fn tracing_requested(&self) -> bool {
+        self.trace || self.trace_out.is_some() || trace_layer::env_requested()
+    }
+}
+
+/// Resolve the tracer for a bench run: an enabled handle (also installed
+/// as the process-global fallback, so systems built without an explicit
+/// `.with_tracer(..)` still report into it) when requested, otherwise
+/// the inert disabled handle.
+pub fn init_tracing(args: &Args) -> TraceHandle {
+    if args.tracing_requested() {
+        let handle = TraceHandle::enabled();
+        trace_layer::install_global(handle.clone());
+        handle
+    } else {
+        TraceHandle::disabled()
+    }
+}
+
+/// End-of-run tracing epilogue shared by the bench binaries: export the
+/// chrome://tracing JSON (and a folded-stack file alongside) when
+/// `--trace-out` was given, run the conservation auditor, and print the
+/// metrics summary. No-op for a disabled handle.
+pub fn finish_tracing(args: &Args, tracer: &TraceHandle) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, tracer.chrome_trace_json()).expect("write chrome trace JSON");
+        let folded = format!("{path}.folded");
+        std::fs::write(&folded, tracer.folded_stacks()).expect("write folded stacks");
+        eprintln!("trace: wrote {path} (chrome://tracing) and {folded} (folded stacks)");
+    }
+    match tracer.audit() {
+        Ok(sums) => eprintln!(
+            "trace: conservation audit OK ({} attributed ns)",
+            sums.total_attributed_ns()
+        ),
+        Err(e) => panic!("trace: conservation audit FAILED: {e}"),
+    }
+    eprint!("{}", tracer.metrics_summary());
 }
 
 /// Render an aligned text table.

@@ -13,9 +13,9 @@
 //! parenthesized number.
 
 use serde::Serialize;
-use xemem::{GuestOs, MemoryMapKind, SystemBuilder, XememError};
+use xemem::{GuestOs, MemoryMapKind, SystemBuilder, TraceHandle, XememError};
 use xemem_sim::stats::throughput_gbps;
-use xemem_sim::SimDuration;
+use xemem_sim::{SimDuration, SimTime};
 
 /// One row of the table.
 #[derive(Debug, Clone, Serialize)]
@@ -35,11 +35,30 @@ pub struct Table2Row {
 
 /// Run all three rows with `iters` attachments of `size` bytes each.
 pub fn run(size: u64, iters: u32) -> Result<Vec<Table2Row>, XememError> {
+    run_with(size, iters, &TraceHandle::disabled())
+}
+
+/// [`run`] with an explicit tracer; each row's system is audited
+/// against its own clock elapsed time.
+pub fn run_with(size: u64, iters: u32, tracer: &TraceHandle) -> Result<Vec<Table2Row>, XememError> {
     let mut rows = Vec::new();
+    let audit = |tracer: &TraceHandle,
+                 scope: &xemem::trace_layer::AuditScope,
+                 sys: &xemem::System,
+                 row: &str| {
+        if tracer.is_enabled() {
+            let elapsed = sys.clock().now().duration_since(SimTime::ZERO);
+            tracer
+                .audit_scope(scope, Some(elapsed))
+                .unwrap_or_else(|e| panic!("table2 {row} conservation audit: {e}"));
+        }
+    };
 
     // Row 1: Kitten exports, native Linux attaches.
     {
+        let scope = tracer.scope();
         let mut sys = SystemBuilder::new()
+            .with_tracer(tracer.clone())
             .linux_management("linux", 4, 128 << 20)
             .kitten_cokernel("kitten", 1, size + (64 << 20))
             .build()?;
@@ -58,6 +77,7 @@ pub fn run(size: u64, iters: u32) -> Result<Vec<Table2Row>, XememError> {
             total += o.end.duration_since(t0);
             sys.xpmem_detach(attacher, o.va)?;
         }
+        audit(tracer, &scope, &sys, "row1");
         rows.push(Table2Row {
             exporting: "Kitten",
             attaching: "Linux",
@@ -69,7 +89,9 @@ pub fn run(size: u64, iters: u32) -> Result<Vec<Table2Row>, XememError> {
 
     // Row 2: Kitten exports, a Linux VM on the Linux host attaches.
     {
+        let scope = tracer.scope();
         let mut sys = SystemBuilder::new()
+            .with_tracer(tracer.clone())
             .linux_management("linux", 4, 64 << 20)
             .kitten_cokernel("kitten", 1, size + (64 << 20))
             .palacios_vm(
@@ -101,6 +123,7 @@ pub fn run(size: u64, iters: u32) -> Result<Vec<Table2Row>, XememError> {
             frac_sum += breakdown.map_update_fraction();
             sys.xpmem_detach(attacher, o.va)?;
         }
+        audit(tracer, &scope, &sys, "row2");
         rows.push(Table2Row {
             exporting: "Kitten",
             attaching: "Linux (VM)",
@@ -112,7 +135,9 @@ pub fn run(size: u64, iters: u32) -> Result<Vec<Table2Row>, XememError> {
 
     // Row 3: a Linux VM exports, Kitten attaches (Fig. 4(b) direction).
     {
+        let scope = tracer.scope();
         let mut sys = SystemBuilder::new()
+            .with_tracer(tracer.clone())
             .linux_management("linux", 4, 64 << 20)
             .kitten_cokernel("kitten", 1, size + (64 << 20))
             .palacios_vm(
@@ -138,6 +163,7 @@ pub fn run(size: u64, iters: u32) -> Result<Vec<Table2Row>, XememError> {
             total += o.end.duration_since(t0);
             sys.xpmem_detach(attacher, o.va)?;
         }
+        audit(tracer, &scope, &sys, "row3");
         rows.push(Table2Row {
             exporting: "Linux (VM)",
             attaching: "Kitten",

@@ -21,7 +21,7 @@
 
 use serde::Serialize;
 use std::time::Instant;
-use xemem::{SystemBuilder, XememError};
+use xemem::{SystemBuilder, TraceHandle, XememError};
 use xemem_sim::CostModel;
 
 /// Multiplier over the committed attach time above which `--check`
@@ -35,6 +35,14 @@ pub const CHECK_FACTOR: f64 = 2.0;
 /// far below the per-page baseline at smoke size (~milliseconds) so a
 /// real regression still trips.
 pub const CHECK_FLOOR_NS: f64 = 2_000_000.0;
+
+/// Multiplier over the committed tracing-off attach time above which
+/// `--check` fails the *tracing overhead* gate: the disabled-tracing
+/// path must stay within 2% of its committed wall time (plus the same
+/// [`CHECK_FLOOR_NS`] absolute headroom — at smoke size the attach is
+/// far below the floor, so the gate catches an accidental allocation or
+/// branch on the hot path, not scheduler noise).
+pub const TRACE_CHECK_FACTOR: f64 = 1.02;
 
 /// Region size used for the full-size profile (the paper's largest
 /// Fig. 5/6 point).
@@ -87,7 +95,19 @@ pub struct Profile {
 
 /// Measure attach and attach+read wall time for one region size.
 pub fn measure_attach(size: u64, iters: u32) -> Result<(BenchStats, BenchStats), XememError> {
+    measure_attach_with(size, iters, &TraceHandle::disabled())
+}
+
+/// [`measure_attach`] against an explicit tracer — used by the binary's
+/// tracing-overhead section to time the same workload with tracing off
+/// and on.
+pub fn measure_attach_with(
+    size: u64,
+    iters: u32,
+    tracer: &TraceHandle,
+) -> Result<(BenchStats, BenchStats), XememError> {
     let mut sys = SystemBuilder::new()
+        .with_tracer(tracer.clone())
         .with_cost(CostModel::default())
         .linux_management("linux", 4, 256 << 20)
         .kitten_cokernel("kitten", 1, size + (64 << 20))

@@ -6,13 +6,44 @@
 //! sequential experiments and the examples consume the system. Programs
 //! written against XPMEM map one-to-one onto these calls — the paper's
 //! backwards-compatibility claim (§4.1).
+//!
+//! Each wrapper also frames its operation for the tracer: the op span
+//! opens at the start time and commits at the completion time, so every
+//! charged leaf underneath it is attributed to the API call that paid
+//! for it. A failed call aborts the frame — mirroring the invariant
+//! that errors never advance the clock, they never contribute spans.
 
 use crate::ids::{Apid, ProcessRef, Segid};
 use crate::system::{AttachOutcome, System};
 use crate::XememError;
 use xemem_mem::VirtAddr;
+use xemem_trace::{Ctx, SpanKind, Timeline};
 
 impl System {
+    /// Frame one clock-based operation: open an op span at `at`, run
+    /// `f`, and commit at the returned end time (advancing the clock) or
+    /// abort on error (leaving the clock untouched).
+    fn framed<T>(
+        &mut self,
+        kind: SpanKind,
+        ctx: Ctx,
+        f: impl FnOnce(&mut Self, xemem_sim::SimTime) -> Result<(T, xemem_sim::SimTime), XememError>,
+    ) -> Result<T, XememError> {
+        let at = self.clock().now();
+        self.tracer().begin_op(kind, at, ctx, Timeline::Clock);
+        match f(self, at) {
+            Ok((value, end)) => {
+                self.tracer().commit_op(end);
+                self.clock().advance_to(end);
+                Ok(value)
+            }
+            Err(e) => {
+                self.tracer().abort_op();
+                Err(e)
+            }
+        }
+    }
+
     /// `xpmem_make`: export `[va, va + len)` of the calling process as
     /// shared memory. Returns the globally unique segid. The optional
     /// `name` provides discoverability via [`System::xpmem_search`].
@@ -23,18 +54,20 @@ impl System {
         len: u64,
         name: Option<&str>,
     ) -> Result<Segid, XememError> {
-        let at = self.clock().now();
-        let (segid, end) = self.make_at(p, va, len, name, at)?;
-        self.clock().advance_to(end);
-        Ok(segid)
+        self.framed(
+            SpanKind::Make,
+            Ctx::proc(p.enclave.0, p.pid.0),
+            |sys, at| sys.make_at(p, va, len, name, at),
+        )
     }
 
     /// `xpmem_remove`: withdraw an exported region.
     pub fn xpmem_remove(&mut self, p: ProcessRef, segid: Segid) -> Result<(), XememError> {
-        let at = self.clock().now();
-        let end = self.remove_at(p, segid, at)?;
-        self.clock().advance_to(end);
-        Ok(())
+        self.framed(
+            SpanKind::Remove,
+            Ctx::seg(p.enclave.0, p.pid.0, segid.0),
+            |sys, at| sys.remove_at(p, segid, at).map(|end| ((), end)),
+        )
     }
 
     /// `xpmem_get`: request read-write access to a segid. Returns a
@@ -51,18 +84,20 @@ impl System {
         segid: Segid,
         mode: crate::ids::AccessMode,
     ) -> Result<Apid, XememError> {
-        let at = self.clock().now();
-        let (apid, end) = self.get_mode_at(p, segid, mode, at)?;
-        self.clock().advance_to(end);
-        Ok(apid)
+        self.framed(
+            SpanKind::Get,
+            Ctx::seg(p.enclave.0, p.pid.0, segid.0),
+            |sys, at| sys.get_mode_at(p, segid, mode, at),
+        )
     }
 
     /// `xpmem_release`: release a permission grant.
     pub fn xpmem_release(&mut self, p: ProcessRef, apid: Apid) -> Result<(), XememError> {
-        let at = self.clock().now();
-        let end = self.release_at(p, apid, at)?;
-        self.clock().advance_to(end);
-        Ok(())
+        self.framed(
+            SpanKind::Release,
+            Ctx::proc(p.enclave.0, p.pid.0),
+            |sys, at| sys.release_at(p, apid, at).map(|end| ((), end)),
+        )
     }
 
     /// `xpmem_attach`: map `len` bytes at `offset` within the granted
@@ -86,26 +121,32 @@ impl System {
         offset: u64,
         len: u64,
     ) -> Result<AttachOutcome, XememError> {
-        let at = self.clock().now();
-        let outcome = self.attach_at(p, apid, offset, len, at)?;
-        self.clock().advance_to(outcome.end);
-        Ok(outcome)
+        self.framed(
+            SpanKind::Attach,
+            Ctx::proc(p.enclave.0, p.pid.0),
+            |sys, at| {
+                sys.attach_at(p, apid, offset, len, at)
+                    .map(|outcome| (outcome, outcome.end))
+            },
+        )
     }
 
     /// `xpmem_detach`: unmap a previously attached region.
     pub fn xpmem_detach(&mut self, p: ProcessRef, va: VirtAddr) -> Result<(), XememError> {
-        let at = self.clock().now();
-        let end = self.detach_at(p, va, at)?;
-        self.clock().advance_to(end);
-        Ok(())
+        self.framed(
+            SpanKind::Detach,
+            Ctx::proc(p.enclave.0, p.pid.0),
+            |sys, at| sys.detach_at(p, va, at).map(|end| ((), end)),
+        )
     }
 
     /// Discoverability extension: resolve a well-known segment name to
     /// its segid by querying the name server (paper §3.1).
     pub fn xpmem_search(&mut self, p: ProcessRef, name: &str) -> Result<Segid, XememError> {
-        let at = self.clock().now();
-        let (segid, end) = self.search_at(p, name, at)?;
-        self.clock().advance_to(end);
-        Ok(segid)
+        self.framed(
+            SpanKind::Search,
+            Ctx::proc(p.enclave.0, p.pid.0),
+            |sys, at| sys.search_at(p, name, at),
+        )
     }
 }

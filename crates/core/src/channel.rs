@@ -33,13 +33,46 @@ pub enum Link {
     },
 }
 
+/// Per-component breakdown of one [`Link::send_traced`] delivery. The
+/// components always sum to the completion time minus the start time,
+/// exactly.
+#[derive(Debug, Clone, Copy)]
+pub enum LinkCharge {
+    /// IPI delivery: queueing on core 0, then the serialized exchange.
+    Ipi {
+        /// Wait for the core-0 interrupt handler to become free.
+        wait: SimDuration,
+        /// IPI + handshake + message/payload copy.
+        xfer: SimDuration,
+    },
+    /// Virtual PCI delivery: notification edge plus list copy.
+    Pci {
+        /// Hypercall (up) or virtual IRQ injection (down).
+        notify: SimDuration,
+        /// PFN-entry streaming through the device list buffer.
+        copy: SimDuration,
+        /// Direction of the notification edge.
+        dir: Direction,
+    },
+}
+
 impl Link {
     /// Deliver `bytes` across the link starting at `at`; returns the
     /// completion time. IPI links contend on the node's core-0 handler;
     /// the PCI link is private to one VM.
     pub fn send(&self, at: SimTime, bytes: u64, dir: Direction) -> SimTime {
+        self.send_traced(at, bytes, dir).0
+    }
+
+    /// [`Link::send`], also reporting where the time went (for span
+    /// attribution).
+    pub fn send_traced(&self, at: SimTime, bytes: u64, dir: Direction) -> (SimTime, LinkCharge) {
         match self {
-            Link::Ipi(ch) => ch.send(at, bytes),
+            Link::Ipi(ch) => {
+                let (end, wait) = ch.send_timed(at, bytes);
+                let xfer = end.duration_since(at) - wait;
+                (end, LinkCharge::Ipi { wait, xfer })
+            }
             Link::Pci { cost } => {
                 let notify = match dir {
                     Direction::Up => SimDuration::from_nanos(cost.hypercall_ns),
@@ -47,7 +80,8 @@ impl Link {
                 };
                 // PFN entries stream through the device list buffer.
                 let entries = bytes / 8;
-                at + notify + SimDuration::from_nanos(cost.pci_pfn_copy_ns).times(entries)
+                let copy = SimDuration::from_nanos(cost.pci_pfn_copy_ns).times(entries);
+                (at + notify + copy, LinkCharge::Pci { notify, copy, dir })
             }
         }
     }

@@ -37,8 +37,15 @@ pub enum XememError {
     /// to, from, or through it.
     EnclaveDead(EnclaveRef),
     /// The name server could not be reached within the retry budget
-    /// (bounded outage outlasted the exponential backoff).
-    NameServerUnavailable,
+    /// (bounded outage outlasted the exponential backoff). Carries the
+    /// retry attempts taken and the total virtual time spent backing
+    /// off, so callers can see what the outage cost them.
+    NameServerUnavailable {
+        /// Backoff retries attempted before giving up.
+        attempts: u32,
+        /// Total virtual time spent waiting between retries.
+        backoff: xemem_sim::SimDuration,
+    },
 }
 
 impl From<KernelError> for XememError {
@@ -85,8 +92,13 @@ impl fmt::Display for XememError {
                 write!(f, "attachment at {va:#x} was already detached")
             }
             XememError::EnclaveDead(e) => write!(f, "enclave slot {} is dead", e.0),
-            XememError::NameServerUnavailable => {
-                write!(f, "name server unreachable: retry budget exhausted")
+            XememError::NameServerUnavailable { attempts, backoff } => {
+                write!(
+                    f,
+                    "name server unreachable: retry budget exhausted \
+                     ({attempts} attempts, {} ns of backoff)",
+                    backoff.as_nanos()
+                )
             }
         }
     }

@@ -78,3 +78,8 @@ pub use system::{System, SystemBuilder};
 pub use xemem_mem::{Pid, VirtAddr};
 pub use xemem_palacios::MemoryMapKind;
 pub use xemem_sim::{CostModel, FaultKind, FaultPlan, SimDuration, SimTime};
+/// The observability layer (spans, metrics, exporters, conservation
+/// auditor) — re-exported so downstream crates need not depend on
+/// `xemem-trace` directly.
+pub use xemem_trace as trace_layer;
+pub use xemem_trace::TraceHandle;

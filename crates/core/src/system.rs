@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::channel::{Direction, Link};
+use crate::channel::{Direction, Link, LinkCharge};
 use crate::enclave::{AttachState, EnclaveKind, GuestOs, SegRecord, Slot};
 use crate::error::XememError;
 use crate::ids::{AccessMode, Apid, EnclaveId, EnclaveRef, ProcessRef, Segid};
@@ -32,6 +32,7 @@ use xemem_palacios::{MemoryMapKind, Vmm};
 use xemem_pisces::{Core0Handler, IpiChannel, NodeResources};
 use xemem_sim::trace::Trace;
 use xemem_sim::{Clock, CostModel, FaultInjector, FaultKind, FaultPlan, SimDuration, SimTime};
+use xemem_trace::{Counter, Ctx, Hist, SpanKind, Timeline, TraceHandle};
 
 /// Bound on per-hop retransmissions under injected message loss: after
 /// this many consecutive drops the channel is assumed to have recovered
@@ -106,6 +107,10 @@ pub struct System {
     grants: HashMap<(usize, Segid), u64>,
     /// Frames on loan from dead exporters (see [`Loan`]).
     loans: Vec<Loan>,
+    /// Virtual-time span/metrics sink. Disabled handles are inert
+    /// (inlined `None` branch — no allocation on any hot path), and the
+    /// virtual-time arithmetic is identical either way.
+    tracer: TraceHandle,
 }
 
 impl System {
@@ -117,6 +122,14 @@ impl System {
     /// The calibrated cost model in use.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The observability handle this system charges spans and metrics
+    /// to (disabled unless set via [`SystemBuilder::with_tracer`] or a
+    /// process-global install). Experiment drivers use it to frame
+    /// detached-timeline ops and to run the conservation auditor.
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
     }
 
     /// The node's physical memory (for white-box assertions in tests).
@@ -238,7 +251,17 @@ impl System {
                         self.events
                             .record(ev.at, SimDuration::ZERO, "crash:skipped-ns-slot");
                     } else if self.slots[slot].alive {
-                        self.crash_enclave_internal(slot, ev.at);
+                        // Injected crashes run between operations; their
+                        // teardown cost lives on the detached timeline so
+                        // the clock audit still balances exactly.
+                        self.tracer.begin_op(
+                            SpanKind::InjectedCrash,
+                            ev.at,
+                            Ctx::enclave(slot),
+                            Timeline::Detached,
+                        );
+                        let end = self.crash_enclave_internal(slot, ev.at);
+                        self.tracer.commit_op(end);
                     }
                 }
                 FaultKind::ProcessKill { slot, pid } => {
@@ -248,9 +271,22 @@ impl System {
                             enclave: EnclaveRef(slot),
                             pid: Pid(pid),
                         };
-                        if self.crash_process_internal(p, ev.at).is_err() {
-                            self.events
-                                .record(ev.at, SimDuration::ZERO, "crash:no-such-process");
+                        self.tracer.begin_op(
+                            SpanKind::InjectedKill,
+                            ev.at,
+                            Ctx::proc(slot, pid),
+                            Timeline::Detached,
+                        );
+                        match self.crash_process_internal(p, ev.at) {
+                            Ok(end) => self.tracer.commit_op(end),
+                            Err(_) => {
+                                self.tracer.abort_op();
+                                self.events.record(
+                                    ev.at,
+                                    SimDuration::ZERO,
+                                    "crash:no-such-process",
+                                );
+                            }
                         }
                     }
                 }
@@ -274,16 +310,31 @@ impl System {
         if self.ns_available(at) {
             return Ok(at);
         }
+        let mut total = SimDuration::ZERO;
         for k in 0..self.cost.ns_retry_max_attempts {
             let wait = SimDuration::from_nanos(self.cost.ns_retry_base_ns << k.min(20));
+            self.tracer
+                .leaf(SpanKind::NsBackoff, at, wait, Ctx::enclave(self.ns_slot));
             at += wait;
+            total += wait;
             self.events.record(at, wait, format!("ns:retry:{k}"));
             if self.ns_available(at) {
+                self.tracer.count(Counter::NsRetries, u64::from(k) + 1);
+                self.tracer.count(Counter::NsBackoffNs, total.as_nanos());
+                self.tracer.observe(Hist::NsRetriesPerOp, u64::from(k) + 1);
                 return Ok(at);
             }
         }
+        let attempts = self.cost.ns_retry_max_attempts;
+        self.tracer.count(Counter::NsRetries, u64::from(attempts));
+        self.tracer.count(Counter::NsBackoffNs, total.as_nanos());
+        self.tracer
+            .observe(Hist::NsRetriesPerOp, u64::from(attempts));
         self.events.record(at, SimDuration::ZERO, "ns:unavailable");
-        Err(XememError::NameServerUnavailable)
+        Err(XememError::NameServerUnavailable {
+            attempts,
+            backoff: total,
+        })
     }
 
     /// Abruptly kill a process (clock-based): exported frames still
@@ -294,9 +345,23 @@ impl System {
     pub fn crash_process(&mut self, p: ProcessRef) -> Result<(), XememError> {
         let at = self.clock.now();
         self.process_faults(at);
-        let end = self.crash_process_at(p, at)?;
-        self.clock.advance_to(end);
-        Ok(())
+        self.tracer.begin_op(
+            SpanKind::CrashProcess,
+            at,
+            Ctx::proc(p.enclave.0, p.pid.0),
+            Timeline::Clock,
+        );
+        match self.crash_process_at(p, at) {
+            Ok(end) => {
+                self.tracer.commit_op(end);
+                self.clock.advance_to(end);
+                Ok(())
+            }
+            Err(e) => {
+                self.tracer.abort_op();
+                Err(e)
+            }
+        }
     }
 
     /// Timeline variant of [`Self::crash_process`].
@@ -358,6 +423,14 @@ impl System {
                     .retain_frames(p.pid, seg.va, seg.len)
                 {
                     Ok(c) => {
+                        self.tracer.leaf(
+                            SpanKind::Quarantine,
+                            t,
+                            c.cost,
+                            Ctx::seg(slot_idx, p.pid.0, segid.0),
+                        );
+                        self.tracer
+                            .count(Counter::FramesQuarantined, c.value.pages());
                         t += c.cost;
                         Some(c.value)
                     }
@@ -396,6 +469,12 @@ impl System {
         // 4. The kernel reclaims whatever the process still owns
         //    (quarantined frames excluded — they are on loan).
         let exited = self.slots[slot_idx].kind.kernel_mut().exit(p.pid)?;
+        self.tracer.leaf(
+            SpanKind::KernelExit,
+            t,
+            exited.cost,
+            Ctx::proc(slot_idx, p.pid.0),
+        );
         Ok(t + exited.cost)
     }
 
@@ -406,9 +485,23 @@ impl System {
     pub fn destroy_enclave(&mut self, e: EnclaveRef) -> Result<(), XememError> {
         let at = self.clock.now();
         self.process_faults(at);
-        let end = self.destroy_enclave_at(e, at)?;
-        self.clock.advance_to(end);
-        Ok(())
+        self.tracer.begin_op(
+            SpanKind::DestroyEnclave,
+            at,
+            Ctx::enclave(e.0),
+            Timeline::Clock,
+        );
+        match self.destroy_enclave_at(e, at) {
+            Ok(end) => {
+                self.tracer.commit_op(end);
+                self.clock.advance_to(end);
+                Ok(())
+            }
+            Err(err) => {
+                self.tracer.abort_op();
+                Err(err)
+            }
+        }
     }
 
     /// Timeline variant of [`Self::destroy_enclave`].
@@ -532,7 +625,15 @@ impl System {
             self.ns_slot
         };
         for site in sites {
-            at += SimDuration::from_nanos(self.cost.revoke_bookkeeping_ns);
+            let bk = SimDuration::from_nanos(self.cost.revoke_bookkeeping_ns);
+            self.tracer.leaf(
+                SpanKind::RevokeBookkeeping,
+                at,
+                bk,
+                Ctx::seg(owner_slot, 0, segid.0),
+            );
+            self.tracer.count(Counter::RevokeNotices, 1);
+            at += bk;
             let mut t = at;
             if site.slot != notifier {
                 if let Some(path) = self.notify_path(notifier, site.slot) {
@@ -586,6 +687,13 @@ impl System {
             rec.state = AttachState::Reaped;
         }
         let end = at + unmap + SimDuration::from_nanos(reap_ns);
+        self.tracer.leaf(
+            SpanKind::ReapUnmap,
+            at,
+            unmap + SimDuration::from_nanos(reap_ns),
+            Ctx::proc(site.slot, site.pid.0),
+        );
+        self.tracer.count(Counter::Reaps, 1);
         self.events.record(
             end,
             unmap,
@@ -613,6 +721,12 @@ impl System {
                 .return_frames(&loan.frames)
                 .is_ok();
             if returned {
+                // return_frames' cost is deliberately not charged (the
+                // owner's allocator absorbs it asynchronously), so this
+                // records a counter only — adding a time leaf here would
+                // break bit-identical virtual time with tracing off.
+                self.tracer
+                    .count(Counter::FramesReturned, loan.frames.pages());
                 self.events.record(
                     at,
                     SimDuration::ZERO,
@@ -620,6 +734,8 @@ impl System {
                 );
             }
         } else {
+            self.tracer
+                .count(Counter::FramesRetired, loan.frames.pages());
             self.events.record(
                 at,
                 SimDuration::ZERO,
@@ -716,6 +832,16 @@ impl System {
             return Err(XememError::EnclaveDead(e));
         }
         let spawned = slot.kind.kernel_mut().spawn(mem_bytes)?;
+        let at = self.clock.now();
+        self.tracer
+            .begin_op(SpanKind::Spawn, at, Ctx::enclave(e.0), Timeline::Clock);
+        self.tracer.leaf(
+            SpanKind::KernelSpawn,
+            at,
+            spawned.cost,
+            Ctx::proc(e.0, spawned.value.0),
+        );
+        self.tracer.commit_op(at + spawned.cost);
         self.clock.advance(spawned.cost);
         Ok(ProcessRef {
             enclave: e,
@@ -747,10 +873,21 @@ impl System {
             .map(|((_, va), _)| *va)
             .collect();
         attached.sort_unstable();
+        let pctx = Ctx::proc(slot_idx, p.pid.0);
         for va in attached {
             let at = self.clock.now();
-            let end = self.detach_at(p, VirtAddr(va), at)?;
-            self.clock.advance_to(end);
+            self.tracer
+                .begin_op(SpanKind::Detach, at, pctx, Timeline::Clock);
+            match self.detach_at(p, VirtAddr(va), at) {
+                Ok(end) => {
+                    self.tracer.commit_op(end);
+                    self.clock.advance_to(end);
+                }
+                Err(e) => {
+                    self.tracer.abort_op();
+                    return Err(e);
+                }
+            }
         }
         // Release permits, dropping the exporter-side grant refcounts
         // they pinned (left dangling before the teardown protocol
@@ -764,8 +901,18 @@ impl System {
         permits.sort_unstable();
         for apid in permits {
             let at = self.clock.now();
-            let end = self.release_at(p, apid, at)?;
-            self.clock.advance_to(end);
+            self.tracer
+                .begin_op(SpanKind::Release, at, pctx, Timeline::Clock);
+            match self.release_at(p, apid, at) {
+                Ok(end) => {
+                    self.tracer.commit_op(end);
+                    self.clock.advance_to(end);
+                }
+                Err(e) => {
+                    self.tracer.abort_op();
+                    return Err(e);
+                }
+            }
         }
         // Withdraw exported segments; remove_at revokes and reaps any
         // remote attachments before the kernel frees the frames below.
@@ -778,11 +925,31 @@ impl System {
         segids.sort_unstable();
         for segid in segids {
             let at = self.clock.now();
-            let end = self.remove_at(p, segid, at)?;
-            self.clock.advance_to(end);
+            self.tracer.begin_op(
+                SpanKind::Remove,
+                at,
+                pctx.with_seg(segid.0),
+                Timeline::Clock,
+            );
+            match self.remove_at(p, segid, at) {
+                Ok(end) => {
+                    self.tracer.commit_op(end);
+                    self.clock.advance_to(end);
+                }
+                Err(e) => {
+                    self.tracer.abort_op();
+                    return Err(e);
+                }
+            }
         }
         // Finally, the kernel reclaims the process.
         let exited = self.slots[slot_idx].kind.kernel_mut().exit(p.pid)?;
+        let at = self.clock.now();
+        self.tracer
+            .begin_op(SpanKind::Exit, at, pctx, Timeline::Clock);
+        self.tracer
+            .leaf(SpanKind::KernelExit, at, exited.cost, pctx);
+        self.tracer.commit_op(at + exited.cost);
         self.clock.advance(exited.cost);
         Ok(())
     }
@@ -799,6 +966,12 @@ impl System {
             return Err(XememError::EnclaveDead(p.enclave));
         }
         let out = slot.kind.kernel_mut().alloc_buffer(p.pid, len)?;
+        let at = self.clock.now();
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        self.tracer
+            .begin_op(SpanKind::AllocBuffer, at, ctx, Timeline::Clock);
+        self.tracer.leaf(SpanKind::Bookkeeping, at, out.cost, ctx);
+        self.tracer.commit_op(at + out.cost);
         self.clock.advance(out.cost);
         Ok(out.value)
     }
@@ -835,8 +1008,20 @@ impl System {
             return Err(XememError::EnclaveDead(p.enclave));
         }
         self.check_data_access(p.enclave.0, p.pid, va, data.len() as u64)?;
+        if self.tracer.is_enabled()
+            && self.overlaps_live_attachment(p.enclave.0, p.pid, va, data.len() as u64)
+        {
+            self.tracer
+                .count(Counter::BytesWrittenAttached, data.len() as u64);
+        }
         let slot = &mut self.slots[p.enclave.0];
         let out = slot.kind.kernel_mut().write(p.pid, va, data)?;
+        let at = self.clock.now();
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        self.tracer
+            .begin_op(SpanKind::Write, at, ctx, Timeline::Clock);
+        self.tracer.leaf(SpanKind::DramStream, at, out.cost, ctx);
+        self.tracer.commit_op(at + out.cost);
         self.clock.advance(out.cost);
         Ok(())
     }
@@ -855,10 +1040,38 @@ impl System {
             return Err(XememError::EnclaveDead(p.enclave));
         }
         self.check_data_access(p.enclave.0, p.pid, va, out.len() as u64)?;
+        if self.tracer.is_enabled()
+            && self.overlaps_live_attachment(p.enclave.0, p.pid, va, out.len() as u64)
+        {
+            self.tracer
+                .count(Counter::BytesReadAttached, out.len() as u64);
+        }
         let slot = &mut self.slots[p.enclave.0];
         let r = slot.kind.kernel_mut().read(p.pid, va, out)?;
+        let at = self.clock.now();
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        self.tracer
+            .begin_op(SpanKind::Read, at, ctx, Timeline::Clock);
+        self.tracer.leaf(SpanKind::DramStream, at, r.cost, ctx);
+        self.tracer.commit_op(at + r.cost);
         self.clock.advance(r.cost);
         Ok(())
+    }
+
+    /// True when `[va, va+len)` overlaps a live attachment of `pid` —
+    /// used only to attribute cross-enclave data-path bytes to the
+    /// metrics registry (the access-guard twin of
+    /// [`Self::check_data_access`]).
+    fn overlaps_live_attachment(&self, slot_idx: usize, pid: Pid, va: VirtAddr, len: u64) -> bool {
+        self.slots[slot_idx]
+            .attachments
+            .iter()
+            .any(|((rpid, base), rec)| {
+                *rpid == pid
+                    && rec.state == AttachState::Live
+                    && va.0 < base + rec.len
+                    && va.0 + len > *base
+            })
     }
 
     // ------------------------------------------------------------------
@@ -917,6 +1130,7 @@ impl System {
         mut at: SimTime,
     ) -> SimTime {
         let bytes = kind.wire_bytes();
+        let seg = segid.map(|s| s.0).unwrap_or(0);
         for w in 0..path.len().saturating_sub(1) {
             let (a, b) = (path[w], path[w + 1]);
             // Injected message loss: the sender times out and
@@ -930,11 +1144,12 @@ impl System {
                     at += timeout;
                 }
                 if dropped > 0 {
-                    self.events.record(
-                        at,
-                        timeout.times(u64::from(dropped)),
-                        format!("fault:drop:{dropped}"),
-                    );
+                    let lost = timeout.times(u64::from(dropped));
+                    self.tracer
+                        .leaf(SpanKind::Retransmit, at - lost, lost, Ctx::seg(a, 0, seg));
+                    self.tracer.count(Counter::Retransmits, u64::from(dropped));
+                    self.events
+                        .record(at, lost, format!("fault:drop:{dropped}"));
                 }
             }
             if self.trace_enabled {
@@ -948,7 +1163,7 @@ impl System {
                 });
             }
             let (link, dir) = self.link_between(a, b).expect("path hops are tree edges");
-            at = link.send(at, bytes, dir);
+            at = self.send_link(&link, at, bytes, dir, Ctx::seg(b, 0, seg));
             // Injected duplication: the receiver pays for a second copy.
             if self
                 .injector
@@ -956,18 +1171,50 @@ impl System {
                 .is_some_and(|i| i.should_duplicate(at))
             {
                 self.events.record(at, SimDuration::ZERO, "fault:dup");
-                at = link.send(at, bytes, dir);
+                self.tracer.count(Counter::DupDeliveries, 1);
+                at = self.send_link(&link, at, bytes, dir, Ctx::seg(b, 0, seg));
             }
             // Forwarding decision at each intermediate receiver.
             if w + 2 < path.len() {
-                at += SimDuration::from_nanos(self.cost.route_hop_ns);
+                let hop = SimDuration::from_nanos(self.cost.route_hop_ns);
+                self.tracer
+                    .leaf(SpanKind::RouteForward, at, hop, Ctx::seg(b, 0, seg));
+                at += hop;
             }
             // Name-server processing when the request transits it.
             if b == self.ns_slot && w + 2 <= path.len() && requires_ns_processing(kind) {
-                at += SimDuration::from_nanos(self.cost.name_server_ns);
+                let ns = SimDuration::from_nanos(self.cost.name_server_ns);
+                self.tracer
+                    .leaf(SpanKind::NsProcess, at, ns, Ctx::seg(b, 0, seg));
+                at += ns;
             }
         }
         at
+    }
+
+    /// Send one message over a link, attributing the charge to its
+    /// mechanism: IPI queue wait + transfer on host links, hypercall or
+    /// guest-IRQ notification + PCI window copy on VM links. The end time
+    /// equals `Link::send` exactly; the leaves partition it.
+    fn send_link(&self, link: &Link, at: SimTime, bytes: u64, dir: Direction, ctx: Ctx) -> SimTime {
+        let (end, charge) = link.send_traced(at, bytes, dir);
+        if self.tracer.is_enabled() {
+            match charge {
+                LinkCharge::Ipi { wait, xfer } => {
+                    self.tracer.leaf(SpanKind::IpiWait, at, wait, ctx);
+                    self.tracer.leaf(SpanKind::IpiXfer, at + wait, xfer, ctx);
+                }
+                LinkCharge::Pci { notify, copy, dir } => {
+                    let kind = match dir {
+                        Direction::Up => SpanKind::Hypercall,
+                        Direction::Down => SpanKind::GuestIrq,
+                    };
+                    self.tracer.leaf(kind, at, notify, ctx);
+                    self.tracer.leaf(SpanKind::PciCopy, at + notify, copy, ctx);
+                }
+            }
+        }
+        end
     }
 
     /// Path from a slot to the name server, following `ns_via`.
@@ -1027,10 +1274,14 @@ impl System {
         let (segid, mut t) = if slot_idx == self.ns_slot {
             // Local syscall into the co-resident name server.
             let segid = self.name_server.alloc_segid(my_id, name)?;
-            (
-                segid,
-                at + SimDuration::from_nanos(self.cost.name_server_ns),
-            )
+            let ns = SimDuration::from_nanos(self.cost.name_server_ns);
+            self.tracer.leaf(
+                SpanKind::NsProcess,
+                at,
+                ns,
+                Ctx::seg(self.ns_slot, 0, segid.0),
+            );
+            (segid, at + ns)
         } else {
             let path = self.path_to_ns_checked(slot_idx)?;
             let t_req = self.charge_hops(&path, MessageKind::AllocSegid, None, None, at);
@@ -1040,7 +1291,14 @@ impl System {
             (segid, t_rep)
         };
         // Local registration bookkeeping.
-        t += SimDuration::from_nanos(300);
+        let bk = SimDuration::from_nanos(300);
+        self.tracer.leaf(
+            SpanKind::Bookkeeping,
+            t,
+            bk,
+            Ctx::seg(slot_idx, p.pid.0, segid.0),
+        );
+        t += bk;
         self.slots[slot_idx].segs.insert(
             segid,
             SegRecord {
@@ -1084,7 +1342,14 @@ impl System {
         let at = self.ns_backoff(at)?;
         let t = if slot_idx == self.ns_slot {
             self.name_server.remove_segid(segid, my_id)?;
-            at + SimDuration::from_nanos(self.cost.name_server_ns)
+            let ns = SimDuration::from_nanos(self.cost.name_server_ns);
+            self.tracer.leaf(
+                SpanKind::NsProcess,
+                at,
+                ns,
+                Ctx::seg(self.ns_slot, 0, segid.0),
+            );
+            at + ns
         } else {
             let path = self.path_to_ns_checked(slot_idx)?;
             let t = self.charge_hops(&path, MessageKind::RemoveSegid, Some(segid), None, at);
@@ -1121,10 +1386,14 @@ impl System {
             self.slots[slot_idx]
                 .ns_cache
                 .insert(name.to_string(), segid);
-            return Ok((
-                segid,
-                at + SimDuration::from_nanos(self.cost.name_server_ns),
-            ));
+            let ns = SimDuration::from_nanos(self.cost.name_server_ns);
+            self.tracer.leaf(
+                SpanKind::NsProcess,
+                at,
+                ns,
+                Ctx::seg(self.ns_slot, 0, segid.0),
+            );
+            return Ok((segid, at + ns));
         }
         // Graceful degradation: during an outage, lookups can be served
         // from the per-enclave stale cache (marked as such in the event
@@ -1133,7 +1402,15 @@ impl System {
             if let Some(&segid) = self.slots[slot_idx].ns_cache.get(name) {
                 self.events
                     .record(at, SimDuration::ZERO, format!("ns:stale:search:{name}"));
-                return Ok((segid, at + SimDuration::from_nanos(300)));
+                let bk = SimDuration::from_nanos(300);
+                self.tracer.leaf(
+                    SpanKind::Bookkeeping,
+                    at,
+                    bk,
+                    Ctx::seg(slot_idx, p.pid.0, segid.0),
+                );
+                self.tracer.count(Counter::NsStaleServes, 1);
+                return Ok((segid, at + bk));
             }
         }
         let at = self.ns_backoff(at)?;
@@ -1179,21 +1456,40 @@ impl System {
         let (owner, t) = if self.slots[slot_idx].segs.contains_key(&segid) {
             // Locally owned: no messages needed.
             let my_id = self.slots[slot_idx].id.expect("registered");
-            (my_id, at + SimDuration::from_nanos(300))
+            let bk = SimDuration::from_nanos(300);
+            self.tracer.leaf(
+                SpanKind::Bookkeeping,
+                at,
+                bk,
+                Ctx::seg(slot_idx, p.pid.0, segid.0),
+            );
+            (my_id, at + bk)
         } else if slot_idx == self.ns_slot {
             let at = self.ns_backoff(at)?;
             let owner = self.name_server.owner_of(segid)?;
-            (
-                owner,
-                at + SimDuration::from_nanos(self.cost.name_server_ns),
-            )
+            let ns = SimDuration::from_nanos(self.cost.name_server_ns);
+            self.tracer.leaf(
+                SpanKind::NsProcess,
+                at,
+                ns,
+                Ctx::seg(self.ns_slot, 0, segid.0),
+            );
+            (owner, at + ns)
         } else if !self.ns_available(at) && self.slots[slot_idx].owner_cache.contains_key(&segid) {
             // Stale-cache degradation during a name-server outage: grant
             // against the last known owner; attach re-validates.
             let owner = self.slots[slot_idx].owner_cache[&segid];
             self.events
                 .record(at, SimDuration::ZERO, format!("ns:stale:get:{segid}"));
-            (owner, at + SimDuration::from_nanos(300))
+            let bk = SimDuration::from_nanos(300);
+            self.tracer.leaf(
+                SpanKind::Bookkeeping,
+                at,
+                bk,
+                Ctx::seg(slot_idx, p.pid.0, segid.0),
+            );
+            self.tracer.count(Counter::NsStaleServes, 1);
+            (owner, at + bk)
         } else {
             let at = self.ns_backoff(at)?;
             let path = self.path_to_ns_checked(slot_idx)?;
@@ -1254,7 +1550,14 @@ impl System {
         slot.apids.remove(&apid);
         slot.released.insert(apid);
         self.drop_grant(owner, segid);
-        Ok(at + SimDuration::from_nanos(200))
+        let bk = SimDuration::from_nanos(200);
+        self.tracer.leaf(
+            SpanKind::Bookkeeping,
+            at,
+            bk,
+            Ctx::seg(p.enclave.0, p.pid.0, segid.0),
+        );
+        Ok(at + bk)
     }
 
     /// Attach to (a window of) a segment (`xpmem_attach`) — the heavy
@@ -1348,6 +1651,17 @@ impl System {
         if cross_numa {
             serve = serve.scaled(self.cost.numa_remote_op_factor);
         }
+        let serve_kind = if self.slots[owner_slot].kind.is_vm() {
+            SpanKind::GuestServe
+        } else {
+            SpanKind::ServeWalk
+        };
+        self.tracer.leaf(
+            serve_kind,
+            t1,
+            serve,
+            Ctx::seg(owner_slot, seg.pid.0, rec.segid.0),
+        );
 
         // 3. Route the (bulk) reply back.
         let reply_kind = MessageKind::PfnListReply {
@@ -1372,9 +1686,35 @@ impl System {
         }
 
         // 4. Map locally with the attaching enclave's OS routines.
+        let is_vm_attacher = self.slots[slot_idx].kind.is_vm();
         let (va, mut map) = self.install_attachment(slot_idx, p.pid, &list, prot)?;
         if cross_numa {
             map = map.scaled(self.cost.numa_remote_op_factor);
+        }
+        // VM attaches decompose exactly into the four breakdown
+        // components — but only un-scaled: `scaled()` rounds per
+        // component, so a cross-NUMA map is attributed as one leaf to
+        // keep the sum bit-identical to the charged total.
+        let mctx = Ctx::seg(slot_idx, p.pid.0, rec.segid.0);
+        let breakdown = if is_vm_attacher && !cross_numa {
+            self.last_vm_breakdown
+        } else {
+            None
+        };
+        if let Some(b) = breakdown {
+            let kinds = [
+                SpanKind::MapStructure,
+                SpanKind::MapBookkeep,
+                SpanKind::VmNotify,
+                SpanKind::GuestMap,
+            ];
+            let mut cursor = t3;
+            for (k, d) in kinds.iter().zip(b.components()) {
+                self.tracer.leaf(*k, cursor, d, mctx);
+                cursor += d;
+            }
+        } else {
+            self.tracer.leaf(SpanKind::MapInstall, t3, map, mctx);
         }
         let end = t3 + map;
 
@@ -1425,7 +1765,7 @@ impl System {
     ) -> Result<AttachOutcome, XememError> {
         let kind = &mut self.slots[slot_idx].kind;
         let kernel = kind.kernel_mut();
-        let (va, serve, map) = match kernel.kind() {
+        let (va, serve, map, map_kind) = match kernel.kind() {
             KernelKind::Fwk => {
                 // Page-faulting semantics: the PFN lookup happens per
                 // fault, so the walk is not charged up front (its cost is
@@ -1433,15 +1773,23 @@ impl System {
                 let walked = kernel.export_walk(src_pid, src_va, len)?;
                 let mapped =
                     kernel.attach_map(p.pid, &walked.value, AttachSemantics::Lazy, prot)?;
-                (mapped.value, SimDuration::ZERO, mapped.cost)
+                (
+                    mapped.value,
+                    SimDuration::ZERO,
+                    mapped.cost,
+                    SpanKind::MmapReserve,
+                )
             }
             KernelKind::Lwk => {
                 let walked = kernel.export_walk(src_pid, src_va, len)?;
                 let mapped =
                     kernel.attach_map(p.pid, &walked.value, AttachSemantics::Eager, prot)?;
-                (mapped.value, walked.cost, mapped.cost)
+                (mapped.value, walked.cost, mapped.cost, SpanKind::MapInstall)
             }
         };
+        let lctx = Ctx::seg(slot_idx, p.pid.0, rec.segid.0);
+        self.tracer.leaf(SpanKind::ServeWalk, at, serve, lctx);
+        self.tracer.leaf(map_kind, at + serve, map, lctx);
         let end = at + serve + map;
         self.slots[slot_idx].attachments.insert(
             (p.pid, va.0),
@@ -1552,12 +1900,21 @@ impl System {
             // the bookkeeping.
             slot.attachments.remove(&(p.pid, va.0));
             slot.detached.insert((p.pid, va.0));
-            return Ok(at + SimDuration::from_nanos(200));
+            let bk = SimDuration::from_nanos(200);
+            self.tracer
+                .leaf(SpanKind::Bookkeeping, at, bk, Ctx::proc(slot_idx, p.pid.0));
+            return Ok(at + bk);
         }
         let cost = match &mut slot.kind {
             EnclaveKind::Native(k) => k.detach(p.pid, va)?.cost,
             EnclaveKind::Vm(vmm) => vmm.guest_detach(p.pid, va)?.cost,
         };
+        self.tracer.leaf(
+            SpanKind::Unmap,
+            at,
+            cost,
+            Ctx::seg(slot_idx, p.pid.0, rec.segid.0),
+        );
         self.drop_site(slot_idx, p.pid, va.0, rec, at);
         Ok(at + cost)
     }
@@ -1609,13 +1966,33 @@ impl System {
     }
 
     fn register_slot(&mut self, idx: usize) -> Result<(), XememError> {
+        let start = self.clock.now();
+        self.tracer.begin_op(
+            SpanKind::Register,
+            start,
+            Ctx::enclave(idx),
+            Timeline::Clock,
+        );
+        match self.register_slot_inner(idx, start) {
+            Ok(t) => {
+                self.tracer.commit_op(t);
+                self.clock.advance_to(t);
+                Ok(())
+            }
+            Err(e) => {
+                self.tracer.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    fn register_slot_inner(&mut self, idx: usize, mut t: SimTime) -> Result<SimTime, XememError> {
         // (1) Discovery: broadcast on each channel; neighbors that know a
         // path to the name server respond (paper §3.2).
         let mut neighbors = self.slots[idx].children.clone();
         if let Some(parent) = self.slots[idx].parent {
             neighbors.insert(0, parent);
         }
-        let mut t = self.clock.now();
         let mut via = None;
         for n in neighbors {
             let bytes = MessageKind::NameServerQuery.wire_bytes();
@@ -1632,12 +2009,18 @@ impl System {
                     routed_to: None,
                 });
             }
-            t = link.send(t, bytes, dir);
+            t = self.send_link(&link, t, bytes, dir, Ctx::enclave(n));
             let knows = n == self.ns_slot || self.slots[n].ns_via.is_some();
             if knows && via.is_none() {
                 // The reply travels back over the same link.
                 let (rlink, rdir) = self.link_between(n, idx).expect("symmetric link");
-                t = rlink.send(t, MessageKind::NameServerQueryReply.wire_bytes(), rdir);
+                t = self.send_link(
+                    &rlink,
+                    t,
+                    MessageKind::NameServerQueryReply.wire_bytes(),
+                    rdir,
+                    Ctx::enclave(idx),
+                );
                 via = Some(n);
             }
         }
@@ -1665,8 +2048,7 @@ impl System {
         }
         self.slots[idx].id = Some(new_id);
         self.id_to_slot.insert(new_id, idx);
-        self.clock.advance_to(t);
-        Ok(())
+        Ok(t)
     }
 }
 
@@ -1741,6 +2123,7 @@ pub struct SystemBuilder {
     next_zone: u32,
     hugepage_attach: bool,
     fault_plan: Option<(FaultPlan, u64)>,
+    tracer: Option<TraceHandle>,
 }
 
 impl Default for SystemBuilder {
@@ -1763,6 +2146,7 @@ impl SystemBuilder {
             next_zone: 0,
             hugepage_attach: false,
             fault_plan: None,
+            tracer: None,
         }
     }
 
@@ -1818,6 +2202,16 @@ impl SystemBuilder {
     /// Record every protocol message (for tests / debugging).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Attach a virtual-time tracer: every charged nanosecond in this
+    /// system (and its kernels, including VM guests) is attributed to
+    /// spans/metrics on the handle. Defaults to the process-global
+    /// handle ([`xemem_trace::global`]), which is disabled unless
+    /// something called [`xemem_trace::install_global`].
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -1922,6 +2316,7 @@ impl SystemBuilder {
                 "node too small for declared enclaves".into(),
             ));
         }
+        let tracer = self.tracer.clone().unwrap_or_else(xemem_trace::global);
         let frames = node_mem / PAGE_SIZE;
         // Split memory evenly across the configured NUMA zones.
         let per_zone = frames / self.numa_zones as u64;
@@ -1959,10 +2354,13 @@ impl SystemBuilder {
                         NativeKind::LinuxMgmt => {
                             let mut fwk = Fwk::new(self.cost.clone(), phys_dyn, part.alloc);
                             fwk.set_hugepage_attach(self.hugepage_attach);
+                            fwk.set_tracer(tracer.clone());
                             Box::new(fwk)
                         }
                         NativeKind::Kitten => {
-                            Box::new(Kitten::new(self.cost.clone(), phys_dyn, part.alloc))
+                            let mut k = Kitten::new(self.cost.clone(), phys_dyn, part.alloc);
+                            k.set_tracer(tracer.clone());
+                            Box::new(k)
                         }
                     };
                     let mut slot = Slot::new(name.clone(), EnclaveKind::Native(kernel));
@@ -2015,6 +2413,7 @@ impl SystemBuilder {
                     let cost = self.cost.clone();
                     let guest_cost = self.cost.clone();
                     let guest_os = *guest;
+                    let guest_tracer = tracer.clone();
                     let vmm = Vmm::launch(
                         cost,
                         phys_dyn,
@@ -2022,8 +2421,16 @@ impl SystemBuilder {
                         *guest_ram,
                         *map_kind,
                         move |gp, ga| match guest_os {
-                            GuestOs::Fwk => Box::new(Fwk::new(guest_cost.clone(), gp, ga)),
-                            GuestOs::Lwk => Box::new(Kitten::new(guest_cost.clone(), gp, ga)),
+                            GuestOs::Fwk => {
+                                let mut f = Fwk::new(guest_cost.clone(), gp, ga);
+                                f.set_tracer(guest_tracer.clone());
+                                Box::new(f)
+                            }
+                            GuestOs::Lwk => {
+                                let mut k = Kitten::new(guest_cost.clone(), gp, ga);
+                                k.set_tracer(guest_tracer.clone());
+                                Box::new(k)
+                            }
                         },
                     )?;
                     let mut slot = Slot::new(name.clone(), EnclaveKind::Vm(Box::new(vmm)));
@@ -2069,6 +2476,7 @@ impl SystemBuilder {
             attachers: HashMap::new(),
             grants: HashMap::new(),
             loans: Vec::new(),
+            tracer,
         };
         system.register_all()?;
         Ok(system)

@@ -65,6 +65,9 @@ pub struct Fwk {
     next_pid: u32,
     /// Counters for tests and reporting.
     faults_served: u64,
+    /// Observability hooks (metrics only — all virtual-time accounting
+    /// stays with the caller).
+    tracer: xemem_trace::TraceHandle,
     /// Future-work optimization (not in the paper's implementation): map
     /// eager attachments with 2 MiB leaves wherever the PFN list is
     /// contiguous and co-aligned, collapsing the dominant per-page
@@ -82,6 +85,7 @@ impl Fwk {
             procs: HashMap::new(),
             next_pid: 1,
             faults_served: 0,
+            tracer: xemem_trace::TraceHandle::disabled(),
             hugepage_attach: false,
         }
     }
@@ -89,6 +93,13 @@ impl Fwk {
     /// Enable/disable huge-page attachment mapping (see the field docs).
     pub fn set_hugepage_attach(&mut self, on: bool) {
         self.hugepage_attach = on;
+    }
+
+    /// Attach an observability handle; demand-fault activity is then
+    /// counted and its virtual latency recorded in
+    /// [`xemem_trace::Hist::FaultInNs`].
+    pub fn set_tracer(&mut self, tracer: xemem_trace::TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// The FWK noise profile (timer ticks + daemons + hardware + SMIs).
@@ -194,7 +205,14 @@ impl Fwk {
             }
         }
         self.faults_served += faulted;
-        Ok(Costed::new(faulted, self.cost.fwk_fault_in(faulted)))
+        let cost = self.cost.fwk_fault_in(faulted);
+        if faulted > 0 {
+            self.tracer
+                .count(xemem_trace::Counter::FaultsServed, faulted);
+            self.tracer
+                .observe(xemem_trace::Hist::FaultInNs, cost.as_nanos());
+        }
+        Ok(Costed::new(faulted, cost))
     }
 
     fn create_vma(

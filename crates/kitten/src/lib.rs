@@ -80,6 +80,9 @@ pub struct Kitten {
     procs: HashMap<Pid, Proc>,
     next_pid: u32,
     next_rank: u32,
+    /// Observability hooks (metrics only — all virtual-time accounting
+    /// stays with the caller).
+    tracer: xemem_trace::TraceHandle,
 }
 
 impl Kitten {
@@ -93,7 +96,14 @@ impl Kitten {
             procs: HashMap::new(),
             next_pid: 1,
             next_rank: 1,
+            tracer: xemem_trace::TraceHandle::disabled(),
         }
+    }
+
+    /// Attach an observability handle; eager attach installs are then
+    /// counted in [`xemem_trace::Counter::LwkAttachPages`].
+    pub fn set_tracer(&mut self, tracer: xemem_trace::TraceHandle) {
+        self.tracer = tracer;
     }
 
     /// The Kitten noise profile (near-silent: hardware baseline + SMIs).
@@ -306,6 +316,8 @@ impl MappingKernel for Kitten {
             .asp
             .reserve_free(len, RegionKind::XememAttach, "xemem")?;
         let written = proc.asp.page_table_mut().map_list(va, pfns, prot)?;
+        self.tracer
+            .count(xemem_trace::Counter::LwkAttachPages, written);
         Ok(Costed::new(va, self.cost.lwk_attach(written)))
     }
 

@@ -214,6 +214,19 @@ impl AttachBreakdown {
     pub fn map_update_fraction(&self) -> f64 {
         (self.map_structure + self.map_bookkeep).as_secs_f64() / self.total.as_secs_f64()
     }
+
+    /// The four charged components in the order they occur. Their sum is
+    /// `total` exactly (by construction in `guest_attach_prot`), which
+    /// is what lets tracing attribute a VM attach install leaf-by-leaf
+    /// without breaking cost conservation.
+    pub fn components(&self) -> [SimDuration; 4] {
+        [
+            self.map_structure,
+            self.map_bookkeep,
+            self.notify,
+            self.guest_map,
+        ]
+    }
 }
 
 /// The Palacios VMM instance for one VM enclave.

@@ -157,6 +157,13 @@ impl Core0Handler {
         self.inner.lock().acquire(at, service).end
     }
 
+    /// Like [`Core0Handler::acquire`], but also returns the queueing
+    /// delay before service began (for tracing attribution).
+    pub fn acquire_timed(&self, at: SimTime, service: SimDuration) -> (SimTime, SimDuration) {
+        let grant = self.inner.lock().acquire(at, service);
+        (grant.end, grant.queued(at))
+    }
+
     /// Total queueing delay accumulated by all messages (diagnostic for
     /// the Fig. 6 contention analysis).
     pub fn total_wait(&self) -> SimDuration {
@@ -195,9 +202,16 @@ impl IpiChannel {
     /// executes in interrupt context on core 0, so concurrent channels
     /// serialize here.
     pub fn send(&self, at: SimTime, payload_bytes: u64) -> SimTime {
+        self.send_timed(at, payload_bytes).0
+    }
+
+    /// [`IpiChannel::send`], but also reporting the core-0 queueing
+    /// delay separately from the transfer itself: the returned finish
+    /// time always equals `at + wait + transfer` exactly.
+    pub fn send_timed(&self, at: SimTime, payload_bytes: u64) -> (SimTime, SimDuration) {
         let service = SimDuration::from_nanos(self.cost.ipi_ns + self.cost.channel_msg_ns)
             + self.cost.channel_copy(payload_bytes);
-        self.core0.acquire(at, service)
+        self.core0.acquire_timed(at, service)
     }
 
     /// Cost of a minimal control message (no bulk payload), without

@@ -1,0 +1,1338 @@
+//! Virtual-time tracing and metrics for the XEMEM simulator.
+//!
+//! Every figure this repo emits is `bytes ÷ virtual time`, so the
+//! virtual nanoseconds charged by [`xemem_sim::CostModel`] are the
+//! product being measured — and this crate makes them *attributable*.
+//! The layer has four parts:
+//!
+//! 1. **Spans.** Each cross-enclave operation (`make`/`get`/`attach`/
+//!    `detach`/…, revocation, fault injection) opens an *op frame*;
+//!    every site inside the simulator that advances a virtual-time
+//!    cursor records a *leaf* (IPI wait/transfer, hypercall, PCI copy,
+//!    route forwarding, name-server processing and backoff, page-table
+//!    walk/install, RB-tree structure time, …). Committed spans land in
+//!    per-enclave lock-free ring buffers, tagged with enclave, process,
+//!    segment and operation kind.
+//! 2. **Metrics.** Global counters (retries, quarantined/returned
+//!    frames, bytes moved through attached mappings, …) and log₂
+//!    virtual-time histograms (attach latency, fault-in latency,
+//!    name-server retries per op), queryable from tests.
+//! 3. **Exporters.** [`TraceHandle::chrome_trace_json`] emits the
+//!    chrome://tracing "Trace Event Format" (complete `"X"` events);
+//!    [`TraceHandle::folded_stacks`] emits `op;leaf <ns>` lines for
+//!    flamegraph tools.
+//! 4. **Conservation auditor.** Four atomic sums — root and leaf
+//!    nanoseconds on the *clock* timeline (ops that advance the shared
+//!    [`xemem_sim::Clock`]) and on the *detached* timeline (fig6-style
+//!    per-pair timelines and injected faults) — let
+//!    [`TraceHandle::audit`] assert Σ(leaf durations) == Σ(op
+//!    durations) exactly, and [`TraceHandle::audit_clock`] assert that
+//!    the clock-timeline ops tile the simulator's total elapsed virtual
+//!    time bit-for-bit. A missed or double-counted charge site anywhere
+//!    in the simulator trips the audit.
+//!
+//! # Zero overhead when disabled
+//!
+//! A [`TraceHandle`] is a cloneable `Option<Arc<Collector>>`. Disabled
+//! handles take an inlined `None` branch on every hook: no allocation,
+//! no formatting, no locking. The simulator's virtual-time arithmetic
+//! is identical either way — tracing *observes* durations that are
+//! computed regardless, so enabling it can never change a figure.
+//!
+//! # Discipline
+//!
+//! * An op frame is opened with [`TraceHandle::begin_op`] and closed
+//!   with [`TraceHandle::commit_op`] (on success) or
+//!   [`TraceHandle::abort_op`] (on error). Aborted frames discard their
+//!   leaves — mirroring the simulator's rule that failed operations
+//!   never advance the clock.
+//! * Leaves recorded while no frame is open on the current thread
+//!   *self-root*: they are charged to the detached timeline as their
+//!   own root, so direct `*_at` callers stay conservation-clean.
+//! * Frames nest: an injected fault serviced in the middle of an op
+//!   opens its own detached frame and commits independently.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::ThreadId;
+use xemem_sim::{SimDuration, SimTime};
+
+// ----------------------------------------------------------------------
+// Span taxonomy
+// ----------------------------------------------------------------------
+
+/// What a span measures — either a whole cross-enclave operation (a
+/// *root*) or one charged component inside it (a *leaf*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    // --- operation roots -------------------------------------------------
+    /// `xpmem_make`: segment export + name-server registration.
+    Make,
+    /// `xpmem_remove`: deregistration + revocation of remote attachments.
+    Remove,
+    /// `xpmem_search`: name → segid lookup.
+    Search,
+    /// `xpmem_get` / `xpmem_get_mode`: permission grant.
+    Get,
+    /// `xpmem_release`: permit release.
+    Release,
+    /// `xpmem_attach`: the full four-leg attachment protocol.
+    Attach,
+    /// `xpmem_detach`: unmap + bookkeeping.
+    Detach,
+    /// Process spawn (kernel process-table + address-space setup).
+    Spawn,
+    /// Orderly process exit (detach/release/remove sweep + kernel exit).
+    Exit,
+    /// Buffer allocation in the owning kernel.
+    AllocBuffer,
+    /// `System::write` through a local or attached mapping.
+    Write,
+    /// `System::read` through a local or attached mapping.
+    Read,
+    /// Deliberate `crash_process` (API-driven, clock timeline).
+    CrashProcess,
+    /// Deliberate `destroy_enclave` (API-driven, clock timeline).
+    DestroyEnclave,
+    /// Fault-injected enclave crash (detached timeline).
+    InjectedCrash,
+    /// Fault-injected process kill (detached timeline).
+    InjectedKill,
+    /// Enclave registration with the name server at boot.
+    Register,
+    // --- leaves ----------------------------------------------------------
+    /// Name-server exponential-backoff wait during an outage.
+    NsBackoff,
+    /// Name-server request processing time.
+    NsProcess,
+    /// Fixed protocol bookkeeping (registration records, permit / stale
+    /// cache handling).
+    Bookkeeping,
+    /// Queueing delay waiting for the Pisces core-0 message channel.
+    IpiWait,
+    /// IPI + shared-channel message/payload transfer time.
+    IpiXfer,
+    /// Guest→host hypercall through the virtual PCI device.
+    Hypercall,
+    /// Host→guest interrupt injection through the virtual PCI device.
+    GuestIrq,
+    /// PFN-list copy across the virtual PCI BAR.
+    PciCopy,
+    /// Store-and-forward hop through an intermediate router enclave.
+    RouteForward,
+    /// Timeout + re-send of a dropped message.
+    Retransmit,
+    /// Exporter-side page-table walk building the PFN list.
+    ServeWalk,
+    /// Exporter-side walk when the exporter lives inside a VM
+    /// (hypercall + VMM translation + guest walk, aggregated).
+    GuestServe,
+    /// Attacher-side mapping install (PTE writes + bookkeeping).
+    MapInstall,
+    /// VMM memory-map structure time (RB-tree / radix insertions).
+    MapStructure,
+    /// VMM memory-map bookkeeping per page.
+    MapBookkeep,
+    /// VMM → guest notification (PCI copy + IRQ) of a new mapping.
+    VmNotify,
+    /// Guest kernel mapping install inside a VM.
+    GuestMap,
+    /// Lazy (demand-paged) attach: address-space reservation only.
+    MmapReserve,
+    /// Attacher-side unmap during detach.
+    Unmap,
+    /// Contention surcharge modeled outside the protocol (fig6 sweep).
+    MapContention,
+    /// Quarantine of a crashed process's exported frames.
+    Quarantine,
+    /// Owner-side revocation bookkeeping per remote attachment site.
+    RevokeBookkeeping,
+    /// Attacher-side reap: unmap + loan-return bookkeeping.
+    ReapUnmap,
+    /// Kernel process-creation cost.
+    KernelSpawn,
+    /// Kernel process-exit cost.
+    KernelExit,
+    /// DRAM streaming + demand fault-in for reads/writes.
+    DramStream,
+}
+
+impl SpanKind {
+    /// Number of span kinds (for dense per-kind arrays).
+    pub const COUNT: usize = SpanKind::DramStream as usize + 1;
+
+    /// All kinds, in discriminant order.
+    pub const ALL: [SpanKind; SpanKind::COUNT] = [
+        SpanKind::Make,
+        SpanKind::Remove,
+        SpanKind::Search,
+        SpanKind::Get,
+        SpanKind::Release,
+        SpanKind::Attach,
+        SpanKind::Detach,
+        SpanKind::Spawn,
+        SpanKind::Exit,
+        SpanKind::AllocBuffer,
+        SpanKind::Write,
+        SpanKind::Read,
+        SpanKind::CrashProcess,
+        SpanKind::DestroyEnclave,
+        SpanKind::InjectedCrash,
+        SpanKind::InjectedKill,
+        SpanKind::Register,
+        SpanKind::NsBackoff,
+        SpanKind::NsProcess,
+        SpanKind::Bookkeeping,
+        SpanKind::IpiWait,
+        SpanKind::IpiXfer,
+        SpanKind::Hypercall,
+        SpanKind::GuestIrq,
+        SpanKind::PciCopy,
+        SpanKind::RouteForward,
+        SpanKind::Retransmit,
+        SpanKind::ServeWalk,
+        SpanKind::GuestServe,
+        SpanKind::MapInstall,
+        SpanKind::MapStructure,
+        SpanKind::MapBookkeep,
+        SpanKind::VmNotify,
+        SpanKind::GuestMap,
+        SpanKind::MmapReserve,
+        SpanKind::Unmap,
+        SpanKind::MapContention,
+        SpanKind::Quarantine,
+        SpanKind::RevokeBookkeeping,
+        SpanKind::ReapUnmap,
+        SpanKind::KernelSpawn,
+        SpanKind::KernelExit,
+        SpanKind::DramStream,
+    ];
+
+    /// Stable snake-case name (used by both exporters).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Make => "make",
+            SpanKind::Remove => "remove",
+            SpanKind::Search => "search",
+            SpanKind::Get => "get",
+            SpanKind::Release => "release",
+            SpanKind::Attach => "attach",
+            SpanKind::Detach => "detach",
+            SpanKind::Spawn => "spawn",
+            SpanKind::Exit => "exit",
+            SpanKind::AllocBuffer => "alloc_buffer",
+            SpanKind::Write => "write",
+            SpanKind::Read => "read",
+            SpanKind::CrashProcess => "crash_process",
+            SpanKind::DestroyEnclave => "destroy_enclave",
+            SpanKind::InjectedCrash => "injected_crash",
+            SpanKind::InjectedKill => "injected_kill",
+            SpanKind::Register => "register",
+            SpanKind::NsBackoff => "ns_backoff",
+            SpanKind::NsProcess => "ns_process",
+            SpanKind::Bookkeeping => "bookkeeping",
+            SpanKind::IpiWait => "ipi_wait",
+            SpanKind::IpiXfer => "ipi_xfer",
+            SpanKind::Hypercall => "hypercall",
+            SpanKind::GuestIrq => "guest_irq",
+            SpanKind::PciCopy => "pci_copy",
+            SpanKind::RouteForward => "route_forward",
+            SpanKind::Retransmit => "retransmit",
+            SpanKind::ServeWalk => "serve_walk",
+            SpanKind::GuestServe => "guest_serve",
+            SpanKind::MapInstall => "map_install",
+            SpanKind::MapStructure => "map_structure",
+            SpanKind::MapBookkeep => "map_bookkeep",
+            SpanKind::VmNotify => "vm_notify",
+            SpanKind::GuestMap => "guest_map",
+            SpanKind::MmapReserve => "mmap_reserve",
+            SpanKind::Unmap => "unmap",
+            SpanKind::MapContention => "map_contention",
+            SpanKind::Quarantine => "quarantine",
+            SpanKind::RevokeBookkeeping => "revoke_bookkeeping",
+            SpanKind::ReapUnmap => "reap_unmap",
+            SpanKind::KernelSpawn => "kernel_spawn",
+            SpanKind::KernelExit => "kernel_exit",
+            SpanKind::DramStream => "dram_stream",
+        }
+    }
+}
+
+/// Which virtual timeline a span was charged against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Timeline {
+    /// Ops that advance the shared [`xemem_sim::Clock`]; their roots
+    /// must tile the clock's total elapsed time exactly.
+    Clock,
+    /// Per-pair fig6 timelines and injected faults: virtual time that
+    /// is measured but never pushed into the shared clock.
+    Detached,
+}
+
+/// Identity tags attached to a span: which enclave (slot index), which
+/// process (pid within the enclave) and which segment it concerns.
+/// Zero means "not applicable".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ctx {
+    /// Enclave slot index (also the chrome-trace `pid` lane).
+    pub enclave: u32,
+    /// Process id within the enclave (chrome-trace `tid` lane).
+    pub pid: u32,
+    /// Segment id, if the span concerns one.
+    pub segid: u64,
+}
+
+impl Ctx {
+    /// No identity (system-wide work).
+    pub const NONE: Ctx = Ctx {
+        enclave: 0,
+        pid: 0,
+        segid: 0,
+    };
+
+    /// Tag with an enclave only.
+    pub fn enclave(slot: usize) -> Ctx {
+        Ctx {
+            enclave: slot as u32,
+            pid: 0,
+            segid: 0,
+        }
+    }
+
+    /// Tag with enclave + process.
+    pub fn proc(slot: usize, pid: u32) -> Ctx {
+        Ctx {
+            enclave: slot as u32,
+            pid,
+            segid: 0,
+        }
+    }
+
+    /// Tag with enclave + process + segment.
+    pub fn seg(slot: usize, pid: u32, segid: u64) -> Ctx {
+        Ctx {
+            enclave: slot as u32,
+            pid,
+            segid,
+        }
+    }
+
+    /// Copy of `self` with the segment id set.
+    pub fn with_seg(mut self, segid: u64) -> Ctx {
+        self.segid = segid;
+        self
+    }
+}
+
+/// One recorded span. `Copy` so ring-buffer slots can be written and
+/// snapshotted without allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual duration.
+    pub dur: SimDuration,
+    /// The operation this span belongs to (== `kind` for roots and
+    /// self-rooted leaves).
+    pub op: SpanKind,
+    /// What this record measures.
+    pub kind: SpanKind,
+    /// True for op-level aggregates whose duration is the sum of their
+    /// leaves (excluded from folded-stack output to avoid double
+    /// counting).
+    pub root: bool,
+    /// Identity tags.
+    pub ctx: Ctx,
+}
+
+// ----------------------------------------------------------------------
+// Counters and histograms
+// ----------------------------------------------------------------------
+
+/// Monotonic global counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Counter {
+    /// Name-server RPC retries taken (across all backoff loops).
+    NsRetries,
+    /// Total virtual nanoseconds spent in name-server backoff waits.
+    NsBackoffNs,
+    /// Lookups served (degraded) from a stale local cache during an
+    /// outage.
+    NsStaleServes,
+    /// Exported frames moved to quarantine on owner crash.
+    FramesQuarantined,
+    /// Quarantined frames returned to their allocator after the last
+    /// remote reference dropped.
+    FramesReturned,
+    /// Quarantined frames retired (owner kernel already gone).
+    FramesRetired,
+    /// Bytes read through live cross-enclave attachments.
+    BytesReadAttached,
+    /// Bytes written through live cross-enclave attachments.
+    BytesWrittenAttached,
+    /// Pages demand-faulted by the FWK (Linux-like) kernel.
+    FaultsServed,
+    /// Messages re-sent after an injected drop.
+    Retransmits,
+    /// Duplicate deliveries injected by the fault plan.
+    DupDeliveries,
+    /// Revocation notices sent to remote attachment sites.
+    RevokeNotices,
+    /// Remote attachments reaped after revocation.
+    Reaps,
+    /// Pages installed by the LWK eager attach path (PTE writes into
+    /// Kitten's attachment arena).
+    LwkAttachPages,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = Counter::LwkAttachPages as usize + 1;
+
+    /// All counters, in discriminant order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::NsRetries,
+        Counter::NsBackoffNs,
+        Counter::NsStaleServes,
+        Counter::FramesQuarantined,
+        Counter::FramesReturned,
+        Counter::FramesRetired,
+        Counter::BytesReadAttached,
+        Counter::BytesWrittenAttached,
+        Counter::FaultsServed,
+        Counter::Retransmits,
+        Counter::DupDeliveries,
+        Counter::RevokeNotices,
+        Counter::Reaps,
+        Counter::LwkAttachPages,
+    ];
+
+    /// Stable snake-case name.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Counter::NsRetries => "ns_retries",
+            Counter::NsBackoffNs => "ns_backoff_ns",
+            Counter::NsStaleServes => "ns_stale_serves",
+            Counter::FramesQuarantined => "frames_quarantined",
+            Counter::FramesReturned => "frames_returned",
+            Counter::FramesRetired => "frames_retired",
+            Counter::BytesReadAttached => "bytes_read_attached",
+            Counter::BytesWrittenAttached => "bytes_written_attached",
+            Counter::FaultsServed => "faults_served",
+            Counter::Retransmits => "retransmits",
+            Counter::DupDeliveries => "dup_deliveries",
+            Counter::RevokeNotices => "revoke_notices",
+            Counter::Reaps => "reaps",
+            Counter::LwkAttachPages => "lwk_attach_pages",
+        }
+    }
+}
+
+/// Virtual-time (and count) histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Hist {
+    /// End-to-end attach latency, virtual ns.
+    AttachNs,
+    /// Detach latency, virtual ns.
+    DetachNs,
+    /// FWK demand fault-in latency per populate call, virtual ns.
+    FaultInNs,
+    /// Name-server retries taken per op that hit an outage.
+    NsRetriesPerOp,
+}
+
+impl Hist {
+    /// Number of histograms.
+    pub const COUNT: usize = Hist::NsRetriesPerOp as usize + 1;
+
+    /// All histograms, in discriminant order.
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::AttachNs,
+        Hist::DetachNs,
+        Hist::FaultInNs,
+        Hist::NsRetriesPerOp,
+    ];
+
+    /// Stable snake-case name.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Hist::AttachNs => "attach_ns",
+            Hist::DetachNs => "detach_ns",
+            Hist::FaultInNs => "fault_in_ns",
+            Hist::NsRetriesPerOp => "ns_retries_per_op",
+        }
+    }
+}
+
+/// Bucket count for the log₂ histograms: bucket 0 holds zeros, bucket
+/// `k` holds values with `floor(log2(v)) == k - 1`.
+pub const HIST_BUCKETS: usize = 65;
+
+struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn observe(&self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Log₂ buckets (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the p-th percentile
+    /// (`p` in 0..=100), or 0 when empty.
+    pub fn percentile_bound(&self, p: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * p as u64).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1).max(1)
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+// ----------------------------------------------------------------------
+// Conservation sums
+// ----------------------------------------------------------------------
+
+/// The four conservation sums, in nanoseconds. On each timeline the
+/// invariant is `leaf == root` exactly; on the clock timeline `root`
+/// must additionally equal the simulator's elapsed virtual time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConservationSums {
+    /// Σ committed op durations on the clock timeline.
+    pub clock_root_ns: u64,
+    /// Σ leaf durations inside clock-timeline ops.
+    pub clock_leaf_ns: u64,
+    /// Σ committed op durations (and self-rooted leaves) on the
+    /// detached timeline.
+    pub detached_root_ns: u64,
+    /// Σ leaf durations on the detached timeline.
+    pub detached_leaf_ns: u64,
+}
+
+impl ConservationSums {
+    /// Total attributed virtual nanoseconds across both timelines.
+    pub fn total_attributed_ns(&self) -> u64 {
+        self.clock_root_ns + self.detached_root_ns
+    }
+
+    fn delta_since(&self, base: &ConservationSums) -> ConservationSums {
+        ConservationSums {
+            clock_root_ns: self.clock_root_ns - base.clock_root_ns,
+            clock_leaf_ns: self.clock_leaf_ns - base.clock_leaf_ns,
+            detached_root_ns: self.detached_root_ns - base.detached_root_ns,
+            detached_leaf_ns: self.detached_leaf_ns - base.detached_leaf_ns,
+        }
+    }
+
+    fn check(&self, clock_elapsed: Option<SimDuration>) -> Result<(), String> {
+        if self.clock_leaf_ns != self.clock_root_ns {
+            return Err(format!(
+                "conservation violated on clock timeline: leaves {} ns != roots {} ns \
+                 (a charge site is missing or double-counted)",
+                self.clock_leaf_ns, self.clock_root_ns
+            ));
+        }
+        if self.detached_leaf_ns != self.detached_root_ns {
+            return Err(format!(
+                "conservation violated on detached timeline: leaves {} ns != roots {} ns",
+                self.detached_leaf_ns, self.detached_root_ns
+            ));
+        }
+        if let Some(elapsed) = clock_elapsed {
+            if self.clock_root_ns != elapsed.as_nanos() {
+                return Err(format!(
+                    "clock timeline not tiled: attributed {} ns != elapsed {} ns",
+                    self.clock_root_ns,
+                    elapsed.as_nanos()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Baseline snapshot for scoped audits (see [`TraceHandle::scope`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AuditScope {
+    base: ConservationSums,
+}
+
+// ----------------------------------------------------------------------
+// Lock-free per-enclave ring buffers
+// ----------------------------------------------------------------------
+
+/// Placeholder span used to initialize ring slots.
+const EMPTY_SPAN: Span = Span {
+    start: SimTime::ZERO,
+    dur: SimDuration::ZERO,
+    op: SpanKind::Make,
+    kind: SpanKind::Make,
+    root: false,
+    ctx: Ctx::NONE,
+};
+
+/// One ring slot, protected by a seqlock: `seq == 0` means never
+/// written, odd means a write is in flight, even (nonzero) means the
+/// slot holds the span for logical index `(seq - 2) / 2`.
+struct Slot {
+    seq: AtomicU64,
+    data: UnsafeCell<Span>,
+}
+
+/// Lock-free single-ring span store. Writers claim a logical index with
+/// a `fetch_add` and publish via the slot seqlock; readers snapshot
+/// without blocking writers and simply skip torn slots. Overwrites the
+/// oldest spans when full — the conservation sums in [`Metrics`] are
+/// unaffected by ring capacity.
+struct Ring {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+// SAFETY: slot data is only accessed under the seqlock protocol —
+// writers mark the slot odd before writing and even after; readers
+// validate the sequence number around the copy and discard torn reads.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        let cap = capacity.next_power_of_two().max(2);
+        Ring {
+            slots: (0..cap)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    data: UnsafeCell::new(EMPTY_SPAN),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, span: Span) {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx as usize) & (self.slots.len() - 1)];
+        slot.seq.store(2 * idx + 1, Ordering::Release);
+        // SAFETY: the odd sequence number claims the slot; a concurrent
+        // writer that laps us will store its own odd value and readers
+        // will discard the torn span.
+        unsafe { *slot.data.get() = span };
+        slot.seq.store(2 * idx + 2, Ordering::Release);
+    }
+
+    fn snapshot_into(&self, out: &mut Vec<Span>) {
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue;
+            }
+            // SAFETY: the copy is validated by re-reading the sequence
+            // number; a torn read is discarded below.
+            let span = unsafe { *slot.data.get() };
+            let after = slot.seq.load(Ordering::Acquire);
+            if before == after {
+                out.push(span);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Metrics registry
+// ----------------------------------------------------------------------
+
+struct Metrics {
+    counters: [AtomicU64; Counter::COUNT],
+    op_counts: [AtomicU64; SpanKind::COUNT],
+    hists: [Histogram; Hist::COUNT],
+    clock_root_ns: AtomicU64,
+    clock_leaf_ns: AtomicU64,
+    detached_root_ns: AtomicU64,
+    detached_leaf_ns: AtomicU64,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            op_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| Histogram::new()),
+            clock_root_ns: AtomicU64::new(0),
+            clock_leaf_ns: AtomicU64::new(0),
+            detached_root_ns: AtomicU64::new(0),
+            detached_leaf_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn sums(&self) -> ConservationSums {
+        ConservationSums {
+            clock_root_ns: self.clock_root_ns.load(Ordering::Relaxed),
+            clock_leaf_ns: self.clock_leaf_ns.load(Ordering::Relaxed),
+            detached_root_ns: self.detached_root_ns.load(Ordering::Relaxed),
+            detached_leaf_ns: self.detached_leaf_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Collector
+// ----------------------------------------------------------------------
+
+struct Frame {
+    kind: SpanKind,
+    start: SimTime,
+    ctx: Ctx,
+    timeline: Timeline,
+    leaves: Vec<Span>,
+}
+
+/// Shared state behind an enabled [`TraceHandle`].
+pub struct Collector {
+    /// Per-enclave rings; enclaves beyond the last index share the
+    /// final (overflow) ring.
+    rings: Vec<Ring>,
+    metrics: Metrics,
+    frames: Mutex<HashMap<ThreadId, Vec<Frame>>>,
+}
+
+impl Collector {
+    fn new(slots_per_ring: usize, enclave_rings: usize) -> Collector {
+        Collector {
+            rings: (0..enclave_rings.max(1) + 1)
+                .map(|_| Ring::new(slots_per_ring))
+                .collect(),
+            metrics: Metrics::new(),
+            frames: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn ring_for(&self, enclave: u32) -> &Ring {
+        let idx = (enclave as usize).min(self.rings.len() - 1);
+        &self.rings[idx]
+    }
+
+    fn leaf(&self, kind: SpanKind, start: SimTime, dur: SimDuration, ctx: Ctx) {
+        let mut frames = self.frames.lock().unwrap();
+        let stack = frames.entry(std::thread::current().id()).or_default();
+        if let Some(frame) = stack.last_mut() {
+            frame.leaves.push(Span {
+                start,
+                dur,
+                op: frame.kind,
+                kind,
+                root: false,
+                ctx,
+            });
+        } else {
+            // Self-rooted: a charge observed outside any op frame
+            // (direct `*_at` callers). Charge it to the detached
+            // timeline as both root and leaf so conservation holds.
+            drop(frames);
+            let ns = dur.as_nanos();
+            self.metrics
+                .detached_root_ns
+                .fetch_add(ns, Ordering::Relaxed);
+            self.metrics
+                .detached_leaf_ns
+                .fetch_add(ns, Ordering::Relaxed);
+            self.ring_for(ctx.enclave).push(Span {
+                start,
+                dur,
+                op: kind,
+                kind,
+                root: false,
+                ctx,
+            });
+        }
+    }
+
+    fn begin_op(&self, kind: SpanKind, start: SimTime, ctx: Ctx, timeline: Timeline) {
+        let mut frames = self.frames.lock().unwrap();
+        frames
+            .entry(std::thread::current().id())
+            .or_default()
+            .push(Frame {
+                kind,
+                start,
+                ctx,
+                timeline,
+                leaves: Vec::new(),
+            });
+    }
+
+    fn commit_op(&self, end: SimTime) {
+        let frame = {
+            let mut frames = self.frames.lock().unwrap();
+            frames
+                .get_mut(&std::thread::current().id())
+                .and_then(Vec::pop)
+        };
+        let Some(frame) = frame else {
+            debug_assert!(false, "commit_op with no open frame");
+            return;
+        };
+        let dur = end.duration_since(frame.start);
+        let (root_sum, leaf_sum) = match frame.timeline {
+            Timeline::Clock => (&self.metrics.clock_root_ns, &self.metrics.clock_leaf_ns),
+            Timeline::Detached => (
+                &self.metrics.detached_root_ns,
+                &self.metrics.detached_leaf_ns,
+            ),
+        };
+        root_sum.fetch_add(dur.as_nanos(), Ordering::Relaxed);
+        let ring = self.ring_for(frame.ctx.enclave);
+        for leaf in &frame.leaves {
+            leaf_sum.fetch_add(leaf.dur.as_nanos(), Ordering::Relaxed);
+            self.ring_for(leaf.ctx.enclave).push(*leaf);
+        }
+        ring.push(Span {
+            start: frame.start,
+            dur,
+            op: frame.kind,
+            kind: frame.kind,
+            root: true,
+            ctx: frame.ctx,
+        });
+        self.metrics.op_counts[frame.kind as usize].fetch_add(1, Ordering::Relaxed);
+        match frame.kind {
+            SpanKind::Attach => self.metrics.hists[Hist::AttachNs as usize].observe(dur.as_nanos()),
+            SpanKind::Detach => self.metrics.hists[Hist::DetachNs as usize].observe(dur.as_nanos()),
+            _ => {}
+        }
+    }
+
+    fn abort_op(&self) {
+        let mut frames = self.frames.lock().unwrap();
+        if let Some(stack) = frames.get_mut(&std::thread::current().id()) {
+            stack.pop();
+        }
+    }
+
+    fn spans(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for ring in &self.rings {
+            ring.snapshot_into(&mut out);
+        }
+        out.sort_by_key(|s| (s.start.as_nanos(), !s.root, s.kind as u8));
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// TraceHandle
+// ----------------------------------------------------------------------
+
+/// Cheap, cloneable entry point. A disabled handle (the default) makes
+/// every hook an inlined no-op branch — no allocation, no locking.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    inner: Option<Arc<Collector>>,
+}
+
+impl TraceHandle {
+    /// A handle that records nothing (the default).
+    pub fn disabled() -> TraceHandle {
+        TraceHandle { inner: None }
+    }
+
+    /// An enabled handle with default capacity (32 Ki spans per
+    /// enclave ring, 8 enclave rings + 1 overflow ring).
+    pub fn enabled() -> TraceHandle {
+        TraceHandle::with_capacity(1 << 15, 8)
+    }
+
+    /// An enabled handle with explicit ring sizing. Ring capacity only
+    /// bounds how many spans the exporters can see; metrics and the
+    /// conservation auditor are exact regardless.
+    pub fn with_capacity(slots_per_ring: usize, enclave_rings: usize) -> TraceHandle {
+        TraceHandle {
+            inner: Some(Arc::new(Collector::new(slots_per_ring, enclave_rings))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record a leaf: one charged virtual-time component.
+    #[inline]
+    pub fn leaf(&self, kind: SpanKind, start: SimTime, dur: SimDuration, ctx: Ctx) {
+        if let Some(c) = &self.inner {
+            if !dur.is_zero() {
+                c.leaf(kind, start, dur, ctx);
+            }
+        }
+    }
+
+    /// Open an op frame on the current thread.
+    #[inline]
+    pub fn begin_op(&self, kind: SpanKind, start: SimTime, ctx: Ctx, timeline: Timeline) {
+        if let Some(c) = &self.inner {
+            c.begin_op(kind, start, ctx, timeline);
+        }
+    }
+
+    /// Close the innermost frame successfully, charging `end - start`
+    /// to its timeline and publishing the root + buffered leaves.
+    #[inline]
+    pub fn commit_op(&self, end: SimTime) {
+        if let Some(c) = &self.inner {
+            c.commit_op(end);
+        }
+    }
+
+    /// Discard the innermost frame (failed op: no virtual time was
+    /// charged, so nothing is attributed).
+    #[inline]
+    pub fn abort_op(&self) {
+        if let Some(c) = &self.inner {
+            c.abort_op();
+        }
+    }
+
+    /// Bump a counter.
+    #[inline]
+    pub fn count(&self, counter: Counter, n: u64) {
+        if let Some(c) = &self.inner {
+            c.metrics.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&self, hist: Hist, value: u64) {
+        if let Some(c) = &self.inner {
+            c.metrics.hists[hist as usize].observe(value);
+        }
+    }
+
+    /// Current value of a counter (0 when disabled).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|c| c.metrics.counters[counter as usize].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Committed op count for a span kind (0 when disabled).
+    pub fn op_count(&self, kind: SpanKind) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|c| c.metrics.op_counts[kind as usize].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of one histogram (`None` when disabled).
+    pub fn hist(&self, hist: Hist) -> Option<HistSnapshot> {
+        self.inner
+            .as_ref()
+            .map(|c| c.metrics.hists[hist as usize].snapshot())
+    }
+
+    /// Current conservation sums (zero when disabled).
+    pub fn sums(&self) -> ConservationSums {
+        self.inner
+            .as_ref()
+            .map(|c| c.metrics.sums())
+            .unwrap_or_default()
+    }
+
+    /// Snapshot the sums so a later [`TraceHandle::audit_scope`] can
+    /// check only the work in between.
+    pub fn scope(&self) -> AuditScope {
+        AuditScope { base: self.sums() }
+    }
+
+    /// Assert leaf/root conservation on both timelines over the whole
+    /// handle lifetime. Errors describe the discrepancy.
+    pub fn audit(&self) -> Result<ConservationSums, String> {
+        self.audit_scope(&AuditScope::default(), None)
+    }
+
+    /// [`TraceHandle::audit`] plus the clock-tiling check: the
+    /// clock-timeline roots must equal `elapsed` exactly.
+    pub fn audit_clock(&self, elapsed: SimDuration) -> Result<ConservationSums, String> {
+        self.audit_scope(&AuditScope::default(), Some(elapsed))
+    }
+
+    /// Audit only the work recorded since `scope` was taken,
+    /// optionally checking that clock-timeline roots tile
+    /// `clock_elapsed` exactly.
+    pub fn audit_scope(
+        &self,
+        scope: &AuditScope,
+        clock_elapsed: Option<SimDuration>,
+    ) -> Result<ConservationSums, String> {
+        if self.inner.is_none() {
+            return Err("tracing disabled: nothing to audit".to_string());
+        }
+        let delta = self.sums().delta_since(&scope.base);
+        delta.check(clock_elapsed)?;
+        Ok(delta)
+    }
+
+    /// Snapshot all recorded spans, merged across rings and sorted by
+    /// start time. Empty when disabled.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.as_ref().map(|c| c.spans()).unwrap_or_default()
+    }
+
+    /// Export all recorded spans in the chrome://tracing "Trace Event
+    /// Format" (JSON array of complete `"X"` events; open with
+    /// chrome://tracing or https://ui.perfetto.dev). Lanes: `pid` is
+    /// the enclave slot, `tid` the process id.
+    pub fn chrome_trace_json(&self) -> String {
+        let spans = self.spans();
+        let mut out = String::with_capacity(64 + spans.len() * 128);
+        out.push_str("[\n");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\"segid\":{},\"root\":{}}}}}",
+                s.kind.as_str(),
+                s.op.as_str(),
+                s.start.as_nanos() as f64 / 1e3,
+                s.dur.as_nanos() as f64 / 1e3,
+                s.ctx.enclave,
+                s.ctx.pid,
+                s.ctx.segid,
+                s.root
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Export leaf spans as folded stacks (`op;leaf <ns>` per line,
+    /// semicolon-separated frames, aggregated) for flamegraph tools.
+    /// Root aggregates are excluded — their time is exactly the sum of
+    /// their leaves.
+    pub fn folded_stacks(&self) -> String {
+        let mut agg: HashMap<(SpanKind, SpanKind), u64> = HashMap::new();
+        for s in self.spans() {
+            if s.root {
+                continue;
+            }
+            *agg.entry((s.op, s.kind)).or_insert(0) += s.dur.as_nanos();
+        }
+        let mut lines: Vec<String> = agg
+            .into_iter()
+            .map(|((op, kind), ns)| {
+                if op == kind {
+                    format!("{} {ns}", kind.as_str())
+                } else {
+                    format!("{};{} {ns}", op.as_str(), kind.as_str())
+                }
+            })
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable metrics dump: non-zero counters, op counts, and
+    /// histogram summaries.
+    pub fn metrics_summary(&self) -> String {
+        let Some(c) = &self.inner else {
+            return "tracing disabled".to_string();
+        };
+        let mut out = String::new();
+        let sums = c.metrics.sums();
+        out.push_str(&format!(
+            "attributed virtual time: clock {} ns (leaves {}), detached {} ns (leaves {})\n",
+            sums.clock_root_ns, sums.clock_leaf_ns, sums.detached_root_ns, sums.detached_leaf_ns
+        ));
+        for kind in SpanKind::ALL {
+            let n = c.metrics.op_counts[kind as usize].load(Ordering::Relaxed);
+            if n > 0 {
+                out.push_str(&format!("op {}: {}\n", kind.as_str(), n));
+            }
+        }
+        for counter in Counter::ALL {
+            let v = c.metrics.counters[counter as usize].load(Ordering::Relaxed);
+            if v > 0 {
+                out.push_str(&format!("counter {}: {}\n", counter.as_str(), v));
+            }
+        }
+        for hist in Hist::ALL {
+            let s = c.metrics.hists[hist as usize].snapshot();
+            if s.count > 0 {
+                out.push_str(&format!(
+                    "hist {}: n={} mean={:.1} p50<={} p99<={}\n",
+                    hist.as_str(),
+                    s.count,
+                    s.mean(),
+                    s.percentile_bound(50),
+                    s.percentile_bound(99)
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Global handle
+// ----------------------------------------------------------------------
+
+static GLOBAL: OnceLock<TraceHandle> = OnceLock::new();
+
+/// Install a process-wide handle picked up by systems built without an
+/// explicit tracer. Returns false if one was already installed.
+pub fn install_global(handle: TraceHandle) -> bool {
+    GLOBAL.set(handle).is_ok()
+}
+
+/// The installed global handle, or a disabled one.
+pub fn global() -> TraceHandle {
+    GLOBAL.get().cloned().unwrap_or_default()
+}
+
+/// Whether the `XEMEM_TRACE` environment variable requests tracing
+/// (any value except `0` / empty).
+pub fn env_requested() -> bool {
+    std::env::var("XEMEM_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn d(ns: u64) -> SimDuration {
+        SimDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::disabled();
+        h.begin_op(SpanKind::Attach, t(0), Ctx::NONE, Timeline::Clock);
+        h.leaf(SpanKind::IpiXfer, t(0), d(10), Ctx::NONE);
+        h.commit_op(t(10));
+        h.count(Counter::Reaps, 3);
+        h.observe(Hist::AttachNs, 10);
+        assert!(!h.is_enabled());
+        assert!(h.spans().is_empty());
+        assert_eq!(h.sums(), ConservationSums::default());
+        assert!(h.audit().is_err());
+    }
+
+    #[test]
+    fn commit_charges_roots_and_leaves() {
+        let h = TraceHandle::enabled();
+        h.begin_op(SpanKind::Attach, t(100), Ctx::proc(1, 7), Timeline::Clock);
+        h.leaf(SpanKind::IpiWait, t(100), d(30), Ctx::enclave(1));
+        h.leaf(SpanKind::IpiXfer, t(130), d(70), Ctx::enclave(1));
+        h.commit_op(t(200));
+        let sums = h.audit_clock(d(100)).expect("conserved");
+        assert_eq!(sums.clock_root_ns, 100);
+        assert_eq!(sums.clock_leaf_ns, 100);
+        assert_eq!(h.op_count(SpanKind::Attach), 1);
+        let spans = h.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans.iter().filter(|s| s.root).count(), 1);
+        let hist = h.hist(Hist::AttachNs).unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.sum, 100);
+    }
+
+    #[test]
+    fn abort_discards_leaves() {
+        let h = TraceHandle::enabled();
+        h.begin_op(SpanKind::Make, t(0), Ctx::NONE, Timeline::Clock);
+        h.leaf(SpanKind::NsProcess, t(0), d(50), Ctx::NONE);
+        h.abort_op();
+        assert_eq!(h.sums(), ConservationSums::default());
+        assert!(h.spans().is_empty());
+        h.audit_clock(SimDuration::ZERO).expect("empty conserved");
+    }
+
+    #[test]
+    fn missed_leaf_trips_audit() {
+        let h = TraceHandle::enabled();
+        h.begin_op(SpanKind::Get, t(0), Ctx::NONE, Timeline::Clock);
+        h.leaf(SpanKind::NsProcess, t(0), d(40), Ctx::NONE);
+        h.commit_op(t(100)); // 60 ns unattributed
+        assert!(h.audit().is_err());
+    }
+
+    #[test]
+    fn self_rooted_leaves_stay_conserved() {
+        let h = TraceHandle::enabled();
+        h.leaf(SpanKind::MapContention, t(5), d(25), Ctx::enclave(2));
+        let sums = h.audit().expect("conserved");
+        assert_eq!(sums.detached_root_ns, 25);
+        assert_eq!(sums.detached_leaf_ns, 25);
+        assert_eq!(sums.clock_root_ns, 0);
+    }
+
+    #[test]
+    fn nested_detached_frame_commits_independently() {
+        let h = TraceHandle::enabled();
+        h.begin_op(SpanKind::Attach, t(0), Ctx::NONE, Timeline::Clock);
+        h.leaf(SpanKind::ServeWalk, t(0), d(10), Ctx::NONE);
+        // An injected fault serviced mid-op.
+        h.begin_op(
+            SpanKind::InjectedKill,
+            t(4),
+            Ctx::proc(1, 3),
+            Timeline::Detached,
+        );
+        h.leaf(SpanKind::Quarantine, t(4), d(6), Ctx::proc(1, 3));
+        h.commit_op(t(10));
+        h.leaf(SpanKind::MapInstall, t(10), d(90), Ctx::NONE);
+        h.commit_op(t(100));
+        let sums = h.audit_clock(d(100)).expect("conserved");
+        assert_eq!(sums.clock_root_ns, 100);
+        assert_eq!(sums.detached_root_ns, 6);
+    }
+
+    #[test]
+    fn ring_overwrite_keeps_sums_exact() {
+        let h = TraceHandle::with_capacity(4, 1);
+        for i in 0..64 {
+            h.begin_op(SpanKind::Get, t(i * 10), Ctx::NONE, Timeline::Clock);
+            h.leaf(SpanKind::NsProcess, t(i * 10), d(10), Ctx::NONE);
+            h.commit_op(t(i * 10 + 10));
+        }
+        let sums = h.audit_clock(d(640)).expect("conserved despite overwrite");
+        assert_eq!(sums.clock_root_ns, 640);
+        // The rings only hold the most recent spans.
+        assert!(h.spans().len() < 128);
+    }
+
+    #[test]
+    fn exporters_produce_parseable_output() {
+        let h = TraceHandle::enabled();
+        h.begin_op(SpanKind::Attach, t(0), Ctx::seg(1, 2, 0x9), Timeline::Clock);
+        h.leaf(SpanKind::IpiXfer, t(0), d(40), Ctx::enclave(0));
+        h.leaf(SpanKind::MapInstall, t(40), d(60), Ctx::seg(1, 2, 0x9));
+        h.commit_op(t(100));
+        let json = h.chrome_trace_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"map_install\""));
+        assert_eq!(json.matches("{\"name\"").count(), 3);
+        let folded = h.folded_stacks();
+        assert!(folded.contains("attach;ipi_xfer 40"));
+        assert!(folded.contains("attach;map_install 60"));
+        assert!(!folded.contains("attach 100"), "roots must be excluded");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let hist = Histogram::new();
+        hist.observe(0);
+        hist.observe(1);
+        hist.observe(1023);
+        hist.observe(1024);
+        let s = hist.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[0], 1); // zero
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[10], 1); // 512..=1023
+        assert_eq!(s.buckets[11], 1); // 1024..=2047
+        assert_eq!(s.sum, 2048);
+    }
+
+    #[test]
+    fn concurrent_threads_do_not_corrupt_sums() {
+        let h = TraceHandle::enabled();
+        let threads: Vec<_> = (0..4)
+            .map(|k| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        let start = t(k * 10_000 + i * 10);
+                        h.begin_op(
+                            SpanKind::Get,
+                            start,
+                            Ctx::enclave(k as usize),
+                            Timeline::Detached,
+                        );
+                        h.leaf(SpanKind::NsProcess, start, d(10), Ctx::enclave(k as usize));
+                        h.commit_op(start + d(10));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let sums = h.audit().expect("conserved across threads");
+        assert_eq!(sums.detached_root_ns, 4 * 250 * 10);
+        assert_eq!(h.op_count(SpanKind::Get), 1000);
+    }
+}

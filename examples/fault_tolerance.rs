@@ -15,10 +15,32 @@
 //!   owner enclave's allocator once the last reference drops.
 //!
 //! Run with: `cargo run --example fault_tolerance`
+//!
+//! Pass `--trace-out <path>` (or set `XEMEM_TRACE=1`) to record the
+//! run with the tracing layer: the failure handling below — backoff
+//! leaves, retransmissions, the revocation/reap spans — lands in a
+//! chrome://tracing JSON you can open in a browser, and the
+//! conservation auditor verifies every charged nanosecond was
+//! attributed.
 
-use xemem::{FaultPlan, SimDuration, SimTime, SystemBuilder, XememError};
+use xemem::trace_layer;
+use xemem::{FaultPlan, SimDuration, SimTime, SystemBuilder, TraceHandle, XememError};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = Some(it.next().expect("--trace-out requires a path")),
+            other => panic!("unknown argument: {other} (expected --trace-out PATH)"),
+        }
+    }
+    let tracer = if trace_out.is_some() || trace_layer::env_requested() {
+        TraceHandle::enabled()
+    } else {
+        TraceHandle::disabled()
+    };
+
     // The failure schedule, in virtual time:
     //   2 ms  name server goes dark for 150 µs
     //   during [0, 5 ms)  each forwarded hop is dropped with p = 0.1
@@ -32,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .kill_process(SimTime::from_nanos(5_000_000), 1, 1);
 
     let mut sys = SystemBuilder::new()
+        .with_tracer(tracer.clone())
         .linux_management("linux0", 4, 512 << 20)
         .kitten_cokernel("kitten0", 1, 256 << 20)
         .with_fault_plan(plan, 42) // same plan + seed => same history
@@ -87,5 +110,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:>12}  {}", ev.at.to_string(), ev.label);
     }
     let _ = sim;
+
+    if tracer.is_enabled() {
+        // Leaf spans must tile their op roots exactly (the clock-tiling
+        // variant doesn't apply here: the manual `advance_to` walks
+        // above spend idle time no operation pays for).
+        let sums = tracer.audit().expect("conservation audit");
+        println!(
+            "\ntracing: {} attributed ns, {} name-server retries, {} reaps",
+            sums.total_attributed_ns(),
+            tracer.counter(trace_layer::Counter::NsRetries),
+            tracer.counter(trace_layer::Counter::Reaps),
+        );
+        print!("{}", tracer.metrics_summary());
+        if let Some(path) = trace_out {
+            std::fs::write(&path, tracer.chrome_trace_json())?;
+            std::fs::write(format!("{path}.folded"), tracer.folded_stacks())?;
+            println!("tracing: wrote {path} and {path}.folded");
+        }
+    }
     Ok(())
 }

@@ -573,15 +573,20 @@ fn name_server_outage_exhausts_bounded_retry_budget() {
     let kitten = sys.enclave_by_name("kitten").unwrap();
     let p = sys.spawn_process(kitten, 16 * MIB).unwrap();
     let buf = sys.alloc_buffer(p, MIB).unwrap();
-    assert!(matches!(
-        sys.xpmem_make(p, buf, MIB, None),
-        Err(XememError::NameServerUnavailable)
-    ));
+    // The error context surfaces what the retry loop actually did: 3
+    // attempts sleeping 1000 << k ns each (backoff = 1+2+4 µs).
+    match sys.xpmem_make(p, buf, MIB, None) {
+        Err(XememError::NameServerUnavailable { attempts, backoff }) => {
+            assert_eq!(attempts, 3);
+            assert_eq!(backoff, SimDuration::from_nanos(1_000 + 2_000 + 4_000));
+        }
+        other => panic!("expected NameServerUnavailable, got {other:?}"),
+    }
     assert!(sys.events().with_prefix("ns:unavailable").next().is_some());
     // An uncached lookup during the outage fails the same way.
     assert!(matches!(
         sys.xpmem_search(p, "nothing-cached"),
-        Err(XememError::NameServerUnavailable)
+        Err(XememError::NameServerUnavailable { .. })
     ));
     // Once the outage passes, the same operation succeeds.
     sys.clock().advance_to(SimTime::from_nanos(11_000_000));
