@@ -31,62 +31,69 @@ pub struct MemmapRow {
 pub mod memmap {
     use super::*;
 
+    /// The ablation's variants in output order.
+    pub const VARIANTS: [(&str, MemoryMapKind, Coalescing); 4] = [
+        (
+            "rb-tree / per-page (paper)",
+            MemoryMapKind::RbTree,
+            Coalescing::PerPage,
+        ),
+        (
+            "rb-tree / coalesced runs",
+            MemoryMapKind::RbTree,
+            Coalescing::Runs,
+        ),
+        (
+            "radix / per-page (future work)",
+            MemoryMapKind::Radix,
+            Coalescing::PerPage,
+        ),
+        (
+            "radix / coalesced runs",
+            MemoryMapKind::Radix,
+            Coalescing::Runs,
+        ),
+    ];
+
     /// Run with the given region size and attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<MemmapRow>, XememError> {
-        let variants: [(&'static str, MemoryMapKind, Coalescing); 4] = [
-            (
-                "rb-tree / per-page (paper)",
-                MemoryMapKind::RbTree,
-                Coalescing::PerPage,
-            ),
-            (
-                "rb-tree / coalesced runs",
-                MemoryMapKind::RbTree,
-                Coalescing::Runs,
-            ),
-            (
-                "radix / per-page (future work)",
-                MemoryMapKind::Radix,
-                Coalescing::PerPage,
-            ),
-            (
-                "radix / coalesced runs",
-                MemoryMapKind::Radix,
-                Coalescing::Runs,
-            ),
-        ];
-        let mut out = Vec::new();
-        for (label, kind, coalescing) in variants {
-            let mut sys = SystemBuilder::new()
-                .linux_management("linux", 4, 64 << 20)
-                .kitten_cokernel("kitten", 1, size + (64 << 20))
-                .palacios_vm("vm", "linux", size / 4 + (96 << 20), kind, GuestOs::Fwk)
-                .build()?;
-            let vm_ref = sys.enclave_by_name("vm").unwrap();
-            sys.vmm_mut(vm_ref).unwrap().set_coalescing(coalescing);
-            let kitten = sys.enclave_by_name("kitten").unwrap();
-            let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
-            let attacher = sys.spawn_process(vm_ref, 8 << 20)?;
-            let buf = sys.alloc_buffer(exporter, size)?;
-            sys.prepare_buffer(exporter, buf, size)?;
-            let segid = sys.xpmem_make(exporter, buf, size, None)?;
-            let apid = sys.xpmem_get(attacher, segid)?;
-            let mut total = SimDuration::ZERO;
-            let mut entries = 0;
-            for _ in 0..iters {
-                let t0 = sys.clock().now();
-                let o = sys.xpmem_attach_outcome(attacher, apid, 0, size)?;
-                total += o.end.duration_since(t0);
-                entries = sys.vmm_mut(vm_ref).unwrap().map_entries();
-                sys.xpmem_detach(attacher, o.va)?;
-            }
-            out.push(MemmapRow {
-                variant: label,
-                gbps: throughput_gbps(size * iters as u64, total),
-                entries,
-            });
+        (0..VARIANTS.len())
+            .map(|v| run_variant(v, size, iters))
+            .collect()
+    }
+
+    /// Run one variant (`0..VARIANTS.len()`) — the independent unit the
+    /// parallel run driver shards.
+    pub fn run_variant(variant: usize, size: u64, iters: u32) -> Result<MemmapRow, XememError> {
+        let (label, kind, coalescing) = VARIANTS[variant];
+        let mut sys = SystemBuilder::new()
+            .linux_management("linux", 4, 64 << 20)
+            .kitten_cokernel("kitten", 1, size + (64 << 20))
+            .palacios_vm("vm", "linux", size / 4 + (96 << 20), kind, GuestOs::Fwk)
+            .build()?;
+        let vm_ref = sys.enclave_by_name("vm").unwrap();
+        sys.vmm_mut(vm_ref).unwrap().set_coalescing(coalescing);
+        let kitten = sys.enclave_by_name("kitten").unwrap();
+        let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
+        let attacher = sys.spawn_process(vm_ref, 8 << 20)?;
+        let buf = sys.alloc_buffer(exporter, size)?;
+        sys.prepare_buffer(exporter, buf, size)?;
+        let segid = sys.xpmem_make(exporter, buf, size, None)?;
+        let apid = sys.xpmem_get(attacher, segid)?;
+        let mut total = SimDuration::ZERO;
+        let mut entries = 0;
+        for _ in 0..iters {
+            let t0 = sys.clock().now();
+            let o = sys.xpmem_attach_outcome(attacher, apid, 0, size)?;
+            total += o.end.duration_since(t0);
+            entries = sys.vmm_mut(vm_ref).unwrap().map_entries();
+            sys.xpmem_detach(attacher, o.va)?;
         }
-        Ok(out)
+        Ok(MemmapRow {
+            variant: label,
+            gbps: throughput_gbps(size * iters as u64, total),
+            entries,
+        })
     }
 }
 
@@ -108,58 +115,66 @@ pub mod ipi {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
+    /// The ablation's variants in output order.
+    pub const VARIANTS: [(&str, bool); 2] = [
+        ("core-0 restricted (paper)", false),
+        ("per-channel handlers", true),
+    ];
+
     /// Run with the given region size and per-pair attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<IpiRow>, XememError> {
-        let mut out = Vec::new();
-        for (label, per_channel) in [
-            ("core-0 restricted (paper)", false),
-            ("per-channel handlers", true),
-        ] {
-            let mut b = SystemBuilder::new().linux_management("linux", 8, 512 << 20);
-            if per_channel {
-                b = b.per_channel_ipi();
-            }
-            for i in 0..8 {
-                b = b.kitten_cokernel(&format!("kitten{i}"), 1, size + (64 << 20));
-            }
-            let mut sys = b.build()?;
-            let linux = sys.enclave_by_name("linux").unwrap();
-            let mut pairs = Vec::new();
-            for i in 0..8 {
-                let enclave = sys.enclave_by_name(&format!("kitten{i}")).unwrap();
-                let exporter = sys.spawn_process(enclave, size + (16 << 20))?;
-                let attacher = sys.spawn_process(linux, 8 << 20)?;
-                let buf = sys.alloc_buffer(exporter, size)?;
-                let segid = sys.xpmem_make(exporter, buf, size, None)?;
-                let apid = sys.xpmem_get(attacher, segid)?;
-                pairs.push((attacher, apid, SimDuration::ZERO, iters));
-            }
-            let t0 = sys.clock().now();
-            let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
-                (0..pairs.len()).map(|i| Reverse((t0, i))).collect();
-            while let Some(Reverse((at, idx))) = heap.pop() {
-                let (attacher, apid, _, remaining) = pairs[idx];
-                if remaining == 0 {
-                    continue;
-                }
-                pairs[idx].3 -= 1;
-                let o = sys.attach_at(attacher, apid, 0, size, at)?;
-                pairs[idx].2 += o.end.duration_since(at);
-                let free = sys.detach_at(attacher, o.va, o.end)?;
-                heap.push(Reverse((free, idx)));
-            }
-            let mean = pairs
-                .iter()
-                .map(|p| throughput_gbps(size * iters as u64, p.2))
-                .sum::<f64>()
-                / pairs.len() as f64;
-            out.push(IpiRow {
-                variant: label,
-                gbps: mean,
-                core0_wait_us: sys.core0().total_wait().as_micros_f64(),
-            });
+        (0..VARIANTS.len())
+            .map(|v| run_variant(v, size, iters))
+            .collect()
+    }
+
+    /// Run one variant (`0..VARIANTS.len()`) — the independent unit the
+    /// parallel run driver shards.
+    pub fn run_variant(variant: usize, size: u64, iters: u32) -> Result<IpiRow, XememError> {
+        let (label, per_channel) = VARIANTS[variant];
+        let mut b = SystemBuilder::new().linux_management("linux", 8, 512 << 20);
+        if per_channel {
+            b = b.per_channel_ipi();
         }
-        Ok(out)
+        for i in 0..8 {
+            b = b.kitten_cokernel(&format!("kitten{i}"), 1, size + (64 << 20));
+        }
+        let mut sys = b.build()?;
+        let linux = sys.enclave_by_name("linux").unwrap();
+        let mut pairs = Vec::new();
+        for i in 0..8 {
+            let enclave = sys.enclave_by_name(&format!("kitten{i}")).unwrap();
+            let exporter = sys.spawn_process(enclave, size + (16 << 20))?;
+            let attacher = sys.spawn_process(linux, 8 << 20)?;
+            let buf = sys.alloc_buffer(exporter, size)?;
+            let segid = sys.xpmem_make(exporter, buf, size, None)?;
+            let apid = sys.xpmem_get(attacher, segid)?;
+            pairs.push((attacher, apid, SimDuration::ZERO, iters));
+        }
+        let t0 = sys.clock().now();
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
+            (0..pairs.len()).map(|i| Reverse((t0, i))).collect();
+        while let Some(Reverse((at, idx))) = heap.pop() {
+            let (attacher, apid, _, remaining) = pairs[idx];
+            if remaining == 0 {
+                continue;
+            }
+            pairs[idx].3 -= 1;
+            let o = sys.attach_at(attacher, apid, 0, size, at)?;
+            pairs[idx].2 += o.end.duration_since(at);
+            let free = sys.detach_at(attacher, o.va, o.end)?;
+            heap.push(Reverse((free, idx)));
+        }
+        let mean = pairs
+            .iter()
+            .map(|p| throughput_gbps(size * iters as u64, p.2))
+            .sum::<f64>()
+            / pairs.len() as f64;
+        Ok(IpiRow {
+            variant: label,
+            gbps: mean,
+            core0_wait_us: sys.core0().total_wait().as_micros_f64(),
+        })
     }
 }
 
@@ -179,43 +194,49 @@ pub struct NsRow {
 pub mod name_server {
     use super::*;
 
+    /// The ablation's placements in output order.
+    pub const VARIANTS: [(&str, &str); 2] = [
+        ("management enclave (paper default)", "linux"),
+        ("co-kernel enclave", "kitten0"),
+    ];
+
     /// Run with `iters` control operations per placement.
     pub fn run(iters: u32) -> Result<Vec<NsRow>, XememError> {
-        let mut out = Vec::new();
-        for (label, ns_at) in [
-            ("management enclave (paper default)", "linux"),
-            ("co-kernel enclave", "kitten0"),
-        ] {
-            let mut sys = SystemBuilder::new()
-                .linux_management("linux", 4, 128 << 20)
-                .kitten_cokernel("kitten0", 1, 64 << 20)
-                .kitten_cokernel("kitten1", 1, 64 << 20)
-                .name_server_at(ns_at)
-                .build()?;
-            let k0 = sys.enclave_by_name("kitten0").unwrap();
-            let k1 = sys.enclave_by_name("kitten1").unwrap();
-            let exporter = sys.spawn_process(k0, 16 << 20)?;
-            let getter = sys.spawn_process(k1, 16 << 20)?;
-            let buf = sys.alloc_buffer(exporter, 1 << 20)?;
-            let mut make_total = SimDuration::ZERO;
-            let mut get_total = SimDuration::ZERO;
-            for _ in 0..iters {
-                let t0 = sys.clock().now();
-                let segid = sys.xpmem_make(exporter, buf, 1 << 20, None)?;
-                make_total += sys.clock().now().duration_since(t0);
-                let t1 = sys.clock().now();
-                let apid = sys.xpmem_get(getter, segid)?;
-                get_total += sys.clock().now().duration_since(t1);
-                sys.xpmem_release(getter, apid)?;
-                sys.xpmem_remove(exporter, segid)?;
-            }
-            out.push(NsRow {
-                placement: label,
-                make_us: make_total.as_micros_f64() / iters as f64,
-                get_us: get_total.as_micros_f64() / iters as f64,
-            });
+        (0..VARIANTS.len()).map(|v| run_variant(v, iters)).collect()
+    }
+
+    /// Run one placement (`0..VARIANTS.len()`) — the independent unit
+    /// the parallel run driver shards.
+    pub fn run_variant(variant: usize, iters: u32) -> Result<NsRow, XememError> {
+        let (label, ns_at) = VARIANTS[variant];
+        let mut sys = SystemBuilder::new()
+            .linux_management("linux", 4, 128 << 20)
+            .kitten_cokernel("kitten0", 1, 64 << 20)
+            .kitten_cokernel("kitten1", 1, 64 << 20)
+            .name_server_at(ns_at)
+            .build()?;
+        let k0 = sys.enclave_by_name("kitten0").unwrap();
+        let k1 = sys.enclave_by_name("kitten1").unwrap();
+        let exporter = sys.spawn_process(k0, 16 << 20)?;
+        let getter = sys.spawn_process(k1, 16 << 20)?;
+        let buf = sys.alloc_buffer(exporter, 1 << 20)?;
+        let mut make_total = SimDuration::ZERO;
+        let mut get_total = SimDuration::ZERO;
+        for _ in 0..iters {
+            let t0 = sys.clock().now();
+            let segid = sys.xpmem_make(exporter, buf, 1 << 20, None)?;
+            make_total += sys.clock().now().duration_since(t0);
+            let t1 = sys.clock().now();
+            let apid = sys.xpmem_get(getter, segid)?;
+            get_total += sys.clock().now().duration_since(t1);
+            sys.xpmem_release(getter, apid)?;
+            sys.xpmem_remove(exporter, segid)?;
         }
-        Ok(out)
+        Ok(NsRow {
+            placement: label,
+            make_us: make_total.as_micros_f64() / iters as f64,
+            get_us: get_total.as_micros_f64() / iters as f64,
+        })
     }
 }
 
@@ -237,53 +258,61 @@ pub mod numa {
     use super::*;
     use xemem_sim::CostModel;
 
+    /// The ablation's placements in output order.
+    pub const VARIANTS: [(&str, u32); 2] = [("same socket (paper setup)", 0), ("cross socket", 1)];
+
     /// Run with the given region size and attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<NumaRow>, XememError> {
+        (0..VARIANTS.len())
+            .map(|v| run_variant(v, size, iters))
+            .collect()
+    }
+
+    /// Run one placement (`0..VARIANTS.len()`) — the independent unit
+    /// the parallel run driver shards.
+    pub fn run_variant(variant: usize, size: u64, iters: u32) -> Result<NumaRow, XememError> {
         let cost = CostModel::default();
-        let mut out = Vec::new();
-        for (label, kitten_zone) in [("same socket (paper setup)", 0u32), ("cross socket", 1u32)] {
-            // Size the node explicitly: even zone split must leave room
-            // for whichever zone hosts both enclaves.
-            let mut sys = SystemBuilder::new()
-                .with_cost(cost.clone())
-                .numa_zones(2)
-                .with_node(8, 4 * (size + (256 << 20)))
-                .on_zone(0)
-                .linux_management("linux", 4, size + (128 << 20))
-                .on_zone(kitten_zone)
-                .kitten_cokernel("kitten", 1, size + (64 << 20))
-                .build()?;
-            let kitten = sys.enclave_by_name("kitten").unwrap();
-            let linux = sys.enclave_by_name("linux").unwrap();
-            assert_eq!(sys.enclave_zone(kitten), Some(kitten_zone));
-            let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
-            let attacher = sys.spawn_process(linux, 8 << 20)?;
-            let buf = sys.alloc_buffer(exporter, size)?;
-            sys.prepare_buffer(exporter, buf, size)?;
-            let segid = sys.xpmem_make(exporter, buf, size, None)?;
-            let apid = sys.xpmem_get(attacher, segid)?;
-            let mut attach_total = SimDuration::ZERO;
-            for _ in 0..iters {
-                let t0 = sys.clock().now();
-                let o = sys.xpmem_attach_outcome(attacher, apid, 0, size)?;
-                attach_total += o.end.duration_since(t0);
-                sys.xpmem_detach(attacher, o.va)?;
-            }
-            // Reads of remote-socket memory run at reduced bandwidth.
-            let read_each = if kitten_zone == 0 {
-                cost.attached_read(size)
-            } else {
-                cost.attached_read(size)
-                    .scaled(1.0 / cost.numa_remote_bw_factor)
-            };
-            let read_total = attach_total + read_each.times(iters as u64);
-            out.push(NumaRow {
-                placement: label,
-                attach_gbps: throughput_gbps(size * iters as u64, attach_total),
-                attach_read_gbps: throughput_gbps(size * iters as u64, read_total),
-            });
+        let (label, kitten_zone) = VARIANTS[variant];
+        // Size the node explicitly: even zone split must leave room
+        // for whichever zone hosts both enclaves.
+        let mut sys = SystemBuilder::new()
+            .with_cost(cost.clone())
+            .numa_zones(2)
+            .with_node(8, 4 * (size + (256 << 20)))
+            .on_zone(0)
+            .linux_management("linux", 4, size + (128 << 20))
+            .on_zone(kitten_zone)
+            .kitten_cokernel("kitten", 1, size + (64 << 20))
+            .build()?;
+        let kitten = sys.enclave_by_name("kitten").unwrap();
+        let linux = sys.enclave_by_name("linux").unwrap();
+        assert_eq!(sys.enclave_zone(kitten), Some(kitten_zone));
+        let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
+        let attacher = sys.spawn_process(linux, 8 << 20)?;
+        let buf = sys.alloc_buffer(exporter, size)?;
+        sys.prepare_buffer(exporter, buf, size)?;
+        let segid = sys.xpmem_make(exporter, buf, size, None)?;
+        let apid = sys.xpmem_get(attacher, segid)?;
+        let mut attach_total = SimDuration::ZERO;
+        for _ in 0..iters {
+            let t0 = sys.clock().now();
+            let o = sys.xpmem_attach_outcome(attacher, apid, 0, size)?;
+            attach_total += o.end.duration_since(t0);
+            sys.xpmem_detach(attacher, o.va)?;
         }
-        Ok(out)
+        // Reads of remote-socket memory run at reduced bandwidth.
+        let read_each = if kitten_zone == 0 {
+            cost.attached_read(size)
+        } else {
+            cost.attached_read(size)
+                .scaled(1.0 / cost.numa_remote_bw_factor)
+        };
+        let read_total = attach_total + read_each.times(iters as u64);
+        Ok(NumaRow {
+            placement: label,
+            attach_gbps: throughput_gbps(size * iters as u64, attach_total),
+            attach_read_gbps: throughput_gbps(size * iters as u64, read_total),
+        })
     }
 }
 
@@ -303,41 +332,49 @@ pub struct HugepageRow {
 pub mod hugepages {
     use super::*;
 
+    /// The ablation's variants in output order.
+    pub const VARIANTS: [(&str, bool); 2] = [
+        ("4 KiB PTEs (paper)", false),
+        ("2 MiB leaves (extension)", true),
+    ];
+
     /// Run with the given region size and attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<HugepageRow>, XememError> {
-        let mut out = Vec::new();
-        for (label, huge) in [
-            ("4 KiB PTEs (paper)", false),
-            ("2 MiB leaves (extension)", true),
-        ] {
-            let mut b = SystemBuilder::new()
-                .linux_management("linux", 4, 128 << 20)
-                .kitten_cokernel("kitten", 1, size + (64 << 20));
-            if huge {
-                b = b.hugepage_attach();
-            }
-            let mut sys = b.build()?;
-            let kitten = sys.enclave_by_name("kitten").unwrap();
-            let linux = sys.enclave_by_name("linux").unwrap();
-            let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
-            let attacher = sys.spawn_process(linux, 8 << 20)?;
-            let buf = sys.alloc_buffer(exporter, size)?;
-            sys.prepare_buffer(exporter, buf, size)?;
-            let segid = sys.xpmem_make(exporter, buf, size, None)?;
-            let apid = sys.xpmem_get(attacher, segid)?;
-            let mut total = SimDuration::ZERO;
-            for _ in 0..iters {
-                let t0 = sys.clock().now();
-                let o = sys.xpmem_attach_outcome(attacher, apid, 0, size)?;
-                total += o.end.duration_since(t0);
-                sys.xpmem_detach(attacher, o.va)?;
-            }
-            out.push(HugepageRow {
-                variant: label,
-                gbps: throughput_gbps(size * iters as u64, total),
-            });
+        (0..VARIANTS.len())
+            .map(|v| run_variant(v, size, iters))
+            .collect()
+    }
+
+    /// Run one variant (`0..VARIANTS.len()`) — the independent unit the
+    /// parallel run driver shards.
+    pub fn run_variant(variant: usize, size: u64, iters: u32) -> Result<HugepageRow, XememError> {
+        let (label, huge) = VARIANTS[variant];
+        let mut b = SystemBuilder::new()
+            .linux_management("linux", 4, 128 << 20)
+            .kitten_cokernel("kitten", 1, size + (64 << 20));
+        if huge {
+            b = b.hugepage_attach();
         }
-        Ok(out)
+        let mut sys = b.build()?;
+        let kitten = sys.enclave_by_name("kitten").unwrap();
+        let linux = sys.enclave_by_name("linux").unwrap();
+        let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
+        let attacher = sys.spawn_process(linux, 8 << 20)?;
+        let buf = sys.alloc_buffer(exporter, size)?;
+        sys.prepare_buffer(exporter, buf, size)?;
+        let segid = sys.xpmem_make(exporter, buf, size, None)?;
+        let apid = sys.xpmem_get(attacher, segid)?;
+        let mut total = SimDuration::ZERO;
+        for _ in 0..iters {
+            let t0 = sys.clock().now();
+            let o = sys.xpmem_attach_outcome(attacher, apid, 0, size)?;
+            total += o.end.duration_since(t0);
+            sys.xpmem_detach(attacher, o.va)?;
+        }
+        Ok(HugepageRow {
+            variant: label,
+            gbps: throughput_gbps(size * iters as u64, total),
+        })
     }
 }
 

@@ -2,14 +2,21 @@
 //! LWK-exported memory is physically contiguous, so the attaching FWK
 //! can install 2 MiB leaves instead of per-page PTEs.
 
-use xemem_bench::{ablations::hugepages, finish_tracing, init_tracing, render_table, Args};
+use xemem_bench::driver::run_indexed;
+use xemem_bench::{
+    ablations::hugepages, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
+};
 
 fn main() {
     let args = Args::parse();
+    let jobs = serial_if_tracing(&args);
     let tracer = init_tracing(&args);
     let size = if args.smoke { 16 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 50 });
-    let rows = hugepages::run(size, iters).expect("hugepage ablation");
+    let rows = run_indexed(jobs, hugepages::VARIANTS.len(), |v| {
+        hugepages::run_variant(v, size, iters)
+    })
+    .expect("hugepage ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| vec![r.variant.to_string(), format!("{:.2}", r.gbps)])

@@ -1,14 +1,21 @@
 //! Ablation: the VMM guest memory map — the paper's red-black tree vs
 //! its proposed radix-tree future work, with and without run coalescing.
 
-use xemem_bench::{ablations::memmap, finish_tracing, init_tracing, render_table, Args};
+use xemem_bench::driver::run_indexed;
+use xemem_bench::{
+    ablations::memmap, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
+};
 
 fn main() {
     let args = Args::parse();
+    let jobs = serial_if_tracing(&args);
     let tracer = init_tracing(&args);
     let size = if args.smoke { 8 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 25 });
-    let rows = memmap::run(size, iters).expect("memmap ablation");
+    let rows = run_indexed(jobs, memmap::VARIANTS.len(), |v| {
+        memmap::run_variant(v, size, iters)
+    })
+    .expect("memmap ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -1,12 +1,19 @@
 //! Ablation: name-server placement — management enclave vs co-kernel.
 
-use xemem_bench::{ablations::name_server, finish_tracing, init_tracing, render_table, Args};
+use xemem_bench::driver::run_indexed;
+use xemem_bench::{
+    ablations::name_server, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
+};
 
 fn main() {
     let args = Args::parse();
+    let jobs = serial_if_tracing(&args);
     let tracer = init_tracing(&args);
     let iters = args.runs.unwrap_or(if args.smoke { 5 } else { 200 });
-    let rows = name_server::run(iters).expect("name-server ablation");
+    let rows = run_indexed(jobs, name_server::VARIANTS.len(), |v| {
+        name_server::run_variant(v, iters)
+    })
+    .expect("name-server ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

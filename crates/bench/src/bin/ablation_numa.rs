@@ -2,14 +2,21 @@
 //! socket (§5.1); this shows the cross-socket penalty that pinning
 //! avoids.
 
-use xemem_bench::{ablations::numa, finish_tracing, init_tracing, render_table, Args};
+use xemem_bench::driver::run_indexed;
+use xemem_bench::{
+    ablations::numa, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
+};
 
 fn main() {
     let args = Args::parse();
+    let jobs = serial_if_tracing(&args);
     let tracer = init_tracing(&args);
     let size = if args.smoke { 8 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 50 });
-    let rows = numa::run(size, iters).expect("numa ablation");
+    let rows = run_indexed(jobs, numa::VARIANTS.len(), |v| {
+        numa::run_variant(v, size, iters)
+    })
+    .expect("numa ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

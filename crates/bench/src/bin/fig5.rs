@@ -1,20 +1,23 @@
 //! Regenerates paper Fig. 5: cross-enclave throughput using shared
 //! memory and RDMA verbs over InfiniBand.
 
-use xemem_bench::{
-    fig5, finish_tracing, init_tracing, render_table, Args, SMOKE_SIZES, SWEEP_SIZES,
-};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{fig5, render_table, Args, SMOKE_SIZES, SWEEP_SIZES};
 
 fn main() {
     let args = Args::parse();
-    let tracer = init_tracing(&args);
     let sizes: Vec<u64> = if args.smoke {
         SMOKE_SIZES.to_vec()
     } else {
         SWEEP_SIZES.to_vec()
     };
     let iters = args.runs.unwrap_or(if args.smoke { 5 } else { 500 });
-    let rows = fig5::run_with(&sizes, iters, &tracer).expect("fig5 experiment");
+    let mut session = ParSession::new(&args);
+    let rows = session
+        .run(sizes.len(), |i, tracer| {
+            fig5::run_size(sizes[i], iters, tracer)
+        })
+        .expect("fig5 experiment");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -38,5 +41,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

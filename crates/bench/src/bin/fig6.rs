@@ -1,20 +1,25 @@
 //! Regenerates paper Fig. 6: cross-enclave throughput vs number of
 //! concurrently executing co-kernel enclaves.
 
-use xemem_bench::{
-    fig6, finish_tracing, init_tracing, render_table, Args, SMOKE_SIZES, SWEEP_SIZES,
-};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{fig6, render_table, Args, SMOKE_SIZES, SWEEP_SIZES};
 
 fn main() {
     let args = Args::parse();
-    let tracer = init_tracing(&args);
     let sizes: Vec<u64> = if args.smoke {
         SMOKE_SIZES.to_vec()
     } else {
         SWEEP_SIZES.to_vec()
     };
     let counts = [1u32, 2, 4, 8];
-    let cells = fig6::run_with(&counts, &sizes, args.smoke, &tracer).expect("fig6 experiment");
+    let grid = fig6::grid(&counts, &sizes);
+    let mut session = ParSession::new(&args);
+    let cells = session
+        .run(grid.len(), |i, tracer| {
+            let (n, size) = grid[i];
+            fig6::run_cell_with(n, size, fig6::default_iters(n, size, args.smoke), tracer)
+        })
+        .expect("fig6 experiment");
     // One row per enclave count, one column per size.
     let mut rows = Vec::new();
     for &n in &counts {
@@ -42,5 +47,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&cells).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

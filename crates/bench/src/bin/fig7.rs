@@ -1,17 +1,22 @@
 //! Regenerates paper Fig. 7: noise profile of a Kitten enclave serving
 //! XEMEM attachment requests on a single core.
 
-use xemem_bench::{fig7, finish_tracing, init_tracing, render_table, Args};
+use xemem_bench::driver::run_indexed;
+use xemem_bench::{fig7, finish_tracing, init_tracing, render_table, serial_if_tracing, Args};
 
 fn main() {
     let args = Args::parse();
+    let jobs = serial_if_tracing(&args);
     let tracer = init_tracing(&args);
     let (regions, window): (Vec<u64>, u64) = if args.smoke {
         (vec![4 << 10, 2 << 20, 64 << 20], 4)
     } else {
         (vec![4 << 10, 2 << 20, 1 << 30], 10)
     };
-    let series = fig7::run(&regions, window, 0xF17u64).expect("fig7 experiment");
+    let series = run_indexed(jobs, regions.len(), |i| {
+        fig7::run_region(regions[i], window, 0xF17u64)
+    })
+    .expect("fig7 experiment");
     for s in &series {
         let mut by_kind: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
         for sample in &s.samples {

@@ -1,14 +1,19 @@
 //! Regenerates paper Table 2: cross-enclave throughput with VM
 //! enclaves, with and without red-black-tree insertion time.
 
-use xemem_bench::{finish_tracing, init_tracing, render_table, table2, Args};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{render_table, table2, Args};
 
 fn main() {
     let args = Args::parse();
-    let tracer = init_tracing(&args);
     let size = if args.smoke { 16 << 20 } else { 1 << 30 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 100 });
-    let rows = table2::run_with(size, iters, &tracer).expect("table2 experiment");
+    let mut session = ParSession::new(&args);
+    let rows = session
+        .run(table2::ROWS, |r, tracer| {
+            table2::run_row(r, size, iters, tracer)
+        })
+        .expect("table2 experiment");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -36,5 +41,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

@@ -17,9 +17,11 @@
 use serde::Serialize;
 use xemem::TraceHandle;
 use xemem_bench::wallclock::{
-    measure_attach, measure_attach_with, measure_profile, BenchStats, Json, Profile, CHECK_FACTOR,
-    CHECK_FLOOR_NS, FULL_BYTES, SMOKE_BYTES, TRACE_CHECK_FACTOR,
+    cells_bitwise_equal, measure_attach, measure_attach_with, measure_profile, measure_sweep,
+    BenchStats, Json, Profile, CHECK_FACTOR, CHECK_FLOOR_NS, FULL_BYTES, PARALLEL_JOBS,
+    PARALLEL_SPEEDUP_FACTOR, SMOKE_BYTES, TRACE_CHECK_FACTOR,
 };
+use xemem_sim::host_parallelism;
 
 const DEFAULT_OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wallclock.json");
 
@@ -43,6 +45,28 @@ struct TracingSection {
     on_over_off: f64,
 }
 
+/// Schema-3 serial-vs-parallel sweep columns: the same fig6-style cell
+/// grid timed at `--jobs 1` and `--jobs 4`. `cells_identical` records
+/// the bitwise-determinism contract; `speedup` is honest for the host
+/// the report was generated on (see `host_parallelism`).
+#[derive(Debug, Clone, Serialize)]
+struct ParallelSection {
+    /// Cores the measuring host exposed (`available_parallelism`).
+    host_parallelism: usize,
+    /// Worker count of the parallel column.
+    jobs: usize,
+    /// Sweep cells executed per column.
+    sweep_units: usize,
+    /// Wall nanoseconds for the sweep at `--jobs 1`.
+    serial_ns: u64,
+    /// Wall nanoseconds for the sweep at `--jobs 4`.
+    parallel_ns: u64,
+    /// `serial_ns / parallel_ns`.
+    speedup: f64,
+    /// Whether both columns produced bit-identical cells.
+    cells_identical: bool,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct Report {
     schema: u32,
@@ -55,6 +79,27 @@ struct Report {
     attach_full_speedup_vs_baseline: f64,
     /// Tracing-off vs tracing-on smoke attach columns.
     tracing: TracingSection,
+    /// Serial vs parallel fig6-sweep columns (schema 3).
+    parallel: ParallelSection,
+}
+
+fn measure_parallel_section() -> ParallelSection {
+    let (serial_ns, serial_cells) = measure_sweep(1).expect("serial sweep");
+    let (parallel_ns, parallel_cells) = measure_sweep(PARALLEL_JOBS).expect("parallel sweep");
+    let identical = cells_bitwise_equal(&serial_cells, &parallel_cells);
+    assert!(
+        identical,
+        "parallel sweep diverged from serial — determinism contract broken"
+    );
+    ParallelSection {
+        host_parallelism: host_parallelism(),
+        jobs: PARALLEL_JOBS,
+        sweep_units: serial_cells.len(),
+        serial_ns,
+        parallel_ns,
+        speedup: serial_ns as f64 / parallel_ns as f64,
+        cells_identical: identical,
+    }
 }
 
 fn measure_tracing_section(iters: u32) -> TracingSection {
@@ -176,6 +221,62 @@ fn run_check(out_path: &str, iters: u32) {
         );
         std::process::exit(1);
     }
+
+    // Serial-attach regression gate (schema 3): the serial attach path
+    // must stay within 2% of the committed serial column (with the same
+    // absolute floor), so the parallel driver cannot quietly tax the
+    // `--jobs 1` path.
+    let serial_limit = (committed * TRACE_CHECK_FACTOR).max(CHECK_FLOOR_NS);
+    println!(
+        "wallclock --check: serial attach min {:.3} ms (committed {:.3} ms, limit {:.3} ms)",
+        attach.min_ns / 1e6,
+        committed / 1e6,
+        serial_limit / 1e6
+    );
+    if attach.min_ns > serial_limit {
+        eprintln!(
+            "wallclock --check: FAIL — serial attach regressed more than {:.0}% \
+             (the run driver must not tax --jobs 1)",
+            (TRACE_CHECK_FACTOR - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+
+    // Parallel-sweep gate (schema 3): re-run the sweep serially and at
+    // PARALLEL_JOBS workers. Bitwise cell equality is enforced on every
+    // host; the >=2x speedup is enforced only where it can physically
+    // exist (hosts with at least PARALLEL_JOBS cores — the CI runner).
+    let cores = host_parallelism();
+    let (serial_ns, serial_cells) = measure_sweep(1).expect("serial sweep");
+    let (parallel_ns, parallel_cells) = measure_sweep(PARALLEL_JOBS).expect("parallel sweep");
+    if !cells_bitwise_equal(&serial_cells, &parallel_cells) {
+        eprintln!(
+            "wallclock --check: FAIL — fig6 sweep cells at --jobs {PARALLEL_JOBS} diverge \
+             from --jobs 1 (determinism contract broken)"
+        );
+        std::process::exit(1);
+    }
+    let speedup = serial_ns as f64 / parallel_ns as f64;
+    println!(
+        "wallclock --check: fig6 sweep serial {:.1} ms, --jobs {PARALLEL_JOBS} {:.1} ms \
+         ({speedup:.2}x, {cores} cores), cells bit-identical",
+        serial_ns as f64 / 1e6,
+        parallel_ns as f64 / 1e6,
+    );
+    if cores >= PARALLEL_JOBS {
+        if speedup < PARALLEL_SPEEDUP_FACTOR {
+            eprintln!(
+                "wallclock --check: FAIL — fig6 sweep speedup {speedup:.2}x at \
+                 --jobs {PARALLEL_JOBS} is below the required {PARALLEL_SPEEDUP_FACTOR}x"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "wallclock --check: SKIP speedup gate — host has {cores} core(s), \
+             gate needs >= {PARALLEL_JOBS} (bitwise equality still enforced above)"
+        );
+    }
     println!("wallclock --check: OK");
 }
 
@@ -247,16 +348,25 @@ fn main() {
     println!("wallclock: measuring tracing off/on smoke attach...");
     let tracing = measure_tracing_section(iters.unwrap_or(20));
 
+    println!(
+        "wallclock: measuring fig6 sweep at --jobs 1 and --jobs {PARALLEL_JOBS} \
+         ({} cores available)...",
+        host_parallelism()
+    );
+    let parallel = measure_parallel_section();
+
     let report = Report {
-        schema: 2,
+        schema: 3,
         note: "Host wall-clock times for the XEMEM simulator's structural work. \
                Virtual-time figures are unaffected by construction; see DESIGN.md \
-               'Wall-clock vs virtual time'."
+               'Wall-clock vs virtual time'. The parallel section's speedup is \
+               honest for the host_parallelism it records."
             .to_string(),
         attach_full_speedup_vs_baseline: baseline.full.attach.mean_ns / run.full.attach.mean_ns,
         baseline,
         current: run,
         tracing,
+        parallel,
     };
 
     println!("baseline ({}):", report.baseline.label);
@@ -275,6 +385,15 @@ fn main() {
         report.tracing.off.mean_ns / 1e6,
         report.tracing.on.mean_ns / 1e6,
         report.tracing.on_over_off
+    );
+    println!(
+        "fig6 sweep ({} cells): serial {:.1} ms, --jobs {} {:.1} ms ({:.2}x on {} cores)",
+        report.parallel.sweep_units,
+        report.parallel.serial_ns as f64 / 1e6,
+        report.parallel.jobs,
+        report.parallel.parallel_ns as f64 / 1e6,
+        report.parallel.speedup,
+        report.parallel.host_parallelism
     );
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -44,54 +44,58 @@ pub fn run_with(
     iters: u32,
     tracer: &TraceHandle,
 ) -> Result<Vec<Fig5Row>, XememError> {
+    sizes.iter().map(|&s| run_size(s, iters, tracer)).collect()
+}
+
+/// One size point of the sweep — the independent unit the parallel run
+/// driver shards. The point builds its own system (own clock, own
+/// allocators), so concurrent points cannot interact; when `tracer` is
+/// enabled the point audits its own clock tiling before returning.
+pub fn run_size(size: u64, iters: u32, tracer: &TraceHandle) -> Result<Fig5Row, XememError> {
     let cost = CostModel::default();
-    let mut rows = Vec::new();
-    for &size in sizes {
-        let scope = tracer.scope();
-        let mut sys = SystemBuilder::new()
-            .with_cost(cost.clone())
-            .with_tracer(tracer.clone())
-            .linux_management("linux", 4, 256 << 20)
-            .kitten_cokernel("kitten", 1, size + (64 << 20))
-            .build()?;
-        let kitten = sys.enclave_by_name("kitten").unwrap();
-        let linux = sys.enclave_by_name("linux").unwrap();
-        let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
-        let attacher = sys.spawn_process(linux, 16 << 20)?;
-        let buf = sys.alloc_buffer(exporter, size)?;
-        sys.prepare_buffer(exporter, buf, size)?;
-        let segid = sys.xpmem_make(exporter, buf, size, None)?;
-        let apid = sys.xpmem_get(attacher, segid)?;
+    let scope = tracer.scope();
+    let mut sys = SystemBuilder::new()
+        .with_cost(cost.clone())
+        .with_tracer(tracer.clone())
+        .linux_management("linux", 4, 256 << 20)
+        .kitten_cokernel("kitten", 1, size + (64 << 20))
+        .build()?;
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
+    let attacher = sys.spawn_process(linux, 16 << 20)?;
+    let buf = sys.alloc_buffer(exporter, size)?;
+    sys.prepare_buffer(exporter, buf, size)?;
+    let segid = sys.xpmem_make(exporter, buf, size, None)?;
+    let apid = sys.xpmem_get(attacher, segid)?;
 
-        let mut attach_total = SimDuration::ZERO;
-        for _ in 0..iters {
-            let start = sys.clock().now();
-            let outcome = sys.xpmem_attach_outcome(attacher, apid, 0, size)?;
-            attach_total += outcome.end.duration_since(start);
-            sys.xpmem_detach(attacher, outcome.va)?;
-        }
-        // The attach+read series adds the time to read the contents out
-        // of the freshly attached mapping.
-        let read_each = cost.attached_read(size);
-        let read_total = attach_total + read_each.times(iters as u64);
-
-        if tracer.is_enabled() {
-            let elapsed = sys.clock().now().duration_since(SimTime::ZERO);
-            tracer
-                .audit_scope(&scope, Some(elapsed))
-                .expect("fig5 conservation audit");
-        }
-
-        let rdma_gbps = write_bandwidth_test(&cost, size, iters.clamp(5, 50));
-        rows.push(Fig5Row {
-            size,
-            attach_gbps: throughput_gbps(size * iters as u64, attach_total),
-            attach_read_gbps: throughput_gbps(size * iters as u64, read_total),
-            rdma_gbps,
-            iterations: iters,
-        });
+    let mut attach_total = SimDuration::ZERO;
+    for _ in 0..iters {
+        let start = sys.clock().now();
+        let outcome = sys.xpmem_attach_outcome(attacher, apid, 0, size)?;
+        attach_total += outcome.end.duration_since(start);
+        sys.xpmem_detach(attacher, outcome.va)?;
     }
-    Ok(rows)
+    // The attach+read series adds the time to read the contents out
+    // of the freshly attached mapping.
+    let read_each = cost.attached_read(size);
+    let read_total = attach_total + read_each.times(iters as u64);
+
+    if tracer.is_enabled() {
+        let elapsed = sys.clock().now().duration_since(SimTime::ZERO);
+        tracer
+            .audit_scope(&scope, Some(elapsed))
+            .expect("fig5 conservation audit");
+    }
+
+    let rdma_gbps = write_bandwidth_test(&cost, size, iters.clamp(5, 50));
+    Ok(Fig5Row {
+        size,
+        attach_gbps: throughput_gbps(size * iters as u64, attach_total),
+        attach_read_gbps: throughput_gbps(size * iters as u64, read_total),
+        rdma_gbps,
+        iterations: iters,
+    })
 }
 
 #[cfg(test)]

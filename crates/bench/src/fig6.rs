@@ -174,6 +174,16 @@ pub fn default_iters(n: u32, size: u64, smoke: bool) -> u32 {
     ((budget_pages / (pages * n as u64)).clamp(20, 500)) as u32
 }
 
+/// The sweep's cell list in output order (counts outer, sizes inner) —
+/// the unit list the parallel run driver shards. Each `(n, size)` cell
+/// is fully independent: it builds its own system and worklist.
+pub fn grid(counts: &[u32], sizes: &[u64]) -> Vec<(u32, u64)> {
+    counts
+        .iter()
+        .flat_map(|&n| sizes.iter().map(move |&size| (n, size)))
+        .collect()
+}
+
 /// Run the full sweep.
 pub fn run(counts: &[u32], sizes: &[u64], smoke: bool) -> Result<Vec<Fig6Cell>, XememError> {
     run_with(counts, sizes, smoke, &TraceHandle::disabled())
@@ -186,18 +196,10 @@ pub fn run_with(
     smoke: bool,
     tracer: &TraceHandle,
 ) -> Result<Vec<Fig6Cell>, XememError> {
-    let mut out = Vec::new();
-    for &n in counts {
-        for &size in sizes {
-            out.push(run_cell_with(
-                n,
-                size,
-                default_iters(n, size, smoke),
-                tracer,
-            )?);
-        }
-    }
-    Ok(out)
+    grid(counts, sizes)
+        .into_iter()
+        .map(|(n, size)| run_cell_with(n, size, default_iters(n, size, smoke), tracer))
+        .collect()
 }
 
 /// Helper for tests: the system type is re-exported for white-box use.

@@ -37,56 +37,62 @@ pub struct Fig7Series {
 /// Run the experiment: for each region size, 10 attachments spaced one
 /// second apart over a 10 s window (scaled down in smoke mode).
 pub fn run(regions: &[u64], window_secs: u64, seed: u64) -> Result<Vec<Fig7Series>, XememError> {
-    let mut out = Vec::new();
-    for &region in regions {
-        let mut sys = SystemBuilder::new()
-            .linux_management("linux", 4, 64 << 20)
-            .kitten_cokernel("kitten", 1, region + (64 << 20))
-            .build()?;
-        let kitten = sys.enclave_by_name("kitten").unwrap();
-        let linux = sys.enclave_by_name("linux").unwrap();
-        let exporter = sys.spawn_process(kitten, region + (16 << 20))?;
-        let attacher = sys.spawn_process(linux, 8 << 20)?;
-        let buf = sys.alloc_buffer(exporter, region)?;
-        sys.prepare_buffer(exporter, buf, region)?;
-        let segid = sys.xpmem_make(exporter, buf, region, None)?;
-        let apid = sys.xpmem_get(attacher, segid)?;
+    regions
+        .iter()
+        .map(|&r| run_region(r, window_secs, seed))
+        .collect()
+}
 
-        // One attachment per second; the serve (page-table walk) occupies
-        // the Kitten core and is injected as an AttachService detour.
-        let mut injected = Vec::new();
-        for sec in 0..window_secs {
-            let at = SimTime::from_nanos(sec * 1_000_000_000 + 137_000_000);
-            let outcome = sys.attach_at(attacher, apid, 0, region, at)?;
-            injected.push(NoiseEvent {
-                start: at + outcome.route_request,
-                duration: outcome.serve,
-                kind: NoiseKind::AttachService,
-            });
-            sys.detach_at(attacher, outcome.va, outcome.end)?;
-        }
+/// One region's profile — the independent unit the parallel run driver
+/// shards. The noise RNG is seeded from `seed` per region (as the
+/// serial sweep always did), so concurrent regions share no state.
+pub fn run_region(region: u64, window_secs: u64, seed: u64) -> Result<Fig7Series, XememError> {
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 64 << 20)
+        .kitten_cokernel("kitten", 1, region + (64 << 20))
+        .build()?;
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, region + (16 << 20))?;
+    let attacher = sys.spawn_process(linux, 8 << 20)?;
+    let buf = sys.alloc_buffer(exporter, region)?;
+    sys.prepare_buffer(exporter, buf, region)?;
+    let segid = sys.xpmem_make(exporter, buf, region, None)?;
+    let apid = sys.xpmem_get(attacher, segid)?;
 
-        let mut rng = SimRng::seed_from_u64(seed);
-        let mut noise = CompositeNoise::new(vec![
-            Box::new(CompositeNoise::kitten(&mut rng)),
-            Box::new(ScheduledNoise::new(injected)),
-        ]);
-        let detours = SelfishDetour::default().run(
-            &mut noise,
-            SimTime::ZERO,
-            SimDuration::from_secs(window_secs),
-        );
-        let samples = detours
-            .iter()
-            .map(|d| Fig7Sample {
-                t_secs: d.at.as_secs_f64(),
-                detour_us: d.duration.as_micros_f64(),
-                kind: format!("{:?}", d.kind),
-            })
-            .collect();
-        out.push(Fig7Series { region, samples });
+    // One attachment per second; the serve (page-table walk) occupies
+    // the Kitten core and is injected as an AttachService detour.
+    let mut injected = Vec::new();
+    for sec in 0..window_secs {
+        let at = SimTime::from_nanos(sec * 1_000_000_000 + 137_000_000);
+        let outcome = sys.attach_at(attacher, apid, 0, region, at)?;
+        injected.push(NoiseEvent {
+            start: at + outcome.route_request,
+            duration: outcome.serve,
+            kind: NoiseKind::AttachService,
+        });
+        sys.detach_at(attacher, outcome.va, outcome.end)?;
     }
-    Ok(out)
+
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut noise = CompositeNoise::new(vec![
+        Box::new(CompositeNoise::kitten(&mut rng)),
+        Box::new(ScheduledNoise::new(injected)),
+    ]);
+    let detours = SelfishDetour::default().run(
+        &mut noise,
+        SimTime::ZERO,
+        SimDuration::from_secs(window_secs),
+    );
+    let samples = detours
+        .iter()
+        .map(|d| Fig7Sample {
+            t_secs: d.at.as_secs_f64(),
+            detour_us: d.duration.as_micros_f64(),
+            kind: format!("{:?}", d.kind),
+        })
+        .collect();
+    Ok(Fig7Series { region, samples })
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@
 use serde::Serialize;
 use xemem::XememError;
 use xemem_sim::stats::Summary;
-use xemem_workloads::insitu::{run_insitu, AttachModel, ExecutionModel, InsituConfig};
+use xemem_workloads::insitu::{
+    run_insitu, AnalyticsEnclave, AttachModel, ExecutionModel, InsituConfig, SimEnclave,
+};
 
 /// One bar of the figure.
 #[derive(Debug, Clone, Serialize)]
@@ -49,38 +51,65 @@ fn attach_label(a: AttachModel) -> &'static str {
     }
 }
 
-/// Run the full figure (both panels) with `runs` repetitions per bar.
-/// In smoke mode a scaled-down workload is used.
-pub fn run(runs: u32, smoke: bool) -> Result<Vec<Fig8Bar>, XememError> {
-    let mut bars = Vec::new();
+/// One bar spec: the attachment model, execution model and Table 3
+/// configuration behind one bar of the figure.
+pub type BarSpec = (
+    AttachModel,
+    ExecutionModel,
+    SimEnclave,
+    AnalyticsEnclave,
+    &'static str,
+);
+
+/// The figure's bars in output order — the unit list the parallel run
+/// driver shards.
+pub fn grid() -> Vec<BarSpec> {
+    let mut specs = Vec::new();
     for attach in [AttachModel::OneTime, AttachModel::Recurring] {
         for execution in [ExecutionModel::Synchronous, ExecutionModel::Asynchronous] {
             for (sim, ana, name) in InsituConfig::table3() {
-                let mut times = Vec::new();
-                for run_idx in 0..runs {
-                    let mut cfg = if smoke {
-                        InsituConfig::smoke(sim, ana, execution, attach)
-                    } else {
-                        InsituConfig::fig8(sim, ana, execution, attach, 0)
-                    };
-                    cfg.seed = 0xF16_8000 + run_idx as u64 * 977 + hash_name(name);
-                    let r = run_insitu(&cfg)?;
-                    assert!(r.verified, "data verification failed for {name}");
-                    times.push(r.sim_completion.as_secs_f64());
-                }
-                let s = Summary::of(&times);
-                bars.push(Fig8Bar {
-                    config: name,
-                    execution: label(execution),
-                    attach: attach_label(attach),
-                    mean_secs: s.mean,
-                    stddev_secs: s.stddev,
-                    runs,
-                });
+                specs.push((attach, execution, sim, ana, name));
             }
         }
     }
-    Ok(bars)
+    specs
+}
+
+/// Run one bar: `runs` repetitions of one configuration. Per-repetition
+/// seeds are a pure function of the run index and config name, so bars
+/// are independent and scheduling cannot shift any bar's entropy.
+pub fn run_bar(spec: BarSpec, runs: u32, smoke: bool) -> Result<Fig8Bar, XememError> {
+    let (attach, execution, sim, ana, name) = spec;
+    let mut times = Vec::new();
+    for run_idx in 0..runs {
+        let mut cfg = if smoke {
+            InsituConfig::smoke(sim, ana, execution, attach)
+        } else {
+            InsituConfig::fig8(sim, ana, execution, attach, 0)
+        };
+        cfg.seed = 0xF16_8000 + run_idx as u64 * 977 + hash_name(name);
+        let r = run_insitu(&cfg)?;
+        assert!(r.verified, "data verification failed for {name}");
+        times.push(r.sim_completion.as_secs_f64());
+    }
+    let s = Summary::of(&times);
+    Ok(Fig8Bar {
+        config: name,
+        execution: label(execution),
+        attach: attach_label(attach),
+        mean_secs: s.mean,
+        stddev_secs: s.stddev,
+        runs,
+    })
+}
+
+/// Run the full figure (both panels) with `runs` repetitions per bar.
+/// In smoke mode a scaled-down workload is used.
+pub fn run(runs: u32, smoke: bool) -> Result<Vec<Fig8Bar>, XememError> {
+    grid()
+        .into_iter()
+        .map(|s| run_bar(s, runs, smoke))
+        .collect()
 }
 
 fn hash_name(name: &str) -> u64 {

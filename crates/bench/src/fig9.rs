@@ -43,40 +43,60 @@ fn config_label(c: NodeConfig) -> &'static str {
     }
 }
 
-/// Run both panels over the given node counts.
-pub fn run(node_counts: &[u32], runs: u32, smoke: bool) -> Result<Vec<Fig9Point>, XememError> {
-    let mut out = Vec::new();
+/// One point spec: attachment model, node configuration and node count.
+pub type PointSpec = (AttachModel, NodeConfig, u32);
+
+/// The figure's points in output order — the unit list the parallel
+/// run driver shards.
+pub fn grid(node_counts: &[u32]) -> Vec<PointSpec> {
+    let mut specs = Vec::new();
     for attach in [AttachModel::OneTime, AttachModel::Recurring] {
         for config in [NodeConfig::LinuxOnly, NodeConfig::MultiEnclave] {
             for &nodes in node_counts {
-                let mut times = Vec::new();
-                for run_idx in 0..runs {
-                    let mut cfg = if smoke {
-                        ClusterConfig::smoke(nodes, config, attach)
-                    } else {
-                        ClusterConfig::fig9(nodes, config, attach, 0)
-                    };
-                    cfg.seed = 0xF19_0000 + run_idx as u64 * 1009 + nodes as u64 * 131;
-                    let r = run_cluster(&cfg)?;
-                    assert!(r.verified, "node verification failed");
-                    times.push(r.completion.as_secs_f64());
-                }
-                let s = Summary::of(&times);
-                out.push(Fig9Point {
-                    nodes,
-                    config: config_label(config),
-                    attach: match attach {
-                        AttachModel::OneTime => "one-time",
-                        AttachModel::Recurring => "recurring",
-                    },
-                    mean_secs: s.mean,
-                    stddev_secs: s.stddev,
-                    runs,
-                });
+                specs.push((attach, config, nodes));
             }
         }
     }
-    Ok(out)
+    specs
+}
+
+/// Run one point: `runs` repetitions of one cluster configuration.
+/// Per-repetition seeds are a pure function of run index and node
+/// count, so points are independent units.
+pub fn run_point(spec: PointSpec, runs: u32, smoke: bool) -> Result<Fig9Point, XememError> {
+    let (attach, config, nodes) = spec;
+    let mut times = Vec::new();
+    for run_idx in 0..runs {
+        let mut cfg = if smoke {
+            ClusterConfig::smoke(nodes, config, attach)
+        } else {
+            ClusterConfig::fig9(nodes, config, attach, 0)
+        };
+        cfg.seed = 0xF19_0000 + run_idx as u64 * 1009 + nodes as u64 * 131;
+        let r = run_cluster(&cfg)?;
+        assert!(r.verified, "node verification failed");
+        times.push(r.completion.as_secs_f64());
+    }
+    let s = Summary::of(&times);
+    Ok(Fig9Point {
+        nodes,
+        config: config_label(config),
+        attach: match attach {
+            AttachModel::OneTime => "one-time",
+            AttachModel::Recurring => "recurring",
+        },
+        mean_secs: s.mean,
+        stddev_secs: s.stddev,
+        runs,
+    })
+}
+
+/// Run both panels over the given node counts.
+pub fn run(node_counts: &[u32], runs: u32, smoke: bool) -> Result<Vec<Fig9Point>, XememError> {
+    grid(node_counts)
+        .into_iter()
+        .map(|s| run_point(s, runs, smoke))
+        .collect()
 }
 
 /// Find a point for assertions.

@@ -17,6 +17,7 @@
 //! | [`ablations`] | memory-map structure, IPI handler placement, name-server placement |
 
 pub mod ablations;
+pub mod driver;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
@@ -44,11 +45,15 @@ pub struct Args {
     /// Write a chrome://tracing JSON export here (implies `trace`); a
     /// folded-stack export lands next to it at `<path>.folded`.
     pub trace_out: Option<String>,
+    /// Host worker threads for independent runs (`None` = available
+    /// parallelism, `Some(1)` = serial). Results are bit-identical
+    /// either way; see [`driver`].
+    pub jobs: Option<usize>,
 }
 
 impl Args {
     /// Parse from `std::env::args`. Recognized: `--smoke`, `--runs N`,
-    /// `--json`, `--trace`, `--trace-out PATH`.
+    /// `--json`, `--trace`, `--trace-out PATH`, `--jobs N`.
     pub fn parse() -> Args {
         let mut out = Args::default();
         let mut it = std::env::args().skip(1);
@@ -67,8 +72,15 @@ impl Args {
                     out.trace_out = Some(it.next().expect("--trace-out requires a path"));
                     out.trace = true;
                 }
+                "--jobs" => {
+                    out.jobs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .or_else(|| panic!("--jobs requires an integer >= 1"));
+                }
                 other => panic!(
-                    "unknown argument: {other} (expected --smoke, --runs N, --json, --trace, --trace-out PATH)"
+                    "unknown argument: {other} (expected --smoke, --runs N, --json, --trace, --trace-out PATH, --jobs N)"
                 ),
             }
         }
@@ -78,6 +90,28 @@ impl Args {
     /// Whether tracing was requested via flags or `XEMEM_TRACE=1`.
     pub fn tracing_requested(&self) -> bool {
         self.trace || self.trace_out.is_some() || trace_layer::env_requested()
+    }
+
+    /// Effective worker count: `--jobs N`, defaulting to the host's
+    /// available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(xemem_sim::host_parallelism)
+    }
+}
+
+/// Worker count for experiments that trace through the process-global
+/// handle (Figs. 7–9 and the ablations): per-run tracer isolation only
+/// exists for the experiments that thread an explicit [`TraceHandle`],
+/// so a trace request forces serial execution to keep exports
+/// deterministic.
+pub fn serial_if_tracing(args: &Args) -> usize {
+    if args.tracing_requested() {
+        if args.effective_jobs() > 1 {
+            eprintln!("trace: forcing --jobs 1 (this experiment traces through the global handle)");
+        }
+        1
+    } else {
+        args.effective_jobs()
     }
 }
 

@@ -44,6 +44,32 @@ pub const CHECK_FLOOR_NS: f64 = 2_000_000.0;
 /// branch on the hot path, not scheduler noise).
 pub const TRACE_CHECK_FACTOR: f64 = 1.02;
 
+/// Worker count for the schema-3 parallel sweep column: the CI runner
+/// class this gate targets has 4 cores.
+pub const PARALLEL_JOBS: usize = 4;
+
+/// Required fig6-sweep speedup at [`PARALLEL_JOBS`] workers vs serial
+/// for `--check` to pass — enforced only on hosts with at least
+/// [`PARALLEL_JOBS`] cores (the gate self-measures; on smaller hosts it
+/// reports and skips, since the speedup physically cannot exist there).
+pub const PARALLEL_SPEEDUP_FACTOR: f64 = 2.0;
+
+/// Rounds of the parallel-sweep grid: enough near-independent cells
+/// (rounds × counts) that a 4-worker pool can balance the uneven
+/// per-cell costs and the ideal speedup stays well above the gate.
+pub const SWEEP_ROUNDS: usize = 4;
+
+/// Enclave counts per sweep round (the fig6 x-axis).
+pub const SWEEP_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// Region size per sweep cell.
+pub const SWEEP_CELL_BYTES: u64 = 32 << 20;
+
+/// Attachments per sweep cell — sized so one serial sweep takes on the
+/// order of 100 ms: big enough that per-cell compute dwarfs thread
+/// startup and scheduler jitter, small enough for every CI run.
+pub const SWEEP_CELL_ITERS: u32 = 500;
+
 /// Region size used for the full-size profile (the paper's largest
 /// Fig. 5/6 point).
 pub const FULL_BYTES: u64 = 1 << 30;
@@ -177,6 +203,42 @@ pub fn measure_teardown(size: u64, iters: u32) -> Result<BenchStats, XememError>
         assert_eq!(sys.outstanding_loans(), 0, "teardown left loans");
     }
     Ok(BenchStats::from_samples(&samples))
+}
+
+/// The unit list of the parallel-sweep column: [`SWEEP_ROUNDS`] rounds
+/// of the fig6 grid over [`SWEEP_COUNTS`] at [`SWEEP_CELL_BYTES`].
+pub fn sweep_specs() -> Vec<(u32, u64)> {
+    let mut specs = Vec::new();
+    for _ in 0..SWEEP_ROUNDS {
+        specs.extend(crate::fig6::grid(&SWEEP_COUNTS, &[SWEEP_CELL_BYTES]));
+    }
+    specs
+}
+
+/// Run the parallel-sweep workload at the given worker count and time
+/// it on the host clock. Returns the wall nanoseconds and the cells in
+/// unit order — the cells must be bit-identical at every worker count.
+pub fn measure_sweep(jobs: usize) -> Result<(u64, Vec<crate::fig6::Fig6Cell>), XememError> {
+    let specs = sweep_specs();
+    let t0 = Instant::now();
+    let cells = crate::driver::run_indexed(jobs, specs.len(), |i| {
+        let (n, size) = specs[i];
+        crate::fig6::run_cell_with(n, size, SWEEP_CELL_ITERS, &TraceHandle::disabled())
+    })?;
+    Ok((t0.elapsed().as_nanos() as u64, cells))
+}
+
+/// Bitwise equality of two sweep results: every field compared exactly,
+/// floats via `to_bits` — the determinism contract, not an epsilon.
+pub fn cells_bitwise_equal(a: &[crate::fig6::Fig6Cell], b: &[crate::fig6::Fig6Cell]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.enclaves == y.enclaves
+                && x.size == y.size
+                && x.gbps.to_bits() == y.gbps.to_bits()
+                && x.iterations == y.iterations
+                && x.core0_wait == y.core0_wait
+        })
 }
 
 /// Measure one full profile at the given attach size.

@@ -23,6 +23,10 @@
 //!   figure-regeneration harnesses.
 //! * [`rng`] — deterministic seeded RNG with the distribution samplers the
 //!   noise models need (uniform, exponential, normal, lognormal).
+//! * [`run`] — deterministic parallel run driver: shards independent runs
+//!   (figure sweep points, fault schedules) across host workers with
+//!   scheduling-independent split RNG streams and plan-order aggregation,
+//!   so `-j1` and `-jN` produce bit-identical results.
 //! * [`trace`] — timestamped event recording for detour profiles.
 //! * [`fault`] — deterministic fault injection: scheduled enclave crashes,
 //!   process kills, name-server outages and message drop/duplication
@@ -34,6 +38,7 @@ pub mod des;
 pub mod fault;
 pub mod noise;
 pub mod rng;
+pub mod run;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -42,5 +47,6 @@ pub use clock::Clock;
 pub use cost::CostModel;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use rng::SimRng;
+pub use run::{host_parallelism, split_seed, RunCtx, RunDriver, RunPlan};
 pub use stats::Summary;
 pub use time::{Costed, SimDuration, SimTime};

@@ -29,6 +29,16 @@ impl SimRng {
         }
     }
 
+    /// Derive the child stream for run `index` of a batch rooted at
+    /// `root`, statelessly: unlike [`SimRng::fork`] no generator state is
+    /// consumed, so the stream depends only on `(root, index)` — never on
+    /// how many streams were split before it or on which host thread asks.
+    /// This is what gives the parallel run driver scheduling-independent
+    /// per-run entropy (see [`crate::run`]).
+    pub fn split_stream(root: u64, index: u64) -> SimRng {
+        SimRng::seed_from_u64(crate::run::split_seed(root, index))
+    }
+
     /// Derive an independent child stream; used to give each enclave / node
     /// its own generator while keeping the whole experiment reproducible
     /// from one root seed.

@@ -505,8 +505,9 @@ impl Histogram {
     }
 }
 
-/// A point-in-time copy of one histogram.
-#[derive(Debug, Clone)]
+/// A point-in-time copy of one histogram. `Eq` so parallel-vs-serial
+/// equivalence tests can compare whole registries.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSnapshot {
     /// Observations recorded.
     pub count: u64,
@@ -1050,18 +1051,7 @@ impl TraceHandle {
             if i > 0 {
                 out.push_str(",\n");
             }
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
-                 \"pid\":{},\"tid\":{},\"args\":{{\"segid\":{},\"root\":{}}}}}",
-                s.kind.as_str(),
-                s.op.as_str(),
-                s.start.as_nanos() as f64 / 1e3,
-                s.dur.as_nanos() as f64 / 1e3,
-                s.ctx.enclave,
-                s.ctx.pid,
-                s.ctx.segid,
-                s.root
-            ));
+            push_chrome_event(&mut out, s, s.ctx.enclave as u64, None);
         }
         out.push_str("\n]\n");
         out
@@ -1097,32 +1087,115 @@ impl TraceHandle {
         out
     }
 
+    /// Point-in-time copy of the whole metrics registry — conservation
+    /// sums, op counts, counters, and histogram snapshots. `Eq`, so
+    /// parallel-vs-serial equivalence tests can assert two runs
+    /// recorded *exactly* the same metrics. `None` when disabled.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let c = self.inner.as_ref()?;
+        Some(MetricsSnapshot {
+            sums: c.metrics.sums(),
+            op_counts: std::array::from_fn(|i| c.metrics.op_counts[i].load(Ordering::Relaxed)),
+            counters: std::array::from_fn(|i| c.metrics.counters[i].load(Ordering::Relaxed)),
+            hists: std::array::from_fn(|i| c.metrics.hists[i].snapshot()),
+        })
+    }
+
     /// Human-readable metrics dump: non-zero counters, op counts, and
     /// histogram summaries.
     pub fn metrics_summary(&self) -> String {
-        let Some(c) = &self.inner else {
-            return "tracing disabled".to_string();
-        };
+        match self.metrics_snapshot() {
+            Some(snap) => snap.render(),
+            None => "tracing disabled".to_string(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Metrics snapshots and multi-run merges
+// ----------------------------------------------------------------------
+
+/// An `Eq`-comparable copy of a handle's entire metrics registry.
+///
+/// Used two ways: the equivalence proptests compare the snapshot of a
+/// serial run against its parallel twin, and the bench driver folds one
+/// snapshot per run into an aggregate ([`MetricsSnapshot::absorb`]) for
+/// the end-of-run summary — addition is commutative, so the aggregate
+/// is independent of worker completion order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Conservation sums at snapshot time.
+    pub sums: ConservationSums,
+    /// Committed op counts, indexed by `SpanKind` discriminant.
+    pub op_counts: [u64; SpanKind::COUNT],
+    /// Counter values, indexed by `Counter` discriminant.
+    pub counters: [u64; Counter::COUNT],
+    /// Histogram snapshots, indexed by `Hist` discriminant.
+    pub hists: [HistSnapshot; Hist::COUNT],
+}
+
+impl MetricsSnapshot {
+    /// The all-zero snapshot (identity for [`MetricsSnapshot::absorb`]).
+    pub fn zero() -> MetricsSnapshot {
+        MetricsSnapshot {
+            sums: ConservationSums::default(),
+            op_counts: [0; SpanKind::COUNT],
+            counters: [0; Counter::COUNT],
+            hists: std::array::from_fn(|_| HistSnapshot {
+                count: 0,
+                sum: 0,
+                buckets: [0; HIST_BUCKETS],
+            }),
+        }
+    }
+
+    /// Element-wise add `other` into `self`. Commutative and
+    /// associative, so folding per-run snapshots in any order yields
+    /// the same aggregate.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.sums.clock_root_ns += other.sums.clock_root_ns;
+        self.sums.clock_leaf_ns += other.sums.clock_leaf_ns;
+        self.sums.detached_root_ns += other.sums.detached_root_ns;
+        self.sums.detached_leaf_ns += other.sums.detached_leaf_ns;
+        for (a, b) in self.op_counts.iter_mut().zip(&other.op_counts) {
+            *a += b;
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        for (h, o) in self.hists.iter_mut().zip(&other.hists) {
+            h.count += o.count;
+            h.sum += o.sum;
+            for (a, b) in h.buckets.iter_mut().zip(&o.buckets) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Render in the same format as [`TraceHandle::metrics_summary`].
+    pub fn render(&self) -> String {
         let mut out = String::new();
-        let sums = c.metrics.sums();
         out.push_str(&format!(
             "attributed virtual time: clock {} ns (leaves {}), detached {} ns (leaves {})\n",
-            sums.clock_root_ns, sums.clock_leaf_ns, sums.detached_root_ns, sums.detached_leaf_ns
+            self.sums.clock_root_ns,
+            self.sums.clock_leaf_ns,
+            self.sums.detached_root_ns,
+            self.sums.detached_leaf_ns
         ));
         for kind in SpanKind::ALL {
-            let n = c.metrics.op_counts[kind as usize].load(Ordering::Relaxed);
+            let n = self.op_counts[kind as usize];
             if n > 0 {
                 out.push_str(&format!("op {}: {}\n", kind.as_str(), n));
             }
         }
         for counter in Counter::ALL {
-            let v = c.metrics.counters[counter as usize].load(Ordering::Relaxed);
+            let v = self.counters[counter as usize];
             if v > 0 {
                 out.push_str(&format!("counter {}: {}\n", counter.as_str(), v));
             }
         }
         for hist in Hist::ALL {
-            let s = c.metrics.hists[hist as usize].snapshot();
+            let s = &self.hists[hist as usize];
             if s.count > 0 {
                 out.push_str(&format!(
                     "hist {}: n={} mean={:.1} p50<={} p99<={}\n",
@@ -1136,6 +1209,86 @@ impl TraceHandle {
         }
         out
     }
+}
+
+/// Chrome-trace `pid` lanes are namespaced per run in merged exports:
+/// run `r`, enclave `e` renders as `pid = r * RUN_PID_STRIDE + e`.
+pub const RUN_PID_STRIDE: u64 = 1000;
+
+fn push_chrome_event(out: &mut String, s: &Span, pid: u64, run: Option<u64>) {
+    let run_arg = match run {
+        Some(r) => format!(",\"run\":{r}"),
+        None => String::new(),
+    };
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+         \"pid\":{},\"tid\":{},\"args\":{{\"segid\":{},\"root\":{}{}}}}}",
+        s.kind.as_str(),
+        s.op.as_str(),
+        s.start.as_nanos() as f64 / 1e3,
+        s.dur.as_nanos() as f64 / 1e3,
+        pid,
+        s.ctx.pid,
+        s.ctx.segid,
+        s.root,
+        run_arg
+    ));
+}
+
+/// Merge per-run trace rings into one chrome://tracing JSON document,
+/// keyed by run id — *not* by worker completion order. Runs are sorted
+/// by id, each run's spans keep their own (deterministic) ring order,
+/// and `pid` lanes are namespaced `run * RUN_PID_STRIDE + enclave` so
+/// runs render as separate process groups. Two merges over the same
+/// runs are byte-identical however the runs were scheduled.
+pub fn merge_chrome_trace_json(runs: &[(u64, TraceHandle)]) -> String {
+    let mut sorted: Vec<&(u64, TraceHandle)> = runs.iter().collect();
+    sorted.sort_by_key(|(id, _)| *id);
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for (id, handle) in sorted {
+        for s in handle.spans() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let pid = id * RUN_PID_STRIDE + s.ctx.enclave as u64;
+            push_chrome_event(&mut out, &s, pid, Some(*id));
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Merge per-run folded stacks into one flamegraph input. Stack counts
+/// are summed across runs (addition commutes, so the result is
+/// schedule-independent) and lines are sorted.
+pub fn merge_folded_stacks(runs: &[(u64, TraceHandle)]) -> String {
+    let mut agg: HashMap<(SpanKind, SpanKind), u64> = HashMap::new();
+    for (_, handle) in runs {
+        for s in handle.spans() {
+            if s.root {
+                continue;
+            }
+            *agg.entry((s.op, s.kind)).or_insert(0) += s.dur.as_nanos();
+        }
+    }
+    let mut lines: Vec<String> = agg
+        .into_iter()
+        .map(|((op, kind), ns)| {
+            if op == kind {
+                format!("{} {ns}", kind.as_str())
+            } else {
+                format!("{};{} {ns}", op.as_str(), kind.as_str())
+            }
+        })
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
 }
 
 // ----------------------------------------------------------------------
@@ -1334,5 +1487,67 @@ mod tests {
         let sums = h.audit().expect("conserved across threads");
         assert_eq!(sums.detached_root_ns, 4 * 250 * 10);
         assert_eq!(h.op_count(SpanKind::Get), 1000);
+    }
+
+    /// Two handles fed the same sequence snapshot equal; absorb folds
+    /// snapshots commutatively.
+    #[test]
+    fn metrics_snapshots_compare_and_fold() {
+        let mk = || {
+            let h = TraceHandle::enabled();
+            h.begin_op(SpanKind::Attach, t(0), Ctx::proc(1, 7), Timeline::Clock);
+            h.leaf(SpanKind::MapInstall, t(0), d(100), Ctx::NONE);
+            h.commit_op(t(100));
+            h.count(Counter::Retransmits, 2);
+            h.observe(Hist::DetachNs, 77);
+            h
+        };
+        let a = mk().metrics_snapshot().unwrap();
+        let b = mk().metrics_snapshot().unwrap();
+        assert_eq!(a, b);
+        assert!(TraceHandle::disabled().metrics_snapshot().is_none());
+
+        let mut fold_ab = MetricsSnapshot::zero();
+        fold_ab.absorb(&a);
+        fold_ab.absorb(&b);
+        let mut fold_ba = MetricsSnapshot::zero();
+        fold_ba.absorb(&b);
+        fold_ba.absorb(&a);
+        assert_eq!(fold_ab, fold_ba);
+        assert_eq!(fold_ab.sums.clock_root_ns, 200);
+        assert_eq!(fold_ab.counters[Counter::Retransmits as usize], 4);
+        assert_eq!(fold_ab.hists[Hist::DetachNs as usize].count, 2);
+        assert!(fold_ab.render().contains("counter retransmits: 4"));
+    }
+
+    /// The merged chrome export is keyed by run id: the same handles
+    /// presented in any order produce byte-identical JSON, with pid
+    /// lanes namespaced per run.
+    #[test]
+    fn merged_exports_are_order_independent() {
+        let mk = |enclave: usize, ns: u64| {
+            let h = TraceHandle::enabled();
+            h.begin_op(
+                SpanKind::Attach,
+                t(0),
+                Ctx::enclave(enclave),
+                Timeline::Clock,
+            );
+            h.leaf(SpanKind::MapInstall, t(0), d(ns), Ctx::enclave(enclave));
+            h.commit_op(t(ns));
+            h
+        };
+        let r0 = (0u64, mk(1, 40));
+        let r1 = (1u64, mk(2, 60));
+        let fwd = merge_chrome_trace_json(&[r0.clone(), r1.clone()]);
+        let rev = merge_chrome_trace_json(&[r1.clone(), r0.clone()]);
+        assert_eq!(fwd, rev);
+        assert!(fwd.contains(&format!("\"pid\":{}", RUN_PID_STRIDE + 2)));
+        assert!(fwd.contains("\"run\":0") && fwd.contains("\"run\":1"));
+
+        let f_fwd = merge_folded_stacks(&[r0.clone(), r1.clone()]);
+        let f_rev = merge_folded_stacks(&[r1, r0]);
+        assert_eq!(f_fwd, f_rev);
+        assert!(f_fwd.contains("attach;map_install 100"), "{f_fwd}");
     }
 }

@@ -6,7 +6,7 @@
 use crossbeam::thread;
 use xemem::SystemBuilder;
 use xemem_mem::{Pfn, PhysAddr, PhysicalMemory};
-use xemem_sim::{Clock, SimDuration};
+use xemem_sim::{Clock, RunDriver, RunPlan, SimDuration};
 
 const MIB: u64 = 1 << 20;
 
@@ -71,32 +71,33 @@ fn clock_is_monotonic_across_threads() {
 #[test]
 fn independent_systems_run_in_parallel_threads() {
     // Whole System instances are Send: run eight complete cross-enclave
-    // workflows concurrently and verify each round trip.
-    thread::scope(|s| {
-        for t in 0..8u8 {
-            s.spawn(move |_| {
-                let mut sys = SystemBuilder::new()
-                    .linux_management("linux", 2, 64 * MIB)
-                    .kitten_cokernel("kitten", 1, 64 * MIB)
-                    .build()
-                    .unwrap();
-                let kitten = sys.enclave_by_name("kitten").unwrap();
-                let linux = sys.enclave_by_name("linux").unwrap();
-                let exporter = sys.spawn_process(kitten, 8 * MIB).unwrap();
-                let attacher = sys.spawn_process(linux, 8 * MIB).unwrap();
-                let buf = sys.alloc_buffer(exporter, MIB).unwrap();
-                let msg = [t + 0x30; 64];
-                sys.write(exporter, buf, &msg).unwrap();
-                let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
-                let apid = sys.xpmem_get(attacher, segid).unwrap();
-                let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
-                let mut got = [0u8; 64];
-                sys.read(attacher, va, &mut got).unwrap();
-                assert_eq!(got, msg);
-            });
-        }
-    })
-    .unwrap();
+    // workflows concurrently through the run driver and verify each
+    // round trip comes back in unit order, whatever worker ran it.
+    let driver = RunDriver::new(RunPlan::new(8).with_jobs(8));
+    let echoed = driver.execute(|ctx| {
+        let t = ctx.index as u8;
+        let mut sys = SystemBuilder::new()
+            .linux_management("linux", 2, 64 * MIB)
+            .kitten_cokernel("kitten", 1, 64 * MIB)
+            .build()
+            .unwrap();
+        let kitten = sys.enclave_by_name("kitten").unwrap();
+        let linux = sys.enclave_by_name("linux").unwrap();
+        let exporter = sys.spawn_process(kitten, 8 * MIB).unwrap();
+        let attacher = sys.spawn_process(linux, 8 * MIB).unwrap();
+        let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+        let msg = [t + 0x30; 64];
+        sys.write(exporter, buf, &msg).unwrap();
+        let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+        let apid = sys.xpmem_get(attacher, segid).unwrap();
+        let va = sys.xpmem_attach(attacher, apid, 0, MIB).unwrap();
+        let mut got = [0u8; 64];
+        sys.read(attacher, va, &mut got).unwrap();
+        assert_eq!(got, msg);
+        got[0]
+    });
+    let expected: Vec<u8> = (0..8u8).map(|t| t + 0x30).collect();
+    assert_eq!(echoed, expected);
 }
 
 #[test]

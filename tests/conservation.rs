@@ -12,9 +12,9 @@
 //! produces bit-identical virtual time and figure outputs to a run
 //! with tracing enabled.
 
-use xemem::trace_layer::Counter;
+use xemem::trace_layer::{Counter, MetricsSnapshot};
 use xemem::{EnclaveRef, FaultPlan, ProcessRef, SimDuration, SimTime, SystemBuilder, TraceHandle};
-use xemem_sim::SimRng;
+use xemem_sim::{RunDriver, RunPlan, SimRng};
 
 const MIB: u64 = 1 << 20;
 const HORIZON: u64 = 1_000_000; // 1 ms
@@ -166,26 +166,63 @@ fn run_schedule(seed: u64, tracer: &TraceHandle) -> (RunResult, SimDuration) {
 /// same virtual clock with the same op outcomes.
 #[test]
 fn sixty_four_fault_schedules_conserve_every_nanosecond() {
-    for seed in 0..SCHEDULES {
-        let tracer = test_tracer();
-        let (traced, idle) = run_schedule(seed, &tracer);
-
-        let elapsed = SimDuration::from_nanos(traced.clock_ns);
-        let sums = tracer
-            .audit_clock(elapsed - idle)
-            .unwrap_or_else(|e| panic!("seed {seed}: conservation audit failed: {e}"));
-        assert!(
-            sums.total_attributed_ns() > 0,
-            "seed {seed}: schedule attributed no time at all"
-        );
-
+    // The schedules are independent units, so they run through the
+    // parallel driver (each with its own tracer, indexed by unit); the
+    // audits below read the tracers back in unit order.
+    let tracers: Vec<TraceHandle> = (0..SCHEDULES).map(|_| test_tracer()).collect();
+    let driver = RunDriver::new(RunPlan::new(SCHEDULES as usize));
+    let outcomes = driver.execute(|ctx| {
+        let seed = ctx.index as u64;
+        let (traced, idle) = run_schedule(seed, &tracers[ctx.index]);
         let (plain, plain_idle) = run_schedule(seed, &TraceHandle::disabled());
         assert_eq!(
             traced, plain,
             "seed {seed}: tracing changed the simulation (observer effect)"
         );
         assert_eq!(idle, plain_idle, "seed {seed}: idle accounting diverged");
+        (traced, idle)
+    });
+    for (seed, ((traced, idle), tracer)) in outcomes.iter().zip(&tracers).enumerate() {
+        let elapsed = SimDuration::from_nanos(traced.clock_ns);
+        let sums = tracer
+            .audit_clock(elapsed - *idle)
+            .unwrap_or_else(|e| panic!("seed {seed}: conservation audit failed: {e}"));
+        assert!(
+            sums.total_attributed_ns() > 0,
+            "seed {seed}: schedule attributed no time at all"
+        );
     }
+}
+
+/// Parallel-vs-serial observational equivalence: the same 64 fault
+/// schedules — seeded by splitting one root seed per unit index, never
+/// by scheduling — executed at `--jobs 1` and `--jobs 8` yield equal
+/// run results, equal idle accounting, and bit-identical
+/// metrics-registry snapshots from the per-run tracers.
+#[test]
+fn parallel_and_serial_schedules_are_observationally_equivalent() {
+    const ROOT: u64 = 0xC0A5_EED5;
+    let run_all = |jobs: usize| -> (Vec<(RunResult, SimDuration)>, Vec<MetricsSnapshot>) {
+        let tracers: Vec<TraceHandle> = (0..SCHEDULES).map(|_| test_tracer()).collect();
+        let driver = RunDriver::new(
+            RunPlan::new(SCHEDULES as usize)
+                .with_jobs(jobs)
+                .with_seed(ROOT),
+        );
+        let results = driver.execute(|ctx| run_schedule(ctx.seed, &tracers[ctx.index]));
+        let snapshots = tracers
+            .iter()
+            .map(|t| t.metrics_snapshot().expect("enabled tracer snapshots"))
+            .collect();
+        (results, snapshots)
+    };
+    let (serial_results, serial_snapshots) = run_all(1);
+    let (parallel_results, parallel_snapshots) = run_all(8);
+    assert_eq!(serial_results, parallel_results, "run results diverged");
+    assert_eq!(
+        serial_snapshots, parallel_snapshots,
+        "metrics registries diverged"
+    );
 }
 
 /// Figure workloads audit clean: fig5/fig6/table2 run their own

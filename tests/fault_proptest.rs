@@ -197,6 +197,27 @@ proptest! {
     }
 }
 
+/// The run driver shards schedules across worker threads without
+/// changing any outcome: 64 split-seeded schedules at `--jobs 1` and
+/// `--jobs 8` are observationally identical, and each unit's seed is a
+/// pure function of the root seed and the unit index — never of which
+/// worker ran it or in what order.
+#[test]
+fn driver_sharding_preserves_fault_schedule_outcomes() {
+    use xemem_sim::{split_seed, RunDriver, RunPlan};
+    const SCHEDULES: usize = 64;
+    const ROOT: u64 = 0xFA07_5EED;
+    let run_all = |jobs: usize| {
+        RunDriver::new(RunPlan::new(SCHEDULES).with_jobs(jobs).with_seed(ROOT)).execute(|ctx| {
+            assert_eq!(ctx.seed, split_seed(ROOT, ctx.index as u64));
+            run_schedule(ctx.seed)
+        })
+    };
+    let serial = run_all(1);
+    let parallel = run_all(8);
+    assert_eq!(serial, parallel, "sharded schedules diverged from serial");
+}
+
 /// A schedule-free control: with no injector at all the same workload
 /// also returns every frame (guards the harness itself against leaks).
 #[test]
