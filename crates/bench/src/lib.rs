@@ -23,6 +23,8 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod nameserver_chaos;
+pub mod nameserver_scaling;
 pub mod table2;
 pub mod wallclock;
 

@@ -1,0 +1,305 @@
+//! Name-service chaos suite — the sharded service's acceptance
+//! gauntlet.
+//!
+//! Forty independent node sessions of 250 enclaves each (10,000
+//! enclaves total) drive millions of make/search/get/remove operations
+//! through an 8-shard × 2-replica name service while a seeded schedule
+//! injects shard-scoped outages and replica crashes (leader crashes
+//! included) mid-run. Each unit asserts, in-run:
+//!
+//! * **zero leaked frames** — every surviving enclave ends at its
+//!   pre-workload free-frame count, and no frame loan stays open;
+//! * **zero post-revocation stale reads** — once a named segment's
+//!   removal completes at virtual time T, no later lookup may return
+//!   that segid (leases are revoked eagerly and epoch-fenced across
+//!   failovers); every unit re-probes its removed names every round;
+//! * **conservation** — units run under per-run tracers and the
+//!   session epilogue audits every one: leaf spans must tile their
+//!   roots exactly.
+//!
+//! Units are split-seeded from the root seed and the unit index, so
+//! the printed table is byte-identical at `--jobs 1` and `--jobs N` —
+//! CI's `nameserver-chaos` job diffs exactly that.
+
+use serde::Serialize;
+use xemem::{FaultPlan, ProcessRef, SystemBuilder, TraceHandle, XememError};
+use xemem_sim::{SimDuration, SimRng, SimTime};
+
+const MIB: u64 = 1 << 20;
+/// Root seed for the suite.
+pub const ROOT_SEED: u64 = 0xC4A0_55EED;
+/// Name-service shards per unit.
+pub const SHARDS: usize = 8;
+/// Replicas per shard (the first is the leader).
+pub const REPLICAS: usize = 2;
+
+/// Virtual-time horizon the fault schedule is spread over.
+const HORIZON_NS: u64 = 20_000_000; // 20 ms
+
+/// One unit's outcome row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ChaosRow {
+    /// Unit index.
+    pub unit: usize,
+    /// Enclaves in the unit (management + co-kernels).
+    pub enclaves: usize,
+    /// Operations that completed.
+    pub ok_ops: u64,
+    /// Operations that failed under injected faults (outage budgets,
+    /// dead enclaves, lost registrations).
+    pub failed_ops: u64,
+    /// Leader failovers observed across the unit's shards.
+    pub failovers: u64,
+    /// Registrations lost to failovers (unreplicated at leader death).
+    pub lost_registrations: u64,
+    /// Lookups that returned a segid revoked before the lookup's
+    /// virtual time (the suite asserts this is zero).
+    pub stale_reads: u64,
+    /// Final virtual clock, nanoseconds.
+    pub clock_ns: u64,
+}
+
+/// Unit geometry: enclaves and workload rounds.
+pub fn geometry(smoke: bool) -> (usize, usize, u64) {
+    if smoke {
+        // (units, kittens per unit, rounds)
+        (4, 23, 10)
+    } else {
+        (40, 249, 100)
+    }
+}
+
+/// Run one unit under an explicit tracer (spans, per-shard metrics and
+/// the conservation audit all report into it; pass the disabled handle
+/// to run dark). `seed` must already be split per unit.
+pub fn run_unit(
+    unit: usize,
+    seed: u64,
+    smoke: bool,
+    tracer: &TraceHandle,
+) -> Result<ChaosRow, XememError> {
+    let (_, kittens, rounds) = geometry(smoke);
+    let mut rng = SimRng::seed_from_u64(seed);
+
+    // Fault schedule: shard-scoped outages plus replica crashes. Crash
+    // targets stay off slot 0 (the topology root — killing it would
+    // sever routing for the whole node, which is a different
+    // experiment) and never take both replicas of one shard, so every
+    // shard survives its failovers and the workload keeps running.
+    let mut plan = FaultPlan::new();
+    for _ in 0..12 {
+        let at = SimTime::from_nanos(rng.uniform_u64(HORIZON_NS / 10, HORIZON_NS));
+        let dur = SimDuration::from_nanos(rng.uniform_u64(20_000, 150_000));
+        let shard = rng.uniform_u64(0, SHARDS as u64) as usize;
+        plan = plan.name_server_shard_outage(at, shard, dur);
+    }
+    let mut crashed: Vec<usize> = Vec::new();
+    while crashed.len() < 4 {
+        let slot = rng.uniform_u64(1, (SHARDS * REPLICAS) as u64) as usize;
+        let partner = (slot + SHARDS) % (SHARDS * REPLICAS);
+        if crashed.contains(&slot) || crashed.contains(&partner) {
+            continue;
+        }
+        let at = SimTime::from_nanos(rng.uniform_u64(HORIZON_NS / 10, HORIZON_NS));
+        plan = plan.crash_enclave(at, slot);
+        crashed.push(slot);
+    }
+    // Two workload-enclave crashes: their exports get revoked through
+    // the crash-consistent protocol while consumers hold leases.
+    for _ in 0..2 {
+        let slot = rng.uniform_u64((SHARDS * REPLICAS) as u64, (kittens + 1) as u64) as usize;
+        let at = SimTime::from_nanos(rng.uniform_u64(HORIZON_NS / 10, HORIZON_NS));
+        plan = plan.crash_enclave(at, slot);
+    }
+
+    // A Kitten process image is text+data+stack (12 MiB) plus heap,
+    // physically contiguous; worker enclaves host an exporter (2 MiB
+    // heap for its export buffers) and a consumer.
+    let mut b = SystemBuilder::new().linux_management("linux", 4, 128 * MIB);
+    for i in 0..kittens {
+        b = b.kitten_cokernel(&format!("k{i}"), 1, 36 * MIB);
+    }
+    let mut sys = b
+        .name_service_shards(SHARDS, REPLICAS)
+        .with_fault_plan(plan, seed)
+        .with_tracer(tracer.clone())
+        .build()?;
+
+    let enclaves = kittens + 1;
+    let baselines: Vec<Option<u64>> = (0..enclaves)
+        .map(|i| {
+            let e = xemem::EnclaveRef(i);
+            sys.enclave_alive(e).then(|| sys.free_frames_of(e).unwrap())
+        })
+        .collect();
+
+    let mut ok_ops = 0u64;
+    let mut failed_ops = 0u64;
+    let mut stale_reads = 0u64;
+    macro_rules! attempt {
+        ($r:expr) => {
+            match $r {
+                Ok(v) => {
+                    ok_ops += 1;
+                    Some(v)
+                }
+                Err(_) => {
+                    failed_ops += 1;
+                    None
+                }
+            }
+        };
+    }
+
+    // 16 exporter/consumer pairs on slots past the replica set.
+    let first_free = SHARDS * REPLICAS;
+    let n_workers = 16.min(enclaves - first_free);
+    let mut exporters: Vec<ProcessRef> = Vec::new();
+    let mut consumers: Vec<ProcessRef> = Vec::new();
+    for w in 0..n_workers {
+        let enc = xemem::EnclaveRef(first_free + w);
+        if let Some(p) = attempt!(sys.spawn_process(enc, 2 * MIB)) {
+            exporters.push(p);
+        }
+        if let Some(p) = attempt!(sys.spawn_process(enc, MIB)) {
+            consumers.push(p);
+        }
+    }
+
+    // Initial exports: 4 named keys per exporter, hash-spread over
+    // every shard.
+    let mut gen = 0u64;
+    let mut live: Vec<(ProcessRef, xemem::Segid, String)> = Vec::new();
+    let mut removed: Vec<(String, xemem::Segid)> = Vec::new();
+    for (w, &exporter) in exporters.iter().enumerate() {
+        for _ in 0..4 {
+            if let Some(buf) = attempt!(sys.alloc_buffer(exporter, 64 * 1024)) {
+                let name = format!("c{unit}:{w}:{gen}");
+                gen += 1;
+                if let Some(segid) = attempt!(sys.xpmem_make(exporter, buf, 64 * 1024, Some(&name)))
+                {
+                    live.push((exporter, segid, name));
+                }
+            }
+        }
+    }
+
+    for round in 0..rounds {
+        // Lookup storm: every consumer searches a rotating window of
+        // the live key space and takes grants on half of it.
+        for (c, &consumer) in consumers.iter().enumerate() {
+            for k in 0..16usize {
+                if live.is_empty() {
+                    break;
+                }
+                let (_, segid, name) = &live[(c * 16 + k + round as usize) % live.len()];
+                let (segid, name) = (*segid, name.clone());
+                if let Some(found) = attempt!(sys.xpmem_search(consumer, &name)) {
+                    debug_assert_eq!(found, segid);
+                }
+                if k % 2 == 0 {
+                    if let Some(apid) = attempt!(sys.xpmem_get(consumer, segid)) {
+                        attempt!(sys.xpmem_release(consumer, apid));
+                    }
+                }
+            }
+            // Oracle probe: a removed name must never resolve to its
+            // old segid again, whatever the schedule did to its shard.
+            if let Some((gone_name, gone_segid)) = removed.get(c % removed.len().max(1)) {
+                if let Some(found) = attempt!(sys.xpmem_search(consumer, gone_name)) {
+                    if found == *gone_segid {
+                        stale_reads += 1;
+                    }
+                }
+            }
+        }
+        // Churn: withdraw two live keys (recording their removal for
+        // the oracle) and export two fresh ones.
+        for _ in 0..2 {
+            if live.len() > 4 {
+                let idx = (rng.uniform_u64(0, live.len() as u64)) as usize;
+                let (owner, segid, name) = live.swap_remove(idx);
+                if attempt!(sys.xpmem_remove(owner, segid)).is_some() {
+                    removed.push((name, segid));
+                }
+            }
+        }
+        for _ in 0..2 {
+            let w = rng.uniform_u64(0, exporters.len().max(1) as u64) as usize;
+            if let Some(&exporter) = exporters.get(w) {
+                if let Some(buf) = attempt!(sys.alloc_buffer(exporter, 64 * 1024)) {
+                    let name = format!("c{unit}:{w}:{gen}");
+                    gen += 1;
+                    if let Some(segid) =
+                        attempt!(sys.xpmem_make(exporter, buf, 64 * 1024, Some(&name)))
+                    {
+                        live.push((exporter, segid, name));
+                    }
+                }
+            }
+        }
+        // March virtual time so the remaining schedule keeps landing
+        // between rounds.
+        let target = SimTime::from_nanos((round + 1) * HORIZON_NS / rounds);
+        if sys.clock().now() < target {
+            sys.clock().advance_to(target);
+        }
+    }
+
+    // Graceful teardown, then the leak audit: every surviving enclave
+    // must be back at its baseline and every crash loan drained.
+    for p in exporters.iter().chain(consumers.iter()) {
+        attempt!(sys.exit_process(*p));
+    }
+    for (i, base) in baselines.iter().enumerate() {
+        let e = xemem::EnclaveRef(i);
+        if let (Some(base), true) = (base, sys.enclave_alive(e)) {
+            let now = sys.free_frames_of(e).unwrap();
+            assert_eq!(
+                now, *base,
+                "unit {unit}: enclave {i} leaked or double-freed frames ({now} vs {base})"
+            );
+        }
+    }
+    assert_eq!(
+        sys.outstanding_loans(),
+        0,
+        "unit {unit}: unsettled frame loans"
+    );
+    assert_eq!(stale_reads, 0, "unit {unit}: post-revocation stale reads");
+
+    let ns = sys.name_service();
+    let failovers = (0..ns.shard_count()).map(|s| ns.failover_count(s)).sum();
+    // `ns:failover:shard{s}:lost{n}` marks n registrations dropped as
+    // unreplicated when shard s's leader died.
+    let lost_registrations: u64 = sys
+        .events()
+        .with_prefix("ns:failover:shard")
+        .filter_map(|e| e.label.split(":lost").nth(1))
+        .filter_map(|n| n.parse::<u64>().ok())
+        .sum();
+
+    Ok(ChaosRow {
+        unit,
+        enclaves,
+        ok_ops,
+        failed_ops,
+        failovers,
+        lost_registrations,
+        stale_reads,
+        clock_ns: sys.clock().now().as_nanos(),
+    })
+}
+
+/// Run the whole suite through a parallel session whose per-run tracers
+/// are conservation-audited by the caller's epilogue.
+pub fn run(
+    session: &mut crate::driver::ParSession,
+    smoke: bool,
+) -> Result<Vec<ChaosRow>, XememError> {
+    let (units, _, _) = geometry(smoke);
+    session.run(units, |i, tracer| {
+        let _scope = tracer.scope();
+        run_unit(i, xemem_sim::split_seed(ROOT_SEED, i as u64), smoke, tracer)
+    })
+}

@@ -6,6 +6,28 @@ use crate::ids::{Apid, EnclaveId, Segid};
 use std::collections::{HashMap, HashSet};
 use xemem_mem::{MappingKernel, Pid, VirtAddr};
 use xemem_palacios::Vmm;
+use xemem_sim::SimTime;
+
+/// A leased, epoch-fenced name-service cache entry.
+///
+/// Granted by a shard leader on every successful routed lookup and
+/// cached client-side. Valid while the virtual clock is before
+/// `expires` *and* the granting shard's epoch still matches: a failover
+/// bumps the epoch, fencing every lease the dead leader granted without
+/// any message reaching the holders. Explicit removal revokes live
+/// leases eagerly (`LeaseRevoke`), so the cache never outlives the
+/// registration it mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease<T> {
+    /// The cached answer.
+    pub value: T,
+    /// Virtual-time expiry of the grant.
+    pub expires: SimTime,
+    /// The granting shard's epoch at grant time.
+    pub epoch: u64,
+    /// Which shard granted it.
+    pub shard: usize,
+}
 
 /// Which OS personality a VM guest runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,11 +159,12 @@ pub struct Slot {
     /// False once the enclave crashed or was destroyed; every operation
     /// touching a dead slot fails with `EnclaveDead`.
     pub alive: bool,
-    /// Stale name → segid cache, fed by successful lookups and served
-    /// (marked as such in the event trace) while the name server is down.
-    pub ns_cache: HashMap<String, Segid>,
-    /// Stale segid → owning-enclave cache (same degradation policy).
-    pub owner_cache: HashMap<Segid, EnclaveId>,
+    /// Leased name → segid cache, fed by routed lookups; served while
+    /// live and epoch-current (traced as `ns:lease:search:*`), revoked
+    /// by removal and fenced by failover.
+    pub name_leases: HashMap<String, Lease<Segid>>,
+    /// Leased segid → owning-enclave cache (same protocol).
+    pub owner_leases: HashMap<Segid, Lease<EnclaveId>>,
     /// Tombstones of released permits, so a double `xpmem_release` is a
     /// clean `AlreadyReleased` instead of `UnknownApid`.
     pub released: HashSet<Apid>,
@@ -166,8 +189,8 @@ impl Slot {
             apids: HashMap::new(),
             attachments: HashMap::new(),
             alive: true,
-            ns_cache: HashMap::new(),
-            owner_cache: HashMap::new(),
+            name_leases: HashMap::new(),
+            owner_leases: HashMap::new(),
             released: HashSet::new(),
             detached: HashSet::new(),
         }

@@ -36,11 +36,14 @@ pub enum XememError {
     /// The enclave crashed or was destroyed; no operation can be routed
     /// to, from, or through it.
     EnclaveDead(EnclaveRef),
-    /// The name server could not be reached within the retry budget
-    /// (bounded outage outlasted the exponential backoff). Carries the
-    /// retry attempts taken and the total virtual time spent backing
-    /// off, so callers can see what the outage cost them.
+    /// A name-service shard could not be reached within the retry
+    /// budget (bounded outage or failover outlasted the exponential
+    /// backoff). Carries the shard, the retry attempts taken, and the
+    /// total virtual time spent backing off, so callers can tell a sick
+    /// shard from a sick service and see what the outage cost them.
     NameServerUnavailable {
+        /// Name-service shard the request was routed to.
+        shard: usize,
         /// Backoff retries attempted before giving up.
         attempts: u32,
         /// Total virtual time spent waiting between retries.
@@ -92,10 +95,14 @@ impl fmt::Display for XememError {
                 write!(f, "attachment at {va:#x} was already detached")
             }
             XememError::EnclaveDead(e) => write!(f, "enclave slot {} is dead", e.0),
-            XememError::NameServerUnavailable { attempts, backoff } => {
+            XememError::NameServerUnavailable {
+                shard,
+                attempts,
+                backoff,
+            } => {
                 write!(
                     f,
-                    "name server unreachable: retry budget exhausted \
+                    "name-service shard {shard} unreachable: retry budget exhausted \
                      ({attempts} attempts, {} ns of backoff)",
                     backoff.as_nanos()
                 )

@@ -69,9 +69,10 @@ pub mod protocol;
 pub mod system;
 
 pub use channel::Link;
-pub use enclave::{AttachState, EnclaveKind, GuestOs};
+pub use enclave::{AttachState, EnclaveKind, GuestOs, Lease};
 pub use error::XememError;
 pub use ids::{AccessMode, Apid, EnclaveId, EnclaveRef, ProcessRef, Segid};
+pub use name_server::{FailoverReport, NameService};
 pub use protocol::{MessageKind, MessageRecord};
 pub use system::{System, SystemBuilder};
 

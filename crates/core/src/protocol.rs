@@ -53,6 +53,13 @@ pub enum MessageKind {
     /// Acknowledgement that the attacher's reaper finished unmapping —
     /// the owner may only recycle the frames after the last ack.
     RevokeAck,
+    /// Lease revocation: a shard leader tells a client kernel that a
+    /// lease it granted (name→segid or segid→owner) is void because the
+    /// registration was removed. Sent before the remove is acked, so no
+    /// client serves the dead mapping from its cache afterwards.
+    LeaseRevoke,
+    /// Client acknowledgement that the cached lease entry is purged.
+    LeaseRevokeAck,
 }
 
 impl MessageKind {

@@ -20,10 +20,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::channel::{Direction, Link, LinkCharge};
-use crate::enclave::{AttachState, EnclaveKind, GuestOs, SegRecord, Slot};
+use crate::enclave::{AttachState, EnclaveKind, GuestOs, Lease, SegRecord, Slot};
 use crate::error::XememError;
 use crate::ids::{AccessMode, Apid, EnclaveId, EnclaveRef, ProcessRef, Segid};
-use crate::name_server::NameServer;
+use crate::name_server::NameService;
 use crate::protocol::{MessageKind, MessageRecord};
 use xemem_fwk::Fwk;
 use xemem_kitten::Kitten;
@@ -32,7 +32,7 @@ use xemem_palacios::{MemoryMapKind, Vmm};
 use xemem_pisces::{Core0Handler, IpiChannel, NodeResources};
 use xemem_sim::trace::Trace;
 use xemem_sim::{Clock, CostModel, FaultInjector, FaultKind, FaultPlan, SimDuration, SimTime};
-use xemem_trace::{Counter, Ctx, Hist, SpanKind, Timeline, TraceHandle};
+use xemem_trace::{Counter, Ctx, Hist, ShardCounter, SpanKind, Timeline, TraceHandle};
 
 /// Bound on per-hop retransmissions under injected message loss: after
 /// this many consecutive drops the channel is assumed to have recovered
@@ -85,7 +85,7 @@ pub struct System {
     phys: Arc<PhysicalMemory>,
     pub(crate) slots: Vec<Slot>,
     ns_slot: usize,
-    name_server: NameServer,
+    name_service: NameService,
     id_to_slot: HashMap<EnclaveId, usize>,
     next_apid: u64,
     trace: Vec<MessageRecord>,
@@ -193,9 +193,16 @@ impl System {
     }
 
     /// The failure/teardown event log: crashes, revocations, reaps,
-    /// name-server outages/retries/stale-cache hits, message faults.
+    /// name-service outages/retries/lease serves/failovers, message
+    /// faults.
     pub fn events(&self) -> &Trace {
         &self.events
+    }
+
+    /// The name service: shard layout, leadership, epochs and failover
+    /// counts (white-box assertions in tests and experiment drivers).
+    pub fn name_service(&self) -> &NameService {
+        &self.name_service
     }
 
     /// Whether an enclave is still alive (crashed/destroyed enclaves stay
@@ -239,15 +246,20 @@ impl System {
         let due = injector.due_events(now);
         for ev in due {
             match ev.kind {
-                FaultKind::NameServerOutage { duration } => {
-                    self.events.record(ev.at, duration, "ns:outage");
+                FaultKind::NameServerOutage { duration, shard } => {
+                    let label = match shard {
+                        Some(s) => format!("ns:outage:shard{s}"),
+                        None => "ns:outage".to_string(),
+                    };
+                    self.events.record(ev.at, duration, label);
                 }
                 FaultKind::EnclaveCrash { slot } => {
                     let slot = slot % self.slots.len();
-                    if slot == self.ns_slot {
-                        // The name server's failure mode is the bounded
-                        // outage (scheduled separately), not a crash —
-                        // losing it would orphan the whole name space.
+                    if self.name_service.is_sole_replica(slot) {
+                        // A shard with no surviving replica loses its
+                        // slice of the namespace for good, so the last
+                        // replica's failure mode is the bounded outage
+                        // (scheduled separately), not a crash.
                         self.events
                             .record(ev.at, SimDuration::ZERO, "crash:skipped-ns-slot");
                     } else if self.slots[slot].alive {
@@ -294,34 +306,51 @@ impl System {
         }
     }
 
-    /// True when the name server is reachable at `at`.
-    fn ns_available(&self, at: SimTime) -> bool {
+    /// True when name-service `shard` can answer at `at`: no injected
+    /// outage covers it (global or shard-scoped), no election window is
+    /// running, and a leader replica survives.
+    fn ns_shard_available(&self, shard: usize, at: SimTime) -> bool {
         self.injector
             .as_ref()
-            .map(|i| i.ns_available(at))
+            .map(|i| i.ns_shard_available(shard, at))
             .unwrap_or(true)
+            && self.name_service.unavailable_until(shard, at).is_none()
+            && self.name_service.leader_slot(shard).is_some()
     }
 
-    /// Wait out a name-server outage with exponential backoff in virtual
-    /// time: attempt `k` sleeps `ns_retry_base_ns << k`. Returns the time
-    /// the name server answered, or `NameServerUnavailable` once the
-    /// retry budget is exhausted. Every retry lands in the event trace.
-    fn ns_backoff(&mut self, mut at: SimTime) -> Result<SimTime, XememError> {
-        if self.ns_available(at) {
+    /// Wait out a shard outage (injected, or a failover election) with
+    /// exponential backoff in virtual time: attempt `k` sleeps
+    /// `ns_retry_base_ns << k`. Returns the time the shard answered, or
+    /// `NameServerUnavailable` — attributed to the shard — once the
+    /// retry budget is exhausted. Every retry lands in the event trace
+    /// and in the shard's retry/backoff counters.
+    fn ns_backoff(&mut self, shard: usize, mut at: SimTime) -> Result<SimTime, XememError> {
+        if self.ns_shard_available(shard, at) {
             return Ok(at);
         }
+        let sharded = self.name_service.shard_count() > 1;
+        let ctx_slot = self.name_service.leader_slot(shard).unwrap_or(self.ns_slot);
         let mut total = SimDuration::ZERO;
         for k in 0..self.cost.ns_retry_max_attempts {
             let wait = SimDuration::from_nanos(self.cost.ns_retry_base_ns << k.min(20));
             self.tracer
-                .leaf(SpanKind::NsBackoff, at, wait, Ctx::enclave(self.ns_slot));
+                .leaf(SpanKind::NsBackoff, at, wait, Ctx::enclave(ctx_slot));
             at += wait;
             total += wait;
-            self.events.record(at, wait, format!("ns:retry:{k}"));
-            if self.ns_available(at) {
+            let label = if sharded {
+                format!("ns:retry:shard{shard}:{k}")
+            } else {
+                format!("ns:retry:{k}")
+            };
+            self.events.record(at, wait, label);
+            if self.ns_shard_available(shard, at) {
                 self.tracer.count(Counter::NsRetries, u64::from(k) + 1);
                 self.tracer.count(Counter::NsBackoffNs, total.as_nanos());
                 self.tracer.observe(Hist::NsRetriesPerOp, u64::from(k) + 1);
+                self.tracer
+                    .count_shard(shard, ShardCounter::Retries, u64::from(k) + 1);
+                self.tracer
+                    .count_shard(shard, ShardCounter::BackoffNs, total.as_nanos());
                 return Ok(at);
             }
         }
@@ -330,11 +359,78 @@ impl System {
         self.tracer.count(Counter::NsBackoffNs, total.as_nanos());
         self.tracer
             .observe(Hist::NsRetriesPerOp, u64::from(attempts));
-        self.events.record(at, SimDuration::ZERO, "ns:unavailable");
+        self.tracer
+            .count_shard(shard, ShardCounter::Retries, u64::from(attempts));
+        self.tracer
+            .count_shard(shard, ShardCounter::BackoffNs, total.as_nanos());
+        let label = if sharded {
+            format!("ns:unavailable:shard{shard}")
+        } else {
+            "ns:unavailable".to_string()
+        };
+        self.events.record(at, SimDuration::ZERO, label);
         Err(XememError::NameServerUnavailable {
+            shard,
             attempts,
             backoff: total,
         })
+    }
+
+    /// Charge the client-side hash-ring probe that picks the shard for a
+    /// key. Free in the single-shard configuration (there is no ring).
+    fn charge_shard_route(&mut self, slot_idx: usize, at: SimTime) -> SimTime {
+        if self.name_service.shard_count() <= 1 {
+            return at;
+        }
+        let d = SimDuration::from_nanos(self.cost.ns_shard_route_ns);
+        self.tracer
+            .leaf(SpanKind::NsShardRoute, at, d, Ctx::enclave(slot_idx));
+        at + d
+    }
+
+    /// Revoke every live lease on `segid` before its removal is acked:
+    /// the shard leader sends each holder a `LeaseRevoke`, the holder
+    /// purges its cached entry and acks. After this returns, no enclave
+    /// can serve the dead registration from its lease cache.
+    fn revoke_leases(&mut self, segid: Segid, mut at: SimTime) -> SimTime {
+        let holders = self.name_service.take_lease_holders(segid, at);
+        if holders.is_empty() {
+            return at;
+        }
+        let Ok(shard) = self.name_service.shard_of_segid(segid) else {
+            return at;
+        };
+        let Some(leader) = self.name_service.leader_slot(shard) else {
+            return at;
+        };
+        for (holder, _expires) in holders {
+            self.slots[holder].owner_leases.remove(&segid);
+            self.slots[holder]
+                .name_leases
+                .retain(|_, l| l.value != segid);
+            self.tracer
+                .count_shard(shard, ShardCounter::LeaseRevocations, 1);
+            self.events.record(
+                at,
+                SimDuration::ZERO,
+                format!("ns:lease-revoke:{segid}:slot{holder}"),
+            );
+            if holder != leader && self.slots[holder].alive {
+                if let Some(path) = self.notify_path(leader, holder) {
+                    at = self.charge_hops(&path, MessageKind::LeaseRevoke, Some(segid), None, at);
+                    if let Some(back) = self.notify_path(holder, leader) {
+                        at = self.charge_hops(
+                            &back,
+                            MessageKind::LeaseRevokeAck,
+                            Some(segid),
+                            None,
+                            at,
+                        );
+                    }
+                }
+            }
+        }
+        at
     }
 
     /// Abruptly kill a process (clock-based): exported frames still
@@ -409,8 +505,9 @@ impl System {
                 .remove(&segid)
                 .expect("listed above");
             if let Some(id) = my_id {
-                let _ = self.name_server.remove_segid(segid, id);
+                let _ = self.name_service.remove_segid(segid, id, t);
             }
+            t = self.revoke_leases(segid, t);
             self.grants.remove(&(slot_idx, segid));
             let has_sites = self
                 .attachers
@@ -514,7 +611,7 @@ impl System {
         if !slot.alive {
             return Err(XememError::EnclaveDead(e));
         }
-        if e.0 == self.ns_slot {
+        if self.name_service.is_sole_replica(e.0) {
             return Err(XememError::Topology(
                 "the name-server enclave cannot be destroyed".into(),
             ));
@@ -540,6 +637,31 @@ impl System {
             format!("crash:enclave:{}", self.slots[slot_idx].name),
         );
         self.slots[slot_idx].alive = false;
+        // Name-service failover: every shard this slot led promotes its
+        // lowest-position surviving follower, loses whatever had not
+        // replicated, bumps its epoch (fencing outstanding leases) and
+        // goes dark for the election timeout.
+        let reports = self.name_service.on_slot_dead(slot_idx, t);
+        for r in &reports {
+            self.events.record(
+                t,
+                SimDuration::ZERO,
+                format!("ns:failover:shard{}:epoch{}", r.shard, r.epoch),
+            );
+            self.tracer.count_shard(r.shard, ShardCounter::Failovers, 1);
+            self.tracer.count_shard(
+                r.shard,
+                ShardCounter::LostRegistrations,
+                r.lost_registrations,
+            );
+            if r.lost_registrations > 0 {
+                self.events.record(
+                    t,
+                    SimDuration::ZERO,
+                    format!("ns:failover:shard{}:lost{}", r.shard, r.lost_registrations),
+                );
+            }
+        }
         // Revoke every segment this enclave exported. Its partition is
         // retired wholesale, so there is nothing to quarantine — remote
         // reapers unmap and the refcounts drain to nothing.
@@ -547,7 +669,18 @@ impl System {
             let mut segids: Vec<Segid> = self.slots[slot_idx].segs.keys().copied().collect();
             segids.sort();
             for segid in segids {
-                let _ = self.name_server.remove_segid(segid, id);
+                // A registration may already be gone: a failover above
+                // (or earlier in the run) dropped it as unreplicated.
+                if self.name_service.remove_segid(segid, id, t).is_err()
+                    && self.name_service.is_distributed()
+                {
+                    self.events.record(
+                        t,
+                        SimDuration::ZERO,
+                        format!("ns:lost-registration:{segid}"),
+                    );
+                }
+                t = self.revoke_leases(segid, t);
                 self.slots[slot_idx].segs.remove(&segid);
                 self.grants.remove(&(slot_idx, segid));
                 t = self.revoke_segment(slot_idx, segid, None, t);
@@ -617,12 +750,17 @@ impl System {
             SimDuration::ZERO,
             format!("revoke:{segid}:{}sites", sites.len()),
         );
-        // A dead owner cannot send; the name server (which observed the
-        // death when the registration was withdrawn) notifies instead.
+        // A dead owner cannot send; the segment's shard leader (which
+        // observed the death when the registration was withdrawn)
+        // notifies instead.
         let notifier = if self.slots[owner_slot].alive {
             owner_slot
         } else {
-            self.ns_slot
+            self.name_service
+                .shard_of_segid(segid)
+                .ok()
+                .and_then(|s| self.name_service.leader_slot(s))
+                .unwrap_or(self.ns_slot)
         };
         for site in sites {
             let bk = SimDuration::from_nanos(self.cost.revoke_bookkeeping_ns);
@@ -1120,14 +1258,32 @@ impl System {
     }
 
     /// Charge the channel and forwarding costs of sending `kind` along
-    /// `path`, starting at `at`. Records the trace.
+    /// `path`, starting at `at`. Records the trace. Name-server
+    /// processing is charged at the root name-server slot; shard-routed
+    /// requests use [`Self::charge_hops_proc`] to charge it at their
+    /// shard leader instead.
     fn charge_hops(
         &mut self,
         path: &[usize],
         kind: MessageKind,
         segid: Option<Segid>,
         routed_to: Option<EnclaveId>,
+        at: SimTime,
+    ) -> SimTime {
+        self.charge_hops_proc(path, kind, segid, routed_to, at, self.ns_slot)
+    }
+
+    /// [`Self::charge_hops`] with an explicit serving slot: hops landing
+    /// at `proc_slot` charge the name-server processing cost for kinds
+    /// that require it.
+    fn charge_hops_proc(
+        &mut self,
+        path: &[usize],
+        kind: MessageKind,
+        segid: Option<Segid>,
+        routed_to: Option<EnclaveId>,
         mut at: SimTime,
+        proc_slot: usize,
     ) -> SimTime {
         let bytes = kind.wire_bytes();
         let seg = segid.map(|s| s.0).unwrap_or(0);
@@ -1181,8 +1337,9 @@ impl System {
                     .leaf(SpanKind::RouteForward, at, hop, Ctx::seg(b, 0, seg));
                 at += hop;
             }
-            // Name-server processing when the request transits it.
-            if b == self.ns_slot && w + 2 <= path.len() && requires_ns_processing(kind) {
+            // Name-server processing when the request transits the
+            // serving slot.
+            if b == proc_slot && w + 2 <= path.len() && requires_ns_processing(kind) {
                 let ns = SimDuration::from_nanos(self.cost.name_server_ns);
                 self.tracer
                     .leaf(SpanKind::NsProcess, at, ns, Ctx::seg(b, 0, seg));
@@ -1243,6 +1400,19 @@ impl System {
         Ok(path)
     }
 
+    /// Path from a slot to a shard leader's slot. The root name-server
+    /// slot keeps the seed's `ns_via` walk; other leaders are reached
+    /// through the §3.2 forwarding maps.
+    fn path_to_leader_checked(&self, from: usize, leader: usize) -> Result<Vec<usize>, XememError> {
+        if leader == self.ns_slot {
+            return self.path_to_ns_checked(from);
+        }
+        let dest = self.slots[leader]
+            .id
+            .ok_or(XememError::BadEnclave(EnclaveRef(leader)))?;
+        self.route_path(from, dest)
+    }
+
     // ------------------------------------------------------------------
     // Timeline (`*_at`) protocol operations
     // ------------------------------------------------------------------
@@ -1268,26 +1438,39 @@ impl System {
         if !self.slots[slot_idx].alive {
             return Err(XememError::EnclaveDead(p.enclave));
         }
-        // Registration mutates the name server — no stale-cache fallback;
-        // outages are ridden out with exponential backoff.
-        let at = self.ns_backoff(at)?;
-        let (segid, mut t) = if slot_idx == self.ns_slot {
-            // Local syscall into the co-resident name server.
-            let segid = self.name_server.alloc_segid(my_id, name)?;
+        // Registration mutates the name service — no lease fallback;
+        // outages and elections are ridden out with exponential backoff.
+        let shard = match name {
+            Some(n) => self.name_service.shard_of_name(n),
+            None => self.name_service.shard_of_owner(my_id),
+        };
+        let at = self.charge_shard_route(slot_idx, at);
+        let at = self.ns_backoff(shard, at)?;
+        let leader = self
+            .name_service
+            .leader_slot(shard)
+            .expect("an available shard has a leader");
+        let (segid, mut t) = if slot_idx == leader {
+            // Local syscall into the co-resident shard leader.
+            let segid = self.name_service.alloc_segid(my_id, name, at)?;
             let ns = SimDuration::from_nanos(self.cost.name_server_ns);
-            self.tracer.leaf(
-                SpanKind::NsProcess,
-                at,
-                ns,
-                Ctx::seg(self.ns_slot, 0, segid.0),
-            );
+            self.tracer
+                .leaf(SpanKind::NsProcess, at, ns, Ctx::seg(leader, 0, segid.0));
             (segid, at + ns)
         } else {
-            let path = self.path_to_ns_checked(slot_idx)?;
-            let t_req = self.charge_hops(&path, MessageKind::AllocSegid, None, None, at);
-            let segid = self.name_server.alloc_segid(my_id, name)?;
+            let path = self.path_to_leader_checked(slot_idx, leader)?;
+            let t_req =
+                self.charge_hops_proc(&path, MessageKind::AllocSegid, None, None, at, leader);
+            let segid = self.name_service.alloc_segid(my_id, name, t_req)?;
             let back: Vec<usize> = path.iter().rev().copied().collect();
-            let t_rep = self.charge_hops(&back, MessageKind::SegidReply, Some(segid), None, t_req);
+            let t_rep = self.charge_hops_proc(
+                &back,
+                MessageKind::SegidReply,
+                Some(segid),
+                None,
+                t_req,
+                leader,
+            );
             (segid, t_rep)
         };
         // Local registration bookkeeping.
@@ -1338,24 +1521,56 @@ impl System {
         if rec.pid != p.pid {
             return Err(XememError::PermissionDenied);
         }
-        // Unregistration mutates the name server — backoff, no stale path.
-        let at = self.ns_backoff(at)?;
-        let t = if slot_idx == self.ns_slot {
-            self.name_server.remove_segid(segid, my_id)?;
+        // Unregistration mutates the name service — backoff, no lease
+        // path.
+        let shard = self.name_service.shard_of_segid(segid)?;
+        let at = self.charge_shard_route(slot_idx, at);
+        let at = self.ns_backoff(shard, at)?;
+        let leader = self
+            .name_service
+            .leader_slot(shard)
+            .expect("an available shard has a leader");
+        // A failover may have dropped the registration as unreplicated;
+        // the local export teardown still has to run, so tolerate the
+        // already-gone case (traced) instead of failing the remove.
+        let lost = |sys: &mut Self, t: SimTime, e: XememError| match e {
+            XememError::UnknownSegid(_) if sys.name_service.is_distributed() => {
+                sys.events.record(
+                    t,
+                    SimDuration::ZERO,
+                    format!("ns:lost-registration:{segid}"),
+                );
+                Ok(())
+            }
+            other => Err(other),
+        };
+        let t = if slot_idx == leader {
+            if let Err(e) = self.name_service.remove_segid(segid, my_id, at) {
+                lost(self, at, e)?;
+            }
             let ns = SimDuration::from_nanos(self.cost.name_server_ns);
-            self.tracer.leaf(
-                SpanKind::NsProcess,
-                at,
-                ns,
-                Ctx::seg(self.ns_slot, 0, segid.0),
-            );
+            self.tracer
+                .leaf(SpanKind::NsProcess, at, ns, Ctx::seg(leader, 0, segid.0));
             at + ns
         } else {
-            let path = self.path_to_ns_checked(slot_idx)?;
-            let t = self.charge_hops(&path, MessageKind::RemoveSegid, Some(segid), None, at);
-            self.name_server.remove_segid(segid, my_id)?;
+            let path = self.path_to_leader_checked(slot_idx, leader)?;
+            let t = self.charge_hops_proc(
+                &path,
+                MessageKind::RemoveSegid,
+                Some(segid),
+                None,
+                at,
+                leader,
+            );
+            if let Err(e) = self.name_service.remove_segid(segid, my_id, t) {
+                lost(self, t, e)?;
+            }
             t
         };
+        // Lease revocation precedes the remove's completion: every
+        // holder of a live lease on the segid is notified and purges its
+        // cache, so no lookup can serve the dead registration afterwards.
+        let t = self.revoke_leases(segid, t);
         self.slots[slot_idx].segs.remove(&segid);
         self.grants.remove(&(slot_idx, segid));
         // Revocation: remote reapers unmap. The exporter is still alive
@@ -1380,49 +1595,130 @@ impl System {
         if !self.slots[slot_idx].alive {
             return Err(XememError::EnclaveDead(p.enclave));
         }
-        if slot_idx == self.ns_slot {
-            let at = self.ns_backoff(at)?;
-            let segid = self.name_server.search(name)?;
-            self.slots[slot_idx]
-                .ns_cache
-                .insert(name.to_string(), segid);
-            let ns = SimDuration::from_nanos(self.cost.name_server_ns);
-            self.tracer.leaf(
-                SpanKind::NsProcess,
-                at,
-                ns,
-                Ctx::seg(self.ns_slot, 0, segid.0),
-            );
-            return Ok((segid, at + ns));
-        }
-        // Graceful degradation: during an outage, lookups can be served
-        // from the per-enclave stale cache (marked as such in the event
-        // trace). The answer may be outdated — attach validates it.
-        if !self.ns_available(at) {
-            if let Some(&segid) = self.slots[slot_idx].ns_cache.get(name) {
-                self.events
-                    .record(at, SimDuration::ZERO, format!("ns:stale:search:{name}"));
-                let bk = SimDuration::from_nanos(300);
-                self.tracer.leaf(
-                    SpanKind::Bookkeeping,
+        let shard = self.name_service.shard_of_name(name);
+        let leader = self.name_service.leader_slot(shard);
+        if leader != Some(slot_idx) {
+            // Lease-cache fast path: a still-live, epoch-current lease
+            // answers locally — including during a shard outage, which
+            // is the graceful degradation the old stale cache provided,
+            // now with a bounded staleness window. A failover fences the
+            // lease via the epoch even before it expires.
+            if let Some(lease) = self.slots[slot_idx].name_leases.get(name).copied() {
+                if lease.expires > at && lease.epoch == self.name_service.epoch(lease.shard) {
+                    return Ok(self.serve_name_lease(slot_idx, p.pid, name, lease, at));
+                }
+                self.slots[slot_idx].name_leases.remove(name);
+                self.tracer
+                    .count_shard(lease.shard, ShardCounter::LeaseExpirations, 1);
+                self.events.record(
                     at,
-                    bk,
-                    Ctx::seg(slot_idx, p.pid.0, segid.0),
+                    SimDuration::ZERO,
+                    format!("ns:lease-expired:search:{name}"),
                 );
-                self.tracer.count(Counter::NsStaleServes, 1);
-                return Ok((segid, at + bk));
             }
         }
-        let at = self.ns_backoff(at)?;
-        let path = self.path_to_ns_checked(slot_idx)?;
-        let t = self.charge_hops(&path, MessageKind::SearchSegid, None, None, at);
-        let segid = self.name_server.search(name)?;
+        let at = self.charge_shard_route(slot_idx, at);
+        let at = self.ns_backoff(shard, at)?;
+        let leader = self
+            .name_service
+            .leader_slot(shard)
+            .expect("an available shard has a leader");
+        if slot_idx == leader {
+            // The leader reads its authoritative maps; no lease needed.
+            let segid = self.name_service.search(name)?;
+            let ns = SimDuration::from_nanos(self.cost.name_server_ns);
+            self.tracer
+                .leaf(SpanKind::NsProcess, at, ns, Ctx::seg(leader, 0, segid.0));
+            self.tracer.count_shard(shard, ShardCounter::Lookups, 1);
+            self.tracer.observe_shard_lookup(shard, ns.as_nanos());
+            return Ok((segid, at + ns));
+        }
+        let t0 = at;
+        let path = self.path_to_leader_checked(slot_idx, leader)?;
+        let t = self.charge_hops_proc(&path, MessageKind::SearchSegid, None, None, at, leader);
+        let segid = self.name_service.search(name)?;
+        // Leader-side lease grant rides on the reply (renewal is the
+        // same path: an expired lease re-routes here).
+        let (t, lease) = self.grant_lease_at(shard, leader, segid, slot_idx, t);
         let back: Vec<usize> = path.iter().rev().copied().collect();
-        let t = self.charge_hops(&back, MessageKind::SearchReply, Some(segid), None, t);
-        self.slots[slot_idx]
-            .ns_cache
-            .insert(name.to_string(), segid);
+        let t = self.charge_hops_proc(
+            &back,
+            MessageKind::SearchReply,
+            Some(segid),
+            None,
+            t,
+            leader,
+        );
+        self.slots[slot_idx].name_leases.insert(
+            name.to_string(),
+            Lease {
+                value: segid,
+                ..lease
+            },
+        );
+        self.tracer.count_shard(shard, ShardCounter::Lookups, 1);
+        self.tracer
+            .observe_shard_lookup(shard, t.duration_since(t0).as_nanos());
         Ok((segid, t))
+    }
+
+    /// Serve a name lookup from a live lease: charge the expiry + epoch
+    /// check and the bookkeeping, count the serve against the granting
+    /// shard.
+    fn serve_name_lease(
+        &mut self,
+        slot_idx: usize,
+        pid: Pid,
+        name: &str,
+        lease: Lease<Segid>,
+        at: SimTime,
+    ) -> (Segid, SimTime) {
+        let check = SimDuration::from_nanos(self.cost.ns_lease_check_ns);
+        let bk = SimDuration::from_nanos(300);
+        let ctx = Ctx::seg(slot_idx, pid.0, lease.value.0);
+        self.tracer.leaf(SpanKind::NsLeaseCheck, at, check, ctx);
+        self.tracer.leaf(SpanKind::Bookkeeping, at + check, bk, ctx);
+        self.tracer.count(Counter::NsLeaseServes, 1);
+        self.tracer
+            .count_shard(lease.shard, ShardCounter::LeaseServes, 1);
+        self.tracer
+            .count_shard(lease.shard, ShardCounter::Lookups, 1);
+        self.tracer
+            .observe_shard_lookup(lease.shard, (check + bk).as_nanos());
+        self.events
+            .record(at, SimDuration::ZERO, format!("ns:lease:search:{name}"));
+        (lease.value, at + check + bk)
+    }
+
+    /// Leader-side lease grant/renewal bookkeeping at serve time: charge
+    /// `ns_lease_renew_ns` on the leader, record the holder in the
+    /// shard's soft state, and hand back the lease the client caches.
+    fn grant_lease_at(
+        &mut self,
+        shard: usize,
+        leader: usize,
+        segid: Segid,
+        holder_slot: usize,
+        at: SimTime,
+    ) -> (SimTime, Lease<Segid>) {
+        let renew = SimDuration::from_nanos(self.cost.ns_lease_renew_ns);
+        self.tracer.leaf(
+            SpanKind::NsLeaseRenew,
+            at,
+            renew,
+            Ctx::seg(leader, 0, segid.0),
+        );
+        let granted = at + renew;
+        let expires = granted + SimDuration::from_nanos(self.cost.ns_lease_ns);
+        self.name_service.grant_lease(segid, holder_slot, expires);
+        self.tracer.count_shard(shard, ShardCounter::LeaseGrants, 1);
+        let lease = Lease {
+            value: segid,
+            expires,
+            epoch: self.name_service.epoch(shard),
+            shard,
+        };
+        (granted, lease)
     }
 
     /// Request access to a segment (`xpmem_get`): validates the segid
@@ -1453,6 +1749,13 @@ impl System {
         if !self.slots[slot_idx].alive {
             return Err(XememError::EnclaveDead(p.enclave));
         }
+        let shard = self.name_service.shard_of_segid(segid)?;
+        let leader = self.name_service.leader_slot(shard);
+        let cached_lease = if leader != Some(slot_idx) {
+            self.slots[slot_idx].owner_leases.get(&segid).copied()
+        } else {
+            None
+        };
         let (owner, t) = if self.slots[slot_idx].segs.contains_key(&segid) {
             // Locally owned: no messages needed.
             let my_id = self.slots[slot_idx].id.expect("registered");
@@ -1464,41 +1767,90 @@ impl System {
                 Ctx::seg(slot_idx, p.pid.0, segid.0),
             );
             (my_id, at + bk)
-        } else if slot_idx == self.ns_slot {
-            let at = self.ns_backoff(at)?;
-            let owner = self.name_server.owner_of(segid)?;
-            let ns = SimDuration::from_nanos(self.cost.name_server_ns);
-            self.tracer.leaf(
-                SpanKind::NsProcess,
-                at,
-                ns,
-                Ctx::seg(self.ns_slot, 0, segid.0),
-            );
-            (owner, at + ns)
-        } else if !self.ns_available(at) && self.slots[slot_idx].owner_cache.contains_key(&segid) {
-            // Stale-cache degradation during a name-server outage: grant
-            // against the last known owner; attach re-validates.
-            let owner = self.slots[slot_idx].owner_cache[&segid];
-            self.events
-                .record(at, SimDuration::ZERO, format!("ns:stale:get:{segid}"));
+        } else if let Some(lease) =
+            cached_lease.filter(|l| l.expires > at && l.epoch == self.name_service.epoch(l.shard))
+        {
+            // Lease-cache fast path: the validated owner answers locally
+            // (also the graceful-degradation path during a shard outage,
+            // with bounded staleness); attach still re-validates.
+            let check = SimDuration::from_nanos(self.cost.ns_lease_check_ns);
             let bk = SimDuration::from_nanos(300);
-            self.tracer.leaf(
-                SpanKind::Bookkeeping,
-                at,
-                bk,
-                Ctx::seg(slot_idx, p.pid.0, segid.0),
-            );
-            self.tracer.count(Counter::NsStaleServes, 1);
-            (owner, at + bk)
+            let ctx = Ctx::seg(slot_idx, p.pid.0, segid.0);
+            self.tracer.leaf(SpanKind::NsLeaseCheck, at, check, ctx);
+            self.tracer.leaf(SpanKind::Bookkeeping, at + check, bk, ctx);
+            self.tracer.count(Counter::NsLeaseServes, 1);
+            self.tracer
+                .count_shard(lease.shard, ShardCounter::LeaseServes, 1);
+            self.tracer
+                .count_shard(lease.shard, ShardCounter::Lookups, 1);
+            self.tracer
+                .observe_shard_lookup(lease.shard, (check + bk).as_nanos());
+            self.events
+                .record(at, SimDuration::ZERO, format!("ns:lease:get:{segid}"));
+            (lease.value, at + check + bk)
         } else {
-            let at = self.ns_backoff(at)?;
-            let path = self.path_to_ns_checked(slot_idx)?;
-            let t = self.charge_hops(&path, MessageKind::SearchSegid, Some(segid), None, at);
-            let owner = self.name_server.owner_of(segid)?;
-            let back: Vec<usize> = path.iter().rev().copied().collect();
-            let t = self.charge_hops(&back, MessageKind::SearchReply, Some(segid), None, t);
-            self.slots[slot_idx].owner_cache.insert(segid, owner);
-            (owner, t)
+            if let Some(lease) = cached_lease {
+                // Expired or fenced by a failover: drop it and
+                // revalidate with the shard leader.
+                self.slots[slot_idx].owner_leases.remove(&segid);
+                self.tracer
+                    .count_shard(lease.shard, ShardCounter::LeaseExpirations, 1);
+                self.events.record(
+                    at,
+                    SimDuration::ZERO,
+                    format!("ns:lease-expired:get:{segid}"),
+                );
+            }
+            let at = self.charge_shard_route(slot_idx, at);
+            let at = self.ns_backoff(shard, at)?;
+            let leader = self
+                .name_service
+                .leader_slot(shard)
+                .expect("an available shard has a leader");
+            if slot_idx == leader {
+                let owner = self.name_service.owner_of(segid)?;
+                let ns = SimDuration::from_nanos(self.cost.name_server_ns);
+                self.tracer
+                    .leaf(SpanKind::NsProcess, at, ns, Ctx::seg(leader, 0, segid.0));
+                self.tracer.count_shard(shard, ShardCounter::Lookups, 1);
+                self.tracer.observe_shard_lookup(shard, ns.as_nanos());
+                (owner, at + ns)
+            } else {
+                let t0 = at;
+                let path = self.path_to_leader_checked(slot_idx, leader)?;
+                let t = self.charge_hops_proc(
+                    &path,
+                    MessageKind::SearchSegid,
+                    Some(segid),
+                    None,
+                    at,
+                    leader,
+                );
+                let owner = self.name_service.owner_of(segid)?;
+                let (t, lease) = self.grant_lease_at(shard, leader, segid, slot_idx, t);
+                let back: Vec<usize> = path.iter().rev().copied().collect();
+                let t = self.charge_hops_proc(
+                    &back,
+                    MessageKind::SearchReply,
+                    Some(segid),
+                    None,
+                    t,
+                    leader,
+                );
+                self.slots[slot_idx].owner_leases.insert(
+                    segid,
+                    Lease {
+                        value: owner,
+                        expires: lease.expires,
+                        epoch: lease.epoch,
+                        shard: lease.shard,
+                    },
+                );
+                self.tracer.count_shard(shard, ShardCounter::Lookups, 1);
+                self.tracer
+                    .observe_shard_lookup(shard, t.duration_since(t0).as_nanos());
+                (owner, t)
+            }
         };
         self.next_apid += 1;
         let apid = Apid(self.next_apid);
@@ -1926,7 +2278,7 @@ impl System {
     fn register_all(&mut self) -> Result<(), XememError> {
         // The name-server enclave registers itself first (Fig. 3
         // "Register Domain" happens for every enclave).
-        let ns_id = self.name_server.alloc_enclave_id();
+        let ns_id = self.name_service.alloc_enclave_id();
         self.slots[self.ns_slot].id = Some(ns_id);
         self.slots[self.ns_slot].ns_via = None;
         self.id_to_slot.insert(ns_id, self.ns_slot);
@@ -2036,7 +2388,7 @@ impl System {
         // request is forwarded hop by hop to the name server.
         let path = self.path_to_ns(idx);
         let t = self.charge_hops(&path, MessageKind::AllocEnclaveId, None, None, t);
-        let new_id = self.name_server.alloc_enclave_id();
+        let new_id = self.name_service.alloc_enclave_id();
 
         // (3) The reply routes back; every hop on the way records which
         // neighbor leads to the new enclave.
@@ -2124,6 +2476,7 @@ pub struct SystemBuilder {
     hugepage_attach: bool,
     fault_plan: Option<(FaultPlan, u64)>,
     tracer: Option<TraceHandle>,
+    ns_shards: Option<(usize, usize)>,
 }
 
 impl Default for SystemBuilder {
@@ -2147,7 +2500,19 @@ impl SystemBuilder {
             hugepage_attach: false,
             fault_plan: None,
             tracer: None,
+            ns_shards: None,
         }
+    }
+
+    /// Run the name service sharded and replicated: the namespace is
+    /// consistent-hashed across `shards` shards, each with `replicas`
+    /// replica slots (the first is the leader). Replica sets are
+    /// assigned round-robin starting at the name-server slot, so
+    /// `shards * replicas` must not exceed the enclave count. The
+    /// default (1, 1) is the paper's single name server.
+    pub fn name_service_shards(mut self, shards: usize, replicas: usize) -> Self {
+        self.ns_shards = Some((shards, replicas));
+        self
     }
 
     /// Arm a deterministic fault plan: scheduled enclave crashes, process
@@ -2454,6 +2819,46 @@ impl SystemBuilder {
             None => 0,
         };
 
+        // Name-service layout: centralized by default (the paper's
+        // single server), or consistent-hashed shards with replica sets
+        // assigned round-robin from the name-server slot.
+        let (n_shards, n_replicas) = self.ns_shards.unwrap_or((1, 1));
+        if n_shards == 0 || n_replicas == 0 {
+            return Err(XememError::Topology(
+                "the name service needs at least one shard and one replica".into(),
+            ));
+        }
+        if n_shards * n_replicas > slots.len() {
+            return Err(XememError::Topology(format!(
+                "name service wants {} replica slots ({n_shards} shards × {n_replicas} \
+                 replicas) but only {} enclaves exist",
+                n_shards * n_replicas,
+                slots.len()
+            )));
+        }
+        let name_service = if n_shards == 1 && n_replicas == 1 {
+            NameService::centralized(ns_slot)
+        } else {
+            let sets = (0..n_shards)
+                .map(|s| {
+                    (0..n_replicas)
+                        .map(|j| (ns_slot + s + j * n_shards) % slots.len())
+                        .collect()
+                })
+                .collect();
+            NameService::sharded(
+                sets,
+                SimDuration::from_nanos(self.cost.ns_replication_lag_ns),
+                SimDuration::from_nanos(self.cost.ns_election_timeout_ns),
+            )
+        };
+
+        // A malformed fault schedule is a construction error, not a
+        // runtime surprise: validate against the real topology.
+        if let Some((plan, _)) = &self.fault_plan {
+            plan.validate(slots.len(), n_shards)
+                .map_err(XememError::Topology)?;
+        }
         let injector = self
             .fault_plan
             .map(|(plan, seed)| FaultInjector::new(plan, seed));
@@ -2463,7 +2868,7 @@ impl SystemBuilder {
             phys,
             slots,
             ns_slot,
-            name_server: NameServer::new(),
+            name_service,
             id_to_slot: HashMap::new(),
             next_apid: 0,
             trace: Vec::new(),

@@ -238,6 +238,41 @@ pub struct CostModel {
     /// Per-attachment cost of the reaper unmapping a dead attachment in
     /// the attaching enclave (VMA/arena teardown plus TLB shootdown).
     pub reap_unmap_ns: u64,
+
+    // ------------------------------------------------------------------
+    // Sharded name service
+    // ------------------------------------------------------------------
+    /// Client-side shard selection when the namespace is split across
+    /// more than one name-server enclave: one hash-ring probe to pick
+    /// the shard leader. Charged only when the ring has > 1 shard; the
+    /// single-shard configuration is bitwise identical to the original
+    /// centralized name server.
+    pub ns_shard_route_ns: u64,
+
+    /// Lease term granted with every name-server answer, in virtual
+    /// nanoseconds. A client may serve cached results locally until the
+    /// lease expires; afterwards it must revalidate with the shard
+    /// leader. Sized well above a routed round trip so steady-state
+    /// lookups hit the cache, but short enough that failover staleness
+    /// is bounded.
+    pub ns_lease_ns: u64,
+
+    /// Client-side cost of checking a cached lease (expiry + epoch
+    /// comparison) before serving a lookup locally.
+    pub ns_lease_check_ns: u64,
+
+    /// Leader-side cost of granting or renewing one lease (recording
+    /// the holder and its expiry in the shard's soft state).
+    pub ns_lease_renew_ns: u64,
+
+    /// Replication lag from a shard leader to its followers: mutations
+    /// older than this horizon are guaranteed durable on every live
+    /// replica, younger ones are lost if the leader dies first.
+    pub ns_replication_lag_ns: u64,
+
+    /// Time a shard stays unavailable after its leader dies while the
+    /// surviving replicas run the (deterministic) election.
+    pub ns_election_timeout_ns: u64,
 }
 
 impl Default for CostModel {
@@ -282,6 +317,12 @@ impl Default for CostModel {
             ns_retry_max_attempts: 24,
             revoke_bookkeeping_ns: 400,
             reap_unmap_ns: 350,
+            ns_shard_route_ns: 120,
+            ns_lease_ns: 200_000,
+            ns_lease_check_ns: 60,
+            ns_lease_renew_ns: 150,
+            ns_replication_lag_ns: 20_000,
+            ns_election_timeout_ns: 30_000,
         }
     }
 }

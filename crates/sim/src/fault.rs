@@ -34,10 +34,13 @@ pub enum FaultKind {
         /// Kernel pid of the victim within that enclave.
         pid: u32,
     },
-    /// The name server stops answering for a bounded duration.
+    /// The name service stops answering for a bounded duration.
     NameServerOutage {
         /// How long the outage lasts; lookups retry or degrade until then.
         duration: SimDuration,
+        /// `None` hits every shard (the original whole-service outage);
+        /// `Some(s)` silences only shard `s` of a sharded name service.
+        shard: Option<usize>,
     },
 }
 
@@ -101,11 +104,33 @@ impl FaultPlan {
         self
     }
 
-    /// Schedule a name-server outage of `duration` starting at `at`.
+    /// Schedule a whole-service name-server outage of `duration`
+    /// starting at `at` (every shard goes silent).
     pub fn name_server_outage(mut self, at: SimTime, duration: SimDuration) -> Self {
         self.events.push(FaultEvent {
             at,
-            kind: FaultKind::NameServerOutage { duration },
+            kind: FaultKind::NameServerOutage {
+                duration,
+                shard: None,
+            },
+        });
+        self
+    }
+
+    /// Schedule an outage of `duration` starting at `at` scoped to a
+    /// single shard of the name service; other shards keep answering.
+    pub fn name_server_shard_outage(
+        mut self,
+        at: SimTime,
+        shard: usize,
+        duration: SimDuration,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::NameServerOutage {
+                duration,
+                shard: Some(shard),
+            },
         });
         self
     }
@@ -162,7 +187,23 @@ impl FaultPlan {
         max_pid: u32,
         n_events: usize,
     ) -> Self {
-        assert!(slots > 0 && max_pid > 0);
+        Self::random_sharded(rng, horizon, slots, max_pid, n_events, 1)
+    }
+
+    /// Like [`FaultPlan::random`], but aware of a sharded name service
+    /// with `n_shards` shards: the name-server outages it generates are
+    /// scoped to a random shard when `n_shards > 1` (a plan built with
+    /// `n_shards == 1` is identical to the unsharded generator, drawing
+    /// the same randomness in the same order).
+    pub fn random_sharded(
+        rng: &mut SimRng,
+        horizon: SimTime,
+        slots: usize,
+        max_pid: u32,
+        n_events: usize,
+        n_shards: usize,
+    ) -> Self {
+        assert!(slots > 0 && max_pid > 0 && n_shards > 0);
         let mut plan = FaultPlan::new();
         let span = horizon.as_nanos().max(1);
         for _ in 0..n_events {
@@ -171,10 +212,16 @@ impl FaultPlan {
             plan = match rng.uniform_u64(0, 4) {
                 0 => plan.crash_enclave(at, slot),
                 1 => plan.kill_process(at, slot, rng.uniform_u64(1, u64::from(max_pid) + 1) as u32),
-                2 => plan.name_server_outage(
-                    at,
-                    SimDuration::from_nanos(rng.uniform_u64(1_000, span / 4 + 2_000)),
-                ),
+                2 => {
+                    let duration =
+                        SimDuration::from_nanos(rng.uniform_u64(1_000, span / 4 + 2_000));
+                    if n_shards > 1 {
+                        let shard = rng.uniform_u64(0, n_shards as u64) as usize;
+                        plan.name_server_shard_outage(at, shard, duration)
+                    } else {
+                        plan.name_server_outage(at, duration)
+                    }
+                }
                 _ => plan.drop_messages(
                     at,
                     SimDuration::from_nanos(rng.uniform_u64(1_000, span / 4 + 2_000)),
@@ -183,6 +230,78 @@ impl FaultPlan {
             };
         }
         plan
+    }
+
+    /// Check the plan against the topology it will run on: `n_slots`
+    /// built enclave slots and `n_shards` name-service shards. Rejects
+    /// schedules that could never fire as written — crash/kill targets
+    /// referencing never-created enclaves, pid 0 (kernel) kills, outages
+    /// aimed at nonexistent shards, and degenerate (empty) loss or
+    /// outage windows — with a description of the offending entry.
+    pub fn validate(&self, n_slots: usize, n_shards: usize) -> Result<(), String> {
+        for event in &self.events {
+            match event.kind {
+                FaultKind::EnclaveCrash { slot } => {
+                    if slot >= n_slots {
+                        return Err(format!(
+                            "fault plan targets enclave slot {slot} at t={} ns, \
+                             but only {n_slots} slots exist",
+                            event.at.as_nanos()
+                        ));
+                    }
+                }
+                FaultKind::ProcessKill { slot, pid } => {
+                    if slot >= n_slots {
+                        return Err(format!(
+                            "fault plan kills pid {pid} in enclave slot {slot} at t={} ns, \
+                             but only {n_slots} slots exist",
+                            event.at.as_nanos()
+                        ));
+                    }
+                    if pid == 0 {
+                        return Err(format!(
+                            "fault plan kills pid 0 in slot {slot} at t={} ns; \
+                             pid 0 is the kernel, not a process",
+                            event.at.as_nanos()
+                        ));
+                    }
+                }
+                FaultKind::NameServerOutage { duration, shard } => {
+                    if duration == SimDuration::ZERO {
+                        return Err(format!(
+                            "fault plan schedules a zero-length name-server outage at t={} ns; \
+                             the window [start, start) can never fire",
+                            event.at.as_nanos()
+                        ));
+                    }
+                    if let Some(shard) = shard {
+                        if shard >= n_shards {
+                            return Err(format!(
+                                "fault plan targets name-service shard {shard} at t={} ns, \
+                                 but only {n_shards} shards exist",
+                                event.at.as_nanos()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (label, windows) in [
+            ("drop", &self.drop_windows),
+            ("duplicate", &self.duplicate_windows),
+        ] {
+            for w in windows {
+                if w.until <= w.from {
+                    return Err(format!(
+                        "fault plan {label} window ends at {} ns, at or before its start {} ns; \
+                         the window can never fire",
+                        w.until.as_nanos(),
+                        w.from.as_nanos()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -207,8 +326,11 @@ pub struct FaultInjector {
     cursor: usize,
     drop_windows: Vec<LossWindow>,
     duplicate_windows: Vec<LossWindow>,
-    /// End of the current name-server outage, if one is active.
+    /// End of the current whole-service name-server outage, if active.
     ns_outage_until: Option<SimTime>,
+    /// Per-shard outage horizons (shard-scoped outages only; the global
+    /// horizon above applies to every shard on top of these).
+    shard_outage_until: std::collections::BTreeMap<usize, SimTime>,
     rng: SimRng,
 }
 
@@ -224,6 +346,7 @@ impl FaultInjector {
             drop_windows: plan.drop_windows,
             duplicate_windows: plan.duplicate_windows,
             ns_outage_until: None,
+            shard_outage_until: std::collections::BTreeMap::new(),
             rng: SimRng::seed_from_u64(seed).fork(0xFA_17),
         }
     }
@@ -239,13 +362,23 @@ impl FaultInjector {
                 break;
             }
             self.cursor += 1;
-            if let FaultKind::NameServerOutage { duration } = event.kind {
+            if let FaultKind::NameServerOutage { duration, shard } = event.kind {
                 let until = event.at + duration;
                 // Overlapping outages extend each other.
-                self.ns_outage_until = Some(match self.ns_outage_until {
-                    Some(existing) if existing > until => existing,
-                    _ => until,
-                });
+                match shard {
+                    None => {
+                        self.ns_outage_until = Some(match self.ns_outage_until {
+                            Some(existing) if existing > until => existing,
+                            _ => until,
+                        });
+                    }
+                    Some(shard) => {
+                        let entry = self.shard_outage_until.entry(shard).or_insert(until);
+                        if until > *entry {
+                            *entry = until;
+                        }
+                    }
+                }
             }
             due.push(event);
         }
@@ -266,6 +399,33 @@ impl FaultInjector {
     /// When the current outage ends, if one is active at `at`.
     pub fn ns_outage_until(&self, at: SimTime) -> Option<SimTime> {
         self.ns_outage_until.filter(|&until| at < until)
+    }
+
+    /// Does shard `shard` of the name service answer at virtual time
+    /// `at`? A shard is silent during both whole-service outages and
+    /// outages scoped to it specifically.
+    pub fn ns_shard_available(&self, shard: usize, at: SimTime) -> bool {
+        self.ns_available(at)
+            && match self.shard_outage_until.get(&shard) {
+                Some(&until) => at >= until,
+                None => true,
+            }
+    }
+
+    /// When the outage silencing shard `shard` ends, if one is active
+    /// at `at` (the later of the whole-service and shard-scoped
+    /// horizons).
+    pub fn ns_shard_outage_until(&self, shard: usize, at: SimTime) -> Option<SimTime> {
+        let global = self.ns_outage_until(at);
+        let scoped = self
+            .shard_outage_until
+            .get(&shard)
+            .copied()
+            .filter(|&until| at < until);
+        match (global, scoped) {
+            (Some(g), Some(s)) => Some(g.max(s)),
+            (g, s) => g.or(s),
+        }
     }
 
     /// Should a forwarded hop sent at `at` be dropped? Draws from the
@@ -382,6 +542,128 @@ mod tests {
             assert!(!inj.should_drop(at));
             assert!(inj.should_duplicate(at));
         }
+    }
+
+    #[test]
+    fn shard_outages_silence_only_their_shard() {
+        let plan = FaultPlan::new().name_server_shard_outage(
+            SimTime::from_nanos(1_000),
+            1,
+            SimDuration::from_nanos(500),
+        );
+        let mut inj = FaultInjector::new(plan, 1);
+        inj.due_events(SimTime::from_nanos(1_000));
+        let at = SimTime::from_nanos(1_200);
+        // The whole-service view stays up; only shard 1 is silent.
+        assert!(inj.ns_available(at));
+        assert!(inj.ns_shard_available(0, at));
+        assert!(!inj.ns_shard_available(1, at));
+        assert_eq!(
+            inj.ns_shard_outage_until(1, at),
+            Some(SimTime::from_nanos(1_500))
+        );
+        assert_eq!(inj.ns_shard_outage_until(0, at), None);
+        assert!(inj.ns_shard_available(1, SimTime::from_nanos(1_500)));
+    }
+
+    #[test]
+    fn global_outage_silences_every_shard() {
+        let plan = FaultPlan::new()
+            .name_server_outage(SimTime::from_nanos(0), SimDuration::from_nanos(2_000))
+            .name_server_shard_outage(SimTime::from_nanos(0), 2, SimDuration::from_nanos(1_000));
+        let mut inj = FaultInjector::new(plan, 1);
+        inj.due_events(SimTime::ZERO);
+        let at = SimTime::from_nanos(500);
+        assert!(!inj.ns_shard_available(0, at));
+        assert!(!inj.ns_shard_available(2, at));
+        // Shard 2's horizon is the *later* of global and scoped ends.
+        assert_eq!(
+            inj.ns_shard_outage_until(2, at),
+            Some(SimTime::from_nanos(2_000))
+        );
+        assert!(inj.ns_shard_available(2, SimTime::from_nanos(2_000)));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_plans() {
+        let plan = FaultPlan::new()
+            .crash_enclave(SimTime::from_nanos(10), 2)
+            .kill_process(SimTime::from_nanos(20), 0, 7)
+            .name_server_outage(SimTime::from_nanos(30), SimDuration::from_nanos(1))
+            .name_server_shard_outage(SimTime::from_nanos(40), 3, SimDuration::from_nanos(5))
+            .drop_messages(SimTime::ZERO, SimDuration::from_nanos(100), 0.5);
+        assert_eq!(plan.validate(3, 4), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_plans() {
+        let cases: Vec<(FaultPlan, &str)> = vec![
+            (
+                FaultPlan::new().crash_enclave(SimTime::from_nanos(10), 5),
+                "slot 5",
+            ),
+            (
+                FaultPlan::new().kill_process(SimTime::from_nanos(10), 9, 1),
+                "slot 9",
+            ),
+            (
+                FaultPlan::new().kill_process(SimTime::from_nanos(10), 0, 0),
+                "pid 0",
+            ),
+            (
+                FaultPlan::new().name_server_outage(SimTime::from_nanos(10), SimDuration::ZERO),
+                "zero-length",
+            ),
+            (
+                FaultPlan::new().name_server_shard_outage(
+                    SimTime::from_nanos(10),
+                    4,
+                    SimDuration::from_nanos(5),
+                ),
+                "shard 4",
+            ),
+            (
+                FaultPlan::new().drop_messages(SimTime::from_nanos(10), SimDuration::ZERO, 0.5),
+                "drop window",
+            ),
+            (
+                FaultPlan::new().duplicate_messages(
+                    SimTime::from_nanos(10),
+                    SimDuration::ZERO,
+                    0.5,
+                ),
+                "duplicate window",
+            ),
+        ];
+        for (plan, needle) in cases {
+            let err = plan.validate(3, 4).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_random_plans_scope_outages_and_stay_reproducible() {
+        let build = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            FaultPlan::random_sharded(&mut rng, SimTime::from_nanos(1_000_000), 3, 8, 24, 4)
+        };
+        assert_eq!(build(5), build(5));
+        let plan = build(5);
+        assert_eq!(plan.validate(3, 4), Ok(()));
+        assert!(plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::NameServerOutage { shard: Some(_), .. })));
+        // With a single shard the sharded generator is the plain one.
+        let plain = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            FaultPlan::random(&mut rng, SimTime::from_nanos(1_000_000), 3, 8, 24)
+        };
+        let single = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            FaultPlan::random_sharded(&mut rng, SimTime::from_nanos(1_000_000), 3, 8, 24, 1)
+        };
+        assert_eq!(plain(7), single(7));
     }
 
     #[test]

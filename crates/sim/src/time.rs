@@ -28,6 +28,9 @@ impl SimTime {
     /// The origin of the virtual timeline.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of virtual time ("never", for unavailability horizons).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Construct from raw nanoseconds.
     #[inline]
     pub const fn from_nanos(ns: u64) -> Self {

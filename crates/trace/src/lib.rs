@@ -158,11 +158,17 @@ pub enum SpanKind {
     KernelExit,
     /// DRAM streaming + demand fault-in for reads/writes.
     DramStream,
+    /// Client-side hash-ring probe picking the name-service shard.
+    NsShardRoute,
+    /// Client-side lease-cache check (expiry + epoch comparison).
+    NsLeaseCheck,
+    /// Leader-side lease grant/renewal bookkeeping.
+    NsLeaseRenew,
 }
 
 impl SpanKind {
     /// Number of span kinds (for dense per-kind arrays).
-    pub const COUNT: usize = SpanKind::DramStream as usize + 1;
+    pub const COUNT: usize = SpanKind::NsLeaseRenew as usize + 1;
 
     /// All kinds, in discriminant order.
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
@@ -209,6 +215,9 @@ impl SpanKind {
         SpanKind::KernelSpawn,
         SpanKind::KernelExit,
         SpanKind::DramStream,
+        SpanKind::NsShardRoute,
+        SpanKind::NsLeaseCheck,
+        SpanKind::NsLeaseRenew,
     ];
 
     /// Stable snake-case name (used by both exporters).
@@ -257,6 +266,9 @@ impl SpanKind {
             SpanKind::KernelSpawn => "kernel_spawn",
             SpanKind::KernelExit => "kernel_exit",
             SpanKind::DramStream => "dram_stream",
+            SpanKind::NsShardRoute => "ns_shard_route",
+            SpanKind::NsLeaseCheck => "ns_lease_check",
+            SpanKind::NsLeaseRenew => "ns_lease_renew",
         }
     }
 }
@@ -360,9 +372,9 @@ pub enum Counter {
     NsRetries,
     /// Total virtual nanoseconds spent in name-server backoff waits.
     NsBackoffNs,
-    /// Lookups served (degraded) from a stale local cache during an
-    /// outage.
-    NsStaleServes,
+    /// Lookups served locally under a still-valid lease (no round trip
+    /// to the shard leader).
+    NsLeaseServes,
     /// Exported frames moved to quarantine on owner crash.
     FramesQuarantined,
     /// Quarantined frames returned to their allocator after the last
@@ -397,7 +409,7 @@ impl Counter {
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::NsRetries,
         Counter::NsBackoffNs,
-        Counter::NsStaleServes,
+        Counter::NsLeaseServes,
         Counter::FramesQuarantined,
         Counter::FramesReturned,
         Counter::FramesRetired,
@@ -416,7 +428,7 @@ impl Counter {
         match self {
             Counter::NsRetries => "ns_retries",
             Counter::NsBackoffNs => "ns_backoff_ns",
-            Counter::NsStaleServes => "ns_stale_serves",
+            Counter::NsLeaseServes => "ns_lease_serves",
             Counter::FramesQuarantined => "frames_quarantined",
             Counter::FramesReturned => "frames_returned",
             Counter::FramesRetired => "frames_retired",
@@ -468,6 +480,71 @@ impl Hist {
         }
     }
 }
+
+/// Per-shard name-service counters: everything the global `Ns*`
+/// counters aggregate, attributed to the shard a request was routed to,
+/// so a sick shard is distinguishable from a sick service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ShardCounter {
+    /// Lookups (search / get) routed to or served on behalf of this
+    /// shard, cached and remote alike.
+    Lookups,
+    /// Backoff retries taken against this shard.
+    Retries,
+    /// Virtual nanoseconds spent backing off against this shard.
+    BackoffNs,
+    /// Lookups served locally under a still-valid lease.
+    LeaseServes,
+    /// Leases granted or renewed by this shard's leader.
+    LeaseGrants,
+    /// Cached entries found expired or epoch-fenced, forcing a
+    /// revalidation round trip.
+    LeaseExpirations,
+    /// Lease revocation notices sent on behalf of this shard.
+    LeaseRevocations,
+    /// Leader promotions this shard went through.
+    Failovers,
+    /// Registrations lost to failover (unreplicated at leader death).
+    LostRegistrations,
+}
+
+impl ShardCounter {
+    /// Number of per-shard counters.
+    pub const COUNT: usize = ShardCounter::LostRegistrations as usize + 1;
+
+    /// All per-shard counters, in discriminant order.
+    pub const ALL: [ShardCounter; ShardCounter::COUNT] = [
+        ShardCounter::Lookups,
+        ShardCounter::Retries,
+        ShardCounter::BackoffNs,
+        ShardCounter::LeaseServes,
+        ShardCounter::LeaseGrants,
+        ShardCounter::LeaseExpirations,
+        ShardCounter::LeaseRevocations,
+        ShardCounter::Failovers,
+        ShardCounter::LostRegistrations,
+    ];
+
+    /// Stable snake-case name.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ShardCounter::Lookups => "lookups",
+            ShardCounter::Retries => "retries",
+            ShardCounter::BackoffNs => "backoff_ns",
+            ShardCounter::LeaseServes => "lease_serves",
+            ShardCounter::LeaseGrants => "lease_grants",
+            ShardCounter::LeaseExpirations => "lease_expirations",
+            ShardCounter::LeaseRevocations => "lease_revocations",
+            ShardCounter::Failovers => "failovers",
+            ShardCounter::LostRegistrations => "lost_registrations",
+        }
+    }
+}
+
+/// Name-service shards tracked individually in the registry; lookups
+/// against shard indices past the last bucket fold into it.
+pub const MAX_SHARDS: usize = 32;
 
 /// Bucket count for the log₂ histograms: bucket 0 holds zeros, bucket
 /// `k` holds values with `floor(log2(v)) == k - 1`.
@@ -705,6 +782,8 @@ struct Metrics {
     counters: [AtomicU64; Counter::COUNT],
     op_counts: [AtomicU64; SpanKind::COUNT],
     hists: [Histogram; Hist::COUNT],
+    shard_counters: [[AtomicU64; ShardCounter::COUNT]; MAX_SHARDS],
+    shard_lookup_ns: [Histogram; MAX_SHARDS],
     clock_root_ns: AtomicU64,
     clock_leaf_ns: AtomicU64,
     detached_root_ns: AtomicU64,
@@ -717,6 +796,8 @@ impl Metrics {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             op_counts: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| Histogram::new()),
+            shard_counters: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            shard_lookup_ns: std::array::from_fn(|_| Histogram::new()),
             clock_root_ns: AtomicU64::new(0),
             clock_leaf_ns: AtomicU64::new(0),
             detached_root_ns: AtomicU64::new(0),
@@ -968,6 +1049,44 @@ impl TraceHandle {
         }
     }
 
+    /// Bump a per-shard name-service counter (shards past
+    /// [`MAX_SHARDS`] fold into the last bucket).
+    #[inline]
+    pub fn count_shard(&self, shard: usize, counter: ShardCounter, n: u64) {
+        if let Some(c) = &self.inner {
+            c.metrics.shard_counters[shard.min(MAX_SHARDS - 1)][counter as usize]
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one end-to-end lookup latency against a shard's
+    /// histogram.
+    #[inline]
+    pub fn observe_shard_lookup(&self, shard: usize, ns: u64) {
+        if let Some(c) = &self.inner {
+            c.metrics.shard_lookup_ns[shard.min(MAX_SHARDS - 1)].observe(ns);
+        }
+    }
+
+    /// Current value of a per-shard counter (0 when disabled).
+    pub fn shard_counter(&self, shard: usize, counter: ShardCounter) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|c| {
+                c.metrics.shard_counters[shard.min(MAX_SHARDS - 1)][counter as usize]
+                    .load(Ordering::Relaxed)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of one shard's lookup-latency histogram (`None` when
+    /// disabled).
+    pub fn shard_lookup_hist(&self, shard: usize) -> Option<HistSnapshot> {
+        self.inner
+            .as_ref()
+            .map(|c| c.metrics.shard_lookup_ns[shard.min(MAX_SHARDS - 1)].snapshot())
+    }
+
     /// Current value of a counter (0 when disabled).
     pub fn counter(&self, counter: Counter) -> u64 {
         self.inner
@@ -1098,6 +1217,12 @@ impl TraceHandle {
             op_counts: std::array::from_fn(|i| c.metrics.op_counts[i].load(Ordering::Relaxed)),
             counters: std::array::from_fn(|i| c.metrics.counters[i].load(Ordering::Relaxed)),
             hists: std::array::from_fn(|i| c.metrics.hists[i].snapshot()),
+            shard_counters: std::array::from_fn(|s| {
+                std::array::from_fn(|i| c.metrics.shard_counters[s][i].load(Ordering::Relaxed))
+            }),
+            shard_lookup_ns: (0..MAX_SHARDS)
+                .map(|s| c.metrics.shard_lookup_ns[s].snapshot())
+                .collect(),
         })
     }
 
@@ -1132,6 +1257,10 @@ pub struct MetricsSnapshot {
     pub counters: [u64; Counter::COUNT],
     /// Histogram snapshots, indexed by `Hist` discriminant.
     pub hists: [HistSnapshot; Hist::COUNT],
+    /// Per-shard name-service counters, `[shard][ShardCounter]`.
+    pub shard_counters: [[u64; ShardCounter::COUNT]; MAX_SHARDS],
+    /// Per-shard lookup-latency histograms (always `MAX_SHARDS` long).
+    pub shard_lookup_ns: Vec<HistSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -1146,6 +1275,14 @@ impl MetricsSnapshot {
                 sum: 0,
                 buckets: [0; HIST_BUCKETS],
             }),
+            shard_counters: [[0; ShardCounter::COUNT]; MAX_SHARDS],
+            shard_lookup_ns: (0..MAX_SHARDS)
+                .map(|_| HistSnapshot {
+                    count: 0,
+                    sum: 0,
+                    buckets: [0; HIST_BUCKETS],
+                })
+                .collect(),
         }
     }
 
@@ -1164,6 +1301,18 @@ impl MetricsSnapshot {
             *a += b;
         }
         for (h, o) in self.hists.iter_mut().zip(&other.hists) {
+            h.count += o.count;
+            h.sum += o.sum;
+            for (a, b) in h.buckets.iter_mut().zip(&o.buckets) {
+                *a += b;
+            }
+        }
+        for (row, other_row) in self.shard_counters.iter_mut().zip(&other.shard_counters) {
+            for (a, b) in row.iter_mut().zip(other_row) {
+                *a += b;
+            }
+        }
+        for (h, o) in self.shard_lookup_ns.iter_mut().zip(&other.shard_lookup_ns) {
             h.count += o.count;
             h.sum += o.sum;
             for (a, b) in h.buckets.iter_mut().zip(&o.buckets) {
@@ -1200,6 +1349,25 @@ impl MetricsSnapshot {
                 out.push_str(&format!(
                     "hist {}: n={} mean={:.1} p50<={} p99<={}\n",
                     hist.as_str(),
+                    s.count,
+                    s.mean(),
+                    s.percentile_bound(50),
+                    s.percentile_bound(99)
+                ));
+            }
+        }
+        for (shard, row) in self.shard_counters.iter().enumerate() {
+            for counter in ShardCounter::ALL {
+                let v = row[counter as usize];
+                if v > 0 {
+                    out.push_str(&format!("shard {shard} {}: {}\n", counter.as_str(), v));
+                }
+            }
+        }
+        for (shard, s) in self.shard_lookup_ns.iter().enumerate() {
+            if s.count > 0 {
+                out.push_str(&format!(
+                    "shard {shard} hist lookup_ns: n={} mean={:.1} p50<={} p99<={}\n",
                     s.count,
                     s.mean(),
                     s.percentile_bound(50),

@@ -7,7 +7,8 @@
 //! process. The example shows each layer reacting:
 //!
 //! * lookups ride out the outage with exponential backoff (or are
-//!   served from the per-enclave stale cache),
+//!   served from a live, time-bounded lease granted by an earlier
+//!   lookup),
 //! * dropped command hops cost bounded retransmissions in virtual time,
 //! * the crash triggers the revocation protocol: the attacher's reaper
 //!   unmaps the dead mapping, so reads fail with `SourceGone` instead

@@ -2,9 +2,10 @@
 //! exhaustion, stale identifiers, invalid windows, permission violations
 //! and teardown ordering.
 
+use xemem::trace_layer::ShardCounter;
 use xemem::{
-    CostModel, FaultPlan, GuestOs, MemoryMapKind, SimDuration, SimTime, SystemBuilder, VirtAddr,
-    XememError,
+    CostModel, FaultPlan, GuestOs, MemoryMapKind, SimDuration, SimTime, SystemBuilder, TraceHandle,
+    VirtAddr, XememError,
 };
 use xemem_mem::KernelError;
 
@@ -501,7 +502,7 @@ fn injected_enclave_crash_mid_attach_reports_dead_enclave() {
 }
 
 #[test]
-fn name_server_outage_stale_cache_and_backoff_recovery() {
+fn name_server_outage_lease_serves_and_backoff_recovery() {
     const START: u64 = 1_000_000_000;
     const DUR: u64 = 100_000; // 100 µs — inside the default retry budget
     let plan = FaultPlan::new()
@@ -519,7 +520,10 @@ fn name_server_outage_stale_cache_and_backoff_recovery() {
     let buf = sys.alloc_buffer(exporter, MIB).unwrap();
     sys.write(exporter, buf, b"field0").unwrap();
     sys.xpmem_make(exporter, buf, MIB, Some("field")).unwrap();
-    // Warm the consumer's stale caches with successful lookups.
+    // Renew the consumer's leases just before the window: leases run for
+    // 200 µs of virtual time, so grants taken 50 µs before the outage
+    // are still live inside it.
+    sys.clock().advance_to(SimTime::from_nanos(START - 50_000));
     let segid = sys.xpmem_search(consumer, "field").unwrap();
     let warm = sys.xpmem_get(consumer, segid).unwrap();
     sys.xpmem_release(consumer, warm).unwrap();
@@ -528,11 +532,11 @@ fn name_server_outage_stale_cache_and_backoff_recovery() {
     // Jump into the outage window.
     sys.clock().advance_to(SimTime::from_nanos(START + 1_000));
 
-    // Lookups degrade gracefully to the per-enclave stale cache...
+    // Lookups within the lease term never touch the dead server...
     assert_eq!(sys.xpmem_search(consumer, "field").unwrap(), segid);
-    assert!(sys.events().with_prefix("ns:stale:search").next().is_some());
+    assert!(sys.events().with_prefix("ns:lease:search").next().is_some());
     let apid = sys.xpmem_get(consumer, segid).unwrap();
-    assert!(sys.events().with_prefix("ns:stale:get").next().is_some());
+    assert!(sys.events().with_prefix("ns:lease:get").next().is_some());
 
     // ...while mutations ride out the outage with exponential backoff.
     let segid2 = sys.xpmem_make(consumer, cbuf, MIB, Some("late")).unwrap();
@@ -544,7 +548,7 @@ fn name_server_outage_stale_cache_and_backoff_recovery() {
     );
 
     // After recovery everything behaves normally, including the grant
-    // issued from the stale cache.
+    // issued from the leased cache.
     let va = sys.xpmem_attach(consumer, apid, 0, MIB).unwrap();
     let mut got = [0u8; 6];
     sys.read(consumer, va, &mut got).unwrap();
@@ -576,7 +580,12 @@ fn name_server_outage_exhausts_bounded_retry_budget() {
     // The error context surfaces what the retry loop actually did: 3
     // attempts sleeping 1000 << k ns each (backoff = 1+2+4 µs).
     match sys.xpmem_make(p, buf, MIB, None) {
-        Err(XememError::NameServerUnavailable { attempts, backoff }) => {
+        Err(XememError::NameServerUnavailable {
+            shard,
+            attempts,
+            backoff,
+        }) => {
+            assert_eq!(shard, 0);
             assert_eq!(attempts, 3);
             assert_eq!(backoff, SimDuration::from_nanos(1_000 + 2_000 + 4_000));
         }
@@ -627,6 +636,217 @@ fn lossy_links_retransmit_and_duplicate_without_breaking_protocol() {
     assert_eq!(&got, b"lossy");
     assert!(sys.events().with_prefix("fault:dup").next().is_some());
     assert!(sys.events().with_prefix("fault:drop:").next().is_some());
+}
+
+/// Four enclaves with the namespace sharded 2 × 2: shard 0 is led by
+/// slot 0 (linux, the name-server slot) with follower slot 2, shard 1
+/// by slot 1 (kitten0) with follower slot 3 (kitten2).
+fn sharded4(plan: Option<FaultPlan>, tracer: Option<TraceHandle>) -> xemem::System {
+    let mut b = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten0", 1, 64 * MIB)
+        .kitten_cokernel("kitten1", 1, 64 * MIB)
+        .kitten_cokernel("kitten2", 1, 64 * MIB)
+        .name_service_shards(2, 2);
+    if let Some(plan) = plan {
+        b = b.with_fault_plan(plan, 7);
+    }
+    if let Some(tracer) = tracer {
+        b = b.with_tracer(tracer);
+    }
+    b.build().unwrap()
+}
+
+/// The first name with the given `tag` prefix that consistent-hashes to
+/// `shard` (the ring is a pure function of the name, so tests can probe
+/// deterministically).
+fn name_on_shard(sys: &xemem::System, shard: usize, tag: &str) -> String {
+    (0..1024)
+        .map(|i| format!("{tag}{i}"))
+        .find(|n| sys.name_service().shard_of_name(n) == shard)
+        .expect("no name hashed to the shard in 1024 probes")
+}
+
+#[test]
+fn shard_scoped_outage_only_stalls_its_own_shard() {
+    const START: u64 = 1_000_000;
+    const DUR: u64 = 100_000;
+    let tracer = TraceHandle::enabled();
+    let plan = FaultPlan::new().name_server_shard_outage(
+        SimTime::from_nanos(START),
+        1,
+        SimDuration::from_nanos(DUR),
+    );
+    let mut sys = sharded4(Some(plan), Some(tracer.clone()));
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let kitten1 = sys.enclave_by_name("kitten1").unwrap();
+    let name0 = name_on_shard(&sys, 0, "a");
+    let name1 = name_on_shard(&sys, 1, "b");
+    let exporter = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let consumer = sys.spawn_process(kitten1, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let seg0 = sys.xpmem_make(exporter, buf, MIB, Some(&name0)).unwrap();
+    let buf2 = sys.alloc_buffer(exporter, MIB).unwrap();
+    let seg1 = sys.xpmem_make(exporter, buf2, MIB, Some(&name1)).unwrap();
+
+    // Inside the outage window, a lookup routed to the dark shard backs
+    // off until the shard recovers...
+    sys.clock().advance_to(SimTime::from_nanos(START + 1_000));
+    assert_eq!(sys.xpmem_search(consumer, &name1).unwrap(), seg1);
+    assert!(
+        sys.clock().now() >= SimTime::from_nanos(START + DUR),
+        "the shard-1 lookup should have ridden out the outage"
+    );
+    // ...while the sibling shard keeps answering without a single retry.
+    assert_eq!(sys.xpmem_search(consumer, &name0).unwrap(), seg0);
+    assert!(sys
+        .events()
+        .with_prefix("ns:outage:shard1")
+        .next()
+        .is_some());
+    assert!(sys
+        .events()
+        .with_prefix("ns:retry:shard1:")
+        .next()
+        .is_some());
+    assert!(sys.events().with_prefix("ns:retry:shard0").next().is_none());
+
+    // Satellite: retry/backoff accounting is attributed to the sick
+    // shard in the metrics registry, not smeared service-wide.
+    assert!(tracer.shard_counter(1, ShardCounter::Retries) > 0);
+    assert_eq!(tracer.shard_counter(0, ShardCounter::Retries), 0);
+    assert!(tracer.shard_counter(1, ShardCounter::BackoffNs) > 0);
+    tracer.audit().expect("conservation audit");
+}
+
+#[test]
+fn leader_crash_fails_over_and_fences_outstanding_leases() {
+    let mut sys = sharded4(None, None);
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let kitten0 = sys.enclave_by_name("kitten0").unwrap();
+    let kitten1 = sys.enclave_by_name("kitten1").unwrap();
+    assert_eq!(sys.name_service().leader_slot(1), Some(kitten0.0));
+    let name = name_on_shard(&sys, 1, "seg");
+    let exporter = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let consumer = sys.spawn_process(kitten1, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, Some(&name)).unwrap();
+
+    // The consumer takes a lease on the name from shard 1's leader.
+    assert_eq!(sys.xpmem_search(consumer, &name).unwrap(), segid);
+
+    // Let the registration replicate, then kill the leader. The shard
+    // promotes its follower, bumps the epoch and goes dark for the
+    // election timeout.
+    let t = sys.clock().now();
+    sys.clock().advance_to(t + SimDuration::from_nanos(50_000));
+    sys.destroy_enclave(kitten0).unwrap();
+    assert!(sys
+        .events()
+        .with_prefix("ns:failover:shard1:epoch1")
+        .next()
+        .is_some());
+    assert_eq!(sys.name_service().epoch(1), 1);
+    assert_eq!(sys.name_service().failover_count(1), 1);
+    assert_eq!(sys.name_service().leader_slot(1), Some(3));
+
+    // The consumer's lease is still inside its 200 µs validity window,
+    // but the epoch fence must keep it from being served: the lookup
+    // re-routes, waits out the election, and gets the answer from the
+    // replicated map on the new leader.
+    assert_eq!(sys.xpmem_search(consumer, &name).unwrap(), segid);
+    assert!(sys
+        .events()
+        .with_prefix("ns:lease-expired:search")
+        .next()
+        .is_some());
+    assert!(sys
+        .events()
+        .with_prefix("ns:retry:shard1:")
+        .next()
+        .is_some());
+    assert!(sys.events().with_prefix("ns:lease:search").next().is_none());
+}
+
+#[test]
+fn dead_leader_loses_unreplicated_registrations() {
+    let mut sys = sharded4(None, None);
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let kitten0 = sys.enclave_by_name("kitten0").unwrap();
+    let kitten1 = sys.enclave_by_name("kitten1").unwrap();
+    let name = name_on_shard(&sys, 1, "fresh");
+    let exporter = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let consumer = sys.spawn_process(kitten1, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, Some(&name)).unwrap();
+
+    // Kill shard 1's leader before the registration's replication-lag
+    // horizon passes: the insert never reached the follower and is lost
+    // in the failover.
+    sys.destroy_enclave(kitten0).unwrap();
+    assert!(sys
+        .events()
+        .with_prefix("ns:failover:shard1:lost")
+        .next()
+        .is_some());
+
+    // After the election the new leader simply does not know the name.
+    let t = sys.clock().now();
+    sys.clock().advance_to(t + SimDuration::from_nanos(100_000));
+    assert!(matches!(
+        sys.xpmem_search(consumer, &name),
+        Err(XememError::UnknownName(_))
+    ));
+    // The exporter's withdrawal of the lost registration is tolerated
+    // (and traced), not an error: the exporter keeps its frames and the
+    // segment is gone everywhere.
+    sys.xpmem_remove(exporter, segid).unwrap();
+    assert!(sys
+        .events()
+        .with_prefix("ns:lost-registration:")
+        .next()
+        .is_some());
+    assert_eq!(sys.outstanding_loans(), 0);
+}
+
+#[test]
+fn remove_revokes_live_leases_before_expiry() {
+    let mut sys = sharded4(None, None);
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let kitten1 = sys.enclave_by_name("kitten1").unwrap();
+    let name = name_on_shard(&sys, 0, "rm");
+    let exporter = sys.spawn_process(linux, 16 * MIB).unwrap();
+    let consumer = sys.spawn_process(kitten1, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, Some(&name)).unwrap();
+
+    // The consumer takes name and owner leases...
+    assert_eq!(sys.xpmem_search(consumer, &name).unwrap(), segid);
+    let apid = sys.xpmem_get(consumer, segid).unwrap();
+    sys.xpmem_release(consumer, apid).unwrap();
+
+    // ...and the remove races them: both leases are still inside their
+    // 200 µs validity windows when the exporter withdraws the segment,
+    // so the leader revokes them eagerly rather than letting them run
+    // out.
+    sys.xpmem_remove(exporter, segid).unwrap();
+    assert!(sys
+        .events()
+        .with_prefix(&format!("ns:lease-revoke:{segid}:slot{}", kitten1.0))
+        .next()
+        .is_some());
+
+    // Within what would have been the lease window, neither lookup
+    // serves the revoked cache entry.
+    assert!(matches!(
+        sys.xpmem_search(consumer, &name),
+        Err(XememError::UnknownName(_))
+    ));
+    assert!(matches!(
+        sys.xpmem_get(consumer, segid),
+        Err(XememError::UnknownSegid(_))
+    ));
+    assert!(sys.events().with_prefix("ns:lease:").next().is_none());
 }
 
 #[test]

@@ -35,16 +35,46 @@ struct Outcome {
 }
 
 fn run_schedule(seed: u64) -> Outcome {
+    run_schedule_with(seed, false)
+}
+
+/// Like [`run_schedule`] but on a 4-enclave topology with the name
+/// service sharded 2 × 2 and the fault generator aiming outages at
+/// individual shards, plus a stale-lease oracle: once a named segment's
+/// removal has completed at virtual time T, no later successful lookup
+/// may ever return that segid again (leases are revoked eagerly and
+/// epoch-fenced across failovers, so the cache can never outlive the
+/// registration).
+fn run_schedule_sharded(seed: u64) -> Outcome {
+    run_schedule_with(seed, true)
+}
+
+fn run_schedule_with(seed: u64, sharded: bool) -> Outcome {
     let mut rng = SimRng::seed_from_u64(seed);
-    let plan = FaultPlan::random(&mut rng, SimTime::from_nanos(HORIZON), 3, 4, 6);
-    let mut sys = SystemBuilder::new()
+    let (n_slots, n_shards) = if sharded { (4, 2) } else { (3, 1) };
+    let plan = FaultPlan::random_sharded(
+        &mut rng,
+        SimTime::from_nanos(HORIZON),
+        n_slots,
+        4,
+        if sharded { 8 } else { 6 },
+        n_shards,
+    );
+    let mut b = SystemBuilder::new()
         .linux_management("linux", 4, 256 * MIB)
         .kitten_cokernel("kitten0", 1, 128 * MIB)
-        .kitten_cokernel("kitten1", 1, 128 * MIB)
-        .with_fault_plan(plan, seed)
-        .build()
-        .unwrap();
-    let names = ["linux", "kitten0", "kitten1"];
+        .kitten_cokernel("kitten1", 1, 128 * MIB);
+    if sharded {
+        b = b
+            .kitten_cokernel("kitten2", 1, 128 * MIB)
+            .name_service_shards(2, 2);
+    }
+    let mut sys = b.with_fault_plan(plan, seed).build().unwrap();
+    let names: &[&str] = if sharded {
+        &["linux", "kitten0", "kitten1", "kitten2"]
+    } else {
+        &["linux", "kitten0", "kitten1"]
+    };
     let encs: Vec<EnclaveRef> = names
         .iter()
         .map(|n| sys.enclave_by_name(n).unwrap())
@@ -85,7 +115,12 @@ fn run_schedule(seed: u64) -> Outcome {
     }
 
     let mut attached: Vec<(ProcessRef, xemem::VirtAddr)> = Vec::new();
-    let mut exported: Vec<(ProcessRef, xemem::Segid)> = Vec::new();
+    let mut exported: Vec<(ProcessRef, xemem::Segid, String)> = Vec::new();
+    // Stale-lease oracle: names whose removal *completed*, with the
+    // segid they used to bind. Names are never re-registered, so any
+    // later lookup that succeeds with the old segid is a lease served
+    // past its revocation.
+    let mut removed: Vec<(String, xemem::Segid)> = Vec::new();
     for round in 0..ROUNDS {
         // Each enclave's first process exports a named segment...
         for (e, ps) in procs.clone().into_iter().enumerate() {
@@ -96,7 +131,7 @@ fn run_schedule(seed: u64) -> Outcome {
                 attempt!(sys.write(exporter, buf, b"payload"));
                 let name = format!("seg:{e}:{round}");
                 if let Some(segid) = attempt!(sys.xpmem_make(exporter, buf, MIB, Some(&name))) {
-                    exported.push((exporter, segid));
+                    exported.push((exporter, segid, name));
                 }
             }
         }
@@ -116,6 +151,19 @@ fn run_schedule(seed: u64) -> Outcome {
                 attempt!(sys.read(consumer, va, &mut b));
                 attached.push((consumer, va));
             }
+            // Re-probe a previously removed name from every consumer:
+            // whatever the fault schedule did to the shard in between
+            // (outage, failover, nothing), the old binding must never
+            // come back.
+            if let Some((gone_name, gone_segid)) = removed.get(e % removed.len().max(1)) {
+                if let Some(found) = attempt!(sys.xpmem_search(consumer, gone_name)) {
+                    assert_ne!(
+                        found, *gone_segid,
+                        "lookup of {gone_name:?} returned a segid revoked before \
+                         the lookup's virtual time (seed {seed})"
+                    );
+                }
+            }
         }
         // Churn: periodically detach everything and withdraw exports, so
         // faults land on every lifecycle stage across rounds.
@@ -125,8 +173,10 @@ fn run_schedule(seed: u64) -> Outcome {
             }
         }
         if round == 2 {
-            for (p, segid) in exported.drain(..) {
-                attempt!(sys.xpmem_remove(p, segid));
+            for (p, segid, name) in exported.drain(..) {
+                if attempt!(sys.xpmem_remove(p, segid)).is_some() {
+                    removed.push((name, segid));
+                }
             }
         }
         // March virtual time into the next slice of the fault schedule.
@@ -195,6 +245,18 @@ proptest! {
         let second = run_schedule(seed);
         prop_assert_eq!(first, second);
     }
+
+    /// The same property over the sharded name service, with the fault
+    /// generator aiming outages at individual shards and crashes free to
+    /// hit replica slots (triggering failovers): no schedule leaks
+    /// frames, no lookup ever resurrects a revoked lease (the oracle
+    /// inside the run asserts it), and runs stay seed-deterministic.
+    #[test]
+    fn no_sharded_fault_schedule_leaks_frames_or_serves_revoked_leases(seed in any::<u64>()) {
+        let first = run_schedule_sharded(seed);
+        let second = run_schedule_sharded(seed);
+        prop_assert_eq!(first, second);
+    }
 }
 
 /// The run driver shards schedules across worker threads without
@@ -211,6 +273,25 @@ fn driver_sharding_preserves_fault_schedule_outcomes() {
         RunDriver::new(RunPlan::new(SCHEDULES).with_jobs(jobs).with_seed(ROOT)).execute(|ctx| {
             assert_eq!(ctx.seed, split_seed(ROOT, ctx.index as u64));
             run_schedule(ctx.seed)
+        })
+    };
+    let serial = run_all(1);
+    let parallel = run_all(8);
+    assert_eq!(serial, parallel, "sharded schedules diverged from serial");
+}
+
+/// Driver determinism over the sharded name service: shard outages,
+/// failovers and lease revocations are all virtual-time machinery, so
+/// worker count still cannot leak into any outcome.
+#[test]
+fn driver_sharding_preserves_sharded_name_service_outcomes() {
+    use xemem_sim::{split_seed, RunDriver, RunPlan};
+    const SCHEDULES: usize = 32;
+    const ROOT: u64 = 0x5AD_5EED;
+    let run_all = |jobs: usize| {
+        RunDriver::new(RunPlan::new(SCHEDULES).with_jobs(jobs).with_seed(ROOT)).execute(|ctx| {
+            assert_eq!(ctx.seed, split_seed(ROOT, ctx.index as u64));
+            run_schedule_sharded(ctx.seed)
         })
     };
     let serial = run_all(1);
