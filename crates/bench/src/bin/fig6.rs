@@ -14,10 +14,17 @@ fn main() {
     let counts = [1u32, 2, 4, 8];
     let grid = fig6::grid(&counts, &sizes);
     let mut session = ParSession::new(&args);
+    let lanes = args.effective_lanes();
     let cells = session
         .run(grid.len(), |i, tracer| {
             let (n, size) = grid[i];
-            fig6::run_cell_with(n, size, fig6::default_iters(n, size, args.smoke), tracer)
+            fig6::run_cell_lanes(
+                n,
+                size,
+                fig6::default_iters(n, size, args.smoke),
+                lanes,
+                tracer,
+            )
         })
         .expect("fig6 experiment");
     // One row per enclave count, one column per size.

@@ -13,7 +13,8 @@ fn main() {
     // Always trace: the conservation audit is part of the suite's
     // contract, and per-run tracers keep `--jobs N` deterministic.
     let mut session = ParSession::with(args.effective_jobs(), true);
-    let rows = nameserver_chaos::run(&mut session, args.smoke).expect("name-service chaos suite");
+    let rows = nameserver_chaos::run(&mut session, args.smoke, args.effective_lanes())
+        .expect("name-service chaos suite");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -16,10 +16,11 @@
 
 use serde::Serialize;
 use xemem::TraceHandle;
+use xemem_bench::pdes_churn::{CHURN_ENCLAVES, CHURN_LANES};
 use xemem_bench::wallclock::{
-    cells_bitwise_equal, measure_attach, measure_attach_with, measure_profile, measure_sweep,
-    BenchStats, Json, Profile, CHECK_FACTOR, CHECK_FLOOR_NS, FULL_BYTES, PARALLEL_JOBS,
-    PARALLEL_SPEEDUP_FACTOR, SMOKE_BYTES, TRACE_CHECK_FACTOR,
+    cells_bitwise_equal, measure_attach, measure_attach_with, measure_intra, measure_profile,
+    measure_sweep, BenchStats, Json, Profile, CHECK_FACTOR, CHECK_FLOOR_NS, FULL_BYTES,
+    INTRA_SPEEDUP_FACTOR, PARALLEL_JOBS, PARALLEL_SPEEDUP_FACTOR, SMOKE_BYTES, TRACE_CHECK_FACTOR,
 };
 use xemem_sim::host_parallelism;
 
@@ -67,6 +68,39 @@ struct ParallelSection {
     cells_identical: bool,
 }
 
+/// Schema-4 intra-run parallelism columns: one simulation (the
+/// `pdes_churn` scenario, 8 event lanes) timed at 1 worker vs
+/// [`PARALLEL_JOBS`] workers. `identical` records the bitwise
+/// determinism contract (digest, virtual end time, window/event
+/// counts); the speedup gate records an explicit skip on hosts with
+/// fewer than [`PARALLEL_JOBS`] cores, where the speedup physically
+/// cannot exist.
+#[derive(Debug, Clone, Serialize)]
+struct IntraRunSection {
+    /// Cores the measuring host exposed (`available_parallelism`).
+    host_parallelism: usize,
+    /// PDES event lanes of the scenario (fixed; the worker count is the
+    /// variable under test).
+    lanes: usize,
+    /// Worker threads of the parallel column.
+    workers: usize,
+    /// Actors (enclaves) in the scenario.
+    actors: usize,
+    /// Wall nanoseconds at 1 worker.
+    serial_ns: u64,
+    /// Wall nanoseconds at `workers` workers.
+    parallel_ns: u64,
+    /// `serial_ns / parallel_ns`.
+    speedup: f64,
+    /// Whether both runs produced bit-identical outcomes.
+    identical: bool,
+    /// Whether the >= [`INTRA_SPEEDUP_FACTOR`]x gate was skipped on
+    /// this host.
+    skipped: bool,
+    /// Why (empty when the gate applied).
+    skip_reason: String,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct Report {
     schema: u32,
@@ -81,6 +115,8 @@ struct Report {
     tracing: TracingSection,
     /// Serial vs parallel fig6-sweep columns (schema 3).
     parallel: ParallelSection,
+    /// Intra-run PDES lane-parallelism columns (schema 4).
+    intra_run: IntraRunSection,
 }
 
 fn measure_parallel_section() -> ParallelSection {
@@ -99,6 +135,34 @@ fn measure_parallel_section() -> ParallelSection {
         parallel_ns,
         speedup: serial_ns as f64 / parallel_ns as f64,
         cells_identical: identical,
+    }
+}
+
+fn measure_intra_section() -> IntraRunSection {
+    let (serial_ns, serial) = measure_intra(1).expect("intra-run serial");
+    let (parallel_ns, parallel) = measure_intra(PARALLEL_JOBS).expect("intra-run parallel");
+    let identical = serial == parallel;
+    assert!(
+        identical,
+        "intra-run churn diverged across worker counts — determinism contract broken"
+    );
+    let cores = host_parallelism();
+    let skipped = cores < PARALLEL_JOBS;
+    IntraRunSection {
+        host_parallelism: cores,
+        lanes: CHURN_LANES,
+        workers: PARALLEL_JOBS,
+        actors: CHURN_ENCLAVES,
+        serial_ns,
+        parallel_ns,
+        speedup: serial_ns as f64 / parallel_ns as f64,
+        identical,
+        skipped,
+        skip_reason: if skipped {
+            format!("SKIPPED (host_parallelism={cores})")
+        } else {
+            String::new()
+        },
     }
 }
 
@@ -277,6 +341,44 @@ fn run_check(out_path: &str, iters: u32) {
              gate needs >= {PARALLEL_JOBS} (bitwise equality still enforced above)"
         );
     }
+
+    // Intra-run PDES gate (schema 4): one simulation, 8 event lanes,
+    // timed at 1 worker vs PARALLEL_JOBS workers. Bitwise identity of
+    // the outcome (digest, virtual end time, window/event counts) is
+    // enforced on every host; the >= INTRA_SPEEDUP_FACTOR speedup only
+    // where it can physically exist.
+    let (intra_serial_ns, intra_serial) = measure_intra(1).expect("intra-run serial");
+    let (intra_parallel_ns, intra_parallel) =
+        measure_intra(PARALLEL_JOBS).expect("intra-run parallel");
+    if intra_serial != intra_parallel {
+        eprintln!(
+            "wallclock --check: FAIL — pdes_churn outcome at {PARALLEL_JOBS} workers diverges \
+             from 1 worker (intra-run determinism contract broken)"
+        );
+        std::process::exit(1);
+    }
+    let intra_speedup = intra_serial_ns as f64 / intra_parallel_ns as f64;
+    println!(
+        "wallclock --check: pdes_churn ({CHURN_ENCLAVES} actors, {CHURN_LANES} lanes) \
+         serial {:.1} ms, {PARALLEL_JOBS} workers {:.1} ms ({intra_speedup:.2}x, {cores} cores), \
+         outcome bit-identical",
+        intra_serial_ns as f64 / 1e6,
+        intra_parallel_ns as f64 / 1e6,
+    );
+    if cores >= PARALLEL_JOBS {
+        if intra_speedup < INTRA_SPEEDUP_FACTOR {
+            eprintln!(
+                "wallclock --check: FAIL — intra-run speedup {intra_speedup:.2}x at \
+                 {PARALLEL_JOBS} workers is below the required {INTRA_SPEEDUP_FACTOR}x"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "wallclock --check: intra-run speedup gate SKIPPED (host_parallelism={cores}) — \
+             gate needs >= {PARALLEL_JOBS} cores (bitwise identity still enforced above)"
+        );
+    }
     println!("wallclock --check: OK");
 }
 
@@ -355,18 +457,26 @@ fn main() {
     );
     let parallel = measure_parallel_section();
 
+    println!(
+        "wallclock: measuring pdes_churn at 1 and {PARALLEL_JOBS} workers \
+         ({CHURN_LANES} lanes)..."
+    );
+    let intra_run = measure_intra_section();
+
     let report = Report {
-        schema: 3,
+        schema: 4,
         note: "Host wall-clock times for the XEMEM simulator's structural work. \
                Virtual-time figures are unaffected by construction; see DESIGN.md \
-               'Wall-clock vs virtual time'. The parallel section's speedup is \
-               honest for the host_parallelism it records."
+               'Wall-clock vs virtual time'. The parallel and intra_run sections' \
+               speedups are honest for the host_parallelism they record; intra_run \
+               records an explicit skip on hosts below the gate's core count."
             .to_string(),
         attach_full_speedup_vs_baseline: baseline.full.attach.mean_ns / run.full.attach.mean_ns,
         baseline,
         current: run,
         tracing,
         parallel,
+        intra_run,
     };
 
     println!("baseline ({}):", report.baseline.label);
@@ -395,6 +505,20 @@ fn main() {
         report.parallel.speedup,
         report.parallel.host_parallelism
     );
+    print!(
+        "pdes_churn ({} actors, {} lanes): serial {:.1} ms, {} workers {:.1} ms ({:.2}x)",
+        report.intra_run.actors,
+        report.intra_run.lanes,
+        report.intra_run.serial_ns as f64 / 1e6,
+        report.intra_run.workers,
+        report.intra_run.parallel_ns as f64 / 1e6,
+        report.intra_run.speedup,
+    );
+    if report.intra_run.skipped {
+        println!(" — speedup gate {}", report.intra_run.skip_reason);
+    } else {
+        println!();
+    }
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out_path, json + "\n").expect("write BENCH_wallclock.json");

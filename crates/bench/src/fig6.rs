@@ -21,6 +21,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use xemem::trace_layer::{Ctx, SpanKind, Timeline};
 use xemem::{ProcessRef, System, SystemBuilder, TraceHandle, XememError};
+use xemem_sim::pdes::{run_lanes, PdesActor, PdesConfig};
 use xemem_sim::stats::throughput_gbps;
 use xemem_sim::{CostModel, SimDuration, SimTime};
 
@@ -66,7 +67,16 @@ pub fn run_cell_with(
     iters: u32,
     tracer: &TraceHandle,
 ) -> Result<Fig6Cell, XememError> {
-    let scope = tracer.scope();
+    run_cell_lanes(n, size, iters, 1, tracer)
+}
+
+/// Common setup: build the system and the exporter/attacher pairs.
+fn build_cell(
+    n: u32,
+    size: u64,
+    iters: u32,
+    tracer: &TraceHandle,
+) -> Result<(System, Vec<Pair>, CostModel), XememError> {
     let cost = CostModel::default();
     let mut b = SystemBuilder::new()
         .with_cost(cost.clone())
@@ -95,13 +105,114 @@ pub fn run_cell_with(
             remaining: iters,
         });
     }
+    Ok((sys, pairs, cost))
+}
 
-    // Worklist over pair timelines, starting after setup (the clock has
-    // advanced past the make/get message traffic, which occupied the
-    // shared channels).
+/// One attach+detach iteration of a pair, starting at `at` on the
+/// detached timeline; returns the pair's next event time. Shared
+/// verbatim by the serial worklist and the PDES barrier phase — which is
+/// what makes the two schedules byte-identical.
+fn pair_iteration(
+    sys: &mut System,
+    pair: &mut Pair,
+    size: u64,
+    map_contention: f64,
+    at: SimTime,
+    tracer: &TraceHandle,
+) -> Result<SimTime, XememError> {
+    pair.remaining -= 1;
+    let ctx = Ctx::proc(pair.attacher.enclave.0, pair.attacher.pid.0);
+    tracer.begin_op(SpanKind::Attach, at, ctx, Timeline::Detached);
+    let outcome = match sys.attach_at(pair.attacher, pair.apid, 0, size, at) {
+        Ok(o) => o,
+        Err(e) => {
+            tracer.abort_op();
+            return Err(e);
+        }
+    };
+    let extra = outcome.map.scaled(map_contention);
+    tracer.leaf(SpanKind::MapContention, outcome.end, extra, ctx);
+    let attach_end = outcome.end + extra;
+    tracer.commit_op(attach_end);
+    pair.busy_time += attach_end.duration_since(at);
+    tracer.begin_op(SpanKind::Detach, attach_end, ctx, Timeline::Detached);
+    let free_at = match sys.detach_at(pair.attacher, outcome.va, attach_end) {
+        Ok(t) => t,
+        Err(e) => {
+            tracer.abort_op();
+            return Err(e);
+        }
+    };
+    tracer.commit_op(free_at);
+    let _ = pair.exporter;
+    Ok(free_at)
+}
+
+/// One (exporter, attacher) pair as a PDES actor: its lane is its kitten
+/// enclave's slot, its merge identity is the lane-count-independent pair
+/// index, and every barrier event is one [`pair_iteration`].
+struct PairActor {
+    idx: usize,
+    kitten_slot: u64,
+    start: SimTime,
+    pair: Pair,
+    size: u64,
+    map_contention: f64,
+    tracer: TraceHandle,
+    error: Option<XememError>,
+}
+
+impl PdesActor<System> for PairActor {
+    fn lane_key(&self) -> u64 {
+        self.kitten_slot
+    }
+    fn order_key(&self) -> u64 {
+        self.idx as u64
+    }
+    fn first_event(&self) -> Option<SimTime> {
+        Some(self.start)
+    }
+    fn barrier(&mut self, at: SimTime, sys: &mut System) -> Option<SimTime> {
+        // `remaining == 0` mirrors the worklist's pop-and-skip of a
+        // finished pair's final wakeup.
+        if self.error.is_some() || self.pair.remaining == 0 {
+            return None;
+        }
+        match pair_iteration(
+            sys,
+            &mut self.pair,
+            self.size,
+            self.map_contention,
+            at,
+            &self.tracer,
+        ) {
+            Ok(free_at) => Some(free_at),
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+/// [`run_cell_with`] on `lanes` PDES event lanes (`lanes = 1` is the
+/// serial worklist, the reference implementation). Every lane count
+/// replays the identical event schedule, so the returned cell — and the
+/// tracer's spans — are byte-identical at any `--lanes`.
+pub fn run_cell_lanes(
+    n: u32,
+    size: u64,
+    iters: u32,
+    lanes: usize,
+    tracer: &TraceHandle,
+) -> Result<Fig6Cell, XememError> {
+    let scope = tracer.scope();
+    let (mut sys, mut pairs, cost) = build_cell(n, size, iters, tracer)?;
+
+    // The attachment phase starts after setup (the clock has advanced
+    // past the make/get message traffic, which occupied the shared
+    // channels).
     let t0 = sys.clock().now();
-    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
-        (0..pairs.len()).map(|i| Reverse((t0, i))).collect();
     // "Contention for Linux data structures that are accessed when
     // multiple processes concurrently update memory maps" (§5.3).
     let map_contention = if n >= 2 {
@@ -109,37 +220,44 @@ pub fn run_cell_with(
     } else {
         0.0
     };
-    while let Some(Reverse((at, idx))) = heap.pop() {
-        let pair = &mut pairs[idx];
-        if pair.remaining == 0 {
-            continue;
+
+    if lanes <= 1 {
+        // Serial worklist over pair timelines: the reference schedule.
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> =
+            (0..pairs.len()).map(|i| Reverse((t0, i))).collect();
+        while let Some(Reverse((at, idx))) = heap.pop() {
+            // Nothing books contended resources before the earliest
+            // pending event, so completed bookings are retireable.
+            sys.retire_resources_before(at);
+            let pair = &mut pairs[idx];
+            if pair.remaining == 0 {
+                continue;
+            }
+            let free_at = pair_iteration(&mut sys, pair, size, map_contention, at, tracer)?;
+            heap.push(Reverse((free_at, idx)));
         }
-        pair.remaining -= 1;
-        let ctx = Ctx::proc(pair.attacher.enclave.0, pair.attacher.pid.0);
-        tracer.begin_op(SpanKind::Attach, at, ctx, Timeline::Detached);
-        let outcome = match sys.attach_at(pair.attacher, pair.apid, 0, size, at) {
-            Ok(o) => o,
-            Err(e) => {
-                tracer.abort_op();
-                return Err(e);
-            }
-        };
-        let extra = outcome.map.scaled(map_contention);
-        tracer.leaf(SpanKind::MapContention, outcome.end, extra, ctx);
-        let attach_end = outcome.end + extra;
-        tracer.commit_op(attach_end);
-        pair.busy_time += attach_end.duration_since(at);
-        tracer.begin_op(SpanKind::Detach, attach_end, ctx, Timeline::Detached);
-        let free_at = match sys.detach_at(pair.attacher, outcome.va, attach_end) {
-            Ok(t) => t,
-            Err(e) => {
-                tracer.abort_op();
-                return Err(e);
-            }
-        };
-        tracer.commit_op(free_at);
-        let _ = pair.exporter;
-        heap.push(Reverse((free_at, idx)));
+    } else {
+        let lookahead = sys.pdes_lookahead();
+        let mut actors: Vec<PairActor> = pairs
+            .drain(..)
+            .enumerate()
+            .map(|(i, pair)| PairActor {
+                idx: i,
+                kitten_slot: (i + 1) as u64,
+                start: t0,
+                pair,
+                size,
+                map_contention,
+                tracer: tracer.clone(),
+                error: None,
+            })
+            .collect();
+        let cfg = PdesConfig::new(lanes, lookahead);
+        run_lanes(&cfg, &mut actors, &mut sys);
+        if let Some(e) = actors.iter_mut().find_map(|a| a.error.take()) {
+            return Err(e);
+        }
+        pairs = actors.into_iter().map(|a| a.pair).collect();
     }
 
     if tracer.is_enabled() {
@@ -228,5 +346,21 @@ mod tests {
         );
         // And core 0 actually saw queueing with multiple enclaves.
         assert!(four.core0_wait > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lanes_replay_the_serial_schedule_bit_for_bit() {
+        let size = 4 << 20;
+        let reference = run_cell_with(4, size, 3, &TraceHandle::disabled()).unwrap();
+        for lanes in [2usize, 5, 8] {
+            let cell = run_cell_lanes(4, size, 3, lanes, &TraceHandle::disabled()).unwrap();
+            assert_eq!(
+                reference.gbps.to_bits(),
+                cell.gbps.to_bits(),
+                "lanes={lanes} throughput diverged"
+            );
+            assert_eq!(reference.core0_wait, cell.core0_wait, "lanes={lanes}");
+            assert_eq!(reference.iterations, cell.iterations);
+        }
     }
 }

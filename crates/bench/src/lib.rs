@@ -25,6 +25,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod nameserver_chaos;
 pub mod nameserver_scaling;
+pub mod pdes_churn;
 pub mod table2;
 pub mod wallclock;
 
@@ -51,6 +52,10 @@ pub struct Args {
     /// parallelism, `Some(1)` = serial). Results are bit-identical
     /// either way; see [`driver`].
     pub jobs: Option<usize>,
+    /// PDES event lanes *within* one simulation (`None` = 1, the serial
+    /// reference). Results are bit-identical at any lane count; see
+    /// `xemem_sim::pdes`.
+    pub lanes: Option<usize>,
 }
 
 impl Args {
@@ -81,8 +86,15 @@ impl Args {
                         .filter(|&n| n >= 1)
                         .or_else(|| panic!("--jobs requires an integer >= 1"));
                 }
+                "--lanes" => {
+                    out.lanes = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .or_else(|| panic!("--lanes requires an integer >= 1"));
+                }
                 other => panic!(
-                    "unknown argument: {other} (expected --smoke, --runs N, --json, --trace, --trace-out PATH, --jobs N)"
+                    "unknown argument: {other} (expected --smoke, --runs N, --json, --trace, --trace-out PATH, --jobs N, --lanes N)"
                 ),
             }
         }
@@ -98,6 +110,13 @@ impl Args {
     /// available parallelism.
     pub fn effective_jobs(&self) -> usize {
         self.jobs.unwrap_or_else(xemem_sim::host_parallelism)
+    }
+
+    /// Effective intra-run lane count: `--lanes N`, defaulting to 1
+    /// (the serial reference schedule — which every other lane count
+    /// replays bit for bit).
+    pub fn effective_lanes(&self) -> usize {
+        self.lanes.unwrap_or(1).max(1)
     }
 }
 

@@ -1,0 +1,171 @@
+//! Lane-parallel churn scenario for the wall-clock harness.
+//!
+//! The figure workloads are barrier-dominated (every cross-enclave op
+//! serializes on the shared [`System`]), so they prove the PDES
+//! engine's *determinism* but cannot show its *speedup*. This scenario
+//! is the converse: a fleet of enclave-local actors whose lane phase
+//! does real host work — buffer writes, reads and checksums through
+//! [`xemem::LanePart`] — with a trivial barrier. At `--lanes 8` the
+//! engine runs the lane phases of different lanes on worker threads
+//! concurrently, and the wall-clock harness times the same schedule at
+//! 1 worker vs [`crate::wallclock::PARALLEL_JOBS`] workers.
+//!
+//! The digest (a fold of every byte each actor read, in actor order)
+//! and the virtual end time are bit-identical at every worker count —
+//! that is the determinism contract the speedup must not break.
+
+use xemem::{LanePart, ProcessRef, System, SystemBuilder, VirtAddr, XememError};
+use xemem_sim::pdes::{run_lanes, PdesActor, PdesConfig};
+use xemem_sim::{SimDuration, SimTime};
+
+/// Enclaves (= actors = units of lane-parallel work).
+pub const CHURN_ENCLAVES: usize = 32;
+/// Rounds per actor.
+pub const CHURN_ROUNDS: u64 = 300;
+/// Event lanes the scenario always uses — the worker count is the
+/// variable under test.
+pub const CHURN_LANES: usize = 8;
+/// Per-enclave working buffer.
+const BUF_LEN: u64 = 256 * 1024;
+/// Bytes read and folded into the checksum per chunk.
+const CHUNK: u64 = 16 * 1024;
+/// Chunks read per round.
+const CHUNKS_PER_ROUND: u64 = 4;
+/// Grid stride between an actor's events — comfortably above the
+/// conservative lookahead (900 ns for the default cost model).
+const STRIDE_NS: u64 = 2_000;
+
+/// One scenario outcome. Every field must be bit-identical across
+/// worker counts for the same `(lanes, workers-independent schedule)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnOutcome {
+    /// Order-independent? No — order-*fixed*: FNV fold of each actor's
+    /// read bytes, folded across actors in index order.
+    pub digest: u64,
+    /// Virtual end time of the schedule.
+    pub end_ns: u64,
+    /// Windows the engine executed.
+    pub windows: u64,
+    /// Barrier events processed.
+    pub events: u64,
+}
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct ChurnActor {
+    id: usize,
+    p: ProcessRef,
+    base: VirtAddr,
+    round: u64,
+    digest: u64,
+    scratch: Vec<u8>,
+}
+
+impl ChurnActor {
+    fn event_time(&self) -> SimTime {
+        SimTime::from_nanos(self.round * STRIDE_NS)
+    }
+}
+
+impl PdesActor<System> for ChurnActor {
+    fn lane_key(&self) -> u64 {
+        self.p.enclave.0 as u64
+    }
+
+    fn order_key(&self) -> u64 {
+        self.id as u64
+    }
+
+    fn first_event(&self) -> Option<SimTime> {
+        (self.round < CHURN_ROUNDS).then(|| self.event_time())
+    }
+
+    fn has_local(&self) -> bool {
+        true
+    }
+
+    fn local(&mut self, now: SimTime, part: &mut LanePart<'_>) {
+        // One page-sized write, then a sweep of chunk reads folded into
+        // the running checksum — the host work the lane phase
+        // parallelizes.
+        let slots = BUF_LEN / CHUNK;
+        let woff = (self.round % slots) * CHUNK;
+        let pattern = [(self.round as u8) ^ (self.id as u8); 4096];
+        let mut t = part
+            .write_at(self.p, VirtAddr(self.base.0 + woff), &pattern, now)
+            .expect("churn write");
+        for k in 0..CHUNKS_PER_ROUND {
+            let roff = ((self.round * CHUNKS_PER_ROUND + k) % slots) * CHUNK;
+            t = part
+                .read_at(self.p, VirtAddr(self.base.0 + roff), &mut self.scratch, t)
+                .expect("churn read");
+            self.digest = fnv(self.digest, &self.scratch);
+        }
+    }
+
+    fn barrier(&mut self, _now: SimTime, _shared: &mut System) -> Option<SimTime> {
+        self.round += 1;
+        (self.round < CHURN_ROUNDS).then(|| self.event_time())
+    }
+}
+
+/// Build the fleet and run the schedule at the given worker count
+/// (`0` = the host's available parallelism). The schedule itself —
+/// lanes, events, virtual times — does not depend on `workers`.
+pub fn run_churn(workers: usize) -> Result<ChurnOutcome, XememError> {
+    let mut b = SystemBuilder::new().linux_management("linux", 4, 64 << 20);
+    for i in 0..CHURN_ENCLAVES {
+        b = b.kitten_cokernel(&format!("k{i}"), 1, 16 << 20);
+    }
+    let mut sys = b.build()?;
+    let mut actors = Vec::with_capacity(CHURN_ENCLAVES);
+    for i in 0..CHURN_ENCLAVES {
+        // Slot 0 is the management enclave; actors live on the kittens.
+        let e = xemem::EnclaveRef(i + 1);
+        let p = sys.spawn_process(e, 4 << 20)?;
+        let base = sys.alloc_buffer(p, BUF_LEN)?;
+        sys.prepare_buffer(p, base, BUF_LEN)?;
+        actors.push(ChurnActor {
+            id: i,
+            p,
+            base,
+            round: 0,
+            digest: 0xcbf2_9ce4_8422_2325,
+            scratch: vec![0u8; CHUNK as usize],
+        });
+    }
+    let lookahead = sys.pdes_lookahead();
+    debug_assert!(lookahead <= SimDuration::from_nanos(STRIDE_NS));
+    let cfg = PdesConfig::new(CHURN_LANES, lookahead).with_workers(workers);
+    let (end, stats) = run_lanes(&cfg, &mut actors, &mut sys);
+    let digest = actors.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, a| {
+        fnv(h, &a.digest.to_le_bytes())
+    });
+    Ok(ChurnOutcome {
+        digest,
+        end_ns: end.as_nanos(),
+        windows: stats.windows,
+        events: stats.events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The scenario's determinism contract: serial and multi-worker
+    /// runs produce the same digest, end time, and window/event counts.
+    #[test]
+    fn worker_counts_agree_bitwise() {
+        let serial = run_churn(1).unwrap();
+        assert_eq!(serial.events, CHURN_ENCLAVES as u64 * CHURN_ROUNDS);
+        let parallel = run_churn(4).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}

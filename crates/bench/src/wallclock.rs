@@ -54,6 +54,11 @@ pub const PARALLEL_JOBS: usize = 4;
 /// reports and skips, since the speedup physically cannot exist there).
 pub const PARALLEL_SPEEDUP_FACTOR: f64 = 2.0;
 
+/// Required intra-run (PDES lane) speedup at [`PARALLEL_JOBS`] workers
+/// vs 1 worker on the [`crate::pdes_churn`] scenario — same
+/// host-parallelism gating as the sweep gate (schema 4).
+pub const INTRA_SPEEDUP_FACTOR: f64 = 2.0;
+
 /// Rounds of the parallel-sweep grid: enough near-independent cells
 /// (rounds × counts) that a 4-worker pool can balance the uneven
 /// per-cell costs and the ideal speedup stays well above the gate.
@@ -226,6 +231,16 @@ pub fn measure_sweep(jobs: usize) -> Result<(u64, Vec<crate::fig6::Fig6Cell>), X
         crate::fig6::run_cell_with(n, size, SWEEP_CELL_ITERS, &TraceHandle::disabled())
     })?;
     Ok((t0.elapsed().as_nanos() as u64, cells))
+}
+
+/// Run the intra-run lane-parallel churn scenario (one simulation,
+/// [`crate::pdes_churn::CHURN_LANES`] event lanes) at the given worker
+/// count and time it on the host clock. The outcome must be
+/// bit-identical at every worker count.
+pub fn measure_intra(workers: usize) -> Result<(u64, crate::pdes_churn::ChurnOutcome), XememError> {
+    let t0 = Instant::now();
+    let outcome = crate::pdes_churn::run_churn(workers)?;
+    Ok((t0.elapsed().as_nanos() as u64, outcome))
 }
 
 /// Bitwise equality of two sweep results: every field compared exactly,

@@ -942,16 +942,7 @@ impl System {
         va: VirtAddr,
         len: u64,
     ) -> Result<(), XememError> {
-        for ((rpid, base), rec) in &self.slots[slot_idx].attachments {
-            if *rpid == pid
-                && rec.state != AttachState::Live
-                && va.0 < base + rec.len
-                && va.0 + len > *base
-            {
-                return Err(XememError::SourceGone);
-            }
-        }
-        Ok(())
+        slot_check_data_access(&self.slots[slot_idx], pid, va, len)
     }
 
     // ------------------------------------------------------------------
@@ -1201,15 +1192,7 @@ impl System {
     /// metrics registry (the access-guard twin of
     /// [`Self::check_data_access`]).
     fn overlaps_live_attachment(&self, slot_idx: usize, pid: Pid, va: VirtAddr, len: u64) -> bool {
-        self.slots[slot_idx]
-            .attachments
-            .iter()
-            .any(|((rpid, base), rec)| {
-                *rpid == pid
-                    && rec.state == AttachState::Live
-                    && va.0 < base + rec.len
-                    && va.0 + len > *base
-            })
+        slot_overlaps_live_attachment(&self.slots[slot_idx], pid, va, len)
     }
 
     // ------------------------------------------------------------------
@@ -2401,6 +2384,247 @@ impl System {
         self.slots[idx].id = Some(new_id);
         self.id_to_slot.insert(new_id, idx);
         Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+    // Lane-aware scheduling (windowed PDES support)
+    // ------------------------------------------------------------------
+
+    /// The conservative PDES lookahead for this system's cost model: no
+    /// operation can affect another enclave in less virtual time than
+    /// this (see [`CostModel::pdes_lookahead`]).
+    pub fn pdes_lookahead(&self) -> SimDuration {
+        self.cost.pdes_lookahead()
+    }
+
+    /// Prune contended-resource calendars (core-0 IPI handler, per-slot
+    /// IPI channels) up to `horizon`, under the promise that no future
+    /// operation starts earlier. Behaviour-preserving — retired bookings
+    /// are exactly those the acquisition scan would skip — and what keeps
+    /// long chaos runs from O(n²) calendar scans.
+    pub fn retire_resources_before(&mut self, horizon: SimTime) {
+        self.core0.retire_before(horizon);
+        for slot in &self.slots {
+            if let Some(Link::Ipi(ch)) = &slot.parent_link {
+                ch.retire_before(horizon);
+            }
+        }
+    }
+
+    /// [`Self::alloc_buffer`] on an explicit timeline: allocates in the
+    /// process's kernel starting at `at` and returns `(va, end)` without
+    /// touching the virtual clock. Frames the op on the detached
+    /// timeline like the other `*_at` drivers expect.
+    pub fn alloc_buffer_at(
+        &mut self,
+        p: ProcessRef,
+        len: u64,
+        at: SimTime,
+    ) -> Result<(VirtAddr, SimTime), XememError> {
+        self.process_faults(at);
+        let slot = self
+            .slots
+            .get_mut(p.enclave.0)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        let out = slot.kind.kernel_mut().alloc_buffer(p.pid, len)?;
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        self.tracer
+            .begin_op(SpanKind::AllocBuffer, at, ctx, Timeline::Detached);
+        self.tracer.leaf(SpanKind::Bookkeeping, at, out.cost, ctx);
+        self.tracer.commit_op(at + out.cost);
+        Ok((out.value, at + out.cost))
+    }
+
+    /// Split the system into disjoint per-lane partitions for the PDES
+    /// lane phase: partition `l` owns every slot whose index hashes to
+    /// lane `l` (see [`xemem_sim::pdes::lane_of`]). The partitions share
+    /// only the thread-safe tracer.
+    pub fn lane_parts(&mut self, lanes: usize) -> Vec<LanePart<'_>> {
+        let lanes = lanes.max(1);
+        let mut parts: Vec<LanePart<'_>> = (0..lanes)
+            .map(|lane| LanePart {
+                lane,
+                tracer: &self.tracer,
+                slots: Vec::new(),
+            })
+            .collect();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            parts[xemem_sim::pdes::lane_of(i as u64, lanes)]
+                .slots
+                .push((i, slot));
+        }
+        parts
+    }
+}
+
+/// Per-slot body of [`System::check_data_access`], shared with
+/// [`LanePart`] (which holds slots, not the whole system).
+fn slot_check_data_access(slot: &Slot, pid: Pid, va: VirtAddr, len: u64) -> Result<(), XememError> {
+    for ((rpid, base), rec) in &slot.attachments {
+        if *rpid == pid
+            && rec.state != AttachState::Live
+            && va.0 < base + rec.len
+            && va.0 + len > *base
+        {
+            return Err(XememError::SourceGone);
+        }
+    }
+    Ok(())
+}
+
+/// Per-slot body of [`System::overlaps_live_attachment`].
+fn slot_overlaps_live_attachment(slot: &Slot, pid: Pid, va: VirtAddr, len: u64) -> bool {
+    slot.attachments.iter().any(|((rpid, base), rec)| {
+        *rpid == pid
+            && rec.state == AttachState::Live
+            && va.0 < base + rec.len
+            && va.0 + len > *base
+    })
+}
+
+/// One lane's disjoint slice of a [`System`] for the PDES lane phase:
+/// the slots whose index hashes to the lane, plus the thread-safe
+/// tracer.
+///
+/// The ops exposed here deliberately mirror the *enclave-local* subset
+/// of the system API — allocation, population and data access within a
+/// single slot — and never touch the virtual clock, the fault injector,
+/// routing, or another lane's slots. That containment is exactly what
+/// makes concurrent lane execution equivalent to every sequential
+/// interleaving; anything cross-enclave (make/get/attach/remove/search)
+/// belongs on the barrier phase against the full [`System`].
+///
+/// Fault delivery happens at window starts and during barrier ops, never
+/// here — so lane-phase state must not be a same-window fault target
+/// (the PDES drivers keep workload actors off the injector's schedule or
+/// quantize faults to window boundaries).
+pub struct LanePart<'a> {
+    lane: usize,
+    tracer: &'a TraceHandle,
+    slots: Vec<(usize, &'a mut Slot)>,
+}
+
+impl LanePart<'_> {
+    /// The lane index this partition serves.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Whether this partition owns the given enclave's slot.
+    pub fn owns(&self, e: EnclaveRef) -> bool {
+        self.slots.iter().any(|(i, _)| *i == e.0)
+    }
+
+    fn slot_mut(&mut self, e: EnclaveRef) -> Result<&mut Slot, XememError> {
+        self.slots
+            .iter_mut()
+            .find(|(i, _)| *i == e.0)
+            .map(|(_, s)| &mut **s)
+            .ok_or(XememError::BadEnclave(e))
+    }
+
+    /// Lane-local [`System::alloc_buffer_at`] (faults are delivered at
+    /// barriers, not here).
+    pub fn alloc_buffer_at(
+        &mut self,
+        p: ProcessRef,
+        len: u64,
+        at: SimTime,
+    ) -> Result<(VirtAddr, SimTime), XememError> {
+        let tracer = self.tracer;
+        let slot = self.slot_mut(p.enclave)?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        let out = slot.kind.kernel_mut().alloc_buffer(p.pid, len)?;
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        tracer.begin_op(SpanKind::AllocBuffer, at, ctx, Timeline::Detached);
+        tracer.leaf(SpanKind::Bookkeeping, at, out.cost, ctx);
+        tracer.commit_op(at + out.cost);
+        Ok((out.value, at + out.cost))
+    }
+
+    /// Lane-local [`System::prepare_buffer`].
+    pub fn prepare_buffer(
+        &mut self,
+        p: ProcessRef,
+        va: VirtAddr,
+        len: u64,
+    ) -> Result<(), XememError> {
+        let slot = self.slot_mut(p.enclave)?;
+        slot.kind.kernel_mut().populate(p.pid, va, len)?;
+        Ok(())
+    }
+
+    /// Lane-local write on an explicit timeline; returns the completion
+    /// time. Same access guard and byte accounting as [`System::write`].
+    pub fn write_at(
+        &mut self,
+        p: ProcessRef,
+        va: VirtAddr,
+        data: &[u8],
+        at: SimTime,
+    ) -> Result<SimTime, XememError> {
+        let tracer = self.tracer;
+        let slot = self.slot_mut(p.enclave)?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        slot_check_data_access(slot, p.pid, va, data.len() as u64)?;
+        if tracer.is_enabled() && slot_overlaps_live_attachment(slot, p.pid, va, data.len() as u64)
+        {
+            tracer.count(Counter::BytesWrittenAttached, data.len() as u64);
+        }
+        let out = slot.kind.kernel_mut().write(p.pid, va, data)?;
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        tracer.begin_op(SpanKind::Write, at, ctx, Timeline::Detached);
+        tracer.leaf(SpanKind::DramStream, at, out.cost, ctx);
+        tracer.commit_op(at + out.cost);
+        Ok(at + out.cost)
+    }
+
+    /// Lane-local read on an explicit timeline; returns the completion
+    /// time. Same access guard and byte accounting as [`System::read`].
+    pub fn read_at(
+        &mut self,
+        p: ProcessRef,
+        va: VirtAddr,
+        out: &mut [u8],
+        at: SimTime,
+    ) -> Result<SimTime, XememError> {
+        let tracer = self.tracer;
+        let slot = self.slot_mut(p.enclave)?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        slot_check_data_access(slot, p.pid, va, out.len() as u64)?;
+        if tracer.is_enabled() && slot_overlaps_live_attachment(slot, p.pid, va, out.len() as u64) {
+            tracer.count(Counter::BytesReadAttached, out.len() as u64);
+        }
+        let r = slot.kind.kernel_mut().read(p.pid, va, out)?;
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        tracer.begin_op(SpanKind::Read, at, ctx, Timeline::Detached);
+        tracer.leaf(SpanKind::DramStream, at, r.cost, ctx);
+        tracer.commit_op(at + r.cost);
+        Ok(at + r.cost)
+    }
+}
+
+impl xemem_sim::pdes::LaneShared for System {
+    type Part<'a> = LanePart<'a>;
+
+    fn lane_parts(&mut self, lanes: usize) -> Vec<LanePart<'_>> {
+        System::lane_parts(self, lanes)
+    }
+
+    /// Window maintenance: deliver faults due by the window start and
+    /// retire contended-resource calendars up to it.
+    fn on_window(&mut self, start: SimTime) {
+        self.process_faults(start);
+        self.retire_resources_before(start);
     }
 }
 

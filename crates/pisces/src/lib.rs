@@ -174,6 +174,14 @@ impl Core0Handler {
     pub fn messages(&self) -> u64 {
         self.inner.lock().grants()
     }
+
+    /// Prune calendar bookings that end at or before `horizon`; callers
+    /// promise no later `acquire` arrives earlier than `horizon`. See
+    /// [`Resource::retire_before`] — behaviour-preserving, keeps long
+    /// runs from scanning the whole booking history per message.
+    pub fn retire_before(&self, horizon: SimTime) {
+        self.inner.lock().retire_before(horizon);
+    }
 }
 
 /// An IPI-based kernel message channel between one co-kernel enclave and
@@ -212,6 +220,12 @@ impl IpiChannel {
         let service = SimDuration::from_nanos(self.cost.ipi_ns + self.cost.channel_msg_ns)
             + self.cost.channel_copy(payload_bytes);
         self.core0.acquire_timed(at, service)
+    }
+
+    /// Retire the shared handler's calendar up to `horizon` (see
+    /// [`Core0Handler::retire_before`]).
+    pub fn retire_before(&self, horizon: SimTime) {
+        self.core0.retire_before(horizon);
     }
 
     /// Cost of a minimal control message (no bulk payload), without

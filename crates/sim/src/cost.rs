@@ -361,6 +361,27 @@ impl CostModel {
         SimDuration::from_nanos(self.ipi_ns + self.channel_msg_ns)
     }
 
+    /// Conservative PDES lookahead: the minimum virtual latency any
+    /// cross-enclave interaction can exhibit under this model.
+    ///
+    /// Every path by which one enclave's operation can affect another —
+    /// an IPI-channel control message, a guest's PCI hypercall notify,
+    /// a host-to-guest interrupt, or a name-service request reaching a
+    /// shard — pays at least this much virtual time, so two events
+    /// closer together than this floor are causally independent and a
+    /// windowed engine may execute them in the same window. Enclave-local
+    /// work (e.g. a 60 ns cached lease check) is deliberately excluded:
+    /// it cannot cross lanes. Defaults derive a floor of 900 ns (the
+    /// name-server service time).
+    pub fn pdes_lookahead(&self) -> SimDuration {
+        let floor = (self.ipi_ns.saturating_add(self.channel_msg_ns))
+            .min(self.hypercall_ns)
+            .min(self.guest_irq_ns)
+            .min(self.name_server_ns)
+            .max(1);
+        SimDuration::from_nanos(floor)
+    }
+
     /// Export-side page-table walk for `pages` pages.
     pub fn walk(&self, pages: u64) -> SimDuration {
         SimDuration::from_nanos(self.walk_pte_ns).times(pages)

@@ -14,7 +14,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A single-server resource (e.g. the core-0 IPI handler) with a busy
 /// calendar.
@@ -26,10 +26,26 @@ use std::collections::BinaryHeap;
 /// may submit requests out of global time order (as the worklist drivers
 /// do, where each actor books its whole operation before the next actor
 /// runs) and still get a correct contention model.
+///
+/// Long-running drivers call [`Resource::retire_before`] as virtual time
+/// advances: intervals that end at or before the low-water mark can never
+/// affect a future booking (the scan in `acquire` skips them unexamined),
+/// so pruning them keeps the per-acquire scan over the *pending* horizon
+/// instead of the whole history — without it, a chaos run's calendar
+/// grows linearly and each acquire is O(grants), an O(n²) total.
 #[derive(Debug, Clone, Default)]
 pub struct Resource {
-    /// Booked intervals, sorted by start time.
-    calendar: Vec<(SimTime, SimTime)>,
+    /// Booked intervals, sorted by start time. Non-overlapping, so also
+    /// sorted by end time — which is what lets `retire_before` pop a
+    /// prefix.
+    calendar: VecDeque<(SimTime, SimTime)>,
+    /// No future `acquire` may arrive earlier than this; intervals
+    /// ending at or before it have been pruned.
+    low_water: SimTime,
+    /// End of the latest booking ever made (pruning-stable `free_at`).
+    last_end: SimTime,
+    /// Intervals pruned by `retire_before`.
+    retired: u64,
     /// Total time the resource spent serving requests.
     busy_time: SimDuration,
     /// Total time requests spent waiting for the resource.
@@ -62,6 +78,12 @@ impl Resource {
     /// Request `service` time starting no earlier than `at`: books the
     /// earliest sufficient gap in the calendar.
     pub fn acquire(&mut self, at: SimTime, service: SimDuration) -> Grant {
+        debug_assert!(
+            at >= self.low_water,
+            "acquire at {} ns arrives before the retired horizon ({} ns)",
+            at.as_nanos(),
+            self.low_water.as_nanos()
+        );
         // Find the insertion region: skip intervals that end at or before
         // the candidate, shifting the candidate past overlapping ones,
         // until a gap of `service` opens up.
@@ -89,6 +111,7 @@ impl Resource {
         }
         if !service.is_zero() {
             self.calendar.insert(insert_pos, (start, end));
+            self.last_end = self.last_end.max(end);
         }
         self.busy_time += service;
         self.wait_time += start.duration_since(at);
@@ -96,12 +119,40 @@ impl Resource {
         Grant { start, end }
     }
 
-    /// The time at which the resource's last booking ends.
+    /// Drop bookings that can no longer influence any future `acquire`:
+    /// every interval ending at or before `horizon`, under the promise
+    /// that no future request arrives earlier than `horizon` (asserted
+    /// in debug builds).
+    ///
+    /// Behaviour-preserving by construction: an interval with
+    /// `end <= horizon <= arrival` is exactly one the `acquire` scan
+    /// skips via its `e <= candidate` branch, so removing it changes no
+    /// grant. The horizon is monotone; stale calls are no-ops.
+    pub fn retire_before(&mut self, horizon: SimTime) {
+        if horizon <= self.low_water {
+            return;
+        }
+        self.low_water = horizon;
+        while self.calendar.front().is_some_and(|&(_, e)| e <= horizon) {
+            self.calendar.pop_front();
+            self.retired += 1;
+        }
+    }
+
+    /// The time at which the resource's last booking ends. Stable under
+    /// [`Resource::retire_before`]: pruning never moves this back.
     pub fn free_at(&self) -> SimTime {
-        self.calendar
-            .iter()
-            .map(|&(_, e)| e)
-            .fold(SimTime::ZERO, SimTime::max)
+        self.last_end
+    }
+
+    /// Bookings currently held in the calendar (pruned ones excluded).
+    pub fn booked(&self) -> usize {
+        self.calendar.len()
+    }
+
+    /// Bookings pruned by [`Resource::retire_before`] so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
     }
 
     /// Total service time granted so far.
@@ -291,6 +342,70 @@ mod calendar_tests {
         }
         assert_eq!(r.free_at(), SimTime::ZERO, "no bookings should exist");
         assert_eq!(r.grants(), 100);
+    }
+
+    #[test]
+    fn retirement_preserves_out_of_order_booking_against_zero_gap_intervals() {
+        // Two resources fed the identical request sequence; one is pruned
+        // aggressively between requests. Every grant must match.
+        let mut pruned = Resource::new();
+        let mut reference = Resource::new();
+        let both = |r: &mut Resource| {
+            // Adjacent, zero-gap prefix [0,10)[10,20)[20,30), then a
+            // distant island [100,130).
+            r.acquire(SimTime::from_nanos(0), SimDuration::from_nanos(10));
+            r.acquire(SimTime::from_nanos(10), SimDuration::from_nanos(10));
+            r.acquire(SimTime::from_nanos(20), SimDuration::from_nanos(10));
+            r.acquire(SimTime::from_nanos(100), SimDuration::from_nanos(30));
+        };
+        both(&mut pruned);
+        both(&mut reference);
+        // The whole zero-gap prefix ends by 30; no future arrival is
+        // earlier than 30, so it is retireable. [100,130) must survive.
+        pruned.retire_before(SimTime::from_nanos(30));
+        assert_eq!(pruned.booked(), 1);
+        assert_eq!(pruned.retired(), 3);
+
+        // Out-of-order arrivals around the surviving interval: one that
+        // fits the gap [30,100) exactly at its zero-gap left edge, one
+        // forced behind the island, one adjacent to the island's end.
+        for (at, service) in [(30u64, 70u64), (35, 50), (40, 200)] {
+            let a = pruned.acquire(SimTime::from_nanos(at), SimDuration::from_nanos(service));
+            let b = reference.acquire(SimTime::from_nanos(at), SimDuration::from_nanos(service));
+            assert_eq!(
+                a, b,
+                "grant diverged after pruning (at={at}, service={service})"
+            );
+        }
+        assert_eq!(pruned.free_at(), reference.free_at());
+        assert_eq!(pruned.total_busy(), reference.total_busy());
+        assert_eq!(pruned.total_wait(), reference.total_wait());
+        // Monotone horizon: a stale retire call is a no-op.
+        let booked = pruned.booked();
+        pruned.retire_before(SimTime::from_nanos(10));
+        assert_eq!(pruned.booked(), booked);
+    }
+
+    #[test]
+    fn retirement_bounds_calendar_growth() {
+        // The chaos pattern: a steady stream of bookings with a rising
+        // arrival horizon. With retirement the live calendar stays small.
+        let mut r = Resource::new();
+        for i in 0..10_000u64 {
+            let at = SimTime::from_nanos(i * 100);
+            r.acquire(at, SimDuration::from_nanos(40));
+            if i % 64 == 0 {
+                r.retire_before(at);
+            }
+        }
+        assert!(
+            r.booked() <= 80,
+            "calendar grew: {} live entries",
+            r.booked()
+        );
+        assert_eq!(r.retired() + r.booked() as u64, 10_000);
+        assert_eq!(r.grants(), 10_000);
+        assert_eq!(r.free_at().as_nanos(), 9_999 * 100 + 40);
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   figure-regeneration harnesses.
 //! * [`rng`] — deterministic seeded RNG with the distribution samplers the
 //!   noise models need (uniform, exponential, normal, lognormal).
+//! * [`pdes`] — windowed conservative parallel discrete-event engine:
+//!   partitions actors into hash-assigned event lanes, advances them in
+//!   lock-step lookahead windows, and merges cross-lane effects at window
+//!   barriers in a deterministic order, so one run's results are
+//!   bit-identical for any lane/worker count.
 //! * [`run`] — deterministic parallel run driver: shards independent runs
 //!   (figure sweep points, fault schedules) across host workers with
 //!   scheduling-independent split RNG streams and plan-order aggregation,
@@ -37,6 +42,7 @@ pub mod cost;
 pub mod des;
 pub mod fault;
 pub mod noise;
+pub mod pdes;
 pub mod rng;
 pub mod run;
 pub mod stats;
@@ -46,7 +52,8 @@ pub mod trace;
 pub use clock::Clock;
 pub use cost::CostModel;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use pdes::{lane_of, run_lanes, LaneShared, PdesActor, PdesConfig, PdesStats};
 pub use rng::SimRng;
-pub use run::{host_parallelism, split_seed, RunCtx, RunDriver, RunPlan};
+pub use run::{host_parallelism, mix64, split_seed, RunCtx, RunDriver, RunPlan};
 pub use stats::Summary;
 pub use time::{Costed, SimDuration, SimTime};

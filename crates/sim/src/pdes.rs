@@ -1,0 +1,522 @@
+//! Windowed conservative parallel discrete-event simulation (PDES).
+//!
+//! The `--jobs` driver ([`crate::run`]) shards *independent* runs; this
+//! module parallelises *one* run. The design is a classic conservative
+//! (YAWNS-style) windowed engine specialised for bit-identical replay:
+//!
+//! * **Lanes, not threads, define the partition.** Every actor hashes to
+//!   a lane via [`lane_of`] (`mix64(lane_key) % lanes`). The lane count
+//!   is a simulation parameter; the *worker* count is a host resource.
+//!   Results depend on neither: lanes only group the actor-local phase,
+//!   and the shared-state phase below is totally ordered.
+//! * **Lock-step windows.** Each iteration finds the earliest pending
+//!   event time `t_min` and opens the window `[t_min, t_min + lookahead)`.
+//!   The lookahead is derived from the cost model's minimum cross-enclave
+//!   interaction latency ([`crate::CostModel::pdes_lookahead`]), so no
+//!   event inside a window can schedule another event inside the same
+//!   window — the engine asserts this instead of trusting it.
+//! * **Two phases per window.** First the *lane phase*: every due actor's
+//!   [`PdesActor::local`] runs against its lane's disjoint partition of
+//!   the shared state ([`LaneShared::lane_parts`]) — these calls are
+//!   pairwise independent by construction, so they may execute on any
+//!   worker in any order. Then the *barrier phase*: every due actor's
+//!   [`PdesActor::barrier`] runs sequentially against the full shared
+//!   state in the deterministic merge order **(virtual time, order key,
+//!   sequence number)**. The order key is an actor identity chosen by the
+//!   driver (pair index, worker index, …) and — deliberately — *not* the
+//!   lane: lane assignment changes with the lane count, the order key
+//!   never does.
+//!
+//! Because window composition depends only on event times and the
+//! lookahead, the barrier sequence is the same totally-ordered event list
+//! for every `(lanes, workers)` combination — `lanes=1, workers=1`
+//! executes the identical schedule inline and is the reference the
+//! equivalence proptest (`tests/pdes_equivalence.rs`) compares against.
+
+use crate::run::{host_parallelism, mix64};
+use crate::time::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Deterministic lane assignment: `mix64(key) % lanes`.
+///
+/// Stateless and independent of worker count, host, or insertion order.
+#[inline]
+pub fn lane_of(key: u64, lanes: usize) -> usize {
+    if lanes <= 1 {
+        0
+    } else {
+        (mix64(key) % lanes as u64) as usize
+    }
+}
+
+/// Engine parameters: lane count (simulation-visible partition), worker
+/// count (host resource, never result-visible) and the conservative
+/// lookahead bounding each window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdesConfig {
+    /// Number of event lanes (≥ 1). Part of the simulation's *shape* but
+    /// not its *results*: any lane count replays the same event order.
+    pub lanes: usize,
+    /// Host worker threads for the lane phase. `run_lanes` clamps this
+    /// to the lane count; `1` executes everything inline.
+    pub workers: usize,
+    /// Window length; no window-internal event may schedule another
+    /// event closer than this (asserted at runtime).
+    pub lookahead: SimDuration,
+}
+
+impl PdesConfig {
+    /// `lanes` lanes with the host's available parallelism as workers.
+    pub fn new(lanes: usize, lookahead: SimDuration) -> Self {
+        PdesConfig {
+            lanes: lanes.max(1),
+            workers: host_parallelism(),
+            lookahead,
+        }
+    }
+
+    /// The serial reference configuration: one lane, one worker.
+    pub fn serial(lookahead: SimDuration) -> Self {
+        PdesConfig {
+            lanes: 1,
+            workers: 1,
+            lookahead,
+        }
+    }
+
+    /// Override the worker count (`0` = available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = if workers == 0 {
+            host_parallelism()
+        } else {
+            workers
+        };
+        self
+    }
+
+    fn effective_workers(&self) -> usize {
+        self.workers.min(self.lanes).max(1)
+    }
+}
+
+/// Shared simulation state that can hand out disjoint per-lane
+/// partitions for the lane phase.
+///
+/// Implementors guarantee that the partitions returned by `lane_parts`
+/// alias no state with each other; the engine then runs lane-phase work
+/// on different partitions concurrently.
+pub trait LaneShared {
+    /// One lane's disjoint slice of the shared state.
+    type Part<'a>: Send
+    where
+        Self: 'a;
+
+    /// Split the state into exactly `lanes` disjoint partitions, where
+    /// partition `l` holds the state owned by lane `l`.
+    fn lane_parts(&mut self, lanes: usize) -> Vec<Self::Part<'_>>;
+
+    /// Called once per window, at the window's start time, before any
+    /// lane or barrier work — the hook for horizon-monotone maintenance
+    /// such as fault delivery and calendar retirement.
+    fn on_window(&mut self, _start: SimTime) {}
+}
+
+/// One simulated entity driven by [`run_lanes`].
+///
+/// Contract, enforced where possible:
+///
+/// * `order_key` must be unique per actor and stable across lane/worker
+///   configurations (engine asserts uniqueness at startup);
+/// * `local` may touch only actor-owned state and the lane partition it
+///   is handed — never the full shared state, the virtual clock, or
+///   another actor's state;
+/// * continuation times returned by `barrier` must land at or after the
+///   end of the current window (engine asserts; this is what the
+///   lookahead guarantees when ops are bundled per actor).
+pub trait PdesActor<S: LaneShared>: Send {
+    /// Key hashed to pick the actor's lane (typically its enclave id).
+    fn lane_key(&self) -> u64;
+
+    /// Unique, lane-count-independent identity used for the barrier
+    /// merge order.
+    fn order_key(&self) -> u64;
+
+    /// Time of the actor's first event, or `None` to not participate.
+    fn first_event(&self) -> Option<SimTime>;
+
+    /// Whether this actor does lane-phase work. Workloads that return
+    /// `false` everywhere never pay for thread spawns.
+    fn has_local(&self) -> bool {
+        false
+    }
+
+    /// Lane phase: actor-local work against the actor's lane partition.
+    fn local(&mut self, _now: SimTime, _part: &mut S::Part<'_>) {}
+
+    /// Barrier phase: cross-actor work against the full shared state, in
+    /// deterministic global order. Returns the actor's next event time
+    /// (≥ the current window's end) or `None` when finished.
+    fn barrier(&mut self, now: SimTime, shared: &mut S) -> Option<SimTime>;
+}
+
+/// Schedule-deterministic execution counters.
+///
+/// Every field is a function of the event timeline and the config alone
+/// — two runs with equal `(actors, lanes, workers, lookahead)` report
+/// equal stats regardless of host scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PdesStats {
+    /// Windows executed.
+    pub windows: u64,
+    /// Events executed (barrier calls).
+    pub events: u64,
+    /// Largest number of events sharing one window.
+    pub peak_window_events: u64,
+    /// Windows whose lane phase ran on spawned worker threads.
+    pub threaded_windows: u64,
+}
+
+/// Run `actors` to completion over `shared` under `cfg`.
+///
+/// Returns the virtual time of the last event and the execution stats.
+/// The event schedule — and therefore every observable effect on
+/// `shared` — is bit-identical for every `(lanes, workers)` choice.
+#[allow(clippy::type_complexity)] // lane-phase job lists are (partition, work) pairs
+pub fn run_lanes<S: LaneShared, A: PdesActor<S>>(
+    cfg: &PdesConfig,
+    actors: &mut [A],
+    shared: &mut S,
+) -> (SimTime, PdesStats) {
+    let lanes = cfg.lanes.max(1);
+    assert!(
+        !cfg.lookahead.is_zero(),
+        "PDES lookahead must be positive (a zero window cannot make progress)"
+    );
+    {
+        let mut keys: Vec<u64> = actors.iter().map(|a| a.order_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(
+            keys.len(),
+            actors.len(),
+            "PdesActor order keys must be unique (they define the merge order)"
+        );
+    }
+
+    let lane_idx: Vec<usize> = actors
+        .iter()
+        .map(|a| lane_of(a.lane_key(), lanes))
+        .collect();
+    let mut next: Vec<Option<SimTime>> = actors.iter().map(|a| a.first_event()).collect();
+    let mut seq: Vec<u64> = vec![0; actors.len()];
+    let workers = cfg.effective_workers();
+    let mut stats = PdesStats::default();
+    let mut end = SimTime::ZERO;
+
+    while let Some(t_min) = next.iter().flatten().copied().min() {
+        let window_end = t_min + cfg.lookahead;
+        shared.on_window(t_min);
+        stats.windows += 1;
+
+        // Due events of this window, keyed for the barrier merge order.
+        let mut due: Vec<(SimTime, u64, u64, usize)> = Vec::new();
+        for (i, t) in next.iter().enumerate() {
+            if let Some(t) = *t {
+                if t < window_end {
+                    due.push((t, actors[i].order_key(), seq[i], i));
+                }
+            }
+        }
+        stats.events += due.len() as u64;
+        stats.peak_window_events = stats.peak_window_events.max(due.len() as u64);
+
+        // Lane phase: disjoint-partition work, parallel across lanes.
+        if due.iter().any(|&(.., i)| actors[i].has_local()) {
+            let parts = shared.lane_parts(lanes);
+            assert_eq!(
+                parts.len(),
+                lanes,
+                "lane_parts must return one partition per lane"
+            );
+            let mut jobs: Vec<(S::Part<'_>, Vec<(SimTime, &mut A)>)> =
+                parts.into_iter().map(|p| (p, Vec::new())).collect();
+            for (i, a) in actors.iter_mut().enumerate() {
+                if let Some(t) = next[i] {
+                    if t < window_end && a.has_local() {
+                        jobs[lane_idx[i]].1.push((t, a));
+                    }
+                }
+            }
+            for (_, work) in jobs.iter_mut() {
+                work.sort_by_key(|(t, a)| (*t, a.order_key()));
+            }
+            let busy_lanes = jobs.iter().filter(|(_, w)| !w.is_empty()).count();
+            if workers > 1 && busy_lanes > 1 {
+                stats.threaded_windows += 1;
+                let slots: Vec<Mutex<Option<(S::Part<'_>, Vec<(SimTime, &mut A)>)>>> =
+                    jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+                let cursor = AtomicUsize::new(0);
+                let slots = &slots;
+                let cursor = &cursor;
+                std::thread::scope(|scope| {
+                    for _ in 0..workers.min(busy_lanes) {
+                        scope.spawn(move || loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            if k >= slots.len() {
+                                break;
+                            }
+                            let taken = slots[k].lock().unwrap().take();
+                            if let Some((mut part, mut work)) = taken {
+                                for (t, a) in work.iter_mut() {
+                                    a.local(*t, &mut part);
+                                }
+                            }
+                        });
+                    }
+                });
+            } else {
+                for (mut part, mut work) in jobs {
+                    for (t, a) in work.iter_mut() {
+                        a.local(*t, &mut part);
+                    }
+                }
+            }
+        }
+
+        // Barrier phase: total order (time, order_key, seq).
+        due.sort_unstable();
+        for (t, _, _, i) in due {
+            end = end.max(t);
+            match actors[i].barrier(t, shared) {
+                Some(n) => {
+                    assert!(
+                        n >= window_end,
+                        "PDES lookahead contract violated: continuation at {} ns \
+                         lands inside the current window [{} ns, {} ns)",
+                        n.as_nanos(),
+                        t_min.as_nanos(),
+                        window_end.as_nanos()
+                    );
+                    next[i] = Some(n);
+                }
+                None => next[i] = None,
+            }
+            seq[i] += 1;
+        }
+    }
+    (end, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_of_is_stable_and_in_range() {
+        for lanes in [1usize, 2, 5, 8, 17] {
+            for key in 0..200u64 {
+                let l = lane_of(key, lanes);
+                assert!(l < lanes.max(1));
+                assert_eq!(l, lane_of(key, lanes), "lane_of must be stateless");
+            }
+        }
+        assert_eq!(lane_of(12345, 1), 0);
+        assert_eq!(lane_of(12345, 0), 0);
+        // With enough keys, every lane of an 8-lane split is populated.
+        let mut seen = [false; 8];
+        for key in 0..64u64 {
+            seen[lane_of(key, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Shared state for the engine tests: per-actor cells (lane-local)
+    /// and a global event log (barrier-ordered).
+    #[derive(Default)]
+    struct Tally {
+        cells: Vec<u64>,
+        log: Vec<(u64, u64)>,
+        windows: Vec<u64>,
+    }
+
+    impl LaneShared for Tally {
+        type Part<'a> = Vec<(usize, &'a mut u64)>;
+
+        fn lane_parts(&mut self, lanes: usize) -> Vec<Self::Part<'_>> {
+            let mut parts: Vec<Self::Part<'_>> = (0..lanes).map(|_| Vec::new()).collect();
+            for (i, c) in self.cells.iter_mut().enumerate() {
+                parts[lane_of(i as u64, lanes)].push((i, c));
+            }
+            parts
+        }
+
+        fn on_window(&mut self, start: SimTime) {
+            self.windows.push(start.as_nanos());
+        }
+    }
+
+    struct Stepper {
+        id: u64,
+        remaining: u32,
+        at: SimTime,
+        stride: SimDuration,
+        with_local: bool,
+    }
+
+    impl PdesActor<Tally> for Stepper {
+        fn lane_key(&self) -> u64 {
+            self.id
+        }
+        fn order_key(&self) -> u64 {
+            self.id
+        }
+        fn first_event(&self) -> Option<SimTime> {
+            (self.remaining > 0).then_some(self.at)
+        }
+        fn has_local(&self) -> bool {
+            self.with_local
+        }
+        fn local(&mut self, now: SimTime, part: &mut Vec<(usize, &mut u64)>) {
+            let cell = part
+                .iter_mut()
+                .find(|(i, _)| *i as u64 == self.id)
+                .expect("actor's cell must be in its own lane partition");
+            *cell.1 = cell.1.wrapping_mul(31).wrapping_add(now.as_nanos());
+        }
+        fn barrier(&mut self, now: SimTime, shared: &mut Tally) -> Option<SimTime> {
+            shared.log.push((now.as_nanos(), self.id));
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                None
+            } else {
+                self.at = now + self.stride;
+                Some(self.at)
+            }
+        }
+    }
+
+    fn steppers(n: u64, with_local: bool) -> Vec<Stepper> {
+        (0..n)
+            .map(|id| Stepper {
+                id,
+                remaining: 5,
+                // Deliberately ragged start times so windows overlap
+                // different actor subsets.
+                at: SimTime::from_nanos(3 * (id % 4)),
+                stride: SimDuration::from_nanos(100 + 10 * (id % 3)),
+                with_local,
+            })
+            .collect()
+    }
+
+    fn run_cfg(lanes: usize, workers: usize, with_local: bool) -> (Tally, SimTime, PdesStats) {
+        let mut shared = Tally {
+            cells: vec![1; 16],
+            ..Tally::default()
+        };
+        let mut actors = steppers(16, with_local);
+        let cfg = PdesConfig::new(lanes, SimDuration::from_nanos(10)).with_workers(workers);
+        let (end, stats) = run_lanes(&cfg, &mut actors, &mut shared);
+        (shared, end, stats)
+    }
+
+    #[test]
+    fn all_lane_and_worker_counts_replay_the_same_schedule() {
+        let (reference, ref_end, _) = run_cfg(1, 1, true);
+        for (lanes, workers) in [(1, 8), (2, 1), (2, 8), (5, 2), (8, 1), (8, 8)] {
+            let (got, end, _) = run_cfg(lanes, workers, true);
+            assert_eq!(got.log, reference.log, "lanes={lanes} workers={workers}");
+            assert_eq!(
+                got.cells, reference.cells,
+                "lanes={lanes} workers={workers}"
+            );
+            assert_eq!(got.windows, reference.windows);
+            assert_eq!(end, ref_end);
+        }
+    }
+
+    #[test]
+    fn barrier_order_matches_a_serial_worklist() {
+        // Reference: a plain (time, id) min-heap over the same steppers.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut actors = steppers(16, false);
+        let mut heap: BinaryHeap<Reverse<(SimTime, u64)>> = actors
+            .iter()
+            .map(|a| Reverse((a.first_event().unwrap(), a.id)))
+            .collect();
+        let mut expected: Vec<(u64, u64)> = Vec::new();
+        let mut remaining: Vec<u32> = actors.iter().map(|a| a.remaining).collect();
+        while let Some(Reverse((t, id))) = heap.pop() {
+            expected.push((t.as_nanos(), id));
+            let i = id as usize;
+            remaining[i] -= 1;
+            if remaining[i] > 0 {
+                heap.push(Reverse((t + actors[i].stride, id)));
+            }
+        }
+        let mut shared = Tally {
+            cells: vec![1; 16],
+            ..Tally::default()
+        };
+        let cfg = PdesConfig::new(8, SimDuration::from_nanos(10)).with_workers(4);
+        run_lanes(&cfg, &mut actors, &mut shared);
+        assert_eq!(shared.log, expected);
+    }
+
+    #[test]
+    fn stats_are_schedule_deterministic() {
+        let (_, _, a) = run_cfg(8, 8, true);
+        let (_, _, b) = run_cfg(8, 8, true);
+        assert_eq!(a, b);
+        assert_eq!(a.events, 16 * 5);
+        assert!(a.windows > 0 && a.windows <= a.events);
+    }
+
+    #[test]
+    fn no_local_work_never_spawns_threads() {
+        let (_, _, stats) = run_cfg(8, 8, false);
+        assert_eq!(stats.threaded_windows, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead contract")]
+    fn continuation_inside_the_window_panics() {
+        struct Cheater;
+        impl PdesActor<Tally> for Cheater {
+            fn lane_key(&self) -> u64 {
+                0
+            }
+            fn order_key(&self) -> u64 {
+                0
+            }
+            fn first_event(&self) -> Option<SimTime> {
+                Some(SimTime::ZERO)
+            }
+            fn barrier(&mut self, now: SimTime, _: &mut Tally) -> Option<SimTime> {
+                // One nanosecond ahead — far inside a 1 µs window.
+                Some(now + SimDuration::from_nanos(1))
+            }
+        }
+        let cfg = PdesConfig::new(2, SimDuration::from_micros(1));
+        run_lanes(&cfg, &mut [Cheater], &mut Tally::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "order keys must be unique")]
+    fn duplicate_order_keys_panic() {
+        let mut actors = steppers(2, false);
+        actors[1].id = actors[0].id;
+        let cfg = PdesConfig::serial(SimDuration::from_nanos(10));
+        run_lanes(&cfg, &mut actors, &mut Tally::default());
+    }
+
+    #[test]
+    fn empty_actor_set_finishes_immediately() {
+        let cfg = PdesConfig::new(4, SimDuration::from_nanos(10));
+        let (end, stats) = run_lanes::<Tally, Stepper>(&cfg, &mut [], &mut Tally::default());
+        assert_eq!(end, SimTime::ZERO);
+        assert_eq!(stats.windows, 0);
+    }
+}

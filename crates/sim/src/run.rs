@@ -37,7 +37,16 @@ use crate::rng::SimRng;
 /// `StdRng` seeds, and the derivation depends only on `(root, index)` —
 /// never on host scheduling.
 pub fn split_seed(root: u64, index: u64) -> u64 {
-    let mut z = root.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    mix64(root.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// The splitmix64 output mixer: a stateless bijective 64-bit hash.
+///
+/// Shared by [`split_seed`] and the PDES lane assignment
+/// ([`crate::pdes::lane_of`]) so both derivations are documented by one
+/// function and depend only on their inputs.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

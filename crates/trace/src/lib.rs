@@ -954,7 +954,22 @@ impl Collector {
         for ring in &self.rings {
             ring.snapshot_into(&mut out);
         }
-        out.sort_by_key(|s| (s.start.as_nanos(), !s.root, s.kind as u8));
+        // Total order over every span field: ring push order is
+        // nondeterministic when PDES lane workers emit concurrently, so
+        // the export order must be reconstructed from span *content*
+        // alone for `--lanes`/`--jobs` byte-identical exports.
+        out.sort_by_key(|s| {
+            (
+                s.start.as_nanos(),
+                !s.root,
+                s.kind as u8,
+                s.op as u8,
+                s.ctx.enclave,
+                s.ctx.pid,
+                s.ctx.segid,
+                s.dur.as_nanos(),
+            )
+        });
         out
     }
 }
