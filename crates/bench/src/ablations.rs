@@ -10,7 +10,7 @@
 //!   be deployed in any enclave").
 
 use serde::Serialize;
-use xemem::{GuestOs, MemoryMapKind, SystemBuilder, XememError};
+use xemem::{GuestOs, MemoryMapKind, SystemBuilder, TraceHandle, XememError};
 use xemem_palacios::Coalescing;
 use xemem_sim::stats::throughput_gbps;
 use xemem_sim::{SimDuration, SimTime};
@@ -58,15 +58,21 @@ pub mod memmap {
     /// Run with the given region size and attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<MemmapRow>, XememError> {
         (0..VARIANTS.len())
-            .map(|v| run_variant(v, size, iters))
+            .map(|v| run_variant(v, size, iters, &TraceHandle::disabled()))
             .collect()
     }
 
     /// Run one variant (`0..VARIANTS.len()`) — the independent unit the
-    /// parallel run driver shards.
-    pub fn run_variant(variant: usize, size: u64, iters: u32) -> Result<MemmapRow, XememError> {
+    /// parallel run driver shards; its charges land on its own `tracer`.
+    pub fn run_variant(
+        variant: usize,
+        size: u64,
+        iters: u32,
+        tracer: &TraceHandle,
+    ) -> Result<MemmapRow, XememError> {
         let (label, kind, coalescing) = VARIANTS[variant];
         let mut sys = SystemBuilder::new()
+            .with_tracer(tracer.clone())
             .linux_management("linux", 4, 64 << 20)
             .kitten_cokernel("kitten", 1, size + (64 << 20))
             .palacios_vm("vm", "linux", size / 4 + (96 << 20), kind, GuestOs::Fwk)
@@ -124,15 +130,22 @@ pub mod ipi {
     /// Run with the given region size and per-pair attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<IpiRow>, XememError> {
         (0..VARIANTS.len())
-            .map(|v| run_variant(v, size, iters))
+            .map(|v| run_variant(v, size, iters, &TraceHandle::disabled()))
             .collect()
     }
 
     /// Run one variant (`0..VARIANTS.len()`) — the independent unit the
-    /// parallel run driver shards.
-    pub fn run_variant(variant: usize, size: u64, iters: u32) -> Result<IpiRow, XememError> {
+    /// parallel run driver shards; its charges land on its own `tracer`.
+    pub fn run_variant(
+        variant: usize,
+        size: u64,
+        iters: u32,
+        tracer: &TraceHandle,
+    ) -> Result<IpiRow, XememError> {
         let (label, per_channel) = VARIANTS[variant];
-        let mut b = SystemBuilder::new().linux_management("linux", 8, 512 << 20);
+        let mut b = SystemBuilder::new()
+            .with_tracer(tracer.clone())
+            .linux_management("linux", 8, 512 << 20);
         if per_channel {
             b = b.per_channel_ipi();
         }
@@ -202,14 +215,22 @@ pub mod name_server {
 
     /// Run with `iters` control operations per placement.
     pub fn run(iters: u32) -> Result<Vec<NsRow>, XememError> {
-        (0..VARIANTS.len()).map(|v| run_variant(v, iters)).collect()
+        (0..VARIANTS.len())
+            .map(|v| run_variant(v, iters, &TraceHandle::disabled()))
+            .collect()
     }
 
     /// Run one placement (`0..VARIANTS.len()`) — the independent unit
-    /// the parallel run driver shards.
-    pub fn run_variant(variant: usize, iters: u32) -> Result<NsRow, XememError> {
+    /// the parallel run driver shards; its charges land on its own
+    /// `tracer`.
+    pub fn run_variant(
+        variant: usize,
+        iters: u32,
+        tracer: &TraceHandle,
+    ) -> Result<NsRow, XememError> {
         let (label, ns_at) = VARIANTS[variant];
         let mut sys = SystemBuilder::new()
+            .with_tracer(tracer.clone())
             .linux_management("linux", 4, 128 << 20)
             .kitten_cokernel("kitten0", 1, 64 << 20)
             .kitten_cokernel("kitten1", 1, 64 << 20)
@@ -264,18 +285,25 @@ pub mod numa {
     /// Run with the given region size and attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<NumaRow>, XememError> {
         (0..VARIANTS.len())
-            .map(|v| run_variant(v, size, iters))
+            .map(|v| run_variant(v, size, iters, &TraceHandle::disabled()))
             .collect()
     }
 
     /// Run one placement (`0..VARIANTS.len()`) — the independent unit
-    /// the parallel run driver shards.
-    pub fn run_variant(variant: usize, size: u64, iters: u32) -> Result<NumaRow, XememError> {
+    /// the parallel run driver shards; its charges land on its own
+    /// `tracer`.
+    pub fn run_variant(
+        variant: usize,
+        size: u64,
+        iters: u32,
+        tracer: &TraceHandle,
+    ) -> Result<NumaRow, XememError> {
         let cost = CostModel::default();
         let (label, kitten_zone) = VARIANTS[variant];
         // Size the node explicitly: even zone split must leave room
         // for whichever zone hosts both enclaves.
         let mut sys = SystemBuilder::new()
+            .with_tracer(tracer.clone())
             .with_cost(cost.clone())
             .numa_zones(2)
             .with_node(8, 4 * (size + (256 << 20)))
@@ -341,15 +369,21 @@ pub mod hugepages {
     /// Run with the given region size and attachment count.
     pub fn run(size: u64, iters: u32) -> Result<Vec<HugepageRow>, XememError> {
         (0..VARIANTS.len())
-            .map(|v| run_variant(v, size, iters))
+            .map(|v| run_variant(v, size, iters, &TraceHandle::disabled()))
             .collect()
     }
 
     /// Run one variant (`0..VARIANTS.len()`) — the independent unit the
-    /// parallel run driver shards.
-    pub fn run_variant(variant: usize, size: u64, iters: u32) -> Result<HugepageRow, XememError> {
+    /// parallel run driver shards; its charges land on its own `tracer`.
+    pub fn run_variant(
+        variant: usize,
+        size: u64,
+        iters: u32,
+        tracer: &TraceHandle,
+    ) -> Result<HugepageRow, XememError> {
         let (label, huge) = VARIANTS[variant];
         let mut b = SystemBuilder::new()
+            .with_tracer(tracer.clone())
             .linux_management("linux", 4, 128 << 20)
             .kitten_cokernel("kitten", 1, size + (64 << 20));
         if huge {

@@ -2,21 +2,19 @@
 //! LWK-exported memory is physically contiguous, so the attaching FWK
 //! can install 2 MiB leaves instead of per-page PTEs.
 
-use xemem_bench::driver::run_indexed;
-use xemem_bench::{
-    ablations::hugepages, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
-};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{ablations::hugepages, render_table, Args};
 
 fn main() {
     let args = Args::parse();
-    let jobs = serial_if_tracing(&args);
-    let tracer = init_tracing(&args);
+    let mut session = ParSession::new(&args);
     let size = if args.smoke { 16 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 50 });
-    let rows = run_indexed(jobs, hugepages::VARIANTS.len(), |v| {
-        hugepages::run_variant(v, size, iters)
-    })
-    .expect("hugepage ablation");
+    let rows = session
+        .run(hugepages::VARIANTS.len(), |v, tracer| {
+            hugepages::run_variant(v, size, iters, tracer)
+        })
+        .expect("hugepage ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| vec![r.variant.to_string(), format!("{:.2}", r.gbps)])
@@ -32,5 +30,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

@@ -1,21 +1,19 @@
 //! Ablation: core-0-restricted IPI handling (the paper's implementation)
 //! vs per-channel interrupt handlers (its stated future work).
 
-use xemem_bench::driver::run_indexed;
-use xemem_bench::{
-    ablations::ipi, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
-};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{ablations::ipi, render_table, Args};
 
 fn main() {
     let args = Args::parse();
-    let jobs = serial_if_tracing(&args);
-    let tracer = init_tracing(&args);
+    let mut session = ParSession::new(&args);
     let size = if args.smoke { 4 << 20 } else { 128 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 4 } else { 100 });
-    let rows = run_indexed(jobs, ipi::VARIANTS.len(), |v| {
-        ipi::run_variant(v, size, iters)
-    })
-    .expect("ipi ablation");
+    let rows = session
+        .run(ipi::VARIANTS.len(), |v, tracer| {
+            ipi::run_variant(v, size, iters, tracer)
+        })
+        .expect("ipi ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -37,5 +35,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

@@ -1,21 +1,19 @@
 //! Ablation: the VMM guest memory map — the paper's red-black tree vs
 //! its proposed radix-tree future work, with and without run coalescing.
 
-use xemem_bench::driver::run_indexed;
-use xemem_bench::{
-    ablations::memmap, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
-};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{ablations::memmap, render_table, Args};
 
 fn main() {
     let args = Args::parse();
-    let jobs = serial_if_tracing(&args);
-    let tracer = init_tracing(&args);
+    let mut session = ParSession::new(&args);
     let size = if args.smoke { 8 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 25 });
-    let rows = run_indexed(jobs, memmap::VARIANTS.len(), |v| {
-        memmap::run_variant(v, size, iters)
-    })
-    .expect("memmap ablation");
+    let rows = session
+        .run(memmap::VARIANTS.len(), |v, tracer| {
+            memmap::run_variant(v, size, iters, tracer)
+        })
+        .expect("memmap ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -37,5 +35,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

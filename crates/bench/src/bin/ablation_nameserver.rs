@@ -1,19 +1,17 @@
 //! Ablation: name-server placement — management enclave vs co-kernel.
 
-use xemem_bench::driver::run_indexed;
-use xemem_bench::{
-    ablations::name_server, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
-};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{ablations::name_server, render_table, Args};
 
 fn main() {
     let args = Args::parse();
-    let jobs = serial_if_tracing(&args);
-    let tracer = init_tracing(&args);
+    let mut session = ParSession::new(&args);
     let iters = args.runs.unwrap_or(if args.smoke { 5 } else { 200 });
-    let rows = run_indexed(jobs, name_server::VARIANTS.len(), |v| {
-        name_server::run_variant(v, iters)
-    })
-    .expect("name-server ablation");
+    let rows = session
+        .run(name_server::VARIANTS.len(), |v, tracer| {
+            name_server::run_variant(v, iters, tracer)
+        })
+        .expect("name-server ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -39,5 +37,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

@@ -2,21 +2,19 @@
 //! socket (§5.1); this shows the cross-socket penalty that pinning
 //! avoids.
 
-use xemem_bench::driver::run_indexed;
-use xemem_bench::{
-    ablations::numa, finish_tracing, init_tracing, render_table, serial_if_tracing, Args,
-};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{ablations::numa, render_table, Args};
 
 fn main() {
     let args = Args::parse();
-    let jobs = serial_if_tracing(&args);
-    let tracer = init_tracing(&args);
+    let mut session = ParSession::new(&args);
     let size = if args.smoke { 8 << 20 } else { 512 << 20 };
     let iters = args.runs.unwrap_or(if args.smoke { 3 } else { 50 });
-    let rows = run_indexed(jobs, numa::VARIANTS.len(), |v| {
-        numa::run_variant(v, size, iters)
-    })
-    .expect("numa ablation");
+    let rows = session
+        .run(numa::VARIANTS.len(), |v, tracer| {
+            numa::run_variant(v, size, iters, tracer)
+        })
+        .expect("numa ablation");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -38,5 +36,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&rows).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

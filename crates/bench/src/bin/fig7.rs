@@ -1,22 +1,22 @@
 //! Regenerates paper Fig. 7: noise profile of a Kitten enclave serving
 //! XEMEM attachment requests on a single core.
 
-use xemem_bench::driver::run_indexed;
-use xemem_bench::{fig7, finish_tracing, init_tracing, render_table, serial_if_tracing, Args};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{fig7, render_table, Args};
 
 fn main() {
     let args = Args::parse();
-    let jobs = serial_if_tracing(&args);
-    let tracer = init_tracing(&args);
+    let mut session = ParSession::new(&args);
     let (regions, window): (Vec<u64>, u64) = if args.smoke {
         (vec![4 << 10, 2 << 20, 64 << 20], 4)
     } else {
         (vec![4 << 10, 2 << 20, 1 << 30], 10)
     };
-    let series = run_indexed(jobs, regions.len(), |i| {
-        fig7::run_region(regions[i], window, 0xF17u64)
-    })
-    .expect("fig7 experiment");
+    let series = session
+        .run(regions.len(), |i, tracer| {
+            fig7::run_region(regions[i], window, 0xF17u64, tracer)
+        })
+        .expect("fig7 experiment");
     for s in &series {
         let mut by_kind: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
         for sample in &s.samples {
@@ -55,7 +55,7 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&series).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }
 
 fn kind_key(k: &str) -> &'static str {

@@ -1,19 +1,19 @@
 //! Regenerates paper Fig. 8: single-node in situ benchmark across the
 //! Table 3 enclave configurations.
 
-use xemem_bench::driver::run_indexed;
-use xemem_bench::{fig8, finish_tracing, init_tracing, pm, render_table, serial_if_tracing, Args};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{fig8, pm, render_table, Args};
 
 fn main() {
     let args = Args::parse();
-    let jobs = serial_if_tracing(&args);
-    let tracer = init_tracing(&args);
+    let mut session = ParSession::new(&args);
     let runs = args.runs.unwrap_or(if args.smoke { 2 } else { 10 });
     let grid = fig8::grid();
-    let bars = run_indexed(jobs, grid.len(), |i| {
-        fig8::run_bar(grid[i], runs, args.smoke)
-    })
-    .expect("fig8 experiment");
+    let bars = session
+        .run(grid.len(), |i, tracer| {
+            fig8::run_bar(grid[i], runs, args.smoke, tracer)
+        })
+        .expect("fig8 experiment");
     for attach in ["one-time", "recurring"] {
         let rows: Vec<Vec<String>> = bars
             .iter()
@@ -41,5 +41,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&bars).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

@@ -1,20 +1,20 @@
 //! Regenerates paper Fig. 9: multi-node in situ weak scaling,
 //! Linux-only vs multi-enclave.
 
-use xemem_bench::driver::run_indexed;
-use xemem_bench::{fig9, finish_tracing, init_tracing, pm, render_table, serial_if_tracing, Args};
+use xemem_bench::driver::ParSession;
+use xemem_bench::{fig9, pm, render_table, Args};
 
 fn main() {
     let args = Args::parse();
-    let jobs = serial_if_tracing(&args);
-    let tracer = init_tracing(&args);
+    let mut session = ParSession::new(&args);
     let runs = args.runs.unwrap_or(if args.smoke { 2 } else { 5 });
     let counts = [1u32, 2, 4, 8];
     let grid = fig9::grid(&counts);
-    let points = run_indexed(jobs, grid.len(), |i| {
-        fig9::run_point(grid[i], runs, args.smoke)
-    })
-    .expect("fig9 experiment");
+    let points = session
+        .run(grid.len(), |i, tracer| {
+            fig9::run_point(grid[i], runs, args.smoke, tracer)
+        })
+        .expect("fig9 experiment");
     for attach in ["one-time", "recurring"] {
         let mut rows = Vec::new();
         for &n in &counts {
@@ -41,5 +41,5 @@ fn main() {
     if args.json {
         println!("{}", serde_json::to_string_pretty(&points).unwrap());
     }
-    finish_tracing(&args, &tracer);
+    session.finish(&args);
 }

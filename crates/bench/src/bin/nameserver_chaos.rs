@@ -12,7 +12,7 @@ fn main() {
     let args = Args::parse();
     // Always trace: the conservation audit is part of the suite's
     // contract, and per-run tracers keep `--jobs N` deterministic.
-    let mut session = ParSession::with(args.effective_jobs(), true);
+    let mut session = ParSession::always_traced(&args);
     let rows = nameserver_chaos::run(&mut session, args.smoke, args.effective_lanes())
         .expect("name-service chaos suite");
     let table: Vec<Vec<String>> = rows

@@ -29,12 +29,20 @@ use crate::Args;
 /// and conservation audits are exact regardless of ring capacity.
 const PER_RUN_RING_SLOTS: usize = 1 << 12;
 const PER_RUN_RINGS: usize = 8;
+/// Ring sizing for obs-report sessions: the causal analyzer gates on
+/// zero lost records, so runs that request an obs report get enough
+/// per-enclave rings that the chaos smoke geometry never spills into
+/// (and overwrites) the shared overflow ring, and enough slots per
+/// ring that its busiest enclave never wraps.
+const PER_RUN_RING_SLOTS_OBS: usize = 1 << 14;
+const PER_RUN_RINGS_OBS: usize = 64;
 
 /// A parallel bench session: worker count, tracing mode, and the
 /// per-run tracers accumulated so far.
 pub struct ParSession {
     jobs: usize,
     tracing: bool,
+    obs: bool,
     runs: Vec<(u64, TraceHandle)>,
     next_run_id: u64,
 }
@@ -42,7 +50,17 @@ pub struct ParSession {
 impl ParSession {
     /// Session configured from parsed CLI args.
     pub fn new(args: &Args) -> ParSession {
-        ParSession::with(args.effective_jobs(), args.tracing_requested())
+        let mut s = ParSession::with(args.effective_jobs(), args.tracing_requested());
+        s.obs = args.obs_report.is_some();
+        s
+    }
+
+    /// Session configured from parsed CLI args but always traced —
+    /// for suites whose contract includes the conservation audit.
+    pub fn always_traced(args: &Args) -> ParSession {
+        let mut s = ParSession::with(args.effective_jobs(), true);
+        s.obs = args.obs_report.is_some();
+        s
     }
 
     /// Session with an explicit worker count and tracing mode.
@@ -50,6 +68,7 @@ impl ParSession {
         ParSession {
             jobs: jobs.max(1),
             tracing,
+            obs: false,
             runs: Vec::new(),
             next_run_id: 0,
         }
@@ -83,7 +102,12 @@ impl ParSession {
         let tracers: Vec<TraceHandle> = (0..n)
             .map(|_| {
                 if self.tracing {
-                    TraceHandle::with_capacity(PER_RUN_RING_SLOTS, PER_RUN_RINGS)
+                    let (slots, rings) = if self.obs {
+                        (PER_RUN_RING_SLOTS_OBS, PER_RUN_RINGS_OBS)
+                    } else {
+                        (PER_RUN_RING_SLOTS, PER_RUN_RINGS)
+                    };
+                    TraceHandle::with_capacity(slots, rings)
                 } else {
                     TraceHandle::disabled()
                 }
@@ -111,10 +135,10 @@ impl ParSession {
         agg
     }
 
-    /// End-of-session epilogue, the parallel counterpart of
-    /// [`crate::finish_tracing`]: write the merged chrome://tracing
+    /// End-of-session epilogue: write the merged chrome://tracing
     /// JSON (and folded stacks alongside) when `--trace-out` was given,
-    /// audit conservation on every run's tracer, and print the merged
+    /// the merged obs report when `--obs-report` was given, audit
+    /// conservation on every run's tracer, and print the merged
     /// metrics summary. No-op when the session is untraced.
     pub fn finish(&self, args: &Args) {
         if !self.tracing {
@@ -130,6 +154,11 @@ impl ParSession {
                 "trace: wrote {path} (chrome://tracing, {} runs) and {folded} (folded stacks)",
                 self.runs.len()
             );
+        }
+        if let Some(path) = &args.obs_report {
+            std::fs::write(path, trace_layer::merge_obs_report(&self.runs))
+                .expect("write obs report");
+            eprintln!("trace: wrote {path} (obs report, {} runs)", self.runs.len());
         }
         let mut attributed = 0u64;
         for (id, tracer) in &self.runs {

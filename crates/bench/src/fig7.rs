@@ -9,7 +9,7 @@
 //! (~23.2–23.8 ms).
 
 use serde::Serialize;
-use xemem::{SystemBuilder, XememError};
+use xemem::{SystemBuilder, TraceHandle, XememError};
 use xemem_sim::noise::{CompositeNoise, NoiseEvent, NoiseKind, ScheduledNoise};
 use xemem_sim::{SimDuration, SimRng, SimTime};
 use xemem_workloads::detour::SelfishDetour;
@@ -39,15 +39,22 @@ pub struct Fig7Series {
 pub fn run(regions: &[u64], window_secs: u64, seed: u64) -> Result<Vec<Fig7Series>, XememError> {
     regions
         .iter()
-        .map(|&r| run_region(r, window_secs, seed))
+        .map(|&r| run_region(r, window_secs, seed, &TraceHandle::disabled()))
         .collect()
 }
 
 /// One region's profile — the independent unit the parallel run driver
 /// shards. The noise RNG is seeded from `seed` per region (as the
-/// serial sweep always did), so concurrent regions share no state.
-pub fn run_region(region: u64, window_secs: u64, seed: u64) -> Result<Fig7Series, XememError> {
+/// serial sweep always did), so concurrent regions share no state; the
+/// unit's charges all land on its own `tracer`.
+pub fn run_region(
+    region: u64,
+    window_secs: u64,
+    seed: u64,
+    tracer: &TraceHandle,
+) -> Result<Fig7Series, XememError> {
     let mut sys = SystemBuilder::new()
+        .with_tracer(tracer.clone())
         .linux_management("linux", 4, 64 << 20)
         .kitten_cokernel("kitten", 1, region + (64 << 20))
         .build()?;

@@ -14,10 +14,10 @@
 //! semantics).
 
 use serde::Serialize;
-use xemem::XememError;
+use xemem::{TraceHandle, XememError};
 use xemem_sim::stats::Summary;
 use xemem_workloads::insitu::{
-    run_insitu, AnalyticsEnclave, AttachModel, ExecutionModel, InsituConfig, SimEnclave,
+    run_insitu_traced, AnalyticsEnclave, AttachModel, ExecutionModel, InsituConfig, SimEnclave,
 };
 
 /// One bar of the figure.
@@ -77,8 +77,14 @@ pub fn grid() -> Vec<BarSpec> {
 
 /// Run one bar: `runs` repetitions of one configuration. Per-repetition
 /// seeds are a pure function of the run index and config name, so bars
-/// are independent and scheduling cannot shift any bar's entropy.
-pub fn run_bar(spec: BarSpec, runs: u32, smoke: bool) -> Result<Fig8Bar, XememError> {
+/// are independent and scheduling cannot shift any bar's entropy; the
+/// bar's charges all land on its own `tracer`.
+pub fn run_bar(
+    spec: BarSpec,
+    runs: u32,
+    smoke: bool,
+    tracer: &TraceHandle,
+) -> Result<Fig8Bar, XememError> {
     let (attach, execution, sim, ana, name) = spec;
     let mut times = Vec::new();
     for run_idx in 0..runs {
@@ -88,7 +94,7 @@ pub fn run_bar(spec: BarSpec, runs: u32, smoke: bool) -> Result<Fig8Bar, XememEr
             InsituConfig::fig8(sim, ana, execution, attach, 0)
         };
         cfg.seed = 0xF16_8000 + run_idx as u64 * 977 + hash_name(name);
-        let r = run_insitu(&cfg)?;
+        let r = run_insitu_traced(&cfg, tracer)?;
         assert!(r.verified, "data verification failed for {name}");
         times.push(r.sim_completion.as_secs_f64());
     }
@@ -108,7 +114,7 @@ pub fn run_bar(spec: BarSpec, runs: u32, smoke: bool) -> Result<Fig8Bar, XememEr
 pub fn run(runs: u32, smoke: bool) -> Result<Vec<Fig8Bar>, XememError> {
     grid()
         .into_iter()
-        .map(|s| run_bar(s, runs, smoke))
+        .map(|s| run_bar(s, runs, smoke, &TraceHandle::disabled()))
         .collect()
 }
 

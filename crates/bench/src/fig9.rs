@@ -14,8 +14,8 @@
 //! but loses at scale.
 
 use serde::Serialize;
-use xemem::XememError;
-use xemem_cluster::{run_cluster, ClusterConfig, NodeConfig};
+use xemem::{TraceHandle, XememError};
+use xemem_cluster::{run_cluster_traced, ClusterConfig, NodeConfig};
 use xemem_sim::stats::Summary;
 use xemem_workloads::insitu::AttachModel;
 
@@ -62,8 +62,14 @@ pub fn grid(node_counts: &[u32]) -> Vec<PointSpec> {
 
 /// Run one point: `runs` repetitions of one cluster configuration.
 /// Per-repetition seeds are a pure function of run index and node
-/// count, so points are independent units.
-pub fn run_point(spec: PointSpec, runs: u32, smoke: bool) -> Result<Fig9Point, XememError> {
+/// count, so points are independent units; the point's charges all
+/// land on its own `tracer`.
+pub fn run_point(
+    spec: PointSpec,
+    runs: u32,
+    smoke: bool,
+    tracer: &TraceHandle,
+) -> Result<Fig9Point, XememError> {
     let (attach, config, nodes) = spec;
     let mut times = Vec::new();
     for run_idx in 0..runs {
@@ -73,7 +79,7 @@ pub fn run_point(spec: PointSpec, runs: u32, smoke: bool) -> Result<Fig9Point, X
             ClusterConfig::fig9(nodes, config, attach, 0)
         };
         cfg.seed = 0xF19_0000 + run_idx as u64 * 1009 + nodes as u64 * 131;
-        let r = run_cluster(&cfg)?;
+        let r = run_cluster_traced(&cfg, tracer)?;
         assert!(r.verified, "node verification failed");
         times.push(r.completion.as_secs_f64());
     }
@@ -95,7 +101,7 @@ pub fn run_point(spec: PointSpec, runs: u32, smoke: bool) -> Result<Fig9Point, X
 pub fn run(node_counts: &[u32], runs: u32, smoke: bool) -> Result<Vec<Fig9Point>, XememError> {
     grid(node_counts)
         .into_iter()
-        .map(|s| run_point(s, runs, smoke))
+        .map(|s| run_point(s, runs, smoke, &TraceHandle::disabled()))
         .collect()
 }
 

@@ -32,7 +32,6 @@ pub mod wallclock;
 use std::fmt::Write as _;
 
 use xemem::trace_layer;
-use xemem::TraceHandle;
 
 /// Minimal CLI options shared by the figure binaries.
 #[derive(Debug, Clone, Default)]
@@ -48,6 +47,11 @@ pub struct Args {
     /// Write a chrome://tracing JSON export here (implies `trace`); a
     /// folded-stack export lands next to it at `<path>.folded`.
     pub trace_out: Option<String>,
+    /// Write an `xemem-obs` causal report here (implies `trace`):
+    /// every span with its parent link and timeline, every causal
+    /// edge, and the full metrics registry, merged across runs in run
+    /// order — the input format of the `obs` analyzer.
+    pub obs_report: Option<String>,
     /// Host worker threads for independent runs (`None` = available
     /// parallelism, `Some(1)` = serial). Results are bit-identical
     /// either way; see [`driver`].
@@ -79,6 +83,10 @@ impl Args {
                     out.trace_out = Some(it.next().expect("--trace-out requires a path"));
                     out.trace = true;
                 }
+                "--obs-report" => {
+                    out.obs_report = Some(it.next().expect("--obs-report requires a path"));
+                    out.trace = true;
+                }
                 "--jobs" => {
                     out.jobs = it
                         .next()
@@ -94,7 +102,7 @@ impl Args {
                         .or_else(|| panic!("--lanes requires an integer >= 1"));
                 }
                 other => panic!(
-                    "unknown argument: {other} (expected --smoke, --runs N, --json, --trace, --trace-out PATH, --jobs N, --lanes N)"
+                    "unknown argument: {other} (expected --smoke, --runs N, --json, --trace, --trace-out PATH, --obs-report PATH, --jobs N, --lanes N)"
                 ),
             }
         }
@@ -118,60 +126,6 @@ impl Args {
     pub fn effective_lanes(&self) -> usize {
         self.lanes.unwrap_or(1).max(1)
     }
-}
-
-/// Worker count for experiments that trace through the process-global
-/// handle (Figs. 7–9 and the ablations): per-run tracer isolation only
-/// exists for the experiments that thread an explicit [`TraceHandle`],
-/// so a trace request forces serial execution to keep exports
-/// deterministic.
-pub fn serial_if_tracing(args: &Args) -> usize {
-    if args.tracing_requested() {
-        if args.effective_jobs() > 1 {
-            eprintln!("trace: forcing --jobs 1 (this experiment traces through the global handle)");
-        }
-        1
-    } else {
-        args.effective_jobs()
-    }
-}
-
-/// Resolve the tracer for a bench run: an enabled handle (also installed
-/// as the process-global fallback, so systems built without an explicit
-/// `.with_tracer(..)` still report into it) when requested, otherwise
-/// the inert disabled handle.
-pub fn init_tracing(args: &Args) -> TraceHandle {
-    if args.tracing_requested() {
-        let handle = TraceHandle::enabled();
-        trace_layer::install_global(handle.clone());
-        handle
-    } else {
-        TraceHandle::disabled()
-    }
-}
-
-/// End-of-run tracing epilogue shared by the bench binaries: export the
-/// chrome://tracing JSON (and a folded-stack file alongside) when
-/// `--trace-out` was given, run the conservation auditor, and print the
-/// metrics summary. No-op for a disabled handle.
-pub fn finish_tracing(args: &Args, tracer: &TraceHandle) {
-    if !tracer.is_enabled() {
-        return;
-    }
-    if let Some(path) = &args.trace_out {
-        std::fs::write(path, tracer.chrome_trace_json()).expect("write chrome trace JSON");
-        let folded = format!("{path}.folded");
-        std::fs::write(&folded, tracer.folded_stacks()).expect("write folded stacks");
-        eprintln!("trace: wrote {path} (chrome://tracing) and {folded} (folded stacks)");
-    }
-    match tracer.audit() {
-        Ok(sums) => eprintln!(
-            "trace: conservation audit OK ({} attributed ns)",
-            sums.total_attributed_ns()
-        ),
-        Err(e) => panic!("trace: conservation audit FAILED: {e}"),
-    }
-    eprint!("{}", tracer.metrics_summary());
 }
 
 /// Render an aligned text table.

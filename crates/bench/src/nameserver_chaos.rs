@@ -159,6 +159,10 @@ impl LaneShared for ChaosCtx {
     fn on_window(&mut self, start: SimTime) {
         <System as LaneShared>::on_window(&mut self.sys, start);
     }
+
+    fn on_barrier_resume(&mut self, barrier: SimTime, resume: SimTime) {
+        <System as LaneShared>::on_barrier_resume(&mut self.sys, barrier, resume);
+    }
 }
 
 /// The round grid every actor's barrier events land on: `T_r = t0 +

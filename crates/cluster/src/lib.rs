@@ -22,7 +22,7 @@
 pub mod mpi;
 
 use mpi::{Comm, Network};
-use xemem::{GuestOs, MemoryMapKind, ProcessRef, SystemBuilder, XememError};
+use xemem::{GuestOs, MemoryMapKind, ProcessRef, SystemBuilder, TraceHandle, XememError};
 use xemem_sim::noise::{finish_time_with_noise, CompositeNoise, NoiseGen};
 use xemem_sim::{CostModel, SimDuration, SimRng, SimTime};
 use xemem_workloads::decomp::SlabDecomposition;
@@ -128,12 +128,19 @@ struct Node {
     attach_overhead: SimDuration,
 }
 
-fn build_node(cfg: &ClusterConfig, cost: &CostModel, rng: &mut SimRng) -> Result<Node, XememError> {
+fn build_node(
+    cfg: &ClusterConfig,
+    cost: &CostModel,
+    rng: &mut SimRng,
+    tracer: &TraceHandle,
+) -> Result<Node, XememError> {
     let region = cfg.region_bytes;
     let slack: u64 = 64 << 20;
     let sim_mem = region + region / 2 + slack;
     let ana_mem = region + slack;
-    let builder = SystemBuilder::new().with_cost(cost.clone());
+    let builder = SystemBuilder::new()
+        .with_cost(cost.clone())
+        .with_tracer(tracer.clone());
     let sys = match cfg.node_config {
         NodeConfig::LinuxOnly => builder
             .linux_management("linux", 16, sim_mem + ana_mem)
@@ -180,6 +187,16 @@ fn build_node(cfg: &ClusterConfig, cost: &CostModel, rng: &mut SimRng) -> Result
 
 /// Run the weak-scaling experiment; see the module docs.
 pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterResult, XememError> {
+    run_cluster_traced(cfg, &TraceHandle::disabled())
+}
+
+/// [`run_cluster`] with an explicit tracer: every node's system charges
+/// into `tracer` (instead of the process-global fallback), so parallel
+/// bench units can trace into per-unit handles.
+pub fn run_cluster_traced(
+    cfg: &ClusterConfig,
+    tracer: &TraceHandle,
+) -> Result<ClusterResult, XememError> {
     let cost = CostModel::default();
     let mut root_rng = SimRng::seed_from_u64(cfg.seed);
     let comm = Comm::new(cfg.nodes as usize, Network::default());
@@ -195,7 +212,7 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterResult, XememError> {
     let mut nodes: Vec<Node> = (0..cfg.nodes)
         .map(|i| {
             let mut rng = root_rng.fork(i as u64);
-            build_node(cfg, &cost, &mut rng)
+            build_node(cfg, &cost, &mut rng, tracer)
         })
         .collect::<Result<_, _>>()?;
 

@@ -32,7 +32,7 @@ use xemem_palacios::{MemoryMapKind, Vmm};
 use xemem_pisces::{Core0Handler, IpiChannel, NodeResources};
 use xemem_sim::trace::Trace;
 use xemem_sim::{Clock, CostModel, FaultInjector, FaultKind, FaultPlan, SimDuration, SimTime};
-use xemem_trace::{Counter, Ctx, Hist, ShardCounter, SpanKind, Timeline, TraceHandle};
+use xemem_trace::{Counter, Ctx, EdgeKind, Hist, ShardCounter, SpanKind, Timeline, TraceHandle};
 
 /// Bound on per-hop retransmissions under injected message loss: after
 /// this many consecutive drops the channel is assumed to have recovered
@@ -335,6 +335,13 @@ impl System {
             let wait = SimDuration::from_nanos(self.cost.ns_retry_base_ns << k.min(20));
             self.tracer
                 .leaf(SpanKind::NsBackoff, at, wait, Ctx::enclave(ctx_slot));
+            self.tracer.edge(
+                EdgeKind::BackoffRetry,
+                at,
+                at + wait,
+                Ctx::enclave(ctx_slot),
+                Ctx::enclave(ctx_slot),
+            );
             at += wait;
             total += wait;
             let label = if sharded {
@@ -417,7 +424,9 @@ impl System {
             );
             if holder != leader && self.slots[holder].alive {
                 if let Some(path) = self.notify_path(leader, holder) {
-                    at = self.charge_hops(&path, MessageKind::LeaseRevoke, Some(segid), None, at);
+                    let revoked_at =
+                        self.charge_hops(&path, MessageKind::LeaseRevoke, Some(segid), None, at);
+                    at = revoked_at;
                     if let Some(back) = self.notify_path(holder, leader) {
                         at = self.charge_hops(
                             &back,
@@ -425,6 +434,13 @@ impl System {
                             Some(segid),
                             None,
                             at,
+                        );
+                        self.tracer.edge(
+                            EdgeKind::RevokeAck,
+                            revoked_at,
+                            at,
+                            Ctx::seg(holder, 0, segid.0),
+                            Ctx::seg(leader, 0, segid.0),
                         );
                     }
                 }
@@ -653,6 +669,23 @@ impl System {
                 r.shard,
                 ShardCounter::LostRegistrations,
                 r.lost_registrations,
+            );
+            // Causal chain: the crash triggers the failover, and the
+            // failover resolves when the shard's election dark window
+            // ends and the promoted follower starts serving.
+            self.tracer.edge(
+                EdgeKind::CrashFailover,
+                t,
+                t,
+                Ctx::enclave(slot_idx),
+                Ctx::seg(r.new_leader.unwrap_or(slot_idx), 0, r.shard as u64),
+            );
+            self.tracer.edge(
+                EdgeKind::FailoverPromotion,
+                t,
+                r.available_at,
+                Ctx::seg(r.new_leader.unwrap_or(slot_idx), 0, r.shard as u64),
+                Ctx::seg(r.new_leader.unwrap_or(slot_idx), 0, r.shard as u64),
             );
             if r.lost_registrations > 0 {
                 self.events.record(
@@ -1272,6 +1305,7 @@ impl System {
         let seg = segid.map(|s| s.0).unwrap_or(0);
         for w in 0..path.len().saturating_sub(1) {
             let (a, b) = (path[w], path[w + 1]);
+            let hop_start = at;
             // Injected message loss: the sender times out and
             // retransmits; each retry re-consults the loss window at the
             // advanced timestamp.
@@ -1313,6 +1347,17 @@ impl System {
                 self.tracer.count(Counter::DupDeliveries, 1);
                 at = self.send_link(&link, at, bytes, dir, Ctx::seg(b, 0, seg));
             }
+            // Causal hop edge: the message leaves slot `a` when the
+            // sender first attempts the hop and is received at slot `b`
+            // once every retransmit, transfer and duplicate has been
+            // paid for.
+            self.tracer.edge(
+                EdgeKind::SendRecv,
+                hop_start,
+                at,
+                Ctx::seg(a, 0, seg),
+                Ctx::seg(b, 0, seg),
+            );
             // Forwarding decision at each intermediate receiver.
             if w + 2 < path.len() {
                 let hop = SimDuration::from_nanos(self.cost.route_hop_ns);
@@ -2625,6 +2670,20 @@ impl xemem_sim::pdes::LaneShared for System {
     fn on_window(&mut self, start: SimTime) {
         self.process_faults(start);
         self.retire_resources_before(start);
+    }
+
+    /// Causal stitch between PDES windows: the previous window's
+    /// barrier completed at `barrier` and the engine resumes at
+    /// `resume`. Both times are schedule-determined, so the edge is
+    /// identical at any `(lanes, workers)`.
+    fn on_barrier_resume(&mut self, barrier: SimTime, resume: SimTime) {
+        self.tracer.edge(
+            EdgeKind::WindowResume,
+            barrier,
+            resume,
+            Ctx::NONE,
+            Ctx::NONE,
+        );
     }
 }
 

@@ -1,0 +1,344 @@
+//! `obs` — analyze an obs report produced by any traced bench bin via
+//! `--obs-report PATH`.
+//!
+//! ```text
+//! obs critical-path [--check] [--op KIND] [--run N] <report>
+//! obs explain <op> <report>
+//! obs slo [<report>]        latency digests per op class
+//! obs top [-n N] <report>   hottest components, ops and edges
+//! obs metrics <report>      Prometheus-style exposition of the registry
+//! ```
+//!
+//! All output is a pure function of the report bytes: integer virtual
+//! nanoseconds throughout, deterministic ordering, percentages from
+//! integer arithmetic — byte-identical regardless of the `--jobs` or
+//! `--lanes` the report was produced with. Exit status: 0 on success,
+//! 1 when `--check` fails, 2 on usage or parse errors.
+
+use std::process::ExitCode;
+
+/// `println!`/`print!` that ignore write errors instead of panicking,
+/// so `obs ... | head` dying mid-pipe (SIGPIPE → broken pipe) exits
+/// cleanly rather than aborting with a backtrace.
+macro_rules! oprintln {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), $($t)*);
+    }};
+}
+
+macro_rules! oprint {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        let _ = write!(std::io::stdout(), $($t)*);
+    }};
+}
+
+use xemem_obs::{
+    attribution, check, critical_path, explain, op_digests, parse_op, percent, Report, RunPath,
+};
+use xemem_trace::SpanKind;
+
+const USAGE: &str = "usage: obs <critical-path|explain|slo|top|metrics> [options] <report>
+  obs critical-path [--check] [--op KIND] [--run N] <report>
+  obs explain <op> <report>
+  obs slo <report>
+  obs top [-n N] <report>
+  obs metrics <report>";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("obs: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Report::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return fail("missing subcommand");
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "critical-path" => cmd_critical_path(rest),
+        "explain" => cmd_explain(rest),
+        "slo" => cmd_slo(rest),
+        "top" => cmd_top(rest),
+        "metrics" => cmd_metrics(rest),
+        other => return fail(&format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// Render an aggregate label table with exact percentages.
+fn print_label_table(title: &str, rows: &[(String, u64)], total: u64) {
+    oprintln!("{title}");
+    for (label, ns) in rows {
+        oprintln!("  {:<24} {:>16} ns  {:>8}", label, ns, percent(*ns, total));
+    }
+}
+
+fn cmd_critical_path(args: &[String]) -> Result<ExitCode, String> {
+    let mut do_check = false;
+    let mut op: Option<SpanKind> = None;
+    let mut run_filter: Option<u64> = None;
+    let mut path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => do_check = true,
+            "--op" => {
+                let name = it.next().ok_or("--op needs a kind")?;
+                op = Some(parse_op(name)?);
+            }
+            "--run" => {
+                let n = it.next().ok_or("--run needs a run id")?;
+                run_filter = Some(n.parse().map_err(|_| format!("bad run id {n:?}"))?);
+            }
+            p if !p.starts_with('-') && path.is_none() => path = Some(p),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let report = load(path.ok_or("missing report path")?)?;
+
+    if do_check {
+        match check(&report) {
+            Ok(s) => {
+                oprintln!(
+                    "check OK: {} runs, {} edges, {} ns attributed (100%), {} ns on critical paths",
+                    s.runs,
+                    s.edges,
+                    s.end_to_end_ns,
+                    s.path_ns
+                );
+            }
+            Err(e) => {
+                eprintln!("check FAILED: {e}");
+                return Ok(ExitCode::from(1));
+            }
+        }
+    }
+
+    let mut paths = critical_path(&report, op);
+    if let Some(id) = run_filter {
+        paths.retain(|p| p.run == id);
+    }
+    if paths.is_empty() {
+        oprintln!("no matching op instances in the report");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Aggregate: 100% of the walked range across runs, by label.
+    let mut agg: std::collections::BTreeMap<&'static str, u64> = std::collections::BTreeMap::new();
+    let mut total = 0u64;
+    for p in &paths {
+        total += p.range_ns();
+        for (label, ns) in p.by_label() {
+            *agg.entry(label).or_default() += ns;
+        }
+    }
+    let mut rows: Vec<(String, u64)> = agg
+        .into_iter()
+        .map(|(label, ns)| (label.to_string(), ns))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let head = match op {
+        Some(k) => format!(
+            "critical path to {} ({} runs, {} ns total):",
+            k.as_str(),
+            paths.len(),
+            total
+        ),
+        None => format!("critical path ({} runs, {} ns total):", paths.len(), total),
+    };
+    print_label_table(&head, &rows, total);
+    let attributed: u64 = rows.iter().map(|&(_, ns)| ns).sum();
+    oprintln!(
+        "  {:<24} {:>16} ns  {:>8}",
+        "total",
+        attributed,
+        percent(attributed, total)
+    );
+
+    // Detail: the longest path, segment by segment.
+    let longest: &RunPath = paths
+        .iter()
+        .max_by_key(|p| (p.range_ns(), std::cmp::Reverse(p.run)))
+        .expect("paths is non-empty");
+    oprintln!(
+        "longest path: run {} [{} ns .. {} ns]",
+        longest.run,
+        longest.min_start,
+        longest.top_end
+    );
+    const DETAIL: usize = 40;
+    for seg in longest.segments.iter().take(DETAIL) {
+        oprintln!(
+            "  {:>16} ..{:>16}  {:<16} {:>14} ns",
+            seg.lo,
+            seg.hi,
+            seg.label,
+            seg.hi - seg.lo
+        );
+    }
+    if longest.segments.len() > DETAIL {
+        oprintln!("  (+{} more segments)", longest.segments.len() - DETAIL);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
+    let [op_name, path] = args else {
+        return Err("explain needs <op> <report>".into());
+    };
+    let op = parse_op(op_name)?;
+    let report = load(path)?;
+    let e = explain(&report, op);
+    oprintln!(
+        "op {} ({} instances, {} ns total)",
+        op.as_str(),
+        e.instances,
+        e.total_ns
+    );
+    if let Some(mean) = e.total_ns.checked_div(e.instances) {
+        oprintln!(
+            "  latency: mean {} ns, p50 <= {} ns, p90 <= {} ns, p99 <= {} ns, max {} ns",
+            mean,
+            e.digest.quantile_bound(50),
+            e.digest.quantile_bound(90),
+            e.digest.quantile_bound(99),
+            e.digest.max
+        );
+    }
+    let rows: Vec<(String, u64)> = e
+        .components
+        .iter()
+        .map(|&(k, ns)| (k.as_str().to_string(), ns))
+        .collect();
+    print_label_table("  components (exact decomposition):", &rows, e.total_ns);
+    let leaf_sum: u64 = e.components.iter().map(|&(_, ns)| ns).sum();
+    oprintln!(
+        "  {:<24} {:>16} ns  {:>8}",
+        "total",
+        leaf_sum,
+        percent(leaf_sum, e.total_ns)
+    );
+    if !e.incoming.is_empty() {
+        oprintln!("  incoming causal edges:");
+        for (kind, n) in &e.incoming {
+            oprintln!("    {:<22} {:>10}", kind.as_str(), n);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_slo(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("slo needs <report>".into());
+    };
+    let report = load(path)?;
+    let digests = op_digests(&report);
+    if digests.is_empty() {
+        oprintln!("no op instances in the report");
+        return Ok(ExitCode::SUCCESS);
+    }
+    oprintln!(
+        "{:<14} {:>10} {:>16} {:>12} {:>12} {:>12} {:>14}",
+        "op",
+        "count",
+        "total ns",
+        "p50 <=",
+        "p90 <=",
+        "p99 <=",
+        "max ns"
+    );
+    for (kind, d) in &digests {
+        oprintln!(
+            "{:<14} {:>10} {:>16} {:>12} {:>12} {:>12} {:>14}",
+            kind.as_str(),
+            d.count,
+            d.sum,
+            d.quantile_bound(50),
+            d.quantile_bound(90),
+            d.quantile_bound(99),
+            d.max
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
+    let mut n = 10usize;
+    let mut path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-n" => {
+                let v = it.next().ok_or("-n needs a count")?;
+                n = v.parse().map_err(|_| format!("bad count {v:?}"))?;
+            }
+            p if !p.starts_with('-') && path.is_none() => path = Some(p),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let report = load(path.ok_or("missing report path")?)?;
+    let attr = attribution(&report);
+    let rows: Vec<(String, u64)> = attr
+        .components
+        .iter()
+        .take(n)
+        .map(|&(k, ns)| (k.as_str().to_string(), ns))
+        .collect();
+    print_label_table(
+        &format!("top components ({} ns end-to-end):", attr.total_ns),
+        &rows,
+        attr.total_ns,
+    );
+
+    let mut ops: Vec<(SpanKind, u64, u64)> = op_digests(&report)
+        .into_iter()
+        .map(|(k, d)| (k, d.sum, d.count))
+        .collect();
+    ops.sort_by_key(|&(k, sum, _)| (std::cmp::Reverse(sum), k as u8));
+    oprintln!("top ops:");
+    for (k, sum, count) in ops.iter().take(n) {
+        oprintln!(
+            "  {:<24} {:>16} ns  {:>10} calls  {:>8}",
+            k.as_str(),
+            sum,
+            count,
+            percent(*sum, attr.total_ns)
+        );
+    }
+
+    let metrics = report.merged_metrics();
+    let mut edges: Vec<(&str, u64)> = xemem_trace::EdgeKind::ALL
+        .into_iter()
+        .map(|k| (k.as_str(), metrics.edge_counts[k as usize]))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    edges.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    if !edges.is_empty() {
+        oprintln!("causal edges:");
+        for (name, count) in edges.iter().take(n) {
+            oprintln!("  {:<24} {:>16}", name, count);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("metrics needs <report>".into());
+    };
+    let report = load(path)?;
+    oprint!("{}", report.merged_metrics().prometheus());
+    Ok(ExitCode::SUCCESS)
+}

@@ -120,6 +120,14 @@ pub trait LaneShared {
     /// lane or barrier work — the hook for horizon-monotone maintenance
     /// such as fault delivery and calendar retirement.
     fn on_window(&mut self, _start: SimTime) {}
+
+    /// Called between windows: the previous window's barrier phase
+    /// finished at `barrier` (its latest event time) and execution
+    /// resumes at `resume`, the next window's start. Both arguments are
+    /// functions of the event schedule alone, so implementations that
+    /// record them (e.g. as causal trace edges) stay bit-identical
+    /// across every `(lanes, workers)` choice. Default: no-op.
+    fn on_barrier_resume(&mut self, _barrier: SimTime, _resume: SimTime) {}
 }
 
 /// One simulated entity driven by [`run_lanes`].
@@ -214,8 +222,12 @@ pub fn run_lanes<S: LaneShared, A: PdesActor<S>>(
     let mut stats = PdesStats::default();
     let mut end = SimTime::ZERO;
 
+    let mut prev_barrier: Option<SimTime> = None;
     while let Some(t_min) = next.iter().flatten().copied().min() {
         let window_end = t_min + cfg.lookahead;
+        if let Some(b) = prev_barrier {
+            shared.on_barrier_resume(b, t_min);
+        }
         shared.on_window(t_min);
         stats.windows += 1;
 
@@ -304,6 +316,9 @@ pub fn run_lanes<S: LaneShared, A: PdesActor<S>>(
             }
             seq[i] += 1;
         }
+        // Windows strictly advance, so the running maximum after this
+        // barrier phase is exactly this window's latest event time.
+        prev_barrier = Some(end);
     }
     (end, stats)
 }

@@ -273,6 +273,78 @@ impl SpanKind {
     }
 }
 
+/// A causal dependency between two points in virtual time, recorded at
+/// the site that creates the dependency. Edges are the cross-op (and
+/// cross-enclave) glue the flat span stream cannot express: together
+/// with the per-span parent links they form a per-run DAG the
+/// `xemem-obs` toolkit walks for critical-path extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EdgeKind {
+    /// Cross-enclave message hop: send completes at `src` on the source
+    /// enclave, delivery lands at `dst` on the destination enclave.
+    SendRecv,
+    /// Lease revocation notice (`src` = notice delivered) to its
+    /// acknowledgement (`dst` = ack received by the owner).
+    RevokeAck,
+    /// Enclave crash (`src`) to the name-service failover it forced on
+    /// one shard (`dst`, the moment the dead leader was detected).
+    CrashFailover,
+    /// Shard failover (`src`) to the promoted leader answering again
+    /// (`dst`, end of the election dark window).
+    FailoverPromotion,
+    /// One name-service backoff wait: `src` is where the retry loop
+    /// started sleeping, `dst` is where the retry fires.
+    BackoffRetry,
+    /// PDES window barrier (`src`, last event of the closed window) to
+    /// the engine resuming at the next window's start (`dst`).
+    WindowResume,
+}
+
+impl EdgeKind {
+    /// Number of edge kinds (for dense per-kind arrays).
+    pub const COUNT: usize = EdgeKind::WindowResume as usize + 1;
+
+    /// All kinds, in discriminant order.
+    pub const ALL: [EdgeKind; EdgeKind::COUNT] = [
+        EdgeKind::SendRecv,
+        EdgeKind::RevokeAck,
+        EdgeKind::CrashFailover,
+        EdgeKind::FailoverPromotion,
+        EdgeKind::BackoffRetry,
+        EdgeKind::WindowResume,
+    ];
+
+    /// Stable snake-case name (used by the obs-report exporter).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            EdgeKind::SendRecv => "send_recv",
+            EdgeKind::RevokeAck => "revoke_ack",
+            EdgeKind::CrashFailover => "crash_failover",
+            EdgeKind::FailoverPromotion => "failover_promotion",
+            EdgeKind::BackoffRetry => "backoff_retry",
+            EdgeKind::WindowResume => "window_resume",
+        }
+    }
+}
+
+/// One causal edge: virtual time `src` on `src_ctx` happens-before
+/// virtual time `dst` on `dst_ctx`. `Copy` so ring slots can be written
+/// and snapshotted without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// What dependency this edge records.
+    pub kind: EdgeKind,
+    /// Cause time.
+    pub src: SimTime,
+    /// Effect time (`>= src`).
+    pub dst: SimTime,
+    /// Identity at the cause site.
+    pub src_ctx: Ctx,
+    /// Identity at the effect site.
+    pub dst_ctx: Ctx,
+}
+
 /// Which virtual timeline a span was charged against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Timeline {
@@ -282,6 +354,16 @@ pub enum Timeline {
     /// Per-pair fig6 timelines and injected faults: virtual time that
     /// is measured but never pushed into the shared clock.
     Detached,
+}
+
+impl Timeline {
+    /// Stable name (used by the obs-report exporter).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Timeline::Clock => "clock",
+            Timeline::Detached => "detached",
+        }
+    }
 }
 
 /// Identity tags attached to a span: which enclave (slot index), which
@@ -356,6 +438,19 @@ pub struct Span {
     /// leaves (excluded from folded-stack output to avoid double
     /// counting).
     pub root: bool,
+    /// True for leaves charged outside any op frame: the span is both
+    /// its own root and its own leaf for conservation purposes.
+    pub self_rooted: bool,
+    /// Which timeline the span's nanoseconds were charged against.
+    pub timeline: Timeline,
+    /// Parent link: the kind of the op frame this span was recorded
+    /// under (== `kind` for roots and self-rooted leaves).
+    pub parent_kind: SpanKind,
+    /// Parent link: the start time of that op frame (== `start` for
+    /// roots and self-rooted leaves). `(parent_kind, parent_start,
+    /// timeline)` identifies the parent root span by content, so the
+    /// link survives the content-sorted, ring-merged export.
+    pub parent_start: SimTime,
     /// Identity tags.
     pub ctx: Ctx,
 }
@@ -705,59 +800,76 @@ const EMPTY_SPAN: Span = Span {
     op: SpanKind::Make,
     kind: SpanKind::Make,
     root: false,
+    self_rooted: false,
+    timeline: Timeline::Clock,
+    parent_kind: SpanKind::Make,
+    parent_start: SimTime::ZERO,
     ctx: Ctx::NONE,
+};
+
+/// Placeholder edge used to initialize ring slots.
+const EMPTY_EDGE: Edge = Edge {
+    kind: EdgeKind::SendRecv,
+    src: SimTime::ZERO,
+    dst: SimTime::ZERO,
+    src_ctx: Ctx::NONE,
+    dst_ctx: Ctx::NONE,
 };
 
 /// One ring slot, protected by a seqlock: `seq == 0` means never
 /// written, odd means a write is in flight, even (nonzero) means the
-/// slot holds the span for logical index `(seq - 2) / 2`.
-struct Slot {
+/// slot holds the record for logical index `(seq - 2) / 2`.
+struct Slot<T> {
     seq: AtomicU64,
-    data: UnsafeCell<Span>,
+    data: UnsafeCell<T>,
 }
 
-/// Lock-free single-ring span store. Writers claim a logical index with
-/// a `fetch_add` and publish via the slot seqlock; readers snapshot
-/// without blocking writers and simply skip torn slots. Overwrites the
-/// oldest spans when full — the conservation sums in [`Metrics`] are
-/// unaffected by ring capacity.
-struct Ring {
-    slots: Box<[Slot]>,
+/// Lock-free single-ring record store (spans and edges use the same
+/// machinery). Writers claim a logical index with a `fetch_add` and
+/// publish via the slot seqlock; readers snapshot without blocking
+/// writers and simply skip torn slots. Overwrites the oldest records
+/// when full — the conservation sums in [`Metrics`] are unaffected by
+/// ring capacity, and [`Ring::lost`] reports exactly how many records
+/// were overwritten so exporters can refuse to present a partial view
+/// as a complete one.
+struct Ring<T: Copy> {
+    slots: Box<[Slot<T>]>,
     head: AtomicU64,
 }
 
 // SAFETY: slot data is only accessed under the seqlock protocol —
 // writers mark the slot odd before writing and even after; readers
 // validate the sequence number around the copy and discard torn reads.
-unsafe impl Sync for Ring {}
-unsafe impl Send for Ring {}
+// `T: Copy` guarantees the data is plain bytes with no drop glue.
+unsafe impl<T: Copy + Send> Sync for Ring<T> {}
+unsafe impl<T: Copy + Send> Send for Ring<T> {}
 
-impl Ring {
-    fn new(capacity: usize) -> Ring {
+impl<T: Copy> Ring<T> {
+    fn new(capacity: usize, empty: T) -> Ring<T> {
         let cap = capacity.next_power_of_two().max(2);
         Ring {
             slots: (0..cap)
                 .map(|_| Slot {
                     seq: AtomicU64::new(0),
-                    data: UnsafeCell::new(EMPTY_SPAN),
+                    data: UnsafeCell::new(empty),
                 })
                 .collect(),
             head: AtomicU64::new(0),
         }
     }
 
-    fn push(&self, span: Span) {
+    fn push(&self, record: T) {
         let idx = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(idx as usize) & (self.slots.len() - 1)];
         slot.seq.store(2 * idx + 1, Ordering::Release);
         // SAFETY: the odd sequence number claims the slot; a concurrent
         // writer that laps us will store its own odd value and readers
-        // will discard the torn span.
-        unsafe { *slot.data.get() = span };
+        // will discard the torn record.
+        unsafe { *slot.data.get() = record };
         slot.seq.store(2 * idx + 2, Ordering::Release);
     }
 
-    fn snapshot_into(&self, out: &mut Vec<Span>) {
+    fn snapshot_into(&self, out: &mut Vec<T>) {
         for slot in self.slots.iter() {
             let before = slot.seq.load(Ordering::Acquire);
             if before == 0 || before % 2 == 1 {
@@ -765,12 +877,20 @@ impl Ring {
             }
             // SAFETY: the copy is validated by re-reading the sequence
             // number; a torn read is discarded below.
-            let span = unsafe { *slot.data.get() };
+            let record = unsafe { *slot.data.get() };
             let after = slot.seq.load(Ordering::Acquire);
             if before == after {
-                out.push(span);
+                out.push(record);
             }
         }
+    }
+
+    /// Records pushed past capacity and overwritten — no longer visible
+    /// to [`Ring::snapshot_into`].
+    fn lost(&self) -> u64 {
+        self.head
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.slots.len() as u64)
     }
 }
 
@@ -781,6 +901,7 @@ impl Ring {
 struct Metrics {
     counters: [AtomicU64; Counter::COUNT],
     op_counts: [AtomicU64; SpanKind::COUNT],
+    edge_counts: [AtomicU64; EdgeKind::COUNT],
     hists: [Histogram; Hist::COUNT],
     shard_counters: [[AtomicU64; ShardCounter::COUNT]; MAX_SHARDS],
     shard_lookup_ns: [Histogram; MAX_SHARDS],
@@ -795,6 +916,7 @@ impl Metrics {
         Metrics {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             op_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            edge_counts: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| Histogram::new()),
             shard_counters: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             shard_lookup_ns: std::array::from_fn(|_| Histogram::new()),
@@ -829,9 +951,12 @@ struct Frame {
 
 /// Shared state behind an enabled [`TraceHandle`].
 pub struct Collector {
-    /// Per-enclave rings; enclaves beyond the last index share the
+    /// Per-enclave span rings; enclaves beyond the last index share the
     /// final (overflow) ring.
-    rings: Vec<Ring>,
+    rings: Vec<Ring<Span>>,
+    /// Per-enclave causal-edge rings (keyed by the source enclave),
+    /// same overflow scheme.
+    edge_rings: Vec<Ring<Edge>>,
     metrics: Metrics,
     frames: Mutex<HashMap<ThreadId, Vec<Frame>>>,
 }
@@ -840,16 +965,24 @@ impl Collector {
     fn new(slots_per_ring: usize, enclave_rings: usize) -> Collector {
         Collector {
             rings: (0..enclave_rings.max(1) + 1)
-                .map(|_| Ring::new(slots_per_ring))
+                .map(|_| Ring::new(slots_per_ring, EMPTY_SPAN))
+                .collect(),
+            edge_rings: (0..enclave_rings.max(1) + 1)
+                .map(|_| Ring::new(slots_per_ring, EMPTY_EDGE))
                 .collect(),
             metrics: Metrics::new(),
             frames: Mutex::new(HashMap::new()),
         }
     }
 
-    fn ring_for(&self, enclave: u32) -> &Ring {
+    fn ring_for(&self, enclave: u32) -> &Ring<Span> {
         let idx = (enclave as usize).min(self.rings.len() - 1);
         &self.rings[idx]
+    }
+
+    fn edge_ring_for(&self, enclave: u32) -> &Ring<Edge> {
+        let idx = (enclave as usize).min(self.edge_rings.len() - 1);
+        &self.edge_rings[idx]
     }
 
     fn leaf(&self, kind: SpanKind, start: SimTime, dur: SimDuration, ctx: Ctx) {
@@ -862,6 +995,10 @@ impl Collector {
                 op: frame.kind,
                 kind,
                 root: false,
+                self_rooted: false,
+                timeline: frame.timeline,
+                parent_kind: frame.kind,
+                parent_start: frame.start,
                 ctx,
             });
         } else {
@@ -882,9 +1019,24 @@ impl Collector {
                 op: kind,
                 kind,
                 root: false,
+                self_rooted: true,
+                timeline: Timeline::Detached,
+                parent_kind: kind,
+                parent_start: start,
                 ctx,
             });
         }
+    }
+
+    fn edge(&self, kind: EdgeKind, src: SimTime, dst: SimTime, src_ctx: Ctx, dst_ctx: Ctx) {
+        self.metrics.edge_counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+        self.edge_ring_for(src_ctx.enclave).push(Edge {
+            kind,
+            src,
+            dst,
+            src_ctx,
+            dst_ctx,
+        });
     }
 
     fn begin_op(&self, kind: SpanKind, start: SimTime, ctx: Ctx, timeline: Timeline) {
@@ -932,6 +1084,10 @@ impl Collector {
             op: frame.kind,
             kind: frame.kind,
             root: true,
+            self_rooted: false,
+            timeline: frame.timeline,
+            parent_kind: frame.kind,
+            parent_start: frame.start,
             ctx: frame.ctx,
         });
         self.metrics.op_counts[frame.kind as usize].fetch_add(1, Ordering::Relaxed);
@@ -964,6 +1120,9 @@ impl Collector {
                 !s.root,
                 s.kind as u8,
                 s.op as u8,
+                (s.timeline as u8, s.self_rooted),
+                s.parent_kind as u8,
+                s.parent_start.as_nanos(),
                 s.ctx.enclave,
                 s.ctx.pid,
                 s.ctx.segid,
@@ -971,6 +1130,36 @@ impl Collector {
             )
         });
         out
+    }
+
+    fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for ring in &self.edge_rings {
+            ring.snapshot_into(&mut out);
+        }
+        // Content order, for the same reason as `spans()`.
+        out.sort_by_key(|e| {
+            (
+                e.src.as_nanos(),
+                e.dst.as_nanos(),
+                e.kind as u8,
+                e.src_ctx.enclave,
+                e.src_ctx.pid,
+                e.src_ctx.segid,
+                e.dst_ctx.enclave,
+                e.dst_ctx.pid,
+                e.dst_ctx.segid,
+            )
+        });
+        out
+    }
+
+    fn lost_spans(&self) -> u64 {
+        self.rings.iter().map(Ring::lost).sum()
+    }
+
+    fn lost_edges(&self) -> u64 {
+        self.edge_rings.iter().map(Ring::lost).sum()
     }
 }
 
@@ -1019,6 +1208,17 @@ impl TraceHandle {
             if !dur.is_zero() {
                 c.leaf(kind, start, dur, ctx);
             }
+        }
+    }
+
+    /// Record a causal edge: virtual time `src` (at `src_ctx`)
+    /// happens-before `dst` (at `dst_ctx`). Like every hook, an inlined
+    /// no-op on a disabled handle — no allocation, no locking.
+    #[inline]
+    pub fn edge(&self, kind: EdgeKind, src: SimTime, dst: SimTime, src_ctx: Ctx, dst_ctx: Ctx) {
+        if let Some(c) = &self.inner {
+            debug_assert!(dst >= src, "causal edge must not point backwards");
+            c.edge(kind, src, dst, src_ctx, dst_ctx);
         }
     }
 
@@ -1173,6 +1373,45 @@ impl TraceHandle {
         self.inner.as_ref().map(|c| c.spans()).unwrap_or_default()
     }
 
+    /// Snapshot all recorded causal edges, merged across rings and
+    /// content-sorted. Empty when disabled.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.inner.as_ref().map(|c| c.edges()).unwrap_or_default()
+    }
+
+    /// Spans overwritten by ring wrap-around and no longer visible to
+    /// the exporters (0 when disabled). The obs-report conservation
+    /// gate requires this to be zero: an overwritten span would make
+    /// the span-derived sums silently disagree with the registry.
+    pub fn lost_spans(&self) -> u64 {
+        self.inner.as_ref().map(|c| c.lost_spans()).unwrap_or(0)
+    }
+
+    /// Causal edges overwritten by ring wrap-around (0 when disabled).
+    pub fn lost_edges(&self) -> u64 {
+        self.inner.as_ref().map(|c| c.lost_edges()).unwrap_or(0)
+    }
+
+    /// Emitted-edge count for one kind (0 when disabled). Exact
+    /// regardless of ring capacity.
+    pub fn edge_count(&self, kind: EdgeKind) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|c| c.metrics.edge_counts[kind as usize].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Serialize this handle's spans, edges, conservation sums and
+    /// metrics registry as a single-run obs report (see
+    /// [`merge_obs_report`] for the format). Empty when disabled.
+    pub fn obs_report(&self) -> String {
+        let mut out = String::from(OBS_REPORT_HEADER);
+        if self.is_enabled() {
+            write_obs_run(&mut out, 0, self);
+        }
+        out
+    }
+
     /// Export all recorded spans in the chrome://tracing "Trace Event
     /// Format" (JSON array of complete `"X"` events; open with
     /// chrome://tracing or https://ui.perfetto.dev). Lanes: `pid` is
@@ -1194,7 +1433,8 @@ impl TraceHandle {
     /// Export leaf spans as folded stacks (`op;leaf <ns>` per line,
     /// semicolon-separated frames, aggregated) for flamegraph tools.
     /// Root aggregates are excluded — their time is exactly the sum of
-    /// their leaves.
+    /// their leaves. Frame names are escaped with [`escape_frame`] so
+    /// merged stacks stay parseable whatever the names contain.
     pub fn folded_stacks(&self) -> String {
         let mut agg: HashMap<(SpanKind, SpanKind), u64> = HashMap::new();
         for s in self.spans() {
@@ -1203,22 +1443,7 @@ impl TraceHandle {
             }
             *agg.entry((s.op, s.kind)).or_insert(0) += s.dur.as_nanos();
         }
-        let mut lines: Vec<String> = agg
-            .into_iter()
-            .map(|((op, kind), ns)| {
-                if op == kind {
-                    format!("{} {ns}", kind.as_str())
-                } else {
-                    format!("{};{} {ns}", op.as_str(), kind.as_str())
-                }
-            })
-            .collect();
-        lines.sort();
-        let mut out = lines.join("\n");
-        if !out.is_empty() {
-            out.push('\n');
-        }
-        out
+        render_folded(agg)
     }
 
     /// Point-in-time copy of the whole metrics registry — conservation
@@ -1231,6 +1456,7 @@ impl TraceHandle {
             sums: c.metrics.sums(),
             op_counts: std::array::from_fn(|i| c.metrics.op_counts[i].load(Ordering::Relaxed)),
             counters: std::array::from_fn(|i| c.metrics.counters[i].load(Ordering::Relaxed)),
+            edge_counts: std::array::from_fn(|i| c.metrics.edge_counts[i].load(Ordering::Relaxed)),
             hists: std::array::from_fn(|i| c.metrics.hists[i].snapshot()),
             shard_counters: std::array::from_fn(|s| {
                 std::array::from_fn(|i| c.metrics.shard_counters[s][i].load(Ordering::Relaxed))
@@ -1270,6 +1496,8 @@ pub struct MetricsSnapshot {
     pub op_counts: [u64; SpanKind::COUNT],
     /// Counter values, indexed by `Counter` discriminant.
     pub counters: [u64; Counter::COUNT],
+    /// Emitted causal-edge counts, indexed by `EdgeKind` discriminant.
+    pub edge_counts: [u64; EdgeKind::COUNT],
     /// Histogram snapshots, indexed by `Hist` discriminant.
     pub hists: [HistSnapshot; Hist::COUNT],
     /// Per-shard name-service counters, `[shard][ShardCounter]`.
@@ -1285,6 +1513,7 @@ impl MetricsSnapshot {
             sums: ConservationSums::default(),
             op_counts: [0; SpanKind::COUNT],
             counters: [0; Counter::COUNT],
+            edge_counts: [0; EdgeKind::COUNT],
             hists: std::array::from_fn(|_| HistSnapshot {
                 count: 0,
                 sum: 0,
@@ -1313,6 +1542,9 @@ impl MetricsSnapshot {
             *a += b;
         }
         for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        for (a, b) in self.edge_counts.iter_mut().zip(&other.edge_counts) {
             *a += b;
         }
         for (h, o) in self.hists.iter_mut().zip(&other.hists) {
@@ -1358,6 +1590,12 @@ impl MetricsSnapshot {
                 out.push_str(&format!("counter {}: {}\n", counter.as_str(), v));
             }
         }
+        for kind in EdgeKind::ALL {
+            let v = self.edge_counts[kind as usize];
+            if v > 0 {
+                out.push_str(&format!("edge {}: {}\n", kind.as_str(), v));
+            }
+        }
         for hist in Hist::ALL {
             let s = &self.hists[hist as usize];
             if s.count > 0 {
@@ -1392,6 +1630,113 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Prometheus text-format exposition of the whole registry: every
+    /// global counter, op count, edge count and conservation sum (zeros
+    /// included, so a scrape always sees the full schema), the log₂
+    /// histograms as cumulative `_bucket`/`_sum`/`_count` series, and
+    /// the per-shard series for shards that recorded anything.
+    /// Iteration order is fixed, so the exposition is deterministic.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE xemem_attributed_ns counter\n");
+        for (timeline, level, v) in [
+            ("clock", "root", self.sums.clock_root_ns),
+            ("clock", "leaf", self.sums.clock_leaf_ns),
+            ("detached", "root", self.sums.detached_root_ns),
+            ("detached", "leaf", self.sums.detached_leaf_ns),
+        ] {
+            out.push_str(&format!(
+                "xemem_attributed_ns{{timeline=\"{timeline}\",level=\"{level}\"}} {v}\n"
+            ));
+        }
+        out.push_str("# TYPE xemem_ops_total counter\n");
+        for kind in SpanKind::ALL {
+            out.push_str(&format!(
+                "xemem_ops_total{{op=\"{}\"}} {}\n",
+                kind.as_str(),
+                self.op_counts[kind as usize]
+            ));
+        }
+        out.push_str("# TYPE xemem_edges_total counter\n");
+        for kind in EdgeKind::ALL {
+            out.push_str(&format!(
+                "xemem_edges_total{{kind=\"{}\"}} {}\n",
+                kind.as_str(),
+                self.edge_counts[kind as usize]
+            ));
+        }
+        for counter in Counter::ALL {
+            let name = counter.as_str();
+            out.push_str(&format!(
+                "# TYPE xemem_{name} counter\nxemem_{name} {}\n",
+                self.counters[counter as usize]
+            ));
+        }
+        for hist in Hist::ALL {
+            push_prometheus_hist(
+                &mut out,
+                &format!("xemem_{}", hist.as_str()),
+                "",
+                &self.hists[hist as usize],
+            );
+        }
+        for counter in ShardCounter::ALL {
+            let name = counter.as_str();
+            let mut typed = false;
+            for (shard, row) in self.shard_counters.iter().enumerate() {
+                let v = row[counter as usize];
+                if v > 0 {
+                    if !typed {
+                        out.push_str(&format!("# TYPE xemem_shard_{name} counter\n"));
+                        typed = true;
+                    }
+                    out.push_str(&format!("xemem_shard_{name}{{shard=\"{shard}\"}} {v}\n"));
+                }
+            }
+        }
+        for (shard, s) in self.shard_lookup_ns.iter().enumerate() {
+            if s.count > 0 {
+                push_prometheus_hist(
+                    &mut out,
+                    "xemem_shard_lookup_ns",
+                    &format!("shard=\"{shard}\""),
+                    s,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Append one histogram in Prometheus exposition format. Bucket `k` of
+/// the log₂ scheme holds values in `[2^(k-1), 2^k - 1]` (bucket 0 holds
+/// zeros), so the cumulative `le` bound of bucket `k` is `2^k - 1`.
+fn push_prometheus_hist(out: &mut String, name: &str, labels: &str, s: &HistSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (k, b) in s.buckets.iter().enumerate() {
+        if *b == 0 {
+            continue;
+        }
+        cumulative += b;
+        let le = if k == 0 { 0 } else { ((1u128 << k) - 1) as u64 };
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+        s.count
+    ));
+    let plain = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    out.push_str(&format!("{name}_sum{plain} {}\n", s.sum));
+    out.push_str(&format!("{name}_count{plain} {}\n", s.count));
 }
 
 /// Chrome-trace `pid` lanes are namespaced per run in merged exports:
@@ -1456,13 +1801,49 @@ pub fn merge_folded_stacks(runs: &[(u64, TraceHandle)]) -> String {
             *agg.entry((s.op, s.kind)).or_insert(0) += s.dur.as_nanos();
         }
     }
+    render_folded(agg)
+}
+
+/// Escape one frame name for folded-stack output. Flamegraph tooling
+/// splits a line into frames on `;` and strips the sample count after
+/// the last space, so a name containing either — or control characters,
+/// which break line-oriented merging — would corrupt every stack it
+/// appears in. Offending bytes (and `%` itself, so escaping stays
+/// reversible) are percent-encoded; clean names pass through borrowed.
+pub fn escape_frame(name: &str) -> std::borrow::Cow<'_, str> {
+    fn needs_escape(c: char) -> bool {
+        c == ';' || c == '%' || c.is_whitespace() || c.is_control()
+    }
+    if !name.chars().any(needs_escape) {
+        return std::borrow::Cow::Borrowed(name);
+    }
+    let mut out = String::with_capacity(name.len() + 8);
+    let mut utf8 = [0u8; 4];
+    for c in name.chars() {
+        if needs_escape(c) {
+            for b in c.encode_utf8(&mut utf8).bytes() {
+                out.push('%');
+                out.push_str(&format!("{b:02x}"));
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
+fn render_folded(agg: HashMap<(SpanKind, SpanKind), u64>) -> String {
     let mut lines: Vec<String> = agg
         .into_iter()
         .map(|((op, kind), ns)| {
             if op == kind {
-                format!("{} {ns}", kind.as_str())
+                format!("{} {ns}", escape_frame(kind.as_str()))
             } else {
-                format!("{};{} {ns}", op.as_str(), kind.as_str())
+                format!(
+                    "{};{} {ns}",
+                    escape_frame(op.as_str()),
+                    escape_frame(kind.as_str())
+                )
             }
         })
         .collect();
@@ -1472,6 +1853,155 @@ pub fn merge_folded_stacks(runs: &[(u64, TraceHandle)]) -> String {
         out.push('\n');
     }
     out
+}
+
+// ----------------------------------------------------------------------
+// Obs report (the xemem-obs interchange format)
+// ----------------------------------------------------------------------
+
+/// First line of every obs report; bump the version when the format
+/// changes shape.
+pub const OBS_REPORT_HEADER: &str = "xemem-obs v1\n";
+
+/// Merge per-run spans, causal edges, conservation sums and metrics
+/// registries into one obs report, keyed by run id. The format is
+/// line-oriented and integer-exact — every virtual nanosecond appears
+/// verbatim, so the `xemem-obs` analyzers can re-derive and *gate* the
+/// conservation invariants from the report alone:
+///
+/// ```text
+/// xemem-obs v1
+/// run <id>
+/// sums <clock_root> <clock_leaf> <detached_root> <detached_leaf>
+/// lost <spans> <edges>
+/// span <c|d> <r|l|s> <op> <kind> <start> <dur> <parent_kind> <parent_start> <enclave> <pid> <segid>
+/// edge <kind> <src> <dst> <src_enclave> <src_pid> <src_segid> <dst_enclave> <dst_pid> <dst_segid>
+/// op_count <name> <n>
+/// edge_count <name> <n>
+/// counter <name> <v>
+/// hist <name> <count> <sum> <b0> … <b64>
+/// shard_counter <shard> <name> <v>
+/// shard_hist <shard> <count> <sum> <b0> … <b64>
+/// end <id>
+/// ```
+///
+/// Span level is `r` (root), `l` (leaf) or `s` (self-rooted leaf);
+/// timeline is `c` (clock) or `d` (detached). Zero-valued registry
+/// entries are omitted. Runs sort by id and spans/edges by content, so
+/// two merges over the same runs are byte-identical however the runs
+/// were scheduled — CI's obs-smoke job `cmp`s exactly that.
+pub fn merge_obs_report(runs: &[(u64, TraceHandle)]) -> String {
+    let mut sorted: Vec<&(u64, TraceHandle)> = runs.iter().collect();
+    sorted.sort_by_key(|(id, _)| *id);
+    let mut out = String::from(OBS_REPORT_HEADER);
+    for (id, handle) in sorted {
+        write_obs_run(&mut out, *id, handle);
+    }
+    out
+}
+
+fn write_obs_run(out: &mut String, id: u64, handle: &TraceHandle) {
+    let Some(snap) = handle.metrics_snapshot() else {
+        return;
+    };
+    out.push_str(&format!("run {id}\n"));
+    out.push_str(&format!(
+        "sums {} {} {} {}\n",
+        snap.sums.clock_root_ns,
+        snap.sums.clock_leaf_ns,
+        snap.sums.detached_root_ns,
+        snap.sums.detached_leaf_ns
+    ));
+    out.push_str(&format!(
+        "lost {} {}\n",
+        handle.lost_spans(),
+        handle.lost_edges()
+    ));
+    for s in handle.spans() {
+        let timeline = match s.timeline {
+            Timeline::Clock => 'c',
+            Timeline::Detached => 'd',
+        };
+        let level = if s.root {
+            'r'
+        } else if s.self_rooted {
+            's'
+        } else {
+            'l'
+        };
+        out.push_str(&format!(
+            "span {timeline} {level} {} {} {} {} {} {} {} {} {}\n",
+            s.op.as_str(),
+            s.kind.as_str(),
+            s.start.as_nanos(),
+            s.dur.as_nanos(),
+            s.parent_kind.as_str(),
+            s.parent_start.as_nanos(),
+            s.ctx.enclave,
+            s.ctx.pid,
+            s.ctx.segid
+        ));
+    }
+    for e in handle.edges() {
+        out.push_str(&format!(
+            "edge {} {} {} {} {} {} {} {} {}\n",
+            e.kind.as_str(),
+            e.src.as_nanos(),
+            e.dst.as_nanos(),
+            e.src_ctx.enclave,
+            e.src_ctx.pid,
+            e.src_ctx.segid,
+            e.dst_ctx.enclave,
+            e.dst_ctx.pid,
+            e.dst_ctx.segid
+        ));
+    }
+    for kind in SpanKind::ALL {
+        let n = snap.op_counts[kind as usize];
+        if n > 0 {
+            out.push_str(&format!("op_count {} {n}\n", kind.as_str()));
+        }
+    }
+    for kind in EdgeKind::ALL {
+        let n = snap.edge_counts[kind as usize];
+        if n > 0 {
+            out.push_str(&format!("edge_count {} {n}\n", kind.as_str()));
+        }
+    }
+    for counter in Counter::ALL {
+        let v = snap.counters[counter as usize];
+        if v > 0 {
+            out.push_str(&format!("counter {} {v}\n", counter.as_str()));
+        }
+    }
+    for hist in Hist::ALL {
+        let s = &snap.hists[hist as usize];
+        if s.count > 0 {
+            push_obs_hist(out, &format!("hist {}", hist.as_str()), s);
+        }
+    }
+    for (shard, row) in snap.shard_counters.iter().enumerate() {
+        for counter in ShardCounter::ALL {
+            let v = row[counter as usize];
+            if v > 0 {
+                out.push_str(&format!("shard_counter {shard} {} {v}\n", counter.as_str()));
+            }
+        }
+    }
+    for (shard, s) in snap.shard_lookup_ns.iter().enumerate() {
+        if s.count > 0 {
+            push_obs_hist(out, &format!("shard_hist {shard}"), s);
+        }
+    }
+    out.push_str(&format!("end {id}\n"));
+}
+
+fn push_obs_hist(out: &mut String, prefix: &str, s: &HistSnapshot) {
+    out.push_str(&format!("{prefix} {} {}", s.count, s.sum));
+    for b in s.buckets.iter() {
+        out.push_str(&format!(" {b}"));
+    }
+    out.push('\n');
 }
 
 // ----------------------------------------------------------------------
@@ -1732,5 +2262,149 @@ mod tests {
         let f_rev = merge_folded_stacks(&[r1, r0]);
         assert_eq!(f_fwd, f_rev);
         assert!(f_fwd.contains("attach;map_install 100"), "{f_fwd}");
+    }
+
+    #[test]
+    fn spans_carry_parent_links_and_timeline() {
+        let h = TraceHandle::enabled();
+        h.begin_op(SpanKind::Attach, t(100), Ctx::proc(1, 7), Timeline::Clock);
+        h.leaf(SpanKind::IpiWait, t(100), d(30), Ctx::enclave(1));
+        h.commit_op(t(130));
+        h.leaf(SpanKind::MapContention, t(5), d(25), Ctx::enclave(2));
+        let spans = h.spans();
+        let leaf = spans.iter().find(|s| s.kind == SpanKind::IpiWait).unwrap();
+        assert_eq!(leaf.parent_kind, SpanKind::Attach);
+        assert_eq!(leaf.parent_start, t(100));
+        assert_eq!(leaf.timeline, Timeline::Clock);
+        assert!(!leaf.self_rooted && !leaf.root);
+        let root = spans.iter().find(|s| s.root).unwrap();
+        assert_eq!(root.parent_kind, SpanKind::Attach);
+        assert_eq!(root.parent_start, root.start);
+        let sr = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::MapContention)
+            .unwrap();
+        assert!(sr.self_rooted && !sr.root);
+        assert_eq!(sr.timeline, Timeline::Detached);
+        assert_eq!(sr.parent_start, sr.start);
+    }
+
+    #[test]
+    fn edges_record_count_and_sort_by_content() {
+        let h = TraceHandle::enabled();
+        h.edge(
+            EdgeKind::BackoffRetry,
+            t(50),
+            t(90),
+            Ctx::enclave(1),
+            Ctx::enclave(1),
+        );
+        h.edge(
+            EdgeKind::SendRecv,
+            t(10),
+            t(30),
+            Ctx::enclave(0),
+            Ctx::enclave(2),
+        );
+        let edges = h.edges();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].kind, EdgeKind::SendRecv, "sorted by src time");
+        assert_eq!(edges[1].dst, t(90));
+        assert_eq!(h.edge_count(EdgeKind::SendRecv), 1);
+        assert_eq!(h.edge_count(EdgeKind::BackoffRetry), 1);
+        assert_eq!(h.edge_count(EdgeKind::RevokeAck), 0);
+        let disabled = TraceHandle::disabled();
+        disabled.edge(EdgeKind::SendRecv, t(0), t(1), Ctx::NONE, Ctx::NONE);
+        assert!(disabled.edges().is_empty());
+        let snap = h.metrics_snapshot().unwrap();
+        assert_eq!(snap.edge_counts[EdgeKind::SendRecv as usize], 1);
+    }
+
+    #[test]
+    fn lost_counts_track_ring_overwrites() {
+        let h = TraceHandle::with_capacity(4, 1);
+        assert_eq!(h.lost_spans(), 0);
+        for i in 0..10 {
+            h.leaf(SpanKind::MapContention, t(i), d(1), Ctx::enclave(0));
+        }
+        assert_eq!(h.lost_spans(), 6, "10 pushes into a 4-slot ring");
+        assert_eq!(h.lost_edges(), 0);
+    }
+
+    #[test]
+    fn escape_frame_escapes_separators_only() {
+        assert!(matches!(
+            escape_frame("map_install"),
+            std::borrow::Cow::Borrowed("map_install")
+        ));
+        assert_eq!(escape_frame("a;b c"), "a%3bb%20c");
+        assert_eq!(escape_frame("tab\there"), "tab%09here");
+        assert_eq!(escape_frame("line\nbreak"), "line%0abreak");
+        assert_eq!(escape_frame("50%"), "50%25");
+    }
+
+    #[test]
+    fn obs_report_is_merge_order_independent_and_integer_exact() {
+        let mk = |enclave: usize, ns: u64| {
+            let h = TraceHandle::enabled();
+            h.begin_op(
+                SpanKind::Attach,
+                t(0),
+                Ctx::enclave(enclave),
+                Timeline::Clock,
+            );
+            h.leaf(SpanKind::MapInstall, t(0), d(ns), Ctx::enclave(enclave));
+            h.commit_op(t(ns));
+            h.edge(
+                EdgeKind::SendRecv,
+                t(0),
+                t(ns),
+                Ctx::enclave(enclave),
+                Ctx::enclave(enclave + 1),
+            );
+            h
+        };
+        let r0 = (0u64, mk(1, 40));
+        let r1 = (1u64, mk(2, 60));
+        let fwd = merge_obs_report(&[r0.clone(), r1.clone()]);
+        let rev = merge_obs_report(&[r1, r0.clone()]);
+        assert_eq!(fwd, rev);
+        assert!(fwd.starts_with(OBS_REPORT_HEADER));
+        assert!(fwd.contains("run 0\n") && fwd.contains("run 1\n"));
+        assert!(fwd.contains("sums 40 40 0 0\n"), "{fwd}");
+        assert!(fwd.contains("span c r attach attach 0 40 attach 0 1 0 0\n"));
+        assert!(fwd.contains("span c l attach map_install 0 40 attach 0 1 0 0\n"));
+        assert!(fwd.contains("edge send_recv 0 40 1 0 0 2 0 0\n"));
+        assert!(fwd.contains("op_count attach 1\n"));
+        assert!(fwd.contains("edge_count send_recv 1\n"));
+        assert!(fwd.contains("lost 0 0\n"));
+        assert!(fwd.contains("end 1\n"));
+        // Single-handle convenience: same section under run 0.
+        let single = r0.1.obs_report();
+        assert!(single.contains("run 0\n") && single.contains("sums 40 40 0 0\n"));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_the_registry() {
+        let h = TraceHandle::enabled();
+        h.begin_op(SpanKind::Attach, t(0), Ctx::proc(1, 7), Timeline::Clock);
+        h.leaf(SpanKind::MapInstall, t(0), d(100), Ctx::NONE);
+        h.commit_op(t(100));
+        h.count(Counter::Retransmits, 2);
+        h.edge(EdgeKind::RevokeAck, t(1), t(2), Ctx::NONE, Ctx::NONE);
+        h.count_shard(3, ShardCounter::Lookups, 5);
+        h.observe_shard_lookup(3, 700);
+        let text = h.metrics_snapshot().unwrap().prometheus();
+        assert!(text.contains("xemem_attributed_ns{timeline=\"clock\",level=\"root\"} 100"));
+        assert!(text.contains("xemem_ops_total{op=\"attach\"} 1"));
+        assert!(text.contains("xemem_ops_total{op=\"detach\"} 0"), "{text}");
+        assert!(text.contains("xemem_edges_total{kind=\"revoke_ack\"} 1"));
+        assert!(text.contains("# TYPE xemem_retransmits counter\nxemem_retransmits 2"));
+        assert!(text.contains("# TYPE xemem_attach_ns histogram"));
+        assert!(text.contains("xemem_attach_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("xemem_attach_ns_sum 100"));
+        assert!(text.contains("xemem_shard_lookups{shard=\"3\"} 5"));
+        assert!(text.contains("xemem_shard_lookup_ns_bucket{shard=\"3\",le=\"1023\"} 1"));
+        assert!(text.contains("xemem_shard_lookup_ns_count{shard=\"3\"} 1"));
     }
 }

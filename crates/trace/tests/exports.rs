@@ -1,0 +1,159 @@
+//! Export-format regression tests.
+//!
+//! The chrome-trace lane layout (`pid = run_id * RUN_PID_STRIDE +
+//! enclave`) is a contract with saved traces and with the `obs`
+//! toolkit, so the merged JSON is pinned against a committed golden
+//! file byte-for-byte. The bench driver's aggregate metrics fold
+//! assumes [`MetricsSnapshot::absorb`] is commutative and associative
+//! (runs complete in scheduler order, the fold must not care), which a
+//! property test checks over randomized snapshots.
+
+use proptest::prelude::*;
+use xemem_sim::{SimDuration, SimTime};
+use xemem_trace::{
+    merge_chrome_trace_json, ConservationSums, Ctx, HistSnapshot, MetricsSnapshot, SpanKind,
+    Timeline, TraceHandle, HIST_BUCKETS, MAX_SHARDS, RUN_PID_STRIDE,
+};
+
+fn t(ns: u64) -> SimTime {
+    SimTime::from_nanos(ns)
+}
+
+fn d(ns: u64) -> SimDuration {
+    SimDuration::from_nanos(ns)
+}
+
+/// Two runs with non-trivial ids, enclaves, thread pids and segids —
+/// enough to exercise every field of the lane-layout scheme.
+fn sample_runs() -> Vec<(u64, TraceHandle)> {
+    let a = TraceHandle::with_capacity(64, 4);
+    a.begin_op(
+        SpanKind::Attach,
+        t(100),
+        Ctx::seg(0, 11, 0xA),
+        Timeline::Clock,
+    );
+    a.leaf(SpanKind::IpiWait, t(100), d(40), Ctx::seg(0, 11, 0xA));
+    a.leaf(SpanKind::MapInstall, t(140), d(10), Ctx::seg(2, 11, 0xA));
+    a.commit_op(t(150));
+    let b = TraceHandle::with_capacity(64, 4);
+    b.begin_op(SpanKind::Get, t(200), Ctx::proc(1, 7), Timeline::Detached);
+    b.leaf(SpanKind::NsProcess, t(200), d(25), Ctx::proc(1, 7));
+    b.commit_op(t(225));
+    // Completion order is descending run id on purpose: the merge must
+    // sort by id, not take the slice order.
+    vec![(7, b), (3, a)]
+}
+
+#[test]
+fn chrome_trace_lane_layout_matches_golden() {
+    let json = merge_chrome_trace_json(&sample_runs());
+    // Lane scheme: run 3 enclave 0 -> pid 3000, run 3 enclave 2 ->
+    // pid 3002, run 7 enclave 1 -> pid 7001.
+    assert_eq!(RUN_PID_STRIDE, 1000);
+    for pid in ["\"pid\":3000", "\"pid\":3002", "\"pid\":7001"] {
+        assert!(json.contains(pid), "missing lane {pid} in:\n{json}");
+    }
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_lanes.json"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &json).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        json, golden,
+        "merged chrome-trace JSON drifted from tests/golden/chrome_lanes.json — \
+         if the lane scheme changed intentionally, rerun with BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn chrome_trace_merge_ignores_slice_order() {
+    let mut runs = sample_runs();
+    let forward = merge_chrome_trace_json(&runs);
+    runs.reverse();
+    assert_eq!(forward, merge_chrome_trace_json(&runs));
+}
+
+/// A snapshot with every field filled from a deterministic stream —
+/// sums, op/edge/counter arrays, histograms, shard tables.
+fn rand_snapshot(seed: u64) -> MetricsSnapshot {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        // Bounded so that summing three snapshots can never overflow.
+        (z ^ (z >> 31)) & 0xFFFF_FFFF
+    };
+    let hist = |next: &mut dyn FnMut() -> u64| {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for b in buckets.iter_mut() {
+            *b = next();
+        }
+        HistSnapshot {
+            count: next(),
+            sum: next(),
+            buckets,
+        }
+    };
+    let mut s = MetricsSnapshot::zero();
+    s.sums = ConservationSums {
+        clock_root_ns: next(),
+        clock_leaf_ns: next(),
+        detached_root_ns: next(),
+        detached_leaf_ns: next(),
+    };
+    for v in s.op_counts.iter_mut() {
+        *v = next();
+    }
+    for v in s.counters.iter_mut() {
+        *v = next();
+    }
+    for v in s.edge_counts.iter_mut() {
+        *v = next();
+    }
+    for h in s.hists.iter_mut() {
+        *h = hist(&mut next);
+    }
+    for row in s.shard_counters.iter_mut() {
+        for v in row.iter_mut() {
+            *v = next();
+        }
+    }
+    for h in s.shard_lookup_ns.iter_mut() {
+        *h = hist(&mut next);
+    }
+    assert_eq!(s.shard_lookup_ns.len(), MAX_SHARDS);
+    s
+}
+
+fn folded(parts: &[&MetricsSnapshot]) -> MetricsSnapshot {
+    let mut acc = MetricsSnapshot::zero();
+    for p in parts {
+        acc.absorb(p);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `absorb` is commutative and associative with `zero` as identity,
+    /// so the driver's per-run fold is independent of completion order.
+    #[test]
+    fn absorb_is_commutative_and_associative(seed in any::<u64>()) {
+        let a = rand_snapshot(seed);
+        let b = rand_snapshot(seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1));
+        let c = rand_snapshot(seed.rotate_left(17) ^ 0xDEAD_BEEF);
+
+        prop_assert_eq!(folded(&[&a, &b]), folded(&[&b, &a]));
+        let left = folded(&[&folded(&[&a, &b]), &c]);
+        let right = folded(&[&a, &folded(&[&b, &c])]);
+        prop_assert_eq!(left, right);
+        prop_assert_eq!(folded(&[&a, &MetricsSnapshot::zero()]), a);
+    }
+}

@@ -6,7 +6,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use xemem_sim::{SimDuration, SimTime};
-use xemem_trace::{Counter, Ctx, Hist, SpanKind, Timeline, TraceHandle};
+use xemem_trace::{Counter, Ctx, EdgeKind, Hist, SpanKind, Timeline, TraceHandle};
 
 struct CountingAlloc;
 
@@ -47,6 +47,7 @@ fn disabled_tracing_hooks_never_allocate() {
         handle.commit_op(start + dur.times(4));
         handle.count(Counter::Retransmits, i);
         handle.observe(Hist::AttachNs, i);
+        handle.edge(EdgeKind::SendRecv, start, start + dur, ctx, ctx);
         assert!(!handle.is_enabled());
     }
     let after = ALLOCS.load(Ordering::SeqCst);

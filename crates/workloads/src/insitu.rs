@@ -25,7 +25,7 @@
 
 use crate::hpccg::{HpccgModel, HpccgProblem};
 use crate::stream::stream_time;
-use xemem::{GuestOs, MemoryMapKind, SystemBuilder, VirtAddr, XememError};
+use xemem::{GuestOs, MemoryMapKind, SystemBuilder, TraceHandle, VirtAddr, XememError};
 use xemem_sim::noise::{finish_time_with_noise, CompositeNoise, NoiseGen};
 use xemem_sim::{CostModel, SimDuration, SimRng, SimTime};
 
@@ -200,6 +200,17 @@ struct Timelines {
 
 /// Run the composed workload; see the module docs.
 pub fn run_insitu(cfg: &InsituConfig) -> Result<InsituResult, XememError> {
+    run_insitu_traced(cfg, &TraceHandle::disabled())
+}
+
+/// [`run_insitu`] with an explicit tracer: every charge the workload
+/// drives through the system lands on `tracer` (instead of the
+/// process-global fallback), so parallel bench units can trace into
+/// per-unit handles.
+pub fn run_insitu_traced(
+    cfg: &InsituConfig,
+    tracer: &TraceHandle,
+) -> Result<InsituResult, XememError> {
     let cost = CostModel::default();
     let mut rng = SimRng::seed_from_u64(cfg.seed);
 
@@ -208,7 +219,9 @@ pub fn run_insitu(cfg: &InsituConfig) -> Result<InsituResult, XememError> {
     let slack = 64 << 20;
     let sim_mem = 2 * region + slack;
     let ana_mem = region + slack;
-    let mut b = SystemBuilder::new().with_cost(cost.clone());
+    let mut b = SystemBuilder::new()
+        .with_cost(cost.clone())
+        .with_tracer(tracer.clone());
     b = match (cfg.sim_enclave, cfg.analytics_enclave) {
         (SimEnclave::LinuxNative, AnalyticsEnclave::LinuxNative) => {
             b.linux_management("linux", 8, sim_mem + ana_mem)
