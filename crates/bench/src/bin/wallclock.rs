@@ -18,9 +18,10 @@ use serde::Serialize;
 use xemem::TraceHandle;
 use xemem_bench::pdes_churn::{CHURN_ENCLAVES, CHURN_LANES};
 use xemem_bench::wallclock::{
-    cells_bitwise_equal, measure_attach, measure_attach_with, measure_intra, measure_profile,
-    measure_sweep, BenchStats, Json, Profile, CHECK_FACTOR, CHECK_FLOOR_NS, FULL_BYTES,
-    INTRA_SPEEDUP_FACTOR, PARALLEL_JOBS, PARALLEL_SPEEDUP_FACTOR, SMOKE_BYTES, TRACE_CHECK_FACTOR,
+    cells_bitwise_equal, measure_attach, measure_attach_with, measure_intra, measure_pool,
+    measure_profile, measure_sweep, BenchStats, Json, Profile, CHECK_FACTOR, CHECK_FLOOR_NS,
+    FULL_BYTES, INTRA_SPEEDUP_FACTOR, PARALLEL_JOBS, PARALLEL_SPEEDUP_FACTOR, POOL_PAIRS,
+    POOL_SLOTS, SMOKE_BYTES, TRACE_CHECK_FACTOR,
 };
 use xemem_sim::host_parallelism;
 
@@ -101,6 +102,29 @@ struct IntraRunSection {
     skip_reason: String,
 }
 
+/// Schema-5 pool fast-path columns: host wall time of the buffer-pool
+/// hot paths — slot acquire+release recycling and the full
+/// acquire→publish→consume→release ring cycle — plus end-to-end
+/// slots/sec through the ring. The `--check` gate holds both per-op
+/// means to [`CHECK_FACTOR`]× their committed values, comparing
+/// whole-loop wall time with the usual [`CHECK_FLOOR_NS`] absolute
+/// floor so runner jitter on nanosecond-scale ops cannot trip it.
+#[derive(Debug, Clone, Serialize)]
+struct PoolSection {
+    /// Cores the measuring host exposed (`available_parallelism`).
+    host_parallelism: usize,
+    /// Slots in the measured pool.
+    slots: u32,
+    /// Iterations per timed loop.
+    pairs: u32,
+    /// Mean host ns per acquire+release pair.
+    acquire_release_ns: f64,
+    /// Mean host ns per full ring cycle.
+    ring_op_ns: f64,
+    /// Slots through the ring per host second.
+    slots_per_sec: f64,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct Report {
     schema: u32,
@@ -117,6 +141,20 @@ struct Report {
     parallel: ParallelSection,
     /// Intra-run PDES lane-parallelism columns (schema 4).
     intra_run: IntraRunSection,
+    /// Buffer-pool fast-path columns (schema 5).
+    pool: PoolSection,
+}
+
+fn measure_pool_section() -> PoolSection {
+    let (ar_total, ring_total) = measure_pool(POOL_PAIRS).expect("pool timing");
+    PoolSection {
+        host_parallelism: host_parallelism(),
+        slots: POOL_SLOTS,
+        pairs: POOL_PAIRS,
+        acquire_release_ns: ar_total as f64 / POOL_PAIRS as f64,
+        ring_op_ns: ring_total as f64 / POOL_PAIRS as f64,
+        slots_per_sec: POOL_PAIRS as f64 * 1e9 / ring_total as f64,
+    }
 }
 
 fn measure_parallel_section() -> ParallelSection {
@@ -379,6 +417,50 @@ fn run_check(out_path: &str, iters: u32) {
              gate needs >= {PARALLEL_JOBS} cores (bitwise identity still enforced above)"
         );
     }
+
+    // Pool fast-path gate (schema 5): re-time the buffer-pool hot loops
+    // and hold both per-op means to CHECK_FACTOR× the committed
+    // columns. The comparison is on whole-loop wall time with the same
+    // absolute floor, so scheduler jitter on nanosecond-scale ops
+    // cannot trip the gate spuriously — only a real fast-path
+    // regression (an allocation, a scan, a tracer call on the hot
+    // path) can.
+    let committed_pool = |k: &str| {
+        doc.path(&["pool", k])
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "wallclock --check: pool.{k} missing in {out_path} (regenerate schema 5)"
+                );
+                std::process::exit(1);
+            })
+    };
+    let committed_ar = committed_pool("acquire_release_ns");
+    let committed_ring = committed_pool("ring_op_ns");
+    let (ar_total, ring_total) = measure_pool(POOL_PAIRS).expect("pool timing");
+    for (name, total, committed_per_op) in [
+        ("acquire+release", ar_total, committed_ar),
+        ("ring cycle", ring_total, committed_ring),
+    ] {
+        let limit = (committed_per_op * POOL_PAIRS as f64 * CHECK_FACTOR).max(CHECK_FLOOR_NS);
+        println!(
+            "wallclock --check: pool {name} {:.1} ns/op over {POOL_PAIRS} iters \
+             (committed {committed_per_op:.1} ns/op, loop limit {:.3} ms)",
+            total as f64 / POOL_PAIRS as f64,
+            limit / 1e6,
+        );
+        if total as f64 > limit {
+            eprintln!(
+                "wallclock --check: FAIL — pool {name} wall time regressed more than \
+                 {CHECK_FACTOR}x against the committed column"
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "wallclock --check: pool ring throughput {:.0} slots/sec",
+        POOL_PAIRS as f64 * 1e9 / ring_total as f64
+    );
     println!("wallclock --check: OK");
 }
 
@@ -463,13 +545,17 @@ fn main() {
     );
     let intra_run = measure_intra_section();
 
+    println!("wallclock: measuring pool fast paths ({POOL_PAIRS} iters per loop)...");
+    let pool = measure_pool_section();
+
     let report = Report {
-        schema: 4,
+        schema: 5,
         note: "Host wall-clock times for the XEMEM simulator's structural work. \
                Virtual-time figures are unaffected by construction; see DESIGN.md \
-               'Wall-clock vs virtual time'. The parallel and intra_run sections' \
-               speedups are honest for the host_parallelism they record; intra_run \
-               records an explicit skip on hosts below the gate's core count."
+               'Wall-clock vs virtual time'. The parallel, intra_run and pool \
+               sections' numbers are honest for the host_parallelism they record; \
+               intra_run records an explicit skip on hosts below the gate's core \
+               count."
             .to_string(),
         attach_full_speedup_vs_baseline: baseline.full.attach.mean_ns / run.full.attach.mean_ns,
         baseline,
@@ -477,6 +563,7 @@ fn main() {
         tracing,
         parallel,
         intra_run,
+        pool,
     };
 
     println!("baseline ({}):", report.baseline.label);
@@ -519,6 +606,15 @@ fn main() {
     } else {
         println!();
     }
+    println!(
+        "pool fast paths ({} slots, {} iters): acquire+release {:.1} ns/op, \
+         ring cycle {:.1} ns/op, {:.0} slots/sec",
+        report.pool.slots,
+        report.pool.pairs,
+        report.pool.acquire_release_ns,
+        report.pool.ring_op_ns,
+        report.pool.slots_per_sec,
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out_path, json + "\n").expect("write BENCH_wallclock.json");

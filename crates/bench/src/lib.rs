@@ -26,6 +26,7 @@ pub mod fig9;
 pub mod nameserver_chaos;
 pub mod nameserver_scaling;
 pub mod pdes_churn;
+pub mod pool_throughput;
 pub mod table2;
 pub mod wallclock;
 

@@ -74,7 +74,7 @@ pub use error::XememError;
 pub use ids::{AccessMode, Apid, EnclaveId, EnclaveRef, ProcessRef, Segid};
 pub use name_server::{FailoverReport, NameService};
 pub use protocol::{MessageKind, MessageRecord};
-pub use system::{LanePart, System, SystemBuilder};
+pub use system::{CrashNotice, LanePart, System, SystemBuilder};
 
 pub use xemem_mem::{Pid, VirtAddr};
 pub use xemem_palacios::MemoryMapKind;

@@ -78,6 +78,20 @@ pub struct AttachOutcome {
     pub map: SimDuration,
 }
 
+/// One crash observed by the system, queued for subscribers that keep
+/// derived per-enclave state (the buffer-pool service layer's sweeper):
+/// [`System::drain_crash_notices`] hands them out exactly once, in the
+/// order the crashes landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashNotice {
+    /// Slot index of the enclave the crash hit.
+    pub slot: usize,
+    /// Pid of the dead process, or `None` when the whole enclave died.
+    pub pid: Option<u32>,
+    /// Virtual time the crash landed.
+    pub at: SimTime,
+}
+
 /// The multi-enclave node.
 pub struct System {
     pub(crate) cost: CostModel,
@@ -107,6 +121,8 @@ pub struct System {
     grants: HashMap<(usize, Segid), u64>,
     /// Frames on loan from dead exporters (see [`Loan`]).
     loans: Vec<Loan>,
+    /// Crashes not yet drained by [`System::drain_crash_notices`].
+    crash_notices: Vec<CrashNotice>,
     /// Virtual-time span/metrics sink. Disabled handles are inert
     /// (inlined `None` branch — no allocation on any hot path), and the
     /// virtual-time arithmetic is identical either way.
@@ -226,6 +242,14 @@ impl System {
         self.loans.len()
     }
 
+    /// Crashes (process kills, enclave crashes, destroys) recorded since
+    /// the last drain, in landing order. Consumers with derived
+    /// per-enclave state — the buffer-pool sweeper above all — poll this
+    /// to reclaim what the dead held; each notice is delivered once.
+    pub fn drain_crash_notices(&mut self) -> Vec<CrashNotice> {
+        std::mem::take(&mut self.crash_notices)
+    }
+
     /// Outstanding `xpmem_get` grants against a segment — the
     /// exporter-side refcount dropped by release and by attacher exit.
     pub fn outstanding_grants(&self, e: EnclaveRef, segid: Segid) -> u64 {
@@ -235,6 +259,14 @@ impl System {
     // ------------------------------------------------------------------
     // Fault injection and crash-consistent teardown
     // ------------------------------------------------------------------
+
+    /// Deliver every injected fault due at or before the current clock.
+    /// Normally faults piggyback on API calls; end-of-run drains (e.g. a
+    /// final pool crash sweep after the last workload op) call this
+    /// explicitly so late-scheduled crashes still land and notify.
+    pub fn deliver_pending_faults(&mut self) {
+        self.process_faults(self.clock.now());
+    }
 
     /// Deliver injected faults due at or before `now`. Polled at the head
     /// of every operation and at attach's intermediate timestamps, so
@@ -253,7 +285,7 @@ impl System {
                     };
                     self.events.record(ev.at, duration, label);
                 }
-                FaultKind::EnclaveCrash { slot } => {
+                FaultKind::EnclaveCrash { slot } | FaultKind::PoolConsumerCrash { slot, .. } => {
                     let slot = slot % self.slots.len();
                     if self.name_service.is_sole_replica(slot) {
                         // A shard with no surviving replica loses its
@@ -515,6 +547,11 @@ impl System {
             SimDuration::ZERO,
             format!("crash:process:slot{slot_idx}:pid{}", p.pid.0),
         );
+        self.crash_notices.push(CrashNotice {
+            slot: slot_idx,
+            pid: Some(p.pid.0),
+            at,
+        });
         for segid in segids {
             let seg = self.slots[slot_idx]
                 .segs
@@ -652,6 +689,11 @@ impl System {
             SimDuration::ZERO,
             format!("crash:enclave:{}", self.slots[slot_idx].name),
         );
+        self.crash_notices.push(CrashNotice {
+            slot: slot_idx,
+            pid: None,
+            at: t,
+        });
         self.slots[slot_idx].alive = false;
         // Name-service failover: every shard this slot led promotes its
         // lowest-position surviving follower, loses whatever had not
@@ -3164,6 +3206,7 @@ impl SystemBuilder {
             attachers: HashMap::new(),
             grants: HashMap::new(),
             loans: Vec::new(),
+            crash_notices: Vec::new(),
             tracer,
         };
         system.register_all()?;

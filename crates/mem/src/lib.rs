@@ -19,6 +19,7 @@ pub mod kernel;
 pub mod page_table;
 pub mod pfn_list;
 pub mod phys;
+pub mod slab;
 pub mod types;
 
 pub use addr_space::{AddressSpace, Region, RegionKind};
@@ -28,4 +29,5 @@ pub use kernel::{AttachSemantics, KernelError, KernelKind, MappingKernel, Pid};
 pub use page_table::{PageTable, PteFlags};
 pub use pfn_list::PfnList;
 pub use phys::{PhysAccess, PhysicalMemory};
+pub use slab::{SlabLayout, SLOT_HEADER_BYTES};
 pub use types::{PageSize, Pfn, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};

@@ -1,0 +1,132 @@
+//! Slot-indexed slab layout for the buffer-pool service layer.
+//!
+//! A pool lives inside one exported segment: a metadata header region
+//! (one fixed-size record per slot, holding refcount/generation words)
+//! followed by the data slabs, one size-classed slab per slot. The
+//! layout is a pure function of `(slots, slot_bytes)`, so the exporter
+//! and every attached consumer compute identical offsets from the
+//! segment base — no pointers cross the enclave boundary, only slot
+//! indices. Everything is page-aligned so the segment attaches through
+//! the extent fast path in O(extents).
+
+use crate::types::PAGE_SIZE;
+
+/// Bytes reserved per slot in the metadata header region: refcount,
+/// generation, size-class and owner tags, padded to a cache line so
+/// per-slot refcount traffic never false-shares.
+pub const SLOT_HEADER_BYTES: u64 = 64;
+
+/// The computed layout of a pool segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabLayout {
+    /// Number of slots.
+    pub slots: u64,
+    /// Usable bytes per data slab (the size class).
+    pub slot_bytes: u64,
+    /// Bytes of the header region (page-aligned).
+    pub header_bytes: u64,
+    /// Page-aligned stride between consecutive data slabs.
+    pub slab_stride: u64,
+}
+
+impl SlabLayout {
+    /// Compute the layout for `slots` slabs of `slot_bytes` each.
+    /// Returns `None` for degenerate shapes (zero slots or zero-byte
+    /// slabs) instead of an all-zero layout callers could misuse.
+    pub fn new(slots: u64, slot_bytes: u64) -> Option<SlabLayout> {
+        if slots == 0 || slot_bytes == 0 {
+            return None;
+        }
+        Some(SlabLayout {
+            slots,
+            slot_bytes,
+            header_bytes: align_up(slots * SLOT_HEADER_BYTES, PAGE_SIZE),
+            slab_stride: align_up(slot_bytes, PAGE_SIZE),
+        })
+    }
+
+    /// Total segment bytes the pool needs (header region + all slabs).
+    pub fn segment_bytes(&self) -> u64 {
+        self.header_bytes + self.slots * self.slab_stride
+    }
+
+    /// Byte offset of slot `i`'s header record from the segment base.
+    pub fn header_offset(&self, i: u64) -> u64 {
+        debug_assert!(i < self.slots);
+        i * SLOT_HEADER_BYTES
+    }
+
+    /// Byte offset of slot `i`'s data slab from the segment base.
+    pub fn slab_offset(&self, i: u64) -> u64 {
+        debug_assert!(i < self.slots);
+        self.header_bytes + i * self.slab_stride
+    }
+
+    /// The slot whose data slab contains segment offset `off`, if any.
+    pub fn slot_of_offset(&self, off: u64) -> Option<u64> {
+        if off < self.header_bytes {
+            return None;
+        }
+        let i = (off - self.header_bytes) / self.slab_stride;
+        let within = (off - self.header_bytes) % self.slab_stride;
+        (i < self.slots && within < self.slot_bytes).then_some(i)
+    }
+}
+
+fn align_up(v: u64, to: u64) -> u64 {
+    v.div_ceil(to) * to
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_page_aligned_and_disjoint() {
+        let l = SlabLayout::new(100, 3_000).unwrap();
+        assert_eq!(l.header_bytes % PAGE_SIZE, 0);
+        assert_eq!(l.slab_stride % PAGE_SIZE, 0);
+        assert!(l.header_bytes >= 100 * SLOT_HEADER_BYTES);
+        assert!(l.slab_stride >= 3_000);
+        // Headers never overlap slabs; slabs never overlap each other.
+        for i in 0..100 {
+            assert!(l.header_offset(i) + SLOT_HEADER_BYTES <= l.header_bytes);
+            let s = l.slab_offset(i);
+            assert!(s >= l.header_bytes);
+            assert!(s + l.slot_bytes <= l.segment_bytes());
+            if i > 0 {
+                assert_eq!(s - l.slab_offset(i - 1), l.slab_stride);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_of_offset_inverts_slab_offset() {
+        let l = SlabLayout::new(17, 10_000).unwrap();
+        for i in 0..17 {
+            assert_eq!(l.slot_of_offset(l.slab_offset(i)), Some(i));
+            assert_eq!(
+                l.slot_of_offset(l.slab_offset(i) + l.slot_bytes - 1),
+                Some(i)
+            );
+        }
+        // Header bytes and inter-slab padding resolve to no slot.
+        assert_eq!(l.slot_of_offset(0), None);
+        assert_eq!(l.slot_of_offset(l.slab_offset(0) + l.slot_bytes), None);
+        assert_eq!(l.slot_of_offset(l.segment_bytes()), None);
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected() {
+        assert_eq!(SlabLayout::new(0, 4096), None);
+        assert_eq!(SlabLayout::new(8, 0), None);
+    }
+
+    #[test]
+    fn exact_page_multiples_add_no_padding() {
+        let l = SlabLayout::new(64, PAGE_SIZE).unwrap();
+        assert_eq!(l.header_bytes, PAGE_SIZE); // 64 × 64 B = exactly one page
+        assert_eq!(l.slab_stride, PAGE_SIZE);
+        assert_eq!(l.segment_bytes(), PAGE_SIZE + 64 * PAGE_SIZE);
+    }
+}

@@ -977,4 +977,60 @@ mod tests {
         let err = check(&report).unwrap_err();
         assert!(err.contains("span-derived"), "{err}");
     }
+
+    /// A buffer-pool run: acquire/publish on the producer, a consume
+    /// linked by `slot_publish_consume`, and a crash sweep linked by
+    /// `crash_slot_sweep`.
+    fn pool_sample() -> String {
+        let h = TraceHandle::with_capacity(64, 4);
+        let prod = Ctx::seg(0, 1, 7);
+        let cons = Ctx::seg(3, 1, 7);
+        h.begin_op(SpanKind::PoolAcquire, t(0), prod, Timeline::Detached);
+        h.leaf(SpanKind::PoolSlotScan, t(0), d(10), prod);
+        h.leaf(SpanKind::PoolSlotInit, t(10), d(15), prod);
+        h.leaf(SpanKind::PoolRefcount, t(25), d(5), prod);
+        h.commit_op(t(30));
+        h.begin_op(SpanKind::PoolPublish, t(30), prod, Timeline::Detached);
+        h.leaf(SpanKind::PoolRingOp, t(30), d(20), prod);
+        h.leaf(SpanKind::PoolRefcount, t(50), d(5), prod);
+        h.commit_op(t(55));
+        h.begin_op(SpanKind::PoolConsume, t(60), cons, Timeline::Detached);
+        h.leaf(SpanKind::PoolRingOp, t(60), d(20), cons);
+        h.leaf(SpanKind::PoolRefcount, t(80), d(5), cons);
+        h.commit_op(t(85));
+        h.edge(EdgeKind::SlotPublishConsume, t(55), t(85), prod, cons);
+        h.begin_op(SpanKind::PoolSweep, t(90), prod, Timeline::Detached);
+        h.leaf(SpanKind::PoolSweepSlot, t(90), d(25), prod);
+        h.commit_op(t(115));
+        h.edge(EdgeKind::CrashSlotSweep, t(90), t(115), cons, prod);
+        xemem_trace::merge_obs_report(&[(0, h)])
+    }
+
+    #[test]
+    fn pool_ops_flow_through_the_analyzer() {
+        let report = Report::parse(&pool_sample()).unwrap();
+        let summary = check(&report).unwrap();
+        assert_eq!(summary.edges, 2);
+
+        // The acquire decomposes exactly into its charge sites.
+        let acq = explain(&report, SpanKind::PoolAcquire);
+        assert_eq!(acq.instances, 1);
+        assert_eq!(acq.total_ns, 30);
+        assert_eq!(
+            acq.components,
+            vec![
+                (SpanKind::PoolSlotInit, 15),
+                (SpanKind::PoolSlotScan, 10),
+                (SpanKind::PoolRefcount, 5),
+            ]
+        );
+
+        // The publish→consume handoff lands inside the consume op.
+        let consume = explain(&report, SpanKind::PoolConsume);
+        assert_eq!(consume.incoming, vec![(EdgeKind::SlotPublishConsume, 1)]);
+        // The crash→sweep edge lands inside the sweep op.
+        let sweep = explain(&report, SpanKind::PoolSweep);
+        assert_eq!(sweep.incoming, vec![(EdgeKind::CrashSlotSweep, 1)]);
+        assert_eq!(sweep.components, vec![(SpanKind::PoolSweepSlot, 25)]);
+    }
 }

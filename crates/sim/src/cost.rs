@@ -273,6 +273,34 @@ pub struct CostModel {
     /// Time a shard stays unavailable after its leader dies while the
     /// surviving replicas run the (deterministic) election.
     pub ns_election_timeout_ns: u64,
+
+    // ------------------------------------------------------------------
+    // Buffer-pool service layer
+    // ------------------------------------------------------------------
+    /// Free-list scan/pop/push inside the pool's slot-indexed metadata
+    /// header: one cache line of shared state per operation.
+    pub pool_slot_scan_ns: u64,
+
+    /// Slot header initialization on acquire (size class, generation,
+    /// owner tags). The `dayn9t/xmem` exemplar lands allocation in the
+    /// low-microsecond band; scan + init + refcount sits well under it
+    /// because the data slab is pre-carved.
+    pub pool_slot_init_ns: u64,
+
+    /// One refcount increment/decrement on a slot header (the exemplar's
+    /// headline ~7 ns atomic).
+    pub pool_ref_ns: u64,
+
+    /// One SPSC/MPSC ring push (slot index + generation word, release
+    /// store).
+    pub pool_ring_push_ns: u64,
+
+    /// One SPSC/MPSC ring pop (acquire load + head bump).
+    pub pool_ring_pop_ns: u64,
+
+    /// Exporter-side reclamation of one slot held by a crashed consumer
+    /// (hold-table walk, generation bump, free-list push).
+    pub pool_sweep_slot_ns: u64,
 }
 
 impl Default for CostModel {
@@ -323,6 +351,12 @@ impl Default for CostModel {
             ns_lease_renew_ns: 150,
             ns_replication_lag_ns: 20_000,
             ns_election_timeout_ns: 30_000,
+            pool_slot_scan_ns: 40,
+            pool_slot_init_ns: 120,
+            pool_ref_ns: 7,
+            pool_ring_push_ns: 60,
+            pool_ring_pop_ns: 60,
+            pool_sweep_slot_ns: 500,
         }
     }
 }
@@ -445,6 +479,16 @@ impl CostModel {
         SimDuration::from_nanos(self.vmm_translate_floor_ns + self.rb_level_ns * visits as u64)
             .times(covered)
     }
+
+    /// Buffer-pool refcount charge for `refs` increments/decrements.
+    pub fn pool_refs(&self, refs: u64) -> SimDuration {
+        SimDuration::from_nanos(self.pool_ref_ns).times(refs)
+    }
+
+    /// Exporter-side crash sweep over `slots` reclaimed slot references.
+    pub fn pool_sweep(&self, slots: u64) -> SimDuration {
+        SimDuration::from_nanos(self.pool_sweep_slot_ns).times(slots)
+    }
 }
 
 #[cfg(test)]
@@ -558,6 +602,19 @@ mod tests {
             looped += SimDuration::from_nanos(m.vmm_translate_floor_ns + m.rb_level_ns * 12);
         }
         assert_eq!(m.vmm_translate(12, 33), looped);
+        // Pool batches: refcount and sweep charges equal the per-item loop.
+        for n in [0u64, 1, 7, 513] {
+            let mut looped = SimDuration::ZERO;
+            for _ in 0..n {
+                looped += SimDuration::from_nanos(m.pool_ref_ns);
+            }
+            assert_eq!(m.pool_refs(n), looped, "pool_refs({n})");
+            let mut looped = SimDuration::ZERO;
+            for _ in 0..n {
+                looped += SimDuration::from_nanos(m.pool_sweep_slot_ns);
+            }
+            assert_eq!(m.pool_sweep(n), looped, "pool_sweep({n})");
+        }
     }
 
     #[test]

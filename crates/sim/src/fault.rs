@@ -42,6 +42,16 @@ pub enum FaultKind {
         /// `Some(s)` silences only shard `s` of a sharded name service.
         shard: Option<usize>,
     },
+    /// A buffer-pool consumer enclave dies while holding slot references.
+    /// Semantically an [`FaultKind::EnclaveCrash`], plus a declared
+    /// highest pool-slot index the consumer may be holding when it dies
+    /// (so plans can be validated against the pool's capacity up front).
+    PoolConsumerCrash {
+        /// Slot index of the consumer enclave.
+        slot: usize,
+        /// Highest pool-slot index the scenario lets this consumer hold.
+        pool_slot: usize,
+    },
 }
 
 /// A scheduled failure: a kind plus the virtual instant it fires.
@@ -78,6 +88,9 @@ pub struct FaultPlan {
     events: Vec<FaultEvent>,
     drop_windows: Vec<LossWindow>,
     duplicate_windows: Vec<LossWindow>,
+    /// Declared buffer-pool capacity (slot count) the plan's pool
+    /// scenarios run against; `None` when the plan has no pool events.
+    pool_capacity: Option<usize>,
 }
 
 impl FaultPlan {
@@ -131,6 +144,24 @@ impl FaultPlan {
                 duration,
                 shard: Some(shard),
             },
+        });
+        self
+    }
+
+    /// Declare the capacity (slot count) of the buffer pool the plan's
+    /// pool scenarios target; [`FaultPlan::validate`] checks every
+    /// [`FaultKind::PoolConsumerCrash`] against it.
+    pub fn pool_capacity(mut self, slots: usize) -> Self {
+        self.pool_capacity = Some(slots);
+        self
+    }
+
+    /// Schedule the pool-consumer enclave at `slot` to crash at `at`
+    /// while it may hold pool slots up to index `pool_slot`.
+    pub fn pool_consumer_crash(mut self, at: SimTime, slot: usize, pool_slot: usize) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::PoolConsumerCrash { slot, pool_slot },
         });
         self
     }
@@ -282,6 +313,32 @@ impl FaultPlan {
                                 event.at.as_nanos()
                             ));
                         }
+                    }
+                }
+                FaultKind::PoolConsumerCrash { slot, pool_slot } => {
+                    if slot >= n_slots {
+                        return Err(format!(
+                            "fault plan crashes pool consumer in enclave slot {slot} at t={} ns, \
+                             but only {n_slots} slots exist",
+                            event.at.as_nanos()
+                        ));
+                    }
+                    match self.pool_capacity {
+                        None => {
+                            return Err(format!(
+                                "fault plan schedules a pool consumer crash at t={} ns \
+                                 without declaring a pool capacity; call pool_capacity(n) first",
+                                event.at.as_nanos()
+                            ));
+                        }
+                        Some(capacity) if pool_slot >= capacity => {
+                            return Err(format!(
+                                "fault plan references pool slot {pool_slot} at t={} ns, \
+                                 but the declared pool capacity is {capacity} slots",
+                                event.at.as_nanos()
+                            ));
+                        }
+                        Some(_) => {}
                     }
                 }
             }
@@ -591,7 +648,9 @@ mod tests {
             .kill_process(SimTime::from_nanos(20), 0, 7)
             .name_server_outage(SimTime::from_nanos(30), SimDuration::from_nanos(1))
             .name_server_shard_outage(SimTime::from_nanos(40), 3, SimDuration::from_nanos(5))
-            .drop_messages(SimTime::ZERO, SimDuration::from_nanos(100), 0.5);
+            .drop_messages(SimTime::ZERO, SimDuration::from_nanos(100), 0.5)
+            .pool_capacity(16)
+            .pool_consumer_crash(SimTime::from_nanos(50), 1, 15);
         assert_eq!(plan.validate(3, 4), Ok(()));
     }
 
@@ -633,6 +692,26 @@ mod tests {
                     0.5,
                 ),
                 "duplicate window",
+            ),
+            (
+                FaultPlan::new().pool_capacity(8).pool_consumer_crash(
+                    SimTime::from_nanos(10),
+                    6,
+                    0,
+                ),
+                "slot 6",
+            ),
+            (
+                FaultPlan::new().pool_capacity(8).pool_consumer_crash(
+                    SimTime::from_nanos(10),
+                    1,
+                    8,
+                ),
+                "pool slot 8",
+            ),
+            (
+                FaultPlan::new().pool_consumer_crash(SimTime::from_nanos(10), 1, 0),
+                "without declaring a pool capacity",
             ),
         ];
         for (plan, needle) in cases {

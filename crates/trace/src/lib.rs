@@ -164,11 +164,31 @@ pub enum SpanKind {
     NsLeaseCheck,
     /// Leader-side lease grant/renewal bookkeeping.
     NsLeaseRenew,
+    /// Buffer-pool slot acquire (free-list pop + init + refcount), a root.
+    PoolAcquire,
+    /// Buffer-pool slot release (refcount drop, maybe free-list push), a root.
+    PoolRelease,
+    /// Buffer-pool ring publish (push + refcount take), a root.
+    PoolPublish,
+    /// Buffer-pool ring consume (pop + refcount drop), a root.
+    PoolConsume,
+    /// Exporter-side sweep of a crashed consumer's pool references, a root.
+    PoolSweep,
+    /// Free-list scan/pop/push inside a pool op.
+    PoolSlotScan,
+    /// Slot header initialization on first acquire.
+    PoolSlotInit,
+    /// One refcount increment/decrement on a slot header.
+    PoolRefcount,
+    /// One SPSC/MPSC ring push or pop.
+    PoolRingOp,
+    /// One slot reclaimed by the crash sweep.
+    PoolSweepSlot,
 }
 
 impl SpanKind {
     /// Number of span kinds (for dense per-kind arrays).
-    pub const COUNT: usize = SpanKind::NsLeaseRenew as usize + 1;
+    pub const COUNT: usize = SpanKind::PoolSweepSlot as usize + 1;
 
     /// All kinds, in discriminant order.
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
@@ -218,6 +238,16 @@ impl SpanKind {
         SpanKind::NsShardRoute,
         SpanKind::NsLeaseCheck,
         SpanKind::NsLeaseRenew,
+        SpanKind::PoolAcquire,
+        SpanKind::PoolRelease,
+        SpanKind::PoolPublish,
+        SpanKind::PoolConsume,
+        SpanKind::PoolSweep,
+        SpanKind::PoolSlotScan,
+        SpanKind::PoolSlotInit,
+        SpanKind::PoolRefcount,
+        SpanKind::PoolRingOp,
+        SpanKind::PoolSweepSlot,
     ];
 
     /// Stable snake-case name (used by both exporters).
@@ -269,6 +299,16 @@ impl SpanKind {
             SpanKind::NsShardRoute => "ns_shard_route",
             SpanKind::NsLeaseCheck => "ns_lease_check",
             SpanKind::NsLeaseRenew => "ns_lease_renew",
+            SpanKind::PoolAcquire => "pool_acquire",
+            SpanKind::PoolRelease => "pool_release",
+            SpanKind::PoolPublish => "pool_publish",
+            SpanKind::PoolConsume => "pool_consume",
+            SpanKind::PoolSweep => "pool_sweep",
+            SpanKind::PoolSlotScan => "pool_slot_scan",
+            SpanKind::PoolSlotInit => "pool_slot_init",
+            SpanKind::PoolRefcount => "pool_refcount",
+            SpanKind::PoolRingOp => "pool_ring_op",
+            SpanKind::PoolSweepSlot => "pool_sweep_slot",
         }
     }
 }
@@ -299,11 +339,17 @@ pub enum EdgeKind {
     /// PDES window barrier (`src`, last event of the closed window) to
     /// the engine resuming at the next window's start (`dst`).
     WindowResume,
+    /// Buffer-pool ring publish (`src`, push visible) to the consume
+    /// that dequeued that entry (`dst`).
+    SlotPublishConsume,
+    /// Consumer crash (`src`) to the exporter-side sweep reclaiming one
+    /// of its outstanding pool slots (`dst`).
+    CrashSlotSweep,
 }
 
 impl EdgeKind {
     /// Number of edge kinds (for dense per-kind arrays).
-    pub const COUNT: usize = EdgeKind::WindowResume as usize + 1;
+    pub const COUNT: usize = EdgeKind::CrashSlotSweep as usize + 1;
 
     /// All kinds, in discriminant order.
     pub const ALL: [EdgeKind; EdgeKind::COUNT] = [
@@ -313,6 +359,8 @@ impl EdgeKind {
         EdgeKind::FailoverPromotion,
         EdgeKind::BackoffRetry,
         EdgeKind::WindowResume,
+        EdgeKind::SlotPublishConsume,
+        EdgeKind::CrashSlotSweep,
     ];
 
     /// Stable snake-case name (used by the obs-report exporter).
@@ -324,6 +372,8 @@ impl EdgeKind {
             EdgeKind::FailoverPromotion => "failover_promotion",
             EdgeKind::BackoffRetry => "backoff_retry",
             EdgeKind::WindowResume => "window_resume",
+            EdgeKind::SlotPublishConsume => "slot_publish_consume",
+            EdgeKind::CrashSlotSweep => "crash_slot_sweep",
         }
     }
 }
@@ -494,11 +544,17 @@ pub enum Counter {
     /// Pages installed by the LWK eager attach path (PTE writes into
     /// Kitten's attachment arena).
     LwkAttachPages,
+    /// Buffer-pool slots acquired.
+    PoolAcquires,
+    /// Buffer-pool slot references released.
+    PoolReleases,
+    /// Buffer-pool slots reclaimed by the crash sweep.
+    PoolSlotsSwept,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = Counter::LwkAttachPages as usize + 1;
+    pub const COUNT: usize = Counter::PoolSlotsSwept as usize + 1;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -516,6 +572,9 @@ impl Counter {
         Counter::RevokeNotices,
         Counter::Reaps,
         Counter::LwkAttachPages,
+        Counter::PoolAcquires,
+        Counter::PoolReleases,
+        Counter::PoolSlotsSwept,
     ];
 
     /// Stable snake-case name.
@@ -535,6 +594,9 @@ impl Counter {
             Counter::RevokeNotices => "revoke_notices",
             Counter::Reaps => "reaps",
             Counter::LwkAttachPages => "lwk_attach_pages",
+            Counter::PoolAcquires => "pool_acquires",
+            Counter::PoolReleases => "pool_releases",
+            Counter::PoolSlotsSwept => "pool_slots_swept",
         }
     }
 }
@@ -551,11 +613,14 @@ pub enum Hist {
     FaultInNs,
     /// Name-server retries taken per op that hit an outage.
     NsRetriesPerOp,
+    /// Ring occupancy observed at each pool publish (depth highwater
+    /// lives in the top populated bucket).
+    PoolRingDepth,
 }
 
 impl Hist {
     /// Number of histograms.
-    pub const COUNT: usize = Hist::NsRetriesPerOp as usize + 1;
+    pub const COUNT: usize = Hist::PoolRingDepth as usize + 1;
 
     /// All histograms, in discriminant order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -563,6 +628,7 @@ impl Hist {
         Hist::DetachNs,
         Hist::FaultInNs,
         Hist::NsRetriesPerOp,
+        Hist::PoolRingDepth,
     ];
 
     /// Stable snake-case name.
@@ -572,6 +638,7 @@ impl Hist {
             Hist::DetachNs => "detach_ns",
             Hist::FaultInNs => "fault_in_ns",
             Hist::NsRetriesPerOp => "ns_retries_per_op",
+            Hist::PoolRingDepth => "pool_ring_depth",
         }
     }
 }

@@ -865,3 +865,122 @@ fn guest_ram_boundary_enforced_through_vm_data_path() {
     let res = sys.write(p, buf, &vec![1u8; 64 * MIB as usize]);
     assert!(matches!(res, Err(XememError::Kernel(KernelError::Mem(_)))));
 }
+
+// ---------------------------------------------------------------------
+// Buffer-pool crash-safe reclamation (xemem-pool over the fault injector)
+// ---------------------------------------------------------------------
+
+/// A scheduled pool-consumer crash mid-hold: the exporter-side reaper
+/// sweeps the dead consumer's outstanding references exactly once, the
+/// pool ends leak-free, and the surviving consumer is untouched.
+#[test]
+fn pool_consumer_crash_sweeps_outstanding_slots_exactly_once() {
+    use xemem_pool::{BufferPool, Holder};
+
+    let tracer = TraceHandle::enabled();
+    let plan = FaultPlan::new()
+        .pool_capacity(8)
+        // Enclave slot 1 (kitten0) crashes at t=500 µs holding pool refs.
+        .pool_consumer_crash(SimTime::from_nanos(500_000), 1, 3);
+    let mut sys = SystemBuilder::new()
+        .linux_management("linux", 4, 256 * MIB)
+        .kitten_cokernel("kitten0", 1, 64 * MIB)
+        .kitten_cokernel("kitten1", 1, 64 * MIB)
+        .with_fault_plan(plan, 11)
+        .with_tracer(tracer.clone())
+        .build()
+        .unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let k0 = sys.enclave_by_name("kitten0").unwrap();
+    let k1 = sys.enclave_by_name("kitten1").unwrap();
+    let producer = sys.spawn_process(linux, 32 * MIB).unwrap();
+    let doomed = sys.spawn_process(k0, 2 * MIB).unwrap();
+    let survivor = sys.spawn_process(k1, 2 * MIB).unwrap();
+
+    let t = sys.clock().now();
+    let (mut pool, t) =
+        BufferPool::create_at(&mut sys, producer, 8, 4096, Some("fi-pool"), 4, t).unwrap();
+    let (dead_c, t) = pool.join_at(&mut sys, doomed, t).unwrap();
+    let (live_c, t) = pool.join_at(&mut sys, survivor, t).unwrap();
+
+    // The doomed consumer holds one consumed slot and one ring entry;
+    // the survivor holds one consumed slot.
+    let (g, t) = pool.acquire_at(t).unwrap();
+    let t = pool.publish_at(dead_c, g, t).unwrap();
+    let (held, t) = pool.consume_at(dead_c, t).unwrap();
+    let _abandoned = held.unwrap();
+    let (g, t) = pool.acquire_at(t).unwrap();
+    let t = pool.publish_at(dead_c, g, t).unwrap();
+    let (g, t) = pool.acquire_at(t).unwrap();
+    let t = pool.publish_at(live_c, g, t).unwrap();
+    let (live_guard, t) = pool.consume_at(live_c, t).unwrap();
+    let live_guard = live_guard.unwrap();
+    assert_eq!(pool.free_slots(), 5);
+
+    // Cross the fault horizon and deliver the scheduled crash.
+    sys.clock().advance_to(SimTime::from_nanos(600_000).max(t));
+    sys.deliver_pending_faults();
+    assert!(!sys.enclave_alive(k0));
+    assert!(sys
+        .events()
+        .with_prefix("crash:enclave:kitten0")
+        .next()
+        .is_some());
+
+    // One sweep reclaims both of the dead consumer's references…
+    let now = sys.clock().now();
+    let (swept, t) = pool.sweep_at(&mut sys, now);
+    assert_eq!(swept, 2);
+    assert!(!pool.consumer_alive(dead_c));
+    assert_eq!(pool.free_slots(), 7);
+    // …and a second sweep finds nothing left (exactly-once).
+    let (again, t) = pool.sweep_at(&mut sys, t);
+    assert_eq!(again, 0);
+    assert_eq!(pool.free_slots(), 7);
+
+    // The survivor's hold was never touched: its generation still
+    // matches and release succeeds normally.
+    let t = pool
+        .release_at(Holder::Consumer(live_c.0), live_guard, t)
+        .unwrap();
+    let _ = t;
+    pool.leak_check().unwrap();
+    tracer.audit().expect("conservation");
+}
+
+/// Pool fault-plan validation mirrors the shard-validation precedent:
+/// out-of-range consumer slots, out-of-range pool slots, and plans that
+/// never declared a capacity are all rejected with descriptive errors.
+#[test]
+fn pool_fault_plans_are_validated_like_shard_plans() {
+    // Consumer enclave slot out of range.
+    let plan =
+        FaultPlan::new()
+            .pool_capacity(8)
+            .pool_consumer_crash(SimTime::from_nanos(100), 6, 0);
+    let err = plan.validate(3, 1).unwrap_err();
+    assert!(err.contains("slot 6"), "got: {err}");
+
+    // Pool slot index beyond the declared capacity.
+    let plan =
+        FaultPlan::new()
+            .pool_capacity(8)
+            .pool_consumer_crash(SimTime::from_nanos(100), 1, 8);
+    let err = plan.validate(3, 1).unwrap_err();
+    assert!(err.contains("pool slot 8"), "got: {err}");
+
+    // No declared capacity at all.
+    let plan = FaultPlan::new().pool_consumer_crash(SimTime::from_nanos(100), 1, 0);
+    let err = plan.validate(3, 1).unwrap_err();
+    assert!(
+        err.contains("without declaring a pool capacity"),
+        "got: {err}"
+    );
+
+    // The well-formed variant passes.
+    FaultPlan::new()
+        .pool_capacity(8)
+        .pool_consumer_crash(SimTime::from_nanos(100), 1, 7)
+        .validate(3, 1)
+        .unwrap();
+}

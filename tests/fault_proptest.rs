@@ -330,3 +330,179 @@ fn control_run_without_faults_is_leak_free() {
         Err(XememError::UnknownName(_) | XememError::Kernel(_))
     ));
 }
+
+// ---------------------------------------------------------------------
+// Pool-leak oracle: random pool-consumer crash schedules
+// ---------------------------------------------------------------------
+
+/// Observable outcome of one pool crash schedule; equal seeds must
+/// reproduce it exactly, and every schedule must end leak-free.
+#[derive(Debug, PartialEq, Eq)]
+struct PoolOutcome {
+    swept: u64,
+    consumers_dead: Vec<bool>,
+    ok_ops: u32,
+    failed_ops: u32,
+    clock_ns: u64,
+    n_events: usize,
+}
+
+/// A serial producer/consumer pool workload under a random
+/// pool-consumer crash schedule. The oracle: after the final sweep and
+/// drain, `leak_check()` holds (no slot leaked, none double-freed) —
+/// crashed consumers' references were reclaimed exactly once.
+fn run_pool_schedule(seed: u64) -> PoolOutcome {
+    use xemem_pool::{BufferPool, ConsumerId, Holder, SlotGuard};
+
+    const CONSUMERS: usize = 3;
+    const CAPACITY: u32 = 12;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut plan = FaultPlan::new().pool_capacity(CAPACITY as usize);
+    for _ in 0..rng.uniform_u64(1, 3) {
+        let at = rng.uniform_u64(HORIZON / 2, HORIZON);
+        let slot = rng.uniform_u64(1, (CONSUMERS + 1) as u64) as usize;
+        let pool_slot = rng.uniform_u64(0, u64::from(CAPACITY)) as usize;
+        plan = plan.pool_consumer_crash(SimTime::from_nanos(at), slot, pool_slot);
+    }
+    plan.validate(CONSUMERS + 1, 1).expect("well-formed plan");
+
+    let mut b = SystemBuilder::new().linux_management("linux", 4, 256 * MIB);
+    for i in 0..CONSUMERS {
+        b = b.kitten_cokernel(&format!("pk{i}"), 1, 64 * MIB);
+    }
+    let mut sys = b.with_fault_plan(plan, seed).build().unwrap();
+    let mut ok_ops = 0u32;
+    let mut failed_ops = 0u32;
+
+    let producer = sys.spawn_process(EnclaveRef(0), 32 * MIB).unwrap();
+    let t0 = sys.clock().now();
+    let (mut pool, _) =
+        BufferPool::create_at(&mut sys, producer, CAPACITY, 4096, Some("pp"), 4, t0).unwrap();
+    let mut ids: Vec<ConsumerId> = Vec::new();
+    for c in 0..CONSUMERS {
+        let p = sys.spawn_process(EnclaveRef(1 + c), 2 * MIB).unwrap();
+        let at = sys.clock().now();
+        let (id, _) = pool.join_at(&mut sys, p, at).unwrap();
+        ids.push(id);
+    }
+
+    // March virtual time across the fault horizon in rounds; each round
+    // publishes one slot per live consumer and consumers hold/release.
+    let t0_ns = sys.clock().now().as_nanos();
+    let mut held: Vec<Vec<SlotGuard>> = (0..CONSUMERS).map(|_| Vec::new()).collect();
+    let mut swept = 0u64;
+    for round in 0..ROUNDS * 2 {
+        let now = SimTime::from_nanos(t0_ns + (round + 1) * HORIZON / (ROUNDS * 2));
+        sys.clock().advance_to(now);
+        sys.deliver_pending_faults();
+        let (n, _) = pool.sweep_at(&mut sys, now);
+        swept += n;
+        let mut t = now;
+        for (c, &id) in ids.iter().enumerate() {
+            if !pool.consumer_alive(id) {
+                held[c].clear();
+                continue;
+            }
+            match pool.acquire_at(t) {
+                Ok((g, end)) => {
+                    ok_ops += 1;
+                    t = end;
+                    match pool.publish_at(id, g, t) {
+                        Ok(end) => {
+                            ok_ops += 1;
+                            t = end;
+                        }
+                        Err((g, _)) => {
+                            failed_ops += 1;
+                            if let Ok(end) = pool.release_at(Holder::Exporter, g, t) {
+                                t = end;
+                            }
+                        }
+                    }
+                }
+                Err(_) => failed_ops += 1,
+            }
+            match pool.consume_at(id, t) {
+                Ok((Some(g), end)) => {
+                    ok_ops += 1;
+                    t = end;
+                    held[c].push(g);
+                }
+                Ok((None, end)) => t = end,
+                Err(_) => failed_ops += 1,
+            }
+            if held[c].len() > 1 {
+                let g = held[c].remove(0);
+                match pool.release_at(Holder::Consumer(id.0), g, t) {
+                    Ok(end) => {
+                        ok_ops += 1;
+                        t = end;
+                    }
+                    Err(_) => {
+                        failed_ops += 1;
+                        held[c].clear();
+                    }
+                }
+            }
+        }
+    }
+
+    // Drain: deliver any stragglers, final sweep, then live consumers
+    // pop and release everything still in flight.
+    sys.clock()
+        .advance_to(SimTime::from_nanos(t0_ns + 2 * HORIZON));
+    sys.deliver_pending_faults();
+    let mut t = sys.clock().now();
+    let (n, end) = pool.sweep_at(&mut sys, t);
+    swept += n;
+    t = t.max(end);
+    for (c, &id) in ids.iter().enumerate() {
+        if !pool.consumer_alive(id) {
+            held[c].clear();
+            continue;
+        }
+        for g in held[c].drain(..) {
+            t = pool.release_at(Holder::Consumer(id.0), g, t).unwrap();
+            ok_ops += 1;
+        }
+        loop {
+            match pool.consume_at(id, t) {
+                Ok((Some(g), end)) => {
+                    t = pool.release_at(Holder::Consumer(id.0), g, end).unwrap();
+                    ok_ops += 1;
+                }
+                Ok((None, end)) => {
+                    t = end;
+                    break;
+                }
+                Err(_) => unreachable!("live consumer refused a drain pop"),
+            }
+        }
+    }
+
+    // The pool-leak oracle: every slot back on the free list, zero refs
+    // outstanding, live consumers fully drained.
+    pool.leak_check().expect("pool leak oracle");
+
+    PoolOutcome {
+        swept,
+        consumers_dead: ids.iter().map(|&id| !pool.consumer_alive(id)).collect(),
+        ok_ops,
+        failed_ops,
+        clock_ns: sys.clock().now().as_nanos(),
+        n_events: sys.events().len(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No pool-consumer crash schedule can leak a slot or reclaim one
+    /// twice, and pool runs are a deterministic function of the seed.
+    #[test]
+    fn no_pool_crash_schedule_leaks_slots_and_runs_are_deterministic(seed in any::<u64>()) {
+        let first = run_pool_schedule(seed);
+        let second = run_pool_schedule(seed);
+        prop_assert_eq!(first, second);
+    }
+}
