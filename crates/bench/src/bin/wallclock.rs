@@ -19,9 +19,9 @@ use xemem::TraceHandle;
 use xemem_bench::pdes_churn::{CHURN_ENCLAVES, CHURN_LANES};
 use xemem_bench::wallclock::{
     cells_bitwise_equal, measure_attach, measure_attach_with, measure_intra, measure_pool,
-    measure_profile, measure_sweep, BenchStats, Json, Profile, CHECK_FACTOR, CHECK_FLOOR_NS,
-    FULL_BYTES, INTRA_SPEEDUP_FACTOR, PARALLEL_JOBS, PARALLEL_SPEEDUP_FACTOR, POOL_PAIRS,
-    POOL_SLOTS, SMOKE_BYTES, TRACE_CHECK_FACTOR,
+    measure_profile, measure_sweep, measure_tiers, BenchStats, Json, Profile, CHECK_FACTOR,
+    CHECK_FLOOR_NS, FULL_BYTES, INTRA_SPEEDUP_FACTOR, PARALLEL_JOBS, PARALLEL_SPEEDUP_FACTOR,
+    POOL_PAIRS, POOL_SLOTS, SMOKE_BYTES, TIER_BYTES, TIER_ITERS, TRACE_CHECK_FACTOR,
 };
 use xemem_sim::host_parallelism;
 
@@ -125,6 +125,26 @@ struct PoolSection {
     slots_per_sec: f64,
 }
 
+/// Schema-6 memory-tier columns: host wall time of a cross-tier attach
+/// (segment resident on the CXL expander) and a whole-segment
+/// `migrate_extent` bounced between CXL and local DRAM with a live
+/// attachment re-pointed inside the timed region. Both are O(extents)
+/// structural paths; the `--check` gate holds each to [`CHECK_FACTOR`]×
+/// its committed mean (with the usual absolute floor), catching any
+/// return to per-page host work on the migration or tiered-attach
+/// paths.
+#[derive(Debug, Clone, Serialize)]
+struct TiersSection {
+    /// Cores the measuring host exposed (`available_parallelism`).
+    host_parallelism: usize,
+    /// Segment bytes of both loops.
+    bytes: u64,
+    /// Cross-tier attach wall time (segment on CXL).
+    attach: BenchStats,
+    /// Whole-segment migrate wall time (CXL ↔ DRAM bounce).
+    migrate: BenchStats,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct Report {
     schema: u32,
@@ -143,6 +163,18 @@ struct Report {
     intra_run: IntraRunSection,
     /// Buffer-pool fast-path columns (schema 5).
     pool: PoolSection,
+    /// Memory-tier structural-path columns (schema 6).
+    tiers: TiersSection,
+}
+
+fn measure_tiers_section() -> TiersSection {
+    let (attach, migrate) = measure_tiers(TIER_BYTES, TIER_ITERS).expect("tier timing");
+    TiersSection {
+        host_parallelism: host_parallelism(),
+        bytes: TIER_BYTES,
+        attach,
+        migrate,
+    }
 }
 
 fn measure_pool_section() -> PoolSection {
@@ -461,6 +493,47 @@ fn run_check(out_path: &str, iters: u32) {
         "wallclock --check: pool ring throughput {:.0} slots/sec",
         POOL_PAIRS as f64 * 1e9 / ring_total as f64
     );
+
+    // Tier gate (schema 6): re-time the cross-tier attach and the
+    // whole-segment migrate bounce and hold both minima to
+    // CHECK_FACTOR× the committed means (same absolute floor). A
+    // per-page loop reappearing on either path at 64 MiB (16384 pages)
+    // blows far past both limits.
+    let committed_tier = |k: &str| {
+        doc.path(&["tiers", k, "mean_ns"])
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "wallclock --check: tiers.{k}.mean_ns missing in {out_path} \
+                     (regenerate schema 6)"
+                );
+                std::process::exit(1);
+            })
+    };
+    let committed_tier_attach = committed_tier("attach");
+    let committed_tier_migrate = committed_tier("migrate");
+    let (tier_attach, tier_migrate) =
+        measure_tiers(TIER_BYTES, iters.min(TIER_ITERS)).expect("tier timing");
+    for (name, got, committed) in [
+        ("cross-tier attach", &tier_attach, committed_tier_attach),
+        ("migrate_extent", &tier_migrate, committed_tier_migrate),
+    ] {
+        let limit = (committed * CHECK_FACTOR).max(CHECK_FLOOR_NS);
+        println!(
+            "wallclock --check: tier {name} min {:.3} ms (committed mean {:.3} ms, \
+             limit {:.3} ms)",
+            got.min_ns / 1e6,
+            committed / 1e6,
+            limit / 1e6
+        );
+        if got.min_ns > limit {
+            eprintln!(
+                "wallclock --check: FAIL — tier {name} wall time regressed more than \
+                 {CHECK_FACTOR}x against the committed column"
+            );
+            std::process::exit(1);
+        }
+    }
     println!("wallclock --check: OK");
 }
 
@@ -548,14 +621,20 @@ fn main() {
     println!("wallclock: measuring pool fast paths ({POOL_PAIRS} iters per loop)...");
     let pool = measure_pool_section();
 
+    println!(
+        "wallclock: measuring tier paths ({} MiB, {TIER_ITERS} iters per loop)...",
+        TIER_BYTES >> 20
+    );
+    let tiers = measure_tiers_section();
+
     let report = Report {
-        schema: 5,
+        schema: 6,
         note: "Host wall-clock times for the XEMEM simulator's structural work. \
                Virtual-time figures are unaffected by construction; see DESIGN.md \
-               'Wall-clock vs virtual time'. The parallel, intra_run and pool \
-               sections' numbers are honest for the host_parallelism they record; \
-               intra_run records an explicit skip on hosts below the gate's core \
-               count."
+               'Wall-clock vs virtual time'. The parallel, intra_run, pool and \
+               tiers sections' numbers are honest for the host_parallelism they \
+               record; intra_run records an explicit skip on hosts below the \
+               gate's core count."
             .to_string(),
         attach_full_speedup_vs_baseline: baseline.full.attach.mean_ns / run.full.attach.mean_ns,
         baseline,
@@ -564,6 +643,7 @@ fn main() {
         parallel,
         intra_run,
         pool,
+        tiers,
     };
 
     println!("baseline ({}):", report.baseline.label);
@@ -614,6 +694,15 @@ fn main() {
         report.pool.acquire_release_ns,
         report.pool.ring_op_ns,
         report.pool.slots_per_sec,
+    );
+    println!(
+        "tier paths ({} MiB): cross-tier attach {:.3} ms (min {:.3}), \
+         migrate_extent {:.3} ms (min {:.3})",
+        report.tiers.bytes >> 20,
+        report.tiers.attach.mean_ns / 1e6,
+        report.tiers.attach.min_ns / 1e6,
+        report.tiers.migrate.mean_ns / 1e6,
+        report.tiers.migrate.min_ns / 1e6,
     );
 
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -28,6 +28,7 @@ pub mod nameserver_scaling;
 pub mod pdes_churn;
 pub mod pool_throughput;
 pub mod table2;
+pub mod tier_composed;
 pub mod wallclock;
 
 use std::fmt::Write as _;

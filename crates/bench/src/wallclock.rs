@@ -84,6 +84,12 @@ pub const POOL_PAIRS: u32 = 50_000;
 /// Slots in the wall-clock pool (recycled continuously by the loops).
 pub const POOL_SLOTS: u32 = 64;
 
+/// Segment size of the tier wall-clock loops (schema 6).
+pub const TIER_BYTES: u64 = 64 << 20;
+
+/// Iterations per tier wall-clock loop.
+pub const TIER_ITERS: u32 = 20;
+
 /// Region size used for the full-size profile (the paper's largest
 /// Fig. 5/6 point).
 pub const FULL_BYTES: u64 = 1 << 30;
@@ -267,6 +273,66 @@ pub fn measure_pool(pairs: u32) -> Result<(u64, u64), XememError> {
     let ring_total_ns = t0.elapsed().as_nanos() as u64;
     pool.leak_check().expect("wallclock pool leak check");
     Ok((acquire_release_total_ns, ring_total_ns))
+}
+
+/// Host wall time of the tier structural paths (schema 6): a
+/// cross-tier attach — the segment resident on the CXL expander, the
+/// attacher on the Linux enclave — and a whole-segment
+/// [`xemem::System::migrate_extent`] bounced between CXL and local
+/// DRAM each iteration. Both paths are O(extents) in host time (the
+/// physical store relocates by re-keying materialized frames, the
+/// kernels rewrite extent runs); the `--check` gate catches a return
+/// to per-page host work. Returns `(attach, migrate)` stats.
+pub fn measure_tiers(size: u64, iters: u32) -> Result<(BenchStats, BenchStats), XememError> {
+    use xemem::MemTier;
+    let mut sys = SystemBuilder::new()
+        .with_cost(CostModel::default())
+        .linux_management("linux", 4, 256 << 20)
+        .tier_reserve(MemTier::Cxl, size + (4 << 20))
+        .kitten_cokernel("kitten", 1, size + (64 << 20))
+        .build()?;
+    let kitten = sys.enclave_by_name("kitten").unwrap();
+    let linux = sys.enclave_by_name("linux").unwrap();
+    let exporter = sys.spawn_process(kitten, size + (16 << 20))?;
+    let attacher = sys.spawn_process(linux, 16 << 20)?;
+    let buf = sys.alloc_buffer(exporter, size)?;
+    sys.prepare_buffer(exporter, buf, size)?;
+    let segid = sys.xpmem_make(exporter, buf, size, None)?;
+    sys.migrate_extent(exporter, segid, MemTier::Cxl)?;
+    let apid = sys.xpmem_get(attacher, segid)?;
+
+    // Warm up one attach so lazily materialized protocol state does
+    // not pollute the first sample.
+    let va = sys.xpmem_attach(attacher, apid, 0, size)?;
+    sys.xpmem_detach(attacher, va)?;
+
+    let mut attach_samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let va = sys.xpmem_attach(attacher, apid, 0, size)?;
+        attach_samples.push(t0.elapsed().as_nanos() as u64);
+        sys.xpmem_detach(attacher, va)?;
+    }
+
+    // Bounce the whole segment between DRAM and CXL, timing each
+    // migration — with a live attachment so the re-point path (serve,
+    // remap, causal edge) is inside the timed region.
+    let _va = sys.xpmem_attach(attacher, apid, 0, size)?;
+    let mut migrate_samples = Vec::with_capacity(iters as usize);
+    for i in 0..iters {
+        let dst = if i % 2 == 0 {
+            MemTier::LocalDram
+        } else {
+            MemTier::Cxl
+        };
+        let t0 = Instant::now();
+        sys.migrate_extent(exporter, segid, dst)?;
+        migrate_samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    Ok((
+        BenchStats::from_samples(&attach_samples),
+        BenchStats::from_samples(&migrate_samples),
+    ))
 }
 
 /// The unit list of the parallel-sweep column: [`SWEEP_ROUNDS`] rounds
@@ -588,6 +654,14 @@ mod tests {
         assert!(attach_read.mean_ns >= attach.mean_ns);
         let teardown = measure_teardown(4 << 20, 1).unwrap();
         assert!(teardown.min_ns > 0.0);
+    }
+
+    #[test]
+    fn tier_measurements_run() {
+        let (attach, migrate) = measure_tiers(8 << 20, 2).unwrap();
+        assert_eq!(attach.iters, 2);
+        assert!(attach.min_ns > 0.0);
+        assert!(migrate.min_ns > 0.0);
     }
 
     #[test]

@@ -125,6 +125,9 @@ pub struct AttachRecord {
     pub segid: Segid,
     /// The enclave owning the segment.
     pub owner: EnclaveId,
+    /// Byte offset of the attached window within the segment (tier
+    /// migration re-serves exactly this window when re-pointing).
+    pub offset: u64,
     /// Attached length in bytes.
     pub len: u64,
     /// Where in the live → revoking → reaped lifecycle this attachment is.

@@ -36,6 +36,15 @@ pub enum XememError {
     /// The enclave crashed or was destroyed; no operation can be routed
     /// to, from, or through it.
     EnclaveDead(EnclaveRef),
+    /// The destination memory tier is offline in the enclave (an
+    /// injected tier outage covers the migration's timestamp). The
+    /// policy defers and retries; explicit migrations surface it.
+    TierUnavailable {
+        /// Slot index of the enclave whose tier is out.
+        slot: usize,
+        /// The unavailable tier.
+        tier: xemem_sim::MemTier,
+    },
     /// A name-service shard could not be reached within the retry
     /// budget (bounded outage or failover outlasted the exponential
     /// backoff). Carries the shard, the retry attempts taken, and the
@@ -95,6 +104,9 @@ impl fmt::Display for XememError {
                 write!(f, "attachment at {va:#x} was already detached")
             }
             XememError::EnclaveDead(e) => write!(f, "enclave slot {} is dead", e.0),
+            XememError::TierUnavailable { slot, tier } => {
+                write!(f, "memory tier {tier} is offline in enclave slot {slot}")
+            }
             XememError::NameServerUnavailable {
                 shard,
                 attempts,

@@ -74,11 +74,14 @@ pub use error::XememError;
 pub use ids::{AccessMode, Apid, EnclaveId, EnclaveRef, ProcessRef, Segid};
 pub use name_server::{FailoverReport, NameService};
 pub use protocol::{MessageKind, MessageRecord};
-pub use system::{CrashNotice, LanePart, System, SystemBuilder};
+pub use system::{CrashNotice, LanePart, System, SystemBuilder, TierMove};
 
 pub use xemem_mem::{Pid, VirtAddr};
 pub use xemem_palacios::MemoryMapKind;
-pub use xemem_sim::{CostModel, FaultKind, FaultPlan, SimDuration, SimTime};
+pub use xemem_sim::{
+    CostModel, FaultKind, FaultPlan, MemTier, SimDuration, SimTime, TierCosts, TierModel,
+    TierPolicy,
+};
 /// The observability layer (spans, metrics, exporters, conservation
 /// auditor) — re-exported so downstream crates need not depend on
 /// `xemem-trace` directly.

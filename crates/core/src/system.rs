@@ -16,7 +16,7 @@
 //! * The clock-based XPMEM API in [`crate::api`] wraps them for
 //!   sequential use.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use crate::channel::{Direction, Link, LinkCharge};
@@ -27,11 +27,17 @@ use crate::name_server::NameService;
 use crate::protocol::{MessageKind, MessageRecord};
 use xemem_fwk::Fwk;
 use xemem_kitten::Kitten;
-use xemem_mem::{AttachSemantics, KernelKind, PfnList, PhysicalMemory, Pid, VirtAddr, PAGE_SIZE};
+use xemem_mem::{
+    AttachSemantics, KernelError, KernelKind, MemError, PfnList, PhysicalMemory, Pid, VirtAddr,
+    PAGE_SIZE,
+};
 use xemem_palacios::{MemoryMapKind, Vmm};
 use xemem_pisces::{Core0Handler, IpiChannel, NodeResources};
 use xemem_sim::trace::Trace;
-use xemem_sim::{Clock, CostModel, FaultInjector, FaultKind, FaultPlan, SimDuration, SimTime};
+use xemem_sim::{
+    Clock, CostModel, FaultInjector, FaultKind, FaultPlan, MemTier, SimDuration, SimTime,
+    TierPolicy,
+};
 use xemem_trace::{Counter, Ctx, EdgeKind, Hist, ShardCounter, SpanKind, Timeline, TraceHandle};
 
 /// Bound on per-hop retransmissions under injected message loss: after
@@ -92,6 +98,58 @@ pub struct CrashNotice {
     pub at: SimTime,
 }
 
+/// One executed tier migration, reported by the policy tick so callers
+/// (benches, tests) can see what moved and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierMove {
+    /// The migrated segment.
+    pub segid: Segid,
+    /// Chunk index within the segment (policy granularity).
+    pub chunk: u64,
+    /// Tier the chunk lived in before the move.
+    pub from: MemTier,
+    /// Tier the chunk lives in now.
+    pub to: MemTier,
+    /// Resident pages actually moved (sparse chunks move fewer).
+    pub pages: u64,
+}
+
+/// Hot/cold state of one policy chunk of an exported segment.
+#[derive(Debug, Clone, Copy)]
+struct ChunkState {
+    /// Tier the chunk's resident frames currently live in.
+    tier: MemTier,
+    /// Accesses observed in the open window.
+    hits: u64,
+    /// Consecutive closed windows at or above the hot threshold.
+    hot: u32,
+    /// Consecutive closed windows at or below the cold threshold.
+    cold: u32,
+}
+
+impl ChunkState {
+    fn new(tier: MemTier) -> Self {
+        ChunkState {
+            tier,
+            hits: 0,
+            hot: 0,
+            cold: 0,
+        }
+    }
+}
+
+/// Tier-directory record of one exported segment: where each policy
+/// chunk's frames live and how hot it has been, all in virtual time.
+#[derive(Debug, Clone)]
+struct TierSeg {
+    /// Tier cold chunks demote back to (the exporter's home tier).
+    home: MemTier,
+    /// Per-chunk tier + access-frequency state.
+    chunks: Vec<ChunkState>,
+    /// Start of the currently open counting window.
+    window_start: SimTime,
+}
+
 /// The multi-enclave node.
 pub struct System {
     pub(crate) cost: CostModel,
@@ -123,6 +181,13 @@ pub struct System {
     loans: Vec<Loan>,
     /// Crashes not yet drained by [`System::drain_crash_notices`].
     crash_notices: Vec<CrashNotice>,
+    /// Hot/cold migration policy (disabled by default: counters tick,
+    /// nothing moves, every charge stays byte-identical to pre-tier).
+    tier_policy: TierPolicy,
+    /// Tier directory: (owner slot, segid) → per-chunk tier + access
+    /// state. A `BTreeMap` so policy sweeps iterate in a deterministic
+    /// order at any `--jobs`/`--lanes`.
+    tier_dir: BTreeMap<(usize, Segid), TierSeg>,
     /// Virtual-time span/metrics sink. Disabled handles are inert
     /// (inlined `None` branch — no allocation on any hot path), and the
     /// virtual-time arithmetic is identical either way.
@@ -307,6 +372,18 @@ impl System {
                         let end = self.crash_enclave_internal(slot, ev.at);
                         self.tracer.commit_op(end);
                     }
+                }
+                FaultKind::TierOutage {
+                    slot,
+                    tier,
+                    duration,
+                } => {
+                    // The injector tracks the outage horizon; migration
+                    // attempts into the tier fail until it passes. The
+                    // event log keeps the window visible to audits.
+                    let slot = slot % self.slots.len();
+                    self.events
+                        .record(ev.at, duration, format!("tier:outage:slot{slot}:{tier}"));
                 }
                 FaultKind::ProcessKill { slot, pid } => {
                     let slot = slot % self.slots.len();
@@ -562,6 +639,7 @@ impl System {
             }
             t = self.revoke_leases(segid, t);
             self.grants.remove(&(slot_idx, segid));
+            self.tier_dir.remove(&(slot_idx, segid));
             let has_sites = self
                 .attachers
                 .get(&(slot_idx, segid))
@@ -758,6 +836,7 @@ impl System {
                 t = self.revoke_leases(segid, t);
                 self.slots[slot_idx].segs.remove(&segid);
                 self.grants.remove(&(slot_idx, segid));
+                self.tier_dir.remove(&(slot_idx, segid));
                 t = self.revoke_segment(slot_idx, segid, None, t);
             }
         }
@@ -1221,12 +1300,17 @@ impl System {
         let slot = &mut self.slots[p.enclave.0];
         let out = slot.kind.kernel_mut().write(p.pid, va, data)?;
         let at = self.clock.now();
+        let extra = self.tier_access(p.enclave.0, p.pid, va, data.len() as u64, at, true);
         let ctx = Ctx::proc(p.enclave.0, p.pid.0);
         self.tracer
             .begin_op(SpanKind::Write, at, ctx, Timeline::Clock);
         self.tracer.leaf(SpanKind::DramStream, at, out.cost, ctx);
-        self.tracer.commit_op(at + out.cost);
-        self.clock.advance(out.cost);
+        if extra > SimDuration::ZERO {
+            self.tracer
+                .leaf(SpanKind::TierStream, at + out.cost, extra, ctx);
+        }
+        self.tracer.commit_op(at + out.cost + extra);
+        self.clock.advance(out.cost + extra);
         Ok(())
     }
 
@@ -1251,14 +1335,20 @@ impl System {
                 .count(Counter::BytesReadAttached, out.len() as u64);
         }
         let slot = &mut self.slots[p.enclave.0];
+        let len = out.len() as u64;
         let r = slot.kind.kernel_mut().read(p.pid, va, out)?;
         let at = self.clock.now();
+        let extra = self.tier_access(p.enclave.0, p.pid, va, len, at, false);
         let ctx = Ctx::proc(p.enclave.0, p.pid.0);
         self.tracer
             .begin_op(SpanKind::Read, at, ctx, Timeline::Clock);
         self.tracer.leaf(SpanKind::DramStream, at, r.cost, ctx);
-        self.tracer.commit_op(at + r.cost);
-        self.clock.advance(r.cost);
+        if extra > SimDuration::ZERO {
+            self.tracer
+                .leaf(SpanKind::TierStream, at + r.cost, extra, ctx);
+        }
+        self.tracer.commit_op(at + r.cost + extra);
+        self.clock.advance(r.cost + extra);
         Ok(())
     }
 
@@ -1268,6 +1358,492 @@ impl System {
     /// [`Self::check_data_access`]).
     fn overlaps_live_attachment(&self, slot_idx: usize, pid: Pid, va: VirtAddr, len: u64) -> bool {
         slot_overlaps_live_attachment(&self.slots[slot_idx], pid, va, len)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory tiers and hot/cold migration
+    // ------------------------------------------------------------------
+
+    /// The tier an enclave's partition was carved from. Partitions come
+    /// from socket DRAM; [`SystemBuilder::tier_reserve`] adds non-home
+    /// capacity on top.
+    fn home_tier(&self, _slot_idx: usize) -> MemTier {
+        MemTier::LocalDram
+    }
+
+    /// The tier the given policy chunk of a segment currently lives in
+    /// (test/bench visibility into the tier directory).
+    pub fn tier_of_chunk(&self, e: EnclaveRef, segid: Segid, chunk: u64) -> Option<MemTier> {
+        self.tier_dir
+            .get(&(e.0, segid))
+            .and_then(|d| d.chunks.get(chunk as usize))
+            .map(|c| c.tier)
+    }
+
+    /// Free frames the enclave's allocator holds on `tier`, or `None`
+    /// when the tier was never reserved for it.
+    pub fn tier_free_frames(&self, e: EnclaveRef, tier: MemTier) -> Option<u64> {
+        let slot = self.slots.get(e.0)?;
+        match &slot.kind {
+            EnclaveKind::Native(k) => k.tier_free_frames(tier),
+            EnclaveKind::Vm(_) => None,
+        }
+    }
+
+    /// Per-tier page classification of the window `[offset, offset+len)`
+    /// of a segment, read from the tier directory at chunk granularity.
+    /// Unknown segments classify as all-local (zero surcharge).
+    fn tier_window_pages(
+        &self,
+        owner_slot: usize,
+        segid: Segid,
+        offset: u64,
+        len: u64,
+    ) -> [u64; MemTier::COUNT] {
+        let mut out = [0u64; MemTier::COUNT];
+        let Some(dir) = self.tier_dir.get(&(owner_slot, segid)) else {
+            out[MemTier::LocalDram.index()] = len.div_ceil(PAGE_SIZE);
+            return out;
+        };
+        let chunk_bytes = self.tier_policy.chunk_pages * PAGE_SIZE;
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let ci = (cur / chunk_bytes) as usize;
+            let span = end.min((cur / chunk_bytes + 1) * chunk_bytes) - cur;
+            let tier = dir.chunks.get(ci).map(|c| c.tier).unwrap_or(dir.home);
+            out[tier.index()] += span.div_ceil(PAGE_SIZE);
+            cur += span;
+        }
+        out
+    }
+
+    /// Account one data access against the tier directory and return the
+    /// stream surcharge over the flat-DRAM charge the kernel already
+    /// made. Bumps the access-frequency counter of every chunk the range
+    /// touches (rolling the segment's counting window first) — the
+    /// signal the hot/cold policy runs on. Zero for local-DRAM chunks,
+    /// so pre-tier runs are reproduced byte for byte.
+    fn tier_access(
+        &mut self,
+        slot_idx: usize,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+        at: SimTime,
+        write: bool,
+    ) -> SimDuration {
+        if len == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = {
+            let slot = &self.slots[slot_idx];
+            slot_find_live_attachment(slot, pid, va, len)
+                .and_then(|(base, rec)| {
+                    self.id_to_slot
+                        .get(&rec.owner)
+                        .map(|&os| (os, rec.segid, rec.offset + (va.0 - base)))
+                })
+                .or_else(|| {
+                    slot.segs
+                        .iter()
+                        .filter(|(_, s)| {
+                            s.pid == pid && va.0 >= s.va.0 && va.0 + len <= s.va.0 + s.len
+                        })
+                        .min_by_key(|(sid, _)| **sid)
+                        .map(|(sid, s)| (slot_idx, *sid, va.0 - s.va.0))
+                })
+        };
+        let Some((owner_slot, segid, off)) = target else {
+            return SimDuration::ZERO;
+        };
+        let policy = self.tier_policy;
+        let chunk_bytes = policy.chunk_pages * PAGE_SIZE;
+        let Some(dir) = self.tier_dir.get_mut(&(owner_slot, segid)) else {
+            return SimDuration::ZERO;
+        };
+        roll_windows(dir, &policy, at);
+        let mut extra = SimDuration::ZERO;
+        let mut cur = off;
+        let end = off + len;
+        while cur < end {
+            let ci = (cur / chunk_bytes) as usize;
+            let span = end.min((cur / chunk_bytes + 1) * chunk_bytes) - cur;
+            if let Some(c) = dir.chunks.get_mut(ci) {
+                c.hits = c.hits.saturating_add(1);
+                if c.tier != MemTier::LocalDram {
+                    let tiered = if write {
+                        self.cost.tier_stream_write(c.tier, span)
+                    } else {
+                        self.cost.tier_stream_read(c.tier, span)
+                    };
+                    extra += tiered - self.cost.dram_stream(span);
+                }
+            }
+            cur += span;
+        }
+        extra
+    }
+
+    /// Migrate a segment (`chunk: None`) or one policy chunk of it to
+    /// `dst`, batched over extents, on an explicit timeline. Returns the
+    /// resident pages moved and the completion time. The owner's kernel
+    /// rewrites its tables in O(extents) host time; every live
+    /// attachment overlapping the span is re-served and re-pointed, with
+    /// a causal [`EdgeKind::MigrateRemap`] edge per attacher.
+    pub fn migrate_extent_at(
+        &mut self,
+        p: ProcessRef,
+        segid: Segid,
+        chunk: Option<u64>,
+        dst: MemTier,
+        at: SimTime,
+    ) -> Result<(u64, SimTime), XememError> {
+        let ctx = Ctx::seg(p.enclave.0, p.pid.0, segid.0);
+        self.tracer
+            .begin_op(SpanKind::MigrateExtent, at, ctx, Timeline::Detached);
+        match self.migrate_extent_inner(p, segid, chunk, dst, at) {
+            Ok((pages, end)) => {
+                self.tracer.commit_op(end);
+                Ok((pages, end))
+            }
+            Err(e) => {
+                self.tracer.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    /// Clock-based [`Self::migrate_extent_at`] over the whole segment —
+    /// the static-placement lever of the tier benches.
+    pub fn migrate_extent(
+        &mut self,
+        p: ProcessRef,
+        segid: Segid,
+        dst: MemTier,
+    ) -> Result<u64, XememError> {
+        let at = self.clock.now();
+        let ctx = Ctx::seg(p.enclave.0, p.pid.0, segid.0);
+        self.tracer
+            .begin_op(SpanKind::MigrateExtent, at, ctx, Timeline::Clock);
+        match self.migrate_extent_inner(p, segid, None, dst, at) {
+            Ok((pages, end)) => {
+                self.tracer.commit_op(end);
+                self.clock.advance_to(end);
+                Ok(pages)
+            }
+            Err(e) => {
+                self.tracer.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    fn migrate_extent_inner(
+        &mut self,
+        p: ProcessRef,
+        segid: Segid,
+        chunk: Option<u64>,
+        dst: MemTier,
+        at: SimTime,
+    ) -> Result<(u64, SimTime), XememError> {
+        self.process_faults(at);
+        let slot_idx = p.enclave.0;
+        let slot = self
+            .slots
+            .get(slot_idx)
+            .ok_or(XememError::BadEnclave(p.enclave))?;
+        if !slot.alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        if slot.kind.is_vm() {
+            return Err(XememError::Kernel(KernelError::Unsupported(
+                "tier migration inside a VM guest",
+            )));
+        }
+        let seg = slot
+            .segs
+            .get(&segid)
+            .ok_or(XememError::UnknownSegid(segid))?
+            .clone();
+        if seg.pid != p.pid {
+            return Err(XememError::PermissionDenied);
+        }
+        if let Some(inj) = &self.injector {
+            if !inj.tier_available(slot_idx, dst, at) {
+                return Err(XememError::TierUnavailable {
+                    slot: slot_idx,
+                    tier: dst,
+                });
+            }
+        }
+        let dir_chunks = self
+            .tier_dir
+            .get(&(slot_idx, segid))
+            .map(|d| d.chunks.len())
+            .unwrap_or(0);
+        let chunk_bytes = self.tier_policy.chunk_pages * PAGE_SIZE;
+        let (span_off, span_len, chunk_range) = match chunk {
+            Some(i) => {
+                if i as usize >= dir_chunks {
+                    return Err(XememError::BadWindow {
+                        offset: i * chunk_bytes,
+                        len: chunk_bytes,
+                        seg_len: seg.len,
+                    });
+                }
+                let off = i * chunk_bytes;
+                (
+                    off,
+                    (seg.len - off).min(chunk_bytes),
+                    i as usize..i as usize + 1,
+                )
+            }
+            None => (0, seg.len, 0..dir_chunks),
+        };
+        // Attachments inside VM guests cannot be re-pointed (the VMM owns
+        // the GPA map); refuse before touching any state.
+        let sites: Vec<AttachSite> = self
+            .attachers
+            .get(&(slot_idx, segid))
+            .cloned()
+            .unwrap_or_default();
+        for site in &sites {
+            let live = self.slots[site.slot]
+                .attachments
+                .get(&(site.pid, site.va))
+                .is_some_and(|r| r.state == AttachState::Live);
+            if live && self.slots[site.slot].kind.is_vm() {
+                return Err(XememError::Kernel(KernelError::Unsupported(
+                    "migrating a segment attached from a VM",
+                )));
+            }
+        }
+        // 1. The owner's kernel relocates the resident subset, batched
+        //    over extents.
+        let out = self.slots[slot_idx].kind.kernel_mut().migrate_region(
+            seg.pid,
+            VirtAddr(seg.va.0 + span_off),
+            span_len,
+            dst,
+        )?;
+        let octx = Ctx::seg(slot_idx, seg.pid.0, segid.0);
+        let mut bytes_by_tier = [0u64; MemTier::COUNT];
+        for t in MemTier::ALL {
+            bytes_by_tier[t.index()] = out.value.moved_by_tier[t.index()] * PAGE_SIZE;
+        }
+        let copy = self.cost.migrate_copy(&bytes_by_tier, dst);
+        let mut t = at;
+        if copy > SimDuration::ZERO {
+            self.tracer.leaf(SpanKind::MigrateCopy, t, copy, octx);
+            t += copy;
+        }
+        self.tracer.leaf(SpanKind::MigrateRemap, t, out.cost, octx);
+        t += out.cost;
+        // 2. Re-point every live attachment overlapping the span: the
+        //    owner re-serves the attached window, the attaching kernel
+        //    swaps the backing frames in place.
+        for site in &sites {
+            let Some(rec) = self.slots[site.slot]
+                .attachments
+                .get(&(site.pid, site.va))
+                .copied()
+            else {
+                continue;
+            };
+            if rec.state != AttachState::Live
+                || rec.offset + rec.len <= span_off
+                || rec.offset >= span_off + span_len
+            {
+                continue;
+            }
+            let (list, serve) =
+                self.serve_export(slot_idx, seg.pid, VirtAddr(seg.va.0 + rec.offset), rec.len)?;
+            self.tracer.leaf(SpanKind::ServeWalk, t, serve, octx);
+            t += serve;
+            let actx = Ctx::seg(site.slot, site.pid.0, segid.0);
+            let remapped = self.slots[site.slot].kind.kernel_mut().remap_attached(
+                site.pid,
+                VirtAddr(site.va),
+                &list,
+            )?;
+            self.tracer
+                .leaf(SpanKind::MigrateRemap, t, remapped.cost, actx);
+            self.tracer
+                .edge(EdgeKind::MigrateRemap, t, t + remapped.cost, octx, actx);
+            t += remapped.cost;
+        }
+        // 3. Directory + metrics. A whole-segment move re-homes the
+        //    segment: the policy's cold demotions now target the new
+        //    parking tier, not the original export tier.
+        if let Some(dir) = self.tier_dir.get_mut(&(slot_idx, segid)) {
+            if chunk.is_none() {
+                dir.home = dst;
+            }
+            for c in &mut dir.chunks[chunk_range] {
+                c.tier = dst;
+                c.hits = 0;
+                c.hot = 0;
+                c.cold = 0;
+            }
+        }
+        let pages = out.value.pages;
+        self.tracer.count(Counter::TierMigrations, 1);
+        self.tracer.count(Counter::TierPagesMigrated, pages);
+        self.tracer
+            .count(Counter::TierBytesCopied, pages * PAGE_SIZE);
+        self.tracer
+            .observe(Hist::MigrateNs, t.duration_since(at).as_nanos());
+        self.events.record(
+            at,
+            t.duration_since(at),
+            format!("tier:migrate:{segid}:{dst}"),
+        );
+        Ok((pages, t))
+    }
+
+    /// Run the hot/cold policy over every segment `p` exports, on an
+    /// explicit timeline: close counting windows up to `at`, then
+    /// migrate each chunk whose hot (cold) streak reached the hysteresis
+    /// threshold to the fast (home) tier. Deterministic: the directory
+    /// iterates in `(slot, segid)` order and every decision is a pure
+    /// function of virtual-time access counts. Returns the executed
+    /// moves and the completion time.
+    pub fn tier_policy_tick_at(
+        &mut self,
+        p: ProcessRef,
+        at: SimTime,
+    ) -> Result<(Vec<TierMove>, SimTime), XememError> {
+        // A disarmed policy makes the tick a true no-op — no span, no
+        // clock motion — so hysteresis-off runs are observationally
+        // identical to runs that never tick (the tier proptest's
+        // contract).
+        if !self.tier_policy.armed() {
+            return Ok((Vec::new(), at));
+        }
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        self.tracer
+            .begin_op(SpanKind::MigrateExtent, at, ctx, Timeline::Detached);
+        match self.tier_tick_inner(p, at) {
+            Ok((moves, end)) => {
+                self.tracer.commit_op(end);
+                Ok((moves, end))
+            }
+            Err(e) => {
+                self.tracer.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    /// Clock-based [`Self::tier_policy_tick_at`].
+    pub fn tier_policy_tick(&mut self, p: ProcessRef) -> Result<Vec<TierMove>, XememError> {
+        let at = self.clock.now();
+        if !self.tier_policy.armed() {
+            return Ok(Vec::new());
+        }
+        let ctx = Ctx::proc(p.enclave.0, p.pid.0);
+        self.tracer
+            .begin_op(SpanKind::MigrateExtent, at, ctx, Timeline::Clock);
+        match self.tier_tick_inner(p, at) {
+            Ok((moves, end)) => {
+                self.tracer.commit_op(end);
+                self.clock.advance_to(end);
+                Ok(moves)
+            }
+            Err(e) => {
+                self.tracer.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    fn tier_tick_inner(
+        &mut self,
+        p: ProcessRef,
+        at: SimTime,
+    ) -> Result<(Vec<TierMove>, SimTime), XememError> {
+        self.process_faults(at);
+        let slot_idx = p.enclave.0;
+        if self.slots.get(slot_idx).is_none() {
+            return Err(XememError::BadEnclave(p.enclave));
+        }
+        if !self.slots[slot_idx].alive {
+            return Err(XememError::EnclaveDead(p.enclave));
+        }
+        let policy = self.tier_policy;
+        let mut moves = Vec::new();
+        let mut t = at;
+        if !policy.armed() {
+            return Ok((moves, t));
+        }
+        let segids: Vec<Segid> = self
+            .tier_dir
+            .range((slot_idx, Segid(0))..=(slot_idx, Segid(u64::MAX)))
+            .map(|((_, s), _)| *s)
+            .collect();
+        for segid in segids {
+            let owned = self.slots[slot_idx]
+                .segs
+                .get(&segid)
+                .is_some_and(|s| s.pid == p.pid);
+            if !owned {
+                continue;
+            }
+            let dir = self
+                .tier_dir
+                .get_mut(&(slot_idx, segid))
+                .expect("listed above");
+            roll_windows(dir, &policy, t);
+            let home = dir.home;
+            let wants: Vec<(u64, MemTier, MemTier)> = dir
+                .chunks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    if c.hot >= policy.hysteresis && c.tier != policy.fast_tier {
+                        Some((i as u64, c.tier, policy.fast_tier))
+                    } else if c.cold >= policy.hysteresis && c.tier != home {
+                        Some((i as u64, c.tier, home))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            for (i, from, dst) in wants {
+                match self.migrate_extent_inner(p, segid, Some(i), dst, t) {
+                    Ok((pages, end)) => {
+                        moves.push(TierMove {
+                            segid,
+                            chunk: i,
+                            from,
+                            to: dst,
+                            pages,
+                        });
+                        t = end;
+                    }
+                    // An injected tier outage defers the move; the
+                    // streak holds and the next tick retries.
+                    Err(XememError::TierUnavailable { .. }) => {
+                        self.events.record(
+                            t,
+                            SimDuration::ZERO,
+                            format!("tier:migrate-deferred:{segid}:{dst}"),
+                        );
+                    }
+                    // A full destination tier likewise defers.
+                    Err(XememError::Kernel(KernelError::Mem(MemError::OutOfFrames { .. }))) => {
+                        self.events.record(
+                            t,
+                            SimDuration::ZERO,
+                            format!("tier:migrate-nospace:{segid}:{dst}"),
+                        );
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok((moves, t))
     }
 
     // ------------------------------------------------------------------
@@ -1560,6 +2136,19 @@ impl System {
                 len,
             },
         );
+        // Tier directory: every export starts on the exporter's home
+        // tier, one hot/cold record per policy chunk.
+        let home = self.home_tier(slot_idx);
+        let chunk_bytes = self.tier_policy.chunk_pages * PAGE_SIZE;
+        let chunks = len.div_ceil(chunk_bytes).max(1) as usize;
+        self.tier_dir.insert(
+            (slot_idx, segid),
+            TierSeg {
+                home,
+                chunks: vec![ChunkState::new(home); chunks],
+                window_start: t,
+            },
+        );
         Ok((segid, t))
     }
 
@@ -1643,6 +2232,7 @@ impl System {
         let t = self.revoke_leases(segid, t);
         self.slots[slot_idx].segs.remove(&segid);
         self.grants.remove(&(slot_idx, segid));
+        self.tier_dir.remove(&(slot_idx, segid));
         // Revocation: remote reapers unmap. The exporter is still alive
         // and keeps its frames, so nothing is quarantined.
         let t = self.revoke_segment(slot_idx, segid, None, t);
@@ -2035,7 +2625,9 @@ impl System {
         };
 
         if owner_slot == slot_idx {
-            return self.attach_local(p, apid, rec, owner_slot, seg.pid, src_va, len, prot, at);
+            return self.attach_local(
+                p, apid, rec, owner_slot, seg.pid, src_va, offset, len, prot, at,
+            );
         }
 
         // 1. Route the attachment request to the owner (via the name
@@ -2084,6 +2676,19 @@ impl System {
             serve,
             Ctx::seg(owner_slot, seg.pid.0, rec.segid.0),
         );
+        // Media surcharge for walking PTEs whose frames migrated off
+        // local DRAM (zero — and traceless — for all-local segments).
+        let by_tier = self.tier_window_pages(owner_slot, rec.segid, offset, len);
+        let tier_walk = self.cost.tier_walk_surcharge(&by_tier);
+        if tier_walk > SimDuration::ZERO {
+            self.tracer.leaf(
+                SpanKind::TierWalk,
+                t1 + serve,
+                tier_walk,
+                Ctx::seg(owner_slot, seg.pid.0, rec.segid.0),
+            );
+            serve += tier_walk;
+        }
 
         // 3. Route the (bulk) reply back.
         let reply_kind = MessageKind::PfnListReply {
@@ -2138,6 +2743,13 @@ impl System {
         } else {
             self.tracer.leaf(SpanKind::MapInstall, t3, map, mctx);
         }
+        // Install surcharge for PTEs pointing at off-DRAM frames.
+        let tier_map = self.cost.tier_map_surcharge(&by_tier);
+        if tier_map > SimDuration::ZERO {
+            self.tracer
+                .leaf(SpanKind::TierMap, t3 + map, tier_map, mctx);
+            map += tier_map;
+        }
         let end = t3 + map;
 
         self.slots[slot_idx].attachments.insert(
@@ -2146,6 +2758,7 @@ impl System {
                 apid,
                 segid: rec.segid,
                 owner: rec.owner,
+                offset,
                 len,
                 state: AttachState::Live,
             },
@@ -2181,6 +2794,7 @@ impl System {
         slot_idx: usize,
         src_pid: Pid,
         src_va: VirtAddr,
+        offset: u64,
         len: u64,
         prot: xemem_mem::PteFlags,
         at: SimTime,
@@ -2212,6 +2826,22 @@ impl System {
         let lctx = Ctx::seg(slot_idx, p.pid.0, rec.segid.0);
         self.tracer.leaf(SpanKind::ServeWalk, at, serve, lctx);
         self.tracer.leaf(map_kind, at + serve, map, lctx);
+        // Tier surcharges for windows whose frames migrated off DRAM
+        // (zero and traceless on the all-local fast path).
+        let by_tier = self.tier_window_pages(slot_idx, rec.segid, offset, len);
+        let (mut serve, mut map) = (serve, map);
+        let tier_walk = self.cost.tier_walk_surcharge(&by_tier);
+        if tier_walk > SimDuration::ZERO {
+            self.tracer
+                .leaf(SpanKind::TierWalk, at + serve + map, tier_walk, lctx);
+            serve += tier_walk;
+        }
+        let tier_map = self.cost.tier_map_surcharge(&by_tier);
+        if tier_map > SimDuration::ZERO {
+            self.tracer
+                .leaf(SpanKind::TierMap, at + serve + map, tier_map, lctx);
+            map += tier_map;
+        }
         let end = at + serve + map;
         self.slots[slot_idx].attachments.insert(
             (p.pid, va.0),
@@ -2219,6 +2849,7 @@ impl System {
                 apid,
                 segid: rec.segid,
                 owner: rec.owner,
+                offset,
                 len,
                 state: AttachState::Live,
             },
@@ -2562,6 +3193,63 @@ fn slot_check_data_access(slot: &Slot, pid: Pid, va: VirtAddr, len: u64) -> Resu
     Ok(())
 }
 
+/// The live attachment of `pid` fully containing `[va, va+len)`, if
+/// any, as `(attached base, record)` — the tier directory needs the
+/// base to turn a process address into a segment offset. Ties (nested
+/// windows over one range) resolve to the lowest base for determinism.
+fn slot_find_live_attachment(
+    slot: &Slot,
+    pid: Pid,
+    va: VirtAddr,
+    len: u64,
+) -> Option<(u64, crate::enclave::AttachRecord)> {
+    slot.attachments
+        .iter()
+        .filter(|((rpid, base), rec)| {
+            *rpid == pid
+                && rec.state == AttachState::Live
+                && va.0 >= *base
+                && va.0 + len <= *base + rec.len
+        })
+        .min_by_key(|((_, base), _)| *base)
+        .map(|((_, base), rec)| (*base, *rec))
+}
+
+/// Advance a segment's access-counting window to cover `at`, closing
+/// every elapsed window: a closed window at or above the hot threshold
+/// extends each chunk's hot streak, one at or below the cold threshold
+/// extends the cold streak, anything between clears both. Windows after
+/// the first close with zero hits, so a long idle gap is O(1) — the
+/// cold streak saturates rather than looping per window.
+fn roll_windows(dir: &mut TierSeg, policy: &TierPolicy, at: SimTime) {
+    let elapsed = at.duration_since(dir.window_start);
+    if elapsed < policy.window {
+        return;
+    }
+    let k = elapsed.as_nanos() / policy.window.as_nanos().max(1);
+    for c in &mut dir.chunks {
+        // Window 1 closes with the counted hits…
+        if c.hits >= policy.hot_threshold {
+            c.hot = c.hot.saturating_add(1);
+            c.cold = 0;
+        } else if c.hits <= policy.cold_threshold {
+            c.cold = c.cold.saturating_add(1);
+            c.hot = 0;
+        } else {
+            c.hot = 0;
+            c.cold = 0;
+        }
+        c.hits = 0;
+        // …windows 2..=k close empty (always at or below the cold
+        // threshold).
+        if k > 1 {
+            c.cold = c.cold.saturating_add((k - 1).min(u32::MAX as u64) as u32);
+            c.hot = 0;
+        }
+    }
+    dir.window_start += policy.window.times(k);
+}
+
 /// Per-slot body of [`System::overlaps_live_attachment`].
 fn slot_overlaps_live_attachment(slot: &Slot, pid: Pid, va: VirtAddr, len: u64) -> bool {
     slot.attachments.iter().any(|((rpid, base), rec)| {
@@ -2775,6 +3463,7 @@ enum Spec {
         cores: u32,
         mem: u64,
         zone: u32,
+        tiers: Vec<(MemTier, u64)>,
     },
     Vm {
         name: String,
@@ -2802,6 +3491,8 @@ pub struct SystemBuilder {
     fault_plan: Option<(FaultPlan, u64)>,
     tracer: Option<TraceHandle>,
     ns_shards: Option<(usize, usize)>,
+    next_tiers: Vec<(MemTier, u64)>,
+    tier_policy: TierPolicy,
 }
 
 impl Default for SystemBuilder {
@@ -2826,7 +3517,27 @@ impl SystemBuilder {
             fault_plan: None,
             tracer: None,
             ns_shards: None,
+            next_tiers: Vec::new(),
+            tier_policy: TierPolicy::disabled(),
         }
+    }
+
+    /// Give the *next* declared native enclave `bytes` of extra frame
+    /// capacity on the given memory tier, on top of its DRAM partition.
+    /// Segments export from DRAM and [`System::migrate_extent`] (or the
+    /// armed policy) moves extents into reserved tiers. May be called
+    /// once per tier per enclave.
+    pub fn tier_reserve(mut self, tier: MemTier, bytes: u64) -> Self {
+        self.next_tiers.push((tier, bytes));
+        self
+    }
+
+    /// Arm the hot/cold migration policy. The default —
+    /// [`TierPolicy::disabled`] — counts accesses but never moves a
+    /// chunk, reproducing pre-tier results byte for byte.
+    pub fn with_tier_policy(mut self, policy: TierPolicy) -> Self {
+        self.tier_policy = policy;
+        self
     }
 
     /// Run the name service sharded and replicated: the namespace is
@@ -2922,12 +3633,14 @@ impl SystemBuilder {
     /// Declare the Linux management enclave (the topology root).
     pub fn linux_management(mut self, name: &str, cores: u32, mem: u64) -> Self {
         let zone = std::mem::take(&mut self.next_zone);
+        let tiers = std::mem::take(&mut self.next_tiers);
         self.specs.push(Spec::Native {
             name: name.to_string(),
             kind: NativeKind::LinuxMgmt,
             cores,
             mem,
             zone,
+            tiers,
         });
         self
     }
@@ -2936,12 +3649,14 @@ impl SystemBuilder {
     /// enclave over a Pisces IPI channel).
     pub fn kitten_cokernel(mut self, name: &str, cores: u32, mem: u64) -> Self {
         let zone = std::mem::take(&mut self.next_zone);
+        let tiers = std::mem::take(&mut self.next_tiers);
         self.specs.push(Spec::Native {
             name: name.to_string(),
             kind: NativeKind::Kitten,
             cores,
             mem,
             zone,
+            tiers,
         });
         self
     }
@@ -3018,7 +3733,21 @@ impl SystemBuilder {
                 (0..self.numa_zones).map(|z| (z, per_zone)).collect(),
             )
         };
-        let phys = PhysicalMemory::new(frames);
+        // Tier reserves are carved from extra frame space appended after
+        // the DRAM zones, so `frame_exists` covers them and tier ranges
+        // never collide with any partition.
+        let tier_frames_total: u64 = self
+            .specs
+            .iter()
+            .filter_map(|s| match s {
+                Spec::Native { tiers, .. } => {
+                    Some(tiers.iter().map(|(_, b)| b / PAGE_SIZE).sum::<u64>())
+                }
+                Spec::Vm { .. } => None,
+            })
+            .sum();
+        let mut tier_cursor = frames;
+        let phys = PhysicalMemory::new(frames + tier_frames_total);
         let core0 = Core0Handler::new();
 
         let mut slots: Vec<Slot> = Vec::new();
@@ -3032,13 +3761,25 @@ impl SystemBuilder {
                     cores,
                     mem,
                     zone,
+                    tiers,
                 } => {
                     if names.contains_key(name) {
                         return Err(XememError::Topology(format!(
                             "duplicate enclave name {name:?}"
                         )));
                     }
-                    let part = resources.carve(*cores, mem / PAGE_SIZE, *zone)?;
+                    let mut part = resources.carve(*cores, mem / PAGE_SIZE, *zone)?;
+                    for (tier, bytes) in tiers {
+                        let tf = bytes / PAGE_SIZE;
+                        if tf == 0 {
+                            return Err(XememError::Topology(format!(
+                                "tier reserve on {tier} for enclave {name:?} is under one frame"
+                            )));
+                        }
+                        part.alloc
+                            .push_range(*tier, xemem_mem::Pfn(tier_cursor), tf);
+                        tier_cursor += tf;
+                    }
                     let phys_dyn: Arc<dyn xemem_mem::PhysAccess> = phys.clone();
                     let kernel: Box<dyn xemem_mem::MappingKernel> = match kind {
                         NativeKind::LinuxMgmt => {
@@ -3207,6 +3948,8 @@ impl SystemBuilder {
             grants: HashMap::new(),
             loans: Vec::new(),
             crash_notices: Vec::new(),
+            tier_policy: self.tier_policy,
+            tier_dir: BTreeMap::new(),
             tracer,
         };
         system.register_all()?;

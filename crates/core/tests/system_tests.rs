@@ -519,3 +519,156 @@ fn exit_process_tears_everything_down() {
     // Double exit fails.
     assert!(sys.exit_process(attacher).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Memory tiers and hot/cold migration
+// ---------------------------------------------------------------------------
+
+use xemem::{FaultPlan, MemTier, SimDuration, SimTime, TierPolicy};
+
+/// Two enclaves where the Kitten co-kernel carries a CXL expander
+/// reserve alongside its DRAM partition.
+fn tiered_system() -> System {
+    SystemBuilder::new()
+        .with_trace()
+        .linux_management("linux0", 4, 256 * MIB)
+        .tier_reserve(MemTier::Cxl, 64 * MIB)
+        .kitten_cokernel("kitten0", 1, 128 * MIB)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn migrate_extent_moves_segment_and_repoints_live_attachments() {
+    let mut sys = tiered_system();
+    let kitten = sys.enclave_by_name("kitten0").unwrap();
+    let linux = sys.enclave_by_name("linux0").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let attacher = sys.spawn_process(linux, 16 * MIB).unwrap();
+
+    let buf = sys.alloc_buffer(exporter, 2 * MIB).unwrap();
+    let payload: Vec<u8> = (0..2 * MIB).map(|i| (i % 251) as u8).collect();
+    sys.write(exporter, buf, &payload).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, 2 * MIB, None).unwrap();
+    let apid = sys.xpmem_get(attacher, segid).unwrap();
+    let va = sys.xpmem_attach(attacher, apid, 0, 2 * MIB).unwrap();
+
+    let free_before = sys.tier_free_frames(kitten, MemTier::Cxl).unwrap();
+    let t_before = sys.clock().now();
+    let pages = sys.migrate_extent(exporter, segid, MemTier::Cxl).unwrap();
+    assert_eq!(pages, 512, "the whole 2 MiB export moves");
+    assert!(sys.clock().now() > t_before, "migration costs virtual time");
+    assert_eq!(sys.tier_of_chunk(kitten, segid, 0), Some(MemTier::Cxl));
+    assert_eq!(
+        sys.tier_free_frames(kitten, MemTier::Cxl).unwrap(),
+        free_before - pages,
+        "destination frames come out of the CXL reserve"
+    );
+
+    // The pre-existing attachment was re-pointed in place: same VA,
+    // same bytes, now backed by CXL frames.
+    let mut got = vec![0u8; 2 * MIB as usize];
+    sys.read(attacher, va, &mut got).unwrap();
+    assert_eq!(got, payload);
+
+    // Writes through the attachment still land in frames the owner sees.
+    sys.write(attacher, va, b"tiered").unwrap();
+    let mut own = [0u8; 6];
+    sys.read(exporter, buf, &mut own).unwrap();
+    assert_eq!(&own, b"tiered");
+}
+
+#[test]
+fn tier_policy_promotes_hot_chunks_and_demotes_them_when_idle() {
+    let policy = TierPolicy {
+        window: SimDuration::from_micros(100),
+        hot_threshold: 4,
+        cold_threshold: 0,
+        hysteresis: 2,
+        chunk_pages: 64, // 256 KiB chunks
+        fast_tier: MemTier::LocalDram,
+    };
+    let mut sys = SystemBuilder::new()
+        .with_trace()
+        .with_tier_policy(policy)
+        .tier_reserve(MemTier::Nvm, 64 * MIB)
+        .linux_management("linux0", 4, 256 * MIB)
+        .build()
+        .unwrap();
+    let linux = sys.enclave_by_name("linux0").unwrap();
+    let owner = sys.spawn_process(linux, 16 * MIB).unwrap();
+
+    let buf = sys.alloc_buffer(owner, 512 * 1024).unwrap(); // 2 chunks
+    sys.prepare_buffer(owner, buf, 512 * 1024).unwrap();
+    let segid = sys.xpmem_make(owner, buf, 512 * 1024, None).unwrap();
+
+    // Static placement parks the segment (and re-homes it) on NVM.
+    sys.migrate_extent(owner, segid, MemTier::Nvm).unwrap();
+    assert_eq!(sys.tier_of_chunk(linux, segid, 0), Some(MemTier::Nvm));
+    assert_eq!(sys.tier_of_chunk(linux, segid, 1), Some(MemTier::Nvm));
+
+    // Hammer chunk 0 across several counting windows; chunk 1 idles.
+    let mut page = vec![0u8; 4096];
+    for _ in 0..400 {
+        sys.read(owner, buf, &mut page).unwrap();
+    }
+    let moves = sys.tier_policy_tick(owner).unwrap();
+    assert!(
+        moves
+            .iter()
+            .any(|m| m.chunk == 0 && m.to == MemTier::LocalDram),
+        "hot chunk promoted to DRAM, got {moves:?}"
+    );
+    assert_eq!(sys.tier_of_chunk(linux, segid, 0), Some(MemTier::LocalDram));
+    assert_eq!(
+        sys.tier_of_chunk(linux, segid, 1),
+        Some(MemTier::Nvm),
+        "the idle chunk stays parked"
+    );
+
+    // Burn virtual time elsewhere: the promoted chunk goes cold and the
+    // next tick demotes it back to its NVM home.
+    let scratch = sys.alloc_buffer(owner, 256 * 1024).unwrap();
+    let mut big = vec![0u8; 256 * 1024];
+    for _ in 0..40 {
+        sys.read(owner, scratch, &mut big).unwrap();
+    }
+    let moves = sys.tier_policy_tick(owner).unwrap();
+    assert!(
+        moves.iter().any(|m| m.chunk == 0 && m.to == MemTier::Nvm),
+        "cold chunk demoted home, got {moves:?}"
+    );
+    assert_eq!(sys.tier_of_chunk(linux, segid, 0), Some(MemTier::Nvm));
+}
+
+#[test]
+fn tier_outage_blocks_migration_with_a_typed_error() {
+    let plan = FaultPlan::new()
+        .tiers_configured(&[MemTier::Cxl])
+        .tier_outage(SimTime::ZERO, 1, MemTier::Cxl, SimDuration::from_secs(60));
+    let mut sys = SystemBuilder::new()
+        .with_trace()
+        .linux_management("linux0", 4, 256 * MIB)
+        .tier_reserve(MemTier::Cxl, 64 * MIB)
+        .kitten_cokernel("kitten0", 1, 128 * MIB)
+        .with_fault_plan(plan, 7)
+        .build()
+        .unwrap();
+    let kitten = sys.enclave_by_name("kitten0").unwrap();
+    let exporter = sys.spawn_process(kitten, 16 * MIB).unwrap();
+    let buf = sys.alloc_buffer(exporter, MIB).unwrap();
+    let segid = sys.xpmem_make(exporter, buf, MIB, None).unwrap();
+
+    match sys.migrate_extent(exporter, segid, MemTier::Cxl) {
+        Err(XememError::TierUnavailable { slot, tier }) => {
+            assert_eq!(slot, 1);
+            assert_eq!(tier, MemTier::Cxl);
+        }
+        other => panic!("expected TierUnavailable, got {other:?}"),
+    }
+    // Nothing moved: the segment still lives in local DRAM.
+    assert_eq!(
+        sys.tier_of_chunk(kitten, segid, 0),
+        Some(MemTier::LocalDram)
+    );
+}

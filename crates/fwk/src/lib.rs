@@ -26,9 +26,12 @@ use std::sync::Arc;
 
 use xemem_mem::addr_space::{AddressSpace, RegionKind};
 use xemem_mem::kernel::{AttachSemantics, KernelError, KernelKind, MappingKernel, Pid};
-use xemem_mem::{FrameAllocator, MemError, PfnList, PhysAccess, PteFlags, VirtAddr, PAGE_SIZE};
+use xemem_mem::{
+    FrameAllocator, FrameMove, MemError, MigrateOutcome, PfnList, PhysAccess, PteFlags, VirtAddr,
+    PAGE_SIZE,
+};
 use xemem_sim::noise::CompositeNoise;
-use xemem_sim::{CostModel, Costed, SimDuration, SimRng};
+use xemem_sim::{CostModel, Costed, MemTier, SimDuration, SimRng};
 
 /// What backs a VMA's pages when they fault in.
 #[derive(Debug, Clone)]
@@ -152,6 +155,11 @@ impl Fwk {
                 .collect()
         };
         let mut faulted = 0u64;
+        // Pages faulted onto this kernel's own frames, by the tier the
+        // frame came from — first-touch tier surcharges (zero on flat
+        // DRAM). Remote-backed faults are priced by the protocol layer,
+        // which knows the exporter's tier placement.
+        let mut touched = [0u64; MemTier::COUNT];
         for (start, run_pages) in holes {
             let mut page = start;
             let mut remaining = run_pages;
@@ -182,6 +190,10 @@ impl Fwk {
                             self.procs.get_mut(&pid).unwrap().owned.push_run(pfn, 1);
                             frames.push_run(pfn, 1);
                         }
+                        let by_tier = self.alloc.pages_by_tier(&frames);
+                        for t in MemTier::ALL {
+                            touched[t.index()] += by_tier[t.index()];
+                        }
                         let proc = self.procs.get_mut(&pid).unwrap();
                         proc.asp.page_table_mut().map_list(page, &frames, prot)?;
                     }
@@ -205,7 +217,10 @@ impl Fwk {
             }
         }
         self.faults_served += faulted;
-        let cost = self.cost.fwk_fault_in(faulted);
+        let mut cost = self.cost.fwk_fault_in(faulted);
+        for t in MemTier::ALL {
+            cost += self.cost.tier_touch_surcharge(t, touched[t.index()]);
+        }
         if faulted > 0 {
             self.tracer
                 .count(xemem_trace::Counter::FaultsServed, faulted);
@@ -475,6 +490,152 @@ impl MappingKernel for Fwk {
         Ok(Costed::new((), self.cost.frame_return(frames.pages())))
     }
 
+    fn migrate_region(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+        dst_tier: MemTier,
+    ) -> Result<Costed<MigrateOutcome>, KernelError> {
+        if !self.alloc.has_tier(dst_tier) {
+            return Err(KernelError::Unsupported("destination tier not configured"));
+        }
+        if !self.phys.can_relocate() {
+            return Err(KernelError::Unsupported("physical view cannot relocate"));
+        }
+        let first = va.page_base();
+        let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
+        // Only the resident subset moves — unpopulated holes own no
+        // frame and will fault into the allocator's spill order later.
+        let (old, prot, segs) = {
+            let proc = self
+                .procs
+                .get(&pid)
+                .ok_or(KernelError::NoSuchProcess(pid))?;
+            let vma = proc
+                .vmas
+                .values()
+                .find(|v| first >= v.start && first + (pages - 1) * PAGE_SIZE < v.start + v.len)
+                .ok_or(MemError::Fault(first))?;
+            if !matches!(vma.backing, Backing::Anon) {
+                return Err(KernelError::Unsupported(
+                    "migrating an attachment (owner-side only)",
+                ));
+            }
+            let prot = vma.prot;
+            let old = proc.asp.page_table().walk_resident(first, pages);
+            // Resident VA segments: the complement of the hole runs, as
+            // (va, pages) pairs in address order.
+            let holes = proc.asp.page_table().find_unmapped(first, pages);
+            let mut segs: Vec<(VirtAddr, u64)> = Vec::new();
+            let mut at = 0u64;
+            for (off, n) in &holes {
+                if *off > at {
+                    segs.push((first + at * PAGE_SIZE, off - at));
+                }
+                at = off + n;
+            }
+            if pages > at {
+                segs.push((first + at * PAGE_SIZE, pages - at));
+            }
+            (old, prot, segs)
+        };
+        if old.is_empty() {
+            return Ok(Costed::new(
+                MigrateOutcome {
+                    old,
+                    new: PfnList::new(),
+                    pages: 0,
+                    moved_by_tier: [0; MemTier::COUNT],
+                },
+                SimDuration::ZERO,
+            ));
+        }
+        let moved = old.pages();
+        let new = PfnList::from_pages(self.alloc.alloc_pages_in(dst_tier, moved)?);
+        self.phys.relocate_frames(&FrameMove::pair(&old, &new))?;
+        let moved_by_tier = self.alloc.pages_by_tier(&old);
+        let proc = self.procs.get_mut(&pid).expect("checked above");
+        let mut idx = 0u64;
+        for (seg_va, seg_pages) in segs {
+            proc.asp.page_table_mut().unmap_pages(seg_va, seg_pages)?;
+            let slice = new.slice(idx, seg_pages).expect("sized from old list");
+            proc.asp.page_table_mut().map_list(seg_va, &slice, prot)?;
+            idx += seg_pages;
+        }
+        proc.owned = proc.owned.subtract(&old);
+        proc.owned.extend(&new);
+        self.alloc.free_list(&old)?;
+        let extents = (old.run_count() + new.run_count()) as u64;
+        let cost = self.cost.walk(pages) + self.cost.migrate_remap(extents, moved);
+        Ok(Costed::new(
+            MigrateOutcome {
+                old,
+                new,
+                pages: moved,
+                moved_by_tier,
+            },
+            cost,
+        ))
+    }
+
+    fn remap_attached(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        new: &PfnList,
+    ) -> Result<Costed<u64>, KernelError> {
+        let proc = self.proc_mut(pid)?;
+        let region = proc
+            .asp
+            .region_containing(va)
+            .filter(|r| r.kind == RegionKind::XememAttach)
+            .ok_or(MemError::NoSuchRegion(va))?;
+        let (start, pages) = (region.start, region.len / PAGE_SIZE);
+        if new.pages() != pages {
+            return Err(KernelError::Unsupported("remap length mismatch"));
+        }
+        let vma = proc
+            .vmas
+            .get_mut(&start.0)
+            .ok_or(MemError::NoSuchRegion(start))?;
+        let prot = vma.prot;
+        // Future faults must resolve to the new frames (lazy
+        // attachments fault positionally out of the backing list).
+        vma.backing = Backing::Remote(new.clone());
+        // Re-point the resident subset in place, segment by segment.
+        let holes = proc.asp.page_table().find_unmapped(start, pages);
+        let mut segs: Vec<(u64, u64)> = Vec::new();
+        let mut at = 0u64;
+        for (off, n) in &holes {
+            if *off > at {
+                segs.push((at, off - at));
+            }
+            at = off + n;
+        }
+        if pages > at {
+            segs.push((at, pages - at));
+        }
+        let mut remapped = 0u64;
+        for (off, seg_pages) in segs {
+            let seg_va = start + off * PAGE_SIZE;
+            proc.asp.page_table_mut().unmap_pages(seg_va, seg_pages)?;
+            let slice = new.slice(off, seg_pages).expect("length checked");
+            proc.asp.page_table_mut().map_list(seg_va, &slice, prot)?;
+            remapped += seg_pages;
+        }
+        Ok(Costed::new(
+            remapped,
+            self.cost.migrate_remap(new.run_count() as u64, remapped),
+        ))
+    }
+
+    fn tier_free_frames(&self, tier: MemTier) -> Option<u64> {
+        self.alloc
+            .has_tier(tier)
+            .then(|| self.alloc.free_frames_in(tier))
+    }
+
     fn free_frame_count(&self) -> u64 {
         self.alloc.free_frames()
     }
@@ -488,7 +649,10 @@ impl MappingKernel for Fwk {
         proc.asp.write_bytes(&*self.phys, va, data)?;
         Ok(Costed::new(
             (),
-            populate.cost + self.cost.dram_stream(data.len() as u64),
+            populate.cost
+                + self
+                    .cost
+                    .tier_stream_write(self.alloc.home_tier(), data.len() as u64),
         ))
     }
 
@@ -501,7 +665,10 @@ impl MappingKernel for Fwk {
         proc.asp.read_bytes(&*self.phys, va, out)?;
         Ok(Costed::new(
             (),
-            populate.cost + self.cost.dram_stream(out.len() as u64),
+            populate.cost
+                + self
+                    .cost
+                    .tier_stream_read(self.alloc.home_tier(), out.len() as u64),
         ))
     }
 }
@@ -640,6 +807,61 @@ mod tests {
         assert!(f.free_frames() < before);
         f.exit(pid).unwrap();
         assert_eq!(f.free_frames(), before);
+    }
+
+    #[test]
+    fn migrate_region_moves_only_the_resident_subset() {
+        let phys = PhysicalMemory::new(1 << 13);
+        let mut alloc = FrameAllocator::new(Pfn(0), 1 << 12);
+        alloc.push_range(MemTier::Cxl, Pfn(1 << 12), 1 << 12);
+        let mut f = Fwk::new(CostModel::default(), phys, alloc);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        let va = f.alloc_buffer(pid, 16 * 4096).unwrap().value;
+        // Touch pages 0-3 and 8-11 only; 8 pages stay unpopulated.
+        f.write(pid, va, &[1u8; 4 * 4096]).unwrap();
+        f.write(pid, va + 8 * 4096, b"sparse resident data")
+            .unwrap();
+        let out = f.migrate_region(pid, va, 16 * 4096, MemTier::Cxl).unwrap();
+        assert_eq!(out.value.pages, 5, "only resident pages move");
+        assert_eq!(out.value.moved_by_tier[MemTier::LocalDram.index()], 5);
+        assert!(out.value.new.iter_pages().all(|p| p.0 >= 1 << 12));
+        let mut got = [0u8; 20];
+        f.read(pid, va + 8 * 4096, &mut got).unwrap();
+        assert_eq!(&got, b"sparse resident data");
+        // Untouched pages still fault in on demand afterwards.
+        let before = f.faults_served();
+        f.write(pid, va + 14 * 4096, &[2u8; 4096]).unwrap();
+        assert_eq!(f.faults_served(), before + 1);
+        // Exit still returns everything: no leaked frames in any tier.
+        f.exit(pid).unwrap();
+        assert_eq!(f.free_frames(), 2 << 12);
+    }
+
+    #[test]
+    fn remap_attached_repoints_lazy_attachments_and_future_faults() {
+        let (mut f, phys) = boot(1 << 13);
+        let pid = f.spawn(1 << 20).unwrap().value;
+        let old = PfnList::from_pages((6000..6008).map(Pfn));
+        phys.write(Pfn(6001).base(), b"old").unwrap();
+        let va = f
+            .attach_map(pid, &old, AttachSemantics::Lazy, PteFlags::rw_user())
+            .unwrap()
+            .value;
+        // Touch page 1 so one page is resident.
+        let mut got = [0u8; 3];
+        f.read(pid, va + 4096, &mut got).unwrap();
+        assert_eq!(&got, b"old");
+        let new = PfnList::from_pages((7000..7008).map(Pfn));
+        phys.write(Pfn(7001).base(), b"NEW").unwrap();
+        phys.write(Pfn(7005).base(), b"late").unwrap();
+        let remapped = f.remap_attached(pid, va, &new).unwrap();
+        assert_eq!(remapped.value, 1, "only the resident page is re-pointed");
+        f.read(pid, va + 4096, &mut got).unwrap();
+        assert_eq!(&got, b"NEW");
+        // A fresh fault resolves out of the *new* backing list.
+        let mut late = [0u8; 4];
+        f.read(pid, va + 5 * 4096, &mut late).unwrap();
+        assert_eq!(&late, b"late");
     }
 
     #[test]

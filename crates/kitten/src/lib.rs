@@ -26,10 +26,11 @@ use std::sync::Arc;
 use xemem_mem::addr_space::{AddressSpace, RegionKind};
 use xemem_mem::kernel::{AttachSemantics, KernelError, KernelKind, MappingKernel, Pid};
 use xemem_mem::{
-    FrameAllocator, MemError, PageSize, PfnList, PhysAccess, PteFlags, VirtAddr, PAGE_SIZE,
+    FrameAllocator, FrameMove, MemError, MigrateOutcome, PageSize, PfnList, PhysAccess, PteFlags,
+    VirtAddr, PAGE_SIZE,
 };
 use xemem_sim::noise::CompositeNoise;
-use xemem_sim::{CostModel, Costed, SimDuration, SimRng};
+use xemem_sim::{CostModel, Costed, MemTier, SimDuration, SimRng};
 
 /// Fixed virtual layout of a Kitten process.
 mod layout {
@@ -359,6 +360,106 @@ impl MappingKernel for Kitten {
         Ok(Costed::new((), self.cost.frame_return(frames.pages())))
     }
 
+    fn migrate_region(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+        dst_tier: MemTier,
+    ) -> Result<Costed<MigrateOutcome>, KernelError> {
+        if !self.alloc.has_tier(dst_tier) {
+            return Err(KernelError::Unsupported("destination tier not configured"));
+        }
+        if !self.phys.can_relocate() {
+            return Err(KernelError::Unsupported("physical view cannot relocate"));
+        }
+        let first = va.page_base();
+        let pages = (va.0 + len - first.0).div_ceil(PAGE_SIZE);
+        let proc = self
+            .procs
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess(pid))?;
+        // The image is statically mapped, so the whole range resolves.
+        let (old, _) = proc.asp.page_table().walk_range(first, pages * PAGE_SIZE)?;
+        // A large-page leaf straddling the range boundary would be
+        // unmapped whole below, taking out-of-range frames with it.
+        let (_, flags, front_size) = proc
+            .asp
+            .page_table()
+            .translate(first)
+            .ok_or(MemError::Fault(first))?;
+        if front_size != PageSize::Size4K && !first.is_aligned(front_size) {
+            return Err(KernelError::Unsupported("range starts inside a large page"));
+        }
+        let last = VirtAddr(first.0 + (pages - 1) * PAGE_SIZE);
+        let (_, _, back_size) = proc
+            .asp
+            .page_table()
+            .translate(last)
+            .ok_or(MemError::Fault(last))?;
+        if back_size != PageSize::Size4K
+            && !(first.0 + pages * PAGE_SIZE).is_multiple_of(back_size.bytes())
+        {
+            return Err(KernelError::Unsupported("range ends inside a large page"));
+        }
+        let new = PfnList::from_pages(self.alloc.alloc_pages_in(dst_tier, pages)?);
+        self.phys.relocate_frames(&FrameMove::pair(&old, &new))?;
+        let moved_by_tier = self.alloc.pages_by_tier(&old);
+        let proc = self.procs.get_mut(&pid).expect("checked above");
+        let (removed, _) = proc.asp.page_table_mut().unmap_resident(first, pages);
+        debug_assert_eq!(removed.pages(), pages);
+        proc.asp.page_table_mut().map_list(first, &new, flags)?;
+        proc.owned = proc.owned.subtract(&old);
+        proc.owned.extend(&new);
+        self.alloc.free_list(&old)?;
+        let extents = (old.run_count() + new.run_count()) as u64;
+        let cost = self.cost.walk(pages) + self.cost.migrate_remap(extents, pages);
+        Ok(Costed::new(
+            MigrateOutcome {
+                old,
+                new,
+                pages,
+                moved_by_tier,
+            },
+            cost,
+        ))
+    }
+
+    fn remap_attached(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        new: &PfnList,
+    ) -> Result<Costed<u64>, KernelError> {
+        let proc = self.proc_mut(pid)?;
+        let region = proc
+            .asp
+            .region_containing(va)
+            .filter(|r| r.kind == RegionKind::XememAttach)
+            .ok_or(MemError::NoSuchRegion(va))?;
+        let (start, pages) = (region.start, region.len / PAGE_SIZE);
+        if new.pages() != pages {
+            return Err(KernelError::Unsupported("remap length mismatch"));
+        }
+        let (_, flags, _) = proc
+            .asp
+            .page_table()
+            .translate(start)
+            .ok_or(MemError::Fault(start))?;
+        proc.asp.page_table_mut().unmap_pages(start, pages)?;
+        proc.asp.page_table_mut().map_list(start, new, flags)?;
+        Ok(Costed::new(
+            pages,
+            self.cost.migrate_remap(new.run_count() as u64, pages),
+        ))
+    }
+
+    fn tier_free_frames(&self, tier: MemTier) -> Option<u64> {
+        self.alloc
+            .has_tier(tier)
+            .then(|| self.alloc.free_frames_in(tier))
+    }
+
     fn free_frame_count(&self) -> u64 {
         self.alloc.free_frames()
     }
@@ -366,13 +467,21 @@ impl MappingKernel for Kitten {
     fn write(&mut self, pid: Pid, va: VirtAddr, data: &[u8]) -> Result<Costed<()>, KernelError> {
         let proc = self.proc_ref(pid)?;
         proc.asp.write_bytes(&*self.phys, va, data)?;
-        Ok(Costed::new((), self.cost.dram_stream(data.len() as u64)))
+        Ok(Costed::new(
+            (),
+            self.cost
+                .tier_stream_write(self.alloc.home_tier(), data.len() as u64),
+        ))
     }
 
     fn read(&mut self, pid: Pid, va: VirtAddr, out: &mut [u8]) -> Result<Costed<()>, KernelError> {
         let proc = self.proc_ref(pid)?;
         proc.asp.read_bytes(&*self.phys, va, out)?;
-        Ok(Costed::new((), self.cost.dram_stream(out.len() as u64)))
+        Ok(Costed::new(
+            (),
+            self.cost
+                .tier_stream_read(self.alloc.home_tier(), out.len() as u64),
+        ))
     }
 }
 
@@ -616,6 +725,69 @@ mod more_tests {
         assert!(k
             .export_walk(pid, VirtAddr(0xDEAD_0000_0000), 4096)
             .is_err());
+    }
+
+    #[test]
+    fn migrate_region_moves_data_and_ownership_across_tiers() {
+        use xemem_sim::MemTier;
+        let phys = PhysicalMemory::new(1 << 14);
+        let mut alloc = FrameAllocator::new(Pfn(0), 1 << 13);
+        alloc.push_range(MemTier::Nvm, Pfn(1 << 13), 1 << 13);
+        let mut k = Kitten::new(CostModel::default(), phys, alloc);
+        let pid = k.spawn(4 << 20).unwrap().value;
+        let va = k.alloc_buffer(pid, 2 << 20).unwrap().value;
+        k.write(pid, va, b"tiered payload").unwrap();
+        let before_nvm = k.tier_free_frames(MemTier::Nvm).unwrap();
+        let out = k.migrate_region(pid, va, 2 << 20, MemTier::Nvm).unwrap();
+        assert_eq!(out.value.pages, 512);
+        assert_eq!(out.value.moved_by_tier[MemTier::LocalDram.index()], 512);
+        assert_eq!(
+            k.tier_free_frames(MemTier::Nvm).unwrap(),
+            before_nvm - 512,
+            "destination frames come from the NVM range"
+        );
+        // Data survives the move and reads back through the same VA.
+        let mut got = [0u8; 14];
+        k.read(pid, va, &mut got).unwrap();
+        assert_eq!(&got, b"tiered payload");
+        // The new frames live in the NVM range and are now owned, so
+        // exit returns every frame (no leaks either way).
+        let free_before_exit = k.free_frames();
+        k.exit(pid).unwrap();
+        assert!(k.free_frames() > free_before_exit);
+        // Migrating to an unconfigured tier is a clean error.
+        let pid2 = k.spawn(1 << 20).unwrap().value;
+        let va2 = k.alloc_buffer(pid2, 1 << 20).unwrap().value;
+        assert!(matches!(
+            k.migrate_region(pid2, va2, 1 << 20, MemTier::Cxl),
+            Err(KernelError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn remap_attached_repoints_live_attachments() {
+        let phys = PhysicalMemory::new(1 << 13);
+        let alloc = FrameAllocator::new(Pfn(0), 1 << 12);
+        let mut k = Kitten::new(CostModel::default(), phys.clone(), alloc);
+        let pid = k.spawn(1 << 20).unwrap().value;
+        let old = PfnList::from_pages((6000..6004).map(Pfn));
+        phys.write(Pfn(6000).base(), b"old frames").unwrap();
+        let va = k
+            .attach_map(pid, &old, AttachSemantics::Eager, PteFlags::rw_user())
+            .unwrap()
+            .value;
+        let new = PfnList::from_pages((7000..7004).map(Pfn));
+        phys.write(Pfn(7000).base(), b"new frames").unwrap();
+        let remapped = k.remap_attached(pid, va, &new).unwrap();
+        assert_eq!(remapped.value, 4);
+        let mut got = [0u8; 10];
+        k.read(pid, va, &mut got).unwrap();
+        assert_eq!(&got, b"new frames");
+        // Length mismatch is rejected before any unmapping.
+        let short = PfnList::from_pages([Pfn(7100)]);
+        assert!(k.remap_attached(pid, va, &short).is_err());
+        k.read(pid, va, &mut got).unwrap();
+        assert_eq!(&got, b"new frames");
     }
 
     #[test]

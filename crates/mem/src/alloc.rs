@@ -8,9 +8,22 @@
 //! what makes the Palacios memory map grow one red-black-tree entry per
 //! page; the scatter policy lets tests and benches reproduce that regime on
 //! demand.
+//!
+//! An allocator manages one or more disjoint frame ranges, each tagged
+//! with a [`MemTier`]. The first range is the enclave's *home* range (the
+//! partition Pisces carved for it); additional ranges are reserved slices
+//! of other tiers (remote-NUMA, CXL expander, NVM) used as migration
+//! destinations. Keeping every tier's frames inside the owning enclave's
+//! allocator is what lets migration reuse the existing teardown machinery
+//! unchanged: frames allocated in any tier free back through the same
+//! `free`/`free_run`/`free_list` paths that process exit and crash
+//! quarantine already use. General allocation (`alloc`, `alloc_pages`,
+//! `alloc_contiguous`) scans ranges in declaration order — home first —
+//! so single-range allocators behave exactly as they always did.
 
 use crate::error::MemError;
 use crate::types::Pfn;
+use xemem_sim::MemTier;
 
 /// Allocation placement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,9 +36,10 @@ pub enum Placement {
     Scatter,
 }
 
-/// A bitmap frame allocator over a contiguous frame range.
+/// One contiguous frame range managed by a [`FrameAllocator`].
 #[derive(Debug, Clone)]
-pub struct FrameAllocator {
+struct RangeAlloc {
+    tier: MemTier,
     base: Pfn,
     frames: u64,
     /// One bit per frame; `true` = allocated.
@@ -39,40 +53,23 @@ pub struct FrameAllocator {
     cursor: u64,
 }
 
-impl FrameAllocator {
-    /// An allocator managing `frames` frames starting at `base`.
-    pub fn new(base: Pfn, frames: u64) -> Self {
+impl RangeAlloc {
+    fn new(tier: MemTier, base: Pfn, frames: u64, policy: Placement) -> Self {
         let words = frames.div_ceil(64) as usize;
-        FrameAllocator {
+        RangeAlloc {
+            tier,
             base,
             frames,
             bitmap: vec![0; words],
             free: frames,
-            policy: Placement::FirstFit,
+            policy,
             cursor: 0,
         }
     }
 
-    /// Same, with an explicit placement policy.
-    pub fn with_policy(base: Pfn, frames: u64, policy: Placement) -> Self {
-        let mut a = Self::new(base, frames);
-        a.policy = policy;
-        a
-    }
-
-    /// First frame managed.
-    pub fn base(&self) -> Pfn {
-        self.base
-    }
-
-    /// Total frames managed.
-    pub fn total(&self) -> u64 {
-        self.frames
-    }
-
-    /// Frames currently free.
-    pub fn free_frames(&self) -> u64 {
-        self.free
+    #[inline]
+    fn contains(&self, pfn: Pfn) -> bool {
+        pfn.0 >= self.base.0 && pfn.0 - self.base.0 < self.frames
     }
 
     #[inline]
@@ -90,8 +87,7 @@ impl FrameAllocator {
         self.bitmap[(idx / 64) as usize] &= !(1 << (idx % 64));
     }
 
-    /// Allocate a single frame.
-    pub fn alloc(&mut self) -> Result<Pfn, MemError> {
+    fn alloc(&mut self) -> Result<Pfn, MemError> {
         if self.free == 0 {
             return Err(MemError::OutOfFrames {
                 requested: 1,
@@ -124,32 +120,7 @@ impl FrameAllocator {
         })
     }
 
-    /// Allocate `n` frames, not necessarily contiguous, in allocation
-    /// order.
-    pub fn alloc_pages(&mut self, n: u64) -> Result<Vec<Pfn>, MemError> {
-        if self.free < n {
-            return Err(MemError::OutOfFrames {
-                requested: n,
-                available: self.free,
-            });
-        }
-        let mut out = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            out.push(self.alloc().expect("free count said frames were available"));
-        }
-        Ok(out)
-    }
-
-    /// Allocate `n` *contiguous* frames (first-fit over runs). Used for
-    /// Palacios guest memory blocks, which the paper notes are large
-    /// contiguous regions.
-    pub fn alloc_contiguous(&mut self, n: u64) -> Result<Pfn, MemError> {
-        if n == 0 {
-            return Err(MemError::OutOfFrames {
-                requested: 0,
-                available: self.free,
-            });
-        }
+    fn alloc_contiguous(&mut self, n: u64) -> Result<Pfn, MemError> {
         if self.free < n {
             return Err(MemError::OutOfFrames {
                 requested: n,
@@ -181,13 +152,9 @@ impl FrameAllocator {
         })
     }
 
-    /// Free a previously allocated frame.
-    pub fn free(&mut self, pfn: Pfn) -> Result<(), MemError> {
-        let idx = pfn
-            .0
-            .checked_sub(self.base.0)
-            .ok_or(MemError::BadFree(pfn))?;
-        if idx >= self.frames || !self.is_set(idx) {
+    fn free_one(&mut self, pfn: Pfn) -> Result<(), MemError> {
+        let idx = pfn.0 - self.base.0;
+        if !self.is_set(idx) {
             return Err(MemError::BadFree(pfn));
         }
         self.clear(idx);
@@ -196,6 +163,244 @@ impl FrameAllocator {
             self.cursor = idx;
         }
         Ok(())
+    }
+
+    /// Verify that `len` frames from `start` (all inside this range) are
+    /// allocated, word-wise. Errors name the first offending frame.
+    fn check_run(&self, start: Pfn, len: u64) -> Result<(), MemError> {
+        let idx = start.0 - self.base.0;
+        let mut i = idx;
+        let end = idx + len;
+        while i < end {
+            let word = (i / 64) as usize;
+            let bit = i % 64;
+            let span = (64 - bit).min(end - i);
+            let mask = if span == 64 {
+                !0u64
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            let missing = !self.bitmap[word] & mask;
+            if missing != 0 {
+                let first = word as u64 * 64 + missing.trailing_zeros() as u64;
+                return Err(MemError::BadFree(Pfn(self.base.0 + first)));
+            }
+            i += span;
+        }
+        Ok(())
+    }
+
+    /// Clear a validated run, word-wise.
+    fn clear_run(&mut self, start: Pfn, len: u64) {
+        let idx = start.0 - self.base.0;
+        let mut i = idx;
+        let end = idx + len;
+        while i < end {
+            let word = (i / 64) as usize;
+            let bit = i % 64;
+            let span = (64 - bit).min(end - i);
+            let mask = if span == 64 {
+                !0u64
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            self.bitmap[word] &= !mask;
+            i += span;
+        }
+        self.free += len;
+        if self.policy == Placement::FirstFit && idx < self.cursor {
+            self.cursor = idx;
+        }
+    }
+
+    fn is_allocated(&self, pfn: Pfn) -> bool {
+        self.is_set(pfn.0 - self.base.0)
+    }
+}
+
+/// A bitmap frame allocator over one or more disjoint, tier-tagged frame
+/// ranges.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    ranges: Vec<RangeAlloc>,
+    policy: Placement,
+}
+
+impl FrameAllocator {
+    /// An allocator managing `frames` local-DRAM frames starting at
+    /// `base` — the single-range form every pre-tier call site uses.
+    pub fn new(base: Pfn, frames: u64) -> Self {
+        Self::with_policy(base, frames, Placement::FirstFit)
+    }
+
+    /// Same, with an explicit placement policy.
+    pub fn with_policy(base: Pfn, frames: u64, policy: Placement) -> Self {
+        FrameAllocator {
+            ranges: vec![RangeAlloc::new(MemTier::LocalDram, base, frames, policy)],
+            policy,
+        }
+    }
+
+    /// Single-range constructor with an explicit home tier (an enclave
+    /// whose partition was carved from CXL or NVM capacity).
+    pub fn new_in(tier: MemTier, base: Pfn, frames: u64) -> Self {
+        FrameAllocator {
+            ranges: vec![RangeAlloc::new(tier, base, frames, Placement::FirstFit)],
+            policy: Placement::FirstFit,
+        }
+    }
+
+    /// Append a reserved frame range in `tier`. Ranges must be disjoint;
+    /// general allocation scans them in the order they were pushed.
+    pub fn push_range(&mut self, tier: MemTier, base: Pfn, frames: u64) {
+        debug_assert!(
+            !self
+                .ranges
+                .iter()
+                .any(|r| base.0 < r.base.0 + r.frames && r.base.0 < base.0 + frames),
+            "tier ranges must be disjoint"
+        );
+        self.ranges
+            .push(RangeAlloc::new(tier, base, frames, self.policy));
+    }
+
+    /// First frame of the home range.
+    pub fn base(&self) -> Pfn {
+        self.ranges[0].base
+    }
+
+    /// Total frames managed across all ranges.
+    pub fn total(&self) -> u64 {
+        self.ranges.iter().map(|r| r.frames).sum()
+    }
+
+    /// Frames currently free across all ranges.
+    pub fn free_frames(&self) -> u64 {
+        self.ranges.iter().map(|r| r.free).sum()
+    }
+
+    /// The tier of the home (first) range.
+    pub fn home_tier(&self) -> MemTier {
+        self.ranges[0].tier
+    }
+
+    /// True when this allocator has at least one range in `tier`.
+    pub fn has_tier(&self, tier: MemTier) -> bool {
+        self.ranges.iter().any(|r| r.tier == tier)
+    }
+
+    /// Free frames in ranges of `tier`.
+    pub fn free_frames_in(&self, tier: MemTier) -> u64 {
+        self.ranges
+            .iter()
+            .filter(|r| r.tier == tier)
+            .map(|r| r.free)
+            .sum()
+    }
+
+    /// The tier of the range containing `pfn`, if this allocator manages
+    /// it.
+    pub fn tier_of(&self, pfn: Pfn) -> Option<MemTier> {
+        self.ranges.iter().find(|r| r.contains(pfn)).map(|r| r.tier)
+    }
+
+    /// The ranges managed, as `(tier, base, frames)` triples in
+    /// declaration order.
+    pub fn ranges(&self) -> impl Iterator<Item = (MemTier, Pfn, u64)> + '_ {
+        self.ranges.iter().map(|r| (r.tier, r.base, r.frames))
+    }
+
+    /// Allocate a single frame (any range, home first).
+    pub fn alloc(&mut self) -> Result<Pfn, MemError> {
+        for r in &mut self.ranges {
+            if r.free > 0 {
+                return r.alloc();
+            }
+        }
+        Err(MemError::OutOfFrames {
+            requested: 1,
+            available: 0,
+        })
+    }
+
+    /// Allocate `n` frames, not necessarily contiguous, in allocation
+    /// order.
+    pub fn alloc_pages(&mut self, n: u64) -> Result<Vec<Pfn>, MemError> {
+        if self.free_frames() < n {
+            return Err(MemError::OutOfFrames {
+                requested: n,
+                available: self.free_frames(),
+            });
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(self.alloc().expect("free count said frames were available"));
+        }
+        Ok(out)
+    }
+
+    /// Allocate `n` *contiguous* frames (first-fit over runs, any
+    /// range). Used for Palacios guest memory blocks, which the paper
+    /// notes are large contiguous regions.
+    pub fn alloc_contiguous(&mut self, n: u64) -> Result<Pfn, MemError> {
+        if n == 0 {
+            return Err(MemError::OutOfFrames {
+                requested: 0,
+                available: self.free_frames(),
+            });
+        }
+        let mut last = None;
+        for r in &mut self.ranges {
+            match r.alloc_contiguous(n) {
+                Ok(p) => return Ok(p),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or(MemError::OutOfFrames {
+            requested: n,
+            available: 0,
+        }))
+    }
+
+    /// Allocate `n` frames from ranges of `tier` only, preferring one
+    /// contiguous run (falling back to frame-at-a-time when the tier is
+    /// fragmented). The run form is what keeps `migrate_extent`
+    /// O(extents) on the host side.
+    pub fn alloc_pages_in(&mut self, tier: MemTier, n: u64) -> Result<Vec<Pfn>, MemError> {
+        let available = self.free_frames_in(tier);
+        if available < n || n == 0 {
+            return Err(MemError::OutOfFrames {
+                requested: n,
+                available,
+            });
+        }
+        // One contiguous grab first: a single bitmap scan, one run out.
+        for r in &mut self.ranges {
+            if r.tier == tier {
+                if let Ok(p) = r.alloc_contiguous(n) {
+                    return Ok((0..n).map(|i| Pfn(p.0 + i)).collect());
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for r in &mut self.ranges {
+            if r.tier != tier {
+                continue;
+            }
+            while (out.len() as u64) < n && r.free > 0 {
+                out.push(r.alloc().expect("free count said frames were available"));
+            }
+        }
+        debug_assert_eq!(out.len() as u64, n);
+        Ok(out)
+    }
+
+    /// Free a previously allocated frame.
+    pub fn free(&mut self, pfn: Pfn) -> Result<(), MemError> {
+        match self.ranges.iter_mut().find(|r| r.contains(pfn)) {
+            Some(r) => r.free_one(pfn),
+            None => Err(MemError::BadFree(pfn)),
+        }
     }
 
     /// Free a set of frames.
@@ -242,74 +447,93 @@ impl FrameAllocator {
         Ok(())
     }
 
-    /// Verify that `len` frames from `start` are all in range and
-    /// allocated, word-wise. Errors name the first offending frame.
+    /// Verify that `len` frames from `start` are all managed and
+    /// allocated, splitting the run across adjacent ranges when needed
+    /// (a list run can legitimately cross a tier boundary after
+    /// migration coalescing). Errors name the first offending frame.
     fn check_run(&self, start: Pfn, len: u64) -> Result<(), MemError> {
-        if len == 0 {
-            return Ok(());
+        // Coverage first, over the whole run, so an out-of-range tail is
+        // named ahead of any allocation hole (matching the single-range
+        // bounds-before-bits order).
+        let mut at = start;
+        let mut remaining = len;
+        while remaining > 0 {
+            let r = self
+                .ranges
+                .iter()
+                .find(|r| r.contains(at))
+                .ok_or(MemError::BadFree(at))?;
+            let span = remaining.min(r.base.0 + r.frames - at.0);
+            at = Pfn(at.0 + span);
+            remaining -= span;
         }
-        let idx = start
-            .0
-            .checked_sub(self.base.0)
-            .ok_or(MemError::BadFree(start))?;
-        if idx >= self.frames {
-            return Err(MemError::BadFree(start));
-        }
-        if self.frames - idx < len {
-            return Err(MemError::BadFree(Pfn(self.base.0 + self.frames)));
-        }
-        let mut i = idx;
-        let end = idx + len;
-        while i < end {
-            let word = (i / 64) as usize;
-            let bit = i % 64;
-            let span = (64 - bit).min(end - i);
-            let mask = if span == 64 {
-                !0u64
-            } else {
-                ((1u64 << span) - 1) << bit
-            };
-            let missing = !self.bitmap[word] & mask;
-            if missing != 0 {
-                let first = word as u64 * 64 + missing.trailing_zeros() as u64;
-                return Err(MemError::BadFree(Pfn(self.base.0 + first)));
-            }
-            i += span;
+        let mut at = start;
+        let mut remaining = len;
+        while remaining > 0 {
+            let r = self
+                .ranges
+                .iter()
+                .find(|r| r.contains(at))
+                .expect("coverage pass verified the run");
+            let span = remaining.min(r.base.0 + r.frames - at.0);
+            r.check_run(at, span)?;
+            at = Pfn(at.0 + span);
+            remaining -= span;
         }
         Ok(())
     }
 
-    /// Clear a validated run, word-wise.
+    /// Clear a validated run, word-wise, splitting across ranges.
     fn clear_run(&mut self, start: Pfn, len: u64) {
-        if len == 0 {
-            return;
+        let mut at = start;
+        let mut remaining = len;
+        while remaining > 0 {
+            let r = self
+                .ranges
+                .iter_mut()
+                .find(|r| r.contains(at))
+                .expect("clear_run on a checked run");
+            let span = remaining.min(r.base.0 + r.frames - at.0);
+            r.clear_run(at, span);
+            at = Pfn(at.0 + span);
+            remaining -= span;
         }
-        let idx = start.0 - self.base.0;
-        let mut i = idx;
-        let end = idx + len;
-        while i < end {
-            let word = (i / 64) as usize;
-            let bit = i % 64;
-            let span = (64 - bit).min(end - i);
-            let mask = if span == 64 {
-                !0u64
-            } else {
-                ((1u64 << span) - 1) << bit
-            };
-            self.bitmap[word] &= !mask;
-            i += span;
+    }
+
+    /// Classify the pages of a run-length list by the tier of the range
+    /// holding them, splitting runs at range boundaries — O(runs ×
+    /// ranges), never per page. Pages this allocator does not manage are
+    /// counted under the home tier (callers only classify frames they
+    /// own, so this is a defensive default, not a real case).
+    pub fn pages_by_tier(&self, list: &crate::pfn_list::PfnList) -> [u64; MemTier::COUNT] {
+        let mut out = [0u64; MemTier::COUNT];
+        for run in list.runs() {
+            let mut at = run.start;
+            let mut remaining = run.len;
+            while remaining > 0 {
+                match self.ranges.iter().find(|r| r.contains(at)) {
+                    Some(r) => {
+                        let span = remaining.min(r.base.0 + r.frames - at.0);
+                        out[r.tier.index()] += span;
+                        at = Pfn(at.0 + span);
+                        remaining -= span;
+                    }
+                    None => {
+                        out[self.home_tier().index()] += remaining;
+                        break;
+                    }
+                }
+            }
         }
-        self.free += len;
-        if self.policy == Placement::FirstFit && idx < self.cursor {
-            self.cursor = idx;
-        }
+        out
     }
 
     /// True when the frame is currently allocated by this allocator.
     pub fn is_allocated(&self, pfn: Pfn) -> bool {
-        pfn.0
-            .checked_sub(self.base.0)
-            .map(|idx| idx < self.frames && self.is_set(idx))
+        self.ranges
+            .iter()
+            .find(|r| r.contains(pfn))
+            .map(|r| r.is_allocated(pfn))
             .unwrap_or(false)
     }
 }
@@ -433,5 +657,96 @@ mod tests {
         for i in 60..70 {
             assert!(a.is_allocated(Pfn(i)));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Tiered ranges
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn single_range_defaults_to_local_dram() {
+        let a = FrameAllocator::new(Pfn(0), 16);
+        assert_eq!(a.home_tier(), MemTier::LocalDram);
+        assert_eq!(a.tier_of(Pfn(5)), Some(MemTier::LocalDram));
+        assert_eq!(a.tier_of(Pfn(16)), None);
+        assert!(!a.has_tier(MemTier::Nvm));
+    }
+
+    #[test]
+    fn tier_ranges_account_separately() {
+        let mut a = FrameAllocator::new(Pfn(0), 64);
+        a.push_range(MemTier::Nvm, Pfn(1000), 32);
+        assert_eq!(a.total(), 96);
+        assert_eq!(a.free_frames(), 96);
+        assert_eq!(a.free_frames_in(MemTier::Nvm), 32);
+        assert_eq!(a.tier_of(Pfn(1010)), Some(MemTier::Nvm));
+        let got = a.alloc_pages_in(MemTier::Nvm, 8).unwrap();
+        assert_eq!(got[0], Pfn(1000));
+        assert!(got.windows(2).all(|w| w[1].0 == w[0].0 + 1), "one run");
+        assert_eq!(a.free_frames_in(MemTier::Nvm), 24);
+        assert_eq!(a.free_frames_in(MemTier::LocalDram), 64);
+        // Frees route back to the owning range.
+        for p in got {
+            a.free(p).unwrap();
+        }
+        assert_eq!(a.free_frames_in(MemTier::Nvm), 32);
+    }
+
+    #[test]
+    fn alloc_in_missing_tier_is_out_of_frames() {
+        let mut a = FrameAllocator::new(Pfn(0), 16);
+        assert_eq!(
+            a.alloc_pages_in(MemTier::Cxl, 1),
+            Err(MemError::OutOfFrames {
+                requested: 1,
+                available: 0
+            })
+        );
+    }
+
+    #[test]
+    fn general_alloc_spills_home_first_then_reserve() {
+        let mut a = FrameAllocator::new(Pfn(0), 4);
+        a.push_range(MemTier::Cxl, Pfn(100), 4);
+        let pages = a.alloc_pages(6).unwrap();
+        assert_eq!(&pages[..4], &[Pfn(0), Pfn(1), Pfn(2), Pfn(3)]);
+        assert_eq!(&pages[4..], &[Pfn(100), Pfn(101)]);
+    }
+
+    #[test]
+    fn free_list_spanning_tiers_routes_per_range() {
+        use crate::pfn_list::PfnList;
+        // Adjacent ranges: a run in a PfnList could legitimately cross
+        // the boundary after migration coalescing; the free must split.
+        let mut a = FrameAllocator::new(Pfn(0), 64);
+        a.push_range(MemTier::Cxl, Pfn(64), 64);
+        a.alloc_pages(64).unwrap();
+        a.alloc_pages_in(MemTier::Cxl, 64).unwrap();
+        let mut list = PfnList::new();
+        list.push_run(Pfn(60), 8); // 60..64 DRAM, 64..68 CXL
+        a.free_list(&list).unwrap();
+        assert_eq!(a.free_frames_in(MemTier::LocalDram), 4);
+        assert_eq!(a.free_frames_in(MemTier::Cxl), 4);
+        // And a run running past the last range frees nothing.
+        let mut bad = PfnList::new();
+        bad.push_run(Pfn(126), 4);
+        assert_eq!(a.free_list(&bad), Err(MemError::BadFree(Pfn(128))));
+        assert!(a.is_allocated(Pfn(126)));
+    }
+
+    #[test]
+    fn fragmented_tier_alloc_falls_back_to_frames() {
+        let mut a = FrameAllocator::new(Pfn(0), 4);
+        a.push_range(MemTier::Nvm, Pfn(100), 8);
+        let run = a.alloc_pages_in(MemTier::Nvm, 8).unwrap();
+        // Free alternating frames, then ask for 4: no contiguous run
+        // exists, the fallback hands out singles.
+        for p in run.iter().step_by(2) {
+            a.free(*p).unwrap();
+        }
+        let got = a.alloc_pages_in(MemTier::Nvm, 4).unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|p| a.tier_of(*p) == Some(MemTier::Nvm)));
+        assert_eq!(a.free_frames_in(MemTier::Nvm), 0);
     }
 }

@@ -18,7 +18,23 @@ use crate::error::MemError;
 use crate::pfn_list::PfnList;
 use crate::types::VirtAddr;
 use std::fmt;
-use xemem_sim::Costed;
+use xemem_sim::{Costed, MemTier};
+
+/// What a [`MappingKernel::migrate_region`] call moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateOutcome {
+    /// The frames the region used to occupy, in region order.
+    pub old: PfnList,
+    /// The freshly allocated destination-tier frames now mapped, in the
+    /// same region order.
+    pub new: PfnList,
+    /// Pages moved (`old` and `new` both cover exactly this many).
+    pub pages: u64,
+    /// Source classification of the moved pages: `moved_by_tier[t]`
+    /// pages came out of tier `t` (indexed by [`MemTier::index`]). The
+    /// protocol layer prices the data copy from this.
+    pub moved_by_tier: [u64; MemTier::COUNT],
+}
 
 /// A process identifier, unique within one enclave.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -156,6 +172,45 @@ pub trait MappingKernel: Send {
     fn return_frames(&mut self, frames: &PfnList) -> Result<Costed<()>, KernelError> {
         let _ = frames;
         Err(KernelError::Unsupported("frame return"))
+    }
+
+    /// Move the resident pages of `[va, va + len)` onto frames from
+    /// `dst_tier`, remapping the process's own page tables in place. The
+    /// returned [`MigrateOutcome`] reports the old and new frame lists so
+    /// the protocol layer can re-point remote attachments and price the
+    /// data copy. Kernels without tiered allocators report
+    /// [`KernelError::Unsupported`].
+    fn migrate_region(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+        dst_tier: MemTier,
+    ) -> Result<Costed<MigrateOutcome>, KernelError> {
+        let _ = (pid, va, len, dst_tier);
+        Err(KernelError::Unsupported("tier migration"))
+    }
+
+    /// Re-point an existing attachment at `va` in `pid` to a new frame
+    /// list (same length and layout as the original), after the owning
+    /// enclave migrated the underlying segment. Returns the number of
+    /// pages remapped. Kernels that cannot edit live attachments report
+    /// [`KernelError::Unsupported`].
+    fn remap_attached(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        new: &PfnList,
+    ) -> Result<Costed<u64>, KernelError> {
+        let _ = (pid, va, new);
+        Err(KernelError::Unsupported("attachment remap"))
+    }
+
+    /// Free frames available in the given tier of this kernel's
+    /// allocator, or `None` if the tier is not configured at all.
+    fn tier_free_frames(&self, tier: MemTier) -> Option<u64> {
+        let _ = tier;
+        None
     }
 
     /// Number of free physical frames in this kernel's allocator. Used by

@@ -25,9 +25,9 @@ pub mod types;
 pub use addr_space::{AddressSpace, Region, RegionKind};
 pub use alloc::FrameAllocator;
 pub use error::MemError;
-pub use kernel::{AttachSemantics, KernelError, KernelKind, MappingKernel, Pid};
+pub use kernel::{AttachSemantics, KernelError, KernelKind, MappingKernel, MigrateOutcome, Pid};
 pub use page_table::{PageTable, PteFlags};
 pub use pfn_list::PfnList;
-pub use phys::{PhysAccess, PhysicalMemory};
+pub use phys::{FrameMove, PhysAccess, PhysicalMemory};
 pub use slab::{SlabLayout, SLOT_HEADER_BYTES};
 pub use types::{PageSize, Pfn, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};

@@ -34,6 +34,53 @@ impl NumaZone {
     }
 }
 
+/// One run of frames changing physical location: `frames` frames move
+/// from `src..src+frames` to `dst..dst+frames`. Runs let tier migration
+/// describe arbitrarily large moves in O(extents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMove {
+    /// First source frame.
+    pub src: Pfn,
+    /// First destination frame.
+    pub dst: Pfn,
+    /// Run length in frames.
+    pub frames: u64,
+}
+
+impl FrameMove {
+    /// Zip two equal-length frame lists into moves, positionally: page
+    /// `i` of `old` moves to page `i` of `new`. Produces one move per
+    /// overlapping run pair — O(runs), never per page.
+    pub fn pair(old: &crate::pfn_list::PfnList, new: &crate::pfn_list::PfnList) -> Vec<FrameMove> {
+        debug_assert_eq!(old.pages(), new.pages());
+        let mut moves = Vec::new();
+        let (mut oi, mut ni) = (0usize, 0usize);
+        let (mut ooff, mut noff) = (0u64, 0u64);
+        let (old_runs, new_runs) = (old.runs(), new.runs());
+        while oi < old_runs.len() && ni < new_runs.len() {
+            let o = &old_runs[oi];
+            let n = &new_runs[ni];
+            let span = (o.len - ooff).min(n.len - noff);
+            moves.push(FrameMove {
+                src: Pfn(o.start.0 + ooff),
+                dst: Pfn(n.start.0 + noff),
+                frames: span,
+            });
+            ooff += span;
+            noff += span;
+            if ooff == o.len {
+                oi += 1;
+                ooff = 0;
+            }
+            if noff == n.len {
+                ni += 1;
+                noff = 0;
+            }
+        }
+        moves
+    }
+}
+
 /// Byte-level access to a physical address space.
 ///
 /// Implemented by [`PhysicalMemory`] (host physical memory) and by the
@@ -46,6 +93,23 @@ pub trait PhysAccess: Send + Sync {
     fn write(&self, at: PhysAddr, data: &[u8]) -> Result<(), MemError>;
     /// Read bytes at a physical address.
     fn read(&self, at: PhysAddr, out: &mut [u8]) -> Result<(), MemError>;
+
+    /// True when this backend can relocate frame contents (tier
+    /// migration). The Palacios guest-physical view cannot: moving host
+    /// frames under a guest would require rewriting the VMM memory map.
+    fn can_relocate(&self) -> bool {
+        false
+    }
+
+    /// Move the contents of each [`FrameMove`] run from its source to
+    /// its destination frames. Backends that cannot relocate report
+    /// [`MemError::BadPhysAccess`]; callers should gate on
+    /// [`PhysAccess::can_relocate`] first for a typed error.
+    fn relocate_frames(&self, moves: &[FrameMove]) -> Result<(), MemError> {
+        Err(MemError::BadPhysAccess(
+            moves.first().map(|m| m.src).unwrap_or(Pfn(0)),
+        ))
+    }
 }
 
 /// The physical memory of one simulated node.
@@ -182,6 +246,52 @@ impl PhysicalMemory {
     }
 }
 
+impl PhysicalMemory {
+    /// Relocate frame contents for a batch of runs. Only *materialized*
+    /// frames move: the contents map is scanned once (O(materialized ×
+    /// log runs)), so migrating gigabytes of never-touched pages does no
+    /// per-page host work — the invariant the wallclock gate holds the
+    /// `migrate_extent` path to.
+    fn relocate_impl(&self, moves: &[FrameMove]) -> Result<(), MemError> {
+        for m in moves {
+            if m.frames == 0 {
+                continue;
+            }
+            for end in [
+                m.src,
+                Pfn(m.src.0 + m.frames - 1),
+                m.dst,
+                Pfn(m.dst.0 + m.frames - 1),
+            ] {
+                if !self.frame_exists(end) {
+                    return Err(MemError::BadPhysAccess(end));
+                }
+            }
+        }
+        let mut sorted: Vec<&FrameMove> = moves.iter().filter(|m| m.frames > 0).collect();
+        sorted.sort_unstable_by_key(|m| m.src.0);
+        let mut contents = self.contents.write();
+        let keys: Vec<u64> = contents.keys().copied().collect();
+        // Two passes — remove every moving frame, then insert at the new
+        // keys — so a destination that equals another run's source can
+        // never clobber data mid-move.
+        let mut moved: Vec<(u64, Box<[u8]>)> = Vec::new();
+        for k in keys {
+            let i = sorted.partition_point(|m| m.src.0 + m.frames <= k);
+            if let Some(m) = sorted.get(i) {
+                if m.src.0 <= k {
+                    let data = contents.remove(&k).expect("key just listed");
+                    moved.push((m.dst.0 + (k - m.src.0), data));
+                }
+            }
+        }
+        for (k, v) in moved {
+            contents.insert(k, v);
+        }
+        Ok(())
+    }
+}
+
 impl PhysAccess for PhysicalMemory {
     fn write(&self, at: PhysAddr, data: &[u8]) -> Result<(), MemError> {
         self.write_impl(at, data)
@@ -189,6 +299,14 @@ impl PhysAccess for PhysicalMemory {
 
     fn read(&self, at: PhysAddr, out: &mut [u8]) -> Result<(), MemError> {
         self.read_impl(at, out)
+    }
+
+    fn can_relocate(&self) -> bool {
+        true
+    }
+
+    fn relocate_frames(&self, moves: &[FrameMove]) -> Result<(), MemError> {
+        self.relocate_impl(moves)
     }
 }
 
@@ -252,6 +370,46 @@ mod tests {
         let mut buf = [9u8; 4];
         pm.read(PhysAddr(0), &mut buf).unwrap();
         assert_eq!(buf, [0u8; 4]);
+    }
+
+    #[test]
+    fn relocate_moves_only_materialized_frames() {
+        let pm = PhysicalMemory::new(1 << 20); // 4 GiB of frames, no host cost
+        pm.write(PhysAddr(5 * 4096), b"five").unwrap();
+        pm.write(PhysAddr(900 * 4096 + 7), b"nine hundred").unwrap();
+        assert_eq!(pm.materialized_frames(), 2);
+        // Move a huge run; only the two touched frames do host work.
+        pm.relocate_frames(&[FrameMove {
+            src: Pfn(0),
+            dst: Pfn(100_000),
+            frames: 65_536,
+        }])
+        .unwrap();
+        assert_eq!(pm.materialized_frames(), 2);
+        let mut buf = [0u8; 4];
+        pm.read(PhysAddr((100_000 + 5) * 4096), &mut buf).unwrap();
+        assert_eq!(&buf, b"five");
+        // Old location reads as zeroes again.
+        pm.read(PhysAddr(5 * 4096), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 4]);
+        let mut buf = [0u8; 12];
+        pm.read(PhysAddr((100_000 + 900) * 4096 + 7), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"nine hundred");
+    }
+
+    #[test]
+    fn relocate_out_of_range_is_rejected() {
+        let pm = PhysicalMemory::new(16);
+        let err = pm
+            .relocate_frames(&[FrameMove {
+                src: Pfn(0),
+                dst: Pfn(12),
+                frames: 8,
+            }])
+            .unwrap_err();
+        assert_eq!(err, MemError::BadPhysAccess(Pfn(19)));
+        assert!(pm.can_relocate());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! exactly from a simulator; what the model preserves is who wins, by what
 //! factor, and where the crossovers fall.
 
+use crate::tier::{MemTier, TierModel};
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -301,6 +302,16 @@ pub struct CostModel {
     /// Exporter-side reclamation of one slot held by a crashed consumer
     /// (hold-table walk, generation bump, free-list push).
     pub pool_sweep_slot_ns: u64,
+
+    // ------------------------------------------------------------------
+    // Heterogeneous memory tiers
+    // ------------------------------------------------------------------
+    /// Per-tier latency/bandwidth parameters and migration constants.
+    /// The [`MemTier::LocalDram`] entry is calibrated to be *neutral*
+    /// (zero surcharges, `dram_stream_bps` bandwidth), so topologies
+    /// that never leave local DRAM charge exactly what they did before
+    /// tiers existed.
+    pub tier: TierModel,
 }
 
 impl Default for CostModel {
@@ -357,6 +368,7 @@ impl Default for CostModel {
             pool_ring_push_ns: 60,
             pool_ring_pop_ns: 60,
             pool_sweep_slot_ns: 500,
+            tier: TierModel::default(),
         }
     }
 }
@@ -478,6 +490,76 @@ impl CostModel {
     pub fn vmm_translate(&self, visits: u32, covered: u64) -> SimDuration {
         SimDuration::from_nanos(self.vmm_translate_floor_ns + self.rb_level_ns * visits as u64)
             .times(covered)
+    }
+
+    // ------------------------------------------------------------------
+    // Tier charges
+    //
+    // All tier surcharges are additive integer nanoseconds per page, so
+    // the batched extent forms below equal per-page accumulation exactly
+    // and a classification of `[pages_in_local, pages_in_remote, ...]`
+    // charges identically however the pages are grouped into extents.
+    // ------------------------------------------------------------------
+
+    /// Time to stream-*read* `bytes` resident in `tier`. For
+    /// [`MemTier::LocalDram`] under the default model this equals
+    /// [`CostModel::dram_stream`] bit for bit.
+    pub fn tier_stream_read(&self, tier: MemTier, bytes: u64) -> SimDuration {
+        Self::transfer_time(bytes, self.tier.costs(tier).read_bps)
+    }
+
+    /// Time to stream-*write* `bytes` resident in `tier`.
+    pub fn tier_stream_write(&self, tier: MemTier, bytes: u64) -> SimDuration {
+        Self::transfer_time(bytes, self.tier.costs(tier).write_bps)
+    }
+
+    /// Export-side walk surcharge for a per-tier page classification
+    /// (`by_tier[t]` pages resident in tier `t`, indexed by
+    /// [`MemTier::index`]).
+    pub fn tier_walk_surcharge(&self, by_tier: &[u64; MemTier::COUNT]) -> SimDuration {
+        let mut d = SimDuration::ZERO;
+        for t in MemTier::ALL {
+            d +=
+                SimDuration::from_nanos(self.tier.costs(t).walk_extra_ns).times(by_tier[t.index()]);
+        }
+        d
+    }
+
+    /// Attach-side mapping-install surcharge for a per-tier page
+    /// classification.
+    pub fn tier_map_surcharge(&self, by_tier: &[u64; MemTier::COUNT]) -> SimDuration {
+        let mut d = SimDuration::ZERO;
+        for t in MemTier::ALL {
+            d += SimDuration::from_nanos(self.tier.costs(t).map_extra_ns).times(by_tier[t.index()]);
+        }
+        d
+    }
+
+    /// First-touch / demand fault-in surcharge for `pages` pages backed
+    /// by `tier` frames.
+    pub fn tier_touch_surcharge(&self, tier: MemTier, pages: u64) -> SimDuration {
+        SimDuration::from_nanos(self.tier.costs(tier).touch_extra_ns).times(pages)
+    }
+
+    /// Structural cost of a batched tier migration: `extents` unmap/map
+    /// run pairs plus `pages` PTE rewrites. Charged by the owning
+    /// kernel; pure arithmetic, so the host side stays O(extents).
+    pub fn migrate_remap(&self, extents: u64, pages: u64) -> SimDuration {
+        SimDuration::from_nanos(self.tier.migrate_extent_ns).times(extents)
+            + SimDuration::from_nanos(self.tier.migrate_page_ns).times(pages)
+    }
+
+    /// Data-copy cost of migrating `bytes_by_tier[t]` bytes out of tier
+    /// `t` into `dst`: each source tier's bytes move at the slower of
+    /// its read bandwidth and the destination's write bandwidth.
+    pub fn migrate_copy(&self, bytes_by_tier: &[u64; MemTier::COUNT], dst: MemTier) -> SimDuration {
+        let wr = self.tier.costs(dst).write_bps;
+        let mut d = SimDuration::ZERO;
+        for t in MemTier::ALL {
+            let bps = self.tier.costs(t).read_bps.min(wr);
+            d += Self::transfer_time(bytes_by_tier[t.index()], bps);
+        }
+        d
     }
 
     /// Buffer-pool refcount charge for `refs` increments/decrements.
@@ -615,6 +697,78 @@ mod tests {
             }
             assert_eq!(m.pool_sweep(n), looped, "pool_sweep({n})");
         }
+    }
+
+    #[test]
+    fn tier_stream_matches_dram_stream_on_local() {
+        // The LocalDram tier must be charge-neutral: same bandwidth as
+        // the flat model and zero per-page surcharges, so pre-tier
+        // results are reproduced bit for bit.
+        let m = CostModel::default();
+        for bytes in [0u64, 1, 4096, 1 << 20, 1 << 30, (1 << 30) + 13] {
+            assert_eq!(
+                m.tier_stream_read(MemTier::LocalDram, bytes),
+                m.dram_stream(bytes),
+                "read {bytes}"
+            );
+            assert_eq!(
+                m.tier_stream_write(MemTier::LocalDram, bytes),
+                m.dram_stream(bytes),
+                "write {bytes}"
+            );
+        }
+        let local_only = [262_144u64, 0, 0, 0];
+        assert_eq!(m.tier_walk_surcharge(&local_only), SimDuration::ZERO);
+        assert_eq!(m.tier_map_surcharge(&local_only), SimDuration::ZERO);
+        assert_eq!(
+            m.tier_touch_surcharge(MemTier::LocalDram, 262_144),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn tier_surcharges_equal_per_page_accumulation() {
+        // The batched per-tier classification must charge exactly what
+        // a per-page loop over the same pages would — grouping pages
+        // into extents moves no virtual nanoseconds.
+        let m = CostModel::default();
+        let by_tier = [3u64, 511, 64, 262_144];
+        let mut looped_walk = SimDuration::ZERO;
+        let mut looped_map = SimDuration::ZERO;
+        for t in MemTier::ALL {
+            for _ in 0..by_tier[t.index()] {
+                looped_walk += SimDuration::from_nanos(m.tier.costs(t).walk_extra_ns);
+                looped_map += SimDuration::from_nanos(m.tier.costs(t).map_extra_ns);
+            }
+        }
+        assert_eq!(m.tier_walk_surcharge(&by_tier), looped_walk);
+        assert_eq!(m.tier_map_surcharge(&by_tier), looped_map);
+        for pages in [0u64, 1, 513] {
+            let mut looped = SimDuration::ZERO;
+            for _ in 0..pages {
+                looped += SimDuration::from_nanos(m.tier.nvm.touch_extra_ns);
+            }
+            assert_eq!(m.tier_touch_surcharge(MemTier::Nvm, pages), looped);
+            let mut looped = SimDuration::ZERO;
+            for _ in 0..pages {
+                looped += SimDuration::from_nanos(m.tier.migrate_page_ns);
+            }
+            looped += SimDuration::from_nanos(m.tier.migrate_extent_ns).times(2);
+            assert_eq!(m.migrate_remap(2, pages), looped, "migrate_remap({pages})");
+        }
+    }
+
+    #[test]
+    fn migrate_copy_uses_the_slower_endpoint() {
+        let m = CostModel::default();
+        // NVM → DRAM moves at NVM read bandwidth; DRAM → NVM at NVM
+        // write bandwidth.
+        let gib = 1u64 << 30;
+        let from_nvm = m.migrate_copy(&[0, 0, 0, gib], MemTier::LocalDram);
+        assert_eq!(from_nvm, CostModel::transfer_time(gib, m.tier.nvm.read_bps));
+        let to_nvm = m.migrate_copy(&[gib, 0, 0, 0], MemTier::Nvm);
+        assert_eq!(to_nvm, CostModel::transfer_time(gib, m.tier.nvm.write_bps));
+        assert!(to_nvm > from_nvm, "NVM write asymmetry must show up");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! core crate maps them onto its own handle types.
 
 use crate::rng::SimRng;
+use crate::tier::MemTier;
 use crate::time::{SimDuration, SimTime};
 
 /// What kind of failure fires at a scheduled instant.
@@ -51,6 +52,18 @@ pub enum FaultKind {
         slot: usize,
         /// Highest pool-slot index the scenario lets this consumer hold.
         pool_slot: usize,
+    },
+    /// One memory tier of one enclave stops accepting migrations for a
+    /// bounded duration (a failed CXL link, an NVM device resetting).
+    /// Reads of already-placed data keep working; the migration policy
+    /// must skip the tier until the outage ends.
+    TierOutage {
+        /// Slot index of the enclave whose tier goes dark.
+        slot: usize,
+        /// The affected tier.
+        tier: MemTier,
+        /// How long migrations into the tier fail.
+        duration: SimDuration,
     },
 }
 
@@ -91,6 +104,9 @@ pub struct FaultPlan {
     /// Declared buffer-pool capacity (slot count) the plan's pool
     /// scenarios run against; `None` when the plan has no pool events.
     pool_capacity: Option<usize>,
+    /// Declared set of memory tiers the plan's tier scenarios run
+    /// against; `None` when the plan has no tier events.
+    tiers_configured: Option<Vec<MemTier>>,
 }
 
 impl FaultPlan {
@@ -162,6 +178,34 @@ impl FaultPlan {
         self.events.push(FaultEvent {
             at,
             kind: FaultKind::PoolConsumerCrash { slot, pool_slot },
+        });
+        self
+    }
+
+    /// Declare the memory tiers the plan's tier scenarios target;
+    /// [`FaultPlan::validate`] checks every [`FaultKind::TierOutage`]
+    /// against the set.
+    pub fn tiers_configured(mut self, tiers: &[MemTier]) -> Self {
+        self.tiers_configured = Some(tiers.to_vec());
+        self
+    }
+
+    /// Schedule tier `tier` of the enclave at `slot` to reject
+    /// migrations for `duration` starting at `at`.
+    pub fn tier_outage(
+        mut self,
+        at: SimTime,
+        slot: usize,
+        tier: MemTier,
+        duration: SimDuration,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::TierOutage {
+                slot,
+                tier,
+                duration,
+            },
         });
         self
     }
@@ -341,6 +385,44 @@ impl FaultPlan {
                         Some(_) => {}
                     }
                 }
+                FaultKind::TierOutage {
+                    slot,
+                    tier,
+                    duration,
+                } => {
+                    if slot >= n_slots {
+                        return Err(format!(
+                            "fault plan darkens tier {tier} of enclave slot {slot} at t={} ns, \
+                             but only {n_slots} slots exist",
+                            event.at.as_nanos()
+                        ));
+                    }
+                    if duration == SimDuration::ZERO {
+                        return Err(format!(
+                            "fault plan schedules a zero-length outage of tier {tier} at t={} ns; \
+                             the window [start, start) can never fire",
+                            event.at.as_nanos()
+                        ));
+                    }
+                    match &self.tiers_configured {
+                        None => {
+                            return Err(format!(
+                                "fault plan schedules a tier outage at t={} ns without \
+                                 declaring the configured tiers; call tiers_configured(..) first",
+                                event.at.as_nanos()
+                            ));
+                        }
+                        Some(tiers) if !tiers.contains(&tier) => {
+                            return Err(format!(
+                                "fault plan references tier {tier} at t={} ns, \
+                                 but the declared tier set is {:?}",
+                                event.at.as_nanos(),
+                                tiers.iter().map(|t| t.as_str()).collect::<Vec<_>>()
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                }
             }
         }
         for (label, windows) in [
@@ -388,6 +470,8 @@ pub struct FaultInjector {
     /// Per-shard outage horizons (shard-scoped outages only; the global
     /// horizon above applies to every shard on top of these).
     shard_outage_until: std::collections::BTreeMap<usize, SimTime>,
+    /// Per-(enclave slot, tier) migration-outage horizons.
+    tier_outage_until: std::collections::BTreeMap<(usize, MemTier), SimTime>,
     rng: SimRng,
 }
 
@@ -404,6 +488,7 @@ impl FaultInjector {
             duplicate_windows: plan.duplicate_windows,
             ns_outage_until: None,
             shard_outage_until: std::collections::BTreeMap::new(),
+            tier_outage_until: std::collections::BTreeMap::new(),
             rng: SimRng::seed_from_u64(seed).fork(0xFA_17),
         }
     }
@@ -435,6 +520,18 @@ impl FaultInjector {
                             *entry = until;
                         }
                     }
+                }
+            }
+            if let FaultKind::TierOutage {
+                slot,
+                tier,
+                duration,
+            } = event.kind
+            {
+                let until = event.at + duration;
+                let entry = self.tier_outage_until.entry((slot, tier)).or_insert(until);
+                if until > *entry {
+                    *entry = until;
                 }
             }
             due.push(event);
@@ -483,6 +580,25 @@ impl FaultInjector {
             (Some(g), Some(s)) => Some(g.max(s)),
             (g, s) => g.or(s),
         }
+    }
+
+    /// Does tier `tier` of the enclave at `slot` accept migrations at
+    /// virtual time `at`? Callers must have drained
+    /// [`due_events`](Self::due_events) up to `at` first.
+    pub fn tier_available(&self, slot: usize, tier: MemTier, at: SimTime) -> bool {
+        match self.tier_outage_until.get(&(slot, tier)) {
+            Some(&until) => at >= until,
+            None => true,
+        }
+    }
+
+    /// When the outage darkening `(slot, tier)` ends, if one is active
+    /// at `at`.
+    pub fn tier_outage_until(&self, slot: usize, tier: MemTier, at: SimTime) -> Option<SimTime> {
+        self.tier_outage_until
+            .get(&(slot, tier))
+            .copied()
+            .filter(|&until| at < until)
     }
 
     /// Should a forwarded hop sent at `at` be dropped? Draws from the
@@ -650,8 +766,94 @@ mod tests {
             .name_server_shard_outage(SimTime::from_nanos(40), 3, SimDuration::from_nanos(5))
             .drop_messages(SimTime::ZERO, SimDuration::from_nanos(100), 0.5)
             .pool_capacity(16)
-            .pool_consumer_crash(SimTime::from_nanos(50), 1, 15);
+            .pool_consumer_crash(SimTime::from_nanos(50), 1, 15)
+            .tiers_configured(&[MemTier::LocalDram, MemTier::Nvm])
+            .tier_outage(
+                SimTime::from_nanos(60),
+                2,
+                MemTier::Nvm,
+                SimDuration::from_nanos(500),
+            );
         assert_eq!(plan.validate(3, 4), Ok(()));
+    }
+
+    #[test]
+    fn tier_outages_scope_to_their_slot_and_tier() {
+        let plan = FaultPlan::new()
+            .tiers_configured(&[MemTier::Cxl, MemTier::Nvm])
+            .tier_outage(
+                SimTime::from_nanos(1_000),
+                1,
+                MemTier::Cxl,
+                SimDuration::from_nanos(500),
+            )
+            .tier_outage(
+                SimTime::from_nanos(1_200),
+                1,
+                MemTier::Cxl,
+                SimDuration::from_nanos(600),
+            );
+        assert_eq!(plan.validate(2, 1), Ok(()));
+        let mut inj = FaultInjector::new(plan, 1);
+        let at = SimTime::from_nanos(1_300);
+        inj.due_events(at);
+        // Only (slot 1, Cxl) is dark; other slots and tiers answer.
+        assert!(!inj.tier_available(1, MemTier::Cxl, at));
+        assert!(inj.tier_available(0, MemTier::Cxl, at));
+        assert!(inj.tier_available(1, MemTier::Nvm, at));
+        // Overlapping outages extend: 1200 + 600 = 1800.
+        assert_eq!(
+            inj.tier_outage_until(1, MemTier::Cxl, at),
+            Some(SimTime::from_nanos(1_800))
+        );
+        assert!(inj.tier_available(1, MemTier::Cxl, SimTime::from_nanos(1_800)));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_tier_plans() {
+        let cases: Vec<(FaultPlan, &str)> = vec![
+            (
+                FaultPlan::new().tier_outage(
+                    SimTime::from_nanos(10),
+                    0,
+                    MemTier::Nvm,
+                    SimDuration::from_nanos(5),
+                ),
+                "without declaring the configured tiers",
+            ),
+            (
+                FaultPlan::new()
+                    .tiers_configured(&[MemTier::LocalDram, MemTier::RemoteNuma])
+                    .tier_outage(
+                        SimTime::from_nanos(10),
+                        0,
+                        MemTier::Nvm,
+                        SimDuration::from_nanos(5),
+                    ),
+                "tier nvm",
+            ),
+            (
+                FaultPlan::new()
+                    .tiers_configured(&[MemTier::Nvm])
+                    .tier_outage(
+                        SimTime::from_nanos(10),
+                        7,
+                        MemTier::Nvm,
+                        SimDuration::from_nanos(5),
+                    ),
+                "slot 7",
+            ),
+            (
+                FaultPlan::new()
+                    .tiers_configured(&[MemTier::Nvm])
+                    .tier_outage(SimTime::from_nanos(10), 0, MemTier::Nvm, SimDuration::ZERO),
+                "zero-length",
+            ),
+        ];
+        for (plan, needle) in cases {
+            let err = plan.validate(3, 4).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
     }
 
     #[test]

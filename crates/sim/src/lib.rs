@@ -46,6 +46,7 @@ pub mod pdes;
 pub mod rng;
 pub mod run;
 pub mod stats;
+pub mod tier;
 pub mod time;
 pub mod trace;
 
@@ -56,4 +57,5 @@ pub use pdes::{lane_of, run_lanes, LaneShared, PdesActor, PdesConfig, PdesStats}
 pub use rng::SimRng;
 pub use run::{host_parallelism, mix64, split_seed, RunCtx, RunDriver, RunPlan};
 pub use stats::Summary;
+pub use tier::{MemTier, TierCosts, TierModel, TierPolicy};
 pub use time::{Costed, SimDuration, SimTime};

@@ -184,11 +184,24 @@ pub enum SpanKind {
     PoolRingOp,
     /// One slot reclaimed by the crash sweep.
     PoolSweepSlot,
+    /// Extra page-table-walk latency charged by the source tier of the
+    /// walked frames (zero-duration on flat DRAM, so never emitted there).
+    TierWalk,
+    /// Extra PTE-install latency charged by the tier of the mapped frames.
+    TierMap,
+    /// Extra streaming latency for data moving through a non-DRAM tier.
+    TierStream,
+    /// One extent-granular tier migration (remap + copy), a root.
+    MigrateExtent,
+    /// The data copy between tiers inside a migration.
+    MigrateCopy,
+    /// The page-table re-pointing inside a migration.
+    MigrateRemap,
 }
 
 impl SpanKind {
     /// Number of span kinds (for dense per-kind arrays).
-    pub const COUNT: usize = SpanKind::PoolSweepSlot as usize + 1;
+    pub const COUNT: usize = SpanKind::MigrateRemap as usize + 1;
 
     /// All kinds, in discriminant order.
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
@@ -248,6 +261,12 @@ impl SpanKind {
         SpanKind::PoolRefcount,
         SpanKind::PoolRingOp,
         SpanKind::PoolSweepSlot,
+        SpanKind::TierWalk,
+        SpanKind::TierMap,
+        SpanKind::TierStream,
+        SpanKind::MigrateExtent,
+        SpanKind::MigrateCopy,
+        SpanKind::MigrateRemap,
     ];
 
     /// Stable snake-case name (used by both exporters).
@@ -309,6 +328,12 @@ impl SpanKind {
             SpanKind::PoolRefcount => "pool_refcount",
             SpanKind::PoolRingOp => "pool_ring_op",
             SpanKind::PoolSweepSlot => "pool_sweep_slot",
+            SpanKind::TierWalk => "tier_walk",
+            SpanKind::TierMap => "tier_map",
+            SpanKind::TierStream => "tier_stream",
+            SpanKind::MigrateExtent => "migrate_extent",
+            SpanKind::MigrateCopy => "migrate_copy",
+            SpanKind::MigrateRemap => "migrate_remap",
         }
     }
 }
@@ -345,11 +370,15 @@ pub enum EdgeKind {
     /// Consumer crash (`src`) to the exporter-side sweep reclaiming one
     /// of its outstanding pool slots (`dst`).
     CrashSlotSweep,
+    /// Owner-side tier migration of a segment extent (`src`, migration
+    /// complete) to one attached enclave's page tables being re-pointed
+    /// at the new frames (`dst`).
+    MigrateRemap,
 }
 
 impl EdgeKind {
     /// Number of edge kinds (for dense per-kind arrays).
-    pub const COUNT: usize = EdgeKind::CrashSlotSweep as usize + 1;
+    pub const COUNT: usize = EdgeKind::MigrateRemap as usize + 1;
 
     /// All kinds, in discriminant order.
     pub const ALL: [EdgeKind; EdgeKind::COUNT] = [
@@ -361,6 +390,7 @@ impl EdgeKind {
         EdgeKind::WindowResume,
         EdgeKind::SlotPublishConsume,
         EdgeKind::CrashSlotSweep,
+        EdgeKind::MigrateRemap,
     ];
 
     /// Stable snake-case name (used by the obs-report exporter).
@@ -374,6 +404,7 @@ impl EdgeKind {
             EdgeKind::WindowResume => "window_resume",
             EdgeKind::SlotPublishConsume => "slot_publish_consume",
             EdgeKind::CrashSlotSweep => "crash_slot_sweep",
+            EdgeKind::MigrateRemap => "migrate_remap",
         }
     }
 }
@@ -550,11 +581,17 @@ pub enum Counter {
     PoolReleases,
     /// Buffer-pool slots reclaimed by the crash sweep.
     PoolSlotsSwept,
+    /// Extent-granular tier migrations committed.
+    TierMigrations,
+    /// Pages moved between memory tiers.
+    TierPagesMigrated,
+    /// Bytes copied between memory tiers by migrations.
+    TierBytesCopied,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = Counter::PoolSlotsSwept as usize + 1;
+    pub const COUNT: usize = Counter::TierBytesCopied as usize + 1;
 
     /// All counters, in discriminant order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -575,6 +612,9 @@ impl Counter {
         Counter::PoolAcquires,
         Counter::PoolReleases,
         Counter::PoolSlotsSwept,
+        Counter::TierMigrations,
+        Counter::TierPagesMigrated,
+        Counter::TierBytesCopied,
     ];
 
     /// Stable snake-case name.
@@ -597,6 +637,9 @@ impl Counter {
             Counter::PoolAcquires => "pool_acquires",
             Counter::PoolReleases => "pool_releases",
             Counter::PoolSlotsSwept => "pool_slots_swept",
+            Counter::TierMigrations => "tier_migrations",
+            Counter::TierPagesMigrated => "tier_pages_migrated",
+            Counter::TierBytesCopied => "tier_bytes_copied",
         }
     }
 }
@@ -616,11 +659,13 @@ pub enum Hist {
     /// Ring occupancy observed at each pool publish (depth highwater
     /// lives in the top populated bucket).
     PoolRingDepth,
+    /// End-to-end latency of one extent migration, virtual ns.
+    MigrateNs,
 }
 
 impl Hist {
     /// Number of histograms.
-    pub const COUNT: usize = Hist::PoolRingDepth as usize + 1;
+    pub const COUNT: usize = Hist::MigrateNs as usize + 1;
 
     /// All histograms, in discriminant order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -629,6 +674,7 @@ impl Hist {
         Hist::FaultInNs,
         Hist::NsRetriesPerOp,
         Hist::PoolRingDepth,
+        Hist::MigrateNs,
     ];
 
     /// Stable snake-case name.
@@ -639,6 +685,7 @@ impl Hist {
             Hist::FaultInNs => "fault_in_ns",
             Hist::NsRetriesPerOp => "ns_retries_per_op",
             Hist::PoolRingDepth => "pool_ring_depth",
+            Hist::MigrateNs => "migrate_ns",
         }
     }
 }
